@@ -1,0 +1,52 @@
+// Ablation (paper Section V-A): the CLA-recomputation memory-saving
+// technique of Izquierdo-Carrasco et al. that the paper lists as
+// unsupported.  Real host measurements: ML searches with shrinking CLA
+// buffer budgets, reporting CLA memory, extra newview (recomputation) work,
+// and wall time.  The paper notes the 4 M-site dataset already exhausts the
+// Phi's 8 GB — this is the technique that would lift that limit.
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "src/miniphi.hpp"
+
+int main() {
+  using namespace miniphi;
+  set_log_level(LogLevel::kWarn);
+
+  const int ntaxa = 64;
+  const std::int64_t sites = 20'000;
+  std::printf("Ablation — CLA recomputation (memory vs time), real measurements\n");
+  std::printf("workload: full branch-length optimization, %d taxa x %lld sites\n\n", ntaxa,
+              static_cast<long long>(sites));
+
+  const auto alignment = simulate::paper_dataset(sites, 77, ntaxa);
+  const auto patterns = bio::compress_patterns(alignment);
+  Rng rng(5);
+  tree::Tree base_tree = tree::parsimony_starting_tree(patterns, rng);
+
+  const double mb_per_buffer =
+      static_cast<double>(patterns.pattern_count()) * 16 * sizeof(double) / 1e6;
+
+  std::printf("%10s  %12s  %14s  %12s  %10s\n", "buffers", "CLA MB", "newview calls",
+              "wall [s]", "lnL");
+  std::int64_t full_calls = 0;
+  for (const int budget : {-1, 32, 16, 8, 6}) {
+    tree::Tree tree(base_tree);
+    core::LikelihoodEngine::Config config;
+    config.cla_buffers = budget;
+    core::LikelihoodEngine engine(patterns, model::GtrModel(model::GtrParams::jc69(0.8)), tree,
+                                  config);
+    Timer timer;
+    const double lnl = engine.optimize_all_branches(tree.tip(0), 3);
+    const double seconds = timer.seconds();
+    const auto calls = engine.stats(core::Kernel::kNewview).calls;
+    if (budget < 0) full_calls = calls;
+    std::printf("%10d  %12.1f  %10lld (%.2fx)  %10.2f  %12.2f\n", engine.cla_buffer_count(),
+                engine.cla_buffer_count() * mb_per_buffer, static_cast<long long>(calls),
+                static_cast<double>(calls) / static_cast<double>(full_calls), seconds, lnl);
+  }
+  std::printf("\nlnL is identical across budgets (identical math, only eviction +\n");
+  std::printf("recomputation differ); the Sethi-Ullman traversal order keeps the\n");
+  std::printf("minimum feasible budget near log2(taxa), as in the cited technique.\n");
+  return 0;
+}

@@ -1,0 +1,21 @@
+// Table I & Table II reproduction: prints the hardware specifications used
+// by every simulated experiment (the same descriptors the cost model reads)
+// and the software configuration of the original study vs this reproduction.
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "src/platform/spec.hpp"
+#include "src/simd/dispatch.hpp"
+
+int main() {
+  using namespace miniphi;
+  bench::print_header("Table I / Table II — platform specifications");
+  std::printf("%s\n", platform::format_table1().c_str());
+  std::printf("%s\n", platform::format_table2().c_str());
+  std::printf("Kernel back-ends compiled into this binary and usable on this host:\n");
+  for (const auto isa : {simd::Isa::kScalar, simd::Isa::kAvx2, simd::Isa::kAvx512}) {
+    std::printf("  %-7s : %s\n", simd::to_string(isa).c_str(),
+                simd::isa_supported(isa) ? "available" : "not supported by this CPU");
+  }
+  return 0;
+}

@@ -1,0 +1,68 @@
+// ExaML-style distributed tree search over minimpi — the configuration the
+// paper scales across Xeon Phi cards (Section V-D / VI-B3).
+//
+// Every rank runs an identical replica of the search; only scalar
+// reductions (log-likelihoods, Newton derivatives) are communicated.  The
+// demo runs the real distributed search on in-process ranks, verifies
+// replica consistency, reports the communication profile, and finally
+// prices the equivalent workload on the simulated Table I platforms.
+//
+// Run:  ./examl_mpi [--ranks 4] [--sites 2000] [--seed 42]
+#include <cstdio>
+
+#include "src/miniphi.hpp"
+
+int main(int argc, char** argv) {
+  using namespace miniphi;
+  try {
+    const Options options(argc, argv);
+    const int ranks = static_cast<int>(options.get_int("ranks", 4));
+    const std::int64_t sites = options.get_int("sites", 2000);
+    const std::uint64_t seed = static_cast<std::uint64_t>(options.get_int("seed", 42));
+
+    std::printf("simulating the paper's dataset recipe: 15 taxa x %lld sites\n",
+                static_cast<long long>(sites));
+    const auto alignment = simulate::paper_dataset(sites, seed);
+    const auto patterns = bio::compress_patterns(alignment);
+    std::printf("%zu unique patterns distributed over %d rank(s) (~%zu each)\n",
+                patterns.pattern_count(), ranks, patterns.pattern_count() / ranks);
+
+    examl::ExperimentOptions experiment;
+    experiment.seed = seed;
+
+    Timer timer;
+    const auto result = examl::run_distributed_search(alignment, ranks, experiment);
+    std::printf("\ndistributed search finished in %.2f s (host wall time)\n", timer.seconds());
+    std::printf("final log-likelihood: %.4f\n", result.log_likelihood);
+    std::printf("replicas consistent:  %s\n", result.replicas_consistent ? "yes" : "NO (bug!)");
+    std::printf("communication: %lld allreduces, %lld broadcasts, %lld bytes total\n",
+                static_cast<long long>(result.comm_stats.allreduces),
+                static_cast<long long>(result.comm_stats.broadcasts),
+                static_cast<long long>(result.comm_stats.bytes));
+    std::printf("(note the tiny payloads: ExaML's traffic is latency-bound, which is why\n");
+    std::printf(" the ~20us PCIe Allreduce dominates dual-card scaling in the paper)\n");
+
+    // What would this run cost on the paper's hardware?
+    const auto traced = examl::run_traced_search(alignment, experiment);
+    std::printf("\nmodel-predicted wall time for this search (simulated platforms):\n");
+    struct Row {
+      const char* name;
+      platform::ExecConfig config;
+    };
+    const Row rows[] = {{"2S Xeon E5-2680", platform::config_e5_2680()},
+                        {"1S Xeon Phi 5110P", platform::config_phi_single()},
+                        {"2S Xeon Phi 5110P", platform::config_phi_dual()}};
+    for (const auto& row : rows) {
+      const double seconds =
+          platform::simulate_trace(traced.trace, row.config).total_seconds;
+      std::printf("  %-20s %8.3f s\n", row.name, seconds);
+    }
+    std::printf("(at %lld sites the CPU should win — scale --sites up toward 10^6 and the\n",
+                static_cast<long long>(sites));
+    std::printf(" ordering flips, exactly as in Table III)\n");
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

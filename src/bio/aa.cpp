@@ -1,0 +1,89 @@
+#include "src/bio/aa.hpp"
+
+#include <array>
+#include <cctype>
+
+#include "src/util/error.hpp"
+
+namespace miniphi::bio {
+namespace {
+
+constexpr std::array<AaCode, 256> build_table() {
+  std::array<AaCode, 256> table{};
+  for (auto& entry : table) entry = 0xFF;  // invalid marker
+  for (int i = 0; i < kAaStates; ++i) {
+    const char upper = kAaLetters[i];
+    const char lower = static_cast<char>(upper - 'A' + 'a');
+    table[static_cast<unsigned char>(upper)] = static_cast<AaCode>(i);
+    table[static_cast<unsigned char>(lower)] = static_cast<AaCode>(i);
+  }
+  table[static_cast<unsigned char>('B')] = kAaB;
+  table[static_cast<unsigned char>('b')] = kAaB;
+  table[static_cast<unsigned char>('Z')] = kAaZ;
+  table[static_cast<unsigned char>('z')] = kAaZ;
+  for (const char c : {'X', 'x', '-', '?', '.', '*'}) {
+    table[static_cast<unsigned char>(c)] = kAaGap;
+  }
+  return table;
+}
+
+constexpr std::array<AaCode, 256> kEncodeTable = build_table();
+
+int letter_index(char c) {
+  for (int i = 0; i < kAaStates; ++i) {
+    if (kAaLetters[i] == c) return i;
+  }
+  return -1;
+}
+
+}  // namespace
+
+AaCode encode_aa(char c) {
+  const AaCode code = kEncodeTable[static_cast<unsigned char>(c)];
+  MINIPHI_CHECK(code != 0xFF, std::string("invalid amino-acid character '") + c + "'");
+  return code;
+}
+
+bool is_valid_aa(char c) { return kEncodeTable[static_cast<unsigned char>(c)] != 0xFF; }
+
+char decode_aa(AaCode code) {
+  MINIPHI_ASSERT(code < kAaCodeCount);
+  if (code < kAaStates) return kAaLetters[code];
+  if (code == kAaB) return 'B';
+  if (code == kAaZ) return 'Z';
+  return '-';
+}
+
+std::vector<AaCode> encode_aa_sequence(const std::string& sequence, const std::string& context) {
+  std::vector<AaCode> codes;
+  codes.reserve(sequence.size());
+  for (std::size_t i = 0; i < sequence.size(); ++i) {
+    const AaCode code = kEncodeTable[static_cast<unsigned char>(sequence[i])];
+    MINIPHI_CHECK(code != 0xFF,
+                  "invalid amino-acid character '" + std::string(1, sequence[i]) +
+                      "' at position " + std::to_string(i + 1) + " in " + context);
+    codes.push_back(code);
+  }
+  return codes;
+}
+
+std::vector<std::uint32_t> aa_code_masks() {
+  std::vector<std::uint32_t> masks(kAaCodeCount, 0);
+  for (int i = 0; i < kAaStates; ++i) masks[static_cast<std::size_t>(i)] = 1u << i;
+  masks[kAaB] = (1u << letter_index('N')) | (1u << letter_index('D'));
+  masks[kAaZ] = (1u << letter_index('Q')) | (1u << letter_index('E'));
+  masks[kAaGap] = (1u << kAaStates) - 1;  // all 20 states
+  return masks;
+}
+
+std::vector<std::uint32_t> dna_code_masks() {
+  // DNA codes already *are* their state sets (4-bit masks); code 0 never
+  // occurs but is mapped to the gap set for safety.
+  std::vector<std::uint32_t> masks(16);
+  for (std::size_t code = 0; code < 16; ++code) {
+    masks[code] = (code == 0) ? 0xFu : static_cast<std::uint32_t>(code);
+  }
+  return masks;
+}
+
+}  // namespace miniphi::bio

@@ -1,0 +1,52 @@
+// Amino-acid character encoding (protein data, the paper's first
+// future-work item).
+//
+// Unlike DNA, 20 states do not fit a bitmask byte, so amino acids are
+// encoded as dense indices 0..19 (PAML order, matching empirical matrix
+// files) plus three ambiguity classes: B = {N,D}, Z = {Q,E} and the
+// gap/unknown class X.  The general likelihood engine resolves any code to
+// its *state set* through a caller-supplied mask table (aa_code_masks()),
+// the same mechanism the DNA fast path uses implicitly with its 4-bit codes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace miniphi::bio {
+
+/// Number of amino-acid states.
+inline constexpr int kAaStates = 20;
+
+/// Canonical one-letter order (PAML/WAG convention):
+/// A R N D C Q E G H I L K M F P S T W Y V.
+inline constexpr char kAaLetters[kAaStates + 1] = "ARNDCQEGHILKMFPSTWYV";
+
+using AaCode = std::uint8_t;
+
+inline constexpr AaCode kAaB = 20;    ///< asparagine or aspartate
+inline constexpr AaCode kAaZ = 21;    ///< glutamine or glutamate
+inline constexpr AaCode kAaGap = 22;  ///< X / gap / unknown
+inline constexpr int kAaCodeCount = 23;
+
+/// Maps a character (case-insensitive; '-', '?', '.', 'X' → gap) to its
+/// code; throws miniphi::Error for non-amino-acid characters.
+AaCode encode_aa(char c);
+
+bool is_valid_aa(char c);
+
+/// Canonical letter for a code ('B', 'Z', '-' for the ambiguity classes).
+char decode_aa(AaCode code);
+
+/// Encodes a whole sequence with positional error reporting.
+std::vector<AaCode> encode_aa_sequence(const std::string& sequence, const std::string& context);
+
+/// State-set masks: bit i of masks[code] is set iff state i is compatible
+/// with the code.  Size kAaCodeCount; input to the general engine.
+std::vector<std::uint32_t> aa_code_masks();
+
+/// The DNA equivalent (size 16, identity on the 4-bit codes) so the general
+/// engine can run DNA data for cross-validation against the fast path.
+std::vector<std::uint32_t> dna_code_masks();
+
+}  // namespace miniphi::bio

@@ -1,0 +1,87 @@
+#include "src/bio/alignment.hpp"
+
+#include <unordered_map>
+
+#include "src/util/error.hpp"
+
+namespace miniphi::bio {
+
+Alignment::Alignment(const io::SequenceSet& records) {
+  MINIPHI_CHECK(records.size() >= 3, "alignment needs at least 3 taxa for an unrooted tree");
+  names_.reserve(records.size());
+  rows_.reserve(records.size());
+  for (const auto& record : records) {
+    names_.push_back(record.name);
+    rows_.push_back(encode_sequence(record.sequence, "taxon '" + record.name + "'"));
+  }
+  validate();
+}
+
+Alignment::Alignment(std::vector<std::string> names, std::vector<std::vector<DnaCode>> rows)
+    : names_(std::move(names)), rows_(std::move(rows)) {
+  MINIPHI_CHECK(names_.size() == rows_.size(),
+                "alignment: name/row count mismatch");
+  validate();
+}
+
+void Alignment::validate() const {
+  MINIPHI_CHECK(!rows_.empty(), "alignment is empty");
+  const std::size_t width = rows_[0].size();
+  MINIPHI_CHECK(width > 0, "alignment has zero sites");
+  for (std::size_t t = 0; t < rows_.size(); ++t) {
+    MINIPHI_CHECK(rows_[t].size() == width,
+                  "taxon '" + names_[t] + "' has length " + std::to_string(rows_[t].size()) +
+                      ", expected " + std::to_string(width));
+    MINIPHI_CHECK(!names_[t].empty(), "alignment contains an unnamed taxon");
+  }
+}
+
+const std::string& Alignment::taxon_name(std::size_t taxon) const {
+  MINIPHI_ASSERT(taxon < names_.size());
+  return names_[taxon];
+}
+
+std::size_t Alignment::taxon_index(const std::string& name) const {
+  for (std::size_t t = 0; t < names_.size(); ++t) {
+    if (names_[t] == name) return t;
+  }
+  throw Error("taxon '" + name + "' not found in alignment");
+}
+
+std::span<const DnaCode> Alignment::row(std::size_t taxon) const {
+  MINIPHI_ASSERT(taxon < rows_.size());
+  return rows_[taxon];
+}
+
+std::vector<double> Alignment::empirical_base_frequencies() const {
+  // Pseudocount avoids zero frequencies on degenerate inputs; fractional
+  // attribution of ambiguity codes follows standard practice.
+  std::vector<double> counts(kStates, 1.0);
+  for (const auto& row : rows_) {
+    for (const DnaCode code : row) {
+      if (code == kGapCode) continue;
+      const double share = 1.0 / code_cardinality(code);
+      for (int s = 0; s < kStates; ++s) {
+        if (code & (1u << s)) counts[static_cast<std::size_t>(s)] += share;
+      }
+    }
+  }
+  double total = 0.0;
+  for (const double c : counts) total += c;
+  for (double& c : counts) c /= total;
+  return counts;
+}
+
+io::SequenceSet Alignment::to_records() const {
+  io::SequenceSet records;
+  records.reserve(names_.size());
+  for (std::size_t t = 0; t < names_.size(); ++t) {
+    std::string sequence;
+    sequence.reserve(rows_[t].size());
+    for (const DnaCode code : rows_[t]) sequence.push_back(decode_dna(code));
+    records.push_back({names_[t], std::move(sequence)});
+  }
+  return records;
+}
+
+}  // namespace miniphi::bio

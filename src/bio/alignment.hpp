@@ -1,0 +1,56 @@
+// Encoded multiple sequence alignment (the paper's n × m trait matrix).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/bio/dna.hpp"
+#include "src/io/sequence.hpp"
+
+namespace miniphi::bio {
+
+/// A DNA multiple sequence alignment with taxa as rows.  Sequences are
+/// stored 4-bit-encoded, one contiguous row per taxon.
+class Alignment {
+ public:
+  /// Builds from raw records; validates characters and equal lengths.
+  explicit Alignment(const io::SequenceSet& records);
+
+  /// Builds directly from pre-encoded rows (used by the simulator).
+  Alignment(std::vector<std::string> names, std::vector<std::vector<DnaCode>> rows);
+
+  [[nodiscard]] std::size_t taxon_count() const { return names_.size(); }
+  [[nodiscard]] std::size_t site_count() const { return rows_.empty() ? 0 : rows_[0].size(); }
+
+  [[nodiscard]] const std::string& taxon_name(std::size_t taxon) const;
+
+  /// Index of the taxon with the given name; throws if absent.
+  [[nodiscard]] std::size_t taxon_index(const std::string& name) const;
+
+  /// Encoded row for one taxon.
+  [[nodiscard]] std::span<const DnaCode> row(std::size_t taxon) const;
+
+  [[nodiscard]] DnaCode at(std::size_t taxon, std::size_t site) const {
+    return rows_[taxon][site];
+  }
+
+  [[nodiscard]] const std::vector<std::string>& taxon_names() const { return names_; }
+
+  /// Empirical base frequencies over A,C,G,T; ambiguous characters donate
+  /// fractional counts to each contained state (gaps contribute nothing
+  /// beyond the uniform prior implied by the pseudocount).
+  [[nodiscard]] std::vector<double> empirical_base_frequencies() const;
+
+  /// Decodes back to printable records (for writers and round-trip tests).
+  [[nodiscard]] io::SequenceSet to_records() const;
+
+ private:
+  void validate() const;
+
+  std::vector<std::string> names_;
+  std::vector<std::vector<DnaCode>> rows_;
+};
+
+}  // namespace miniphi::bio

@@ -1,0 +1,83 @@
+#include "src/bio/dna.hpp"
+
+#include <array>
+#include <cctype>
+
+#include "src/util/error.hpp"
+
+namespace miniphi::bio {
+namespace {
+
+constexpr DnaCode A = 0x1, C = 0x2, G = 0x4, T = 0x8;
+
+/// 256-entry character → code table; 0 marks invalid characters (note that
+/// no valid code is 0: every IUPAC symbol contains at least one state).
+constexpr std::array<DnaCode, 256> build_table() {
+  std::array<DnaCode, 256> table{};
+  auto set = [&](char lower, char upper, DnaCode code) {
+    table[static_cast<unsigned char>(lower)] = code;
+    table[static_cast<unsigned char>(upper)] = code;
+  };
+  set('a', 'A', A);
+  set('c', 'C', C);
+  set('g', 'G', G);
+  set('t', 'T', T);
+  set('u', 'U', T);      // RNA uracil reads as T
+  set('r', 'R', A | G);  // purine
+  set('y', 'Y', C | T);  // pyrimidine
+  set('s', 'S', C | G);
+  set('w', 'W', A | T);
+  set('k', 'K', G | T);
+  set('m', 'M', A | C);
+  set('b', 'B', C | G | T);
+  set('d', 'D', A | G | T);
+  set('h', 'H', A | C | T);
+  set('v', 'V', A | C | G);
+  set('n', 'N', kGapCode);
+  set('x', 'X', kGapCode);
+  set('o', 'O', kGapCode);
+  table[static_cast<unsigned char>('-')] = kGapCode;
+  table[static_cast<unsigned char>('?')] = kGapCode;
+  table[static_cast<unsigned char>('.')] = kGapCode;
+  return table;
+}
+
+constexpr std::array<DnaCode, 256> kEncodeTable = build_table();
+
+constexpr std::array<char, kCodeCount> kDecodeTable = {
+    '?',  // 0000 — never produced by encode
+    'A', 'C', 'M', 'G', 'R', 'S', 'V', 'T', 'W', 'Y', 'H', 'K', 'D', 'B', '-'};
+
+}  // namespace
+
+DnaCode encode_dna(char c) {
+  const DnaCode code = kEncodeTable[static_cast<unsigned char>(c)];
+  MINIPHI_CHECK(code != 0, std::string("invalid DNA character '") + c + "'");
+  return code;
+}
+
+bool is_valid_dna(char c) { return kEncodeTable[static_cast<unsigned char>(c)] != 0; }
+
+char decode_dna(DnaCode code) {
+  MINIPHI_ASSERT(code < kCodeCount && code != 0);
+  return kDecodeTable[code];
+}
+
+int code_cardinality(DnaCode code) {
+  MINIPHI_ASSERT(code < kCodeCount);
+  return __builtin_popcount(code);
+}
+
+std::vector<DnaCode> encode_sequence(const std::string& sequence, const std::string& context) {
+  std::vector<DnaCode> codes;
+  codes.reserve(sequence.size());
+  for (std::size_t i = 0; i < sequence.size(); ++i) {
+    const DnaCode code = kEncodeTable[static_cast<unsigned char>(sequence[i])];
+    MINIPHI_CHECK(code != 0, "invalid DNA character '" + std::string(1, sequence[i]) +
+                                 "' at position " + std::to_string(i + 1) + " in " + context);
+    codes.push_back(code);
+  }
+  return codes;
+}
+
+}  // namespace miniphi::bio

@@ -1,0 +1,43 @@
+// DNA character encoding used throughout the likelihood core.
+//
+// Characters are encoded RAxML-style as 4-bit sets over {A,C,G,T}:
+// A=0001, C=0010, G=0100, T=1000; IUPAC ambiguity codes are bitwise unions
+// and gap/unknown is 1111.  The tip-lookup tables in the kernels index
+// directly by these codes (16 possible values).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace miniphi::bio {
+
+/// Number of nucleotide states.
+inline constexpr int kStates = 4;
+
+/// Number of distinct 4-bit codes (index range of tip lookup tables).
+inline constexpr int kCodeCount = 16;
+
+/// 4-bit state-set code for one DNA character.
+using DnaCode = std::uint8_t;
+
+inline constexpr DnaCode kGapCode = 0xF;
+
+/// Maps an input character (case-insensitive, full IUPAC + '-', '?', '.')
+/// to its 4-bit code.  Throws miniphi::Error for non-DNA characters.
+DnaCode encode_dna(char c);
+
+/// True iff `c` maps to a valid code without throwing.
+bool is_valid_dna(char c);
+
+/// Canonical character for a code (ambiguities map back to IUPAC letters).
+char decode_dna(DnaCode code);
+
+/// Number of states contained in a code (1 for A/C/G/T, 4 for gaps).
+int code_cardinality(DnaCode code);
+
+/// Encodes a whole string; throws on the first invalid character, with
+/// `context` (e.g. the taxon name) included in the message.
+std::vector<DnaCode> encode_sequence(const std::string& sequence, const std::string& context);
+
+}  // namespace miniphi::bio

@@ -1,0 +1,67 @@
+#include "src/bio/patterns.hpp"
+
+#include <string>
+#include <unordered_map>
+
+#include "src/util/error.hpp"
+
+namespace miniphi::bio {
+
+std::uint64_t PatternSet::total_sites() const {
+  std::uint64_t total = 0;
+  for (const auto w : weights) total += w;
+  return total;
+}
+
+PatternSet compress_patterns(const Alignment& alignment) {
+  const std::size_t ntaxa = alignment.taxon_count();
+  const std::size_t nsites = alignment.site_count();
+
+  PatternSet out;
+  out.tip_rows.assign(ntaxa, {});
+  out.site_to_pattern.reserve(nsites);
+
+  // Hash each column as a byte string of its encoded characters.
+  std::unordered_map<std::string, std::uint32_t> index;
+  index.reserve(nsites);
+  std::string column(ntaxa, '\0');
+
+  for (std::size_t site = 0; site < nsites; ++site) {
+    for (std::size_t t = 0; t < ntaxa; ++t) {
+      column[t] = static_cast<char>(alignment.at(t, site));
+    }
+    const auto [it, inserted] =
+        index.emplace(column, static_cast<std::uint32_t>(out.weights.size()));
+    if (inserted) {
+      for (std::size_t t = 0; t < ntaxa; ++t) {
+        out.tip_rows[t].push_back(static_cast<DnaCode>(column[t]));
+      }
+      out.weights.push_back(1);
+    } else {
+      ++out.weights[it->second];
+    }
+    out.site_to_pattern.push_back(it->second);
+  }
+  MINIPHI_ASSERT(out.total_sites() == nsites);
+  return out;
+}
+
+PatternSet uncompressed_patterns(const Alignment& alignment) {
+  const std::size_t ntaxa = alignment.taxon_count();
+  const std::size_t nsites = alignment.site_count();
+
+  PatternSet out;
+  out.tip_rows.assign(ntaxa, {});
+  out.weights.assign(nsites, 1);
+  out.site_to_pattern.resize(nsites);
+  for (std::size_t site = 0; site < nsites; ++site) {
+    out.site_to_pattern[site] = static_cast<std::uint32_t>(site);
+  }
+  for (std::size_t t = 0; t < ntaxa; ++t) {
+    const auto row = alignment.row(t);
+    out.tip_rows[t].assign(row.begin(), row.end());
+  }
+  return out;
+}
+
+}  // namespace miniphi::bio

@@ -1,0 +1,40 @@
+// Site-pattern compression.
+//
+// Identical alignment columns contribute identical per-site likelihoods, so
+// the likelihood core operates on unique columns ("patterns") with integer
+// weights.  Table III of the paper reports dataset sizes in "alignment
+// patterns" — this module is what turns raw sites into that unit.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/bio/alignment.hpp"
+
+namespace miniphi::bio {
+
+/// Column-compressed view of an alignment.
+struct PatternSet {
+  /// Encoded characters, pattern-major: tip_rows[taxon][pattern].
+  std::vector<std::vector<DnaCode>> tip_rows;
+  /// Multiplicity of each pattern in the original alignment.
+  std::vector<std::uint32_t> weights;
+  /// For each original site, the index of its pattern.
+  std::vector<std::uint32_t> site_to_pattern;
+
+  [[nodiscard]] std::size_t pattern_count() const { return weights.empty() ? 0 : weights.size(); }
+  [[nodiscard]] std::size_t taxon_count() const { return tip_rows.size(); }
+
+  /// Sum of weights == original site count.
+  [[nodiscard]] std::uint64_t total_sites() const;
+};
+
+/// Compresses an alignment into unique columns with weights.  Pattern order
+/// is the order of first appearance, which keeps results deterministic.
+PatternSet compress_patterns(const Alignment& alignment);
+
+/// Builds an *uncompressed* PatternSet (each site its own pattern, weight 1);
+/// used to test that compression leaves the likelihood unchanged.
+PatternSet uncompressed_patterns(const Alignment& alignment);
+
+}  // namespace miniphi::bio

@@ -1,0 +1,115 @@
+#include "src/bio/protein_alignment.hpp"
+
+#include <unordered_map>
+
+#include "src/util/error.hpp"
+
+namespace miniphi::bio {
+
+ProteinAlignment::ProteinAlignment(const io::SequenceSet& records) {
+  MINIPHI_CHECK(records.size() >= 3, "alignment needs at least 3 taxa for an unrooted tree");
+  names_.reserve(records.size());
+  rows_.reserve(records.size());
+  for (const auto& record : records) {
+    names_.push_back(record.name);
+    rows_.push_back(encode_aa_sequence(record.sequence, "taxon '" + record.name + "'"));
+  }
+  validate();
+}
+
+ProteinAlignment::ProteinAlignment(std::vector<std::string> names,
+                                   std::vector<std::vector<AaCode>> rows)
+    : names_(std::move(names)), rows_(std::move(rows)) {
+  MINIPHI_CHECK(names_.size() == rows_.size(), "protein alignment: name/row count mismatch");
+  validate();
+}
+
+void ProteinAlignment::validate() const {
+  MINIPHI_CHECK(!rows_.empty(), "protein alignment is empty");
+  const std::size_t width = rows_[0].size();
+  MINIPHI_CHECK(width > 0, "protein alignment has zero sites");
+  for (std::size_t t = 0; t < rows_.size(); ++t) {
+    MINIPHI_CHECK(rows_[t].size() == width,
+                  "taxon '" + names_[t] + "' has length " + std::to_string(rows_[t].size()) +
+                      ", expected " + std::to_string(width));
+    MINIPHI_CHECK(!names_[t].empty(), "protein alignment contains an unnamed taxon");
+    for (const AaCode code : rows_[t]) {
+      MINIPHI_CHECK(code < kAaCodeCount, "protein alignment: out-of-range code");
+    }
+  }
+}
+
+const std::string& ProteinAlignment::taxon_name(std::size_t taxon) const {
+  MINIPHI_ASSERT(taxon < names_.size());
+  return names_[taxon];
+}
+
+std::span<const AaCode> ProteinAlignment::row(std::size_t taxon) const {
+  MINIPHI_ASSERT(taxon < rows_.size());
+  return rows_[taxon];
+}
+
+std::vector<double> ProteinAlignment::empirical_frequencies() const {
+  std::vector<double> counts(kAaStates, 1.0);  // pseudocount
+  const auto masks = aa_code_masks();
+  for (const auto& row : rows_) {
+    for (const AaCode code : row) {
+      if (code == kAaGap) continue;
+      const std::uint32_t mask = masks[code];
+      const int cardinality = __builtin_popcount(mask);
+      const double share = 1.0 / cardinality;
+      for (int s = 0; s < kAaStates; ++s) {
+        if (mask & (1u << s)) counts[static_cast<std::size_t>(s)] += share;
+      }
+    }
+  }
+  double total = 0.0;
+  for (const double c : counts) total += c;
+  for (double& c : counts) c /= total;
+  return counts;
+}
+
+io::SequenceSet ProteinAlignment::to_records() const {
+  io::SequenceSet records;
+  records.reserve(names_.size());
+  for (std::size_t t = 0; t < names_.size(); ++t) {
+    std::string sequence;
+    sequence.reserve(rows_[t].size());
+    for (const AaCode code : rows_[t]) sequence.push_back(decode_aa(code));
+    records.push_back({names_[t], std::move(sequence)});
+  }
+  return records;
+}
+
+PatternSet compress_protein_patterns(const ProteinAlignment& alignment) {
+  const std::size_t ntaxa = alignment.taxon_count();
+  const std::size_t nsites = alignment.site_count();
+
+  PatternSet out;
+  out.tip_rows.assign(ntaxa, {});
+  out.site_to_pattern.reserve(nsites);
+
+  std::unordered_map<std::string, std::uint32_t> index;
+  index.reserve(nsites);
+  std::string column(ntaxa, '\0');
+  for (std::size_t site = 0; site < nsites; ++site) {
+    for (std::size_t t = 0; t < ntaxa; ++t) {
+      column[t] = static_cast<char>(alignment.at(t, site));
+    }
+    const auto [it, inserted] =
+        index.emplace(column, static_cast<std::uint32_t>(out.weights.size()));
+    if (inserted) {
+      for (std::size_t t = 0; t < ntaxa; ++t) {
+        out.tip_rows[t].push_back(static_cast<DnaCode>(column[t]));
+      }
+      out.weights.push_back(1);
+    } else {
+      ++out.weights[it->second];
+    }
+    out.site_to_pattern.push_back(it->second);
+  }
+  MINIPHI_ASSERT(out.total_sites() == nsites);
+  return out;
+}
+
+}  // namespace miniphi::bio

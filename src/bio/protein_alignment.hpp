@@ -1,0 +1,45 @@
+// Amino-acid multiple sequence alignment (protein support, paper §VII).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/bio/aa.hpp"
+#include "src/bio/patterns.hpp"
+#include "src/io/sequence.hpp"
+
+namespace miniphi::bio {
+
+/// Protein counterpart of Alignment: taxa as rows, dense AA codes.
+class ProteinAlignment {
+ public:
+  explicit ProteinAlignment(const io::SequenceSet& records);
+  ProteinAlignment(std::vector<std::string> names, std::vector<std::vector<AaCode>> rows);
+
+  [[nodiscard]] std::size_t taxon_count() const { return names_.size(); }
+  [[nodiscard]] std::size_t site_count() const { return rows_.empty() ? 0 : rows_[0].size(); }
+  [[nodiscard]] const std::string& taxon_name(std::size_t taxon) const;
+  [[nodiscard]] std::span<const AaCode> row(std::size_t taxon) const;
+  [[nodiscard]] AaCode at(std::size_t taxon, std::size_t site) const {
+    return rows_[taxon][site];
+  }
+  [[nodiscard]] const std::vector<std::string>& taxon_names() const { return names_; }
+
+  /// Empirical amino-acid frequencies (fractional attribution of B/Z/X).
+  [[nodiscard]] std::vector<double> empirical_frequencies() const;
+
+  [[nodiscard]] io::SequenceSet to_records() const;
+
+ private:
+  void validate() const;
+
+  std::vector<std::string> names_;
+  std::vector<std::vector<AaCode>> rows_;
+};
+
+/// Column compression for protein alignments (same PatternSet type as DNA:
+/// the engine interprets tip codes through its mask table).
+PatternSet compress_protein_patterns(const ProteinAlignment& alignment);
+
+}  // namespace miniphi::bio

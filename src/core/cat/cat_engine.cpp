@@ -1,0 +1,542 @@
+#include "src/core/cat/cat_engine.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <functional>
+#include <numeric>
+
+#include "src/model/gamma.hpp"
+#include "src/util/error.hpp"
+#include "src/util/timer.hpp"
+
+namespace miniphi::core {
+namespace {
+
+constexpr int kS = kCatSiteBlock;
+
+/// Eigenspace tip vector for a DNA code: tv[k] = Σ_{j∈code} W(k,j).
+void tip_vector(const model::GtrModel& model, int code, double out[kS]) {
+  const auto& w = model.eigen_w();
+  const int effective = (code == 0) ? 0xF : code;
+  for (int k = 0; k < kS; ++k) {
+    double acc = 0.0;
+    for (int j = 0; j < kS; ++j) {
+      if (effective & (1 << j)) acc += w[static_cast<std::size_t>(k * kS + j)];
+    }
+    out[k] = acc;
+  }
+}
+
+}  // namespace
+
+CatEngine::CatEngine(const bio::PatternSet& patterns, const model::GtrModel& model,
+                     tree::Tree& tree, int categories, const Config& config)
+    : patterns_(patterns),
+      model_(model),
+      tree_(tree),
+      ops_(get_cat_kernel_ops(config.isa)),
+      tuning_(config.tuning) {
+  const auto npat = static_cast<std::int64_t>(patterns.pattern_count());
+  MINIPHI_CHECK(npat > 0, "cat engine: empty pattern set");
+  MINIPHI_CHECK(static_cast<std::size_t>(tree.taxon_count()) == patterns.taxon_count(),
+                "cat engine: tree and patterns disagree on taxon count");
+  MINIPHI_CHECK(categories >= 1 && categories <= kMaxCatCategories,
+                "cat engine: category count out of range");
+  offset_ = config.begin;
+  length_ = (config.end < 0 ? npat : config.end) - offset_;
+  MINIPHI_CHECK(offset_ >= 0 && length_ > 0 && offset_ + length_ <= npat,
+                "cat engine: invalid pattern slice");
+
+  clas_.resize(static_cast<std::size_t>(tree.inner_count()));
+  for (auto& node : clas_) {
+    node.cla.assign(static_cast<std::size_t>(length_) * kS, 0.0);
+    node.scale.assign(static_cast<std::size_t>(length_), 0);
+  }
+  ptable_left_.resize(static_cast<std::size_t>(kMaxCatCategories) * 16);
+  ptable_right_.resize(ptable_left_.size());
+  ump_left_.resize(static_cast<std::size_t>(kMaxCatCategories) * 16 * kS);
+  ump_right_.resize(ump_left_.size());
+  diag_.resize(static_cast<std::size_t>(kMaxCatCategories) * kS);
+  evtab_.resize(static_cast<std::size_t>(kMaxCatCategories) * 16 * kS);
+  dtab_.resize(3 * static_cast<std::size_t>(kMaxCatCategories) * kS);
+  sum_buffer_.resize(static_cast<std::size_t>(length_) * kS);
+  tipvec_.resize(16 * kS);
+  wtable_.resize(16);
+
+  // Branch-independent tables.
+  const auto& w = model_.eigen_w();
+  for (int i = 0; i < kS; ++i) {
+    for (int k = 0; k < kS; ++k) {
+      wtable_[static_cast<std::size_t>(i * kS + k)] = w[static_cast<std::size_t>(k * kS + i)];
+    }
+  }
+  for (int code = 0; code < 16; ++code) {
+    tip_vector(model_, code, tipvec_.data() + code * kS);
+  }
+
+  // Initial categories: the discrete-Γ(α=0.5) grid gives a well-spread,
+  // unit-mean starting set; every site starts in the category closest to 1.
+  std::vector<double> rates = model::discrete_gamma_rates(0.5, categories);
+  std::uint8_t middle = 0;
+  for (std::size_t c = 1; c < rates.size(); ++c) {
+    if (std::abs(rates[c] - 1.0) < std::abs(rates[middle] - 1.0)) {
+      middle = static_cast<std::uint8_t>(c);
+    }
+  }
+  set_categories(std::move(rates),
+                 std::vector<std::uint8_t>(static_cast<std::size_t>(length_), middle));
+}
+
+void CatEngine::set_categories(std::vector<double> rates,
+                               std::vector<std::uint8_t> assignment) {
+  MINIPHI_CHECK(!rates.empty() && rates.size() <= kMaxCatCategories,
+                "cat engine: bad category count");
+  for (const double rate : rates) {
+    MINIPHI_CHECK(rate > 0.0, "cat engine: category rates must be positive");
+  }
+  MINIPHI_CHECK(assignment.size() == static_cast<std::size_t>(length_),
+                "cat engine: assignment size mismatch");
+  for (const auto category : assignment) {
+    MINIPHI_CHECK(category < rates.size(), "cat engine: assignment references bad category");
+  }
+  category_rates_ = std::move(rates);
+  site_categories_ = std::move(assignment);
+  invalidate_all();
+}
+
+void CatEngine::build_ptable(double z, std::span<double> out) const {
+  const auto& u = model_.eigen_u();
+  const auto& lambda = model_.eigenvalues();
+  for (std::size_t cat = 0; cat < category_rates_.size(); ++cat) {
+    for (int k = 0; k < kS; ++k) {
+      const double e = std::exp(lambda[static_cast<std::size_t>(k)] * category_rates_[cat] * z);
+      for (int i = 0; i < kS; ++i) {
+        out[cat * 16 + static_cast<std::size_t>(k * kS + i)] =
+            u[static_cast<std::size_t>(i * kS + k)] * e;
+      }
+    }
+  }
+}
+
+void CatEngine::build_ump(std::span<const double> ptable, std::span<double> out) const {
+  for (std::size_t cat = 0; cat < category_rates_.size(); ++cat) {
+    for (int code = 0; code < 16; ++code) {
+      const double* tv = tipvec_.data() + code * kS;
+      double* row = out.data() + (cat * 16 + static_cast<std::size_t>(code)) * kS;
+      for (int i = 0; i < kS; ++i) {
+        double acc = 0.0;
+        for (int k = 0; k < kS; ++k) {
+          acc += ptable[cat * 16 + static_cast<std::size_t>(k * kS + i)] * tv[k];
+        }
+        row[i] = acc;
+      }
+    }
+  }
+}
+
+void CatEngine::build_diag(double z, std::span<double> out) const {
+  const auto& lambda = model_.eigenvalues();
+  for (std::size_t cat = 0; cat < category_rates_.size(); ++cat) {
+    for (int k = 0; k < kS; ++k) {
+      out[cat * kS + static_cast<std::size_t>(k)] =
+          std::exp(lambda[static_cast<std::size_t>(k)] * category_rates_[cat] * z);
+    }
+  }
+}
+
+void CatEngine::build_dtab(double z, std::span<double> out) const {
+  constexpr std::size_t kStride = static_cast<std::size_t>(kMaxCatCategories) * kS;
+  const auto& lambda = model_.eigenvalues();
+  for (std::size_t cat = 0; cat < category_rates_.size(); ++cat) {
+    for (int k = 0; k < kS; ++k) {
+      const double lr = lambda[static_cast<std::size_t>(k)] * category_rates_[cat];
+      const double e = std::exp(lr * z);
+      const std::size_t index = cat * kS + static_cast<std::size_t>(k);
+      out[index] = e;
+      out[kStride + index] = lr * e;
+      out[2 * kStride + index] = lr * lr * e;
+    }
+  }
+}
+
+void CatEngine::invalidate_node(int node_id) {
+  if (node_id < tree_.taxon_count()) return;
+  clas_[static_cast<std::size_t>(node_id - tree_.taxon_count())].valid = false;
+  sum_prepared_ = false;
+}
+
+void CatEngine::invalidate_all() {
+  for (auto& node : clas_) node.valid = false;
+  sum_prepared_ = false;
+}
+
+void CatEngine::set_alpha(double) {
+  throw Error(
+      "CAT engine: the CAT model has no gamma shape parameter; "
+      "use optimize_site_rates() instead");
+}
+
+double CatEngine::alpha() const {
+  throw Error("CAT engine: the CAT model has no gamma shape parameter");
+}
+
+CatEngine::NodeCla& CatEngine::node_cla(int node_id) {
+  MINIPHI_ASSERT(node_id >= tree_.taxon_count());
+  return clas_[static_cast<std::size_t>(node_id - tree_.taxon_count())];
+}
+
+bool CatEngine::slot_valid(const tree::Slot* s) const {
+  const auto& node = clas_[static_cast<std::size_t>(s->node_id - tree_.taxon_count())];
+  return node.valid && node.orientation == s->slot_index;
+}
+
+bool CatEngine::collect_traversal(tree::Slot* goal, std::vector<tree::Slot*>& order) {
+  if (goal->is_tip()) return false;
+  const bool child1 = collect_traversal(goal->child1(), order);
+  const bool child2 = collect_traversal(goal->child2(), order);
+  const bool need = child1 || child2 || !slot_valid(goal);
+  if (need) order.push_back(goal);
+  return need;
+}
+
+CatChildInput CatEngine::make_child_input(tree::Slot* child, std::span<double> ptable,
+                                          std::span<double> ump, double branch_length) {
+  build_ptable(branch_length, ptable);
+  CatChildInput input;
+  input.ptable = ptable.data();
+  if (child->is_tip()) {
+    build_ump(ptable, ump);
+    input.codes = patterns_.tip_rows[static_cast<std::size_t>(child->node_id)].data() + offset_;
+    input.ump = ump.data();
+  } else {
+    MINIPHI_ASSERT(slot_valid(child));
+    auto& node = node_cla(child->node_id);
+    input.cla = node.cla.data();
+    input.scale = node.scale.data();
+  }
+  return input;
+}
+
+void CatEngine::run_newview(tree::Slot* slot) {
+  auto& parent = node_cla(slot->node_id);
+  CatNewviewCtx ctx;
+  ctx.parent_cla = parent.cla.data();
+  ctx.parent_scale = parent.scale.data();
+  ctx.left = make_child_input(slot->child1(), ptable_left_, ump_left_, slot->next->length);
+  ctx.right =
+      make_child_input(slot->child2(), ptable_right_, ump_right_, slot->next->next->length);
+  ctx.wtable = wtable_.data();
+  ctx.site_categories = site_categories_.data();
+  ctx.begin = 0;
+  ctx.end = length_;
+  ctx.tuning = tuning_;
+
+  auto& stat = stats_[static_cast<std::size_t>(static_cast<int>(Kernel::kNewview))];
+  Timer timer;
+  ops_.newview(ctx);
+  stat.seconds += timer.seconds();
+  ++stat.calls;
+  stat.sites += length_;
+
+  parent.orientation = slot->slot_index;
+  parent.valid = true;
+  sum_prepared_ = false;
+}
+
+double CatEngine::run_evaluate(tree::Slot* edge) {
+  tree::Slot* p = edge;
+  tree::Slot* q = edge->back;
+  if (p->is_tip()) std::swap(p, q);
+  MINIPHI_CHECK(!p->is_tip(), "evaluate: both ends of the root edge are tips");
+
+  CatEvaluateCtx ctx;
+  auto& left = node_cla(p->node_id);
+  MINIPHI_ASSERT(slot_valid(p));
+  ctx.left_cla = left.cla.data();
+  ctx.left_scale = left.scale.data();
+  build_diag(edge->length, diag_);
+  if (q->is_tip()) {
+    for (std::size_t cat = 0; cat < category_rates_.size(); ++cat) {
+      for (int code = 0; code < 16; ++code) {
+        for (int k = 0; k < kS; ++k) {
+          evtab_[(cat * 16 + static_cast<std::size_t>(code)) * kS + static_cast<std::size_t>(k)] =
+              diag_[cat * kS + static_cast<std::size_t>(k)] *
+              tipvec_[static_cast<std::size_t>(code * kS + k)];
+        }
+      }
+    }
+    ctx.right_codes = patterns_.tip_rows[static_cast<std::size_t>(q->node_id)].data() + offset_;
+    ctx.evtab = evtab_.data();
+  } else {
+    MINIPHI_ASSERT(slot_valid(q));
+    auto& right = node_cla(q->node_id);
+    ctx.right_cla = right.cla.data();
+    ctx.right_scale = right.scale.data();
+  }
+  ctx.diag = diag_.data();
+  ctx.site_categories = site_categories_.data();
+  ctx.weights = patterns_.weights.data() + offset_;
+  ctx.begin = 0;
+  ctx.end = length_;
+
+  auto& stat = stats_[static_cast<std::size_t>(static_cast<int>(Kernel::kEvaluate))];
+  Timer timer;
+  const double result = ops_.evaluate(ctx);
+  stat.seconds += timer.seconds();
+  ++stat.calls;
+  stat.sites += length_;
+  return result;
+}
+
+double CatEngine::log_likelihood(tree::Slot* edge) {
+  std::vector<tree::Slot*> order;
+  collect_traversal(edge, order);
+  collect_traversal(edge->back, order);
+  for (tree::Slot* slot : order) run_newview(slot);
+  return run_evaluate(edge);
+}
+
+void CatEngine::prepare_derivatives(tree::Slot* edge) {
+  tree::Slot* p = edge;
+  tree::Slot* q = edge->back;
+  if (p->is_tip()) std::swap(p, q);
+  MINIPHI_CHECK(!p->is_tip(), "derivatives: both ends of the branch are tips");
+
+  std::vector<tree::Slot*> order;
+  collect_traversal(p, order);
+  collect_traversal(q, order);
+  for (tree::Slot* slot : order) run_newview(slot);
+
+  CatSumCtx ctx;
+  ctx.sum = sum_buffer_.data();
+  ctx.left_cla = node_cla(p->node_id).cla.data();
+  if (q->is_tip()) {
+    ctx.right_codes = patterns_.tip_rows[static_cast<std::size_t>(q->node_id)].data() + offset_;
+    ctx.tipvec = tipvec_.data();
+  } else {
+    ctx.right_cla = node_cla(q->node_id).cla.data();
+  }
+  ctx.begin = 0;
+  ctx.end = length_;
+  ctx.tuning = tuning_;
+
+  auto& stat = stats_[static_cast<std::size_t>(static_cast<int>(Kernel::kDerivSum))];
+  Timer timer;
+  ops_.derivative_sum(ctx);
+  stat.seconds += timer.seconds();
+  ++stat.calls;
+  stat.sites += length_;
+  sum_prepared_ = true;
+}
+
+std::pair<double, double> CatEngine::derivatives(double z) {
+  MINIPHI_CHECK(sum_prepared_, "derivatives() without prepare_derivatives()");
+  build_dtab(z, dtab_);
+  CatDerivCtx ctx;
+  ctx.sum = sum_buffer_.data();
+  ctx.weights = patterns_.weights.data() + offset_;
+  ctx.dtab = dtab_.data();
+  ctx.site_categories = site_categories_.data();
+  ctx.begin = 0;
+  ctx.end = length_;
+
+  auto& stat = stats_[static_cast<std::size_t>(static_cast<int>(Kernel::kDerivCore))];
+  Timer timer;
+  ops_.derivative_core(ctx);
+  stat.seconds += timer.seconds();
+  ++stat.calls;
+  stat.sites += length_;
+  return {ctx.out_first, ctx.out_second};
+}
+
+double CatEngine::optimize_branch(tree::Slot* edge, int max_iterations) {
+  prepare_derivatives(edge);
+  double z = edge->length;
+  for (int iteration = 0; iteration < max_iterations; ++iteration) {
+    const auto [first, second] = derivatives(z);
+    const double next = LikelihoodEngine::newton_step(z, first, second);
+    const bool converged = std::abs(next - z) < 1e-10;
+    z = next;
+    if (converged) break;
+  }
+  tree::Tree::set_length(edge, z);
+  invalidate_node(edge->node_id);
+  invalidate_node(edge->back->node_id);
+  return z;
+}
+
+double CatEngine::optimize_all_branches(tree::Slot* root_edge, int passes) {
+  for (int pass = 0; pass < passes; ++pass) {
+    for (tree::Slot* edge : tree_.edges()) {
+      optimize_branch(edge, 32);
+    }
+  }
+  return log_likelihood(root_edge);
+}
+
+std::vector<double> CatEngine::single_rate_site_log_likelihoods(tree::Slot* root_edge,
+                                                                double rate) {
+  // Per-site log-likelihood with `rate` applied on EVERY branch — the
+  // analogue of RAxML's evaluatePartial machinery used to score candidate
+  // per-site rates.  One probability-space pruning pass with per-site
+  // log-scaling; O(nodes × patterns) per call, called once per grid point.
+  const std::size_t npat = static_cast<std::size_t>(length_);
+  struct Cond {
+    std::vector<double> values;       // [npat * 4]
+    std::vector<double> log_scale;    // [npat]
+  };
+
+  const std::function<Cond(const tree::Slot*)> down = [&](const tree::Slot* slot) -> Cond {
+    Cond out;
+    out.values.assign(npat * kS, 0.0);
+    out.log_scale.assign(npat, 0.0);
+    if (slot->is_tip()) {
+      const auto* codes =
+          patterns_.tip_rows[static_cast<std::size_t>(slot->node_id)].data() + offset_;
+      for (std::size_t s = 0; s < npat; ++s) {
+        for (int i = 0; i < kS; ++i) {
+          out.values[s * kS + static_cast<std::size_t>(i)] = (codes[s] & (1 << i)) ? 1.0 : 0.0;
+        }
+      }
+      return out;
+    }
+    const Cond left = down(slot->child1());
+    const Cond right = down(slot->child2());
+    const auto p1 = model_.transition_matrix(slot->next->length, rate);
+    const auto p2 = model_.transition_matrix(slot->next->next->length, rate);
+    for (std::size_t s = 0; s < npat; ++s) {
+      double max_value = 0.0;
+      for (int i = 0; i < kS; ++i) {
+        double a = 0.0;
+        double b = 0.0;
+        for (int j = 0; j < kS; ++j) {
+          a += p1[static_cast<std::size_t>(i * kS + j)] * left.values[s * kS + static_cast<std::size_t>(j)];
+          b += p2[static_cast<std::size_t>(i * kS + j)] * right.values[s * kS + static_cast<std::size_t>(j)];
+        }
+        const double value = a * b;
+        out.values[s * kS + static_cast<std::size_t>(i)] = value;
+        max_value = std::max(max_value, value);
+      }
+      out.log_scale[s] = left.log_scale[s] + right.log_scale[s];
+      if (max_value > 0.0 && max_value < 1e-100) {
+        for (int i = 0; i < kS; ++i) out.values[s * kS + static_cast<std::size_t>(i)] *= 1e100;
+        out.log_scale[s] -= std::log(1e100);
+      }
+    }
+    return out;
+  };
+
+  tree::Slot* p = root_edge;
+  tree::Slot* q = root_edge->back;
+  if (p->is_tip()) std::swap(p, q);
+  const Cond below_p = down(p);
+  const Cond below_q = down(q);
+  const auto pr = model_.transition_matrix(root_edge->length, rate);
+  const auto& pi = model_.frequencies();
+
+  std::vector<double> out(npat);
+  for (std::size_t s = 0; s < npat; ++s) {
+    double site = 0.0;
+    for (int i = 0; i < kS; ++i) {
+      double inner = 0.0;
+      for (int j = 0; j < kS; ++j) {
+        inner += pr[static_cast<std::size_t>(i * kS + j)] *
+                 below_q.values[s * kS + static_cast<std::size_t>(j)];
+      }
+      site += pi[static_cast<std::size_t>(i)] *
+              below_p.values[s * kS + static_cast<std::size_t>(i)] * inner;
+    }
+    out[s] = std::log(std::max(site, 1e-300)) + below_p.log_scale[s] + below_q.log_scale[s];
+  }
+  return out;
+}
+
+double CatEngine::optimize_site_rates(tree::Slot* root_edge, int iterations) {
+  const int ncat = category_count();
+
+  // Log-spaced trial grid (RAxML uses per-site Brent; a fixed grid scan is
+  // the equivalent, simpler policy at these costs).
+  constexpr int kGridSize = 32;
+  constexpr double kMinRate = 1e-3;
+  constexpr double kMaxRate = 32.0;
+  std::array<double, kGridSize> grid{};
+  for (int g = 0; g < kGridSize; ++g) {
+    grid[static_cast<std::size_t>(g)] =
+        kMinRate * std::pow(kMaxRate / kMinRate, static_cast<double>(g) / (kGridSize - 1));
+  }
+
+  double lnl = log_likelihood(root_edge);
+  for (int iteration = 0; iteration < iterations; ++iteration) {
+    // Per-site best whole-tree rate over the grid.
+    std::vector<double> best_rate(static_cast<std::size_t>(length_), 1.0);
+    std::vector<double> best_value(static_cast<std::size_t>(length_), -1e300);
+    for (const double rate : grid) {
+      const auto site_lnl = single_rate_site_log_likelihoods(root_edge, rate);
+      for (std::int64_t s = 0; s < length_; ++s) {
+        if (site_lnl[static_cast<std::size_t>(s)] > best_value[static_cast<std::size_t>(s)]) {
+          best_value[static_cast<std::size_t>(s)] = site_lnl[static_cast<std::size_t>(s)];
+          best_rate[static_cast<std::size_t>(s)] = rate;
+        }
+      }
+    }
+
+    // Cluster per-site rates into ncat equal-weight categories (sorted by
+    // rate, split by cumulative pattern weight), rate = weighted mean.
+    std::vector<std::int64_t> order(static_cast<std::size_t>(length_));
+    std::iota(order.begin(), order.end(), std::int64_t{0});
+    std::sort(order.begin(), order.end(), [&](std::int64_t a, std::int64_t b) {
+      return best_rate[static_cast<std::size_t>(a)] < best_rate[static_cast<std::size_t>(b)];
+    });
+    double total_weight = 0.0;
+    for (std::int64_t s = 0; s < length_; ++s) {
+      total_weight += patterns_.weights[static_cast<std::size_t>(offset_ + s)];
+    }
+
+    std::vector<double> new_rates(static_cast<std::size_t>(ncat), 0.0);
+    std::vector<double> bucket_weight(static_cast<std::size_t>(ncat), 0.0);
+    std::vector<std::uint8_t> assignment(static_cast<std::size_t>(length_), 0);
+    double cumulative = 0.0;
+    for (const std::int64_t s : order) {
+      const double w = patterns_.weights[static_cast<std::size_t>(offset_ + s)];
+      int bucket = static_cast<int>(cumulative / total_weight * ncat);
+      bucket = std::min(bucket, ncat - 1);
+      assignment[static_cast<std::size_t>(s)] = static_cast<std::uint8_t>(bucket);
+      new_rates[static_cast<std::size_t>(bucket)] +=
+          w * best_rate[static_cast<std::size_t>(s)];
+      bucket_weight[static_cast<std::size_t>(bucket)] += w;
+      cumulative += w;
+    }
+    for (int c = 0; c < ncat; ++c) {
+      new_rates[static_cast<std::size_t>(c)] =
+          (bucket_weight[static_cast<std::size_t>(c)] > 0.0)
+              ? new_rates[static_cast<std::size_t>(c)] /
+                    bucket_weight[static_cast<std::size_t>(c)]
+              : grid[kGridSize / 2];
+    }
+
+    // Renormalize to unit weighted mean rate and rescale every branch by
+    // the same factor so that r·z products — and hence the likelihood —
+    // are invariant under the normalization (as in RAxML; this keeps
+    // branch lengths in expected-substitutions-per-site units).
+    double mean = 0.0;
+    for (std::int64_t s = 0; s < length_; ++s) {
+      mean += patterns_.weights[static_cast<std::size_t>(offset_ + s)] *
+              new_rates[assignment[static_cast<std::size_t>(s)]];
+    }
+    mean /= total_weight;
+    for (auto& rate : new_rates) rate /= mean;
+    for (tree::Slot* edge : tree_.edges()) {
+      tree::Tree::set_length(edge, std::clamp(edge->length * mean, kMinBranchLength,
+                                              kMaxBranchLength));
+    }
+
+    set_categories(std::move(new_rates), std::move(assignment));
+    const double updated = log_likelihood(root_edge);
+    if (updated < lnl - 1e-9 && iteration > 0) break;  // no further gain
+    lnl = updated;
+  }
+  return lnl;
+}
+
+}  // namespace miniphi::core

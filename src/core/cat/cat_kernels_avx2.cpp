@@ -1,0 +1,8 @@
+// AVX2 back-end for the CAT kernels: one 32-byte site per 256-bit register.
+#include "src/core/cat/cat_kernels_simd.hpp"
+
+namespace miniphi::core {
+
+CatKernelOps cat_avx2_kernel_ops() { return CatKernels4::ops(); }
+
+}  // namespace miniphi::core

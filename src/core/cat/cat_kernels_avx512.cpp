@@ -1,0 +1,9 @@
+// AVX-512 back-end for the CAT kernels: two sites per 512-bit register with
+// per-site table halves (the paper's Section V-B2 alignment concern).
+#include "src/core/cat/cat_kernels_simd.hpp"
+
+namespace miniphi::core {
+
+CatKernelOps cat_avx512_kernel_ops() { return CatKernels8::ops(); }
+
+}  // namespace miniphi::core

@@ -1,0 +1,481 @@
+#include "src/core/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#if defined(_OPENMP)
+#include <omp.h>
+#endif
+
+#include "src/util/error.hpp"
+
+namespace miniphi::core {
+
+const char* kernel_name(Kernel k) {
+  switch (k) {
+    case Kernel::kNewview: return "newview";
+    case Kernel::kEvaluate: return "evaluate";
+    case Kernel::kDerivSum: return "derivativeSum";
+    case Kernel::kDerivCore: return "derivativeCore";
+  }
+  return "?";
+}
+
+LikelihoodEngine::LikelihoodEngine(const bio::PatternSet& patterns,
+                                   const model::GtrModel& model, tree::Tree& tree,
+                                   const Config& config)
+    : patterns_(patterns),
+      model_(model),
+      tree_(tree),
+      ops_(get_kernel_ops(config.isa)),
+      tuning_(config.tuning),
+      use_openmp_(config.use_openmp),
+      trace_(config.trace) {
+  const auto npat = static_cast<std::int64_t>(patterns.pattern_count());
+  MINIPHI_CHECK(npat > 0, "engine: empty pattern set");
+  MINIPHI_CHECK(static_cast<std::size_t>(tree.taxon_count()) == patterns.taxon_count(),
+                "engine: tree and patterns disagree on taxon count");
+  offset_ = config.begin;
+  length_ = (config.end < 0 ? npat : config.end) - offset_;
+  MINIPHI_CHECK(offset_ >= 0 && length_ > 0 && offset_ + length_ <= npat,
+                "engine: invalid pattern slice");
+
+  const int inner_count = tree.inner_count();
+  int budget = (config.cla_buffers < 0) ? inner_count : config.cla_buffers;
+  budget = std::min(budget, inner_count);
+  MINIPHI_CHECK(budget >= std::min(inner_count, 3),
+                "engine: cla_buffers budget must be at least 3 (got " +
+                    std::to_string(budget) + ")");
+  clas_.resize(static_cast<std::size_t>(inner_count));
+  cla_pool_.resize(static_cast<std::size_t>(budget));
+  scale_pool_.resize(static_cast<std::size_t>(budget));
+  for (int b = 0; b < budget; ++b) {
+    cla_pool_[static_cast<std::size_t>(b)].resize(static_cast<std::size_t>(length_) * kSiteBlock);
+    scale_pool_[static_cast<std::size_t>(b)].assign(static_cast<std::size_t>(length_), 0);
+    free_buffers_.push_back(b);
+  }
+  pins_.assign(static_cast<std::size_t>(inner_count), 0);
+
+  ptable_left_.resize(kPtableSize);
+  ptable_right_.resize(kPtableSize);
+  ump_left_.resize(kUmpSize);
+  ump_right_.resize(kUmpSize);
+  diag_.resize(kDiagSize);
+  evtab_.resize(kEvtabSize);
+  dtab_.resize(kDtabSize);
+  sum_buffer_.resize(static_cast<std::size_t>(length_) * kSiteBlock);
+
+  set_model(model);
+}
+
+void LikelihoodEngine::set_model(const model::GtrModel& model) {
+  model_ = model;
+  tipvec16_ = build_tipvec16(model_);
+  wtable_ = build_wtable(model_);
+  invalidate_all();
+}
+
+void LikelihoodEngine::set_alpha(double alpha) {
+  model::GtrParams params = model_.params();
+  params.alpha = alpha;
+  set_model(model::GtrModel(params, model_.gamma_categories()));
+}
+
+void LikelihoodEngine::invalidate_node(int node_id) {
+  if (node_id < tree_.taxon_count()) return;  // tips have no CLA
+  auto& node = clas_[static_cast<std::size_t>(node_id - tree_.taxon_count())];
+  node.valid = false;
+  sum_prepared_ = false;
+}
+
+void LikelihoodEngine::invalidate_all() {
+  for (auto& node : clas_) node.valid = false;
+  sum_prepared_ = false;
+}
+
+LikelihoodEngine::NodeCla& LikelihoodEngine::node_cla(int node_id) {
+  MINIPHI_ASSERT(node_id >= tree_.taxon_count());
+  return clas_[static_cast<std::size_t>(node_id - tree_.taxon_count())];
+}
+
+bool LikelihoodEngine::slot_valid(const tree::Slot* s) const {
+  const auto& node = clas_[static_cast<std::size_t>(s->node_id - tree_.taxon_count())];
+  return node.valid && node.orientation == s->slot_index;
+}
+
+double* LikelihoodEngine::cla_data(NodeCla& node) {
+  MINIPHI_ASSERT(node.buffer >= 0);
+  return cla_pool_[static_cast<std::size_t>(node.buffer)].data();
+}
+
+std::int32_t* LikelihoodEngine::scale_data(NodeCla& node) {
+  MINIPHI_ASSERT(node.buffer >= 0);
+  return scale_pool_[static_cast<std::size_t>(node.buffer)].data();
+}
+
+void LikelihoodEngine::ensure_buffer(NodeCla& node) {
+  node.last_touch = ++touch_counter_;
+  if (node.buffer >= 0) return;
+  if (!free_buffers_.empty()) {
+    node.buffer = free_buffers_.back();
+    free_buffers_.pop_back();
+    return;
+  }
+  // Evict: prefer an invalid resident, otherwise the least recently touched
+  // unpinned resident.
+  std::size_t victim = clas_.size();
+  for (std::size_t i = 0; i < clas_.size(); ++i) {
+    NodeCla& candidate = clas_[i];
+    if (&candidate == &node || candidate.buffer < 0 || pins_[i] > 0) continue;
+    if (victim == clas_.size()) {
+      victim = i;
+      continue;
+    }
+    NodeCla& best = clas_[victim];
+    const bool candidate_better =
+        (!candidate.valid && best.valid) ||
+        (candidate.valid == best.valid && candidate.last_touch < best.last_touch);
+    if (candidate_better) victim = i;
+  }
+  MINIPHI_CHECK(victim != clas_.size(),
+                "engine: cla_buffers budget too small for this traversal's working set; "
+                "increase Config::cla_buffers");
+  NodeCla& evicted = clas_[victim];
+  evicted.valid = false;
+  node.buffer = evicted.buffer;
+  evicted.buffer = -1;
+}
+
+LikelihoodEngine::TraversalNeed LikelihoodEngine::traversal_need(const tree::Slot* goal) const {
+  if (goal->is_tip()) return {false, 0};
+  const TraversalNeed need1 = traversal_need(goal->child1());
+  const TraversalNeed need2 = traversal_need(goal->child2());
+  if (!need1.recompute && !need2.recompute && slot_valid(goal)) {
+    return {false, 1};  // whole subtree valid: a resident input, one buffer
+  }
+  int registers = (need1.registers == need2.registers)
+                      ? need1.registers + 1
+                      : std::max(need1.registers, need2.registers);
+  registers = std::max(registers, 1);
+  return {true, registers};
+}
+
+void LikelihoodEngine::pin(int node_id) {
+  if (node_id >= tree_.taxon_count()) {
+    ++pins_[static_cast<std::size_t>(node_id - tree_.taxon_count())];
+  }
+}
+
+void LikelihoodEngine::unpin(int node_id) {
+  if (node_id >= tree_.taxon_count()) {
+    auto& count = pins_[static_cast<std::size_t>(node_id - tree_.taxon_count())];
+    MINIPHI_ASSERT(count > 0);
+    --count;
+  }
+}
+
+void LikelihoodEngine::make_valid(tree::Slot* goal) {
+  if (goal->is_tip()) return;
+  // Descend through valid nodes: a deep invalidation (topology or branch
+  // change announced below this node) forces recomputation on the whole
+  // path even when this node still claims validity.
+  if (!traversal_need(goal).recompute) {
+    pin(goal->node_id);
+    node_cla(goal->node_id).last_touch = ++touch_counter_;
+    return;
+  }
+  // Evaluate the child with the larger buffer need first (Sethi-Ullman),
+  // which bounds the pinned working set by ~log2(n).
+  tree::Slot* first = goal->child1();
+  tree::Slot* second = goal->child2();
+  if (traversal_need(second).registers > traversal_need(first).registers) {
+    std::swap(first, second);
+  }
+  make_valid(first);   // returns pinned (or tip no-op)
+  make_valid(second);  // cannot evict `first`: it is pinned
+  run_newview(goal);   // acquires the output buffer, may evict unpinned CLAs
+  unpin(first->node_id);
+  unpin(second->node_id);
+  pin(goal->node_id);
+}
+
+ChildInput LikelihoodEngine::make_child_input(tree::Slot* child, std::span<double> ptable,
+                                              std::span<double> ump, double branch_length) {
+  build_ptable(model_, branch_length, ptable);
+  ChildInput input;
+  input.ptable = ptable.data();
+  if (child->is_tip()) {
+    build_ump(model_, ptable, ump);
+    input.codes = patterns_.tip_rows[static_cast<std::size_t>(child->node_id)].data() + offset_;
+    input.ump = ump.data();
+  } else {
+    MINIPHI_ASSERT(slot_valid(child));
+    auto& node = node_cla(child->node_id);
+    input.cla = cla_data(node);
+    input.scale = scale_data(node);
+  }
+  return input;
+}
+
+void LikelihoodEngine::run_newview(tree::Slot* slot) {
+  MINIPHI_ASSERT(!slot->is_tip());
+  MINIPHI_ASSERT(slot->child1()->is_tip() || slot_valid(slot->child1()));
+  MINIPHI_ASSERT(slot->child2()->is_tip() || slot_valid(slot->child2()));
+  auto& parent = node_cla(slot->node_id);
+
+  NewviewCtx ctx;
+  ensure_buffer(parent);
+  ctx.parent_cla = cla_data(parent);
+  ctx.parent_scale = scale_data(parent);
+  ctx.left = make_child_input(slot->child1(), ptable_left_, ump_left_, slot->next->length);
+  ctx.right =
+      make_child_input(slot->child2(), ptable_right_, ump_right_, slot->next->next->length);
+  ctx.wtable = wtable_.data();
+  ctx.begin = 0;
+  ctx.end = length_;
+  ctx.tuning = tuning_;
+
+  auto& stat = stats_[static_cast<std::size_t>(static_cast<int>(Kernel::kNewview))];
+  Timer timer;
+  if (use_openmp_) {
+#if defined(_OPENMP)
+#pragma omp parallel firstprivate(ctx)
+    {
+      const int nthreads = omp_get_num_threads();
+      const int thread = omp_get_thread_num();
+      const std::int64_t chunk = (length_ + nthreads - 1) / nthreads;
+      ctx.begin = std::min<std::int64_t>(length_, chunk * thread);
+      ctx.end = std::min<std::int64_t>(length_, ctx.begin + chunk);
+      if (ctx.begin < ctx.end) ops_.newview(ctx);
+    }
+#else
+    ops_.newview(ctx);
+#endif
+  } else {
+    ops_.newview(ctx);
+  }
+  stat.seconds += timer.seconds();
+  ++stat.calls;
+  stat.sites += length_;
+  if (trace_ != nullptr) {
+    trace_->record(TraceKernel::kNewview, slot->child1()->is_tip(), slot->child2()->is_tip(),
+                   length_);
+  }
+
+  parent.orientation = slot->slot_index;
+  parent.valid = true;
+  sum_prepared_ = false;
+}
+
+
+double LikelihoodEngine::run_evaluate(tree::Slot* edge) {
+  tree::Slot* p = edge;
+  tree::Slot* q = edge->back;
+  MINIPHI_ASSERT(q != nullptr);
+  // The kernel requires the left side to be an inner CLA.
+  if (p->is_tip()) std::swap(p, q);
+  MINIPHI_CHECK(!p->is_tip(), "evaluate: both ends of the root edge are tips");
+
+  EvaluateCtx ctx;
+  auto& left = node_cla(p->node_id);
+  MINIPHI_ASSERT(slot_valid(p));
+  ctx.left_cla = cla_data(left);
+  ctx.left_scale = scale_data(left);
+  build_diag(model_, edge->length, diag_);
+  if (q->is_tip()) {
+    build_evtab(diag_, tipvec16_, evtab_);
+    ctx.right_codes = patterns_.tip_rows[static_cast<std::size_t>(q->node_id)].data() + offset_;
+    ctx.evtab = evtab_.data();
+  } else {
+    MINIPHI_ASSERT(slot_valid(q));
+    auto& right = node_cla(q->node_id);
+    ctx.right_cla = cla_data(right);
+    ctx.right_scale = scale_data(right);
+    ctx.diag = diag_.data();
+  }
+  ctx.weights = patterns_.weights.data() + offset_;
+  ctx.begin = 0;
+  ctx.end = length_;
+
+  auto& stat = stats_[static_cast<std::size_t>(static_cast<int>(Kernel::kEvaluate))];
+  Timer timer;
+  double result = 0.0;
+  if (use_openmp_) {
+#if defined(_OPENMP)
+#pragma omp parallel firstprivate(ctx) reduction(+ : result)
+    {
+      const int nthreads = omp_get_num_threads();
+      const int thread = omp_get_thread_num();
+      const std::int64_t chunk = (length_ + nthreads - 1) / nthreads;
+      ctx.begin = std::min<std::int64_t>(length_, chunk * thread);
+      ctx.end = std::min<std::int64_t>(length_, ctx.begin + chunk);
+      if (ctx.begin < ctx.end) result += ops_.evaluate(ctx);
+    }
+#else
+    result = ops_.evaluate(ctx);
+#endif
+  } else {
+    result = ops_.evaluate(ctx);
+  }
+  stat.seconds += timer.seconds();
+  ++stat.calls;
+  stat.sites += length_;
+  if (trace_ != nullptr) {
+    trace_->record(TraceKernel::kEvaluate, false, q->is_tip(), length_);
+  }
+  return result;
+}
+
+double LikelihoodEngine::log_likelihood(tree::Slot* edge) {
+  MINIPHI_ASSERT(edge != nullptr && edge->back != nullptr);
+  make_valid(edge);
+  make_valid(edge->back);
+  const double result = run_evaluate(edge);
+  unpin(edge->node_id);
+  unpin(edge->back->node_id);
+  return result;
+}
+
+void LikelihoodEngine::prepare_derivatives(tree::Slot* edge) {
+  tree::Slot* p = edge;
+  tree::Slot* q = edge->back;
+  if (p->is_tip()) std::swap(p, q);
+  MINIPHI_CHECK(!p->is_tip(), "derivatives: both ends of the branch are tips");
+
+  make_valid(p);
+  make_valid(q);
+
+  SumCtx ctx;
+  auto& left = node_cla(p->node_id);
+  ctx.left_cla = cla_data(left);
+  if (q->is_tip()) {
+    ctx.right_codes = patterns_.tip_rows[static_cast<std::size_t>(q->node_id)].data() + offset_;
+    ctx.tipvec16 = tipvec16_.data();
+  } else {
+    ctx.right_cla = cla_data(node_cla(q->node_id));
+  }
+  ctx.sum = sum_buffer_.data();
+  ctx.begin = 0;
+  ctx.end = length_;
+  ctx.tuning = tuning_;
+
+  auto& stat = stats_[static_cast<std::size_t>(static_cast<int>(Kernel::kDerivSum))];
+  Timer timer;
+  if (use_openmp_) {
+#if defined(_OPENMP)
+#pragma omp parallel firstprivate(ctx)
+    {
+      const int nthreads = omp_get_num_threads();
+      const int thread = omp_get_thread_num();
+      const std::int64_t chunk = (length_ + nthreads - 1) / nthreads;
+      ctx.begin = std::min<std::int64_t>(length_, chunk * thread);
+      ctx.end = std::min<std::int64_t>(length_, ctx.begin + chunk);
+      if (ctx.begin < ctx.end) ops_.derivative_sum(ctx);
+    }
+#else
+    ops_.derivative_sum(ctx);
+#endif
+  } else {
+    ops_.derivative_sum(ctx);
+  }
+  stat.seconds += timer.seconds();
+  ++stat.calls;
+  stat.sites += length_;
+  unpin(p->node_id);
+  unpin(q->node_id);
+  sum_left_tip_ = false;
+  sum_right_tip_ = q->is_tip();
+  if (trace_ != nullptr) {
+    trace_->record(TraceKernel::kDerivSum, sum_left_tip_, sum_right_tip_, length_);
+  }
+  sum_prepared_ = true;
+}
+
+std::pair<double, double> LikelihoodEngine::derivatives(double z) {
+  MINIPHI_CHECK(sum_prepared_, "derivatives() without prepare_derivatives()");
+  build_dtab(model_, z, dtab_);
+
+  DerivCtx ctx;
+  ctx.sum = sum_buffer_.data();
+  ctx.weights = patterns_.weights.data() + offset_;
+  ctx.dtab = dtab_.data();
+  ctx.begin = 0;
+  ctx.end = length_;
+
+  auto& stat = stats_[static_cast<std::size_t>(static_cast<int>(Kernel::kDerivCore))];
+  Timer timer;
+  double first = 0.0;
+  double second = 0.0;
+  if (use_openmp_) {
+#if defined(_OPENMP)
+#pragma omp parallel firstprivate(ctx) reduction(+ : first, second)
+    {
+      const int nthreads = omp_get_num_threads();
+      const int thread = omp_get_thread_num();
+      const std::int64_t chunk = (length_ + nthreads - 1) / nthreads;
+      ctx.begin = std::min<std::int64_t>(length_, chunk * thread);
+      ctx.end = std::min<std::int64_t>(length_, ctx.begin + chunk);
+      if (ctx.begin < ctx.end) {
+        ops_.derivative_core(ctx);
+        first += ctx.out_first;
+        second += ctx.out_second;
+      }
+    }
+#else
+    ops_.derivative_core(ctx);
+    first = ctx.out_first;
+    second = ctx.out_second;
+#endif
+  } else {
+    ops_.derivative_core(ctx);
+    first = ctx.out_first;
+    second = ctx.out_second;
+  }
+  stat.seconds += timer.seconds();
+  ++stat.calls;
+  stat.sites += length_;
+  if (trace_ != nullptr) {
+    trace_->record(TraceKernel::kDerivCore, sum_left_tip_, sum_right_tip_, length_);
+  }
+  return {first, second};
+}
+
+double LikelihoodEngine::newton_step(double z, double first, double second) {
+  double next;
+  if (second < 0.0) {
+    next = z - first / second;
+  } else {
+    // Not locally concave: move in the uphill direction geometrically.
+    next = (first > 0.0) ? z * 4.0 : z * 0.25;
+  }
+  return std::clamp(next, kMinBranchLength, kMaxBranchLength);
+}
+
+double LikelihoodEngine::optimize_branch(tree::Slot* edge, int max_iterations) {
+  prepare_derivatives(edge);
+  double z = edge->length;
+  for (int iteration = 0; iteration < max_iterations; ++iteration) {
+    const auto [first, second] = derivatives(z);
+    const double next = newton_step(z, first, second);
+    const bool converged = std::abs(next - z) < 1e-10;
+    z = next;
+    if (converged) break;
+  }
+  tree::Tree::set_length(edge, z);
+  invalidate_node(edge->node_id);
+  invalidate_node(edge->back->node_id);
+  return z;
+}
+
+double LikelihoodEngine::optimize_all_branches(tree::Slot* root_edge, int passes) {
+  for (int pass = 0; pass < passes; ++pass) {
+    for (tree::Slot* edge : tree_.edges()) {
+      optimize_branch(edge);
+    }
+  }
+  return log_likelihood(root_edge);
+}
+
+void LikelihoodEngine::reset_stats() { stats_.fill(KernelStat{}); }
+
+}  // namespace miniphi::core

@@ -1,0 +1,222 @@
+// Likelihood engine: orchestrates the four PLF kernels over a tree.
+//
+// One engine owns the conditional likelihood arrays (CLAs) for a contiguous
+// *slice* of the alignment patterns.  This mirrors both parallelization
+// schemes in the paper: RAxML-Light's PThreads workers and ExaML's MPI ranks
+// each own a site slice and reduce scalar results (log-likelihood,
+// derivatives); alternatively one engine can span all patterns and
+// parallelize each kernel's site loop with OpenMP (the ExaML-MIC hybrid
+// scheme, Section V-D).
+//
+// CLA validity uses RAxML's orientation scheme: each inner node caches which
+// of its three slots its CLA currently "points toward", plus a validity bit.
+// Partial traversals recompute exactly the invalid/reoriented part of the
+// tree.  Topology or branch-length changes must be announced via
+// invalidate_node(); traversals descend through valid nodes, so a deep
+// invalidation correctly propagates to all ancestors on the next traversal.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/bio/patterns.hpp"
+#include "src/core/evaluator.hpp"
+#include "src/core/kernels.hpp"
+#include "src/core/ptable.hpp"
+#include "src/core/trace.hpp"
+#include "src/model/gtr.hpp"
+#include "src/tree/tree.hpp"
+#include "src/util/aligned.hpp"
+#include "src/util/timer.hpp"
+
+namespace miniphi::core {
+
+/// Branch-length domain for Newton–Raphson optimization.
+inline constexpr double kMinBranchLength = 1e-8;
+inline constexpr double kMaxBranchLength = 50.0;
+
+/// Kernel identifiers for instrumentation (paper Figure 3 reports per-kernel
+/// times gathered exactly this way: total time per kernel over a full run).
+enum class Kernel : int { kNewview = 0, kEvaluate = 1, kDerivSum = 2, kDerivCore = 3 };
+inline constexpr int kKernelCount = 4;
+
+const char* kernel_name(Kernel k);
+
+/// Accumulated per-kernel counters.
+struct KernelStat {
+  std::int64_t calls = 0;  ///< kernel invocations
+  std::int64_t sites = 0;  ///< pattern-sites processed across all calls
+  double seconds = 0.0;    ///< wall time inside the kernel
+};
+
+class LikelihoodEngine final : public Evaluator {
+ public:
+  struct Config {
+    simd::Isa isa = simd::best_supported_isa();
+    KernelTuning tuning;
+    bool use_openmp = false;   ///< parallelize kernel site loops with OpenMP
+    std::int64_t begin = 0;    ///< first pattern of this engine's slice
+    std::int64_t end = -1;     ///< one past the last pattern (-1 = all)
+    KernelTrace* trace = nullptr;  ///< optional kernel-invocation recorder
+    /// CLA memory budget: number of CLA buffers to allocate (-1 = one per
+    /// inner node, the default).  Smaller budgets trade running time for
+    /// memory by evicting and later *recomputing* CLAs, the technique of
+    /// Izquierdo-Carrasco et al. that the paper lists as unsupported
+    /// (Section V-A).  A traversal that cannot fit its working set throws.
+    int cla_buffers = -1;
+  };
+
+  /// The engine keeps references to patterns and tree; both must outlive it.
+  /// The model is copied (it is small) and can be replaced via set_model.
+  LikelihoodEngine(const bio::PatternSet& patterns, const model::GtrModel& model,
+                   tree::Tree& tree, const Config& config);
+
+  /// Default configuration: widest supported ISA, full pattern range.
+  LikelihoodEngine(const bio::PatternSet& patterns, const model::GtrModel& model,
+                   tree::Tree& tree)
+      : LikelihoodEngine(patterns, model, tree, Config{}) {}
+
+  [[nodiscard]] std::int64_t slice_begin() const { return offset_; }
+  [[nodiscard]] std::int64_t slice_size() const { return length_; }
+  [[nodiscard]] const model::GtrModel& model() const { return model_; }
+  [[nodiscard]] simd::Isa isa() const { return ops_.isa; }
+
+  /// Replaces the model (e.g. new α or GTR rates); invalidates all CLAs.
+  void set_model(const model::GtrModel& model);
+
+  void set_alpha(double alpha) override;
+  [[nodiscard]] double alpha() const override { return model_.params().alpha; }
+
+  /// Marks one inner node's CLA stale.  Call for every node whose incident
+  /// branches or subtree composition changed.
+  void invalidate_node(int node_id) override;
+  void invalidate_all();
+
+  /// Log-likelihood of this engine's slice with the virtual root on the
+  /// branch (edge, edge->back).  Runs the minimal newview traversal first.
+  double log_likelihood(tree::Slot* edge) override;
+
+  /// Phase 1 of branch optimization at (edge, edge->back): ensures both
+  /// endpoint CLAs are valid and fills the sum buffer (derivativeSum kernel).
+  /// The buffer stays valid until the next prepare/newview-invalidating call.
+  void prepare_derivatives(tree::Slot* edge) override;
+
+  /// Phase 2: first/second derivative of the slice log-likelihood w.r.t.
+  /// the branch length, evaluated at `z` (derivativeCore kernel).
+  std::pair<double, double> derivatives(double z) override;
+
+  /// Newton–Raphson optimization of one branch (single-engine convenience;
+  /// distributed drivers run their own Newton loop over derivatives()).
+  /// Returns the optimized branch length, which is also set on the edge.
+  double optimize_branch(tree::Slot* edge, int max_iterations) override;
+  using Evaluator::optimize_branch;
+
+  /// One smoothing pass over all branches; returns the final log-likelihood
+  /// at `root_edge`.
+  double optimize_all_branches(tree::Slot* root_edge, int passes) override;
+  double optimize_all_branches(tree::Slot* root_edge) { return optimize_all_branches(root_edge, 1); }
+
+  [[nodiscard]] const KernelStat& stats(Kernel k) const {
+    return stats_[static_cast<std::size_t>(static_cast<int>(k))];
+  }
+  void reset_stats();
+
+  /// Applies a Newton step with the standard safeguards (used by both the
+  /// local and the distributed Newton loops so they behave identically).
+  static double newton_step(double z, double first, double second);
+
+  /// Number of CLA buffers this engine allocated (== inner node count
+  /// unless a smaller Config::cla_buffers budget is in force).
+  [[nodiscard]] int cla_buffer_count() const { return static_cast<int>(cla_pool_.size()); }
+
+ private:
+  struct NodeCla {
+    int buffer = -1;               ///< index into the CLA pool, -1 = evicted
+    std::int64_t last_touch = 0;   ///< LRU stamp for eviction
+    int orientation = -1;          ///< slot_index the CLA points toward
+    bool valid = false;
+  };
+
+  [[nodiscard]] NodeCla& node_cla(int node_id);
+  [[nodiscard]] bool slot_valid(const tree::Slot* s) const;
+  [[nodiscard]] double* cla_data(NodeCla& node);
+  [[nodiscard]] std::int32_t* scale_data(NodeCla& node);
+
+  /// Gives `node` a buffer, evicting an unused node's CLA if the pool is
+  /// exhausted (uses_[] guards residents the current pass still needs).
+  void ensure_buffer(NodeCla& node);
+
+  struct TraversalNeed {
+    bool recompute = false;  ///< subtree contributes newview work
+    int registers = 0;       ///< Sethi-Ullman buffer need of the subtree
+  };
+
+  /// Buffer ("register") need of the subtree behind `goal`, with valid
+  /// resident CLAs counting as inputs of cost 1; drives the
+  /// larger-need-first evaluation order that keeps the peak number of live
+  /// buffers ~log2(n) (required by small cla_buffers budgets).
+  TraversalNeed traversal_need(const tree::Slot* goal) const;
+
+  /// Ensures the CLA toward `goal` is valid and resident, recomputing
+  /// whatever is missing (including inputs evicted under a tight budget —
+  /// the time-for-memory trade of the recomputation technique).  Returns
+  /// with the goal's node pinned (+1); tips are a no-op.  Callers must
+  /// unpin after the consuming kernel ran.
+  void make_valid(tree::Slot* goal);
+
+  void pin(int node_id);
+  void unpin(int node_id);
+
+  void run_newview(tree::Slot* slot);
+  ChildInput make_child_input(tree::Slot* child, std::span<double> ptable,
+                              std::span<double> ump, double branch_length);
+
+  double run_evaluate(tree::Slot* edge);
+
+  const bio::PatternSet& patterns_;
+  model::GtrModel model_;
+  tree::Tree& tree_;
+  KernelOps ops_;
+  KernelTuning tuning_;
+  bool use_openmp_ = false;
+  std::int64_t offset_ = 0;
+  std::int64_t length_ = 0;
+
+  std::vector<NodeCla> clas_;  ///< indexed by inner index (node_id - ntaxa)
+
+  // CLA buffer pool (recomputation mode allocates fewer buffers than nodes).
+  std::vector<AlignedDoubles> cla_pool_;
+  std::vector<std::vector<std::int32_t>> scale_pool_;
+  std::vector<int> free_buffers_;
+  std::vector<int> pins_;  ///< per inner node: active pin count (no eviction)
+  std::int64_t touch_counter_ = 0;
+
+  // Branch-independent tables.
+  AlignedDoubles tipvec16_;
+  AlignedDoubles wtable_;
+
+  // Per-call workspaces (rebuilt constantly; allocation-free hot path).
+  AlignedDoubles ptable_left_;
+  AlignedDoubles ptable_right_;
+  AlignedDoubles ump_left_;
+  AlignedDoubles ump_right_;
+  AlignedDoubles diag_;
+  AlignedDoubles evtab_;
+  AlignedDoubles dtab_;
+  AlignedDoubles sum_buffer_;
+
+  std::array<KernelStat, kKernelCount> stats_{};
+
+  // State of the prepared derivative buffer.
+  bool sum_prepared_ = false;
+  bool sum_right_tip_ = false;   ///< tip-ness of the prepared branch (for the trace)
+  bool sum_left_tip_ = false;
+
+  KernelTrace* trace_ = nullptr;
+
+  friend class EngineTestPeer;
+};
+
+}  // namespace miniphi::core

@@ -1,0 +1,51 @@
+// Abstract likelihood evaluator: the contract between the tree search and
+// whatever executes the PLF kernels underneath.
+//
+// Three implementations mirror the paper's execution configurations:
+//   * core::LikelihoodEngine        — one thread, one pattern range
+//   * parallel::ForkJoinEvaluator   — RAxML-Light PThreads scheme (Section V-C)
+//   * examl::DistributedEvaluator   — ExaML MPI / hybrid scheme (Section V-D)
+// The search code is identical in all three cases; in the distributed case
+// every rank executes the same search replica and the evaluator performs the
+// collective reductions, which is exactly ExaML's design.
+#pragma once
+
+#include <utility>
+
+#include "src/model/gtr.hpp"
+#include "src/tree/tree.hpp"
+
+namespace miniphi::core {
+
+class Evaluator {
+ public:
+  virtual ~Evaluator() = default;
+
+  /// Log-likelihood with the virtual root on (edge, edge->back).
+  virtual double log_likelihood(tree::Slot* edge) = 0;
+
+  /// Branch-derivative protocol: prepare once per branch, then evaluate the
+  /// first/second derivative at arbitrary branch lengths.
+  virtual void prepare_derivatives(tree::Slot* edge) = 0;
+  virtual std::pair<double, double> derivatives(double z) = 0;
+
+  /// Newton–Raphson optimization of one branch; sets the length on the edge.
+  virtual double optimize_branch(tree::Slot* edge, int max_iterations) = 0;
+  double optimize_branch(tree::Slot* edge) { return optimize_branch(edge, 32); }
+
+  /// Smoothing passes over all branches; returns the final log-likelihood.
+  virtual double optimize_all_branches(tree::Slot* root_edge, int passes) = 0;
+
+  /// Invalidate the CLA of one inner node (after topology/branch changes).
+  virtual void invalidate_node(int node_id) = 0;
+
+  /// Replace the Γ shape parameter everywhere (invalidates all CLAs).
+  /// α is the one rate-heterogeneity parameter shared by every model family
+  /// (DNA GTR and general/protein models), so it lives on the interface;
+  /// model-family-specific optimization (e.g. GTR exchangeabilities) is a
+  /// header template over the concrete engine types (model_optimizer.hpp).
+  virtual void set_alpha(double alpha) = 0;
+  [[nodiscard]] virtual double alpha() const = 0;
+};
+
+}  // namespace miniphi::core

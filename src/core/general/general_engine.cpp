@@ -1,0 +1,353 @@
+#include "src/core/general/general_engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#if defined(_OPENMP)
+#include <omp.h>
+#endif
+
+#include "src/util/error.hpp"
+#include "src/util/timer.hpp"
+
+namespace miniphi::core {
+
+GeneralEngine::GeneralEngine(const bio::PatternSet& patterns, const model::GeneralModel& model,
+                             tree::Tree& tree, std::vector<std::uint32_t> code_masks,
+                             const Config& config)
+    : patterns_(patterns),
+      model_(model),
+      tree_(tree),
+      code_masks_(std::move(code_masks)),
+      dims_(general_dims(model)),
+      ops_(get_general_kernel_ops(config.isa)),
+      tuning_(config.tuning),
+      use_openmp_(config.use_openmp) {
+  const auto npat = static_cast<std::int64_t>(patterns.pattern_count());
+  MINIPHI_CHECK(npat > 0, "general engine: empty pattern set");
+  MINIPHI_CHECK(static_cast<std::size_t>(tree.taxon_count()) == patterns.taxon_count(),
+                "general engine: tree and patterns disagree on taxon count");
+  MINIPHI_CHECK(!code_masks_.empty(), "general engine: empty code mask table");
+  for (const auto& row : patterns.tip_rows) {
+    for (const auto code : row) {
+      MINIPHI_CHECK(code < code_masks_.size(), "general engine: tip code out of mask range");
+    }
+  }
+  const std::uint32_t all_states =
+      (dims_.states >= 32) ? 0xFFFFFFFFu : ((1u << dims_.states) - 1);
+  for (const auto mask : code_masks_) {
+    MINIPHI_CHECK(mask != 0 && (mask & ~all_states) == 0,
+                  "general engine: code mask references invalid states");
+  }
+
+  offset_ = config.begin;
+  length_ = (config.end < 0 ? npat : config.end) - offset_;
+  MINIPHI_CHECK(offset_ >= 0 && length_ > 0 && offset_ + length_ <= npat,
+                "general engine: invalid pattern slice");
+
+  const auto block = static_cast<std::size_t>(dims_.block());
+  clas_.resize(static_cast<std::size_t>(tree.inner_count()));
+  for (auto& node : clas_) {
+    node.cla.assign(static_cast<std::size_t>(length_) * block, 0.0);
+    node.scale.assign(static_cast<std::size_t>(length_), 0);
+  }
+  ptable_left_.resize(gptable_size(dims_));
+  ptable_right_.resize(gptable_size(dims_));
+  ump_left_.resize(gblock_table_size(dims_, code_masks_.size()));
+  ump_right_.resize(gblock_table_size(dims_, code_masks_.size()));
+  diag_.resize(block);
+  evtab_.resize(gblock_table_size(dims_, code_masks_.size()));
+  dtab_.resize(3 * block);
+  sum_buffer_.resize(static_cast<std::size_t>(length_) * block);
+
+  set_general_model(model);
+}
+
+void GeneralEngine::set_general_model(const model::GeneralModel& model) {
+  MINIPHI_CHECK(model.states() == dims_.states && model.gamma_categories() == dims_.rates,
+                "general engine: model geometry changed");
+  model_ = model;
+  tipvec_ = build_general_tipvec(model_, code_masks_);
+  wtable_ = build_general_wtable(model_);
+  invalidate_all();
+}
+
+void GeneralEngine::invalidate_node(int node_id) {
+  if (node_id < tree_.taxon_count()) return;
+  clas_[static_cast<std::size_t>(node_id - tree_.taxon_count())].valid = false;
+  sum_prepared_ = false;
+}
+
+void GeneralEngine::invalidate_all() {
+  for (auto& node : clas_) node.valid = false;
+  sum_prepared_ = false;
+}
+
+GeneralEngine::NodeCla& GeneralEngine::node_cla(int node_id) {
+  MINIPHI_ASSERT(node_id >= tree_.taxon_count());
+  return clas_[static_cast<std::size_t>(node_id - tree_.taxon_count())];
+}
+
+bool GeneralEngine::slot_valid(const tree::Slot* s) const {
+  const auto& node = clas_[static_cast<std::size_t>(s->node_id - tree_.taxon_count())];
+  return node.valid && node.orientation == s->slot_index;
+}
+
+bool GeneralEngine::collect_traversal(tree::Slot* goal, std::vector<tree::Slot*>& order) {
+  if (goal->is_tip()) return false;
+  const bool child1 = collect_traversal(goal->child1(), order);
+  const bool child2 = collect_traversal(goal->child2(), order);
+  const bool need = child1 || child2 || !slot_valid(goal);
+  if (need) order.push_back(goal);
+  return need;
+}
+
+GChildInput GeneralEngine::make_child_input(tree::Slot* child, std::span<double> ptable,
+                                            std::span<double> ump, double branch_length) {
+  build_general_ptable(model_, branch_length, ptable);
+  GChildInput input;
+  input.ptable = ptable.data();
+  if (child->is_tip()) {
+    build_general_ump(model_, ptable, code_masks_, ump);
+    input.codes = patterns_.tip_rows[static_cast<std::size_t>(child->node_id)].data() + offset_;
+    input.ump = ump.data();
+  } else {
+    MINIPHI_ASSERT(slot_valid(child));
+    auto& node = node_cla(child->node_id);
+    input.cla = node.cla.data();
+    input.scale = node.scale.data();
+  }
+  return input;
+}
+
+void GeneralEngine::run_newview(tree::Slot* slot) {
+  MINIPHI_ASSERT(!slot->is_tip());
+  auto& parent = node_cla(slot->node_id);
+
+  GNewviewCtx ctx;
+  ctx.parent_cla = parent.cla.data();
+  ctx.parent_scale = parent.scale.data();
+  ctx.left = make_child_input(slot->child1(), ptable_left_, ump_left_, slot->next->length);
+  ctx.right =
+      make_child_input(slot->child2(), ptable_right_, ump_right_, slot->next->next->length);
+  ctx.wtable = wtable_.data();
+  ctx.dims = dims_;
+  ctx.begin = 0;
+  ctx.end = length_;
+  ctx.tuning = tuning_;
+
+  auto& stat = stats_[static_cast<std::size_t>(static_cast<int>(Kernel::kNewview))];
+  Timer timer;
+  if (use_openmp_) {
+#if defined(_OPENMP)
+#pragma omp parallel firstprivate(ctx)
+    {
+      const int nthreads = omp_get_num_threads();
+      const int thread = omp_get_thread_num();
+      const std::int64_t chunk = (length_ + nthreads - 1) / nthreads;
+      ctx.begin = std::min<std::int64_t>(length_, chunk * thread);
+      ctx.end = std::min<std::int64_t>(length_, ctx.begin + chunk);
+      if (ctx.begin < ctx.end) ops_.newview(ctx);
+    }
+#else
+    ops_.newview(ctx);
+#endif
+  } else {
+    ops_.newview(ctx);
+  }
+  stat.seconds += timer.seconds();
+  ++stat.calls;
+  stat.sites += length_;
+
+  parent.orientation = slot->slot_index;
+  parent.valid = true;
+  sum_prepared_ = false;
+}
+
+double GeneralEngine::run_evaluate(tree::Slot* edge) {
+  tree::Slot* p = edge;
+  tree::Slot* q = edge->back;
+  MINIPHI_ASSERT(q != nullptr);
+  if (p->is_tip()) std::swap(p, q);
+  MINIPHI_CHECK(!p->is_tip(), "evaluate: both ends of the root edge are tips");
+
+  GEvaluateCtx ctx;
+  auto& left = node_cla(p->node_id);
+  MINIPHI_ASSERT(slot_valid(p));
+  ctx.left_cla = left.cla.data();
+  ctx.left_scale = left.scale.data();
+  build_general_diag(model_, edge->length, diag_);
+  if (q->is_tip()) {
+    build_general_evtab(dims_, diag_, tipvec_, evtab_);
+    ctx.right_codes = patterns_.tip_rows[static_cast<std::size_t>(q->node_id)].data() + offset_;
+    ctx.evtab = evtab_.data();
+  } else {
+    MINIPHI_ASSERT(slot_valid(q));
+    auto& right = node_cla(q->node_id);
+    ctx.right_cla = right.cla.data();
+    ctx.right_scale = right.scale.data();
+    ctx.diag = diag_.data();
+  }
+  ctx.weights = patterns_.weights.data() + offset_;
+  ctx.dims = dims_;
+  ctx.begin = 0;
+  ctx.end = length_;
+
+  auto& stat = stats_[static_cast<std::size_t>(static_cast<int>(Kernel::kEvaluate))];
+  Timer timer;
+  double result = 0.0;
+  if (use_openmp_) {
+#if defined(_OPENMP)
+#pragma omp parallel firstprivate(ctx) reduction(+ : result)
+    {
+      const int nthreads = omp_get_num_threads();
+      const int thread = omp_get_thread_num();
+      const std::int64_t chunk = (length_ + nthreads - 1) / nthreads;
+      ctx.begin = std::min<std::int64_t>(length_, chunk * thread);
+      ctx.end = std::min<std::int64_t>(length_, ctx.begin + chunk);
+      if (ctx.begin < ctx.end) result += ops_.evaluate(ctx);
+    }
+#else
+    result = ops_.evaluate(ctx);
+#endif
+  } else {
+    result = ops_.evaluate(ctx);
+  }
+  stat.seconds += timer.seconds();
+  ++stat.calls;
+  stat.sites += length_;
+  return result;
+}
+
+double GeneralEngine::log_likelihood(tree::Slot* edge) {
+  MINIPHI_ASSERT(edge != nullptr && edge->back != nullptr);
+  std::vector<tree::Slot*> order;
+  collect_traversal(edge, order);
+  collect_traversal(edge->back, order);
+  for (tree::Slot* slot : order) run_newview(slot);
+  return run_evaluate(edge);
+}
+
+void GeneralEngine::prepare_derivatives(tree::Slot* edge) {
+  tree::Slot* p = edge;
+  tree::Slot* q = edge->back;
+  if (p->is_tip()) std::swap(p, q);
+  MINIPHI_CHECK(!p->is_tip(), "derivatives: both ends of the branch are tips");
+
+  std::vector<tree::Slot*> order;
+  collect_traversal(p, order);
+  collect_traversal(q, order);
+  for (tree::Slot* slot : order) run_newview(slot);
+
+  GSumCtx ctx;
+  ctx.sum = sum_buffer_.data();
+  ctx.left_cla = node_cla(p->node_id).cla.data();
+  if (q->is_tip()) {
+    ctx.right_codes = patterns_.tip_rows[static_cast<std::size_t>(q->node_id)].data() + offset_;
+    ctx.tipvec = tipvec_.data();
+  } else {
+    ctx.right_cla = node_cla(q->node_id).cla.data();
+  }
+  ctx.dims = dims_;
+  ctx.begin = 0;
+  ctx.end = length_;
+  ctx.tuning = tuning_;
+
+  auto& stat = stats_[static_cast<std::size_t>(static_cast<int>(Kernel::kDerivSum))];
+  Timer timer;
+  if (use_openmp_) {
+#if defined(_OPENMP)
+#pragma omp parallel firstprivate(ctx)
+    {
+      const int nthreads = omp_get_num_threads();
+      const int thread = omp_get_thread_num();
+      const std::int64_t chunk = (length_ + nthreads - 1) / nthreads;
+      ctx.begin = std::min<std::int64_t>(length_, chunk * thread);
+      ctx.end = std::min<std::int64_t>(length_, ctx.begin + chunk);
+      if (ctx.begin < ctx.end) ops_.derivative_sum(ctx);
+    }
+#else
+    ops_.derivative_sum(ctx);
+#endif
+  } else {
+    ops_.derivative_sum(ctx);
+  }
+  stat.seconds += timer.seconds();
+  ++stat.calls;
+  stat.sites += length_;
+  sum_prepared_ = true;
+}
+
+std::pair<double, double> GeneralEngine::derivatives(double z) {
+  MINIPHI_CHECK(sum_prepared_, "derivatives() without prepare_derivatives()");
+  build_general_dtab(model_, z, dtab_);
+
+  GDerivCtx ctx;
+  ctx.sum = sum_buffer_.data();
+  ctx.weights = patterns_.weights.data() + offset_;
+  ctx.dtab = dtab_.data();
+  ctx.dims = dims_;
+  ctx.begin = 0;
+  ctx.end = length_;
+
+  auto& stat = stats_[static_cast<std::size_t>(static_cast<int>(Kernel::kDerivCore))];
+  Timer timer;
+  double first = 0.0;
+  double second = 0.0;
+  if (use_openmp_) {
+#if defined(_OPENMP)
+#pragma omp parallel firstprivate(ctx) reduction(+ : first, second)
+    {
+      const int nthreads = omp_get_num_threads();
+      const int thread = omp_get_thread_num();
+      const std::int64_t chunk = (length_ + nthreads - 1) / nthreads;
+      ctx.begin = std::min<std::int64_t>(length_, chunk * thread);
+      ctx.end = std::min<std::int64_t>(length_, ctx.begin + chunk);
+      if (ctx.begin < ctx.end) {
+        ops_.derivative_core(ctx);
+        first += ctx.out_first;
+        second += ctx.out_second;
+      }
+    }
+#else
+    ops_.derivative_core(ctx);
+    first = ctx.out_first;
+    second = ctx.out_second;
+#endif
+  } else {
+    ops_.derivative_core(ctx);
+    first = ctx.out_first;
+    second = ctx.out_second;
+  }
+  stat.seconds += timer.seconds();
+  ++stat.calls;
+  stat.sites += length_;
+  return {first, second};
+}
+
+double GeneralEngine::optimize_branch(tree::Slot* edge, int max_iterations) {
+  prepare_derivatives(edge);
+  double z = edge->length;
+  for (int iteration = 0; iteration < max_iterations; ++iteration) {
+    const auto [first, second] = derivatives(z);
+    const double next = LikelihoodEngine::newton_step(z, first, second);
+    const bool converged = std::abs(next - z) < 1e-10;
+    z = next;
+    if (converged) break;
+  }
+  tree::Tree::set_length(edge, z);
+  invalidate_node(edge->node_id);
+  invalidate_node(edge->back->node_id);
+  return z;
+}
+
+double GeneralEngine::optimize_all_branches(tree::Slot* root_edge, int passes) {
+  for (int pass = 0; pass < passes; ++pass) {
+    for (tree::Slot* edge : tree_.edges()) {
+      optimize_branch(edge, 32);
+    }
+  }
+  return log_likelihood(root_edge);
+}
+
+}  // namespace miniphi::core

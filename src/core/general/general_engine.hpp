@@ -1,0 +1,113 @@
+// Likelihood engine for arbitrary state counts (protein support).
+//
+// The general counterpart of LikelihoodEngine: same CLA-orientation scheme,
+// same Evaluator interface (so SPR search, fork-join pools etc. work
+// unchanged on protein data), but with runtime state-count geometry and the
+// general kernels.  Tip codes are resolved through a state-set mask table
+// (see bio/aa.hpp), which also lets DNA data run through this engine for
+// cross-validation against the 4-state fast path.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/bio/patterns.hpp"
+#include "src/core/engine.hpp"  // Kernel, KernelStat, branch-length bounds
+#include "src/core/evaluator.hpp"
+#include "src/core/general/general_kernels.hpp"
+#include "src/core/general/general_tables.hpp"
+#include "src/model/general.hpp"
+#include "src/util/aligned.hpp"
+
+namespace miniphi::core {
+
+class GeneralEngine final : public Evaluator {
+ public:
+  struct Config {
+    simd::Isa isa = simd::best_supported_isa();
+    KernelTuning tuning;
+    bool use_openmp = false;  ///< parallelize kernel site loops (hybrid mode)
+    std::int64_t begin = 0;
+    std::int64_t end = -1;
+  };
+
+  /// `code_masks[code]` gives the state set of tip code `code`; every code
+  /// appearing in `patterns` must be within range.
+  GeneralEngine(const bio::PatternSet& patterns, const model::GeneralModel& model,
+                tree::Tree& tree, std::vector<std::uint32_t> code_masks, const Config& config);
+
+  GeneralEngine(const bio::PatternSet& patterns, const model::GeneralModel& model,
+                tree::Tree& tree, std::vector<std::uint32_t> code_masks)
+      : GeneralEngine(patterns, model, tree, std::move(code_masks), Config{}) {}
+
+  [[nodiscard]] const model::GeneralModel& general_model() const { return model_; }
+  [[nodiscard]] const GeneralDims& dims() const { return dims_; }
+  [[nodiscard]] simd::Isa isa() const { return ops_.isa; }
+  [[nodiscard]] std::int64_t slice_size() const { return length_; }
+
+  /// Replaces the model (same state count required); invalidates all CLAs.
+  void set_general_model(const model::GeneralModel& model);
+
+  double log_likelihood(tree::Slot* edge) override;
+  void prepare_derivatives(tree::Slot* edge) override;
+  std::pair<double, double> derivatives(double z) override;
+  double optimize_branch(tree::Slot* edge, int max_iterations) override;
+  using Evaluator::optimize_branch;
+  double optimize_all_branches(tree::Slot* root_edge, int passes) override;
+  void invalidate_node(int node_id) override;
+  void set_alpha(double alpha) override { set_general_model(model_.with_alpha(alpha)); }
+  [[nodiscard]] double alpha() const override { return model_.alpha(); }
+
+  void invalidate_all();
+
+  [[nodiscard]] const KernelStat& stats(Kernel k) const {
+    return stats_[static_cast<std::size_t>(static_cast<int>(k))];
+  }
+
+ private:
+  struct NodeCla {
+    AlignedDoubles cla;
+    std::vector<std::int32_t> scale;
+    int orientation = -1;
+    bool valid = false;
+  };
+
+  [[nodiscard]] NodeCla& node_cla(int node_id);
+  [[nodiscard]] bool slot_valid(const tree::Slot* s) const;
+  bool collect_traversal(tree::Slot* goal, std::vector<tree::Slot*>& order);
+  void run_newview(tree::Slot* slot);
+  GChildInput make_child_input(tree::Slot* child, std::span<double> ptable,
+                               std::span<double> ump, double branch_length);
+  double run_evaluate(tree::Slot* edge);
+
+  const bio::PatternSet& patterns_;
+  model::GeneralModel model_;
+  tree::Tree& tree_;
+  std::vector<std::uint32_t> code_masks_;
+  GeneralDims dims_;
+  GeneralKernelOps ops_;
+  KernelTuning tuning_;
+  bool use_openmp_ = false;
+  std::int64_t offset_ = 0;
+  std::int64_t length_ = 0;
+
+  std::vector<NodeCla> clas_;
+
+  AlignedDoubles tipvec_;
+  AlignedDoubles wtable_;
+  AlignedDoubles ptable_left_;
+  AlignedDoubles ptable_right_;
+  AlignedDoubles ump_left_;
+  AlignedDoubles ump_right_;
+  AlignedDoubles diag_;
+  AlignedDoubles evtab_;
+  AlignedDoubles dtab_;
+  AlignedDoubles sum_buffer_;
+
+  std::array<KernelStat, kKernelCount> stats_{};
+  bool sum_prepared_ = false;
+};
+
+}  // namespace miniphi::core

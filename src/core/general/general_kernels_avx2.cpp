@@ -1,0 +1,10 @@
+// AVX2+FMA instantiation of the general kernels (compiled with -mavx2 -mfma).
+#include "src/core/general/general_kernels_impl.hpp"
+
+namespace miniphi::core {
+
+GeneralKernelOps general_avx2_kernel_ops() {
+  return GeneralSimdKernels<4>::ops(simd::Isa::kAvx2);
+}
+
+}  // namespace miniphi::core

@@ -1,0 +1,11 @@
+// AVX-512F instantiation of the general kernels (compiled with -mavx512f).
+// One 512-bit register covers 8 of the padded states per operation.
+#include "src/core/general/general_kernels_impl.hpp"
+
+namespace miniphi::core {
+
+GeneralKernelOps general_avx512_kernel_ops() {
+  return GeneralSimdKernels<8>::ops(simd::Isa::kAvx512);
+}
+
+}  // namespace miniphi::core

@@ -1,0 +1,10 @@
+// Scalar instantiation of the general kernels (W = 1, no vector flags).
+#include "src/core/general/general_kernels_impl.hpp"
+
+namespace miniphi::core {
+
+GeneralKernelOps general_scalar_kernel_ops() {
+  return GeneralSimdKernels<1>::ops(simd::Isa::kScalar);
+}
+
+}  // namespace miniphi::core

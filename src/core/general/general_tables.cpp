@@ -1,0 +1,162 @@
+#include "src/core/general/general_tables.hpp"
+
+#include <cmath>
+
+#include "src/util/error.hpp"
+
+namespace miniphi::core {
+namespace {
+
+/// Raw eigenspace tip vector for one state-set mask: tv[k] = Σ_{j∈mask} W(k,j).
+void raw_tip_vector(const model::GeneralModel& model, std::uint32_t mask, double* out) {
+  const int states = model.states();
+  const auto& w = model.eigen_w();
+  for (int k = 0; k < states; ++k) {
+    double acc = 0.0;
+    for (int j = 0; j < states; ++j) {
+      if (mask & (1u << j)) {
+        acc += w(static_cast<std::size_t>(k), static_cast<std::size_t>(j));
+      }
+    }
+    out[k] = acc;
+  }
+}
+
+}  // namespace
+
+GeneralDims general_dims(const model::GeneralModel& model) {
+  GeneralDims dims;
+  dims.states = model.states();
+  dims.padded = model.padded_states();
+  dims.rates = model.gamma_categories();
+  MINIPHI_CHECK(dims.padded <= kMaxPaddedStates,
+                "general kernels support at most " + std::to_string(kMaxPaddedStates) +
+                    " (padded) states");
+  return dims;
+}
+
+void build_general_ptable(const model::GeneralModel& model, double z, std::span<double> out) {
+  const GeneralDims dims = general_dims(model);
+  MINIPHI_ASSERT(out.size() >= gptable_size(dims));
+  const auto& u = model.eigen_u();
+  const auto& lambda = model.eigenvalues();
+  const auto& rates = model.gamma_rates();
+  for (int c = 0; c < dims.rates; ++c) {
+    for (int k = 0; k < dims.states; ++k) {
+      const double e = std::exp(lambda[static_cast<std::size_t>(k)] *
+                                rates[static_cast<std::size_t>(c)] * z);
+      double* row = out.data() + (static_cast<std::ptrdiff_t>(c) * dims.states + k) * dims.padded;
+      for (int i = 0; i < dims.states; ++i) {
+        row[i] = u(static_cast<std::size_t>(i), static_cast<std::size_t>(k)) * e;
+      }
+      for (int i = dims.states; i < dims.padded; ++i) row[i] = 0.0;
+    }
+  }
+}
+
+AlignedDoubles build_general_wtable(const model::GeneralModel& model) {
+  const GeneralDims dims = general_dims(model);
+  AlignedDoubles out(gwtable_size(dims), 0.0);
+  const auto& w = model.eigen_w();
+  for (int i = 0; i < dims.states; ++i) {
+    double* row = out.data() + static_cast<std::ptrdiff_t>(i) * dims.padded;
+    for (int k = 0; k < dims.states; ++k) {
+      row[k] = w(static_cast<std::size_t>(k), static_cast<std::size_t>(i));
+    }
+  }
+  return out;
+}
+
+AlignedDoubles build_general_tipvec(const model::GeneralModel& model,
+                                    std::span<const std::uint32_t> code_masks) {
+  const GeneralDims dims = general_dims(model);
+  AlignedDoubles out(gblock_table_size(dims, code_masks.size()), 0.0);
+  std::vector<double> raw(static_cast<std::size_t>(dims.states));
+  for (std::size_t code = 0; code < code_masks.size(); ++code) {
+    raw_tip_vector(model, code_masks[code], raw.data());
+    for (int c = 0; c < dims.rates; ++c) {
+      double* row =
+          out.data() + (static_cast<std::ptrdiff_t>(code) * dims.rates + c) * dims.padded;
+      for (int k = 0; k < dims.states; ++k) row[k] = raw[static_cast<std::size_t>(k)];
+    }
+  }
+  return out;
+}
+
+void build_general_ump(const model::GeneralModel& model, std::span<const double> ptable,
+                       std::span<const std::uint32_t> code_masks, std::span<double> out) {
+  const GeneralDims dims = general_dims(model);
+  MINIPHI_ASSERT(out.size() >= gblock_table_size(dims, code_masks.size()));
+  std::vector<double> raw(static_cast<std::size_t>(dims.states));
+  for (std::size_t code = 0; code < code_masks.size(); ++code) {
+    raw_tip_vector(model, code_masks[code], raw.data());
+    for (int c = 0; c < dims.rates; ++c) {
+      double* row =
+          out.data() + (static_cast<std::ptrdiff_t>(code) * dims.rates + c) * dims.padded;
+      for (int i = 0; i < dims.padded; ++i) row[i] = 0.0;
+      for (int k = 0; k < dims.states; ++k) {
+        const double coef = raw[static_cast<std::size_t>(k)];
+        if (coef == 0.0) continue;
+        const double* prow =
+            ptable.data() + (static_cast<std::ptrdiff_t>(c) * dims.states + k) * dims.padded;
+        for (int i = 0; i < dims.states; ++i) row[i] += coef * prow[i];
+      }
+    }
+  }
+}
+
+void build_general_diag(const model::GeneralModel& model, double z, std::span<double> out) {
+  const GeneralDims dims = general_dims(model);
+  MINIPHI_ASSERT(out.size() >= static_cast<std::size_t>(dims.block()));
+  const auto& lambda = model.eigenvalues();
+  const auto& rates = model.gamma_rates();
+  const double weight = 1.0 / dims.rates;
+  for (int c = 0; c < dims.rates; ++c) {
+    double* row = out.data() + static_cast<std::ptrdiff_t>(c) * dims.padded;
+    for (int k = 0; k < dims.states; ++k) {
+      row[k] = weight * std::exp(lambda[static_cast<std::size_t>(k)] *
+                                 rates[static_cast<std::size_t>(c)] * z);
+    }
+    for (int k = dims.states; k < dims.padded; ++k) row[k] = 0.0;
+  }
+}
+
+void build_general_evtab(const GeneralDims& dims, std::span<const double> diag,
+                         std::span<const double> tipvec, std::span<double> out) {
+  const std::size_t codes = tipvec.size() / static_cast<std::size_t>(dims.block());
+  MINIPHI_ASSERT(out.size() >= tipvec.size());
+  for (std::size_t code = 0; code < codes; ++code) {
+    const std::ptrdiff_t base = static_cast<std::ptrdiff_t>(code) * dims.block();
+    for (int k = 0; k < dims.block(); ++k) {
+      out[static_cast<std::size_t>(base + k)] =
+          diag[static_cast<std::size_t>(k)] * tipvec[static_cast<std::size_t>(base + k)];
+    }
+  }
+}
+
+void build_general_dtab(const model::GeneralModel& model, double z, std::span<double> out) {
+  const GeneralDims dims = general_dims(model);
+  MINIPHI_ASSERT(out.size() >= 3 * static_cast<std::size_t>(dims.block()));
+  const auto& lambda = model.eigenvalues();
+  const auto& rates = model.gamma_rates();
+  const double weight = 1.0 / dims.rates;
+  const int block = dims.block();
+  for (int c = 0; c < dims.rates; ++c) {
+    for (int k = 0; k < dims.padded; ++k) {
+      const std::size_t index = static_cast<std::size_t>(c * dims.padded + k);
+      if (k >= dims.states) {
+        out[index] = out[static_cast<std::size_t>(block) + index] =
+            out[2 * static_cast<std::size_t>(block) + index] = 0.0;
+        continue;
+      }
+      const double lr =
+          lambda[static_cast<std::size_t>(k)] * rates[static_cast<std::size_t>(c)];
+      const double e = weight * std::exp(lr * z);
+      out[index] = e;
+      out[static_cast<std::size_t>(block) + index] = lr * e;
+      out[2 * static_cast<std::size_t>(block) + index] = lr * lr * e;
+    }
+  }
+}
+
+}  // namespace miniphi::core

@@ -1,0 +1,53 @@
+// Lookup-table builders for the general-state-count kernels.  Layouts are
+// documented in general_kernels.hpp; all padding lanes are zeroed so the
+// kernels can run full padded-width vector operations unconditionally.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/core/general/general_kernels.hpp"
+#include "src/model/general.hpp"
+#include "src/util/aligned.hpp"
+
+namespace miniphi::core {
+
+[[nodiscard]] GeneralDims general_dims(const model::GeneralModel& model);
+
+/// Table extents in doubles for a given geometry and code count.
+[[nodiscard]] inline std::size_t gptable_size(const GeneralDims& d) {
+  return static_cast<std::size_t>(d.rates) * d.states * d.padded;
+}
+[[nodiscard]] inline std::size_t gwtable_size(const GeneralDims& d) {
+  return static_cast<std::size_t>(d.states) * d.padded;
+}
+[[nodiscard]] inline std::size_t gblock_table_size(const GeneralDims& d, std::size_t codes) {
+  return codes * static_cast<std::size_t>(d.block());
+}
+
+/// ptable[(c*S + k)*padded + i] = U(i,k) · exp(λ_k r_c z).
+void build_general_ptable(const model::GeneralModel& model, double z, std::span<double> out);
+
+/// wtable[i*padded + k] = W(k,i).
+AlignedDoubles build_general_wtable(const model::GeneralModel& model);
+
+/// tipvec[(code*rates + c)*padded + k] = Σ_{j ∈ mask(code)} W(k,j).
+AlignedDoubles build_general_tipvec(const model::GeneralModel& model,
+                                    std::span<const std::uint32_t> code_masks);
+
+/// ump[(code*rates + c)*padded + i] = Σ_k ptable[c][k][i] · tipvec_raw(code, k).
+void build_general_ump(const model::GeneralModel& model, std::span<const double> ptable,
+                       std::span<const std::uint32_t> code_masks, std::span<double> out);
+
+/// diag[c*padded + k] = (1/C) · exp(λ_k r_c z).
+void build_general_diag(const model::GeneralModel& model, double z, std::span<double> out);
+
+/// evtab[(code*rates + c)*padded + k] = diag[c,k] · tipvec(code, k).
+void build_general_evtab(const GeneralDims& dims, std::span<const double> diag,
+                         std::span<const double> tipvec, std::span<double> out);
+
+/// dtab[n*block + c*padded + k] = (λ_k r_c)ⁿ (1/C) e^{λ_k r_c z}, n = 0,1,2.
+void build_general_dtab(const model::GeneralModel& model, double z, std::span<double> out);
+
+}  // namespace miniphi::core

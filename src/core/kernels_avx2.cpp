@@ -1,0 +1,9 @@
+// AVX2+FMA back-end (4 doubles per vector) — the paper's CPU-baseline ISA
+// class.  Compiled with -mavx2 -mfma; see kernels_simd_impl.hpp.
+#include "src/core/kernels_simd_impl.hpp"
+
+namespace miniphi::core {
+
+KernelOps avx2_kernel_ops() { return SimdKernels<4>::ops(simd::Isa::kAvx2); }
+
+}  // namespace miniphi::core

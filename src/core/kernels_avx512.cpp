@@ -1,0 +1,11 @@
+// AVX-512F back-end (8 doubles per vector) — the MIC / Knights Corner vector
+// width.  One 512-bit register holds two Γ rate categories of one site; a
+// site block is exactly two registers.  Compiled with -mavx512f; see
+// kernels_simd_impl.hpp.
+#include "src/core/kernels_simd_impl.hpp"
+
+namespace miniphi::core {
+
+KernelOps avx512_kernel_ops() { return SimdKernels<8>::ops(simd::Isa::kAvx512); }
+
+}  // namespace miniphi::core

@@ -1,0 +1,134 @@
+#include "src/core/partitioned.hpp"
+
+#include <cmath>
+
+#include "src/util/error.hpp"
+
+namespace miniphi::core {
+namespace {
+
+/// Extracts one site range of the alignment as fresh records.
+bio::Alignment slice_alignment(const bio::Alignment& alignment, const PartitionSpec& spec) {
+  MINIPHI_CHECK(spec.begin >= 0 && spec.begin < spec.end &&
+                    spec.end <= static_cast<std::int64_t>(alignment.site_count()),
+                "partition '" + spec.name + "': invalid site range");
+  std::vector<std::string> names;
+  std::vector<std::vector<bio::DnaCode>> rows;
+  names.reserve(alignment.taxon_count());
+  rows.reserve(alignment.taxon_count());
+  for (std::size_t t = 0; t < alignment.taxon_count(); ++t) {
+    names.push_back(alignment.taxon_name(t));
+    const auto row = alignment.row(t);
+    rows.emplace_back(row.begin() + spec.begin, row.begin() + spec.end);
+  }
+  return bio::Alignment(std::move(names), std::move(rows));
+}
+
+}  // namespace
+
+std::vector<PartitionSpec> even_partitions(std::int64_t total_sites, int count) {
+  MINIPHI_CHECK(count >= 1 && total_sites >= count,
+                "even_partitions: need at least one site per partition");
+  std::vector<PartitionSpec> specs;
+  specs.reserve(static_cast<std::size_t>(count));
+  for (int p = 0; p < count; ++p) {
+    PartitionSpec spec;
+    spec.name = "gene" + std::to_string(p);
+    spec.begin = total_sites * p / count;
+    spec.end = total_sites * (p + 1) / count;
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+PartitionedEvaluator::PartitionedEvaluator(const bio::Alignment& alignment,
+                                           std::span<const PartitionSpec> specs,
+                                           const model::GtrModel& initial_model,
+                                           tree::Tree& tree,
+                                           const LikelihoodEngine::Config& engine_config)
+    : tree_(tree) {
+  MINIPHI_CHECK(!specs.empty(), "partitioned evaluator: no partitions given");
+  for (const auto& spec : specs) {
+    names_.push_back(spec.name);
+    const auto sliced = slice_alignment(alignment, spec);
+    patterns_.push_back(std::make_unique<bio::PatternSet>(bio::compress_patterns(sliced)));
+    LikelihoodEngine::Config config = engine_config;
+    config.begin = 0;
+    config.end = -1;
+    engines_.push_back(
+        std::make_unique<LikelihoodEngine>(*patterns_.back(), initial_model, tree, config));
+  }
+}
+
+const std::string& PartitionedEvaluator::partition_name(int p) const {
+  MINIPHI_ASSERT(p >= 0 && p < partition_count());
+  return names_[static_cast<std::size_t>(p)];
+}
+
+const bio::PatternSet& PartitionedEvaluator::partition_patterns(int p) const {
+  MINIPHI_ASSERT(p >= 0 && p < partition_count());
+  return *patterns_[static_cast<std::size_t>(p)];
+}
+
+LikelihoodEngine& PartitionedEvaluator::partition_engine(int p) {
+  MINIPHI_ASSERT(p >= 0 && p < partition_count());
+  return *engines_[static_cast<std::size_t>(p)];
+}
+
+double PartitionedEvaluator::log_likelihood(tree::Slot* edge) {
+  double total = 0.0;
+  for (auto& engine : engines_) total += engine->log_likelihood(edge);
+  return total;
+}
+
+void PartitionedEvaluator::prepare_derivatives(tree::Slot* edge) {
+  for (auto& engine : engines_) engine->prepare_derivatives(edge);
+}
+
+std::pair<double, double> PartitionedEvaluator::derivatives(double z) {
+  double first = 0.0;
+  double second = 0.0;
+  for (auto& engine : engines_) {
+    const auto [f, s] = engine->derivatives(z);
+    first += f;
+    second += s;
+  }
+  return {first, second};
+}
+
+double PartitionedEvaluator::optimize_branch(tree::Slot* edge, int max_iterations) {
+  prepare_derivatives(edge);
+  double z = edge->length;
+  for (int iteration = 0; iteration < max_iterations; ++iteration) {
+    const auto [first, second] = derivatives(z);
+    const double next = LikelihoodEngine::newton_step(z, first, second);
+    const bool converged = std::abs(next - z) < 1e-10;
+    z = next;
+    if (converged) break;
+  }
+  tree::Tree::set_length(edge, z);
+  invalidate_node(edge->node_id);
+  invalidate_node(edge->back->node_id);
+  return z;
+}
+
+double PartitionedEvaluator::optimize_all_branches(tree::Slot* root_edge, int passes) {
+  for (int pass = 0; pass < passes; ++pass) {
+    for (tree::Slot* edge : tree_.edges()) {
+      optimize_branch(edge, 32);
+    }
+  }
+  return log_likelihood(root_edge);
+}
+
+void PartitionedEvaluator::invalidate_node(int node_id) {
+  for (auto& engine : engines_) engine->invalidate_node(node_id);
+}
+
+void PartitionedEvaluator::set_alpha(double alpha) {
+  for (auto& engine : engines_) engine->set_alpha(alpha);
+}
+
+double PartitionedEvaluator::alpha() const { return engines_.front()->model().params().alpha; }
+
+}  // namespace miniphi::core

@@ -1,0 +1,74 @@
+// Partitioned (multi-gene) alignments.
+//
+// The paper supports multiple partitions but neither optimizes nor
+// evaluates them (Section V-A), warning that "for a large number of
+// partitions, performance will degrade due to decreasing parallel block
+// size ... and growing communication overhead"; Section VII calls for
+// partitioned load-balancing work.  This module supplies the functional
+// side: each partition owns its pattern set and substitution model (RAxML's
+// per-partition GTR+Γ with linked branch lengths), one LikelihoodEngine per
+// partition runs over the shared tree, and the evaluator sums per-partition
+// log-likelihoods and Newton derivatives.  The performance-degradation
+// claim itself is reproduced by bench_ablation_partitions via the platform
+// cost model.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/bio/patterns.hpp"
+#include "src/core/engine.hpp"
+
+namespace miniphi::core {
+
+/// One partition: a named, contiguous site range of the input alignment.
+struct PartitionSpec {
+  std::string name;
+  std::int64_t begin = 0;  ///< first site (inclusive)
+  std::int64_t end = 0;    ///< one past the last site
+};
+
+/// Splits [0, total_sites) into `count` near-equal partitions named gene0…
+std::vector<PartitionSpec> even_partitions(std::int64_t total_sites, int count);
+
+class PartitionedEvaluator final : public Evaluator {
+ public:
+  /// Compresses each site range into its own pattern set and builds one
+  /// engine per partition over the shared tree.  Every partition starts
+  /// with `initial_model`; models can then diverge per partition.
+  PartitionedEvaluator(const bio::Alignment& alignment, std::span<const PartitionSpec> specs,
+                       const model::GtrModel& initial_model, tree::Tree& tree,
+                       const LikelihoodEngine::Config& engine_config = {});
+
+  [[nodiscard]] int partition_count() const { return static_cast<int>(engines_.size()); }
+  [[nodiscard]] const std::string& partition_name(int p) const;
+  [[nodiscard]] const bio::PatternSet& partition_patterns(int p) const;
+
+  /// Direct access for per-partition model optimization
+  /// (search::optimize_model works on the returned engine unchanged).
+  [[nodiscard]] LikelihoodEngine& partition_engine(int p);
+
+  // Evaluator interface: branch lengths are linked across partitions, so
+  // likelihoods and derivatives are sums over partitions.
+  double log_likelihood(tree::Slot* edge) override;
+  void prepare_derivatives(tree::Slot* edge) override;
+  std::pair<double, double> derivatives(double z) override;
+  double optimize_branch(tree::Slot* edge, int max_iterations) override;
+  using Evaluator::optimize_branch;
+  double optimize_all_branches(tree::Slot* root_edge, int passes) override;
+  void invalidate_node(int node_id) override;
+  /// Sets the Γ shape of every partition (per-partition α is optimized via
+  /// partition_engine(p) instead).
+  void set_alpha(double alpha) override;
+  [[nodiscard]] double alpha() const override;
+
+ private:
+  tree::Tree& tree_;
+  std::vector<std::string> names_;
+  std::vector<std::unique_ptr<bio::PatternSet>> patterns_;
+  std::vector<std::unique_ptr<LikelihoodEngine>> engines_;
+};
+
+}  // namespace miniphi::core

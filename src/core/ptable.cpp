@@ -1,0 +1,140 @@
+#include "src/core/ptable.hpp"
+
+#include <cmath>
+
+#include "src/bio/dna.hpp"
+#include "src/core/kernels.hpp"
+#include "src/util/error.hpp"
+
+namespace miniphi::core {
+namespace {
+
+/// Eigenspace tip vector for one code: y[k] = Σ_{j∈code} W[k,j].
+/// Code 0 never occurs in encoded data; treat it as a gap for safety.
+void tip_vector(const model::GtrModel& model, int code, double out[kStates]) {
+  const auto& w = model.eigen_w();
+  const int effective = (code == 0) ? bio::kGapCode : code;
+  for (int k = 0; k < kStates; ++k) {
+    double acc = 0.0;
+    for (int j = 0; j < kStates; ++j) {
+      if (effective & (1 << j)) acc += w[static_cast<std::size_t>(k * kStates + j)];
+    }
+    out[k] = acc;
+  }
+}
+
+void check_model(const model::GtrModel& model) {
+  MINIPHI_CHECK(model.gamma_categories() == kRates,
+                "PLF kernels require exactly 4 gamma rate categories");
+}
+
+}  // namespace
+
+AlignedDoubles build_tipvec16(const model::GtrModel& model) {
+  check_model(model);
+  AlignedDoubles out(kTipvecSize);
+  for (int code = 0; code < bio::kCodeCount; ++code) {
+    double tv[kStates];
+    tip_vector(model, code, tv);
+    for (int c = 0; c < kRates; ++c) {
+      for (int k = 0; k < kStates; ++k) {
+        out[static_cast<std::size_t>(code * kSiteBlock + c * kStates + k)] = tv[k];
+      }
+    }
+  }
+  return out;
+}
+
+AlignedDoubles build_wtable(const model::GtrModel& model) {
+  check_model(model);
+  const auto& w = model.eigen_w();
+  AlignedDoubles out(kWtableSize);
+  for (int i = 0; i < kStates; ++i) {
+    for (int c = 0; c < kRates; ++c) {
+      for (int k = 0; k < kStates; ++k) {
+        out[static_cast<std::size_t>(i * kSiteBlock + c * kStates + k)] =
+            w[static_cast<std::size_t>(k * kStates + i)];
+      }
+    }
+  }
+  return out;
+}
+
+void build_ptable(const model::GtrModel& model, double z, std::span<double> out) {
+  MINIPHI_ASSERT(out.size() >= kPtableSize);
+  const auto& u = model.eigen_u();
+  const auto& lambda = model.eigenvalues();
+  const auto& rates = model.gamma_rates();
+  for (int k = 0; k < kStates; ++k) {
+    for (int c = 0; c < kRates; ++c) {
+      const double e = std::exp(lambda[static_cast<std::size_t>(k)] *
+                                rates[static_cast<std::size_t>(c)] * z);
+      for (int i = 0; i < kStates; ++i) {
+        out[static_cast<std::size_t>(k * kSiteBlock + c * kStates + i)] =
+            u[static_cast<std::size_t>(i * kStates + k)] * e;
+      }
+    }
+  }
+}
+
+void build_ump(const model::GtrModel& model, std::span<const double> ptable,
+               std::span<double> out) {
+  MINIPHI_ASSERT(ptable.size() >= kPtableSize && out.size() >= kUmpSize);
+  for (int code = 0; code < bio::kCodeCount; ++code) {
+    double tv[kStates];
+    tip_vector(model, code, tv);
+    for (int l = 0; l < kSiteBlock; ++l) {
+      double acc = 0.0;
+      for (int k = 0; k < kStates; ++k) {
+        acc += ptable[static_cast<std::size_t>(k * kSiteBlock + l)] * tv[k];
+      }
+      out[static_cast<std::size_t>(code * kSiteBlock + l)] = acc;
+    }
+  }
+}
+
+void build_diag(const model::GtrModel& model, double z, std::span<double> out) {
+  MINIPHI_ASSERT(out.size() >= kDiagSize);
+  const auto& lambda = model.eigenvalues();
+  const auto& rates = model.gamma_rates();
+  const double category_weight = 1.0 / kRates;
+  for (int c = 0; c < kRates; ++c) {
+    for (int k = 0; k < kStates; ++k) {
+      out[static_cast<std::size_t>(c * kStates + k)] =
+          category_weight * std::exp(lambda[static_cast<std::size_t>(k)] *
+                                     rates[static_cast<std::size_t>(c)] * z);
+    }
+  }
+}
+
+void build_evtab(std::span<const double> diag, std::span<const double> tipvec16,
+                 std::span<double> out) {
+  MINIPHI_ASSERT(diag.size() >= kDiagSize && tipvec16.size() >= kTipvecSize &&
+                 out.size() >= kEvtabSize);
+  for (int code = 0; code < bio::kCodeCount; ++code) {
+    for (int l = 0; l < kSiteBlock; ++l) {
+      out[static_cast<std::size_t>(code * kSiteBlock + l)] =
+          diag[static_cast<std::size_t>(l)] *
+          tipvec16[static_cast<std::size_t>(code * kSiteBlock + l)];
+    }
+  }
+}
+
+void build_dtab(const model::GtrModel& model, double z, std::span<double> out) {
+  MINIPHI_ASSERT(out.size() >= kDtabSize);
+  const auto& lambda = model.eigenvalues();
+  const auto& rates = model.gamma_rates();
+  const double category_weight = 1.0 / kRates;
+  for (int c = 0; c < kRates; ++c) {
+    for (int k = 0; k < kStates; ++k) {
+      const double lr = lambda[static_cast<std::size_t>(k)] * rates[static_cast<std::size_t>(c)];
+      const double e = category_weight * std::exp(lr * z);
+      const std::size_t l = static_cast<std::size_t>(c * kStates + k);
+      out[l] = e;
+      out[kSiteBlock + l] = lr * e;
+      out[2 * kSiteBlock + l] = lr * lr * e;
+    }
+  }
+}
+
+}  // namespace miniphi::core

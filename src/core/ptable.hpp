@@ -1,0 +1,53 @@
+// Builders for the lookup tables consumed by the PLF kernels.
+//
+// Layout contract (see kernels.hpp): kernel tables address the 16 lanes of a
+// site block as l = c*4 + idx with c the Γ rate category.  Branch-dependent
+// tables (ptable, ump, diag, evtab, dtab) are rebuilt per kernel call by the
+// likelihood engine; branch-independent ones (wtable, tip vectors) once per
+// model.  Table sizes are tiny (≤ 256 doubles), so rebuild cost amortizes
+// over the alignment width — the same argument the paper makes for the umpX
+// precomputation in RAxML.
+#pragma once
+
+#include <span>
+
+#include "src/model/gtr.hpp"
+#include "src/util/aligned.hpp"
+
+namespace miniphi::core {
+
+/// Table extents, in doubles.
+inline constexpr std::size_t kPtableSize = 64;   ///< [4 eigen][16 lanes]
+inline constexpr std::size_t kWtableSize = 64;   ///< [4 states][16 lanes]
+inline constexpr std::size_t kUmpSize = 256;     ///< [16 codes][16 lanes]
+inline constexpr std::size_t kTipvecSize = 256;  ///< [16 codes][16 lanes]
+inline constexpr std::size_t kDiagSize = 16;     ///< [16 lanes]
+inline constexpr std::size_t kEvtabSize = 256;   ///< [16 codes][16 lanes]
+inline constexpr std::size_t kDtabSize = 48;     ///< [3 orders][16 lanes]
+
+/// Eigenspace tip vectors replicated across rates:
+/// tipvec16[code*16 + c*4 + k] = Σ_{j∈code} W[k,j]  (code 0 treated as gap).
+AlignedDoubles build_tipvec16(const model::GtrModel& model);
+
+/// W transform for newview: wtable[i*16 + c*4 + k] = W[k,i].
+AlignedDoubles build_wtable(const model::GtrModel& model);
+
+/// Child transform table for branch length z:
+/// ptable[k*16 + c*4 + i] = U[i,k] · exp(λ_k r_c z).
+void build_ptable(const model::GtrModel& model, double z, std::span<double> out);
+
+/// Per-code tip transforms: ump[code*16 + l] = Σ_k ptable[k*16+l] · tipvec(code, k).
+void build_ump(const model::GtrModel& model, std::span<const double> ptable,
+               std::span<double> out);
+
+/// evaluate() diagonal: diag[c*4 + k] = (1/C) · exp(λ_k r_c z).
+void build_diag(const model::GtrModel& model, double z, std::span<double> out);
+
+/// evaluate() tip tables: evtab[code*16 + l] = diag[l] · tipvec16[code*16 + l].
+void build_evtab(std::span<const double> diag, std::span<const double> tipvec16,
+                 std::span<double> out);
+
+/// derivativeCore() tables: dtab[n*16 + c*4 + k] = (λ_k r_c)ⁿ (1/C) e^{λ_k r_c z}.
+void build_dtab(const model::GtrModel& model, double z, std::span<double> out);
+
+}  // namespace miniphi::core

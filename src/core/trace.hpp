@@ -1,0 +1,76 @@
+// Kernel invocation traces.
+//
+// The platform performance model (src/platform) prices *real* kernel call
+// sequences rather than assumed workloads: the likelihood engine can record
+// every kernel invocation (which kernel, how many sites, whether the
+// children were tips) into a KernelTrace while executing the genuine search
+// algorithm.  Section VI-B1 of the paper instruments RAxML the same way to
+// obtain per-kernel totals.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace miniphi::core {
+
+enum class TraceKernel : std::uint8_t {
+  kNewview = 0,
+  kEvaluate = 1,
+  kDerivSum = 2,
+  kDerivCore = 3,
+};
+
+struct TraceCall {
+  TraceKernel kernel;
+  bool left_tip = false;   ///< newview/evaluate/derivSum: left child is a tip
+  bool right_tip = false;  ///< right child is a tip
+  std::int64_t sites = 0;  ///< patterns processed by this call
+};
+
+struct KernelTrace {
+  std::vector<TraceCall> calls;
+
+  void record(TraceKernel kernel, bool left_tip, bool right_tip, std::int64_t sites) {
+    calls.push_back({kernel, left_tip, right_tip, sites});
+  }
+
+  /// Returns a copy with every call's site count scaled by
+  /// `target_sites / source_sites` — used to extrapolate a trace measured on
+  /// a tractable alignment to the paper's multi-million-site widths (the
+  /// call *sequence* of the search is essentially width-independent).
+  [[nodiscard]] KernelTrace scaled_to(std::int64_t source_sites, std::int64_t target_sites) const;
+
+  [[nodiscard]] std::int64_t call_count(TraceKernel kernel) const;
+  [[nodiscard]] std::int64_t total_sites(TraceKernel kernel) const;
+};
+
+inline KernelTrace KernelTrace::scaled_to(std::int64_t source_sites,
+                                          std::int64_t target_sites) const {
+  KernelTrace out;
+  out.calls.reserve(calls.size());
+  const double factor = static_cast<double>(target_sites) / static_cast<double>(source_sites);
+  for (const auto& call : calls) {
+    TraceCall scaled = call;
+    scaled.sites = static_cast<std::int64_t>(static_cast<double>(call.sites) * factor + 0.5);
+    out.calls.push_back(scaled);
+  }
+  return out;
+}
+
+inline std::int64_t KernelTrace::call_count(TraceKernel kernel) const {
+  std::int64_t count = 0;
+  for (const auto& call : calls) {
+    if (call.kernel == kernel) ++count;
+  }
+  return count;
+}
+
+inline std::int64_t KernelTrace::total_sites(TraceKernel kernel) const {
+  std::int64_t total = 0;
+  for (const auto& call : calls) {
+    if (call.kernel == kernel) total += call.sites;
+  }
+  return total;
+}
+
+}  // namespace miniphi::core

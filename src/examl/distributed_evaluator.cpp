@@ -1,0 +1,71 @@
+#include "src/examl/distributed_evaluator.hpp"
+
+#include <cmath>
+
+#include "src/util/error.hpp"
+
+namespace miniphi::examl {
+
+DistributedEvaluator::DistributedEvaluator(mpi::Communicator& comm,
+                                           const bio::PatternSet& patterns,
+                                           const model::GtrModel& model, tree::Tree& tree,
+                                           const core::LikelihoodEngine::Config& engine_config)
+    : comm_(comm), tree_(tree) {
+  const auto npat = static_cast<std::int64_t>(patterns.pattern_count());
+  const int ranks = comm.size();
+  MINIPHI_CHECK(npat >= ranks, "distributed evaluator: fewer patterns than ranks");
+  core::LikelihoodEngine::Config config = engine_config;
+  config.begin = npat * comm.rank() / ranks;
+  config.end = npat * (comm.rank() + 1) / ranks;
+  engine_ = std::make_unique<core::LikelihoodEngine>(patterns, model, tree, config);
+}
+
+double DistributedEvaluator::log_likelihood(tree::Slot* edge) {
+  return comm_.allreduce_sum(engine_->log_likelihood(edge));
+}
+
+void DistributedEvaluator::prepare_derivatives(tree::Slot* edge) {
+  engine_->prepare_derivatives(edge);
+}
+
+std::pair<double, double> DistributedEvaluator::derivatives(double z) {
+  const auto [first, second] = engine_->derivatives(z);
+  double pair[2] = {first, second};
+  comm_.allreduce_sum(std::span<double>(pair, 2));
+  return {pair[0], pair[1]};
+}
+
+double DistributedEvaluator::optimize_branch(tree::Slot* edge, int max_iterations) {
+  prepare_derivatives(edge);
+  double z = edge->length;
+  for (int iteration = 0; iteration < max_iterations; ++iteration) {
+    const auto [first, second] = derivatives(z);
+    const double next = core::LikelihoodEngine::newton_step(z, first, second);
+    const bool converged = std::abs(next - z) < 1e-10;
+    z = next;
+    if (converged) break;
+  }
+  tree::Tree::set_length(edge, z);
+  invalidate_node(edge->node_id);
+  invalidate_node(edge->back->node_id);
+  return z;
+}
+
+double DistributedEvaluator::optimize_all_branches(tree::Slot* root_edge, int passes) {
+  for (int pass = 0; pass < passes; ++pass) {
+    for (tree::Slot* edge : tree_.edges()) {
+      optimize_branch(edge, 32);
+    }
+  }
+  return log_likelihood(root_edge);
+}
+
+void DistributedEvaluator::invalidate_node(int node_id) { engine_->invalidate_node(node_id); }
+
+void DistributedEvaluator::set_model(const model::GtrModel& model) { engine_->set_model(model); }
+
+void DistributedEvaluator::set_alpha(double alpha) { engine_->set_alpha(alpha); }
+
+const model::GtrModel& DistributedEvaluator::model() const { return engine_->model(); }
+
+}  // namespace miniphi::examl

@@ -1,0 +1,48 @@
+// ExaML-style distributed likelihood evaluator.
+//
+// Every rank runs its own *replica* of the tree search; this evaluator
+// performs only the operations that need global information, via small
+// Allreduce calls: summing per-slice log-likelihoods after evaluate() and
+// summing derivative pairs inside the Newton loop.  Because the reduction
+// order is fixed, all replicas see bit-identical values and make identical
+// decisions — ExaML's "consistent copies" design (paper Section V-D), which
+// avoids communication between consecutive newview() calls entirely.
+#pragma once
+
+#include <memory>
+
+#include "src/core/engine.hpp"
+#include "src/minimpi/minimpi.hpp"
+
+namespace miniphi::examl {
+
+class DistributedEvaluator final : public core::Evaluator {
+ public:
+  /// Builds the evaluator for this rank: a LikelihoodEngine over the rank's
+  /// contiguous pattern slice (even split, as ExaML does for single-partition
+  /// alignments).
+  DistributedEvaluator(mpi::Communicator& comm, const bio::PatternSet& patterns,
+                       const model::GtrModel& model, tree::Tree& tree,
+                       const core::LikelihoodEngine::Config& engine_config = {});
+
+  double log_likelihood(tree::Slot* edge) override;
+  void prepare_derivatives(tree::Slot* edge) override;
+  std::pair<double, double> derivatives(double z) override;
+  double optimize_branch(tree::Slot* edge, int max_iterations) override;
+  using Evaluator::optimize_branch;
+  double optimize_all_branches(tree::Slot* root_edge, int passes) override;
+  void invalidate_node(int node_id) override;
+  void set_model(const model::GtrModel& model);
+  void set_alpha(double alpha) override;
+  [[nodiscard]] double alpha() const override { return model().params().alpha; }
+  [[nodiscard]] const model::GtrModel& model() const;
+
+  [[nodiscard]] core::LikelihoodEngine& local_engine() { return *engine_; }
+
+ private:
+  mpi::Communicator& comm_;
+  tree::Tree& tree_;
+  std::unique_ptr<core::LikelihoodEngine> engine_;
+};
+
+}  // namespace miniphi::examl

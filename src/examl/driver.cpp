@@ -1,0 +1,102 @@
+#include "src/examl/driver.hpp"
+
+#include <cmath>
+
+#include "src/examl/distributed_evaluator.hpp"
+#include "src/tree/parsimony.hpp"
+#include "src/tree/splits.hpp"
+#include "src/util/error.hpp"
+#include "src/util/timer.hpp"
+
+namespace miniphi::examl {
+namespace {
+
+/// Initial model: empirical base frequencies, unit exchangeabilities,
+/// α = 1 — the standard RAxML starting point before model optimization.
+model::GtrModel initial_model(const bio::Alignment& alignment) {
+  model::GtrParams params;
+  const auto freqs = alignment.empirical_base_frequencies();
+  for (std::size_t i = 0; i < 4; ++i) params.frequencies[i] = freqs[i];
+  params.alpha = 1.0;
+  return model::GtrModel(params);
+}
+
+}  // namespace
+
+TracedRun run_traced_search(const bio::Alignment& alignment, const ExperimentOptions& options) {
+  TracedRun run;
+  run.site_count = static_cast<std::int64_t>(alignment.site_count());
+
+  const auto patterns = bio::compress_patterns(alignment);
+  run.pattern_count = static_cast<std::int64_t>(patterns.pattern_count());
+
+  Rng rng(options.seed);
+  tree::Tree tree = tree::parsimony_starting_tree(patterns, rng);
+  const model::GtrModel model = initial_model(alignment);
+
+  core::LikelihoodEngine::Config config;
+  config.isa = options.isa;
+  config.trace = &run.trace;
+  core::LikelihoodEngine engine(patterns, model, tree, config);
+
+  // Full GTR model optimization (α + exchangeabilities), as in ExaML.
+  search::SearchOptions search_options = options.search;
+  if (search_options.optimize_model && !search_options.model_hook) {
+    search_options.model_hook = [&engine, &search_options](core::Evaluator&, tree::Slot* root) {
+      return search::optimize_model(engine, root, search_options.model_options).log_likelihood;
+    };
+  }
+
+  Timer timer;
+  run.search_result = search::run_tree_search(engine, tree, search_options);
+  run.wall_seconds = timer.seconds();
+  run.final_tree_newick = tree.to_newick(alignment.taxon_names());
+  return run;
+}
+
+DistributedRunResult run_distributed_search(const bio::Alignment& alignment, int ranks,
+                                            const ExperimentOptions& options) {
+  const auto patterns = bio::compress_patterns(alignment);
+  const model::GtrModel model = initial_model(alignment);
+
+  // The deterministic starting tree is identical in every replica.
+  Rng rng(options.seed);
+  const tree::Tree starting_tree = tree::parsimony_starting_tree(patterns, rng);
+
+  std::vector<double> final_lnl(static_cast<std::size_t>(ranks), 0.0);
+  std::vector<std::string> final_trees(static_cast<std::size_t>(ranks));
+
+  mpi::World world(ranks);
+  world.run([&](mpi::Communicator& comm) {
+    tree::Tree tree(starting_tree);  // per-rank replica
+    core::LikelihoodEngine::Config config;
+    config.isa = options.isa;
+    DistributedEvaluator evaluator(comm, patterns, model, tree, config);
+    search::SearchOptions search_options = options.search;
+    if (search_options.optimize_model && !search_options.model_hook) {
+      search_options.model_hook = [&evaluator, &search_options](core::Evaluator&,
+                                                                tree::Slot* root) {
+        return search::optimize_model(evaluator, root, search_options.model_options)
+            .log_likelihood;
+      };
+    }
+    const auto result = search::run_tree_search(evaluator, tree, search_options);
+    final_lnl[static_cast<std::size_t>(comm.rank())] = result.log_likelihood;
+    final_trees[static_cast<std::size_t>(comm.rank())] = tree.to_newick(alignment.taxon_names());
+  });
+
+  DistributedRunResult result;
+  result.log_likelihood = final_lnl[0];
+  result.comm_stats = world.total_stats();
+  result.final_tree_newick = final_trees[0];
+  result.replicas_consistent = true;
+  for (int r = 1; r < ranks; ++r) {
+    if (final_trees[static_cast<std::size_t>(r)] != final_trees[0] ||
+        std::abs(final_lnl[static_cast<std::size_t>(r)] - final_lnl[0]) > 1e-9) {
+      result.replicas_consistent = false;
+    }
+  }
+  return result;
+}
+
+}  // namespace miniphi::examl

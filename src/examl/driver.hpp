@@ -1,0 +1,54 @@
+// ExaML experiment driver: runs genuine ML tree searches and produces the
+// kernel-invocation traces that the platform model prices for Table III and
+// Figures 3-5.
+//
+// Key property exploited here: ExaML's replicated-search design means every
+// MPI rank executes the *same* sequence of kernel invocations (on its own
+// site slice).  A single-replica run with trace recording therefore yields
+// the exact per-rank call sequence of a distributed run — we verify this
+// replica consistency in tests with real minimpi ranks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/bio/alignment.hpp"
+#include "src/core/engine.hpp"
+#include "src/minimpi/minimpi.hpp"
+#include "src/search/spr_search.hpp"
+
+namespace miniphi::examl {
+
+struct ExperimentOptions {
+  std::uint64_t seed = 42;  ///< starting-tree randomization
+  simd::Isa isa = simd::best_supported_isa();
+  search::SearchOptions search;
+};
+
+struct TracedRun {
+  core::KernelTrace trace;  ///< every kernel call of the full search
+  std::int64_t pattern_count = 0;
+  std::int64_t site_count = 0;
+  search::SearchResult search_result;
+  double wall_seconds = 0.0;  ///< real execution time on this host
+  std::string final_tree_newick;
+};
+
+/// Full ML tree search (parsimony starting tree → model optimization → SPR
+/// rounds) on one replica with kernel tracing enabled.
+TracedRun run_traced_search(const bio::Alignment& alignment, const ExperimentOptions& options);
+
+struct DistributedRunResult {
+  double log_likelihood = 0.0;
+  mpi::CommStats comm_stats;          ///< aggregated over all ranks
+  bool replicas_consistent = false;   ///< all ranks ended on the same tree
+  std::string final_tree_newick;      ///< rank 0's final tree
+};
+
+/// The same search executed by `ranks` replicated minimpi ranks, each owning
+/// a pattern slice — the functional ExaML configuration.  Verifies that all
+/// replicas finish with identical topologies and likelihoods.
+DistributedRunResult run_distributed_search(const bio::Alignment& alignment, int ranks,
+                                            const ExperimentOptions& options);
+
+}  // namespace miniphi::examl

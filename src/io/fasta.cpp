@@ -1,0 +1,88 @@
+#include "src/io/fasta.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <unordered_set>
+
+#include "src/util/error.hpp"
+
+namespace miniphi::io {
+namespace {
+
+std::string first_token(const std::string& line, std::size_t start) {
+  std::size_t begin = start;
+  while (begin < line.size() && std::isspace(static_cast<unsigned char>(line[begin]))) ++begin;
+  std::size_t end = begin;
+  while (end < line.size() && !std::isspace(static_cast<unsigned char>(line[end]))) ++end;
+  return line.substr(begin, end - begin);
+}
+
+void strip_trailing_cr(std::string& line) {
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+}
+
+}  // namespace
+
+SequenceSet read_fasta(std::istream& in) {
+  SequenceSet records;
+  std::unordered_set<std::string> seen;
+  std::string line;
+  bool have_record = false;
+  std::size_t line_no = 0;
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    strip_trailing_cr(line);
+    if (line.empty()) continue;
+    if (line[0] == '>') {
+      const std::string name = first_token(line, 1);
+      MINIPHI_CHECK(!name.empty(),
+                    "FASTA line " + std::to_string(line_no) + ": empty sequence name");
+      MINIPHI_CHECK(seen.insert(name).second,
+                    "FASTA: duplicate sequence name '" + name + "'");
+      records.push_back({name, {}});
+      have_record = true;
+    } else {
+      MINIPHI_CHECK(have_record, "FASTA line " + std::to_string(line_no) +
+                                     ": sequence data before the first '>' header");
+      for (const char c : line) {
+        if (!std::isspace(static_cast<unsigned char>(c))) records.back().sequence.push_back(c);
+      }
+    }
+  }
+  for (const auto& record : records) {
+    MINIPHI_CHECK(!record.sequence.empty(),
+                  "FASTA: record '" + record.name + "' has no sequence data");
+  }
+  return records;
+}
+
+SequenceSet read_fasta_file(const std::string& path) {
+  std::ifstream in(path);
+  MINIPHI_CHECK(in.good(), "cannot open FASTA file '" + path + "'");
+  return read_fasta(in);
+}
+
+void write_fasta(std::ostream& out, const SequenceSet& records, std::size_t line_width) {
+  for (const auto& record : records) {
+    out << '>' << record.name << '\n';
+    if (line_width == 0) {
+      out << record.sequence << '\n';
+    } else {
+      for (std::size_t i = 0; i < record.sequence.size(); i += line_width) {
+        out << record.sequence.substr(i, line_width) << '\n';
+      }
+    }
+  }
+}
+
+void write_fasta_file(const std::string& path, const SequenceSet& records,
+                      std::size_t line_width) {
+  std::ofstream out(path);
+  MINIPHI_CHECK(out.good(), "cannot open '" + path + "' for writing");
+  write_fasta(out, records, line_width);
+}
+
+}  // namespace miniphi::io

@@ -1,0 +1,194 @@
+#include "src/io/newick.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "src/util/error.hpp"
+
+namespace miniphi::io {
+
+std::size_t NewickNode::size() const {
+  std::size_t n = 1;
+  for (const auto& child : children) n += child->size();
+  return n;
+}
+
+std::size_t NewickNode::leaf_count() const {
+  if (is_leaf()) return 1;
+  std::size_t n = 0;
+  for (const auto& child : children) n += child->leaf_count();
+  return n;
+}
+
+namespace {
+
+/// Recursive-descent Newick parser over a string with one cursor.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  std::unique_ptr<NewickNode> parse() {
+    skip_space();
+    auto root = parse_subtree();
+    skip_space();
+    expect(';');
+    skip_space();
+    MINIPHI_CHECK(pos_ == text_.size(),
+                  error_at("trailing characters after ';'"));
+    return root;
+  }
+
+ private:
+  std::unique_ptr<NewickNode> parse_subtree() {
+    auto node = std::make_unique<NewickNode>();
+    skip_space();
+    if (peek() == '(') {
+      advance();
+      for (;;) {
+        node->children.push_back(parse_subtree());
+        skip_space();
+        if (peek() == ',') {
+          advance();
+          continue;
+        }
+        break;
+      }
+      expect(')');
+      MINIPHI_CHECK(!node->children.empty(), error_at("empty '()' group"));
+    }
+    skip_space();
+    node->name = parse_label();
+    skip_space();
+    if (peek() == ':') {
+      advance();
+      node->length = parse_number();
+    }
+    MINIPHI_CHECK(!node->is_leaf() || !node->name.empty(),
+                  error_at("leaf without a name"));
+    return node;
+  }
+
+  std::string parse_label() {
+    if (peek() == '\'') {
+      advance();
+      std::string label;
+      for (;;) {
+        MINIPHI_CHECK(pos_ < text_.size(), error_at("unterminated quoted label"));
+        const char c = text_[pos_++];
+        if (c == '\'') {
+          if (peek() == '\'') {  // doubled quote = literal quote
+            label.push_back('\'');
+            advance();
+            continue;
+          }
+          return label;
+        }
+        label.push_back(c);
+      }
+    }
+    std::string label;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == ',' || c == ')' || c == '(' || c == ':' || c == ';' || c == '[' ||
+          std::isspace(static_cast<unsigned char>(c))) {
+        break;
+      }
+      label.push_back(c);
+      ++pos_;
+    }
+    return label;
+  }
+
+  double parse_number() {
+    skip_space();
+    const char* begin = text_.c_str() + pos_;
+    char* end = nullptr;
+    const double value = std::strtod(begin, &end);
+    MINIPHI_CHECK(end != begin, error_at("expected a branch length"));
+    pos_ += static_cast<std::size_t>(end - begin);
+    return value;
+  }
+
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  void advance() { ++pos_; }
+
+  void expect(char c) {
+    MINIPHI_CHECK(peek() == c, error_at(std::string("expected '") + c + "'"));
+    advance();
+  }
+
+  void skip_space() {
+    for (;;) {
+      while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+      if (peek() == '[') {  // Newick comment
+        while (pos_ < text_.size() && text_[pos_] != ']') ++pos_;
+        MINIPHI_CHECK(pos_ < text_.size(), error_at("unterminated [comment]"));
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+  }
+
+  std::string error_at(const std::string& what) const {
+    return "Newick parse error at position " + std::to_string(pos_) + ": " + what;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+void append_newick(const NewickNode& node, std::string& out) {
+  if (!node.is_leaf()) {
+    out.push_back('(');
+    for (std::size_t i = 0; i < node.children.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      append_newick(*node.children[i], out);
+    }
+    out.push_back(')');
+  }
+  out += node.name;
+  if (node.length) {
+    std::ostringstream ss;
+    ss << *node.length;
+    out.push_back(':');
+    out += ss.str();
+  }
+}
+
+}  // namespace
+
+std::unique_ptr<NewickNode> parse_newick(const std::string& text) {
+  return Parser(text).parse();
+}
+
+std::unique_ptr<NewickNode> read_newick_file(const std::string& path) {
+  std::ifstream in(path);
+  MINIPHI_CHECK(in.good(), "cannot open Newick file '" + path + "'");
+  std::string text;
+  std::string line;
+  while (std::getline(in, line)) {
+    text += line;
+    if (text.find(';') != std::string::npos) break;
+  }
+  return parse_newick(text);
+}
+
+std::string to_newick(const NewickNode& root) {
+  std::string out;
+  append_newick(root, out);
+  out.push_back(';');
+  return out;
+}
+
+void write_newick_file(const std::string& path, const NewickNode& root) {
+  std::ofstream out(path);
+  MINIPHI_CHECK(out.good(), "cannot open '" + path + "' for writing");
+  out << to_newick(root) << '\n';
+}
+
+}  // namespace miniphi::io

@@ -1,0 +1,44 @@
+// Newick tree format: parsing into a lightweight AST and serialization.
+//
+// The AST is format-level only (names, branch lengths, arbitrary arity);
+// src/tree converts it into the unrooted binary topology used by the
+// likelihood machinery.  Keeping the parser here avoids an io<->tree cycle.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace miniphi::io {
+
+/// One node of a parsed Newick tree.
+struct NewickNode {
+  std::string name;                                   ///< empty for unnamed inner nodes
+  std::optional<double> length;                       ///< branch length to the parent
+  std::vector<std::unique_ptr<NewickNode>> children;  ///< empty for leaves
+
+  [[nodiscard]] bool is_leaf() const { return children.empty(); }
+
+  /// Total number of nodes in this subtree (including this one).
+  [[nodiscard]] std::size_t size() const;
+
+  /// Number of leaves in this subtree.
+  [[nodiscard]] std::size_t leaf_count() const;
+};
+
+/// Parses one Newick string (must end with ';').  Supports quoted labels,
+/// comments in [brackets], and branch lengths after ':'.  Throws
+/// miniphi::Error with position information on malformed input.
+std::unique_ptr<NewickNode> parse_newick(const std::string& text);
+
+/// Reads the first tree from a file.
+std::unique_ptr<NewickNode> read_newick_file(const std::string& path);
+
+/// Serializes the AST back to Newick (with lengths when present).
+std::string to_newick(const NewickNode& root);
+
+void write_newick_file(const std::string& path, const NewickNode& root);
+
+}  // namespace miniphi::io

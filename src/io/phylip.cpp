@@ -1,0 +1,117 @@
+#include "src/io/phylip.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <limits>
+#include <sstream>
+
+#include "src/util/error.hpp"
+
+namespace miniphi::io {
+
+SequenceSet read_phylip(std::istream& in) {
+  std::size_t ntaxa = 0;
+  std::size_t nsites = 0;
+  in >> ntaxa >> nsites;
+  MINIPHI_CHECK(in.good() && ntaxa > 0 && nsites > 0,
+                "PHYLIP: malformed header (expected '<ntaxa> <nsites>')");
+
+  SequenceSet records;
+  records.reserve(ntaxa);
+  for (std::size_t t = 0; t < ntaxa; ++t) {
+    std::string name;
+    in >> name;
+    MINIPHI_CHECK(!in.fail(), "PHYLIP: expected " + std::to_string(ntaxa) +
+                                  " taxa, file ended after " + std::to_string(t));
+    std::string sequence;
+    sequence.reserve(nsites);
+    while (sequence.size() < nsites) {
+      const int c = in.get();
+      MINIPHI_CHECK(c != EOF, "PHYLIP: sequence for '" + name + "' is truncated (" +
+                                  std::to_string(sequence.size()) + "/" +
+                                  std::to_string(nsites) + " sites)");
+      if (!std::isspace(c)) sequence.push_back(static_cast<char>(c));
+    }
+    records.push_back({std::move(name), std::move(sequence)});
+  }
+  return records;
+}
+
+SequenceSet read_phylip_file(const std::string& path) {
+  std::ifstream in(path);
+  MINIPHI_CHECK(in.good(), "cannot open PHYLIP file '" + path + "'");
+  return read_phylip(in);
+}
+
+SequenceSet read_phylip_interleaved(std::istream& in) {
+  std::size_t ntaxa = 0;
+  std::size_t nsites = 0;
+  in >> ntaxa >> nsites;
+  MINIPHI_CHECK(in.good() && ntaxa > 0 && nsites > 0,
+                "PHYLIP: malformed header (expected '<ntaxa> <nsites>')");
+  in.ignore(std::numeric_limits<std::streamsize>::max(), '\n');
+
+  SequenceSet records(ntaxa);
+  const auto read_block = [&](bool first_block) {
+    for (std::size_t t = 0; t < ntaxa; ++t) {
+      std::string line;
+      // Skip blank separator lines.
+      do {
+        MINIPHI_CHECK(static_cast<bool>(std::getline(in, line)),
+                      "PHYLIP interleaved: unexpected end of file in block");
+      } while (line.find_first_not_of(" \t\r") == std::string::npos);
+      std::istringstream parts(line);
+      if (first_block) {
+        parts >> records[t].name;
+        MINIPHI_CHECK(!records[t].name.empty(),
+                      "PHYLIP interleaved: missing taxon name");
+      }
+      std::string chunk;
+      while (parts >> chunk) records[t].sequence += chunk;
+    }
+  };
+
+  read_block(/*first_block=*/true);
+  while (records[0].sequence.size() < nsites) {
+    const std::size_t before = records[0].sequence.size();
+    read_block(/*first_block=*/false);
+    MINIPHI_CHECK(records[0].sequence.size() > before,
+                  "PHYLIP interleaved: empty continuation block");
+  }
+  for (const auto& record : records) {
+    MINIPHI_CHECK(record.sequence.size() == nsites,
+                  "PHYLIP interleaved: taxon '" + record.name + "' has " +
+                      std::to_string(record.sequence.size()) + " sites, expected " +
+                      std::to_string(nsites));
+  }
+  return records;
+}
+
+SequenceSet read_phylip_interleaved_file(const std::string& path) {
+  std::ifstream in(path);
+  MINIPHI_CHECK(in.good(), "cannot open PHYLIP file '" + path + "'");
+  return read_phylip_interleaved(in);
+}
+
+void write_phylip(std::ostream& out, const SequenceSet& records) {
+  MINIPHI_CHECK(!records.empty(), "PHYLIP: cannot write an empty sequence set");
+  const std::size_t nsites = records.front().sequence.size();
+  for (const auto& record : records) {
+    MINIPHI_CHECK(record.sequence.size() == nsites,
+                  "PHYLIP: sequences have unequal lengths ('" + record.name + "')");
+  }
+  out << records.size() << ' ' << nsites << '\n';
+  for (const auto& record : records) {
+    out << record.name << ' ' << record.sequence << '\n';
+  }
+}
+
+void write_phylip_file(const std::string& path, const SequenceSet& records) {
+  std::ofstream out(path);
+  MINIPHI_CHECK(out.good(), "cannot open '" + path + "' for writing");
+  write_phylip(out, records);
+}
+
+}  // namespace miniphi::io

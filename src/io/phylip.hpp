@@ -1,0 +1,29 @@
+// Relaxed (RAxML-style) sequential PHYLIP reading and writing.
+//
+// Header: "<ntaxa> <nsites>".  Each following non-empty line is
+// "<name> <sequence...>"; sequence may contain spaces and continue across
+// lines until nsites characters have been collected for that taxon.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "src/io/sequence.hpp"
+
+namespace miniphi::io {
+
+SequenceSet read_phylip(std::istream& in);
+SequenceSet read_phylip_file(const std::string& path);
+
+/// Interleaved PHYLIP: after the header, the first block carries
+/// "<name> <chunk>" lines for every taxon; subsequent blocks carry
+/// continuation chunks in the same taxon order (blank-line separated,
+/// whitespace inside chunks ignored) until every sequence reaches nsites.
+SequenceSet read_phylip_interleaved(std::istream& in);
+SequenceSet read_phylip_interleaved_file(const std::string& path);
+
+/// Writes relaxed sequential PHYLIP; all sequences must share one length.
+void write_phylip(std::ostream& out, const SequenceSet& records);
+void write_phylip_file(const std::string& path, const SequenceSet& records);
+
+}  // namespace miniphi::io

@@ -1,0 +1,18 @@
+// Shared record type for the sequence file readers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace miniphi::io {
+
+/// One named molecular sequence, exactly as read from disk (characters are
+/// not validated here; src/bio does encoding and validation).
+struct SequenceRecord {
+  std::string name;
+  std::string sequence;
+};
+
+using SequenceSet = std::vector<SequenceRecord>;
+
+}  // namespace miniphi::io

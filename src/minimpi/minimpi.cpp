@@ -1,0 +1,187 @@
+#include "src/minimpi/minimpi.hpp"
+
+#include <exception>
+#include <thread>
+#include <utility>
+
+#include "src/util/error.hpp"
+
+namespace miniphi::mpi {
+
+World::World(int rank_count) : rank_count_(rank_count) {
+  MINIPHI_CHECK(rank_count >= 1, "mpi world needs at least one rank");
+  reduce_buffer_.assign(static_cast<std::size_t>(rank_count), 0.0);
+  mailboxes_.resize(static_cast<std::size_t>(rank_count));
+  last_stats_.assign(static_cast<std::size_t>(rank_count), {});
+}
+
+void World::barrier_wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const std::uint64_t generation = barrier_generation_;
+  if (++barrier_arrived_ == rank_count_) {
+    barrier_arrived_ = 0;
+    ++barrier_generation_;
+    barrier_cv_.notify_all();
+  } else {
+    barrier_cv_.wait(lock, [&] { return barrier_generation_ != generation; });
+  }
+}
+
+void World::run(const std::function<void(Communicator&)>& rank_main) {
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(rank_count_));
+  std::vector<Communicator*> communicators(static_cast<std::size_t>(rank_count_), nullptr);
+
+  // Clear any state left by a previous (possibly failed) run.
+  barrier_arrived_ = 0;
+  for (auto& mailbox : mailboxes_) mailbox.clear();
+
+  threads.reserve(static_cast<std::size_t>(rank_count_));
+  for (int r = 0; r < rank_count_; ++r) {
+    threads.emplace_back([&, r] {
+      Communicator comm(*this, r);
+      communicators[static_cast<std::size_t>(r)] = &comm;
+      try {
+        rank_main(comm);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+      }
+      last_stats_[static_cast<std::size_t>(r)] = comm.stats();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (const auto& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+}
+
+CommStats World::total_stats() const {
+  CommStats total;
+  for (const auto& stats : last_stats_) {
+    total.barriers += stats.barriers;
+    total.allreduces += stats.allreduces;
+    total.broadcasts += stats.broadcasts;
+    total.point_to_point += stats.point_to_point;
+    total.bytes += stats.bytes;
+  }
+  return total;
+}
+
+int Communicator::size() const { return world_.size(); }
+
+void Communicator::barrier() {
+  world_.barrier_wait();
+  ++stats_.barriers;
+}
+
+double Communicator::allreduce_sum(double value) {
+  world_.reduce_buffer_[static_cast<std::size_t>(rank_)] = value;
+  world_.barrier_wait();  // all contributions visible
+  double total = 0.0;
+  for (const double contribution : world_.reduce_buffer_) total += contribution;
+  world_.barrier_wait();  // all reads done before buffer reuse
+  ++stats_.allreduces;
+  stats_.bytes += static_cast<std::int64_t>(sizeof(double));
+  return total;
+}
+
+void Communicator::allreduce_sum(std::span<double> values) {
+  // Rank 0 owns the shared accumulation buffer for vector reductions.
+  {
+    std::unique_lock<std::mutex> lock(world_.mutex_);
+    if (world_.vector_buffer_.size() < values.size()) {
+      world_.vector_buffer_.assign(values.size(), 0.0);
+    }
+  }
+  world_.barrier_wait();
+  if (rank_ == 0) {
+    for (auto& slot : world_.vector_buffer_) slot = 0.0;
+  }
+  world_.barrier_wait();
+  {
+    std::unique_lock<std::mutex> lock(world_.mutex_);
+    for (std::size_t i = 0; i < values.size(); ++i) world_.vector_buffer_[i] += values[i];
+  }
+  world_.barrier_wait();
+  for (std::size_t i = 0; i < values.size(); ++i) values[i] = world_.vector_buffer_[i];
+  world_.barrier_wait();
+  ++stats_.allreduces;
+  stats_.bytes += static_cast<std::int64_t>(values.size() * sizeof(double));
+}
+
+std::pair<double, int> Communicator::allreduce_minloc(double value) {
+  world_.reduce_buffer_[static_cast<std::size_t>(rank_)] = value;
+  world_.barrier_wait();
+  double best = world_.reduce_buffer_[0];
+  int best_rank = 0;
+  for (int r = 1; r < world_.size(); ++r) {
+    const double candidate = world_.reduce_buffer_[static_cast<std::size_t>(r)];
+    if (candidate < best) {
+      best = candidate;
+      best_rank = r;
+    }
+  }
+  world_.barrier_wait();
+  ++stats_.allreduces;
+  stats_.bytes += static_cast<std::int64_t>(sizeof(double) + sizeof(int));
+  return {best, best_rank};
+}
+
+double Communicator::broadcast(double value, int root) {
+  if (rank_ == root) world_.reduce_buffer_[0] = value;
+  world_.barrier_wait();
+  const double result = world_.reduce_buffer_[0];
+  world_.barrier_wait();
+  ++stats_.broadcasts;
+  stats_.bytes += static_cast<std::int64_t>(sizeof(double));
+  return result;
+}
+
+void Communicator::broadcast(std::span<double> values, int root) {
+  {
+    std::unique_lock<std::mutex> lock(world_.mutex_);
+    if (world_.vector_buffer_.size() < values.size()) {
+      world_.vector_buffer_.assign(values.size(), 0.0);
+    }
+  }
+  world_.barrier_wait();
+  if (rank_ == root) {
+    for (std::size_t i = 0; i < values.size(); ++i) world_.vector_buffer_[i] = values[i];
+  }
+  world_.barrier_wait();
+  for (std::size_t i = 0; i < values.size(); ++i) values[i] = world_.vector_buffer_[i];
+  world_.barrier_wait();
+  ++stats_.broadcasts;
+  stats_.bytes += static_cast<std::int64_t>(values.size() * sizeof(double));
+}
+
+void Communicator::send(int destination, int tag, std::span<const double> payload) {
+  MINIPHI_CHECK(destination >= 0 && destination < world_.size() && destination != rank_,
+                "mpi send: invalid destination rank");
+  {
+    const std::lock_guard<std::mutex> lock(world_.mutex_);
+    world_.mailboxes_[static_cast<std::size_t>(destination)].push_back(
+        {rank_, tag, std::vector<double>(payload.begin(), payload.end())});
+  }
+  world_.mailbox_cv_.notify_all();
+  ++stats_.point_to_point;
+  stats_.bytes += static_cast<std::int64_t>(payload.size() * sizeof(double));
+}
+
+std::vector<double> Communicator::recv(int source, int tag) {
+  std::unique_lock<std::mutex> lock(world_.mutex_);
+  auto& mailbox = world_.mailboxes_[static_cast<std::size_t>(rank_)];
+  for (;;) {
+    for (auto it = mailbox.begin(); it != mailbox.end(); ++it) {
+      if (it->source == source && it->tag == tag) {
+        std::vector<double> payload = std::move(it->payload);
+        mailbox.erase(it);
+        ++stats_.point_to_point;
+        return payload;
+      }
+    }
+    world_.mailbox_cv_.wait(lock);
+  }
+}
+
+}  // namespace miniphi::mpi

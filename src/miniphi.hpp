@@ -1,0 +1,58 @@
+// miniphi umbrella header: the full public API.
+//
+// Layering (bottom-up):
+//   util      — RNG, aligned storage, logging, CLI options
+//   simd      — vector packs and ISA dispatch
+//   io        — FASTA / PHYLIP / Newick
+//   bio       — alignments, DNA encoding, site-pattern compression
+//   model     — GTR+Γ substitution model
+//   tree      — unrooted trees, moves, parsimony
+//   core      — the PLF kernels and the likelihood engine (paper's core)
+//   parallel  — fork-join evaluator (RAxML-Light PThreads scheme)
+//   minimpi   — in-process message passing
+//   simulate  — sequence evolution simulator (INDELible substitute)
+//   search    — ML tree search (SPR + model optimization)
+//   platform  — Table I platform descriptors and the cost model
+//   examl     — distributed driver and trace-based experiments
+#pragma once
+
+#include "src/bio/alignment.hpp"
+#include "src/bio/dna.hpp"
+#include "src/bio/patterns.hpp"
+#include "src/bio/aa.hpp"
+#include "src/bio/protein_alignment.hpp"
+#include "src/core/cat/cat_engine.hpp"
+#include "src/core/engine.hpp"
+#include "src/core/evaluator.hpp"
+#include "src/core/general/general_engine.hpp"
+#include "src/core/partitioned.hpp"
+#include "src/core/kernels.hpp"
+#include "src/core/trace.hpp"
+#include "src/examl/distributed_evaluator.hpp"
+#include "src/examl/driver.hpp"
+#include "src/io/fasta.hpp"
+#include "src/io/newick.hpp"
+#include "src/io/phylip.hpp"
+#include "src/minimpi/minimpi.hpp"
+#include "src/model/gamma.hpp"
+#include "src/model/general.hpp"
+#include "src/model/gtr.hpp"
+#include "src/parallel/fork_join_evaluator.hpp"
+#include "src/parallel/worker_pool.hpp"
+#include "src/platform/cost_model.hpp"
+#include "src/platform/spec.hpp"
+#include "src/search/bootstrap.hpp"
+#include "src/search/checkpoint.hpp"
+#include "src/search/model_optimizer.hpp"
+#include "src/search/spr_search.hpp"
+#include "src/simd/dispatch.hpp"
+#include "src/simulate/simulate.hpp"
+#include "src/tree/moves.hpp"
+#include "src/tree/parsimony.hpp"
+#include "src/tree/splits.hpp"
+#include "src/tree/tree.hpp"
+#include "src/util/logging.hpp"
+#include "src/util/error.hpp"
+#include "src/util/options.hpp"
+#include "src/util/timer.hpp"
+#include "src/util/rng.hpp"

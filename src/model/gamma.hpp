@@ -1,0 +1,27 @@
+// Gamma-distributed among-site rate heterogeneity (Yang 1994).
+//
+// The paper's kernels assume the Γ model with four discrete rate categories
+// (Section V-A): every alignment site carries 4 states × 4 rates = 16
+// conditional likelihood entries.  This module computes the discrete
+// category rates for a given shape α, which requires the regularized
+// incomplete gamma function and its inverse — implemented here from scratch
+// (series + continued-fraction evaluation, Wilson–Hilferty-seeded Newton
+// inversion), since no external math library is used.
+#pragma once
+
+#include <vector>
+
+namespace miniphi::model {
+
+/// Regularized lower incomplete gamma P(a, x) = γ(a,x) / Γ(a), a > 0, x ≥ 0.
+double incomplete_gamma_p(double a, double x);
+
+/// Inverse of P(a, ·): smallest x with P(a, x) = p, for p in [0, 1).
+double incomplete_gamma_inv(double a, double p);
+
+/// Mean rates of the K equal-probability categories of Gamma(α, β=α)
+/// (unit mean).  With `use_median` the category medians are used instead
+/// (then rescaled to unit mean), matching the two classic variants.
+std::vector<double> discrete_gamma_rates(double alpha, int categories, bool use_median = false);
+
+}  // namespace miniphi::model

@@ -1,0 +1,178 @@
+#include "src/model/general.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "src/util/error.hpp"
+
+namespace miniphi::model {
+namespace {
+
+/// Index of the (i,j) pair (i<j) in upper-triangle row-major order.
+std::size_t pair_index(int states, int i, int j) {
+  MINIPHI_ASSERT(i < j && j < states);
+  // Entries before row i: sum_{r<i} (S-1-r); then offset within row.
+  const auto s = static_cast<std::size_t>(states);
+  const auto row = static_cast<std::size_t>(i);
+  return row * s - row * (row + 1) / 2 + static_cast<std::size_t>(j - i - 1);
+}
+
+}  // namespace
+
+GeneralModel::GeneralModel(int states, std::vector<double> exchangeabilities,
+                           std::vector<double> frequencies, double alpha, int gamma_categories)
+    : states_(states),
+      exchangeabilities_(std::move(exchangeabilities)),
+      frequencies_(std::move(frequencies)),
+      alpha_(alpha) {
+  MINIPHI_CHECK(states >= 2, "general model: need at least 2 states");
+  const auto pairs = static_cast<std::size_t>(states) * (static_cast<std::size_t>(states) - 1) / 2;
+  MINIPHI_CHECK(exchangeabilities_.size() == pairs,
+                "general model: expected " + std::to_string(pairs) + " exchangeabilities, got " +
+                    std::to_string(exchangeabilities_.size()));
+  MINIPHI_CHECK(frequencies_.size() == static_cast<std::size_t>(states),
+                "general model: expected " + std::to_string(states) + " frequencies");
+  for (const double rate : exchangeabilities_) {
+    MINIPHI_CHECK(rate > 0.0, "general model: exchangeabilities must be positive");
+  }
+  double freq_sum = 0.0;
+  for (const double f : frequencies_) {
+    MINIPHI_CHECK(f > 0.0, "general model: frequencies must be positive");
+    freq_sum += f;
+  }
+  MINIPHI_CHECK(std::abs(freq_sum - 1.0) < 1e-6, "general model: frequencies must sum to 1");
+  // Renormalize exactly (PAML files often sum to 0.999something).
+  for (double& f : frequencies_) f /= freq_sum;
+  MINIPHI_CHECK(alpha > 0.0, "general model: alpha must be positive");
+
+  gamma_rates_ = discrete_gamma_rates(alpha, gamma_categories);
+
+  // Build Q, normalize to unit expected rate.
+  const auto n = static_cast<std::size_t>(states);
+  Matrix q(n);
+  for (int i = 0; i < states; ++i) {
+    double row = 0.0;
+    for (int j = 0; j < states; ++j) {
+      if (i == j) continue;
+      const double rate =
+          exchangeabilities_[pair_index(states, std::min(i, j), std::max(i, j))];
+      q(static_cast<std::size_t>(i), static_cast<std::size_t>(j)) =
+          rate * frequencies_[static_cast<std::size_t>(j)];
+      row += rate * frequencies_[static_cast<std::size_t>(j)];
+    }
+    q(static_cast<std::size_t>(i), static_cast<std::size_t>(i)) = -row;
+  }
+  double mu = 0.0;
+  for (std::size_t i = 0; i < n; ++i) mu -= frequencies_[i] * q(i, i);
+  MINIPHI_ASSERT(mu > 0.0);
+
+  // Symmetrize and decompose.
+  std::vector<double> sqrt_pi(n);
+  for (std::size_t i = 0; i < n; ++i) sqrt_pi[i] = std::sqrt(frequencies_[i]);
+  Matrix b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      b(i, j) = q(i, j) / mu * sqrt_pi[i] / sqrt_pi[j];
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double avg = 0.5 * (b(i, j) + b(j, i));
+      b(i, j) = avg;
+      b(j, i) = avg;
+    }
+  }
+  const SymmetricEigen eig = jacobi_eigen(b);
+  eigenvalues_ = eig.values;
+  u_ = Matrix(n);
+  w_ = Matrix(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t k = 0; k < n; ++k) {
+      u_(i, k) = eig.vectors(i, k) / sqrt_pi[i];
+      w_(k, i) = eig.vectors(i, k) * sqrt_pi[i];
+    }
+  }
+}
+
+GeneralModel GeneralModel::poisson(int states, double alpha, int gamma_categories) {
+  const auto pairs = static_cast<std::size_t>(states) * (static_cast<std::size_t>(states) - 1) / 2;
+  return GeneralModel(states, std::vector<double>(pairs, 1.0),
+                      std::vector<double>(static_cast<std::size_t>(states),
+                                          1.0 / static_cast<double>(states)),
+                      alpha, gamma_categories);
+}
+
+GeneralModel GeneralModel::from_paml(std::istream& in, int states, double alpha,
+                                     int gamma_categories) {
+  // PAML layout: row i (i = 1..S-1) holds the i exchangeabilities s(i,0..i-1),
+  // then S frequencies.  Whitespace/newlines are free-form.
+  const auto pairs = static_cast<std::size_t>(states) * (static_cast<std::size_t>(states) - 1) / 2;
+  std::vector<double> lower(pairs);
+  for (auto& value : lower) {
+    MINIPHI_CHECK(static_cast<bool>(in >> value), "PAML matrix: truncated exchangeabilities");
+  }
+  std::vector<double> freqs(static_cast<std::size_t>(states));
+  for (auto& value : freqs) {
+    MINIPHI_CHECK(static_cast<bool>(in >> value), "PAML matrix: truncated frequencies");
+  }
+  // Convert lower-triangle-by-row to upper-triangle row-major.
+  std::vector<double> upper(pairs);
+  std::size_t cursor = 0;
+  for (int i = 1; i < states; ++i) {
+    for (int j = 0; j < i; ++j) {
+      upper[pair_index(states, j, i)] = lower[cursor++];
+    }
+  }
+  return GeneralModel(states, std::move(upper), std::move(freqs), alpha, gamma_categories);
+}
+
+GeneralModel GeneralModel::from_paml_file(const std::string& path, int states, double alpha,
+                                          int gamma_categories) {
+  std::ifstream in(path);
+  MINIPHI_CHECK(in.good(), "cannot open PAML matrix file '" + path + "'");
+  return from_paml(in, states, alpha, gamma_categories);
+}
+
+GeneralModel GeneralModel::with_alpha(double alpha) const {
+  GeneralModel copy = *this;
+  MINIPHI_CHECK(alpha > 0.0, "general model: alpha must be positive");
+  copy.alpha_ = alpha;
+  copy.gamma_rates_ = discrete_gamma_rates(alpha, gamma_categories());
+  return copy;
+}
+
+Matrix GeneralModel::rate_matrix() const {
+  const auto n = static_cast<std::size_t>(states_);
+  Matrix out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double sum = 0.0;
+      for (std::size_t k = 0; k < n; ++k) {
+        sum += u_(i, k) * eigenvalues_[k] * w_(k, j);
+      }
+      out(i, j) = sum;
+    }
+  }
+  return out;
+}
+
+Matrix GeneralModel::transition_matrix(double t, double rate) const {
+  MINIPHI_CHECK(t >= 0.0, "branch length must be non-negative");
+  const auto n = static_cast<std::size_t>(states_);
+  std::vector<double> diag(n);
+  for (std::size_t k = 0; k < n; ++k) diag[k] = std::exp(eigenvalues_[k] * rate * t);
+  Matrix out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double sum = 0.0;
+      for (std::size_t k = 0; k < n; ++k) {
+        sum += u_(i, k) * diag[k] * w_(k, j);
+      }
+      out(i, j) = (sum < 0.0 && sum > -1e-12) ? 0.0 : sum;
+    }
+  }
+  return out;
+}
+
+}  // namespace miniphi::model

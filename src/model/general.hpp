@@ -1,0 +1,82 @@
+// General time-reversible substitution model with an arbitrary number of
+// character states — the machinery behind protein support, which the paper
+// names as the first item of future work ("support protein data",
+// Section VII).
+//
+// The mathematics is the DNA GtrModel generalized to S states: Q is built
+// from S(S-1)/2 exchangeabilities and S stationary frequencies, normalized
+// to one expected substitution per unit branch length, and symmetrized for
+// the Jacobi eigensolver.  Empirical protein matrices (WAG, LG, ...) are
+// loaded from standard PAML .dat files rather than hard-coded, so any
+// published matrix can be dropped in.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/model/eigen.hpp"
+#include "src/model/gamma.hpp"
+
+namespace miniphi::model {
+
+class GeneralModel {
+ public:
+  /// `exchangeabilities` in row-major upper-triangle order
+  /// (01, 02, ..., 0(S-1), 12, 13, ...), size S(S-1)/2; `frequencies` sum
+  /// to 1.  Validates and eigendecomposes once.
+  GeneralModel(int states, std::vector<double> exchangeabilities,
+               std::vector<double> frequencies, double alpha, int gamma_categories = 4);
+
+  /// All exchangeabilities equal, uniform frequencies (the "Poisson" model,
+  /// the protein analogue of JC69).
+  static GeneralModel poisson(int states, double alpha = 1.0, int gamma_categories = 4);
+
+  /// Parses a PAML-format rate matrix file: S(S-1)/2 lower-triangle
+  /// exchangeabilities laid out row by row (row i has i entries,
+  /// i = 1..S-1), followed by S frequencies.  This is the distribution
+  /// format of WAG/LG/JTT/mtREV etc.  `states` fixes S (20 for proteins).
+  static GeneralModel from_paml(std::istream& in, int states, double alpha = 1.0,
+                                int gamma_categories = 4);
+  static GeneralModel from_paml_file(const std::string& path, int states, double alpha = 1.0,
+                                     int gamma_categories = 4);
+
+  [[nodiscard]] int states() const { return states_; }
+  /// States rounded up to a multiple of 8 (the widest vector width), the
+  /// per-rate stride of general CLAs; padding lanes are zero.
+  [[nodiscard]] int padded_states() const { return (states_ + 7) / 8 * 8; }
+  [[nodiscard]] int gamma_categories() const { return static_cast<int>(gamma_rates_.size()); }
+  [[nodiscard]] const std::vector<double>& gamma_rates() const { return gamma_rates_; }
+  [[nodiscard]] double alpha() const { return alpha_; }
+  [[nodiscard]] const std::vector<double>& frequencies() const { return frequencies_; }
+  [[nodiscard]] const std::vector<double>& exchangeabilities() const {
+    return exchangeabilities_;
+  }
+
+  [[nodiscard]] const std::vector<double>& eigenvalues() const { return eigenvalues_; }
+  /// U = D^{-1/2}V (u(i,k), i = state, k = eigen index), W = VᵀD^{1/2}; UW = I.
+  [[nodiscard]] const Matrix& eigen_u() const { return u_; }
+  [[nodiscard]] const Matrix& eigen_w() const { return w_; }
+
+  /// Returns a model identical to this one but with a different Γ shape
+  /// (used by the α optimizer; avoids re-decomposing Q).
+  [[nodiscard]] GeneralModel with_alpha(double alpha) const;
+
+  /// Normalized rate matrix (tests: row sums 0, detailed balance).
+  [[nodiscard]] Matrix rate_matrix() const;
+
+  /// P(t·rate): used by the reference implementations and the simulator.
+  [[nodiscard]] Matrix transition_matrix(double t, double rate = 1.0) const;
+
+ private:
+  int states_ = 0;
+  std::vector<double> exchangeabilities_;
+  std::vector<double> frequencies_;
+  double alpha_ = 1.0;
+  std::vector<double> gamma_rates_;
+  std::vector<double> eigenvalues_;
+  Matrix u_;
+  Matrix w_;
+};
+
+}  // namespace miniphi::model

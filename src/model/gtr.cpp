@@ -1,0 +1,149 @@
+#include "src/model/gtr.hpp"
+
+#include <cmath>
+
+#include "src/util/error.hpp"
+
+namespace miniphi::model {
+namespace {
+
+/// Maps the (i,j) state pair (i<j) to the exchangeability index in
+/// AC, AG, AT, CG, CT, GT order.
+constexpr int pair_index(int i, int j) {
+  // i < j over states A=0, C=1, G=2, T=3.
+  constexpr int table[4][4] = {{-1, 0, 1, 2}, {0, -1, 3, 4}, {1, 3, -1, 5}, {2, 4, 5, -1}};
+  return table[i][j];
+}
+
+}  // namespace
+
+GtrParams GtrParams::jc69(double alpha) {
+  GtrParams p;
+  p.alpha = alpha;
+  return p;
+}
+
+GtrParams GtrParams::hky85(double kappa, const std::array<double, kStates>& freqs,
+                           double alpha) {
+  GtrParams p;
+  // Transitions are A<->G (index 1) and C<->T (index 4).
+  p.exchangeabilities = {1.0, kappa, 1.0, 1.0, kappa, 1.0};
+  p.frequencies = freqs;
+  p.alpha = alpha;
+  return p;
+}
+
+GtrModel::GtrModel(const GtrParams& params, int gamma_categories) : params_(params) {
+  for (const double rate : params_.exchangeabilities) {
+    MINIPHI_CHECK(rate > 0.0, "GTR exchangeabilities must be positive");
+  }
+  double freq_sum = 0.0;
+  for (const double f : params_.frequencies) {
+    MINIPHI_CHECK(f > 0.0, "GTR base frequencies must be positive");
+    freq_sum += f;
+  }
+  MINIPHI_CHECK(std::abs(freq_sum - 1.0) < 1e-8, "GTR base frequencies must sum to 1");
+  MINIPHI_CHECK(params_.alpha > 0.0, "gamma shape alpha must be positive");
+
+  gamma_rates_ = discrete_gamma_rates(params_.alpha, gamma_categories);
+
+  // Build unnormalized Q, then the normalization constant
+  // μ = -Σ_i π_i Q_ii (expected substitutions per unit time).
+  const auto& pi = params_.frequencies;
+  Matrix q(kStates);
+  for (int i = 0; i < kStates; ++i) {
+    double row = 0.0;
+    for (int j = 0; j < kStates; ++j) {
+      if (i == j) continue;
+      const int lo = std::min(i, j);
+      const int hi = std::max(i, j);
+      const double rate = params_.exchangeabilities[static_cast<std::size_t>(pair_index(lo, hi))];
+      q(static_cast<std::size_t>(i), static_cast<std::size_t>(j)) =
+          rate * pi[static_cast<std::size_t>(j)];
+      row += rate * pi[static_cast<std::size_t>(j)];
+    }
+    q(static_cast<std::size_t>(i), static_cast<std::size_t>(i)) = -row;
+  }
+  double mu = 0.0;
+  for (int i = 0; i < kStates; ++i) {
+    mu -= pi[static_cast<std::size_t>(i)] *
+          q(static_cast<std::size_t>(i), static_cast<std::size_t>(i));
+  }
+  MINIPHI_ASSERT(mu > 0.0);
+
+  // Symmetrize: B = D^{1/2} (Q/μ) D^{-1/2}, D = diag(π).
+  Matrix b(kStates);
+  std::array<double, kStates> sqrt_pi{};
+  for (int i = 0; i < kStates; ++i) {
+    sqrt_pi[static_cast<std::size_t>(i)] = std::sqrt(pi[static_cast<std::size_t>(i)]);
+  }
+  for (std::size_t i = 0; i < kStates; ++i) {
+    for (std::size_t j = 0; j < kStates; ++j) {
+      b(i, j) = q(i, j) / mu * sqrt_pi[i] / sqrt_pi[j];
+    }
+  }
+  // Numerically enforce exact symmetry before Jacobi.
+  for (std::size_t i = 0; i < kStates; ++i) {
+    for (std::size_t j = i + 1; j < kStates; ++j) {
+      const double avg = 0.5 * (b(i, j) + b(j, i));
+      b(i, j) = avg;
+      b(j, i) = avg;
+    }
+  }
+
+  const SymmetricEigen eig = jacobi_eigen(b);
+  for (std::size_t k = 0; k < kStates; ++k) eigenvalues_[k] = eig.values[k];
+
+  // U = D^{-1/2} V,  W = Vᵀ D^{1/2}:  Q = U Λ W and U W = I.
+  for (std::size_t i = 0; i < kStates; ++i) {
+    for (std::size_t k = 0; k < kStates; ++k) {
+      u_[i * kStates + k] = eig.vectors(i, k) / sqrt_pi[i];
+      w_[k * kStates + i] = eig.vectors(i, k) * sqrt_pi[i];
+    }
+  }
+}
+
+Matrix4 GtrModel::reconstruct(const std::array<double, kStates>& diag) const {
+  Matrix4 out{};
+  for (std::size_t i = 0; i < kStates; ++i) {
+    for (std::size_t j = 0; j < kStates; ++j) {
+      double sum = 0.0;
+      for (std::size_t k = 0; k < kStates; ++k) {
+        sum += u_[i * kStates + k] * diag[k] * w_[k * kStates + j];
+      }
+      out[i * kStates + j] = sum;
+    }
+  }
+  return out;
+}
+
+Matrix4 GtrModel::rate_matrix() const {
+  std::array<double, kStates> diag{};
+  for (std::size_t k = 0; k < kStates; ++k) diag[k] = eigenvalues_[k];
+  return reconstruct(diag);
+}
+
+Matrix4 GtrModel::transition_matrix(double t, double rate) const {
+  MINIPHI_CHECK(t >= 0.0, "branch length must be non-negative");
+  std::array<double, kStates> diag{};
+  for (std::size_t k = 0; k < kStates; ++k) diag[k] = std::exp(eigenvalues_[k] * rate * t);
+  Matrix4 p = reconstruct(diag);
+  // Clamp tiny negative round-off; probabilities must be non-negative.
+  for (double& x : p) {
+    if (x < 0.0 && x > -1e-12) x = 0.0;
+  }
+  return p;
+}
+
+Matrix4 GtrModel::transition_derivative(double t, double rate, int order) const {
+  MINIPHI_CHECK(order == 1 || order == 2, "only first and second derivatives are defined");
+  std::array<double, kStates> diag{};
+  for (std::size_t k = 0; k < kStates; ++k) {
+    const double lambda = eigenvalues_[k] * rate;
+    const double factor = (order == 1) ? lambda : lambda * lambda;
+    diag[k] = factor * std::exp(lambda * t);
+  }
+  return reconstruct(diag);
+}
+
+}  // namespace miniphi::model

@@ -1,0 +1,93 @@
+// General time-reversible (GTR) DNA substitution model with Γ rate
+// heterogeneity — the exact model configuration the paper supports
+// (Section V-A: DNA data, Γ model with four discrete rates).
+//
+// The instantaneous rate matrix Q is built from 6 exchangeabilities and 4
+// stationary frequencies, normalized to one expected substitution per unit
+// branch length, and spectrally decomposed via the similarity transform
+// B = D^{1/2} Q D^{-1/2} (symmetric for reversible Q).  Transition matrices
+// and their first two branch-length derivatives — needed by the
+// coreDerivative kernel for Newton–Raphson optimization — all come from the
+// cached decomposition:  P(t) = U e^{Λt} W,  P'(t) = U Λe^{Λt} W,  etc.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "src/model/eigen.hpp"
+#include "src/model/gamma.hpp"
+
+namespace miniphi::model {
+
+inline constexpr int kStates = 4;
+inline constexpr int kRateCount = 6;  // AC, AG, AT, CG, CT, GT
+
+/// 4×4 row-major matrix as a flat array (hot-path friendly).
+using Matrix4 = std::array<double, kStates * kStates>;
+
+/// User-facing model parameters.
+struct GtrParams {
+  /// Exchangeabilities in RAxML order AC, AG, AT, CG, CT, GT; the last is
+  /// conventionally fixed to 1 as the reference rate.
+  std::array<double, kRateCount> exchangeabilities{1, 1, 1, 1, 1, 1};
+  /// Stationary base frequencies πA, πC, πG, πT (must sum to 1).
+  std::array<double, kStates> frequencies{0.25, 0.25, 0.25, 0.25};
+  /// Shape of the Γ distribution of among-site rates.
+  double alpha = 1.0;
+
+  /// Jukes–Cantor: all exchangeabilities and frequencies equal.
+  static GtrParams jc69(double alpha = 1.0);
+
+  /// HKY85: transition/transversion ratio κ with arbitrary frequencies.
+  static GtrParams hky85(double kappa, const std::array<double, kStates>& freqs,
+                         double alpha = 1.0);
+};
+
+/// Immutable, decomposed model ready for kernel consumption.
+class GtrModel {
+ public:
+  /// Validates parameters (positive rates, frequencies summing to 1, α > 0)
+  /// and performs the spectral decomposition once.
+  explicit GtrModel(const GtrParams& params, int gamma_categories = 4);
+
+  [[nodiscard]] const GtrParams& params() const { return params_; }
+  [[nodiscard]] int gamma_categories() const { return static_cast<int>(gamma_rates_.size()); }
+
+  /// Discrete Γ category rates (unit mean).
+  [[nodiscard]] const std::vector<double>& gamma_rates() const { return gamma_rates_; }
+
+  [[nodiscard]] const std::array<double, kStates>& frequencies() const {
+    return params_.frequencies;
+  }
+
+  /// Eigenvalues of Q (one is ~0; the rest negative).
+  [[nodiscard]] const std::array<double, kStates>& eigenvalues() const { return eigenvalues_; }
+
+  /// U = D^{-1/2} V, row-major u[i*4+k] (i = state, k = eigen index).
+  [[nodiscard]] const Matrix4& eigen_u() const { return u_; }
+
+  /// W = Vᵀ D^{1/2}, row-major w[k*4+i] (k = eigen index, i = state); U W = I.
+  [[nodiscard]] const Matrix4& eigen_w() const { return w_; }
+
+  /// Normalized rate matrix Q (for tests: row sums 0, detailed balance).
+  [[nodiscard]] Matrix4 rate_matrix() const;
+
+  /// P(t·rate): transition probabilities for branch length t under one Γ
+  /// category rate multiplier.
+  [[nodiscard]] Matrix4 transition_matrix(double t, double rate = 1.0) const;
+
+  /// dP/dt and d²P/dt² at branch length t (rate multiplier applied as in
+  /// transition_matrix; derivatives are with respect to t itself).
+  [[nodiscard]] Matrix4 transition_derivative(double t, double rate, int order) const;
+
+ private:
+  [[nodiscard]] Matrix4 reconstruct(const std::array<double, kStates>& diag) const;
+
+  GtrParams params_;
+  std::vector<double> gamma_rates_;
+  std::array<double, kStates> eigenvalues_{};
+  Matrix4 u_{};  ///< D^{-1/2} V   (rows indexed by source state)
+  Matrix4 w_{};  ///< Vᵀ D^{1/2}   (columns indexed by target state)
+};
+
+}  // namespace miniphi::model

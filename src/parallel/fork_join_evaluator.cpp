@@ -1,0 +1,107 @@
+#include "src/parallel/fork_join_evaluator.hpp"
+
+#include <cmath>
+
+#include "src/util/error.hpp"
+
+namespace miniphi::parallel {
+
+ForkJoinEvaluator::ForkJoinEvaluator(WorkerPool& pool, const bio::PatternSet& patterns,
+                                     const model::GtrModel& model, tree::Tree& tree,
+                                     const core::LikelihoodEngine::Config& engine_config)
+    : pool_(pool), tree_(tree) {
+  const auto npat = static_cast<std::int64_t>(patterns.pattern_count());
+  const int workers = pool.size();
+  MINIPHI_CHECK(npat >= workers,
+                "fork-join evaluator: fewer patterns than workers");
+  // Even contiguous split (RAxML-Light distributes sites evenly).
+  for (int w = 0; w < workers; ++w) {
+    core::LikelihoodEngine::Config config = engine_config;
+    config.begin = npat * w / workers;
+    config.end = npat * (w + 1) / workers;
+    config.use_openmp = false;  // one engine per thread; no nested parallelism
+    engines_.push_back(std::make_unique<core::LikelihoodEngine>(patterns, model, tree, config));
+  }
+}
+
+double ForkJoinEvaluator::log_likelihood(tree::Slot* edge) {
+  return pool_.run_reduce_sum([&](int w) {
+    return engines_[static_cast<std::size_t>(w)]->log_likelihood(edge);
+  });
+}
+
+void ForkJoinEvaluator::prepare_derivatives(tree::Slot* edge) {
+  pool_.run([&](int w) { engines_[static_cast<std::size_t>(w)]->prepare_derivatives(edge); });
+}
+
+std::pair<double, double> ForkJoinEvaluator::derivatives(double z) {
+  // Two scalar reductions folded into one region: reduce the first
+  // derivative via the pool, collect the second from each engine afterwards
+  // (engines cache nothing between calls, so this stays consistent).
+  std::vector<std::pair<double, double>> partials(engines_.size());
+  pool_.run([&](int w) {
+    partials[static_cast<std::size_t>(w)] = engines_[static_cast<std::size_t>(w)]->derivatives(z);
+  });
+  double first = 0.0;
+  double second = 0.0;
+  for (const auto& [f, s] : partials) {
+    first += f;
+    second += s;
+  }
+  return {first, second};
+}
+
+double ForkJoinEvaluator::optimize_branch(tree::Slot* edge, int max_iterations) {
+  prepare_derivatives(edge);
+  double z = edge->length;
+  for (int iteration = 0; iteration < max_iterations; ++iteration) {
+    const auto [first, second] = derivatives(z);
+    const double next = core::LikelihoodEngine::newton_step(z, first, second);
+    const bool converged = std::abs(next - z) < 1e-10;
+    z = next;
+    if (converged) break;
+  }
+  tree::Tree::set_length(edge, z);
+  invalidate_node(edge->node_id);
+  invalidate_node(edge->back->node_id);
+  return z;
+}
+
+double ForkJoinEvaluator::optimize_all_branches(tree::Slot* root_edge, int passes) {
+  for (int pass = 0; pass < passes; ++pass) {
+    for (tree::Slot* edge : tree_.edges()) {
+      optimize_branch(edge, 32);
+    }
+  }
+  return log_likelihood(root_edge);
+}
+
+void ForkJoinEvaluator::invalidate_node(int node_id) {
+  // Cheap metadata update; no need to fork a region for it.
+  for (auto& engine : engines_) engine->invalidate_node(node_id);
+}
+
+void ForkJoinEvaluator::set_model(const model::GtrModel& model) {
+  pool_.run([&](int w) { engines_[static_cast<std::size_t>(w)]->set_model(model); });
+}
+
+void ForkJoinEvaluator::set_alpha(double alpha) {
+  model::GtrParams params = model().params();
+  params.alpha = alpha;
+  set_model(model::GtrModel(params, model().gamma_categories()));
+}
+
+const model::GtrModel& ForkJoinEvaluator::model() const { return engines_.front()->model(); }
+
+core::KernelStat ForkJoinEvaluator::total_stats(core::Kernel kernel) const {
+  core::KernelStat total;
+  for (const auto& engine : engines_) {
+    const auto& stat = engine->stats(kernel);
+    total.calls += stat.calls;
+    total.sites += stat.sites;
+    total.seconds += stat.seconds;
+  }
+  return total;
+}
+
+}  // namespace miniphi::parallel

@@ -1,0 +1,47 @@
+// RAxML-Light-style parallel likelihood evaluator: the alignment patterns
+// are split evenly over worker threads, each worker owns a LikelihoodEngine
+// for its slice, and every evaluator operation is one fork-join region with
+// a scalar reduction — precisely the scheme the paper reuses for the native
+// MIC port of RAxML-Light (Section V-C).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/core/engine.hpp"
+#include "src/parallel/worker_pool.hpp"
+
+namespace miniphi::parallel {
+
+class ForkJoinEvaluator final : public core::Evaluator {
+ public:
+  /// Splits `patterns` into `pool.size()` contiguous slices.  The pool, the
+  /// patterns and the tree must outlive the evaluator.
+  ForkJoinEvaluator(WorkerPool& pool, const bio::PatternSet& patterns,
+                    const model::GtrModel& model, tree::Tree& tree,
+                    const core::LikelihoodEngine::Config& engine_config = {});
+
+  double log_likelihood(tree::Slot* edge) override;
+  void prepare_derivatives(tree::Slot* edge) override;
+  std::pair<double, double> derivatives(double z) override;
+  double optimize_branch(tree::Slot* edge, int max_iterations) override;
+  using Evaluator::optimize_branch;
+  double optimize_all_branches(tree::Slot* root_edge, int passes) override;
+  void invalidate_node(int node_id) override;
+  void set_model(const model::GtrModel& model);
+  void set_alpha(double alpha) override;
+  [[nodiscard]] double alpha() const override { return model().params().alpha; }
+  [[nodiscard]] const model::GtrModel& model() const;
+
+  /// Aggregated kernel statistics across all workers.
+  [[nodiscard]] core::KernelStat total_stats(core::Kernel kernel) const;
+
+  [[nodiscard]] int worker_count() const { return static_cast<int>(engines_.size()); }
+
+ private:
+  WorkerPool& pool_;
+  tree::Tree& tree_;
+  std::vector<std::unique_ptr<core::LikelihoodEngine>> engines_;
+};
+
+}  // namespace miniphi::parallel

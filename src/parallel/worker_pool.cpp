@@ -1,0 +1,75 @@
+#include "src/parallel/worker_pool.hpp"
+
+#include "src/util/error.hpp"
+
+namespace miniphi::parallel {
+
+WorkerPool::WorkerPool(int thread_count) : thread_count_(thread_count) {
+  MINIPHI_CHECK(thread_count >= 1, "worker pool needs at least one thread");
+  partials_.assign(static_cast<std::size_t>(thread_count), 0.0);
+  // Threads 1..n-1 are spawned; thread 0 is the master itself.
+  threads_.reserve(static_cast<std::size_t>(thread_count - 1));
+  for (int t = 1; t < thread_count; ++t) {
+    threads_.emplace_back([this, t] { worker_loop(t); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  start_cv_.notify_all();
+  for (auto& thread : threads_) thread.join();
+}
+
+void WorkerPool::worker_loop(int thread_id) {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    const std::function<void(int)>* task = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      start_cv_.wait(lock, [&] { return shutdown_ || generation_ != seen_generation; });
+      if (shutdown_) return;
+      seen_generation = generation_;
+      task = task_;
+    }
+    (*task)(thread_id);
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (--remaining_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+void WorkerPool::run(const std::function<void(int)>& fn) {
+  if (thread_count_ == 1) {
+    fn(0);
+    ++regions_;
+    return;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    task_ = &fn;
+    remaining_ = thread_count_ - 1;
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  fn(0);  // master participates as worker 0
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] { return remaining_ == 0; });
+    task_ = nullptr;
+  }
+  ++regions_;
+}
+
+double WorkerPool::run_reduce_sum(const std::function<double(int)>& fn) {
+  run([&](int thread_id) { partials_[static_cast<std::size_t>(thread_id)] = fn(thread_id); });
+  // Fixed-order reduction keeps results deterministic across runs.
+  double total = 0.0;
+  for (const double value : partials_) total += value;
+  return total;
+}
+
+}  // namespace miniphi::parallel

@@ -1,0 +1,62 @@
+// Persistent fork-join worker pool — the RAxML-Light PThreads scheme.
+//
+// The paper (Section V-C/V-D): "In the classical fork-join parallelization
+// approach used in RAxML-Light, master and worker processes have to
+// communicate at least twice per parallel region/kernel."  This pool models
+// exactly that: a master thread publishes a task, workers run it over their
+// ids, and the master blocks until all have finished — two synchronization
+// points per region.  The region counter feeds the platform model's
+// synchronization-overhead term.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace miniphi::parallel {
+
+class WorkerPool {
+ public:
+  /// Spawns `thread_count` persistent workers (>= 1).  Worker 0 is the
+  /// calling thread itself (master participates, as in RAxML-Light).
+  explicit WorkerPool(int thread_count);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  [[nodiscard]] int size() const { return thread_count_; }
+
+  /// Fork-join region: runs fn(thread_id) on every worker, returns when all
+  /// are done.  Must be called from the thread that built the pool.
+  void run(const std::function<void(int)>& fn);
+
+  /// Fork-join region with a sum-reduction over the per-thread results.
+  double run_reduce_sum(const std::function<double(int)>& fn);
+
+  /// Number of fork-join regions executed so far (2 syncs each).
+  [[nodiscard]] std::int64_t region_count() const { return regions_; }
+
+ private:
+  void worker_loop(int thread_id);
+
+  int thread_count_;
+  std::vector<std::thread> threads_;
+
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(int)>* task_ = nullptr;
+  std::uint64_t generation_ = 0;
+  int remaining_ = 0;
+  bool shutdown_ = false;
+  std::int64_t regions_ = 0;
+
+  std::vector<double> partials_;
+};
+
+}  // namespace miniphi::parallel

@@ -1,0 +1,129 @@
+#include "src/platform/cost_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/error.hpp"
+
+namespace miniphi::platform {
+namespace {
+
+/// Bytes of one CLA site block (16 doubles) and of a per-site scale counter.
+constexpr double kBlockBytes = 16.0 * 8.0;
+constexpr double kScaleBytes = 4.0;
+constexpr double kTipCodeBytes = 1.0;
+
+}  // namespace
+
+KernelProfile kernel_profile(core::TraceKernel kernel, bool left_tip, bool right_tip) {
+  KernelProfile profile;
+  const double left_read = left_tip ? kTipCodeBytes : kBlockBytes + kScaleBytes;
+  const double right_read = right_tip ? kTipCodeBytes : kBlockBytes + kScaleBytes;
+  switch (kernel) {
+    case core::TraceKernel::kNewview:
+      // Per inner child: 16 outputs × 4-term dot product (mul+add = 2 flops).
+      // Tip children are table lookups.  Then x3 = a∘b (16) and the W
+      // back-transform (another 16×4×2).
+      profile.flops = 128.0 * ((left_tip ? 0 : 1) + (right_tip ? 0 : 1)) + 16.0 + 128.0;
+      profile.bytes_read = left_read + right_read;
+      profile.bytes_written = kBlockBytes + kScaleBytes;
+      break;
+    case core::TraceKernel::kEvaluate:
+      // Dot product over 16 lanes (×3 flops with the diag multiply) + log.
+      profile.flops = (right_tip ? 32.0 : 48.0) + 25.0;
+      profile.bytes_read = kBlockBytes + kScaleBytes + right_read;
+      profile.bytes_written = 0.0;
+      break;
+    case core::TraceKernel::kDerivSum:
+      profile.flops = 16.0;
+      profile.bytes_read = kBlockBytes + (right_tip ? kTipCodeBytes : kBlockBytes);
+      profile.bytes_written = kBlockBytes;
+      break;
+    case core::TraceKernel::kDerivCore:
+      // Three 16-lane dot products + the site-blocked scalar epilogue.
+      profile.flops = 96.0 + 10.0;
+      profile.bytes_read = kBlockBytes;
+      profile.bytes_written = 0.0;
+      break;
+  }
+  return profile;
+}
+
+double call_seconds(const ExecConfig& config, core::TraceKernel kernel, bool left_tip,
+                    bool right_tip, std::int64_t sites) {
+  const PlatformSpec& platform = config.platform;
+  MINIPHI_ASSERT(platform.kernel_workers > 0);
+  const KernelProfile profile = kernel_profile(kernel, left_tip, right_tip);
+
+  // The CPU baseline kernels (AVX RAxML/ExaML) do not use streaming stores
+  // (Section V-B5 is a MIC-only optimization), so every written cache line
+  // is first read for ownership.
+  const bool streaming_stores = platform.kind == PlatformKind::kMic;
+  const double bytes_per_site =
+      profile.bytes_read + profile.bytes_written * (streaming_stores ? 1.0 : 2.0);
+
+  const int workers_total = platform.kernel_workers * config.cards;
+  const auto sites_per_worker =
+      static_cast<double>((sites + workers_total - 1) / workers_total);
+
+  // Latency/concurrency ramp: short per-worker streams cannot saturate the
+  // memory system (most punishing on the in-order MIC cores).
+  const double ramp =
+      sites_per_worker / (sites_per_worker + platform.sites_half_saturation);
+
+  const auto kernel_index = static_cast<std::size_t>(kernel);
+  const double card_bandwidth = platform.memory_bandwidth_gbs * 1e9 *
+                                platform.kernel_bandwidth_fraction[kernel_index];
+  const double worker_bandwidth = card_bandwidth / platform.kernel_workers * ramp;
+  const double worker_flops =
+      platform.peak_dp_gflops * 1e9 * platform.flops_fraction / platform.kernel_workers;
+
+  const double bandwidth_time = sites_per_worker * bytes_per_site / worker_bandwidth;
+  const double flops_time = sites_per_worker * profile.flops / worker_flops;
+  double seconds = std::max(bandwidth_time, flops_time);
+
+  // Per-call synchronization.
+  seconds += platform.forkjoin_region_seconds;
+  if (kernel == core::TraceKernel::kEvaluate || kernel == core::TraceKernel::kDerivCore) {
+    // Scalar Allreduce across all ranks; the slowest link dominates.
+    seconds += platform.allreduce_intra_seconds;
+    if (config.cards > 1) seconds += config.allreduce_inter_seconds;
+  }
+  if (config.offload_mode) seconds += config.offload_latency_seconds;
+  return seconds;
+}
+
+SimulatedTime simulate_trace(const core::KernelTrace& trace, const ExecConfig& config) {
+  SimulatedTime result;
+  for (const auto& call : trace.calls) {
+    const double seconds =
+        call_seconds(config, call.kernel, call.left_tip, call.right_tip, call.sites);
+    result.total_seconds += seconds;
+    result.per_kernel_seconds[static_cast<std::size_t>(call.kernel)] += seconds;
+
+    double sync = config.platform.forkjoin_region_seconds;
+    if (call.kernel == core::TraceKernel::kEvaluate ||
+        call.kernel == core::TraceKernel::kDerivCore) {
+      sync += config.platform.allreduce_intra_seconds;
+      if (config.cards > 1) sync += config.allreduce_inter_seconds;
+    }
+    result.sync_seconds += sync;
+    if (config.offload_mode) result.offload_seconds += config.offload_latency_seconds;
+  }
+  result.compute_seconds = result.total_seconds - result.sync_seconds - result.offload_seconds;
+  return result;
+}
+
+double energy_wh(const ExecConfig& config, double seconds) {
+  return config.platform.max_tdp_watts * config.cards * seconds / 3600.0;
+}
+
+ExecConfig config_e5_2630() { return ExecConfig{xeon_e5_2630(), 1, 150e-6, false, 300e-6}; }
+
+ExecConfig config_e5_2680() { return ExecConfig{xeon_e5_2680(), 1, 150e-6, false, 300e-6}; }
+
+ExecConfig config_phi_single() { return ExecConfig{xeon_phi_5110p(), 1, 150e-6, false, 300e-6}; }
+
+ExecConfig config_phi_dual() { return ExecConfig{xeon_phi_5110p(), 2, 150e-6, false, 300e-6}; }
+
+}  // namespace miniphi::platform

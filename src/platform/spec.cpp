@@ -1,0 +1,178 @@
+#include "src/platform/spec.hpp"
+
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+namespace miniphi::platform {
+
+// Calibration notes (all four experiments downstream use these values):
+//
+//  * kernel_bandwidth_fraction — set once so that the model's per-kernel
+//    MIC/CPU time ratios at large alignments reproduce the paper's Figure 3
+//    (newview ≈2.0×, evaluate ≈1.9×, derivativeSum ≈2.8×, derivativeCore
+//    ≈2.0×).  CPU kernels use a uniform 0.60 of peak stream bandwidth
+//    (typical for 2S Sandy Bridge); the MIC fractions are lower per unit of
+//    peak (KNC reached ~35-40% of its 320 GB/s in practice, cf. McCalpin's
+//    published STREAM results for KNC).
+//  * The CPU (AVX) kernels have **no streaming stores** — the paper adds
+//    them only in the MIC port (Section V-B5) — so CPU writes pay the
+//    read-for-ownership traffic; the cost model adds it (see cost_model.cpp).
+//    This asymmetry is what makes the store-heavy derivativeSum the
+//    biggest MIC win, exactly as in Figure 3.
+//  * sites_half_saturation — in-order KNC cores need long streams to hide
+//    memory latency; 4 hardware threads/core only partially compensate.
+//    400 sites/worker (≈51 KB) for half efficiency places the CPU/MIC
+//    crossover at ≈100 K sites as in Table III and reproduces the paper's
+//    observation that per-thread work on small alignments is too small
+//    (Section VI-B2); out-of-order Xeons saturate almost immediately.
+//  * forkjoin_region_seconds — an OpenMP fork-join across 118 threads on
+//    KNC costs ~20 µs (Intel's own measurements of KMP barriers on KNC are
+//    15-25 µs); the CPU configuration runs one single-threaded rank per
+//    core, so it pays no in-kernel barrier at all (ExaML's design).
+//  * allreduce latencies — Section VI-B3 measures ~20 µs for MIC↔MIC over
+//    PCIe with Intel MPI 4.1.2 and <5 µs between InfiniBand nodes; we use
+//    2 µs for shared-memory CPU ranks, 6 µs between the two ranks of one
+//    card, and 150 µs for the full 4-rank dual-card collective (see
+//    cost_model.hpp for the justification of the multiplier).
+
+PlatformSpec xeon_e5_2630() {
+  PlatformSpec spec;
+  spec.name = "2S Xeon E5-2630";
+  spec.kind = PlatformKind::kCpu;
+  spec.peak_dp_gflops = 220.0;
+  spec.cores = 12;
+  spec.clock_ghz = 2.30;
+  spec.memory_gb = 32.0;
+  spec.memory_bandwidth_gbs = 85.2;
+  spec.max_tdp_watts = 190.0;
+  spec.price_usd = 1224.0;
+  spec.kernel_workers = 12;  // ExaML: one MPI rank per physical core
+  spec.vector_width_doubles = 4;
+  spec.kernel_bandwidth_fraction = {0.60, 0.60, 0.60, 0.60};
+  spec.flops_fraction = 0.80;
+  spec.sites_half_saturation = 30.0;
+  spec.forkjoin_region_seconds = 0.0;
+  spec.allreduce_intra_seconds = 2e-6;
+  return spec;
+}
+
+PlatformSpec xeon_e5_2680() {
+  PlatformSpec spec = xeon_e5_2630();
+  spec.name = "2S Xeon E5-2680";
+  spec.peak_dp_gflops = 346.0;
+  spec.cores = 16;
+  spec.clock_ghz = 2.70;
+  spec.memory_bandwidth_gbs = 102.4;
+  spec.max_tdp_watts = 260.0;
+  spec.price_usd = 3486.0;
+  spec.kernel_workers = 16;
+  return spec;
+}
+
+PlatformSpec xeon_phi_5110p() {
+  PlatformSpec spec;
+  spec.name = "1S Xeon Phi 5110P";
+  spec.kind = PlatformKind::kMic;
+  spec.peak_dp_gflops = 1074.0;
+  spec.cores = 60;
+  spec.clock_ghz = 1.053;
+  spec.memory_gb = 8.0;
+  spec.memory_bandwidth_gbs = 320.0;
+  spec.max_tdp_watts = 225.0;
+  spec.price_usd = 2649.0;
+  spec.kernel_workers = 236;  // 2 MPI ranks × 118 OpenMP threads
+  spec.vector_width_doubles = 8;
+  // Per-kernel fractions calibrated to Figure 3 (see notes above):
+  // newview 0.28, evaluate 0.36, derivativeSum 0.38, derivativeCore 0.39.
+  spec.kernel_bandwidth_fraction = {0.28, 0.36, 0.38, 0.39};
+  spec.flops_fraction = 0.70;
+  spec.sites_half_saturation = 400.0;
+  spec.forkjoin_region_seconds = 20e-6;
+  spec.allreduce_intra_seconds = 6e-6;
+  return spec;
+}
+
+PlatformSpec xeon_phi_5110p_split(int ranks_per_card, int threads_per_rank) {
+  PlatformSpec spec = xeon_phi_5110p();
+  spec.kernel_workers = ranks_per_card * threads_per_rank;
+  // OpenMP tree barrier: ~3 µs per doubling of the thread count on KNC
+  // (118 threads → ~21 µs, matching the measured KMP barrier range).
+  spec.forkjoin_region_seconds =
+      (threads_per_rank > 1) ? 3e-6 * std::log2(static_cast<double>(threads_per_rank)) : 0.0;
+  // MPI Allreduce: logarithmic in the rank count, with a steep penalty once
+  // ranks oversubscribe the 60 physical cores (each rank carries an MPI
+  // progress engine; the paper observed a "substantial slowdown" at 120
+  // pure-MPI ranks, Section V-D).
+  const double oversubscription =
+      1.0 + std::pow(static_cast<double>(ranks_per_card) / 20.0, 1.5);
+  spec.allreduce_intra_seconds =
+      (ranks_per_card > 1)
+          ? 3e-6 * std::log2(static_cast<double>(ranks_per_card) + 1.0) * oversubscription
+          : 0.0;
+  return spec;
+}
+
+PlatformSpec nvidia_k20() {
+  PlatformSpec spec;
+  spec.name = "NVIDIA K20 (ref.)";
+  spec.kind = PlatformKind::kGpu;
+  spec.peak_dp_gflops = 1170.0;
+  spec.cores = 2496;
+  spec.clock_ghz = 0.706;
+  spec.memory_gb = 5.0;
+  spec.memory_bandwidth_gbs = 208.0;
+  spec.max_tdp_watts = 225.0;
+  spec.price_usd = 2800.0;
+  spec.kernel_workers = 0;  // never simulated; reference row only
+  spec.vector_width_doubles = 0;
+  return spec;
+}
+
+std::vector<PlatformSpec> table1_platforms() {
+  // The paper also lists a dual-card row (2S Xeon Phi 5110P) that simply
+  // doubles the single card; the cost model composes cards explicitly, so
+  // the synthetic row here is for display parity with Table I.
+  PlatformSpec dual = xeon_phi_5110p();
+  dual.name = "2S Xeon Phi 5110P";
+  dual.peak_dp_gflops *= 2;
+  dual.cores *= 2;
+  dual.memory_gb *= 2;
+  dual.memory_bandwidth_gbs *= 2;
+  dual.max_tdp_watts *= 2;
+  dual.price_usd *= 2;
+  return {xeon_e5_2630(), xeon_e5_2680(), xeon_phi_5110p(), dual, nvidia_k20()};
+}
+
+std::string format_table1() {
+  std::ostringstream out;
+  out << "Table I: Specifications of CPUs and accelerators used for performance evaluation\n";
+  out << std::left << std::setw(20) << "(Co-)processor" << std::right << std::setw(15)
+      << "Peak DP GFLOPS" << std::setw(14) << "No. of cores" << std::setw(12) << "Core clock"
+      << std::setw(9) << "Memory" << std::setw(13) << "Memory BW" << std::setw(9) << "Max TDP"
+      << std::setw(15) << "Approx. price" << "\n";
+  for (const auto& spec : table1_platforms()) {
+    out << std::left << std::setw(20) << spec.name << std::right << std::setw(15) << std::fixed
+        << std::setprecision(0) << spec.peak_dp_gflops << std::setw(14) << spec.cores
+        << std::setw(9) << std::setprecision(3) << spec.clock_ghz << " GHz" << std::setw(6)
+        << std::setprecision(0) << spec.memory_gb << " GB" << std::setw(8)
+        << std::setprecision(1) << spec.memory_bandwidth_gbs << " GB/s" << std::setw(6)
+        << std::setprecision(0) << spec.max_tdp_watts << " W" << std::setw(10) << "$ "
+        << spec.price_usd << "\n";
+  }
+  out << "1S = single slot, 2S = dual slot; NVIDIA K20 listed for reference only\n";
+  return out.str();
+}
+
+std::string format_table2() {
+  std::ostringstream out;
+  out << "Table II: Software configuration of test systems (original study -> this reproduction)\n";
+  out << "  Xeon E5-2630 : Linux 2.6.32, gcc 4.7.0, Intel MPI 4.1.2.040  -> simulated platform\n";
+  out << "  Xeon E5-2680 : Linux 3.0.93, gcc 4.7.3, Intel MPI 4.1.1.036  -> simulated platform\n";
+  out << "  Xeon Phi     : Linux 2.6.32, icc 13.1.3, Intel MPI 4.1.2.040 -> simulated platform\n";
+  out << "  This host    : real kernels (scalar/AVX2/AVX-512F), OpenMP, in-process minimpi;\n";
+  out << "                 platform timings are model-predicted from real kernel traces\n";
+  return out.str();
+}
+
+}  // namespace miniphi::platform

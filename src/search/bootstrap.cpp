@@ -1,0 +1,158 @@
+#include "src/search/bootstrap.hpp"
+
+#include <atomic>
+#include <iomanip>
+#include <functional>
+#include <set>
+#include <sstream>
+#include <thread>
+
+#include "src/core/engine.hpp"
+#include "src/tree/parsimony.hpp"
+#include "src/util/error.hpp"
+
+namespace miniphi::search {
+
+bio::PatternSet bootstrap_resample(const bio::PatternSet& patterns, Rng& rng) {
+  // Multinomial draw of N sites over the patterns, proportional to their
+  // original weights, via the site→pattern map (exact classical bootstrap).
+  bio::PatternSet replicate = patterns;
+  std::fill(replicate.weights.begin(), replicate.weights.end(), 0u);
+  const auto total = static_cast<std::uint64_t>(patterns.site_to_pattern.size());
+  MINIPHI_CHECK(total > 0, "bootstrap: pattern set has no site map");
+  for (std::uint64_t draw = 0; draw < total; ++draw) {
+    const auto site = rng.below(total);
+    ++replicate.weights[patterns.site_to_pattern[site]];
+  }
+  return replicate;
+}
+
+namespace {
+
+/// Taxon set behind `slot` as a canonical split (side without taxon 0).
+void collect_splits_with_slots(const tree::Tree& tree,
+                               std::map<tree::Split, const tree::Slot*>& out) {
+  const auto splits = tree::tree_splits(tree);
+  // tree_splits gives the set; to attach labels we also need the edge for
+  // each split, so recompute per edge.
+  const int ntaxa = tree.taxon_count();
+  const std::size_t words = (static_cast<std::size_t>(ntaxa) + 63) / 64;
+  const std::function<tree::Split(const tree::Slot*)> taxa_behind =
+      [&](const tree::Slot* slot) -> tree::Split {
+    tree::Split split(words, 0);
+    if (slot->is_tip()) {
+      split[static_cast<std::size_t>(slot->node_id) / 64] |=
+          std::uint64_t{1} << (slot->node_id % 64);
+      return split;
+    }
+    const auto a = taxa_behind(slot->child1());
+    const auto b = taxa_behind(slot->child2());
+    for (std::size_t w = 0; w < words; ++w) split[w] = a[w] | b[w];
+    return split;
+  };
+  for (const tree::Slot* edge : tree.edges()) {
+    if (edge->is_tip() || edge->back->is_tip()) continue;  // trivial
+    tree::Split split = taxa_behind(edge);
+    if (split[0] & 1u) {  // canonicalize: complement if it contains taxon 0
+      for (std::size_t w = 0; w < words; ++w) split[w] = ~split[w];
+      const int tail = ntaxa % 64;
+      if (tail != 0) split.back() &= (std::uint64_t{1} << tail) - 1;
+    }
+    out.emplace(std::move(split), edge);
+  }
+  MINIPHI_ASSERT(out.size() == splits.size());
+}
+
+/// Newick with inner-node support labels (percent) on the reference tree.
+std::string annotate(const tree::Tree& tree, const std::vector<std::string>& names,
+                     const std::map<tree::Split, double>& support,
+                     const std::map<tree::Split, const tree::Slot*>& split_edges) {
+  // Invert: edge (slot pointer, both directions) → percent label.
+  std::map<const tree::Slot*, int> labels;
+  for (const auto& [split, value] : support) {
+    const auto it = split_edges.find(split);
+    if (it == split_edges.end()) continue;
+    const int percent = static_cast<int>(value * 100.0 + 0.5);
+    labels[it->second] = percent;
+    labels[it->second->back] = percent;
+  }
+  std::ostringstream out;
+  out << std::setprecision(17);
+  const std::function<void(const tree::Slot*)> serialize = [&](const tree::Slot* slot) {
+    if (slot->is_tip()) {
+      out << names[static_cast<std::size_t>(slot->node_id)];
+      return;
+    }
+    out << '(';
+    serialize(slot->child1());
+    out << ':' << slot->next->length << ',';
+    serialize(slot->child2());
+    out << ':' << slot->next->next->length << ')';
+    const auto it = labels.find(slot);
+    if (it != labels.end()) out << it->second;
+  };
+  const tree::Slot* root = tree.tip(0);
+  out << '(' << names[0] << ":0,";
+  serialize(root->back);
+  out << ':' << root->length << ");";
+  return out.str();
+}
+
+}  // namespace
+
+BootstrapResult run_bootstrap(const bio::PatternSet& patterns, const model::GtrModel& model,
+                              const tree::Tree& reference,
+                              const std::vector<std::string>& taxon_names,
+                              const BootstrapOptions& options) {
+  MINIPHI_CHECK(options.replicates >= 1, "bootstrap: need at least one replicate");
+  MINIPHI_CHECK(options.threads >= 1, "bootstrap: need at least one thread");
+
+  // Pre-generate per-replicate seeds so results are thread-count invariant.
+  std::vector<std::uint64_t> seeds(static_cast<std::size_t>(options.replicates));
+  {
+    Rng seeder(options.seed);
+    for (auto& seed : seeds) seed = seeder();
+  }
+
+  std::vector<std::set<tree::Split>> replicate_splits(
+      static_cast<std::size_t>(options.replicates));
+  std::atomic<int> next{0};
+  const auto worker = [&] {
+    for (;;) {
+      const int replicate = next.fetch_add(1);
+      if (replicate >= options.replicates) return;
+      Rng rng(seeds[static_cast<std::size_t>(replicate)]);
+      const auto resampled = bootstrap_resample(patterns, rng);
+      tree::Tree tree = tree::parsimony_starting_tree(resampled, rng);
+      core::LikelihoodEngine engine(resampled, model, tree);
+      (void)run_tree_search(engine, tree, options.search);
+      replicate_splits[static_cast<std::size_t>(replicate)] = tree::tree_splits(tree);
+    }
+  };
+  if (options.threads == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> threads;
+    for (int t = 0; t < options.threads; ++t) threads.emplace_back(worker);
+    for (auto& thread : threads) thread.join();
+  }
+
+  // Support of the reference tree's splits.
+  std::map<tree::Split, const tree::Slot*> split_edges;
+  collect_splits_with_slots(reference, split_edges);
+
+  BootstrapResult result;
+  result.replicates = options.replicates;
+  for (const auto& [split, edge] : split_edges) {
+    (void)edge;
+    int hits = 0;
+    for (const auto& splits : replicate_splits) {
+      if (splits.count(split)) ++hits;
+    }
+    result.support[split] = static_cast<double>(hits) / options.replicates;
+  }
+  result.annotated_newick = annotate(reference, taxon_names, result.support, split_edges);
+  return result;
+}
+
+}  // namespace miniphi::search

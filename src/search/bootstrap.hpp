@@ -1,0 +1,66 @@
+// Nonparametric bootstrap (Felsenstein 1985) — the standard way RAxML-class
+// tools attach confidence values to the branches of an ML tree, and the
+// second half of every production phylogenetics workflow (the paper's
+// programs ship it; large-scale bootstrapping is a primary driver of the
+// compute demand the paper motivates with).
+//
+// Sites are resampled with replacement; because identical columns are
+// already aggregated into weighted patterns, one replicate is simply a new
+// multinomial weight vector over the same pattern set — no sequence data is
+// copied.  Each replicate runs an independent (reduced-effort) ML search;
+// the support of a branch in the reference tree is the fraction of
+// replicate trees containing the same bipartition.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/bio/patterns.hpp"
+#include "src/model/gtr.hpp"
+#include "src/search/spr_search.hpp"
+#include "src/tree/splits.hpp"
+
+namespace miniphi::search {
+
+/// One bootstrap replicate's weights: multinomial resample of the original
+/// site multiset, expressed over the same patterns.
+bio::PatternSet bootstrap_resample(const bio::PatternSet& patterns, Rng& rng);
+
+struct BootstrapOptions {
+  int replicates = 100;
+  std::uint64_t seed = 42;
+  /// Worker threads running replicates concurrently (each replicate is an
+  /// independent search with its own engine — embarrassingly parallel, the
+  /// same property the paper's Section VII highlights for the EPA).
+  int threads = 1;
+  /// Per-replicate search effort (bootstrap searches are conventionally
+  /// cheaper than the reference search, as in RAxML's rapid bootstrap).
+  SearchOptions search = [] {
+    SearchOptions options;
+    options.spr_radius = 3;
+    options.max_rounds = 3;
+    options.optimize_model = false;
+    options.smoothing_passes = 2;
+    return options;
+  }();
+};
+
+struct BootstrapResult {
+  int replicates = 0;
+  /// Support per non-trivial split of the reference tree, in [0, 1].
+  std::map<tree::Split, double> support;
+  /// Reference tree with support values as inner-node labels (percent).
+  std::string annotated_newick;
+};
+
+/// Runs `options.replicates` bootstrap searches under the (fixed) model and
+/// annotates the reference tree.  Deterministic given options.seed,
+/// independent of thread count.
+BootstrapResult run_bootstrap(const bio::PatternSet& patterns, const model::GtrModel& model,
+                              const tree::Tree& reference,
+                              const std::vector<std::string>& taxon_names,
+                              const BootstrapOptions& options = {});
+
+}  // namespace miniphi::search

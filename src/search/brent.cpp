@@ -1,0 +1,95 @@
+#include "src/search/brent.hpp"
+
+#include <cmath>
+
+#include "src/util/error.hpp"
+
+namespace miniphi::search {
+
+BrentResult brent_minimize(const std::function<double(double)>& f, double lower, double upper,
+                           double tolerance, int max_iterations) {
+  MINIPHI_CHECK(lower < upper, "brent_minimize: empty interval");
+  constexpr double kGolden = 0.3819660112501051;  // (3 - sqrt 5)/2
+
+  BrentResult result;
+  double a = lower;
+  double b = upper;
+  double x = a + kGolden * (b - a);
+  double w = x;
+  double v = x;
+  double fx = f(x);
+  result.evaluations = 1;
+  double fw = fx;
+  double fv = fx;
+  double d = 0.0;
+  double e = 0.0;
+
+  for (int iteration = 0; iteration < max_iterations; ++iteration) {
+    const double midpoint = 0.5 * (a + b);
+    const double tol1 = tolerance * std::abs(x) + 1e-12;
+    const double tol2 = 2.0 * tol1;
+    if (std::abs(x - midpoint) <= tol2 - 0.5 * (b - a)) break;
+
+    bool use_golden = true;
+    if (std::abs(e) > tol1) {
+      // Try a parabolic step through (v, w, x).
+      const double r = (x - w) * (fx - fv);
+      double q = (x - v) * (fx - fw);
+      double p = (x - v) * q - (x - w) * r;
+      q = 2.0 * (q - r);
+      if (q > 0.0) p = -p;
+      q = std::abs(q);
+      const double e_old = e;
+      e = d;
+      if (std::abs(p) < std::abs(0.5 * q * e_old) && p > q * (a - x) && p < q * (b - x)) {
+        d = p / q;
+        const double u = x + d;
+        if (u - a < tol2 || b - u < tol2) d = (midpoint > x) ? tol1 : -tol1;
+        use_golden = false;
+      }
+    }
+    if (use_golden) {
+      e = (x < midpoint) ? b - x : a - x;
+      d = kGolden * e;
+    }
+
+    const double u = (std::abs(d) >= tol1) ? x + d : x + ((d > 0.0) ? tol1 : -tol1);
+    const double fu = f(u);
+    ++result.evaluations;
+
+    if (fu <= fx) {
+      if (u < x) {
+        b = x;
+      } else {
+        a = x;
+      }
+      v = w;
+      fv = fw;
+      w = x;
+      fw = fx;
+      x = u;
+      fx = fu;
+    } else {
+      if (u < x) {
+        a = u;
+      } else {
+        b = u;
+      }
+      if (fu <= fw || w == x) {
+        v = w;
+        fv = fw;
+        w = u;
+        fw = fu;
+      } else if (fu <= fv || v == x || v == w) {
+        v = u;
+        fv = fu;
+      }
+    }
+  }
+
+  result.x = x;
+  result.value = fx;
+  return result;
+}
+
+}  // namespace miniphi::search

@@ -1,0 +1,22 @@
+// One-dimensional function minimization (Brent's method) used for model
+// parameter optimization (Γ shape α, GTR exchangeabilities), exactly as in
+// RAxML's optimizeModel machinery.
+#pragma once
+
+#include <functional>
+
+namespace miniphi::search {
+
+struct BrentResult {
+  double x = 0.0;        ///< argmin
+  double value = 0.0;    ///< f(argmin)
+  int evaluations = 0;   ///< number of function calls
+};
+
+/// Minimizes f over [lower, upper] to the given relative tolerance.
+/// Combines golden-section bracketing with parabolic interpolation; never
+/// evaluates outside the interval.  f is called O(log(1/tol)) times.
+BrentResult brent_minimize(const std::function<double(double)>& f, double lower, double upper,
+                           double tolerance = 1e-4, int max_iterations = 100);
+
+}  // namespace miniphi::search

@@ -1,0 +1,117 @@
+#include "src/search/checkpoint.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "src/io/newick.hpp"
+#include "src/util/error.hpp"
+
+namespace miniphi::search {
+namespace {
+
+constexpr const char* kMagic = "miniphi-checkpoint";
+constexpr int kVersion = 1;
+
+}  // namespace
+
+tree::Tree Checkpoint::restore_tree() const {
+  const auto ast = io::parse_newick(tree_newick);
+  return tree::Tree::from_newick(*ast, taxon_names);
+}
+
+Checkpoint make_checkpoint(const tree::Tree& tree, const std::vector<std::string>& taxon_names,
+                           const model::GtrParams& params, int rounds_completed,
+                           double log_likelihood, std::uint64_t seed) {
+  Checkpoint checkpoint;
+  checkpoint.taxon_names = taxon_names;
+  checkpoint.tree_newick = tree.to_newick(taxon_names);
+  checkpoint.model_params = params;
+  checkpoint.rounds_completed = rounds_completed;
+  checkpoint.log_likelihood = log_likelihood;
+  checkpoint.seed = seed;
+  return checkpoint;
+}
+
+void write_checkpoint(std::ostream& out, const Checkpoint& checkpoint) {
+  out << kMagic << ' ' << kVersion << '\n';
+  out << std::setprecision(17);
+  out << "taxa " << checkpoint.taxon_names.size() << '\n';
+  for (const auto& name : checkpoint.taxon_names) out << name << '\n';
+  out << "tree " << checkpoint.tree_newick << '\n';
+  out << "rates";
+  for (const double rate : checkpoint.model_params.exchangeabilities) out << ' ' << rate;
+  out << '\n';
+  out << "freqs";
+  for (const double freq : checkpoint.model_params.frequencies) out << ' ' << freq;
+  out << '\n';
+  out << "alpha " << checkpoint.model_params.alpha << '\n';
+  out << "progress " << checkpoint.rounds_completed << ' ' << checkpoint.log_likelihood << '\n';
+  out << "seed " << checkpoint.seed << '\n';
+}
+
+void write_checkpoint_file(const std::string& path, const Checkpoint& checkpoint) {
+  // Write-then-rename would need platform code; a temp-suffix + rename via
+  // stdio keeps interrupted writes from clobbering the previous checkpoint.
+  const std::string temp = path + ".tmp";
+  {
+    std::ofstream out(temp);
+    MINIPHI_CHECK(out.good(), "cannot open checkpoint file '" + temp + "' for writing");
+    write_checkpoint(out, checkpoint);
+    MINIPHI_CHECK(out.good(), "failed writing checkpoint to '" + temp + "'");
+  }
+  MINIPHI_CHECK(std::rename(temp.c_str(), path.c_str()) == 0,
+                "failed to move checkpoint into place at '" + path + "'");
+}
+
+Checkpoint read_checkpoint(std::istream& in) {
+  Checkpoint checkpoint;
+  std::string magic;
+  int version = 0;
+  in >> magic >> version;
+  MINIPHI_CHECK(magic == kMagic, "not a miniphi checkpoint file");
+  MINIPHI_CHECK(version == kVersion,
+                "unsupported checkpoint version " + std::to_string(version));
+
+  std::string keyword;
+  std::size_t ntaxa = 0;
+  in >> keyword >> ntaxa;
+  MINIPHI_CHECK(keyword == "taxa" && ntaxa >= 3, "checkpoint: malformed taxa header");
+  checkpoint.taxon_names.resize(ntaxa);
+  for (auto& name : checkpoint.taxon_names) {
+    in >> name;
+    MINIPHI_CHECK(!in.fail() && !name.empty(), "checkpoint: truncated taxon list");
+  }
+
+  in >> keyword;
+  MINIPHI_CHECK(keyword == "tree", "checkpoint: expected tree record");
+  in >> checkpoint.tree_newick;
+  MINIPHI_CHECK(!checkpoint.tree_newick.empty() && checkpoint.tree_newick.back() == ';',
+                "checkpoint: malformed tree record");
+
+  in >> keyword;
+  MINIPHI_CHECK(keyword == "rates", "checkpoint: expected rates record");
+  for (auto& rate : checkpoint.model_params.exchangeabilities) {
+    MINIPHI_CHECK(static_cast<bool>(in >> rate), "checkpoint: truncated rates");
+  }
+  in >> keyword;
+  MINIPHI_CHECK(keyword == "freqs", "checkpoint: expected freqs record");
+  for (auto& freq : checkpoint.model_params.frequencies) {
+    MINIPHI_CHECK(static_cast<bool>(in >> freq), "checkpoint: truncated freqs");
+  }
+  in >> keyword >> checkpoint.model_params.alpha;
+  MINIPHI_CHECK(keyword == "alpha" && !in.fail(), "checkpoint: expected alpha record");
+  in >> keyword >> checkpoint.rounds_completed >> checkpoint.log_likelihood;
+  MINIPHI_CHECK(keyword == "progress" && !in.fail(), "checkpoint: expected progress record");
+  in >> keyword >> checkpoint.seed;
+  MINIPHI_CHECK(keyword == "seed" && !in.fail(), "checkpoint: expected seed record");
+  return checkpoint;
+}
+
+Checkpoint read_checkpoint_file(const std::string& path) {
+  std::ifstream in(path);
+  MINIPHI_CHECK(in.good(), "cannot open checkpoint file '" + path + "'");
+  return read_checkpoint(in);
+}
+
+}  // namespace miniphi::search

@@ -1,0 +1,45 @@
+// Search checkpointing.
+//
+// RAxML-Light's defining feature (its paper is subtitled "a tool for
+// computing terabyte phylogenies") is checkpoint/restart: week-long searches
+// on clusters must survive job time limits and node failures.  This module
+// serializes the complete search state — taxon set, tree with branch
+// lengths, GTR+Γ model, and progress counters — to a versioned, line-based
+// text file, and restores it for seamless continuation.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/model/gtr.hpp"
+#include "src/tree/tree.hpp"
+
+namespace miniphi::search {
+
+struct Checkpoint {
+  std::vector<std::string> taxon_names;
+  std::string tree_newick;  ///< topology + branch lengths
+  model::GtrParams model_params;
+  int rounds_completed = 0;
+  double log_likelihood = 0.0;
+  std::uint64_t seed = 0;  ///< original run seed (for provenance)
+
+  /// Rebuilds the tree object from the stored Newick.
+  [[nodiscard]] tree::Tree restore_tree() const;
+};
+
+/// Captures the current state of a run.
+Checkpoint make_checkpoint(const tree::Tree& tree, const std::vector<std::string>& taxon_names,
+                           const model::GtrParams& params, int rounds_completed,
+                           double log_likelihood, std::uint64_t seed);
+
+void write_checkpoint(std::ostream& out, const Checkpoint& checkpoint);
+void write_checkpoint_file(const std::string& path, const Checkpoint& checkpoint);
+
+/// Throws miniphi::Error on version mismatch or malformed content.
+Checkpoint read_checkpoint(std::istream& in);
+Checkpoint read_checkpoint_file(const std::string& path);
+
+}  // namespace miniphi::search

@@ -1,0 +1,21 @@
+#include "src/search/model_optimizer.hpp"
+
+namespace miniphi::search {
+
+ModelOptimizerResult optimize_alpha(core::Evaluator& evaluator, tree::Slot* root_edge,
+                                    double tolerance) {
+  ModelOptimizerResult result;
+  const auto f = [&](double log_alpha) {
+    evaluator.set_alpha(std::exp(log_alpha));
+    ++result.evaluations;
+    return -evaluator.log_likelihood(root_edge);
+  };
+  const auto best =
+      brent_minimize(f, std::log(kMinAlphaParam), std::log(kMaxAlphaParam), tolerance);
+  evaluator.set_alpha(std::exp(best.x));
+  result.log_likelihood = evaluator.log_likelihood(root_edge);
+  ++result.evaluations;
+  return result;
+}
+
+}  // namespace miniphi::search

@@ -1,0 +1,92 @@
+// Likelihood-based model parameter optimization.
+//
+// Two levels:
+//  * optimize_alpha()  — generic Brent search on the Γ shape, usable with
+//    ANY evaluator (DNA or protein), through the Evaluator interface.
+//  * optimize_model()  — full coordinate optimization (α + GTR
+//    exchangeabilities), a header template over the concrete engine types
+//    (LikelihoodEngine, ForkJoinEvaluator, DistributedEvaluator) which all
+//    expose model()/set_model() for the DNA GTR family.  This matches
+//    RAxML's optimizeModel step.  Frequencies stay at their empirical
+//    estimates (RAxML's default for DNA).
+#pragma once
+
+#include <cmath>
+
+#include "src/core/evaluator.hpp"
+#include "src/model/gtr.hpp"
+#include "src/search/brent.hpp"
+
+namespace miniphi::search {
+
+struct ModelOptimizerOptions {
+  bool optimize_alpha = true;
+  bool optimize_rates = true;
+  double tolerance = 1e-3;  ///< Brent tolerance on the (log) parameter
+  int max_passes = 2;       ///< coordinate sweeps over all parameters
+};
+
+struct ModelOptimizerResult {
+  double log_likelihood = 0.0;
+  int evaluations = 0;  ///< full-likelihood evaluations spent
+};
+
+/// Optimization bounds (log-scale Brent).
+inline constexpr double kMinAlphaParam = 0.02;
+inline constexpr double kMaxAlphaParam = 100.0;
+inline constexpr double kMinRateParam = 0.02;
+inline constexpr double kMaxRateParam = 100.0;
+
+/// Γ-shape-only optimization via the Evaluator interface (model-family
+/// agnostic — this is all a general/protein engine needs).
+ModelOptimizerResult optimize_alpha(core::Evaluator& evaluator, tree::Slot* root_edge,
+                                    double tolerance = 1e-3);
+
+/// Full GTR optimization: α plus the five free exchangeabilities, as
+/// coordinate-wise Brent sweeps.  `EngineT` must provide
+/// `const model::GtrModel& model()` and `set_model(const model::GtrModel&)`.
+template <typename EngineT>
+ModelOptimizerResult optimize_model(EngineT& engine, tree::Slot* root_edge,
+                                    const ModelOptimizerOptions& options = {}) {
+  ModelOptimizerResult result;
+  model::GtrParams params = engine.model().params();
+
+  const auto objective = [&](const model::GtrParams& candidate) {
+    engine.set_model(model::GtrModel(candidate));
+    ++result.evaluations;
+    return -engine.log_likelihood(root_edge);
+  };
+
+  for (int pass = 0; pass < options.max_passes; ++pass) {
+    if (options.optimize_alpha) {
+      const auto f = [&](double log_alpha) {
+        model::GtrParams candidate = params;
+        candidate.alpha = std::exp(log_alpha);
+        return objective(candidate);
+      };
+      const auto best = brent_minimize(f, std::log(kMinAlphaParam), std::log(kMaxAlphaParam),
+                                       options.tolerance);
+      params.alpha = std::exp(best.x);
+    }
+    if (options.optimize_rates) {
+      // The last exchangeability (GT) is the fixed reference rate.
+      for (std::size_t i = 0; i + 1 < params.exchangeabilities.size(); ++i) {
+        const auto f = [&](double log_rate) {
+          model::GtrParams candidate = params;
+          candidate.exchangeabilities[i] = std::exp(log_rate);
+          return objective(candidate);
+        };
+        const auto best = brent_minimize(f, std::log(kMinRateParam), std::log(kMaxRateParam),
+                                         options.tolerance);
+        params.exchangeabilities[i] = std::exp(best.x);
+      }
+    }
+  }
+
+  engine.set_model(model::GtrModel(params));
+  result.log_likelihood = engine.log_likelihood(root_edge);
+  ++result.evaluations;
+  return result;
+}
+
+}  // namespace miniphi::search

@@ -1,0 +1,103 @@
+#include "src/search/spr_search.hpp"
+
+#include <algorithm>
+
+#include "src/util/error.hpp"
+#include "src/util/logging.hpp"
+
+namespace miniphi::search {
+namespace {
+
+/// Invalidates the CLAs of every node incident to a topology change.
+void invalidate_around(core::Evaluator& engine, std::initializer_list<int> node_ids) {
+  for (const int node_id : node_ids) engine.invalidate_node(node_id);
+}
+
+}  // namespace
+
+double spr_round(core::Evaluator& engine, tree::Tree& tree, int radius,
+                 double current_lnl, SearchResult& result) {
+  const int ntaxa = tree.taxon_count();
+
+  // Consider pruning the subtree behind every inner slot.
+  for (int inner = 0; inner < tree.inner_count(); ++inner) {
+    for (int k = 0; k < 3; ++k) {
+      tree::Slot* p = tree.inner_slot(inner, k);
+
+      const auto record = tree::prune(tree, p);
+      invalidate_around(engine, {record.left->node_id, record.right->node_id, p->node_id});
+
+      tree::Slot* best_edge = nullptr;
+      double best_lnl = current_lnl;
+      const auto candidates = tree::insertion_candidates(record, radius);
+      for (tree::Slot* e : candidates) {
+        tree::Slot* other = e->back;
+        tree::regraft(tree, record, e);
+        invalidate_around(engine, {e->node_id, other->node_id, p->node_id});
+
+        const double lnl = engine.log_likelihood(p->next);
+        ++result.evaluated_insertions;
+        if (lnl > best_lnl) {
+          best_lnl = lnl;
+          best_edge = e;
+        }
+
+        tree::ungraft(tree, record);
+        invalidate_around(engine, {e->node_id, other->node_id, p->node_id});
+      }
+
+      if (best_edge != nullptr && best_lnl > current_lnl + 1e-9) {
+        tree::Slot* other_end = best_edge->back;  // joined partner before regraft
+        tree::regraft(tree, record, best_edge);
+        invalidate_around(engine,
+                          {best_edge->node_id, other_end->node_id, p->node_id});
+        // Locally refine the three branches created by the insertion.
+        engine.optimize_branch(p->next);
+        engine.optimize_branch(p->next->next);
+        engine.optimize_branch(p);
+        current_lnl = engine.log_likelihood(p->next);
+        ++result.accepted_moves;
+      } else {
+        tree::undo_prune(tree, record);
+        invalidate_around(engine, {record.left->node_id, record.right->node_id, p->node_id});
+      }
+    }
+  }
+
+  (void)ntaxa;
+  return current_lnl;
+}
+
+SearchResult run_tree_search(core::Evaluator& engine, tree::Tree& tree,
+                             const SearchOptions& options) {
+  SearchResult result;
+  tree::Slot* root = tree.tip(0);
+
+  double current = engine.optimize_all_branches(root, options.smoothing_passes);
+  MINIPHI_LOG(Debug) << "search: after initial smoothing lnL = " << current;
+
+  if (options.optimize_model) {
+    current = options.model_hook ? options.model_hook(engine, root)
+                                 : optimize_alpha(engine, root, options.model_options.tolerance)
+                                       .log_likelihood;
+    MINIPHI_LOG(Debug) << "search: after model optimization lnL = " << current
+                       << " (alpha = " << engine.alpha() << ")";
+  }
+
+  for (int round = 0; round < options.max_rounds; ++round) {
+    const double before = current;
+    current = spr_round(engine, tree, options.spr_radius, current, result);
+    current = engine.optimize_all_branches(root, options.smoothing_passes);
+    ++result.rounds;
+    result.trajectory.push_back(current);
+    MINIPHI_LOG(Debug) << "search: round " << round << " lnL = " << current;
+    if (options.round_callback) options.round_callback(result.rounds, current);
+    MINIPHI_ASSERT(current >= before - 1e-6);
+    if (current - before < options.epsilon) break;
+  }
+
+  result.log_likelihood = current;
+  return result;
+}
+
+}  // namespace miniphi::search

@@ -1,0 +1,56 @@
+// Maximum-likelihood tree search: lazy SPR hill climbing in the style of
+// RAxML-Light / ExaML (the two programs the paper integrates its kernels
+// into).  The search alternates branch-length smoothing, model parameter
+// optimization, and rounds of subtree-prune-regraft moves within a
+// rearrangement radius; candidate insertions are scored lazily (evaluate
+// only, no per-candidate branch optimization) and the best improving
+// insertion per pruned subtree is applied immediately.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "src/core/evaluator.hpp"
+#include "src/search/model_optimizer.hpp"
+#include "src/tree/moves.hpp"
+
+namespace miniphi::search {
+
+struct SearchOptions {
+  int spr_radius = 5;          ///< rearrangement radius (RAxML -r style bound)
+  double epsilon = 0.01;       ///< stop when a round gains less than this
+  int max_rounds = 25;
+  int smoothing_passes = 3;    ///< branch-optimization sweeps per smoothing
+  bool optimize_model = true;  ///< run model optimization before the search
+  ModelOptimizerOptions model_options;
+  /// Optional model-optimization hook.  When set, it is invoked instead of
+  /// the generic α-only optimization and must return the new log-likelihood
+  /// at the given root edge.  Drivers use this to plug in the full GTR
+  /// optimizer for their concrete engine type (see model_optimizer.hpp).
+  std::function<double(core::Evaluator&, tree::Slot*)> model_hook;
+  /// Invoked after every completed SPR round with (1-based round number,
+  /// current log-likelihood).  Used for progress reporting and
+  /// checkpointing (see search/checkpoint.hpp); the tree object passed to
+  /// run_tree_search holds the current state when the callback fires.
+  std::function<void(int, double)> round_callback;
+};
+
+struct SearchResult {
+  double log_likelihood = 0.0;
+  int rounds = 0;
+  int accepted_moves = 0;
+  std::int64_t evaluated_insertions = 0;
+  std::vector<double> trajectory;  ///< log-likelihood after each round
+};
+
+/// Runs the full search on the engine's tree (modified in place: topology,
+/// branch lengths, and — if enabled — model parameters).
+SearchResult run_tree_search(core::Evaluator& engine, tree::Tree& tree,
+                             const SearchOptions& options = {});
+
+/// One SPR round at the given radius.  Returns the log-likelihood after the
+/// round; `result` accumulates move statistics.
+double spr_round(core::Evaluator& engine, tree::Tree& tree, int radius,
+                 double current_lnl, SearchResult& result);
+
+}  // namespace miniphi::search

@@ -1,0 +1,49 @@
+#include "src/simd/dispatch.hpp"
+
+#include "src/util/error.hpp"
+
+namespace miniphi::simd {
+
+bool isa_supported(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return true;
+    case Isa::kAvx2:
+#if defined(__x86_64__) || defined(_M_X64)
+      return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+      return false;
+#endif
+    case Isa::kAvx512:
+#if defined(__x86_64__) || defined(_M_X64)
+      return __builtin_cpu_supports("avx512f");
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+Isa best_supported_isa() {
+  if (isa_supported(Isa::kAvx512)) return Isa::kAvx512;
+  if (isa_supported(Isa::kAvx2)) return Isa::kAvx2;
+  return Isa::kScalar;
+}
+
+std::string to_string(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar: return "scalar";
+    case Isa::kAvx2: return "avx2";
+    case Isa::kAvx512: return "avx512";
+  }
+  return "unknown";
+}
+
+Isa isa_from_string(const std::string& name) {
+  if (name == "scalar") return Isa::kScalar;
+  if (name == "avx2" || name == "avx") return Isa::kAvx2;
+  if (name == "avx512" || name == "mic") return Isa::kAvx512;
+  throw Error("unknown ISA name '" + name + "' (expected scalar|avx2|avx512)");
+}
+
+}  // namespace miniphi::simd

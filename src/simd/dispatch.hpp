@@ -1,0 +1,42 @@
+// Runtime ISA detection and kernel back-end selection.
+//
+// The paper ships AVX kernels for the host CPUs and 512-bit kernels for the
+// Xeon Phi.  Here both live in one binary: each back-end is compiled in its
+// own translation unit with the matching -m flags, and the dispatcher picks
+// the widest back-end the running CPU supports (or an explicit override, so
+// benches can compare back-ends on the same machine).
+#pragma once
+
+#include <string>
+
+namespace miniphi::simd {
+
+/// Kernel instruction-set back-ends, ordered by vector width.
+enum class Isa {
+  kScalar = 0,  ///< portable C++, 1 double per "vector"
+  kAvx2 = 1,    ///< 256-bit, 4 doubles — the paper's CPU baseline ISA class
+  kAvx512 = 2,  ///< 512-bit, 8 doubles — the MIC / KNC vector width
+};
+
+/// Widest ISA supported by the running CPU (and compiled into this binary).
+Isa best_supported_isa();
+
+/// True iff the given back-end can execute on this CPU.
+bool isa_supported(Isa isa);
+
+/// Number of doubles per vector register for the back-end.
+constexpr int isa_width(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar: return 1;
+    case Isa::kAvx2: return 4;
+    case Isa::kAvx512: return 8;
+  }
+  return 1;
+}
+
+std::string to_string(Isa isa);
+
+/// Parses "scalar" / "avx2" / "avx512"; throws miniphi::Error otherwise.
+Isa isa_from_string(const std::string& name);
+
+}  // namespace miniphi::simd

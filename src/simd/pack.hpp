@@ -1,0 +1,189 @@
+// Fixed-width vector packs of doubles: the building block of all PLF kernels.
+//
+// Pack<1> is portable; Pack<4> wraps AVX2+FMA (__m256d) and Pack<8> wraps
+// AVX-512F (__m512d).  The wide specializations only exist in translation
+// units compiled with the matching -m flags — kernel back-ends instantiate
+// the shared kernel templates once per ISA (see src/core/kernels_impl.hpp),
+// mirroring how the paper keeps one algorithm with per-ISA inner loops.
+//
+// Operations are the minimal set the kernels need: aligned load/store,
+// streaming (non-temporal) store (paper Section V-B5), broadcast, +, *,
+// fused multiply-add (Section V-B3: "the inner loop can be calculated by two
+// fused-multiply-add vector operations"), and a horizontal sum for the
+// site-blocked reductions in coreDerivative (Section V-B4).
+#pragma once
+
+#include <cstddef>
+
+#if defined(__AVX2__) || defined(__AVX512F__)
+#include <immintrin.h>
+#endif
+
+namespace miniphi::simd {
+
+template <int W>
+struct Pack;
+
+/// Scalar "vector": keeps the kernel templates ISA-agnostic.
+template <>
+struct Pack<1> {
+  static constexpr int kWidth = 1;
+  double v;
+
+  static Pack load(const double* p) { return {*p}; }
+  static Pack broadcast(double x) { return {x}; }
+  static Pack zero() { return {0.0}; }
+  void store(double* p) const { *p = v; }
+  void stream(double* p) const { *p = v; }
+
+  friend Pack operator+(Pack a, Pack b) { return {a.v + b.v}; }
+  friend Pack operator-(Pack a, Pack b) { return {a.v - b.v}; }
+  friend Pack operator*(Pack a, Pack b) { return {a.v * b.v}; }
+  friend Pack operator/(Pack a, Pack b) { return {a.v / b.v}; }
+
+  /// a*b + c
+  static Pack fma(Pack a, Pack b, Pack c) { return {a.v * b.v + c.v}; }
+
+  static Pack abs(Pack a) { return {a.v < 0.0 ? -a.v : a.v}; }
+  static Pack max(Pack a, Pack b) { return {a.v > b.v ? a.v : b.v}; }
+
+  /// Broadcast element J of each aligned 4-lane group (degenerate for W=1).
+  template <int J>
+  static Pack quad_broadcast(Pack a) {
+    static_assert(J >= 0 && J < 4);
+    return a;
+  }
+
+  double horizontal_sum() const { return v; }
+  double horizontal_max() const { return v; }
+};
+
+#if defined(__AVX2__)
+/// 256-bit pack: the paper's CPU-baseline (AVX) vector width for doubles.
+template <>
+struct Pack<4> {
+  static constexpr int kWidth = 4;
+  __m256d v;
+
+  static Pack load(const double* p) { return {_mm256_load_pd(p)}; }
+  static Pack broadcast(double x) { return {_mm256_set1_pd(x)}; }
+  static Pack zero() { return {_mm256_setzero_pd()}; }
+  void store(double* p) const { _mm256_store_pd(p, v); }
+  void stream(double* p) const { _mm256_stream_pd(p, v); }
+
+  friend Pack operator+(Pack a, Pack b) { return {_mm256_add_pd(a.v, b.v)}; }
+  friend Pack operator-(Pack a, Pack b) { return {_mm256_sub_pd(a.v, b.v)}; }
+  friend Pack operator*(Pack a, Pack b) { return {_mm256_mul_pd(a.v, b.v)}; }
+  friend Pack operator/(Pack a, Pack b) { return {_mm256_div_pd(a.v, b.v)}; }
+
+  static Pack fma(Pack a, Pack b, Pack c) { return {_mm256_fmadd_pd(a.v, b.v, c.v)}; }
+
+  static Pack abs(Pack a) {
+    const __m256d sign_mask = _mm256_set1_pd(-0.0);
+    return {_mm256_andnot_pd(sign_mask, a.v)};
+  }
+  static Pack max(Pack a, Pack b) { return {_mm256_max_pd(a.v, b.v)}; }
+
+  /// Broadcast lane J to all 4 lanes (one 256-bit register = one Γ rate).
+  template <int J>
+  static Pack quad_broadcast(Pack a) {
+    static_assert(J >= 0 && J < 4);
+    return {_mm256_permute4x64_pd(a.v, J * 0x55)};
+  }
+
+  double horizontal_max() const {
+    const __m128d lo = _mm256_castpd256_pd128(v);
+    const __m128d hi = _mm256_extractf128_pd(v, 1);
+    const __m128d pair = _mm_max_pd(lo, hi);
+    const __m128d swapped = _mm_unpackhi_pd(pair, pair);
+    return _mm_cvtsd_f64(_mm_max_sd(pair, swapped));
+  }
+
+  double horizontal_sum() const {
+    const __m128d lo = _mm256_castpd256_pd128(v);
+    const __m128d hi = _mm256_extractf128_pd(v, 1);
+    const __m128d pair = _mm_add_pd(lo, hi);
+    const __m128d swapped = _mm_unpackhi_pd(pair, pair);
+    return _mm_cvtsd_f64(_mm_add_sd(pair, swapped));
+  }
+};
+#endif  // __AVX2__
+
+#if defined(__AVX512F__)
+/// 512-bit pack: the MIC (Knights Corner) vector width — 8 doubles per op.
+template <>
+struct Pack<8> {
+  static constexpr int kWidth = 8;
+  __m512d v;
+
+  static Pack load(const double* p) { return {_mm512_load_pd(p)}; }
+  static Pack broadcast(double x) { return {_mm512_set1_pd(x)}; }
+  static Pack zero() { return {_mm512_setzero_pd()}; }
+  void store(double* p) const { _mm512_store_pd(p, v); }
+  void stream(double* p) const { _mm512_stream_pd(p, v); }
+
+  friend Pack operator+(Pack a, Pack b) { return {_mm512_add_pd(a.v, b.v)}; }
+  friend Pack operator-(Pack a, Pack b) { return {_mm512_sub_pd(a.v, b.v)}; }
+  friend Pack operator*(Pack a, Pack b) { return {_mm512_mul_pd(a.v, b.v)}; }
+  friend Pack operator/(Pack a, Pack b) { return {_mm512_div_pd(a.v, b.v)}; }
+
+  static Pack fma(Pack a, Pack b, Pack c) { return {_mm512_fmadd_pd(a.v, b.v, c.v)}; }
+
+  static Pack abs(Pack a) { return {_mm512_abs_pd(a.v)}; }
+  static Pack max(Pack a, Pack b) { return {_mm512_max_pd(a.v, b.v)}; }
+
+  /// Broadcast element J of each aligned 4-lane group: one 512-bit register
+  /// holds two Γ rates, so lanes {J, J+4} fan out to their own halves.
+  template <int J>
+  static Pack quad_broadcast(Pack a) {
+    static_assert(J >= 0 && J < 4);
+    const __m512i idx = _mm512_set_epi64(J + 4, J + 4, J + 4, J + 4, J, J, J, J);
+    return {_mm512_permutexvar_pd(idx, a.v)};
+  }
+
+  double horizontal_sum() const { return _mm512_reduce_add_pd(v); }
+  double horizontal_max() const { return _mm512_reduce_max_pd(v); }
+
+  /// Assembles one 512-bit register from two independently addressed
+  /// 256-bit halves (each 32-byte aligned).  This is the CAT-model
+  /// alignment trick of paper Section V-B2: two 4-double sites with
+  /// different rate categories share one vector operation.
+  static Pack concat(const double* lo, const double* hi) {
+    const __m256d low = _mm256_load_pd(lo);
+    const __m256d high = _mm256_load_pd(hi);
+    return {_mm512_insertf64x4(_mm512_castpd256_pd512(low), high, 1)};
+  }
+
+#if defined(__AVX2__)
+  [[nodiscard]] Pack<4> lower_half() const { return {_mm512_castpd512_pd256(v)}; }
+  [[nodiscard]] Pack<4> upper_half() const { return {_mm512_extractf64x4_pd(v, 1)}; }
+#endif
+};
+#endif  // __AVX512F__
+
+/// Software prefetch into L1 (paper Section V-B6: manual prefetching with a
+/// tuned distance gives notable speedups for these streaming kernels).
+inline void prefetch_read(const void* p) {
+#if defined(__AVX2__) || defined(__AVX512F__)
+  _mm_prefetch(static_cast<const char*>(p), _MM_HINT_T0);
+#else
+  __builtin_prefetch(p, /*rw=*/0, /*locality=*/3);
+#endif
+}
+
+inline void prefetch_write(const void* p) {
+#if defined(__AVX2__) || defined(__AVX512F__)
+  _mm_prefetch(static_cast<const char*>(p), _MM_HINT_T0);
+#else
+  __builtin_prefetch(p, /*rw=*/1, /*locality=*/3);
+#endif
+}
+
+/// Fence required after streaming stores before other threads read the data.
+inline void stream_fence() {
+#if defined(__AVX2__) || defined(__AVX512F__)
+  _mm_sfence();
+#endif
+}
+
+}  // namespace miniphi::simd

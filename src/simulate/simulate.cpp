@@ -1,0 +1,274 @@
+#include "src/simulate/simulate.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <functional>
+#include <string>
+
+#include "src/util/error.hpp"
+
+namespace miniphi::simulate {
+namespace {
+
+/// Samples an index from a 4-entry discrete distribution.
+int sample4(const double* probabilities, Rng& rng) {
+  const double u = rng.uniform();
+  double cumulative = 0.0;
+  for (int i = 0; i < 3; ++i) {
+    cumulative += probabilities[i];
+    if (u < cumulative) return i;
+  }
+  return 3;
+}
+
+}  // namespace
+
+tree::Tree yule_tree(int taxon_count, Rng& rng, double target_depth) {
+  MINIPHI_CHECK(taxon_count >= 3, "yule_tree: need at least 3 taxa");
+  MINIPHI_CHECK(target_depth > 0.0, "yule_tree: depth must be positive");
+
+  // Simulate the birth process forward in time: each active lineage keeps a
+  // "birth time"; at each event a uniformly chosen lineage splits.
+  struct Lineage {
+    int parent_attach;   // index into pending attachment list
+    double birth_time;
+  };
+
+  // Grow a rooted topology as parent pointers, then convert to our unrooted
+  // Tree via Newick (simplest correct path, and exercises the parser).
+  struct ProtoNode {
+    int left = -1;
+    int right = -1;
+    double time = 0.0;  // node height from the root
+    int tip_id = -1;
+  };
+  std::vector<ProtoNode> nodes;
+  nodes.push_back({});  // root, time 0
+
+  std::vector<int> active = {0};
+  double now = 0.0;
+  int next_tip = 0;
+  while (static_cast<int>(active.size()) < taxon_count) {
+    const double rate = static_cast<double>(active.size());
+    now += rng.exponential(rate);
+    const std::size_t pick = rng.below(active.size());
+    const int node = active[pick];
+    nodes[static_cast<std::size_t>(node)].time = now;
+    const int left = static_cast<int>(nodes.size());
+    nodes.push_back({});
+    const int right = static_cast<int>(nodes.size());
+    nodes.push_back({});
+    nodes[static_cast<std::size_t>(node)].left = left;
+    nodes[static_cast<std::size_t>(node)].right = right;
+    active[pick] = left;
+    active.push_back(right);
+  }
+  // Close all open lineages at the present; assign tip ids in active order.
+  now += rng.exponential(static_cast<double>(active.size()));
+  for (const int node : active) {
+    nodes[static_cast<std::size_t>(node)].time = now;
+    nodes[static_cast<std::size_t>(node)].tip_id = next_tip++;
+  }
+
+  // Scale heights so root-to-tip depth equals target_depth substitutions.
+  const double scale = target_depth / now;
+
+  // Serialize to Newick with branch = child.time - parent.time.
+  std::string newick;
+  const std::function<void(int, double)> serialize = [&](int node, double parent_time) {
+    const auto& n = nodes[static_cast<std::size_t>(node)];
+    if (n.tip_id >= 0) {
+      newick += "t" + std::to_string(n.tip_id);
+    } else {
+      newick += "(";
+      serialize(n.left, n.time);
+      newick += ",";
+      serialize(n.right, n.time);
+      newick += ")";
+    }
+    if (parent_time >= 0.0) {
+      // Guard against zero-length branches; the likelihood domain is z > 0.
+      const double length = std::max((n.time - parent_time) * scale, 1e-6);
+      newick += ":" + std::to_string(length);
+    }
+  };
+  serialize(0, -1.0);
+  newick += ";";
+
+  std::vector<std::string> names;
+  names.reserve(static_cast<std::size_t>(taxon_count));
+  for (int i = 0; i < taxon_count; ++i) names.push_back("t" + std::to_string(i));
+  return tree::Tree::from_newick(*io::parse_newick(newick), names);
+}
+
+SimulationResult simulate_alignment(const tree::Tree& tree, const model::GtrModel& model,
+                                    const SimulationOptions& options, Rng& rng) {
+  MINIPHI_CHECK(options.sites > 0, "simulate_alignment: need at least one site");
+  const int ntaxa = tree.taxon_count();
+  const auto nsites = static_cast<std::size_t>(options.sites);
+  const auto& pi = model.frequencies();
+  const auto& gamma_rates = model.gamma_rates();
+  const int ncat = model.gamma_categories();
+
+  // Per-site rate category (equal prior over categories, Yang 1994).
+  std::vector<std::uint8_t> categories(nsites);
+  for (auto& category : categories) {
+    category = static_cast<std::uint8_t>(rng.below(static_cast<std::uint64_t>(ncat)));
+  }
+
+  // Root the process on an arbitrary branch: start from the virtual root at
+  // tip 0's branch, drawing the state at the *inner* end from π (valid under
+  // reversibility: the stationary process can be rooted anywhere).
+  std::vector<std::vector<std::uint8_t>> states(
+      static_cast<std::size_t>(tree.node_count()), std::vector<std::uint8_t>(nsites));
+
+  const tree::Slot* start = tree.tip(0)->back;
+  auto& root_states = states[static_cast<std::size_t>(start->node_id)];
+  for (std::size_t s = 0; s < nsites; ++s) {
+    root_states[s] = static_cast<std::uint8_t>(sample4(pi.data(), rng));
+  }
+
+  // Pre-build transition matrices per (edge, category) lazily while walking.
+  const std::function<void(const tree::Slot*, const tree::Slot*)> evolve =
+      [&](const tree::Slot* from, const tree::Slot* to_slot) {
+        // `to_slot` is the slot at the far end of the branch (from_side->back).
+        const double z = to_slot->length;
+        std::array<model::Matrix4, 8> p_by_cat;
+        for (int c = 0; c < ncat; ++c) {
+          p_by_cat[static_cast<std::size_t>(c)] =
+              model.transition_matrix(z, gamma_rates[static_cast<std::size_t>(c)]);
+        }
+        const auto& src = states[static_cast<std::size_t>(from->node_id)];
+        auto& dst = states[static_cast<std::size_t>(to_slot->node_id)];
+        for (std::size_t s = 0; s < nsites; ++s) {
+          const auto& p = p_by_cat[categories[s]];
+          dst[s] = static_cast<std::uint8_t>(sample4(&p[static_cast<std::size_t>(src[s]) * 4], rng));
+        }
+        if (!to_slot->is_tip()) {
+          evolve(to_slot, to_slot->child1());
+          evolve(to_slot, to_slot->child2());
+        }
+      };
+
+  // From the start node, evolve towards tip 0 and into both subtrees.
+  evolve(start, tree.tip(0));
+  if (!start->is_tip()) {
+    evolve(start, start->child1());
+    evolve(start, start->child2());
+  }
+
+  // Collect tip rows into an alignment.
+  std::vector<std::string> names;
+  std::vector<std::vector<bio::DnaCode>> rows;
+  names.reserve(static_cast<std::size_t>(ntaxa));
+  rows.reserve(static_cast<std::size_t>(ntaxa));
+  for (int t = 0; t < ntaxa; ++t) {
+    names.push_back("t" + std::to_string(t));
+    std::vector<bio::DnaCode> row(nsites);
+    const auto& tip_states = states[static_cast<std::size_t>(t)];
+    for (std::size_t s = 0; s < nsites; ++s) {
+      row[s] = static_cast<bio::DnaCode>(1u << tip_states[s]);
+    }
+    rows.push_back(std::move(row));
+  }
+
+  SimulationResult result{bio::Alignment(std::move(names), std::move(rows)), {}};
+  if (options.record_categories) result.site_categories = std::move(categories);
+  return result;
+}
+
+bio::Alignment paper_dataset(std::int64_t sites, std::uint64_t seed, int taxon_count) {
+  Rng rng(seed);
+  // Mildly informative GTR parameters (non-uniform but not extreme), as is
+  // typical for INDELible benchmark configurations.
+  model::GtrParams params;
+  params.exchangeabilities = {1.2, 3.5, 0.8, 0.9, 3.1, 1.0};
+  params.frequencies = {0.30, 0.21, 0.24, 0.25};
+  params.alpha = 0.8;
+  const model::GtrModel model(params);
+
+  tree::Tree tree = yule_tree(taxon_count, rng, 0.6);
+  SimulationOptions options;
+  options.sites = sites;
+  return simulate_alignment(tree, model, options, rng).alignment;
+}
+
+GeneralSimulationResult simulate_general(const tree::Tree& tree,
+                                         const model::GeneralModel& model, std::int64_t sites,
+                                         Rng& rng) {
+  MINIPHI_CHECK(sites > 0, "simulate_general: need at least one site");
+  const int ntaxa = tree.taxon_count();
+  const int states = model.states();
+  const auto nsites = static_cast<std::size_t>(sites);
+  const auto& pi = model.frequencies();
+  const auto& gamma_rates = model.gamma_rates();
+  const int ncat = model.gamma_categories();
+
+  const auto sample = [&](const double* probabilities) {
+    const double u = rng.uniform();
+    double cumulative = 0.0;
+    for (int i = 0; i < states - 1; ++i) {
+      cumulative += probabilities[i];
+      if (u < cumulative) return static_cast<std::uint8_t>(i);
+    }
+    return static_cast<std::uint8_t>(states - 1);
+  };
+
+  std::vector<std::uint8_t> categories(nsites);
+  for (auto& category : categories) {
+    category = static_cast<std::uint8_t>(rng.below(static_cast<std::uint64_t>(ncat)));
+  }
+
+  std::vector<std::vector<std::uint8_t>> states_by_node(
+      static_cast<std::size_t>(tree.node_count()), std::vector<std::uint8_t>(nsites));
+  const tree::Slot* start = tree.tip(0)->back;
+  auto& root_states = states_by_node[static_cast<std::size_t>(start->node_id)];
+  for (std::size_t s = 0; s < nsites; ++s) root_states[s] = sample(pi.data());
+
+  const std::function<void(const tree::Slot*, const tree::Slot*)> evolve =
+      [&](const tree::Slot* from, const tree::Slot* to_slot) {
+        std::vector<model::Matrix> p_by_cat;
+        p_by_cat.reserve(static_cast<std::size_t>(ncat));
+        for (int c = 0; c < ncat; ++c) {
+          p_by_cat.push_back(model.transition_matrix(
+              to_slot->length, gamma_rates[static_cast<std::size_t>(c)]));
+        }
+        const auto& src = states_by_node[static_cast<std::size_t>(from->node_id)];
+        auto& dst = states_by_node[static_cast<std::size_t>(to_slot->node_id)];
+        for (std::size_t s = 0; s < nsites; ++s) {
+          const auto& p = p_by_cat[categories[s]];
+          dst[s] = sample(&p.data()[static_cast<std::size_t>(src[s]) *
+                                    static_cast<std::size_t>(states)]);
+        }
+        if (!to_slot->is_tip()) {
+          evolve(to_slot, to_slot->child1());
+          evolve(to_slot, to_slot->child2());
+        }
+      };
+  evolve(start, tree.tip(0));
+  if (!start->is_tip()) {
+    evolve(start, start->child1());
+    evolve(start, start->child2());
+  }
+
+  GeneralSimulationResult result;
+  result.names.reserve(static_cast<std::size_t>(ntaxa));
+  result.rows.reserve(static_cast<std::size_t>(ntaxa));
+  for (int t = 0; t < ntaxa; ++t) {
+    result.names.push_back("t" + std::to_string(t));
+    result.rows.push_back(std::move(states_by_node[static_cast<std::size_t>(t)]));
+  }
+  return result;
+}
+
+bio::ProteinAlignment simulate_protein_alignment(const tree::Tree& tree,
+                                                 const model::GeneralModel& model,
+                                                 std::int64_t sites, Rng& rng) {
+  MINIPHI_CHECK(model.states() == bio::kAaStates,
+                "simulate_protein_alignment: model must have 20 states");
+  auto result = simulate_general(tree, model, sites, rng);
+  return bio::ProteinAlignment(std::move(result.names), std::move(result.rows));
+}
+
+}  // namespace miniphi::simulate

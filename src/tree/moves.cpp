@@ -1,0 +1,119 @@
+#include "src/tree/moves.hpp"
+
+#include "src/util/error.hpp"
+
+namespace miniphi::tree {
+
+PruneRecord prune(Tree& tree, Slot* p) {
+  MINIPHI_ASSERT(p != nullptr && !p->is_tip());
+  MINIPHI_ASSERT(p->back != nullptr);
+  Slot* a = p->next;
+  Slot* b = p->next->next;
+  MINIPHI_ASSERT(a->back != nullptr && b->back != nullptr);
+
+  PruneRecord record;
+  record.pruned = p;
+  record.left = a->back;
+  record.right = b->back;
+  record.left_length = a->length;
+  record.right_length = b->length;
+
+  tree.disconnect(a);
+  tree.disconnect(b);
+  tree.connect(record.left, record.right, record.left_length + record.right_length);
+  return record;
+}
+
+void regraft(Tree& tree, const PruneRecord& record, Slot* e, double split_ratio) {
+  MINIPHI_ASSERT(e != nullptr && e->back != nullptr);
+  MINIPHI_ASSERT(split_ratio > 0.0 && split_ratio < 1.0);
+  Slot* p = record.pruned;
+  MINIPHI_ASSERT(p->next->back == nullptr && p->next->next->back == nullptr);
+  MINIPHI_ASSERT(e != p->next && e != p->next->next);
+
+  Slot* other = e->back;
+  const double length = e->length;
+  tree.disconnect(e);
+  tree.connect(e, p->next, length * split_ratio);
+  tree.connect(other, p->next->next, length * (1.0 - split_ratio));
+}
+
+void ungraft(Tree& tree, const PruneRecord& record) {
+  Slot* p = record.pruned;
+  Slot* a = p->next;
+  Slot* b = p->next->next;
+  MINIPHI_ASSERT(a->back != nullptr && b->back != nullptr);
+  Slot* left = a->back;
+  Slot* right = b->back;
+  const double total = a->length + b->length;
+  tree.disconnect(a);
+  tree.disconnect(b);
+  tree.connect(left, right, total);
+}
+
+void undo_prune(Tree& tree, const PruneRecord& record) {
+  Slot* p = record.pruned;
+  MINIPHI_ASSERT(p->next->back == nullptr && p->next->next->back == nullptr);
+  // The joined edge is (left, right); split it back to the original lengths.
+  MINIPHI_ASSERT(record.left->back == record.right);
+  tree.disconnect(record.left);
+  tree.connect(record.left, p->next, record.left_length);
+  tree.connect(record.right, p->next->next, record.right_length);
+}
+
+bool nni(Tree& tree, Slot* p, int variant) {
+  MINIPHI_ASSERT(variant == 0 || variant == 1);
+  Slot* q = p->back;
+  if (p->is_tip() || q->is_tip()) return false;
+
+  // Subtrees: on p's side A = p->next, B = p->next->next;
+  //           on q's side C = q->next, D = q->next->next.
+  Slot* b = p->next->next;
+  Slot* c = (variant == 0) ? q->next : q->next->next;
+
+  Slot* b_sub = b->back;
+  Slot* c_sub = c->back;
+  const double b_len = b->length;
+  const double c_len = c->length;
+
+  tree.disconnect(b);
+  tree.disconnect(c);
+  tree.connect(b, c_sub, c_len);
+  tree.connect(c, b_sub, b_len);
+  return true;
+}
+
+namespace {
+
+void collect_edges(Slot* from, int depth, std::vector<Slot*>& out) {
+  // `from` is a slot pointing into the region to explore; the edge
+  // (from, from->back) is itself a candidate.
+  out.push_back(from);
+  if (depth <= 1 || from->back->is_tip()) return;
+  Slot* q = from->back;
+  collect_edges(q->next, depth - 1, out);
+  collect_edges(q->next->next, depth - 1, out);
+}
+
+}  // namespace
+
+std::vector<Slot*> insertion_candidates(const PruneRecord& record, int radius) {
+  MINIPHI_ASSERT(radius >= 1);
+  std::vector<Slot*> out;
+  // After prune(), left and right are joined.  Walk outward from both sides.
+  // The joined edge (left,right) itself is excluded: re-inserting there
+  // recreates the original topology.
+  Slot* left = record.left;
+  Slot* right = record.right;
+  if (!left->is_tip()) {
+    collect_edges(left->next, radius, out);
+    collect_edges(left->next->next, radius, out);
+  }
+  if (!right->is_tip()) {
+    collect_edges(right->next, radius, out);
+    collect_edges(right->next->next, radius, out);
+  }
+  return out;
+}
+
+}  // namespace miniphi::tree

@@ -1,0 +1,55 @@
+// Topology rearrangements: subtree pruning and regrafting (SPR) and
+// nearest-neighbor interchange (NNI), with exact undo.
+//
+// The ML search (RAxML-Light's "lazy SPR" scheme, which both programs in the
+// paper use) prunes a subtree, tries insertions into all edges within a
+// rearrangement radius, and keeps the best.  These primitives are pure
+// topology operations; likelihood bookkeeping (CLA invalidation) is the
+// engine's job and is driven by the records returned here.
+#pragma once
+
+#include <vector>
+
+#include "src/tree/tree.hpp"
+
+namespace miniphi::tree {
+
+/// Result of prune(): everything needed to undo or to regraft elsewhere.
+struct PruneRecord {
+  Slot* pruned = nullptr;  ///< inner slot whose back holds the pruned subtree
+  Slot* left = nullptr;    ///< one former neighbor (now joined to right)
+  Slot* right = nullptr;   ///< the other former neighbor
+  double left_length = 0.0;
+  double right_length = 0.0;
+};
+
+/// Prunes the subtree hanging at `p->back`, where `p` is an inner slot.
+/// After the call, p->next and p->next->next are free and the two former
+/// neighbors are joined by a branch of the summed length.
+/// Requires: p is inner; its two sibling slots are connected.
+PruneRecord prune(Tree& tree, Slot* p);
+
+/// Inserts the pruned node into the edge (e, e->back): the edge is split and
+/// the two halves get `split_ratio` / 1-split_ratio of its length; the
+/// reattachment branch at `p` keeps its current length.
+void regraft(Tree& tree, const PruneRecord& record, Slot* e, double split_ratio = 0.5);
+
+/// Exactly reverses a prune (the subtree must not be currently grafted).
+void undo_prune(Tree& tree, const PruneRecord& record);
+
+/// Removes the current graft of `record.pruned` (after a regraft), restoring
+/// the pruned state so another insertion can be tried.
+void ungraft(Tree& tree, const PruneRecord& record);
+
+/// The two possible NNI rearrangements across the internal edge (p, p->back).
+/// `variant` is 0 or 1.  Returns false (doing nothing) if the edge is not
+/// internal.  Applying the same variant twice restores the original topology.
+bool nni(Tree& tree, Slot* p, int variant);
+
+/// All candidate insertion edges within `radius` nodes of the prune point,
+/// excluding the two edges adjacent to it (inserting there is a no-op).
+/// Radius 1 = edges touching the immediate neighbors, as in RAxML's
+/// rearrangement-radius bounded SPR.
+std::vector<Slot*> insertion_candidates(const PruneRecord& record, int radius);
+
+}  // namespace miniphi::tree

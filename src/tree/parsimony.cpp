@@ -1,0 +1,124 @@
+#include "src/tree/parsimony.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "src/util/error.hpp"
+
+namespace miniphi::tree {
+namespace {
+
+/// Computes Fitch state sets for the subtree *behind* `slot` (the side away
+/// from slot->back) and accumulates the weighted mutation cost.
+std::vector<bio::DnaCode> fitch_down(const Slot* slot, const bio::PatternSet& patterns,
+                                     std::uint64_t& cost) {
+  const std::size_t npat = patterns.pattern_count();
+  if (slot->is_tip()) {
+    return patterns.tip_rows[static_cast<std::size_t>(slot->node_id)];
+  }
+  const auto s1 = fitch_down(slot->child1(), patterns, cost);
+  const auto s2 = fitch_down(slot->child2(), patterns, cost);
+  std::vector<bio::DnaCode> out(npat);
+  for (std::size_t p = 0; p < npat; ++p) {
+    const bio::DnaCode inter = static_cast<bio::DnaCode>(s1[p] & s2[p]);
+    if (inter != 0) {
+      out[p] = inter;
+    } else {
+      out[p] = static_cast<bio::DnaCode>(s1[p] | s2[p]);
+      cost += patterns.weights[p];
+    }
+  }
+  return out;
+}
+
+/// Fitch score of the (possibly partial) tree containing `anchor_tip`.
+std::uint64_t fitch_score_component(const Slot* anchor_tip, const bio::PatternSet& patterns) {
+  MINIPHI_ASSERT(anchor_tip->is_tip() && anchor_tip->back != nullptr);
+  std::uint64_t cost = 0;
+  const auto states = fitch_down(anchor_tip->back, patterns, cost);
+  const auto& anchor_row = patterns.tip_rows[static_cast<std::size_t>(anchor_tip->node_id)];
+  for (std::size_t p = 0; p < patterns.pattern_count(); ++p) {
+    if ((states[p] & anchor_row[p]) == 0) cost += patterns.weights[p];
+  }
+  return cost;
+}
+
+/// Collects one canonical slot per edge of the component behind `slot`.
+void collect_component_edges(Slot* slot, std::vector<Slot*>& out) {
+  out.push_back(slot);  // edge (slot, slot->back)
+  if (slot->back->is_tip()) return;
+  collect_component_edges(slot->back->next, out);
+  collect_component_edges(slot->back->next->next, out);
+}
+
+}  // namespace
+
+std::uint64_t fitch_score(const Tree& tree, const bio::PatternSet& patterns) {
+  MINIPHI_CHECK(static_cast<std::size_t>(tree.taxon_count()) == patterns.taxon_count(),
+                "fitch_score: tree and patterns disagree on taxon count");
+  return fitch_score_component(tree.tip(0), patterns);
+}
+
+Tree parsimony_starting_tree(const bio::PatternSet& patterns, Rng& rng) {
+  const int ntaxa = static_cast<int>(patterns.taxon_count());
+  MINIPHI_CHECK(ntaxa >= 3, "parsimony_starting_tree: need at least 3 taxa");
+  Tree tree(ntaxa);
+
+  std::vector<int> order(static_cast<std::size_t>(ntaxa));
+  std::iota(order.begin(), order.end(), 0);
+  for (std::size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng.below(i)]);
+  }
+
+  tree.connect(tree.tip(order[0]), tree.inner_slot(0, 0), kDefaultBranchLength);
+  tree.connect(tree.tip(order[1]), tree.inner_slot(0, 1), kDefaultBranchLength);
+  tree.connect(tree.tip(order[2]), tree.inner_slot(0, 2), kDefaultBranchLength);
+
+  for (int i = 3; i < ntaxa; ++i) {
+    Slot* tip = tree.tip(order[static_cast<std::size_t>(i)]);
+    Slot* anchor = tree.tip(order[0]);
+
+    std::vector<Slot*> edges;
+    collect_component_edges(anchor, edges);
+
+    Slot* hub0 = tree.inner_slot(i - 2, 0);
+    Slot* hub1 = tree.inner_slot(i - 2, 1);
+    Slot* hub2 = tree.inner_slot(i - 2, 2);
+
+    Slot* best_edge = nullptr;
+    std::uint64_t best_score = std::numeric_limits<std::uint64_t>::max();
+    for (Slot* edge : edges) {
+      // Tentatively insert, score, remove.
+      Slot* other = edge->back;
+      const double length = edge->length;
+      tree.disconnect(edge);
+      tree.connect(edge, hub0, length * 0.5);
+      tree.connect(other, hub1, length * 0.5);
+      tree.connect(tip, hub2, kDefaultBranchLength);
+
+      const std::uint64_t score = fitch_score_component(anchor, patterns);
+      if (score < best_score) {
+        best_score = score;
+        best_edge = edge;
+      }
+
+      tree.disconnect(edge);
+      tree.disconnect(other);
+      tree.disconnect(tip);
+      tree.connect(edge, other, length);
+    }
+    MINIPHI_ASSERT(best_edge != nullptr);
+
+    Slot* other = best_edge->back;
+    const double length = best_edge->length;
+    tree.disconnect(best_edge);
+    tree.connect(best_edge, hub0, length * 0.5);
+    tree.connect(other, hub1, length * 0.5);
+    tree.connect(tip, hub2, kDefaultBranchLength);
+  }
+  tree.validate();
+  return tree;
+}
+
+}  // namespace miniphi::tree

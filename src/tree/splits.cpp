@@ -1,0 +1,82 @@
+#include "src/tree/splits.hpp"
+
+#include <algorithm>
+
+#include "src/util/error.hpp"
+
+namespace miniphi::tree {
+namespace {
+
+Split make_split(std::size_t words) { return Split(words, 0); }
+
+void set_bit(Split& split, int taxon) {
+  split[static_cast<std::size_t>(taxon) / 64] |= (std::uint64_t{1} << (taxon % 64));
+}
+
+bool test_bit(const Split& split, int taxon) {
+  return (split[static_cast<std::size_t>(taxon) / 64] >> (taxon % 64)) & 1u;
+}
+
+void or_into(Split& into, const Split& from) {
+  for (std::size_t i = 0; i < into.size(); ++i) into[i] |= from[i];
+}
+
+/// Post-order accumulation of the taxon set below each inner slot.
+Split subtree_taxa(const Slot* s, std::size_t words, std::set<Split>& out, int ntaxa) {
+  if (s->is_tip()) {
+    Split split = make_split(words);
+    set_bit(split, s->node_id);
+    return split;
+  }
+  Split split = subtree_taxa(s->child1(), words, out, ntaxa);
+  const Split other = subtree_taxa(s->child2(), words, out, ntaxa);
+  or_into(split, other);
+
+  // The edge (s, s->back) induces this split; record it if non-trivial.
+  int bits = 0;
+  for (const auto word : split) bits += __builtin_popcountll(word);
+  if (bits >= 2 && bits <= ntaxa - 2) {
+    Split canonical = split;
+    if (test_bit(canonical, 0)) {
+      // Complement so that taxon 0 is never in the stored side.
+      for (std::size_t i = 0; i < canonical.size(); ++i) canonical[i] = ~canonical[i];
+      // Clear bits beyond ntaxa.
+      const int tail = ntaxa % 64;
+      if (tail != 0) canonical.back() &= (std::uint64_t{1} << tail) - 1;
+    }
+    out.insert(canonical);
+  }
+  return split;
+}
+
+}  // namespace
+
+std::set<Split> tree_splits(const Tree& tree) {
+  const int ntaxa = tree.taxon_count();
+  const std::size_t words = (static_cast<std::size_t>(ntaxa) + 63) / 64;
+  std::set<Split> out;
+  // Root the traversal at tip 0's branch; every edge is visited exactly once.
+  const Slot* start = tree.tip(0)->back;
+  subtree_taxa(start, words, out, ntaxa);
+  return out;
+}
+
+int robinson_foulds(const Tree& a, const Tree& b) {
+  MINIPHI_CHECK(a.taxon_count() == b.taxon_count(),
+                "RF distance requires identical taxon sets");
+  const auto sa = tree_splits(a);
+  const auto sb = tree_splits(b);
+  std::size_t common = 0;
+  for (const auto& split : sa) {
+    if (sb.count(split)) ++common;
+  }
+  return static_cast<int>(sa.size() + sb.size() - 2 * common);
+}
+
+double robinson_foulds_normalized(const Tree& a, const Tree& b) {
+  const int max_rf = 2 * (a.taxon_count() - 3);
+  if (max_rf == 0) return 0.0;
+  return static_cast<double>(robinson_foulds(a, b)) / max_rf;
+}
+
+}  // namespace miniphi::tree

@@ -1,0 +1,31 @@
+// Bipartitions (splits) and Robinson–Foulds distance.
+//
+// A branch of an unrooted tree bipartitions the taxon set; the multiset of
+// non-trivial bipartitions identifies the topology.  Used by tests (move
+// round-trips, search determinism) and by the examples to compare inferred
+// trees against the simulation's true tree.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "src/tree/tree.hpp"
+
+namespace miniphi::tree {
+
+/// One side of a bipartition as a canonical bitset over taxon ids (the side
+/// not containing taxon 0, so representation is unique).
+using Split = std::vector<std::uint64_t>;
+
+/// All non-trivial splits of the tree (edges between two inner nodes).
+std::set<Split> tree_splits(const Tree& tree);
+
+/// Robinson–Foulds distance: |A Δ B| over non-trivial split sets.
+/// 0 iff the topologies are identical; maximum is 2(n-3).
+int robinson_foulds(const Tree& a, const Tree& b);
+
+/// Normalized RF in [0,1].
+double robinson_foulds_normalized(const Tree& a, const Tree& b);
+
+}  // namespace miniphi::tree

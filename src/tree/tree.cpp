@@ -1,0 +1,346 @@
+#include "src/tree/tree.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <map>
+#include <sstream>
+#include <unordered_map>
+
+#include "src/util/error.hpp"
+
+namespace miniphi::tree {
+
+Tree::Tree(int taxon_count) : ntaxa_(taxon_count) {
+  MINIPHI_CHECK(taxon_count >= 3, "an unrooted binary tree needs at least 3 taxa");
+  slots_.reserve(static_cast<std::size_t>(4 * taxon_count - 6));
+  // Tips: one slot each, node ids 0..n-1.
+  for (int i = 0; i < taxon_count; ++i) {
+    Slot* s = allocate_slot();
+    s->node_id = i;
+    s->next = nullptr;
+  }
+  // Inner nodes: triplets with next-cycles, node ids n..2n-3.
+  for (int i = 0; i < taxon_count - 2; ++i) {
+    Slot* a = allocate_slot();
+    Slot* b = allocate_slot();
+    Slot* c = allocate_slot();
+    a->node_id = b->node_id = c->node_id = taxon_count + i;
+    a->next = b;
+    b->next = c;
+    c->next = a;
+  }
+}
+
+Slot* Tree::allocate_slot() {
+  auto s = std::make_unique<Slot>();
+  s->slot_index = static_cast<int>(slots_.size());
+  slots_.push_back(std::move(s));
+  return slots_.back().get();
+}
+
+Tree::Tree(const Tree& other) { copy_from(other); }
+
+Tree& Tree::operator=(const Tree& other) {
+  if (this != &other) {
+    slots_.clear();
+    copy_from(other);
+  }
+  return *this;
+}
+
+void Tree::copy_from(const Tree& other) {
+  ntaxa_ = other.ntaxa_;
+  slots_.reserve(other.slots_.size());
+  for (const auto& s : other.slots_) {
+    Slot* copy = allocate_slot();
+    copy->node_id = s->node_id;
+    copy->length = s->length;
+  }
+  // Re-link by index.
+  for (std::size_t i = 0; i < other.slots_.size(); ++i) {
+    const Slot* src = other.slots_[i].get();
+    Slot* dst = slots_[i].get();
+    dst->next = src->next ? slots_[static_cast<std::size_t>(src->next->slot_index)].get() : nullptr;
+    dst->back = src->back ? slots_[static_cast<std::size_t>(src->back->slot_index)].get() : nullptr;
+  }
+}
+
+Slot* Tree::tip(int i) {
+  MINIPHI_ASSERT(i >= 0 && i < ntaxa_);
+  return slots_[static_cast<std::size_t>(i)].get();
+}
+
+const Slot* Tree::tip(int i) const {
+  MINIPHI_ASSERT(i >= 0 && i < ntaxa_);
+  return slots_[static_cast<std::size_t>(i)].get();
+}
+
+Slot* Tree::inner_slot(int inner, int k) {
+  MINIPHI_ASSERT(inner >= 0 && inner < inner_count() && k >= 0 && k < 3);
+  return slots_[static_cast<std::size_t>(ntaxa_ + 3 * inner + k)].get();
+}
+
+void Tree::connect(Slot* a, Slot* b, double length) {
+  MINIPHI_ASSERT(a != nullptr && b != nullptr && a != b);
+  MINIPHI_ASSERT(a->back == nullptr && b->back == nullptr);
+  a->back = b;
+  b->back = a;
+  a->length = length;
+  b->length = length;
+}
+
+void Tree::disconnect(Slot* a) {
+  MINIPHI_ASSERT(a != nullptr && a->back != nullptr);
+  a->back->back = nullptr;
+  a->back = nullptr;
+}
+
+void Tree::set_length(Slot* a, double length) {
+  MINIPHI_ASSERT(a != nullptr && a->back != nullptr);
+  MINIPHI_ASSERT(length >= 0.0);
+  a->length = length;
+  a->back->length = length;
+}
+
+std::vector<Slot*> Tree::edges() {
+  std::vector<Slot*> out;
+  out.reserve(static_cast<std::size_t>(edge_count()));
+  for (const auto& s : slots_) {
+    if (s->back != nullptr && s->slot_index < s->back->slot_index) out.push_back(s.get());
+  }
+  return out;
+}
+
+std::vector<const Slot*> Tree::edges() const {
+  std::vector<const Slot*> out;
+  out.reserve(static_cast<std::size_t>(edge_count()));
+  for (const auto& s : slots_) {
+    if (s->back != nullptr && s->slot_index < s->back->slot_index) out.push_back(s.get());
+  }
+  return out;
+}
+
+void Tree::validate() const {
+  std::size_t connected = 0;
+  for (const auto& s : slots_) {
+    if (s->back != nullptr) {
+      MINIPHI_CHECK(s->back->back == s.get(), "tree: back pointers are not symmetric");
+      MINIPHI_CHECK(s->back->length == s->length, "tree: branch lengths are inconsistent");
+      MINIPHI_CHECK(s->length >= 0.0, "tree: negative branch length");
+      ++connected;
+    }
+    if (!s->is_tip()) {
+      MINIPHI_CHECK(s->next->next->next == s.get(), "tree: inner slot cycle is not a 3-cycle");
+      MINIPHI_CHECK(s->next->node_id == s->node_id, "tree: inner cycle spans nodes");
+    }
+  }
+  MINIPHI_CHECK(connected == static_cast<std::size_t>(2 * edge_count()),
+                "tree: not fully connected (" + std::to_string(connected / 2) + "/" +
+                    std::to_string(edge_count()) + " edges)");
+
+  // Reachability: everything must be in one component.
+  std::vector<bool> seen(slots_.size(), false);
+  std::vector<const Slot*> stack = {slots_[0].get()};
+  std::size_t visited = 0;
+  while (!stack.empty()) {
+    const Slot* s = stack.back();
+    stack.pop_back();
+    if (seen[static_cast<std::size_t>(s->slot_index)]) continue;
+    // Mark the whole node (all slots in the cycle).
+    const Slot* it = s;
+    do {
+      seen[static_cast<std::size_t>(it->slot_index)] = true;
+      ++visited;
+      if (it->back != nullptr && !seen[static_cast<std::size_t>(it->back->slot_index)]) {
+        stack.push_back(it->back);
+      }
+      it = it->next;
+    } while (it != nullptr && it != s);
+  }
+  MINIPHI_CHECK(visited == slots_.size(), "tree: disconnected components");
+}
+
+std::vector<Slot*> Tree::traversal(Slot* goal,
+                                   const std::function<bool(const Slot*)>& needs_compute) const {
+  std::vector<Slot*> order;
+  // Iterative post-order over slots that need recomputation.
+  struct Frame {
+    Slot* slot;
+    bool expanded;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({goal, false});
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    Slot* s = frame.slot;
+    if (s->is_tip() || !needs_compute(s)) {
+      stack.pop_back();
+      continue;
+    }
+    if (frame.expanded) {
+      order.push_back(s);
+      stack.pop_back();
+      continue;
+    }
+    frame.expanded = true;
+    stack.push_back({s->child1(), false});
+    stack.push_back({s->child2(), false});
+  }
+  return order;
+}
+
+std::vector<Slot*> Tree::full_traversal(Slot* goal) const {
+  return traversal(goal, [](const Slot*) { return true; });
+}
+
+Tree Tree::random(int taxon_count, Rng& rng) {
+  Tree t(taxon_count);
+  const auto branch = [&rng]() { return rng.uniform(0.05, 0.5); };
+
+  // Start with the 3-taxon star around inner node 0.
+  t.connect(t.tip(0), t.inner_slot(0, 0), branch());
+  t.connect(t.tip(1), t.inner_slot(0, 1), branch());
+  t.connect(t.tip(2), t.inner_slot(0, 2), branch());
+
+  // Insert each further tip into a uniformly chosen existing edge, using
+  // inner node (i-2) as the attachment point.
+  for (int i = 3; i < taxon_count; ++i) {
+    auto current_edges = t.edges();
+    // Only consider edges between already-attached nodes.
+    std::vector<Slot*> attached;
+    for (Slot* e : current_edges) attached.push_back(e);
+    Slot* edge = attached[rng.below(attached.size())];
+    Slot* other = edge->back;
+    const double old_length = edge->length;
+
+    Slot* hub0 = t.inner_slot(i - 2, 0);
+    Slot* hub1 = t.inner_slot(i - 2, 1);
+    Slot* hub2 = t.inner_slot(i - 2, 2);
+    t.disconnect(edge);
+    const double split = rng.uniform(0.2, 0.8);
+    t.connect(edge, hub0, old_length * split);
+    t.connect(other, hub1, old_length * (1.0 - split));
+    t.connect(t.tip(i), hub2, branch());
+  }
+  t.validate();
+  return t;
+}
+
+namespace {
+
+/// Recursively connects the AST subtree under `ast` to the free slot `attach`;
+/// `next_inner` hands out unused inner triplets.
+void build_subtree(Tree& tree, const io::NewickNode& ast, Slot* attach, double length,
+                   const std::unordered_map<std::string, int>& tip_ids, int& next_inner) {
+  if (ast.is_leaf()) {
+    const auto it = tip_ids.find(ast.name);
+    MINIPHI_CHECK(it != tip_ids.end(), "Newick leaf '" + ast.name + "' not in taxon set");
+    Slot* leaf = tree.tip(it->second);
+    MINIPHI_CHECK(leaf->back == nullptr, "Newick: taxon '" + ast.name + "' appears twice");
+    tree.connect(attach, leaf, length);
+    return;
+  }
+  MINIPHI_CHECK(ast.children.size() == 2,
+                "Newick: only binary trees are supported (node has " +
+                    std::to_string(ast.children.size()) + " children)");
+  MINIPHI_CHECK(next_inner < tree.inner_count(), "Newick: too many inner nodes");
+  const int inner = next_inner++;
+  Slot* hub0 = tree.inner_slot(inner, 0);
+  tree.connect(attach, hub0, length);
+  build_subtree(tree, *ast.children[0], tree.inner_slot(inner, 1),
+                ast.children[0]->length.value_or(kDefaultBranchLength), tip_ids, next_inner);
+  build_subtree(tree, *ast.children[1], tree.inner_slot(inner, 2),
+                ast.children[1]->length.value_or(kDefaultBranchLength), tip_ids, next_inner);
+}
+
+}  // namespace
+
+Tree Tree::from_newick(const io::NewickNode& root, const std::vector<std::string>& taxon_names) {
+  const std::size_t ntaxa = root.leaf_count();
+  MINIPHI_CHECK(ntaxa == taxon_names.size(),
+                "Newick tree has " + std::to_string(ntaxa) + " leaves but " +
+                    std::to_string(taxon_names.size()) + " taxon names were given");
+  std::unordered_map<std::string, int> tip_ids;
+  for (std::size_t i = 0; i < taxon_names.size(); ++i) {
+    MINIPHI_CHECK(tip_ids.emplace(taxon_names[i], static_cast<int>(i)).second,
+                  "duplicate taxon name '" + taxon_names[i] + "'");
+  }
+
+  Tree tree(static_cast<int>(ntaxa));
+  int next_inner = 0;
+
+  // Normalize the root: we need a degree-3 start point.  A binary (rooted)
+  // root is collapsed by fusing its two child branches.
+  const io::NewickNode* start = &root;
+  MINIPHI_CHECK(!start->is_leaf(), "Newick: tree has a single leaf");
+  if (start->children.size() == 2) {
+    // Rooted: collapse.  Attach child B's subtree onto the edge to child A.
+    const io::NewickNode* a = start->children[0].get();
+    const io::NewickNode* b = start->children[1].get();
+    const double fused =
+        a->length.value_or(kDefaultBranchLength) + b->length.value_or(kDefaultBranchLength);
+    // Build the subtree of whichever child is internal; if both are leaves
+    // the tree has 2 taxa, which is rejected by the Tree constructor.
+    const io::NewickNode* internal = !a->is_leaf() ? a : b;
+    const io::NewickNode* other = (internal == a) ? b : a;
+    MINIPHI_CHECK(!internal->is_leaf(), "Newick: 2-taxon trees are not supported");
+    MINIPHI_CHECK(internal->children.size() == 2, "Newick: only binary trees are supported");
+    const int inner = next_inner++;
+    build_subtree(tree, *internal->children[0], tree.inner_slot(inner, 1),
+                  internal->children[0]->length.value_or(kDefaultBranchLength), tip_ids,
+                  next_inner);
+    build_subtree(tree, *internal->children[1], tree.inner_slot(inner, 2),
+                  internal->children[1]->length.value_or(kDefaultBranchLength), tip_ids,
+                  next_inner);
+    build_subtree(tree, *other, tree.inner_slot(inner, 0), fused, tip_ids, next_inner);
+  } else if (start->children.size() == 3) {
+    const int inner = next_inner++;
+    for (int k = 0; k < 3; ++k) {
+      const io::NewickNode* child = start->children[static_cast<std::size_t>(k)].get();
+      build_subtree(tree, *child, tree.inner_slot(inner, k),
+                    child->length.value_or(kDefaultBranchLength), tip_ids, next_inner);
+    }
+  } else {
+    throw Error("Newick: root must have 2 or 3 children, found " +
+                std::to_string(start->children.size()));
+  }
+  tree.validate();
+  return tree;
+}
+
+namespace {
+
+void append_subtree(const Slot* s, const std::vector<std::string>& names, std::ostream& out) {
+  if (s->is_tip()) {
+    out << names[static_cast<std::size_t>(s->node_id)];
+  } else {
+    out << '(';
+    append_subtree(s->child1(), names, out);
+    out << ':' << s->next->length << ',';
+    append_subtree(s->child2(), names, out);
+    out << ':' << s->next->next->length;
+    out << ')';
+  }
+}
+
+}  // namespace
+
+std::string Tree::to_newick(const std::vector<std::string>& taxon_names,
+                            const Slot* root_edge) const {
+  MINIPHI_CHECK(static_cast<int>(taxon_names.size()) == ntaxa_,
+                "to_newick: wrong number of taxon names");
+  const Slot* p = root_edge ? root_edge : tip(0);
+  MINIPHI_ASSERT(p->back != nullptr);
+  std::ostringstream out;
+  out << std::setprecision(17);  // branch lengths must survive round trips
+  // Render as (subtree-at-p, subtree-at-back) with the branch length split
+  // onto the back side, RAxML-style.
+  out << '(';
+  append_subtree(p, taxon_names, out);
+  out << ":0,";
+  append_subtree(p->back, taxon_names, out);
+  out << ':' << p->length << ");";
+  return out.str();
+}
+
+}  // namespace miniphi::tree

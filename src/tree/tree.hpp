@@ -1,0 +1,119 @@
+// Unrooted binary phylogenetic tree in the RAxML slot-triplet representation.
+//
+// Every tip owns one directed slot; every inner node owns three slots linked
+// in a `next` cycle.  `back` connects two slots across a branch.  A
+// conditional likelihood array (CLA) is associated with an *inner slot* s and
+// summarizes the subtree on the far side of s's two sibling slots — exactly
+// the object the paper's newview() kernel fills in.  This representation
+// makes partial traversals, virtual-root placement (evaluate() at any
+// branch) and SPR moves cheap, which is why RAxML uses it.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/io/newick.hpp"
+#include "src/util/rng.hpp"
+
+namespace miniphi::tree {
+
+/// Default branch length for freshly created branches (RAxML convention).
+inline constexpr double kDefaultBranchLength = 0.1;
+
+/// Directed half-edge record.  Tips have next == nullptr.
+struct Slot {
+  Slot* next = nullptr;  ///< next slot in the owning inner node's cycle
+  Slot* back = nullptr;  ///< slot at the other end of the branch
+  double length = kDefaultBranchLength;  ///< branch length (mirrored on back)
+  int node_id = -1;      ///< tip id in [0, n) or inner id in [n, 2n-2)
+  int slot_index = -1;   ///< unique dense index in [0, 4n-6)
+
+  [[nodiscard]] bool is_tip() const { return next == nullptr; }
+
+  /// The two "children" used when computing this slot's CLA.
+  [[nodiscard]] Slot* child1() const { return next->back; }
+  [[nodiscard]] Slot* child2() const { return next->next->back; }
+};
+
+/// Owns the slots of one tree and provides topology operations.
+class Tree {
+ public:
+  /// Creates n tips and n-2 inner triplets, all disconnected.
+  explicit Tree(int taxon_count);
+
+  Tree(const Tree& other);
+  Tree& operator=(const Tree& other);
+  Tree(Tree&&) noexcept = default;
+  Tree& operator=(Tree&&) noexcept = default;
+
+  [[nodiscard]] int taxon_count() const { return ntaxa_; }
+  [[nodiscard]] int inner_count() const { return ntaxa_ - 2; }
+  [[nodiscard]] int node_count() const { return 2 * ntaxa_ - 2; }
+  [[nodiscard]] int edge_count() const { return 2 * ntaxa_ - 3; }
+  [[nodiscard]] int slot_count() const { return static_cast<int>(slots_.size()); }
+
+  /// The unique slot of tip `i` (0-based taxon index).
+  [[nodiscard]] Slot* tip(int i);
+  [[nodiscard]] const Slot* tip(int i) const;
+
+  /// Slot `k` (0..2) of inner node `inner` (0-based inner index).
+  [[nodiscard]] Slot* inner_slot(int inner, int k);
+
+  [[nodiscard]] Slot* slot(int slot_index) { return slots_[static_cast<std::size_t>(slot_index)].get(); }
+  [[nodiscard]] const Slot* slot(int slot_index) const {
+    return slots_[static_cast<std::size_t>(slot_index)].get();
+  }
+
+  /// Connects two free slots with a branch of the given length.
+  void connect(Slot* a, Slot* b, double length);
+
+  /// Breaks the branch at `a` (and its back); both ends become free.
+  void disconnect(Slot* a);
+
+  /// Sets the branch length on the edge (a, a->back) consistently.
+  static void set_length(Slot* a, double length);
+
+  /// One canonical slot per edge (the one with the smaller slot_index).
+  [[nodiscard]] std::vector<Slot*> edges();
+  [[nodiscard]] std::vector<const Slot*> edges() const;
+
+  /// Verifies structural invariants: back symmetry, 3-cycles, full
+  /// connectivity, consistent lengths.  Throws on violation.
+  void validate() const;
+
+  /// Post-order list of inner slots whose CLA must be computed so that the
+  /// CLA for `goal` is available; `needs_compute(slot)` returns false to
+  /// prune already-valid subtrees (partial traversals).  `goal` itself is
+  /// included (last) when it is an inner slot that needs computing.
+  [[nodiscard]] std::vector<Slot*> traversal(
+      Slot* goal, const std::function<bool(const Slot*)>& needs_compute) const;
+
+  /// Full traversal: every inner CLA toward `goal` recomputed.
+  [[nodiscard]] std::vector<Slot*> full_traversal(Slot* goal) const;
+
+  /// Builds a uniformly random topology by sequential addition, with
+  /// branch lengths drawn uniformly from [0.05, 0.5).
+  static Tree random(int taxon_count, Rng& rng);
+
+  /// Builds from a parsed Newick AST.  The AST may be rooted (binary root);
+  /// the root is collapsed to produce the unrooted topology.  `taxon_names`
+  /// fixes the tip-id mapping; all leaf names must be present in it.
+  static Tree from_newick(const io::NewickNode& root, const std::vector<std::string>& taxon_names);
+
+  /// Serializes to Newick, rooted at the branch of `root_edge` (default:
+  /// the branch at tip 0).  Tip `i` is written as taxon_names[i].
+  [[nodiscard]] std::string to_newick(const std::vector<std::string>& taxon_names,
+                                      const Slot* root_edge = nullptr) const;
+
+ private:
+  Slot* allocate_slot();
+  void copy_from(const Tree& other);
+
+  int ntaxa_ = 0;
+  std::vector<std::unique_ptr<Slot>> slots_;
+};
+
+}  // namespace miniphi::tree

@@ -1,0 +1,59 @@
+// 64-byte-aligned storage for conditional likelihood arrays (CLAs).
+//
+// The paper (Section V-B2) requires all vectors touched by the PLF kernels
+// to start on 64-byte boundaries so that 512-bit vector loads/stores stay
+// aligned.  For DNA under GAMMA the per-site block is 16 doubles = 128 bytes,
+// so element offsets remain aligned automatically once the base is.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <vector>
+
+namespace miniphi {
+
+/// Cache-line / vector alignment used throughout the kernels (bytes).
+inline constexpr std::size_t kVectorAlignment = 64;
+
+/// Minimal allocator that over-aligns every allocation to `Align` bytes.
+template <typename T, std::size_t Align = kVectorAlignment>
+class AlignedAllocator {
+ public:
+  using value_type = T;
+  static_assert(Align >= alignof(T), "alignment must not be weaker than T's");
+  static_assert((Align & (Align - 1)) == 0, "alignment must be a power of two");
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  explicit AlignedAllocator(const AlignedAllocator<U, Align>&) noexcept {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Align>;
+  };
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    if (n == 0) return nullptr;
+    void* p = ::operator new(n * sizeof(T), std::align_val_t(Align));
+    return static_cast<T*>(p);
+  }
+
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t(Align));
+  }
+
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) { return true; }
+};
+
+/// Contiguous 64-byte-aligned array of doubles; the storage type of all CLAs,
+/// transition matrices and summation buffers in the likelihood core.
+using AlignedDoubles = std::vector<double, AlignedAllocator<double>>;
+
+/// True iff `p` is aligned to the kernel vector alignment.
+inline bool is_vector_aligned(const void* p) noexcept {
+  return (reinterpret_cast<std::uintptr_t>(p) & (kVectorAlignment - 1)) == 0;
+}
+
+}  // namespace miniphi

@@ -1,0 +1,35 @@
+// Error handling primitives shared by all miniphi modules.
+//
+// All recoverable failures (bad input files, malformed trees, invalid model
+// parameters) throw miniphi::Error.  Internal invariant violations use
+// MINIPHI_ASSERT, which is active in all build types: likelihood code that
+// silently produces garbage is worse than one that stops.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace miniphi {
+
+/// Exception type for all recoverable miniphi errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line) {
+  throw std::logic_error(std::string("miniphi assertion failed: ") + expr + " at " +
+                         file + ":" + std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace miniphi
+
+/// Always-on invariant check; throws std::logic_error on failure.
+#define MINIPHI_ASSERT(expr) \
+  ((expr) ? static_cast<void>(0) : ::miniphi::detail::assert_fail(#expr, __FILE__, __LINE__))
+
+/// Recoverable-error check: throws miniphi::Error with the given message.
+#define MINIPHI_CHECK(expr, msg) \
+  ((expr) ? static_cast<void>(0) : throw ::miniphi::Error(msg))

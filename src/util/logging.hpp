@@ -1,0 +1,46 @@
+// Minimal leveled logging to stderr, thread-safe, printf-free.
+//
+// The tree-search drivers log per-round progress at Info; the kernels log
+// nothing (they are called millions of times).  Verbosity is a process-wide
+// setting so examples and benches can silence the library wholesale.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace miniphi {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-wide minimum level; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_line(LogLevel level, const std::string& message);
+}
+
+/// Stream-style log statement: MINIPHI_LOG(Info) << "round " << r;
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() {
+    if (level_ >= log_level()) detail::log_line(level_, stream_.str());
+  }
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (level_ >= log_level()) stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace miniphi
+
+#define MINIPHI_LOG(severity) ::miniphi::LogMessage(::miniphi::LogLevel::k##severity)

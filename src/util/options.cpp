@@ -1,0 +1,81 @@
+#include "src/util/options.hpp"
+
+#include <charconv>
+#include <cstdlib>
+
+#include "src/util/error.hpp"
+
+namespace miniphi {
+
+Options::Options(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    MINIPHI_CHECK(arg.size() > 2, "bare '--' is not a valid option");
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg.substr(2)] = argv[++i];
+    } else {
+      values_[arg.substr(2)] = "";  // boolean flag
+    }
+  }
+}
+
+bool Options::has(const std::string& name) const {
+  queried_[name] = true;
+  return values_.count(name) > 0;
+}
+
+std::optional<std::string> Options::raw(const std::string& name) const {
+  queried_[name] = true;
+  const auto it = values_.find(name);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Options::get_string(const std::string& name, const std::string& fallback) const {
+  return raw(name).value_or(fallback);
+}
+
+std::int64_t Options::get_int(const std::string& name, std::int64_t fallback) const {
+  const auto value = raw(name);
+  if (!value) return fallback;
+  std::int64_t out = 0;
+  const auto [ptr, ec] = std::from_chars(value->data(), value->data() + value->size(), out);
+  MINIPHI_CHECK(ec == std::errc() && ptr == value->data() + value->size(),
+                "option --" + name + " expects an integer, got '" + *value + "'");
+  return out;
+}
+
+double Options::get_double(const std::string& name, double fallback) const {
+  const auto value = raw(name);
+  if (!value) return fallback;
+  char* end = nullptr;
+  const double out = std::strtod(value->c_str(), &end);
+  MINIPHI_CHECK(end == value->c_str() + value->size() && !value->empty(),
+                "option --" + name + " expects a number, got '" + *value + "'");
+  return out;
+}
+
+bool Options::get_bool(const std::string& name, bool fallback) const {
+  const auto value = raw(name);
+  if (!value) return fallback;
+  if (value->empty() || *value == "1" || *value == "true" || *value == "yes") return true;
+  if (*value == "0" || *value == "false" || *value == "no") return false;
+  throw Error("option --" + name + " expects a boolean, got '" + *value + "'");
+}
+
+std::vector<std::string> Options::unused() const {
+  std::vector<std::string> names;
+  for (const auto& [name, _] : values_) {
+    if (!queried_.count(name)) names.push_back(name);
+  }
+  return names;
+}
+
+}  // namespace miniphi

@@ -1,0 +1,79 @@
+// Deterministic, fast pseudo-random number generation (xoshiro256**).
+//
+// All stochastic components (alignment simulation, randomized stepwise
+// addition, SPR tie-breaking) draw from this generator so that every
+// experiment is reproducible from a single seed printed in the bench output.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace miniphi {
+
+/// xoshiro256** 1.0 by Blackman & Vigna (public domain reference algorithm),
+/// reimplemented here; passes BigCrush and is far faster than mt19937_64.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) { reseed(seed); }
+
+  /// (Re-)initialize state from a single 64-bit seed via splitmix64.
+  void reseed(std::uint64_t seed) {
+    for (auto& word : state_) {
+      // splitmix64 step
+      seed += 0x9E3779B97F4A7C15ull;
+      std::uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  static constexpr std::uint64_t min() { return 0; }
+  static constexpr std::uint64_t max() { return std::numeric_limits<std::uint64_t>::max(); }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return static_cast<double>((*this)() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n); n must be > 0.  Uses rejection to kill bias.
+  std::uint64_t below(std::uint64_t n) {
+    const std::uint64_t threshold = (0 - n) % n;
+    for (;;) {
+      const std::uint64_t r = (*this)();
+      if (r >= threshold) return r % n;
+    }
+  }
+
+  /// Exponential variate with the given rate (mean 1/rate).
+  double exponential(double rate) {
+    double u;
+    do { u = uniform(); } while (u <= 0.0);
+    return -std::log(u) / rate;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace miniphi

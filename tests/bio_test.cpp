@@ -1,0 +1,155 @@
+// Tests for src/bio: DNA encoding, alignment container, pattern compression.
+#include <gtest/gtest.h>
+
+#include "src/bio/alignment.hpp"
+#include "src/bio/dna.hpp"
+#include "src/bio/patterns.hpp"
+#include "src/util/error.hpp"
+#include "tests/testutil.hpp"
+
+namespace miniphi::bio {
+namespace {
+
+TEST(Dna, EncodesCanonicalBases) {
+  EXPECT_EQ(encode_dna('A'), 0x1);
+  EXPECT_EQ(encode_dna('C'), 0x2);
+  EXPECT_EQ(encode_dna('G'), 0x4);
+  EXPECT_EQ(encode_dna('T'), 0x8);
+  EXPECT_EQ(encode_dna('a'), encode_dna('A'));
+  EXPECT_EQ(encode_dna('U'), encode_dna('T'));
+}
+
+TEST(Dna, EncodesIupacAmbiguities) {
+  EXPECT_EQ(encode_dna('R'), 0x1 | 0x4);  // A or G
+  EXPECT_EQ(encode_dna('Y'), 0x2 | 0x8);  // C or T
+  EXPECT_EQ(encode_dna('N'), kGapCode);
+  EXPECT_EQ(encode_dna('-'), kGapCode);
+  EXPECT_EQ(encode_dna('?'), kGapCode);
+}
+
+TEST(Dna, RejectsInvalidCharacters) {
+  EXPECT_THROW(encode_dna('Z'), Error);
+  EXPECT_THROW(encode_dna('1'), Error);
+  EXPECT_THROW(encode_dna(' '), Error);
+  EXPECT_FALSE(is_valid_dna('!'));
+  EXPECT_TRUE(is_valid_dna('w'));
+}
+
+TEST(Dna, DecodeInvertsEncodeForAllCodes) {
+  for (int code = 1; code < kCodeCount; ++code) {
+    const char c = decode_dna(static_cast<DnaCode>(code));
+    EXPECT_EQ(encode_dna(c), code);
+  }
+}
+
+TEST(Dna, CardinalityCountsStates) {
+  EXPECT_EQ(code_cardinality(encode_dna('A')), 1);
+  EXPECT_EQ(code_cardinality(encode_dna('R')), 2);
+  EXPECT_EQ(code_cardinality(encode_dna('B')), 3);
+  EXPECT_EQ(code_cardinality(kGapCode), 4);
+}
+
+TEST(Dna, SequenceEncodingReportsPositionAndContext) {
+  try {
+    encode_sequence("ACGJ", "taxon 'bad'");
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("position 4"), std::string::npos);
+    EXPECT_NE(what.find("taxon 'bad'"), std::string::npos);
+  }
+}
+
+TEST(Alignment, BuildsFromRecordsAndValidates) {
+  io::SequenceSet records = {{"a", "ACGT"}, {"b", "AC-T"}, {"c", "NNNN"}};
+  Alignment alignment(records);
+  EXPECT_EQ(alignment.taxon_count(), 3u);
+  EXPECT_EQ(alignment.site_count(), 4u);
+  EXPECT_EQ(alignment.taxon_name(1), "b");
+  EXPECT_EQ(alignment.taxon_index("c"), 2u);
+  EXPECT_THROW((void)alignment.taxon_index("zzz"), Error);
+  EXPECT_EQ(alignment.at(0, 0), encode_dna('A'));
+  EXPECT_EQ(alignment.at(1, 2), kGapCode);
+}
+
+TEST(Alignment, RejectsUnequalLengthsAndTooFewTaxa) {
+  EXPECT_THROW(Alignment(io::SequenceSet{{"a", "ACGT"}, {"b", "AC"}, {"c", "ACGT"}}), Error);
+  EXPECT_THROW(Alignment(io::SequenceSet{{"a", "ACGT"}, {"b", "ACGT"}}), Error);
+}
+
+TEST(Alignment, EmpiricalFrequenciesSumToOne) {
+  io::SequenceSet records = {{"a", "AAAA"}, {"b", "CCCC"}, {"c", "GGTT"}};
+  Alignment alignment(records);
+  const auto freqs = alignment.empirical_base_frequencies();
+  double sum = 0.0;
+  for (const double f : freqs) {
+    EXPECT_GT(f, 0.0);
+    sum += f;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  // A and C each dominate 1/3 of the data.
+  EXPECT_NEAR(freqs[0], freqs[1], 1e-12);
+  EXPECT_GT(freqs[0], freqs[2]);
+}
+
+TEST(Alignment, RecordsRoundTrip) {
+  io::SequenceSet records = {{"a", "ACGTRYN-"}, {"b", "TTTTTTTT"}, {"c", "ACGTACGT"}};
+  Alignment alignment(records);
+  const auto back = alignment.to_records();
+  ASSERT_EQ(back.size(), 3u);
+  EXPECT_EQ(back[0].sequence, "ACGTRY--");  // 'N' and '-' both read back as the gap class
+  EXPECT_EQ(back[1].name, "b");
+}
+
+TEST(Patterns, CompressesDuplicateColumns) {
+  // Columns: (A,A,A) ×3, (C,C,C) ×2, (G,G,T) ×1.
+  io::SequenceSet records = {{"a", "AACCAG"}, {"b", "AACCAG"}, {"c", "AACCAT"}};
+  Alignment alignment(records);
+  const auto patterns = compress_patterns(alignment);
+  EXPECT_EQ(patterns.pattern_count(), 3u);
+  EXPECT_EQ(patterns.total_sites(), 6u);
+  // First-appearance order: AAA, CCC, G/G/T.
+  EXPECT_EQ(patterns.weights[0], 3u);
+  EXPECT_EQ(patterns.weights[1], 2u);
+  EXPECT_EQ(patterns.weights[2], 1u);
+  // site_to_pattern maps every original site back to its column.
+  for (std::size_t site = 0; site < 6; ++site) {
+    const auto p = patterns.site_to_pattern[site];
+    for (std::size_t t = 0; t < 3; ++t) {
+      EXPECT_EQ(patterns.tip_rows[t][p], alignment.at(t, site));
+    }
+  }
+}
+
+TEST(Patterns, UncompressedKeepsEverySite) {
+  Rng rng(5);
+  const auto alignment = testutil::random_alignment(4, 50, rng);
+  const auto patterns = uncompressed_patterns(alignment);
+  EXPECT_EQ(patterns.pattern_count(), 50u);
+  for (const auto w : patterns.weights) EXPECT_EQ(w, 1u);
+}
+
+TEST(Patterns, CompressionIsLossless) {
+  Rng rng(17);
+  const auto alignment = testutil::random_alignment(5, 300, rng, 0.1);
+  const auto patterns = compress_patterns(alignment);
+  EXPECT_EQ(patterns.total_sites(), alignment.site_count());
+  for (std::size_t site = 0; site < alignment.site_count(); ++site) {
+    const auto p = patterns.site_to_pattern[site];
+    for (std::size_t t = 0; t < alignment.taxon_count(); ++t) {
+      EXPECT_EQ(patterns.tip_rows[t][p], alignment.at(t, site));
+    }
+  }
+}
+
+TEST(Patterns, FewTaxaRandomDataCompressesHard) {
+  // 3 taxa over 4 bases: at most 4³ = 64 possible columns (plus ambiguity).
+  Rng rng(23);
+  const auto alignment = testutil::random_alignment(3, 10000, rng);
+  const auto patterns = compress_patterns(alignment);
+  EXPECT_LE(patterns.pattern_count(), 64u);
+  EXPECT_EQ(patterns.total_sites(), 10000u);
+}
+
+}  // namespace
+}  // namespace miniphi::bio

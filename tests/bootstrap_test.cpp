@@ -1,0 +1,129 @@
+// Tests for the nonparametric bootstrap: resampling statistics, support
+// computation, determinism, thread invariance, and annotated output.
+#include <gtest/gtest.h>
+
+#include "src/core/engine.hpp"
+#include "src/io/newick.hpp"
+#include "src/search/bootstrap.hpp"
+#include "src/simulate/simulate.hpp"
+#include "src/tree/parsimony.hpp"
+#include "src/util/error.hpp"
+#include "tests/testutil.hpp"
+
+namespace miniphi::search {
+namespace {
+
+TEST(BootstrapResample, PreservesTotalSiteCount) {
+  Rng rng(1);
+  const auto alignment = testutil::random_alignment(6, 500, rng);
+  const auto patterns = bio::compress_patterns(alignment);
+  Rng sampler(7);
+  for (int i = 0; i < 5; ++i) {
+    const auto replicate = bootstrap_resample(patterns, sampler);
+    EXPECT_EQ(replicate.total_sites(), patterns.total_sites());
+    EXPECT_EQ(replicate.pattern_count(), patterns.pattern_count());
+    EXPECT_EQ(replicate.tip_rows, patterns.tip_rows);  // data untouched
+  }
+}
+
+TEST(BootstrapResample, WeightsFollowOriginalProportions) {
+  // A pattern carrying half the sites should receive ~half of the draws.
+  Rng rng(2);
+  const auto alignment = testutil::random_alignment(4, 4000, rng);
+  const auto patterns = bio::compress_patterns(alignment);
+  Rng sampler(3);
+  const auto replicate = bootstrap_resample(patterns, sampler);
+  // Aggregate over many patterns: chi-square-ish sanity via max deviation.
+  for (std::size_t p = 0; p < patterns.pattern_count(); ++p) {
+    const double expected = patterns.weights[p];
+    if (expected < 30) continue;  // skip low-count bins
+    EXPECT_NEAR(replicate.weights[p], expected, 5 * std::sqrt(expected) + 1)
+        << "pattern " << p;
+  }
+}
+
+class BootstrapFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Strong-signal data: long alignment on a well-separated tree.
+    Rng rng(11);
+    truth_ = std::make_unique<tree::Tree>(simulate::yule_tree(8, rng, 0.8));
+    model::GtrParams params;
+    params.alpha = 1.0;
+    model_ = std::make_unique<model::GtrModel>(params);
+    simulate::SimulationOptions sim;
+    sim.sites = 3000;
+    alignment_ = std::make_unique<bio::Alignment>(
+        simulate::simulate_alignment(*truth_, *model_, sim, rng).alignment);
+    patterns_ = std::make_unique<bio::PatternSet>(bio::compress_patterns(*alignment_));
+  }
+
+  std::unique_ptr<tree::Tree> truth_;
+  std::unique_ptr<model::GtrModel> model_;
+  std::unique_ptr<bio::Alignment> alignment_;
+  std::unique_ptr<bio::PatternSet> patterns_;
+};
+
+TEST_F(BootstrapFixture, StrongSignalYieldsHighSupport) {
+  BootstrapOptions options;
+  options.replicates = 20;
+  const auto result =
+      run_bootstrap(*patterns_, *model_, *truth_, alignment_->taxon_names(), options);
+  EXPECT_EQ(result.replicates, 20);
+  EXPECT_EQ(result.support.size(), static_cast<std::size_t>(truth_->taxon_count() - 3));
+  double mean = 0.0;
+  for (const auto& [split, value] : result.support) {
+    EXPECT_GE(value, 0.0);
+    EXPECT_LE(value, 1.0);
+    mean += value;
+  }
+  mean /= static_cast<double>(result.support.size());
+  EXPECT_GT(mean, 0.8) << "3 kb of clean simulated signal should support the true tree";
+}
+
+TEST_F(BootstrapFixture, DeterministicAndThreadInvariant) {
+  BootstrapOptions options;
+  options.replicates = 8;
+  options.seed = 99;
+  const auto serial =
+      run_bootstrap(*patterns_, *model_, *truth_, alignment_->taxon_names(), options);
+  options.threads = 3;
+  const auto threaded =
+      run_bootstrap(*patterns_, *model_, *truth_, alignment_->taxon_names(), options);
+  EXPECT_EQ(serial.annotated_newick, threaded.annotated_newick);
+  EXPECT_EQ(serial.support, threaded.support);
+}
+
+TEST_F(BootstrapFixture, AnnotatedNewickParsesAndCarriesLabels) {
+  BootstrapOptions options;
+  options.replicates = 6;
+  const auto result =
+      run_bootstrap(*patterns_, *model_, *truth_, alignment_->taxon_names(), options);
+  // The annotated tree must be valid Newick with the right leaf set; inner
+  // labels (support percentages) are parsed as inner-node names.
+  const auto ast = io::parse_newick(result.annotated_newick);
+  EXPECT_EQ(ast->leaf_count(), static_cast<std::size_t>(truth_->taxon_count()));
+  // At least one inner label present (all splits get labels).
+  EXPECT_NE(result.annotated_newick.find(')'), std::string::npos);
+  bool found_label = false;
+  const std::function<void(const io::NewickNode&)> scan = [&](const io::NewickNode& node) {
+    if (!node.is_leaf() && !node.name.empty()) found_label = true;
+    for (const auto& child : node.children) scan(*child);
+  };
+  scan(*ast);
+  EXPECT_TRUE(found_label);
+}
+
+TEST(Bootstrap, RejectsBadOptions) {
+  Rng rng(5);
+  const auto alignment = testutil::random_alignment(5, 100, rng);
+  const auto patterns = bio::compress_patterns(alignment);
+  const model::GtrModel model(model::GtrParams::jc69());
+  tree::Tree tree = tree::Tree::random(5, rng);
+  BootstrapOptions options;
+  options.replicates = 0;
+  EXPECT_THROW(run_bootstrap(patterns, model, tree, testutil::taxon_names(5), options), Error);
+}
+
+}  // namespace
+}  // namespace miniphi::search

@@ -1,0 +1,451 @@
+// End-to-end correctness of the likelihood engine against an independent
+// brute-force Felsenstein implementation, plus the likelihood invariants the
+// paper's computation relies on (virtual-root invariance, scaling,
+// compression, slicing, derivative consistency).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/core/engine.hpp"
+#include "src/tree/moves.hpp"
+#include "src/util/error.hpp"
+#include "tests/testutil.hpp"
+
+namespace miniphi::core {
+namespace {
+
+using testutil::brute_force_log_likelihood;
+using testutil::random_alignment;
+using testutil::random_gtr_params;
+
+std::vector<simd::Isa> supported_isas() {
+  std::vector<simd::Isa> isas = {simd::Isa::kScalar};
+  if (simd::isa_supported(simd::Isa::kAvx2)) isas.push_back(simd::Isa::kAvx2);
+  if (simd::isa_supported(simd::Isa::kAvx512)) isas.push_back(simd::Isa::kAvx512);
+  return isas;
+}
+
+class EngineVsBruteForce : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(EngineVsBruteForce, MatchesReferenceOnRandomInstances) {
+  const auto [ntaxa, seed] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed) * 7919 + 13);
+  const auto alignment = random_alignment(ntaxa, 120, rng, /*ambiguity=*/0.05);
+  const auto patterns = bio::compress_patterns(alignment);
+  const model::GtrModel model(random_gtr_params(rng));
+  tree::Tree tree = tree::Tree::random(ntaxa, rng);
+
+  const double reference = brute_force_log_likelihood(tree, patterns, model);
+  for (const auto isa : supported_isas()) {
+    LikelihoodEngine::Config config;
+    config.isa = isa;
+    LikelihoodEngine engine(patterns, model, tree, config);
+    const double value = engine.log_likelihood(tree.tip(0));
+    EXPECT_NEAR(value, reference, std::abs(reference) * 1e-10 + 1e-8)
+        << "isa=" << simd::to_string(isa);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Instances, EngineVsBruteForce,
+    ::testing::Combine(::testing::Values(3, 4, 5, 8, 15, 24), ::testing::Range(0, 3)));
+
+class EngineInvariants : public ::testing::TestWithParam<simd::Isa> {
+ protected:
+  void SetUp() override {
+    if (!simd::isa_supported(GetParam())) GTEST_SKIP() << "ISA not supported on this host";
+  }
+};
+
+TEST_P(EngineInvariants, VirtualRootPlacementInvariance) {
+  // The pulley principle: under a reversible model the likelihood does not
+  // depend on which branch carries the virtual root (paper Section IV).
+  Rng rng(2024);
+  const auto alignment = random_alignment(10, 200, rng);
+  const auto patterns = bio::compress_patterns(alignment);
+  const model::GtrModel model(random_gtr_params(rng));
+  tree::Tree tree = tree::Tree::random(10, rng);
+
+  LikelihoodEngine::Config config;
+  config.isa = GetParam();
+  LikelihoodEngine engine(patterns, model, tree, config);
+  const double reference = engine.log_likelihood(tree.tip(0));
+  for (tree::Slot* edge : tree.edges()) {
+    const double value = engine.log_likelihood(edge);
+    EXPECT_NEAR(value, reference, std::abs(reference) * 1e-11 + 1e-9);
+  }
+}
+
+TEST_P(EngineInvariants, PatternCompressionPreservesLikelihood) {
+  Rng rng(7);
+  const auto alignment = random_alignment(4, 300, rng, 0.1);
+  const auto compressed = bio::compress_patterns(alignment);
+  const auto uncompressed = bio::uncompressed_patterns(alignment);
+  ASSERT_LT(compressed.pattern_count(), uncompressed.pattern_count());
+
+  const model::GtrModel model(random_gtr_params(rng));
+  tree::Tree tree = tree::Tree::random(4, rng);
+
+  LikelihoodEngine::Config config;
+  config.isa = GetParam();
+  LikelihoodEngine engine_c(compressed, model, tree, config);
+  LikelihoodEngine engine_u(uncompressed, model, tree, config);
+  const double a = engine_c.log_likelihood(tree.tip(0));
+  const double b = engine_u.log_likelihood(tree.tip(0));
+  EXPECT_NEAR(a, b, std::abs(a) * 1e-11 + 1e-9);
+}
+
+TEST_P(EngineInvariants, ScalingTriggersOnDeepTreesAndStaysFinite) {
+  // A long caterpillar drives CLA magnitudes below 2^-256; without scaling
+  // the likelihood would underflow to -inf.
+  Rng rng(31337);
+  const int ntaxa = 600;
+  const auto alignment = random_alignment(ntaxa, 8, rng);
+  const auto patterns = bio::uncompressed_patterns(alignment);
+  const model::GtrModel model(model::GtrParams::jc69(0.8));
+  tree::Tree tree = tree::Tree::random(ntaxa, rng);
+
+  LikelihoodEngine::Config config;
+  config.isa = GetParam();
+  LikelihoodEngine engine(patterns, model, tree, config);
+  const double value = engine.log_likelihood(tree.tip(0));
+  EXPECT_TRUE(std::isfinite(value));
+  EXPECT_LT(value, 0.0);
+
+  // Cross-check against the scalar back-end (also scaled, independently run).
+  LikelihoodEngine::Config scalar_config;
+  scalar_config.isa = simd::Isa::kScalar;
+  LikelihoodEngine scalar_engine(patterns, model, tree, scalar_config);
+  const double reference = scalar_engine.log_likelihood(tree.tip(0));
+  EXPECT_NEAR(value, reference, std::abs(reference) * 1e-10);
+}
+
+TEST_P(EngineInvariants, SliceDecompositionSumsToWhole) {
+  // Two engines over complementary pattern slices reproduce the full
+  // likelihood — the exact contract of the fork-join and MPI partitions.
+  Rng rng(55);
+  const auto alignment = random_alignment(12, 257, rng);
+  const auto patterns = bio::compress_patterns(alignment);
+  const model::GtrModel model(random_gtr_params(rng));
+  tree::Tree tree = tree::Tree::random(12, rng);
+
+  LikelihoodEngine::Config config;
+  config.isa = GetParam();
+  LikelihoodEngine whole(patterns, model, tree, config);
+  const double full = whole.log_likelihood(tree.tip(0));
+
+  const auto npat = static_cast<std::int64_t>(patterns.pattern_count());
+  for (const std::int64_t cut : {std::int64_t{1}, npat / 3, npat / 2, npat - 1}) {
+    LikelihoodEngine::Config low = config;
+    low.begin = 0;
+    low.end = cut;
+    LikelihoodEngine::Config high = config;
+    high.begin = cut;
+    high.end = npat;
+    LikelihoodEngine engine_low(patterns, model, tree, low);
+    LikelihoodEngine engine_high(patterns, model, tree, high);
+    const double sum =
+        engine_low.log_likelihood(tree.tip(0)) + engine_high.log_likelihood(tree.tip(0));
+    EXPECT_NEAR(sum, full, std::abs(full) * 1e-11 + 1e-9) << "cut=" << cut;
+  }
+}
+
+TEST_P(EngineInvariants, DerivativesMatchFiniteDifferences) {
+  Rng rng(404);
+  const auto alignment = random_alignment(9, 150, rng);
+  const auto patterns = bio::compress_patterns(alignment);
+  const model::GtrModel model(random_gtr_params(rng));
+  tree::Tree tree = tree::Tree::random(9, rng);
+
+  LikelihoodEngine::Config config;
+  config.isa = GetParam();
+  LikelihoodEngine engine(patterns, model, tree, config);
+
+  for (tree::Slot* edge : tree.edges()) {
+    engine.prepare_derivatives(edge);
+    const double z = edge->length;
+    const auto [first, second] = engine.derivatives(z);
+
+    const double h = 1e-6;
+    const auto eval_at = [&](double value) {
+      tree::Tree::set_length(edge, value);
+      // The branch between the two endpoint CLAs does not enter either CLA,
+      // so no invalidation is needed — evaluate() sees the new length.
+      const double result = engine.log_likelihood(edge);
+      tree::Tree::set_length(edge, z);
+      return result;
+    };
+    const double plus = eval_at(z + h);
+    const double minus = eval_at(z - h);
+    EXPECT_NEAR(first, (plus - minus) / (2 * h), 1e-3 * (1.0 + std::abs(first)));
+
+    // Second derivative needs a wider stencil: with h = 1e-6 the O(ε/h²)
+    // cancellation noise would dominate.
+    const double h2 = 1e-4;
+    const double plus2 = eval_at(z + h2);
+    const double minus2 = eval_at(z - h2);
+    const double base = eval_at(z);
+    EXPECT_NEAR(second, (plus2 - 2 * base + minus2) / (h2 * h2),
+                2e-2 * (1.0 + std::abs(second)));
+  }
+}
+
+TEST_P(EngineInvariants, BranchOptimizationImprovesLikelihood) {
+  Rng rng(777);
+  const auto alignment = random_alignment(10, 250, rng);
+  const auto patterns = bio::compress_patterns(alignment);
+  const model::GtrModel model(random_gtr_params(rng));
+  tree::Tree tree = tree::Tree::random(10, rng);
+
+  LikelihoodEngine::Config config;
+  config.isa = GetParam();
+  LikelihoodEngine engine(patterns, model, tree, config);
+  const double before = engine.log_likelihood(tree.tip(0));
+  double previous = before;
+  // Coordinate ascent: every smoothing pass must be monotone non-decreasing.
+  for (int pass = 0; pass < 16; ++pass) {
+    const double current = engine.optimize_all_branches(tree.tip(0), 1);
+    EXPECT_GE(current, previous - 1e-7) << "pass " << pass;
+    previous = current;
+  }
+  EXPECT_GE(previous, before - 1e-9);
+
+  // Near the joint optimum every branch derivative must be ~0 (or pinned).
+  for (tree::Slot* edge : tree.edges()) {
+    engine.prepare_derivatives(edge);
+    const auto [first, _] = engine.derivatives(edge->length);
+    if (edge->length > kMinBranchLength * 2 && edge->length < kMaxBranchLength / 2) {
+      EXPECT_NEAR(first, 0.0, 0.05) << "branch " << edge->slot_index;
+    }
+  }
+}
+
+TEST_P(EngineInvariants, OpenMpModeMatchesSerial) {
+  Rng rng(606);
+  const auto alignment = random_alignment(11, 400, rng);
+  const auto patterns = bio::compress_patterns(alignment);
+  const model::GtrModel model(random_gtr_params(rng));
+  tree::Tree tree = tree::Tree::random(11, rng);
+
+  LikelihoodEngine::Config serial;
+  serial.isa = GetParam();
+  LikelihoodEngine engine_serial(patterns, model, tree, serial);
+
+  LikelihoodEngine::Config parallel = serial;
+  parallel.use_openmp = true;
+  LikelihoodEngine engine_parallel(patterns, model, tree, parallel);
+
+  const double a = engine_serial.log_likelihood(tree.tip(0));
+  const double b = engine_parallel.log_likelihood(tree.tip(0));
+  EXPECT_NEAR(a, b, std::abs(a) * 1e-11 + 1e-9);
+}
+
+TEST_P(EngineInvariants, TopologyChangeInvalidationIsRespected) {
+  // NNI deep inside the tree, with explicit invalidation of the touched
+  // nodes: likelihood must equal a freshly built engine on the same topology.
+  Rng rng(8888);
+  const auto alignment = random_alignment(12, 180, rng);
+  const auto patterns = bio::compress_patterns(alignment);
+  const model::GtrModel model(random_gtr_params(rng));
+  tree::Tree tree = tree::Tree::random(12, rng);
+
+  LikelihoodEngine::Config config;
+  config.isa = GetParam();
+  LikelihoodEngine engine(patterns, model, tree, config);
+  (void)engine.log_likelihood(tree.tip(0));  // populate all CLAs
+
+  // Find an internal edge and apply an NNI.
+  tree::Slot* internal = nullptr;
+  for (tree::Slot* edge : tree.edges()) {
+    if (!edge->is_tip() && !edge->back->is_tip()) {
+      internal = edge;
+      break;
+    }
+  }
+  ASSERT_NE(internal, nullptr);
+  ASSERT_TRUE(tree::nni(tree, internal, 0));
+  engine.invalidate_node(internal->node_id);
+  engine.invalidate_node(internal->back->node_id);
+
+  const double incremental = engine.log_likelihood(tree.tip(0));
+  LikelihoodEngine fresh(patterns, model, tree, config);
+  const double scratch = fresh.log_likelihood(tree.tip(0));
+  EXPECT_NEAR(incremental, scratch, std::abs(scratch) * 1e-11 + 1e-9);
+}
+
+TEST_P(EngineInvariants, StatsCountKernelInvocations) {
+  Rng rng(12);
+  const auto alignment = random_alignment(6, 64, rng);
+  const auto patterns = bio::compress_patterns(alignment);
+  const model::GtrModel model(random_gtr_params(rng));
+  tree::Tree tree = tree::Tree::random(6, rng);
+
+  LikelihoodEngine::Config config;
+  config.isa = GetParam();
+  LikelihoodEngine engine(patterns, model, tree, config);
+  (void)engine.log_likelihood(tree.tip(0));
+
+  // Full traversal: all inner CLAs (n-2 = 4) computed once, one evaluate.
+  EXPECT_EQ(engine.stats(Kernel::kNewview).calls, 4);
+  EXPECT_EQ(engine.stats(Kernel::kEvaluate).calls, 1);
+  EXPECT_EQ(engine.stats(Kernel::kNewview).sites,
+            4 * static_cast<std::int64_t>(patterns.pattern_count()));
+
+  // Second call with no changes: everything cached except evaluate.
+  (void)engine.log_likelihood(tree.tip(0));
+  EXPECT_EQ(engine.stats(Kernel::kNewview).calls, 4);
+  EXPECT_EQ(engine.stats(Kernel::kEvaluate).calls, 2);
+
+  engine.reset_stats();
+  EXPECT_EQ(engine.stats(Kernel::kEvaluate).calls, 0);
+}
+
+TEST_P(EngineInvariants, RandomMoveStressAgainstFreshEngine) {
+  // Long random sequence of SPR and NNI moves with incremental invalidation;
+  // after every move the incrementally maintained likelihood must equal a
+  // freshly built engine's.  This is the strongest test of the orientation /
+  // invalidation machinery the search relies on.
+  Rng rng(13579);
+  const auto alignment = random_alignment(14, 120, rng);
+  const auto patterns = bio::compress_patterns(alignment);
+  const model::GtrModel model(random_gtr_params(rng));
+  tree::Tree tree = tree::Tree::random(14, rng);
+
+  LikelihoodEngine::Config config;
+  config.isa = GetParam();
+  LikelihoodEngine engine(patterns, model, tree, config);
+  (void)engine.log_likelihood(tree.tip(0));
+
+  for (int step = 0; step < 60; ++step) {
+    const bool do_nni = rng.below(2) == 0;
+    if (do_nni) {
+      // Random internal edge.
+      std::vector<tree::Slot*> internal;
+      for (tree::Slot* e : tree.edges()) {
+        if (!e->is_tip() && !e->back->is_tip()) internal.push_back(e);
+      }
+      tree::Slot* edge = internal[rng.below(internal.size())];
+      ASSERT_TRUE(tree::nni(tree, edge, static_cast<int>(rng.below(2))));
+      engine.invalidate_node(edge->node_id);
+      engine.invalidate_node(edge->back->node_id);
+    } else {
+      // Random SPR: prune a random inner slot's subtree, regraft somewhere.
+      const int inner = static_cast<int>(rng.below(static_cast<std::uint64_t>(tree.inner_count())));
+      tree::Slot* p = tree.inner_slot(inner, static_cast<int>(rng.below(3)));
+      const auto record = tree::prune(tree, p);
+      engine.invalidate_node(record.left->node_id);
+      engine.invalidate_node(record.right->node_id);
+      engine.invalidate_node(p->node_id);
+      const auto candidates = tree::insertion_candidates(record, 4);
+      if (candidates.empty()) {
+        tree::undo_prune(tree, record);
+        engine.invalidate_node(record.left->node_id);
+        engine.invalidate_node(record.right->node_id);
+        continue;
+      }
+      tree::Slot* e = candidates[rng.below(candidates.size())];
+      tree::Slot* other = e->back;
+      tree::regraft(tree, record, e, rng.uniform(0.2, 0.8));
+      engine.invalidate_node(e->node_id);
+      engine.invalidate_node(other->node_id);
+      engine.invalidate_node(p->node_id);
+    }
+    // Also perturb a random branch length.
+    if (step % 3 == 0) {
+      tree::Slot* edge = tree.edges()[rng.below(static_cast<std::uint64_t>(tree.edge_count()))];
+      tree::Tree::set_length(edge, rng.uniform(0.01, 1.0));
+      engine.invalidate_node(edge->node_id);
+      engine.invalidate_node(edge->back->node_id);
+    }
+    tree.validate();
+
+    // Evaluate at a random edge; compare with a from-scratch engine.
+    tree::Slot* root = tree.edges()[rng.below(static_cast<std::uint64_t>(tree.edge_count()))];
+    const double incremental = engine.log_likelihood(root);
+    LikelihoodEngine fresh(patterns, model, tree, config);
+    const double scratch = fresh.log_likelihood(root);
+    ASSERT_NEAR(incremental, scratch, std::abs(scratch) * 1e-10 + 1e-8) << "step " << step;
+  }
+}
+
+TEST_P(EngineInvariants, RecomputationModeMatchesFullBudget) {
+  // The memory-saving mode (Section V-A's unsupported technique, citing
+  // Izquierdo-Carrasco et al.): with a small CLA buffer budget the engine
+  // evicts and recomputes CLAs; results must be identical, only slower.
+  Rng rng(24680);
+  const auto alignment = random_alignment(32, 150, rng);
+  const auto patterns = bio::compress_patterns(alignment);
+  const model::GtrModel model(random_gtr_params(rng));
+  tree::Tree tree = tree::Tree::random(32, rng);
+
+  LikelihoodEngine::Config full_config;
+  full_config.isa = GetParam();
+
+  for (const int budget : {6, 10, 15}) {
+    // Fresh engines so kernel-call counters compare identical workloads.
+    LikelihoodEngine full(patterns, model, tree, full_config);
+    LikelihoodEngine::Config tight_config = full_config;
+    tight_config.cla_buffers = budget;
+    LikelihoodEngine tight(patterns, model, tree, tight_config);
+    EXPECT_EQ(tight.cla_buffer_count(), budget);
+    EXPECT_EQ(full.cla_buffer_count(), tree.inner_count());
+
+    // Evaluate at several scattered edges: identical likelihoods...
+    const auto edges = tree.edges();
+    for (const std::size_t index : {std::size_t{0}, edges.size() / 2, edges.size() - 1}) {
+      const double expected = full.log_likelihood(edges[index]);
+      const double actual = tight.log_likelihood(edges[index]);
+      ASSERT_NEAR(actual, expected, std::abs(expected) * 1e-12 + 1e-10)
+          << "budget " << budget << " edge " << index;
+    }
+    // ...with eviction visible as extra (recomputation) newview work —
+    // guaranteed under the tightest budget, never *less* work otherwise.
+    EXPECT_GE(tight.stats(Kernel::kNewview).calls, full.stats(Kernel::kNewview).calls)
+        << "budget " << budget;
+    if (budget == 6) {
+      EXPECT_GT(tight.stats(Kernel::kNewview).calls, full.stats(Kernel::kNewview).calls);
+    }
+  }
+}
+
+TEST_P(EngineInvariants, RecomputationSurvivesBranchOptimization) {
+  Rng rng(11111);
+  const auto alignment = random_alignment(20, 120, rng);
+  const auto patterns = bio::compress_patterns(alignment);
+  const model::GtrModel model(random_gtr_params(rng));
+  tree::Tree tree_full = tree::Tree::random(20, rng);
+  tree::Tree tree_tight(tree_full);
+
+  LikelihoodEngine::Config config;
+  config.isa = GetParam();
+  LikelihoodEngine full(patterns, model, tree_full, config);
+  LikelihoodEngine::Config tight_config = config;
+  tight_config.cla_buffers = 6;
+  LikelihoodEngine tight(patterns, model, tree_tight, tight_config);
+
+  const double lnl_full = full.optimize_all_branches(tree_full.tip(0), 2);
+  const double lnl_tight = tight.optimize_all_branches(tree_tight.tip(0), 2);
+  EXPECT_NEAR(lnl_full, lnl_tight, std::abs(lnl_full) * 1e-10 + 1e-8);
+  for (int i = 0; i < tree_full.slot_count(); ++i) {
+    EXPECT_NEAR(tree_full.slot(i)->length, tree_tight.slot(i)->length, 1e-9);
+  }
+}
+
+TEST(EngineBudget, RejectsBudgetBelowMinimum) {
+  Rng rng(9);
+  const auto alignment = random_alignment(10, 50, rng);
+  const auto patterns = bio::compress_patterns(alignment);
+  const model::GtrModel model(random_gtr_params(rng));
+  tree::Tree tree = tree::Tree::random(10, rng);
+  LikelihoodEngine::Config config;
+  config.cla_buffers = 2;
+  EXPECT_THROW(LikelihoodEngine(patterns, model, tree, config), Error);
+}
+
+INSTANTIATE_TEST_SUITE_P(Isas, EngineInvariants,
+                         ::testing::Values(simd::Isa::kScalar, simd::Isa::kAvx2,
+                                           simd::Isa::kAvx512),
+                         [](const auto& param_info) { return simd::to_string(param_info.param); });
+
+}  // namespace
+}  // namespace miniphi::core

@@ -1,0 +1,281 @@
+// Kernel-level tests: every vectorized back-end must agree with the scalar
+// reference on randomized inputs, for all child-type combinations and tuning
+// variants (streaming stores on/off, prefetching on/off).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/core/kernels.hpp"
+#include "src/core/ptable.hpp"
+#include "src/model/gtr.hpp"
+#include "src/util/aligned.hpp"
+#include "src/util/rng.hpp"
+#include "tests/testutil.hpp"
+
+namespace miniphi::core {
+namespace {
+
+struct KernelFixtureData {
+  std::int64_t npat = 0;
+  AlignedDoubles left_cla;
+  AlignedDoubles right_cla;
+  std::vector<std::int32_t> left_scale;
+  std::vector<std::int32_t> right_scale;
+  std::vector<bio::DnaCode> left_codes;
+  std::vector<bio::DnaCode> right_codes;
+  std::vector<std::uint32_t> weights;
+  AlignedDoubles ptable_left = AlignedDoubles(kPtableSize);
+  AlignedDoubles ptable_right = AlignedDoubles(kPtableSize);
+  AlignedDoubles ump_left = AlignedDoubles(kUmpSize);
+  AlignedDoubles ump_right = AlignedDoubles(kUmpSize);
+  AlignedDoubles wtable;
+  AlignedDoubles tipvec16;
+  AlignedDoubles diag = AlignedDoubles(kDiagSize);
+  AlignedDoubles evtab = AlignedDoubles(kEvtabSize);
+  AlignedDoubles dtab = AlignedDoubles(kDtabSize);
+};
+
+KernelFixtureData make_fixture(std::int64_t npat, Rng& rng) {
+  KernelFixtureData data;
+  data.npat = npat;
+  const auto params = testutil::random_gtr_params(rng);
+  const model::GtrModel model(params);
+
+  const auto fill_cla = [&](AlignedDoubles& cla) {
+    cla.resize(static_cast<std::size_t>(npat) * kSiteBlock);
+    for (auto& value : cla) value = rng.uniform(-1.0, 1.0);
+  };
+  fill_cla(data.left_cla);
+  fill_cla(data.right_cla);
+  data.left_scale.resize(static_cast<std::size_t>(npat));
+  data.right_scale.resize(static_cast<std::size_t>(npat));
+  data.left_codes.resize(static_cast<std::size_t>(npat));
+  data.right_codes.resize(static_cast<std::size_t>(npat));
+  data.weights.resize(static_cast<std::size_t>(npat));
+  for (std::int64_t s = 0; s < npat; ++s) {
+    data.left_scale[static_cast<std::size_t>(s)] = static_cast<std::int32_t>(rng.below(3));
+    data.right_scale[static_cast<std::size_t>(s)] = static_cast<std::int32_t>(rng.below(3));
+    data.left_codes[static_cast<std::size_t>(s)] =
+        static_cast<bio::DnaCode>(1 + rng.below(15));
+    data.right_codes[static_cast<std::size_t>(s)] =
+        static_cast<bio::DnaCode>(1 + rng.below(15));
+    data.weights[static_cast<std::size_t>(s)] = static_cast<std::uint32_t>(1 + rng.below(5));
+  }
+
+  const double z1 = rng.uniform(0.02, 0.8);
+  const double z2 = rng.uniform(0.02, 0.8);
+  build_ptable(model, z1, data.ptable_left);
+  build_ptable(model, z2, data.ptable_right);
+  build_ump(model, data.ptable_left, data.ump_left);
+  build_ump(model, data.ptable_right, data.ump_right);
+  data.wtable = build_wtable(model);
+  data.tipvec16 = build_tipvec16(model);
+  build_diag(model, z1, data.diag);
+  build_evtab(data.diag, data.tipvec16, data.evtab);
+  build_dtab(model, z1, data.dtab);
+  return data;
+}
+
+ChildInput child_as_inner(const KernelFixtureData& data, bool left) {
+  ChildInput input;
+  input.cla = left ? data.left_cla.data() : data.right_cla.data();
+  input.scale = left ? data.left_scale.data() : data.right_scale.data();
+  input.ptable = left ? data.ptable_left.data() : data.ptable_right.data();
+  return input;
+}
+
+ChildInput child_as_tip(const KernelFixtureData& data, bool left) {
+  ChildInput input;
+  input.codes = left ? data.left_codes.data() : data.right_codes.data();
+  input.ptable = left ? data.ptable_left.data() : data.ptable_right.data();
+  input.ump = left ? data.ump_left.data() : data.ump_right.data();
+  return input;
+}
+
+struct CaseParam {
+  simd::Isa isa;
+  bool left_tip;
+  bool right_tip;
+  KernelTuning tuning;
+};
+
+std::string case_name(const ::testing::TestParamInfo<CaseParam>& info) {
+  const auto& p = info.param;
+  std::string name = simd::to_string(p.isa);
+  name += p.left_tip ? "_tipL" : "_innerL";
+  name += p.right_tip ? "_tipR" : "_innerR";
+  name += p.tuning.streaming_stores ? "_stream" : "_nostream";
+  name += p.tuning.prefetch_distance > 0 ? "_prefetch" : "_noprefetch";
+  return name;
+}
+
+class KernelAgreement : public ::testing::TestWithParam<CaseParam> {
+ protected:
+  void SetUp() override {
+    if (!simd::isa_supported(GetParam().isa)) GTEST_SKIP() << "ISA unsupported";
+  }
+};
+
+TEST_P(KernelAgreement, NewviewMatchesScalar) {
+  const auto& param = GetParam();
+  Rng rng(777);
+  auto data = make_fixture(203, rng);  // odd count exercises tails
+
+  const auto run = [&](const KernelOps& ops, KernelTuning tuning, AlignedDoubles& out,
+                       std::vector<std::int32_t>& out_scale) {
+    out.assign(static_cast<std::size_t>(data.npat) * kSiteBlock, 0.0);
+    out_scale.assign(static_cast<std::size_t>(data.npat), 0);
+    NewviewCtx ctx;
+    ctx.parent_cla = out.data();
+    ctx.parent_scale = out_scale.data();
+    ctx.left = param.left_tip ? child_as_tip(data, true) : child_as_inner(data, true);
+    ctx.right = param.right_tip ? child_as_tip(data, false) : child_as_inner(data, false);
+    ctx.wtable = data.wtable.data();
+    ctx.begin = 0;
+    ctx.end = data.npat;
+    ctx.tuning = tuning;
+    ops.newview(ctx);
+  };
+
+  AlignedDoubles expected, actual;
+  std::vector<std::int32_t> expected_scale, actual_scale;
+  run(scalar_kernel_ops(), KernelTuning{}, expected, expected_scale);
+  run(get_kernel_ops(param.isa), param.tuning, actual, actual_scale);
+
+  // FMA contraction reorders rounding relative to the scalar mul+add chain;
+  // agreement is tight but not bitwise.
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_NEAR(actual[i], expected[i], std::abs(expected[i]) * 1e-11 + 1e-13) << "i=" << i;
+  }
+  EXPECT_EQ(actual_scale, expected_scale);
+}
+
+TEST_P(KernelAgreement, EvaluateMatchesScalar) {
+  const auto& param = GetParam();
+  Rng rng(888);
+  auto data = make_fixture(157, rng);
+
+  const auto run = [&](const KernelOps& ops) {
+    EvaluateCtx ctx;
+    ctx.left_cla = data.left_cla.data();
+    ctx.left_scale = data.left_scale.data();
+    if (param.right_tip) {
+      ctx.right_codes = data.right_codes.data();
+      ctx.evtab = data.evtab.data();
+    } else {
+      ctx.right_cla = data.right_cla.data();
+      ctx.right_scale = data.right_scale.data();
+      ctx.diag = data.diag.data();
+    }
+    ctx.weights = data.weights.data();
+    ctx.begin = 0;
+    ctx.end = data.npat;
+    return ops.evaluate(ctx);
+  };
+
+  const double expected = run(scalar_kernel_ops());
+  const double actual = run(get_kernel_ops(param.isa));
+  EXPECT_NEAR(actual, expected, std::abs(expected) * 1e-12 + 1e-10);
+}
+
+TEST_P(KernelAgreement, DerivativeSumMatchesScalar) {
+  const auto& param = GetParam();
+  Rng rng(999);
+  auto data = make_fixture(211, rng);
+
+  const auto run = [&](const KernelOps& ops, KernelTuning tuning, AlignedDoubles& out) {
+    out.assign(static_cast<std::size_t>(data.npat) * kSiteBlock, 0.0);
+    SumCtx ctx;
+    ctx.sum = out.data();
+    ctx.left_cla = data.left_cla.data();
+    if (param.right_tip) {
+      ctx.right_codes = data.right_codes.data();
+      ctx.tipvec16 = data.tipvec16.data();
+    } else {
+      ctx.right_cla = data.right_cla.data();
+    }
+    ctx.begin = 0;
+    ctx.end = data.npat;
+    ctx.tuning = tuning;
+    ops.derivative_sum(ctx);
+  };
+
+  AlignedDoubles expected, actual;
+  run(scalar_kernel_ops(), KernelTuning{}, expected);
+  run(get_kernel_ops(param.isa), param.tuning, actual);
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    // Element-wise product: results must be bit-identical.
+    EXPECT_DOUBLE_EQ(actual[i], expected[i]) << "i=" << i;
+  }
+}
+
+TEST_P(KernelAgreement, DerivativeCoreMatchesScalar) {
+  const auto& param = GetParam();
+  Rng rng(1111);
+  auto data = make_fixture(173, rng);  // odd: exercises the blocked + tail path
+
+  // Use a real sum buffer (product of CLAs) so magnitudes are realistic.
+  AlignedDoubles sum(static_cast<std::size_t>(data.npat) * kSiteBlock);
+  for (std::size_t i = 0; i < sum.size(); ++i) {
+    sum[i] = std::abs(data.left_cla[i] * data.right_cla[i]);
+  }
+
+  const auto run = [&](const KernelOps& ops) {
+    DerivCtx ctx;
+    ctx.sum = sum.data();
+    ctx.weights = data.weights.data();
+    ctx.dtab = data.dtab.data();
+    ctx.begin = 0;
+    ctx.end = data.npat;
+    ops.derivative_core(ctx);
+    return std::pair<double, double>{ctx.out_first, ctx.out_second};
+  };
+
+  const auto [e1, e2] = run(scalar_kernel_ops());
+  const auto [a1, a2] = run(get_kernel_ops(param.isa));
+  EXPECT_NEAR(a1, e1, std::abs(e1) * 1e-11 + 1e-9);
+  EXPECT_NEAR(a2, e2, std::abs(e2) * 1e-11 + 1e-9);
+}
+
+std::vector<CaseParam> all_cases() {
+  std::vector<CaseParam> cases;
+  const KernelTuning defaults{};
+  KernelTuning plain;
+  plain.streaming_stores = false;
+  plain.prefetch_distance = 0;
+  for (const auto isa : {simd::Isa::kScalar, simd::Isa::kAvx2, simd::Isa::kAvx512}) {
+    for (const bool left_tip : {false, true}) {
+      for (const bool right_tip : {false, true}) {
+        cases.push_back({isa, left_tip, right_tip, defaults});
+        cases.push_back({isa, left_tip, right_tip, plain});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, KernelAgreement, ::testing::ValuesIn(all_cases()),
+                         case_name);
+
+TEST(KernelDispatch, ScalarAlwaysAvailable) {
+  const auto ops = get_kernel_ops(simd::Isa::kScalar);
+  EXPECT_EQ(ops.isa, simd::Isa::kScalar);
+  EXPECT_NE(ops.newview, nullptr);
+  EXPECT_NE(ops.evaluate, nullptr);
+  EXPECT_NE(ops.derivative_sum, nullptr);
+  EXPECT_NE(ops.derivative_core, nullptr);
+}
+
+TEST(KernelDispatch, BestIsaIsUsable) {
+  const auto isa = simd::best_supported_isa();
+  EXPECT_NO_THROW(get_kernel_ops(isa));
+}
+
+TEST(KernelConstants, ScalingThresholdsAreConsistent) {
+  EXPECT_DOUBLE_EQ(kScaleThreshold * kScaleFactor, 1.0);
+  EXPECT_NEAR(kLogScaleThreshold, std::log(kScaleThreshold), 1e-12);
+}
+
+}  // namespace
+}  // namespace miniphi::core

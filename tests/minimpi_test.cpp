@@ -1,0 +1,234 @@
+// Tests for src/minimpi: collective semantics, determinism, point-to-point,
+// statistics, and stress under many concurrent operations.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <vector>
+
+#include "src/minimpi/minimpi.hpp"
+#include "src/util/error.hpp"
+
+namespace miniphi::mpi {
+namespace {
+
+TEST(World, RunsEveryRankOnce) {
+  World world(6);
+  std::vector<std::atomic<int>> hits(6);
+  world.run([&](Communicator& comm) { hits[static_cast<std::size_t>(comm.rank())]++; });
+  for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(World, PropagatesRankExceptions) {
+  World world(3);
+  EXPECT_THROW(world.run([](Communicator& comm) {
+                 if (comm.rank() == 1) throw Error("rank 1 failed");
+               }),
+               Error);
+}
+
+TEST(World, RejectsEmptyWorld) { EXPECT_THROW(World(0), Error); }
+
+TEST(Collectives, BarrierSynchronizesPhases) {
+  World world(4);
+  std::atomic<int> phase_one{0};
+  std::vector<int> seen(4, -1);
+  world.run([&](Communicator& comm) {
+    phase_one++;
+    comm.barrier();
+    // After the barrier every rank must observe all phase-one increments.
+    seen[static_cast<std::size_t>(comm.rank())] = phase_one.load();
+  });
+  for (const int value : seen) EXPECT_EQ(value, 4);
+}
+
+TEST(Collectives, AllreduceSumsContributions) {
+  World world(5);
+  std::vector<double> results(5, 0.0);
+  world.run([&](Communicator& comm) {
+    results[static_cast<std::size_t>(comm.rank())] =
+        comm.allreduce_sum(static_cast<double>(comm.rank() + 1));
+  });
+  for (const double value : results) EXPECT_DOUBLE_EQ(value, 15.0);
+}
+
+TEST(Collectives, AllreduceIsBitwiseIdenticalAcrossRanks) {
+  // Fixed reduction order: every rank must get the *same* floating-point
+  // value, not just mathematically equal ones (ExaML replica consistency).
+  World world(7);
+  std::vector<double> results(7, 0.0);
+  world.run([&](Communicator& comm) {
+    const double contribution = 0.1 * (comm.rank() + 1) + 1e-13 * comm.rank();
+    results[static_cast<std::size_t>(comm.rank())] = comm.allreduce_sum(contribution);
+  });
+  for (int r = 1; r < 7; ++r) {
+    EXPECT_EQ(results[static_cast<std::size_t>(r)], results[0]);  // bitwise
+  }
+}
+
+TEST(Collectives, RepeatedAllreducesDoNotInterfere) {
+  World world(4);
+  std::vector<double> sums(4, 0.0);
+  world.run([&](Communicator& comm) {
+    double total = 0.0;
+    for (int i = 0; i < 500; ++i) {
+      total += comm.allreduce_sum(static_cast<double>(i % 7));
+    }
+    sums[static_cast<std::size_t>(comm.rank())] = total;
+  });
+  for (int r = 1; r < 4; ++r) EXPECT_EQ(sums[static_cast<std::size_t>(r)], sums[0]);
+}
+
+TEST(Collectives, VectorAllreduce) {
+  World world(3);
+  std::vector<std::vector<double>> results(3);
+  world.run([&](Communicator& comm) {
+    std::vector<double> values = {1.0 * comm.rank(), 2.0, -1.0 * comm.rank()};
+    comm.allreduce_sum(values);
+    results[static_cast<std::size_t>(comm.rank())] = values;
+  });
+  for (const auto& values : results) {
+    EXPECT_DOUBLE_EQ(values[0], 3.0);   // 0+1+2
+    EXPECT_DOUBLE_EQ(values[1], 6.0);   // 2×3
+    EXPECT_DOUBLE_EQ(values[2], -3.0);  // 0-1-2
+  }
+}
+
+TEST(Collectives, MinlocFindsMinimumAndRank) {
+  World world(5);
+  std::vector<std::pair<double, int>> results(5);
+  world.run([&](Communicator& comm) {
+    const double value = (comm.rank() == 3) ? -7.5 : static_cast<double>(comm.rank());
+    results[static_cast<std::size_t>(comm.rank())] = comm.allreduce_minloc(value);
+  });
+  for (const auto& [value, rank] : results) {
+    EXPECT_DOUBLE_EQ(value, -7.5);
+    EXPECT_EQ(rank, 3);
+  }
+}
+
+TEST(Collectives, MinlocTieBreaksBySmallestRank) {
+  World world(4);
+  std::vector<std::pair<double, int>> results(4);
+  world.run([&](Communicator& comm) {
+    results[static_cast<std::size_t>(comm.rank())] = comm.allreduce_minloc(1.0);
+  });
+  for (const auto& [value, rank] : results) {
+    EXPECT_DOUBLE_EQ(value, 1.0);
+    EXPECT_EQ(rank, 0);
+  }
+}
+
+TEST(Collectives, BroadcastScalarAndVector) {
+  World world(4);
+  std::vector<double> scalars(4, 0.0);
+  std::vector<std::vector<double>> vectors(4);
+  world.run([&](Communicator& comm) {
+    scalars[static_cast<std::size_t>(comm.rank())] =
+        comm.broadcast(comm.rank() == 2 ? 9.25 : -1.0, /*root=*/2);
+    std::vector<double> payload = {static_cast<double>(comm.rank()), 0.0};
+    if (comm.rank() == 1) payload = {3.5, 4.5};
+    comm.broadcast(payload, /*root=*/1);
+    vectors[static_cast<std::size_t>(comm.rank())] = payload;
+  });
+  for (const double value : scalars) EXPECT_DOUBLE_EQ(value, 9.25);
+  for (const auto& payload : vectors) {
+    EXPECT_DOUBLE_EQ(payload[0], 3.5);
+    EXPECT_DOUBLE_EQ(payload[1], 4.5);
+  }
+}
+
+TEST(PointToPoint, SendRecvDeliversInOrder) {
+  World world(2);
+  std::vector<double> received;
+  world.run([&](Communicator& comm) {
+    if (comm.rank() == 0) {
+      const double a[] = {1.0, 2.0};
+      const double b[] = {3.0};
+      comm.send(1, /*tag=*/7, a);
+      comm.send(1, /*tag=*/7, b);
+    } else {
+      const auto first = comm.recv(0, 7);
+      const auto second = comm.recv(0, 7);
+      received = first;
+      received.insert(received.end(), second.begin(), second.end());
+    }
+  });
+  ASSERT_EQ(received.size(), 3u);
+  EXPECT_DOUBLE_EQ(received[0], 1.0);
+  EXPECT_DOUBLE_EQ(received[2], 3.0);
+}
+
+TEST(PointToPoint, TagsSelectMessages) {
+  World world(2);
+  std::vector<double> tagged;
+  world.run([&](Communicator& comm) {
+    if (comm.rank() == 0) {
+      const double a[] = {1.0};
+      const double b[] = {2.0};
+      comm.send(1, /*tag=*/10, a);
+      comm.send(1, /*tag=*/20, b);
+    } else {
+      // Receive out of send order, selected by tag.
+      const auto twenty = comm.recv(0, 20);
+      const auto ten = comm.recv(0, 10);
+      tagged = {twenty[0], ten[0]};
+    }
+  });
+  ASSERT_EQ(tagged.size(), 2u);
+  EXPECT_DOUBLE_EQ(tagged[0], 2.0);
+  EXPECT_DOUBLE_EQ(tagged[1], 1.0);
+}
+
+TEST(PointToPoint, RejectsSelfAndInvalidDestination) {
+  World world(2);
+  EXPECT_THROW(world.run([](Communicator& comm) {
+                 const double x[] = {1.0};
+                 comm.send(comm.rank(), 0, x);  // self-send
+               }),
+               Error);
+}
+
+TEST(Stats, CountsOperationsAndBytes) {
+  World world(3);
+  world.run([](Communicator& comm) {
+    comm.barrier();
+    (void)comm.allreduce_sum(1.0);
+    (void)comm.broadcast(2.0, 0);
+    if (comm.rank() == 0) {
+      const double payload[4] = {0, 1, 2, 3};
+      comm.send(1, 0, payload);
+    } else if (comm.rank() == 1) {
+      (void)comm.recv(0, 0);
+    }
+  });
+  const auto stats = world.total_stats();
+  EXPECT_EQ(stats.barriers, 3);
+  EXPECT_EQ(stats.allreduces, 3);
+  EXPECT_EQ(stats.broadcasts, 3);
+  EXPECT_EQ(stats.point_to_point, 2);  // one send + one recv
+  // Bytes: 3 allreduce ×8 + 3 bcast ×8 + one 32-byte send.
+  EXPECT_EQ(stats.bytes, 3 * 8 + 3 * 8 + 32);
+}
+
+TEST(Stress, ManyRanksManyMixedCollectives) {
+  World world(8);
+  std::vector<double> checksums(8, 0.0);
+  world.run([&](Communicator& comm) {
+    double checksum = 0.0;
+    for (int i = 0; i < 100; ++i) {
+      checksum += comm.allreduce_sum(static_cast<double>((comm.rank() * 31 + i) % 11));
+      if (i % 10 == 0) comm.barrier();
+      checksum += comm.broadcast(checksum, i % comm.size());
+    }
+    checksums[static_cast<std::size_t>(comm.rank())] = checksum;
+  });
+  // Broadcast makes all checksums converge across ranks; primarily this
+  // test must not deadlock or race (run under the default test timeout).
+  for (int r = 1; r < 8; ++r) {
+    EXPECT_EQ(checksums[static_cast<std::size_t>(r)], checksums[0]);
+  }
+}
+
+}  // namespace
+}  // namespace miniphi::mpi

@@ -1,0 +1,372 @@
+// Tests for src/model: incomplete gamma, discrete Γ rates, Jacobi
+// eigensolver, and the GTR model invariants every likelihood computation
+// rests on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/model/eigen.hpp"
+#include "src/model/gamma.hpp"
+#include "src/model/gtr.hpp"
+#include "src/util/error.hpp"
+#include "src/util/rng.hpp"
+#include "tests/testutil.hpp"
+
+namespace miniphi::model {
+namespace {
+
+// ---------------------------------------------------------------- gamma ----
+
+TEST(IncompleteGamma, BoundaryValues) {
+  EXPECT_DOUBLE_EQ(incomplete_gamma_p(1.0, 0.0), 0.0);
+  EXPECT_NEAR(incomplete_gamma_p(1.0, 700.0), 1.0, 1e-12);
+}
+
+TEST(IncompleteGamma, ExponentialSpecialCase) {
+  // For a = 1 the distribution is Exponential(1): P(1, x) = 1 - e^{-x}.
+  for (const double x : {0.1, 0.5, 1.0, 2.0, 5.0, 10.0}) {
+    EXPECT_NEAR(incomplete_gamma_p(1.0, x), 1.0 - std::exp(-x), 1e-12) << "x=" << x;
+  }
+}
+
+TEST(IncompleteGamma, HalfIntegerShapeMatchesErf) {
+  // P(1/2, x) = erf(sqrt(x)).
+  for (const double x : {0.01, 0.25, 1.0, 4.0, 9.0}) {
+    EXPECT_NEAR(incomplete_gamma_p(0.5, x), std::erf(std::sqrt(x)), 1e-12) << "x=" << x;
+  }
+}
+
+TEST(IncompleteGamma, MonotoneInX) {
+  double previous = -1.0;
+  for (double x = 0.0; x < 10.0; x += 0.25) {
+    const double p = incomplete_gamma_p(2.3, x);
+    EXPECT_GT(p, previous);
+    previous = p;
+  }
+}
+
+TEST(IncompleteGamma, RejectsBadArguments) {
+  EXPECT_THROW(incomplete_gamma_p(0.0, 1.0), Error);
+  EXPECT_THROW(incomplete_gamma_p(1.0, -0.5), Error);
+  EXPECT_THROW(incomplete_gamma_inv(1.0, 1.0), Error);
+  EXPECT_THROW(incomplete_gamma_inv(1.0, -0.1), Error);
+}
+
+class GammaInverseRoundTrip : public ::testing::TestWithParam<double> {};
+
+TEST_P(GammaInverseRoundTrip, InvertsCdf) {
+  const double a = GetParam();
+  for (const double p : {0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+    const double x = incomplete_gamma_inv(a, p);
+    EXPECT_GT(x, 0.0);
+    EXPECT_NEAR(incomplete_gamma_p(a, x), p, 1e-9) << "a=" << a << " p=" << p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, GammaInverseRoundTrip,
+                         ::testing::Values(0.05, 0.2, 0.5, 1.0, 2.0, 5.0, 20.0, 100.0));
+
+class DiscreteGammaRates : public ::testing::TestWithParam<double> {};
+
+TEST_P(DiscreteGammaRates, UnitMeanAndAscending) {
+  const double alpha = GetParam();
+  for (const int k : {1, 2, 4, 8}) {
+    const auto rates = discrete_gamma_rates(alpha, k);
+    ASSERT_EQ(rates.size(), static_cast<std::size_t>(k));
+    double mean = 0.0;
+    for (std::size_t i = 0; i < rates.size(); ++i) {
+      EXPECT_GT(rates[i], 0.0);
+      if (i > 0) {
+        EXPECT_GT(rates[i], rates[i - 1]);
+      }
+      mean += rates[i];
+    }
+    mean /= k;
+    EXPECT_NEAR(mean, 1.0, 1e-9) << "alpha=" << alpha << " k=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, DiscreteGammaRates,
+                         ::testing::Values(0.1, 0.3, 0.5, 1.0, 2.0, 10.0, 100.0));
+
+TEST(DiscreteGamma, MedianVariantAlsoUnitMean) {
+  const auto rates = discrete_gamma_rates(0.7, 4, /*use_median=*/true);
+  double mean = 0.0;
+  for (const double r : rates) mean += r;
+  EXPECT_NEAR(mean / 4.0, 1.0, 1e-12);
+}
+
+TEST(DiscreteGamma, LargeAlphaApproachesUniformRates) {
+  const auto rates = discrete_gamma_rates(1e4, 4);
+  for (const double r : rates) EXPECT_NEAR(r, 1.0, 0.05);
+}
+
+TEST(DiscreteGamma, SmallAlphaIsStronglySkewed) {
+  const auto rates = discrete_gamma_rates(0.1, 4);
+  EXPECT_LT(rates[0], 1e-3);   // lowest category almost invariant
+  EXPECT_GT(rates[3], 2.5);    // highest category carries the mass
+}
+
+TEST(DiscreteGamma, KnownYang1994Value) {
+  // Classic reference point (Yang 1994, table 3 style): alpha = 0.5, K = 4.
+  const auto rates = discrete_gamma_rates(0.5, 4);
+  EXPECT_NEAR(rates[0], 0.0334, 5e-4);
+  EXPECT_NEAR(rates[1], 0.2519, 5e-4);
+  EXPECT_NEAR(rates[2], 0.8203, 5e-4);
+  EXPECT_NEAR(rates[3], 2.8944, 5e-4);
+}
+
+// ---------------------------------------------------------------- eigen ----
+
+TEST(JacobiEigen, DiagonalMatrixIsItsOwnDecomposition) {
+  Matrix a(3);
+  a(0, 0) = 3.0;
+  a(1, 1) = -1.0;
+  a(2, 2) = 2.0;
+  const auto eig = jacobi_eigen(a);
+  EXPECT_NEAR(eig.values[0], -1.0, 1e-12);
+  EXPECT_NEAR(eig.values[1], 2.0, 1e-12);
+  EXPECT_NEAR(eig.values[2], 3.0, 1e-12);
+}
+
+TEST(JacobiEigen, RejectsAsymmetricInput) {
+  Matrix a(2);
+  a(0, 1) = 1.0;
+  a(1, 0) = 2.0;
+  EXPECT_THROW(jacobi_eigen(a), Error);
+}
+
+class JacobiRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(JacobiRandom, ReconstructsAndOrthonormal) {
+  const int n = GetParam();
+  Rng rng(42 + static_cast<std::uint64_t>(n));
+  Matrix a(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    for (int j = i; j < n; ++j) {
+      const double v = rng.uniform(-2.0, 2.0);
+      a(static_cast<std::size_t>(i), static_cast<std::size_t>(j)) = v;
+      a(static_cast<std::size_t>(j), static_cast<std::size_t>(i)) = v;
+    }
+  }
+  const auto eig = jacobi_eigen(a);
+
+  // A v_k = λ_k v_k.
+  for (int k = 0; k < n; ++k) {
+    for (int i = 0; i < n; ++i) {
+      double av = 0.0;
+      for (int j = 0; j < n; ++j) {
+        av += a(static_cast<std::size_t>(i), static_cast<std::size_t>(j)) *
+              eig.vectors(static_cast<std::size_t>(j), static_cast<std::size_t>(k));
+      }
+      EXPECT_NEAR(av,
+                  eig.values[static_cast<std::size_t>(k)] *
+                      eig.vectors(static_cast<std::size_t>(i), static_cast<std::size_t>(k)),
+                  1e-9);
+    }
+  }
+  // VᵀV = I.
+  for (int k = 0; k < n; ++k) {
+    for (int m = 0; m < n; ++m) {
+      double dot = 0.0;
+      for (int i = 0; i < n; ++i) {
+        dot += eig.vectors(static_cast<std::size_t>(i), static_cast<std::size_t>(k)) *
+               eig.vectors(static_cast<std::size_t>(i), static_cast<std::size_t>(m));
+      }
+      EXPECT_NEAR(dot, (k == m) ? 1.0 : 0.0, 1e-10);
+    }
+  }
+  // Ascending order.
+  for (int k = 1; k < n; ++k) {
+    EXPECT_LE(eig.values[static_cast<std::size_t>(k - 1)],
+              eig.values[static_cast<std::size_t>(k)]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, JacobiRandom, ::testing::Values(2, 3, 4, 5, 8, 12, 20));
+
+// ------------------------------------------------------------------ gtr ----
+
+TEST(GtrModel, RejectsInvalidParameters) {
+  GtrParams params;
+  params.exchangeabilities[2] = -1.0;
+  EXPECT_THROW(GtrModel{params}, Error);
+
+  params = GtrParams{};
+  params.frequencies = {0.5, 0.5, 0.5, 0.5};
+  EXPECT_THROW(GtrModel{params}, Error);
+
+  params = GtrParams{};
+  params.alpha = 0.0;
+  EXPECT_THROW(GtrModel{params}, Error);
+}
+
+class GtrRandomModel : public ::testing::TestWithParam<int> {
+ protected:
+  GtrRandomModel() : rng_(1234 + static_cast<std::uint64_t>(GetParam())) {}
+  Rng rng_;
+};
+
+TEST_P(GtrRandomModel, RateMatrixRowsSumToZero) {
+  const GtrModel model(testutil::random_gtr_params(rng_));
+  const auto q = model.rate_matrix();
+  for (int i = 0; i < 4; ++i) {
+    double row = 0.0;
+    for (int j = 0; j < 4; ++j) row += q[static_cast<std::size_t>(i * 4 + j)];
+    EXPECT_NEAR(row, 0.0, 1e-10);
+  }
+}
+
+TEST_P(GtrRandomModel, DetailedBalance) {
+  const GtrModel model(testutil::random_gtr_params(rng_));
+  const auto q = model.rate_matrix();
+  const auto& pi = model.frequencies();
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      EXPECT_NEAR(pi[static_cast<std::size_t>(i)] * q[static_cast<std::size_t>(i * 4 + j)],
+                  pi[static_cast<std::size_t>(j)] * q[static_cast<std::size_t>(j * 4 + i)],
+                  1e-10);
+    }
+  }
+}
+
+TEST_P(GtrRandomModel, UnitSubstitutionRate) {
+  const GtrModel model(testutil::random_gtr_params(rng_));
+  const auto q = model.rate_matrix();
+  const auto& pi = model.frequencies();
+  double mu = 0.0;
+  for (int i = 0; i < 4; ++i) {
+    mu -= pi[static_cast<std::size_t>(i)] * q[static_cast<std::size_t>(i * 4 + i)];
+  }
+  EXPECT_NEAR(mu, 1.0, 1e-10);
+}
+
+TEST_P(GtrRandomModel, TransitionMatrixIsStochastic) {
+  const GtrModel model(testutil::random_gtr_params(rng_));
+  for (const double t : {0.0, 0.01, 0.1, 1.0, 10.0}) {
+    for (const double rate : {0.2, 1.0, 3.0}) {
+      const auto p = model.transition_matrix(t, rate);
+      for (int i = 0; i < 4; ++i) {
+        double row = 0.0;
+        for (int j = 0; j < 4; ++j) {
+          const double value = p[static_cast<std::size_t>(i * 4 + j)];
+          EXPECT_GE(value, 0.0);
+          EXPECT_LE(value, 1.0 + 1e-12);
+          row += value;
+        }
+        EXPECT_NEAR(row, 1.0, 1e-10) << "t=" << t;
+      }
+    }
+  }
+}
+
+TEST_P(GtrRandomModel, TransitionAtZeroIsIdentity) {
+  const GtrModel model(testutil::random_gtr_params(rng_));
+  const auto p = model.transition_matrix(0.0);
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      EXPECT_NEAR(p[static_cast<std::size_t>(i * 4 + j)], (i == j) ? 1.0 : 0.0, 1e-10);
+    }
+  }
+}
+
+TEST_P(GtrRandomModel, StationaryDistributionIsFixed) {
+  const GtrModel model(testutil::random_gtr_params(rng_));
+  const auto p = model.transition_matrix(0.7);
+  const auto& pi = model.frequencies();
+  for (int j = 0; j < 4; ++j) {
+    double sum = 0.0;
+    for (int i = 0; i < 4; ++i) {
+      sum += pi[static_cast<std::size_t>(i)] * p[static_cast<std::size_t>(i * 4 + j)];
+    }
+    EXPECT_NEAR(sum, pi[static_cast<std::size_t>(j)], 1e-10);
+  }
+}
+
+TEST_P(GtrRandomModel, ChapmanKolmogorov) {
+  const GtrModel model(testutil::random_gtr_params(rng_));
+  const auto p1 = model.transition_matrix(0.3);
+  const auto p2 = model.transition_matrix(0.5);
+  const auto p3 = model.transition_matrix(0.8);
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      double sum = 0.0;
+      for (int k = 0; k < 4; ++k) {
+        sum += p1[static_cast<std::size_t>(i * 4 + k)] * p2[static_cast<std::size_t>(k * 4 + j)];
+      }
+      EXPECT_NEAR(sum, p3[static_cast<std::size_t>(i * 4 + j)], 1e-10);
+    }
+  }
+}
+
+TEST_P(GtrRandomModel, DerivativesMatchFiniteDifferences) {
+  const GtrModel model(testutil::random_gtr_params(rng_));
+  const double t = 0.4;
+  const double rate = 1.3;
+  const double h = 1e-6;
+  const auto p_plus = model.transition_matrix(t + h, rate);
+  const auto p_minus = model.transition_matrix(t - h, rate);
+  const auto p0 = model.transition_matrix(t, rate);
+  const auto d1 = model.transition_derivative(t, rate, 1);
+  const auto d2 = model.transition_derivative(t, rate, 2);
+  for (std::size_t e = 0; e < 16; ++e) {
+    EXPECT_NEAR(d1[e], (p_plus[e] - p_minus[e]) / (2 * h), 1e-6);
+    EXPECT_NEAR(d2[e], (p_plus[e] - 2 * p0[e] + p_minus[e]) / (h * h), 1e-3);
+  }
+}
+
+TEST_P(GtrRandomModel, EigenBasisIsInverse) {
+  const GtrModel model(testutil::random_gtr_params(rng_));
+  const auto& u = model.eigen_u();
+  const auto& w = model.eigen_w();
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      double sum = 0.0;
+      for (int k = 0; k < 4; ++k) {
+        sum += u[static_cast<std::size_t>(i * 4 + k)] * w[static_cast<std::size_t>(k * 4 + j)];
+      }
+      EXPECT_NEAR(sum, (i == j) ? 1.0 : 0.0, 1e-10);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GtrRandomModel, ::testing::Range(0, 8));
+
+TEST(GtrModel, Jc69ClosedForm) {
+  // Under JC69, P_ii(t) = 1/4 + 3/4 e^{-4t/3}, P_ij = 1/4 − 1/4 e^{-4t/3}.
+  const GtrModel model(GtrParams::jc69());
+  for (const double t : {0.05, 0.3, 1.0, 3.0}) {
+    const auto p = model.transition_matrix(t);
+    const double e = std::exp(-4.0 * t / 3.0);
+    for (int i = 0; i < 4; ++i) {
+      for (int j = 0; j < 4; ++j) {
+        const double expected = (i == j) ? 0.25 + 0.75 * e : 0.25 - 0.25 * e;
+        EXPECT_NEAR(p[static_cast<std::size_t>(i * 4 + j)], expected, 1e-12) << "t=" << t;
+      }
+    }
+  }
+}
+
+TEST(GtrModel, Hky85TransitionBias) {
+  // κ > 1 must make transitions (A<->G, C<->T) more likely than transversions.
+  const GtrModel model(GtrParams::hky85(4.0, {0.25, 0.25, 0.25, 0.25}));
+  const auto p = model.transition_matrix(0.2);
+  const double a_to_g = p[0 * 4 + 2];
+  const double a_to_c = p[0 * 4 + 1];
+  EXPECT_GT(a_to_g, 2.0 * a_to_c);
+}
+
+TEST(GtrModel, EigenvaluesNonPositiveWithOneZero) {
+  Rng rng(99);
+  const GtrModel model(testutil::random_gtr_params(rng));
+  const auto& lambda = model.eigenvalues();
+  int zeros = 0;
+  for (const double value : lambda) {
+    EXPECT_LE(value, 1e-10);
+    if (std::abs(value) < 1e-10) ++zeros;
+  }
+  EXPECT_EQ(zeros, 1);
+}
+
+}  // namespace
+}  // namespace miniphi::model

@@ -1,0 +1,156 @@
+// Direct unit tests for the SIMD pack abstraction (src/simd) — every lane
+// operation the kernels rely on, against scalar references.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/simd/dispatch.hpp"
+#include "src/util/error.hpp"
+#include "src/simd/pack.hpp"
+#include "src/util/aligned.hpp"
+#include "src/util/rng.hpp"
+
+namespace miniphi::simd {
+namespace {
+
+TEST(Dispatch, WidthsAndNames) {
+  EXPECT_EQ(isa_width(Isa::kScalar), 1);
+  EXPECT_EQ(isa_width(Isa::kAvx2), 4);
+  EXPECT_EQ(isa_width(Isa::kAvx512), 8);
+  EXPECT_EQ(to_string(Isa::kAvx512), "avx512");
+  EXPECT_EQ(isa_from_string("avx"), Isa::kAvx2);
+  EXPECT_EQ(isa_from_string("mic"), Isa::kAvx512);  // alias: the paper's name
+  EXPECT_THROW(isa_from_string("sse9"), Error);
+  EXPECT_TRUE(isa_supported(Isa::kScalar));
+  // best_supported_isa must itself be supported.
+  EXPECT_TRUE(isa_supported(best_supported_isa()));
+}
+
+template <int W>
+void exercise_pack() {
+  using P = Pack<W>;
+  Rng rng(11 + W);
+  AlignedDoubles a(W), b(W), c(W), out(W);
+  for (int i = 0; i < W; ++i) {
+    a[static_cast<std::size_t>(i)] = rng.uniform(-3.0, 3.0);
+    b[static_cast<std::size_t>(i)] = rng.uniform(-3.0, 3.0);
+    c[static_cast<std::size_t>(i)] = rng.uniform(-3.0, 3.0);
+  }
+
+  // Arithmetic lane-wise.
+  (P::load(a.data()) + P::load(b.data())).store(out.data());
+  for (int i = 0; i < W; ++i) {
+    EXPECT_DOUBLE_EQ(out[static_cast<std::size_t>(i)],
+                     a[static_cast<std::size_t>(i)] + b[static_cast<std::size_t>(i)]);
+  }
+  (P::load(a.data()) * P::load(b.data()) - P::load(c.data())).store(out.data());
+  for (int i = 0; i < W; ++i) {
+    EXPECT_DOUBLE_EQ(out[static_cast<std::size_t>(i)],
+                     a[static_cast<std::size_t>(i)] * b[static_cast<std::size_t>(i)] -
+                         c[static_cast<std::size_t>(i)]);
+  }
+  (P::load(a.data()) / P::load(b.data())).store(out.data());
+  for (int i = 0; i < W; ++i) {
+    EXPECT_DOUBLE_EQ(out[static_cast<std::size_t>(i)],
+                     a[static_cast<std::size_t>(i)] / b[static_cast<std::size_t>(i)]);
+  }
+
+  // FMA (fused: check against long-double reference with loose equality to
+  // the unfused value).
+  P::fma(P::load(a.data()), P::load(b.data()), P::load(c.data())).store(out.data());
+  for (int i = 0; i < W; ++i) {
+    EXPECT_NEAR(out[static_cast<std::size_t>(i)],
+                a[static_cast<std::size_t>(i)] * b[static_cast<std::size_t>(i)] +
+                    c[static_cast<std::size_t>(i)],
+                1e-12);
+  }
+
+  // Broadcast / zero.
+  P::broadcast(2.5).store(out.data());
+  for (int i = 0; i < W; ++i) EXPECT_DOUBLE_EQ(out[static_cast<std::size_t>(i)], 2.5);
+  P::zero().store(out.data());
+  for (int i = 0; i < W; ++i) EXPECT_DOUBLE_EQ(out[static_cast<std::size_t>(i)], 0.0);
+
+  // abs / max / horizontal reductions.
+  P::abs(P::load(a.data())).store(out.data());
+  for (int i = 0; i < W; ++i) {
+    EXPECT_DOUBLE_EQ(out[static_cast<std::size_t>(i)],
+                     std::abs(a[static_cast<std::size_t>(i)]));
+  }
+  double sum = 0.0;
+  double maximum = a[0];
+  for (int i = 0; i < W; ++i) {
+    sum += a[static_cast<std::size_t>(i)];
+    maximum = std::max(maximum, a[static_cast<std::size_t>(i)]);
+  }
+  EXPECT_NEAR(P::load(a.data()).horizontal_sum(), sum, 1e-12);
+  EXPECT_DOUBLE_EQ(P::load(a.data()).horizontal_max(), maximum);
+
+  // Streaming store writes the same values as a normal store.
+  P::load(a.data()).stream(out.data());
+  stream_fence();
+  for (int i = 0; i < W; ++i) {
+    EXPECT_DOUBLE_EQ(out[static_cast<std::size_t>(i)], a[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(Pack, ScalarLane) { exercise_pack<1>(); }
+
+#if defined(__AVX2__)
+TEST(Pack, Avx2Lanes) {
+  if (!isa_supported(Isa::kAvx2)) GTEST_SKIP();
+  exercise_pack<4>();
+}
+
+TEST(Pack, Avx2QuadBroadcast) {
+  if (!isa_supported(Isa::kAvx2)) GTEST_SKIP();
+  AlignedDoubles a = {1.0, 2.0, 3.0, 4.0};
+  AlignedDoubles out(4);
+  Pack<4>::quad_broadcast<2>(Pack<4>::load(a.data())).store(out.data());
+  for (int i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(out[static_cast<std::size_t>(i)], 3.0);
+}
+#endif
+
+#if defined(__AVX512F__)
+TEST(Pack, Avx512Lanes) {
+  if (!isa_supported(Isa::kAvx512)) GTEST_SKIP();
+  exercise_pack<8>();
+}
+
+TEST(Pack, Avx512QuadBroadcastIsPerHalf) {
+  if (!isa_supported(Isa::kAvx512)) GTEST_SKIP();
+  AlignedDoubles a = {1, 2, 3, 4, 5, 6, 7, 8};
+  AlignedDoubles out(8);
+  Pack<8>::quad_broadcast<1>(Pack<8>::load(a.data())).store(out.data());
+  for (int i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(out[static_cast<std::size_t>(i)], 2.0);
+  for (int i = 4; i < 8; ++i) EXPECT_DOUBLE_EQ(out[static_cast<std::size_t>(i)], 6.0);
+}
+
+TEST(Pack, Avx512ConcatAndHalves) {
+  if (!isa_supported(Isa::kAvx512)) GTEST_SKIP();
+  AlignedDoubles lo = {1, 2, 3, 4};
+  AlignedDoubles hi = {5, 6, 7, 8};
+  AlignedDoubles out(8);
+  const auto packed = Pack<8>::concat(lo.data(), hi.data());
+  packed.store(out.data());
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_DOUBLE_EQ(out[static_cast<std::size_t>(i)], static_cast<double>(i + 1));
+  }
+  AlignedDoubles quad(4);
+  packed.lower_half().store(quad.data());
+  EXPECT_DOUBLE_EQ(quad[3], 4.0);
+  packed.upper_half().store(quad.data());
+  EXPECT_DOUBLE_EQ(quad[0], 5.0);
+}
+#endif
+
+TEST(Aligned, PrefetchIsSafeOnAnyAddress) {
+  // Prefetch is a hint; it must never fault, even on odd addresses.
+  AlignedDoubles buffer(16, 1.0);
+  prefetch_read(buffer.data() + 3);
+  prefetch_write(reinterpret_cast<char*>(buffer.data()) + 5);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace miniphi::simd

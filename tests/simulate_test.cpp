@@ -1,0 +1,143 @@
+// Tests for src/simulate: Yule trees and the sequence evolution simulator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/simulate/simulate.hpp"
+#include "src/tree/splits.hpp"
+#include "src/util/error.hpp"
+#include "tests/testutil.hpp"
+
+namespace miniphi::simulate {
+namespace {
+
+TEST(YuleTree, ProducesValidTreesOfRequestedSize) {
+  Rng rng(1);
+  for (const int ntaxa : {3, 5, 15, 40, 100}) {
+    tree::Tree tree = yule_tree(ntaxa, rng, 0.5);
+    EXPECT_EQ(tree.taxon_count(), ntaxa);
+    EXPECT_NO_THROW(tree.validate());
+  }
+  EXPECT_THROW(yule_tree(2, rng), Error);
+}
+
+TEST(YuleTree, BranchLengthsArePositiveAndScaled) {
+  Rng rng(2);
+  tree::Tree tree = yule_tree(20, rng, 0.4);
+  double total = 0.0;
+  for (const tree::Slot* edge : const_cast<const tree::Tree&>(tree).edges()) {
+    EXPECT_GT(edge->length, 0.0);
+    total += edge->length;
+  }
+  // Total tree length of a Yule tree with depth 0.4 and 20 taxa is of order
+  // n·depth; sanity-bound it loosely.
+  EXPECT_GT(total, 0.4);
+  EXPECT_LT(total, 20 * 0.4 * 4);
+}
+
+TEST(YuleTree, DeterministicGivenSeed) {
+  Rng a(7), b(7);
+  tree::Tree ta = yule_tree(12, a);
+  tree::Tree tb = yule_tree(12, b);
+  EXPECT_EQ(tree::robinson_foulds(ta, tb), 0);
+}
+
+TEST(Simulator, ProducesRequestedDimensions) {
+  Rng rng(3);
+  tree::Tree tree = yule_tree(9, rng);
+  const model::GtrModel model(model::GtrParams::jc69(0.5));
+  SimulationOptions options;
+  options.sites = 777;
+  options.record_categories = true;
+  const auto result = simulate_alignment(tree, model, options, rng);
+  EXPECT_EQ(result.alignment.taxon_count(), 9u);
+  EXPECT_EQ(result.alignment.site_count(), 777u);
+  EXPECT_EQ(result.site_categories.size(), 777u);
+  for (const auto category : result.site_categories) EXPECT_LT(category, 4);
+}
+
+TEST(Simulator, BaseCompositionMatchesStationaryFrequencies) {
+  Rng rng(4);
+  model::GtrParams params;
+  params.frequencies = {0.4, 0.1, 0.2, 0.3};
+  params.alpha = 1.0;
+  const model::GtrModel model(params);
+  tree::Tree tree = yule_tree(12, rng, 0.5);
+  SimulationOptions options;
+  options.sites = 60000;
+  const auto alignment = simulate_alignment(tree, model, options, rng).alignment;
+  const auto freqs = alignment.empirical_base_frequencies();
+  EXPECT_NEAR(freqs[0], 0.4, 0.02);
+  EXPECT_NEAR(freqs[1], 0.1, 0.02);
+  EXPECT_NEAR(freqs[2], 0.2, 0.02);
+  EXPECT_NEAR(freqs[3], 0.3, 0.02);
+}
+
+TEST(Simulator, ShortBranchesPreserveSimilarity) {
+  // With a very shallow tree, sequences should be nearly identical; with a
+  // deep tree they should approach saturation (~25% pairwise identity gain
+  // over random for JC).
+  Rng rng(5);
+  const model::GtrModel model(model::GtrParams::jc69());
+  tree::Tree shallow = yule_tree(6, rng, 0.01);
+  tree::Tree deep = yule_tree(6, rng, 8.0);
+  SimulationOptions options;
+  options.sites = 5000;
+
+  const auto count_matches = [](const bio::Alignment& alignment) {
+    std::size_t matches = 0;
+    for (std::size_t s = 0; s < alignment.site_count(); ++s) {
+      if (alignment.at(0, s) == alignment.at(1, s)) ++matches;
+    }
+    return static_cast<double>(matches) / static_cast<double>(alignment.site_count());
+  };
+
+  const double shallow_identity =
+      count_matches(simulate_alignment(shallow, model, options, rng).alignment);
+  const double deep_identity =
+      count_matches(simulate_alignment(deep, model, options, rng).alignment);
+  EXPECT_GT(shallow_identity, 0.95);
+  EXPECT_LT(deep_identity, 0.45);
+  EXPECT_GT(deep_identity, 0.15);  // never below random expectation
+}
+
+TEST(Simulator, RateHeterogeneityShowsUpAcrossSites) {
+  // With tiny alpha most sites are invariant while a few are saturated.
+  Rng rng(6);
+  model::GtrParams params;
+  params.alpha = 0.1;
+  const model::GtrModel model(params);
+  tree::Tree tree = yule_tree(10, rng, 1.0);
+  SimulationOptions options;
+  options.sites = 4000;
+  options.record_categories = true;
+  const auto result = simulate_alignment(tree, model, options, rng);
+
+  std::size_t invariant = 0;
+  for (std::size_t s = 0; s < result.alignment.site_count(); ++s) {
+    bool all_same = true;
+    for (std::size_t t = 1; t < result.alignment.taxon_count(); ++t) {
+      if (result.alignment.at(t, s) != result.alignment.at(0, s)) {
+        all_same = false;
+        break;
+      }
+    }
+    if (all_same) ++invariant;
+  }
+  // Two lowest categories of Γ(0.1) are essentially rate 0 → ≥ ~45% invariant.
+  EXPECT_GT(invariant, result.alignment.site_count() * 2 / 5);
+}
+
+TEST(Simulator, PaperDatasetRecipe) {
+  const auto alignment = paper_dataset(2000, 42);
+  EXPECT_EQ(alignment.taxon_count(), 15u);  // the paper fixes 15 taxa
+  EXPECT_EQ(alignment.site_count(), 2000u);
+  // Same seed → identical data; different seed → different data.
+  const auto again = paper_dataset(2000, 42);
+  EXPECT_EQ(alignment.to_records()[3].sequence, again.to_records()[3].sequence);
+  const auto other = paper_dataset(2000, 43);
+  EXPECT_NE(alignment.to_records()[3].sequence, other.to_records()[3].sequence);
+}
+
+}  // namespace
+}  // namespace miniphi::simulate

@@ -1,0 +1,83 @@
+#include "tests/testutil.hpp"
+
+#include <array>
+
+namespace miniphi::testutil {
+namespace {
+
+using Conditional = std::vector<std::array<double, 16>>;  // [pattern][rate*4+state]
+
+/// Probability-space conditional likelihoods of the subtree behind `slot`.
+Conditional conditional_down(const tree::Slot* slot, const bio::PatternSet& patterns,
+                             const model::GtrModel& model) {
+  const std::size_t npat = patterns.pattern_count();
+  Conditional out(npat);
+  if (slot->is_tip()) {
+    const auto& codes = patterns.tip_rows[static_cast<std::size_t>(slot->node_id)];
+    for (std::size_t s = 0; s < npat; ++s) {
+      for (int c = 0; c < 4; ++c) {
+        for (int i = 0; i < 4; ++i) {
+          out[s][static_cast<std::size_t>(c * 4 + i)] = (codes[s] & (1 << i)) ? 1.0 : 0.0;
+        }
+      }
+    }
+    return out;
+  }
+
+  const Conditional left = conditional_down(slot->child1(), patterns, model);
+  const Conditional right = conditional_down(slot->child2(), patterns, model);
+  const double z1 = slot->next->length;
+  const double z2 = slot->next->next->length;
+  const auto& rates = model.gamma_rates();
+
+  for (int c = 0; c < 4; ++c) {
+    const auto p1 = model.transition_matrix(z1, rates[static_cast<std::size_t>(c)]);
+    const auto p2 = model.transition_matrix(z2, rates[static_cast<std::size_t>(c)]);
+    for (std::size_t s = 0; s < npat; ++s) {
+      for (int i = 0; i < 4; ++i) {
+        double a = 0.0;
+        double b = 0.0;
+        for (int j = 0; j < 4; ++j) {
+          a += p1[static_cast<std::size_t>(i * 4 + j)] * left[s][static_cast<std::size_t>(c * 4 + j)];
+          b += p2[static_cast<std::size_t>(i * 4 + j)] * right[s][static_cast<std::size_t>(c * 4 + j)];
+        }
+        out[s][static_cast<std::size_t>(c * 4 + i)] = a * b;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+double brute_force_log_likelihood(const tree::Tree& tree, const bio::PatternSet& patterns,
+                                  const model::GtrModel& model) {
+  // Virtual root on the branch at tip 0: L_s = Σ_c ¼ Σ_i π_i tip0[i] (P x_q)[c,i].
+  const tree::Slot* root = tree.tip(0);
+  const tree::Slot* q = root->back;
+  const Conditional below = conditional_down(q, patterns, model);
+  const auto& codes = patterns.tip_rows[0];
+  const auto& pi = model.frequencies();
+  const auto& rates = model.gamma_rates();
+
+  double total = 0.0;
+  for (std::size_t s = 0; s < patterns.pattern_count(); ++s) {
+    double site = 0.0;
+    for (int c = 0; c < 4; ++c) {
+      const auto p = model.transition_matrix(root->length, rates[static_cast<std::size_t>(c)]);
+      for (int i = 0; i < 4; ++i) {
+        if (!(codes[s] & (1 << i))) continue;
+        double inner = 0.0;
+        for (int j = 0; j < 4; ++j) {
+          inner += p[static_cast<std::size_t>(i * 4 + j)] *
+                   below[s][static_cast<std::size_t>(c * 4 + j)];
+        }
+        site += 0.25 * pi[static_cast<std::size_t>(i)] * inner;
+      }
+    }
+    total += patterns.weights[s] * std::log(site);
+  }
+  return total;
+}
+
+}  // namespace miniphi::testutil

@@ -1,0 +1,167 @@
+// Tests for src/util: RNG, aligned storage, options parsing, timers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <thread>
+
+#include "src/util/aligned.hpp"
+#include "src/util/error.hpp"
+#include "src/util/options.hpp"
+#include "src/util/rng.hpp"
+#include "src/util/timer.hpp"
+
+namespace miniphi {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(2.0, 5.0);
+    EXPECT_GE(u, 2.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsCentered) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, BelowCoversAllValues) {
+  Rng rng(3);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.below(7));
+  EXPECT_EQ(seen.size(), 7u);
+  EXPECT_EQ(*seen.rbegin(), 6u);
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+  Rng rng(5);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, ReseedRestartsSequence) {
+  Rng rng(9);
+  const auto first = rng();
+  rng.reseed(9);
+  EXPECT_EQ(rng(), first);
+}
+
+TEST(Aligned, VectorDataIs64ByteAligned) {
+  for (const std::size_t n : {1u, 7u, 64u, 1000u}) {
+    AlignedDoubles v(n, 1.0);
+    EXPECT_TRUE(is_vector_aligned(v.data())) << "n=" << n;
+  }
+}
+
+TEST(Aligned, SurvivesReallocation) {
+  AlignedDoubles v;
+  for (int i = 0; i < 100; ++i) {
+    v.push_back(static_cast<double>(i));
+    EXPECT_TRUE(is_vector_aligned(v.data()));
+  }
+}
+
+TEST(Error, CheckMacroThrowsWithMessage) {
+  try {
+    MINIPHI_CHECK(false, "broken thing");
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_STREQ(e.what(), "broken thing");
+  }
+}
+
+TEST(Error, AssertMacroThrowsLogicError) {
+  EXPECT_THROW(MINIPHI_ASSERT(1 == 2), std::logic_error);
+  EXPECT_NO_THROW(MINIPHI_ASSERT(1 == 1));
+}
+
+TEST(Options, ParsesAllForms) {
+  // Note: a bare flag must be followed by another option or the end of argv;
+  // "--flag value" always binds the value (by design, like getopt_long).
+  const char* argv[] = {"prog",     "--alpha=0.5", "--sites", "1000",
+                        "--openmp", "--name",      "run1",    "input.fasta"};
+  Options options(8, argv);
+  EXPECT_DOUBLE_EQ(options.get_double("alpha", 1.0), 0.5);
+  EXPECT_EQ(options.get_int("sites", 0), 1000);
+  EXPECT_TRUE(options.get_bool("openmp", false));
+  EXPECT_EQ(options.get_string("name", ""), "run1");
+  ASSERT_EQ(options.positional().size(), 1u);
+  EXPECT_EQ(options.positional()[0], "input.fasta");
+}
+
+TEST(Options, FallbacksApplyWhenAbsent) {
+  const char* argv[] = {"prog"};
+  Options options(1, argv);
+  EXPECT_EQ(options.get_int("missing", 42), 42);
+  EXPECT_DOUBLE_EQ(options.get_double("missing", 2.5), 2.5);
+  EXPECT_FALSE(options.get_bool("missing", false));
+  EXPECT_FALSE(options.has("missing"));
+}
+
+TEST(Options, RejectsMalformedNumbers) {
+  const char* argv[] = {"prog", "--sites", "12x"};
+  Options options(3, argv);
+  EXPECT_THROW((void)options.get_int("sites", 0), Error);
+}
+
+TEST(Options, TracksUnusedOptions) {
+  const char* argv[] = {"prog", "--used", "1", "--typo", "2"};
+  Options options(5, argv);
+  (void)options.get_int("used", 0);
+  const auto unused = options.unused();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double s = timer.seconds();
+  EXPECT_GE(s, 0.015);
+  EXPECT_LT(s, 5.0);
+}
+
+TEST(CumulativeTimer, AccumulatesIntervals) {
+  CumulativeTimer timer;
+  for (int i = 0; i < 3; ++i) {
+    ScopedTimer guard(timer);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(timer.intervals(), 3);
+  EXPECT_GE(timer.total_seconds(), 0.010);
+  timer.reset();
+  EXPECT_EQ(timer.intervals(), 0);
+  EXPECT_EQ(timer.total_seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace miniphi
