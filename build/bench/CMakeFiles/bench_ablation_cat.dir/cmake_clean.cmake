@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_cat.dir/bench_ablation_cat.cpp.o"
+  "CMakeFiles/bench_ablation_cat.dir/bench_ablation_cat.cpp.o.d"
+  "bench_ablation_cat"
+  "bench_ablation_cat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_cat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_forkjoin.dir/bench_ablation_forkjoin.cpp.o"
+  "CMakeFiles/bench_ablation_forkjoin.dir/bench_ablation_forkjoin.cpp.o.d"
+  "bench_ablation_forkjoin"
+  "bench_ablation_forkjoin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_forkjoin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

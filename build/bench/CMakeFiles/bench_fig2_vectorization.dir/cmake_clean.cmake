@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_vectorization.dir/bench_fig2_vectorization.cpp.o"
+  "CMakeFiles/bench_fig2_vectorization.dir/bench_fig2_vectorization.cpp.o.d"
+  "bench_fig2_vectorization"
+  "bench_fig2_vectorization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_vectorization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_examl.dir/bench_table3_examl.cpp.o"
+  "CMakeFiles/bench_table3_examl.dir/bench_table3_examl.cpp.o.d"
+  "bench_table3_examl"
+  "bench_table3_examl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_examl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../lib/libminiphi_benchutil.a"
+  "../lib/libminiphi_benchutil.pdb"
+  "CMakeFiles/miniphi_benchutil.dir/common.cpp.o"
+  "CMakeFiles/miniphi_benchutil.dir/common.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miniphi_benchutil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

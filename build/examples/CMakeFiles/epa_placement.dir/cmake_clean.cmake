@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epa_placement.dir/epa_placement.cpp.o"
+  "CMakeFiles/epa_placement.dir/epa_placement.cpp.o.d"
+  "epa_placement"
+  "epa_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epa_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/examl_mpi.dir/examl_mpi.cpp.o"
+  "CMakeFiles/examl_mpi.dir/examl_mpi.cpp.o.d"
+  "examl_mpi"
+  "examl_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/examl_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

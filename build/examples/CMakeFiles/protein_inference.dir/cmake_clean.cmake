@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protein_inference.dir/protein_inference.cpp.o"
+  "CMakeFiles/protein_inference.dir/protein_inference.cpp.o.d"
+  "protein_inference"
+  "protein_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protein_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simulate_alignment.dir/simulate_alignment.cpp.o"
+  "CMakeFiles/simulate_alignment.dir/simulate_alignment.cpp.o.d"
+  "simulate_alignment"
+  "simulate_alignment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simulate_alignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

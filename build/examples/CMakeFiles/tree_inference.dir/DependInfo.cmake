@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/tree_inference.cpp" "examples/CMakeFiles/tree_inference.dir/tree_inference.cpp.o" "gcc" "examples/CMakeFiles/tree_inference.dir/tree_inference.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/parallel/CMakeFiles/miniphi_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/examl/CMakeFiles/miniphi_examl.dir/DependInfo.cmake"
+  "/root/repo/build/src/minimpi/CMakeFiles/miniphi_minimpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/simulate/CMakeFiles/miniphi_simulate.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/miniphi_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/search/CMakeFiles/miniphi_search.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/miniphi_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/simd/CMakeFiles/miniphi_simd.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/miniphi_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/tree/CMakeFiles/miniphi_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/bio/CMakeFiles/miniphi_bio.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/miniphi_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/miniphi_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tree_inference.dir/tree_inference.cpp.o"
+  "CMakeFiles/tree_inference.dir/tree_inference.cpp.o.d"
+  "tree_inference"
+  "tree_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tree_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bio/aa.cpp" "src/bio/CMakeFiles/miniphi_bio.dir/aa.cpp.o" "gcc" "src/bio/CMakeFiles/miniphi_bio.dir/aa.cpp.o.d"
+  "/root/repo/src/bio/alignment.cpp" "src/bio/CMakeFiles/miniphi_bio.dir/alignment.cpp.o" "gcc" "src/bio/CMakeFiles/miniphi_bio.dir/alignment.cpp.o.d"
+  "/root/repo/src/bio/dna.cpp" "src/bio/CMakeFiles/miniphi_bio.dir/dna.cpp.o" "gcc" "src/bio/CMakeFiles/miniphi_bio.dir/dna.cpp.o.d"
+  "/root/repo/src/bio/patterns.cpp" "src/bio/CMakeFiles/miniphi_bio.dir/patterns.cpp.o" "gcc" "src/bio/CMakeFiles/miniphi_bio.dir/patterns.cpp.o.d"
+  "/root/repo/src/bio/protein_alignment.cpp" "src/bio/CMakeFiles/miniphi_bio.dir/protein_alignment.cpp.o" "gcc" "src/bio/CMakeFiles/miniphi_bio.dir/protein_alignment.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/miniphi_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/miniphi_io.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miniphi_bio.dir/aa.cpp.o"
+  "CMakeFiles/miniphi_bio.dir/aa.cpp.o.d"
+  "CMakeFiles/miniphi_bio.dir/alignment.cpp.o"
+  "CMakeFiles/miniphi_bio.dir/alignment.cpp.o.d"
+  "CMakeFiles/miniphi_bio.dir/dna.cpp.o"
+  "CMakeFiles/miniphi_bio.dir/dna.cpp.o.d"
+  "CMakeFiles/miniphi_bio.dir/patterns.cpp.o"
+  "CMakeFiles/miniphi_bio.dir/patterns.cpp.o.d"
+  "CMakeFiles/miniphi_bio.dir/protein_alignment.cpp.o"
+  "CMakeFiles/miniphi_bio.dir/protein_alignment.cpp.o.d"
+  "libminiphi_bio.a"
+  "libminiphi_bio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miniphi_bio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cat/cat_engine.cpp" "src/core/CMakeFiles/miniphi_core.dir/cat/cat_engine.cpp.o" "gcc" "src/core/CMakeFiles/miniphi_core.dir/cat/cat_engine.cpp.o.d"
+  "/root/repo/src/core/cat/cat_kernels_avx2.cpp" "src/core/CMakeFiles/miniphi_core.dir/cat/cat_kernels_avx2.cpp.o" "gcc" "src/core/CMakeFiles/miniphi_core.dir/cat/cat_kernels_avx2.cpp.o.d"
+  "/root/repo/src/core/cat/cat_kernels_avx512.cpp" "src/core/CMakeFiles/miniphi_core.dir/cat/cat_kernels_avx512.cpp.o" "gcc" "src/core/CMakeFiles/miniphi_core.dir/cat/cat_kernels_avx512.cpp.o.d"
+  "/root/repo/src/core/cat/cat_kernels_dispatch.cpp" "src/core/CMakeFiles/miniphi_core.dir/cat/cat_kernels_dispatch.cpp.o" "gcc" "src/core/CMakeFiles/miniphi_core.dir/cat/cat_kernels_dispatch.cpp.o.d"
+  "/root/repo/src/core/cat/cat_kernels_scalar.cpp" "src/core/CMakeFiles/miniphi_core.dir/cat/cat_kernels_scalar.cpp.o" "gcc" "src/core/CMakeFiles/miniphi_core.dir/cat/cat_kernels_scalar.cpp.o.d"
+  "/root/repo/src/core/engine.cpp" "src/core/CMakeFiles/miniphi_core.dir/engine.cpp.o" "gcc" "src/core/CMakeFiles/miniphi_core.dir/engine.cpp.o.d"
+  "/root/repo/src/core/general/general_engine.cpp" "src/core/CMakeFiles/miniphi_core.dir/general/general_engine.cpp.o" "gcc" "src/core/CMakeFiles/miniphi_core.dir/general/general_engine.cpp.o.d"
+  "/root/repo/src/core/general/general_kernels_avx2.cpp" "src/core/CMakeFiles/miniphi_core.dir/general/general_kernels_avx2.cpp.o" "gcc" "src/core/CMakeFiles/miniphi_core.dir/general/general_kernels_avx2.cpp.o.d"
+  "/root/repo/src/core/general/general_kernels_avx512.cpp" "src/core/CMakeFiles/miniphi_core.dir/general/general_kernels_avx512.cpp.o" "gcc" "src/core/CMakeFiles/miniphi_core.dir/general/general_kernels_avx512.cpp.o.d"
+  "/root/repo/src/core/general/general_kernels_dispatch.cpp" "src/core/CMakeFiles/miniphi_core.dir/general/general_kernels_dispatch.cpp.o" "gcc" "src/core/CMakeFiles/miniphi_core.dir/general/general_kernels_dispatch.cpp.o.d"
+  "/root/repo/src/core/general/general_kernels_scalar.cpp" "src/core/CMakeFiles/miniphi_core.dir/general/general_kernels_scalar.cpp.o" "gcc" "src/core/CMakeFiles/miniphi_core.dir/general/general_kernels_scalar.cpp.o.d"
+  "/root/repo/src/core/general/general_tables.cpp" "src/core/CMakeFiles/miniphi_core.dir/general/general_tables.cpp.o" "gcc" "src/core/CMakeFiles/miniphi_core.dir/general/general_tables.cpp.o.d"
+  "/root/repo/src/core/kernels_avx2.cpp" "src/core/CMakeFiles/miniphi_core.dir/kernels_avx2.cpp.o" "gcc" "src/core/CMakeFiles/miniphi_core.dir/kernels_avx2.cpp.o.d"
+  "/root/repo/src/core/kernels_avx512.cpp" "src/core/CMakeFiles/miniphi_core.dir/kernels_avx512.cpp.o" "gcc" "src/core/CMakeFiles/miniphi_core.dir/kernels_avx512.cpp.o.d"
+  "/root/repo/src/core/kernels_dispatch.cpp" "src/core/CMakeFiles/miniphi_core.dir/kernels_dispatch.cpp.o" "gcc" "src/core/CMakeFiles/miniphi_core.dir/kernels_dispatch.cpp.o.d"
+  "/root/repo/src/core/kernels_scalar.cpp" "src/core/CMakeFiles/miniphi_core.dir/kernels_scalar.cpp.o" "gcc" "src/core/CMakeFiles/miniphi_core.dir/kernels_scalar.cpp.o.d"
+  "/root/repo/src/core/partitioned.cpp" "src/core/CMakeFiles/miniphi_core.dir/partitioned.cpp.o" "gcc" "src/core/CMakeFiles/miniphi_core.dir/partitioned.cpp.o.d"
+  "/root/repo/src/core/ptable.cpp" "src/core/CMakeFiles/miniphi_core.dir/ptable.cpp.o" "gcc" "src/core/CMakeFiles/miniphi_core.dir/ptable.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/miniphi_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/simd/CMakeFiles/miniphi_simd.dir/DependInfo.cmake"
+  "/root/repo/build/src/bio/CMakeFiles/miniphi_bio.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/miniphi_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/tree/CMakeFiles/miniphi_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/miniphi_io.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

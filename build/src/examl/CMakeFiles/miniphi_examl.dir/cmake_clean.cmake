@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miniphi_examl.dir/distributed_evaluator.cpp.o"
+  "CMakeFiles/miniphi_examl.dir/distributed_evaluator.cpp.o.d"
+  "CMakeFiles/miniphi_examl.dir/driver.cpp.o"
+  "CMakeFiles/miniphi_examl.dir/driver.cpp.o.d"
+  "libminiphi_examl.a"
+  "libminiphi_examl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miniphi_examl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

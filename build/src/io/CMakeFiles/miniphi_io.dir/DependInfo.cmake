@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/fasta.cpp" "src/io/CMakeFiles/miniphi_io.dir/fasta.cpp.o" "gcc" "src/io/CMakeFiles/miniphi_io.dir/fasta.cpp.o.d"
+  "/root/repo/src/io/newick.cpp" "src/io/CMakeFiles/miniphi_io.dir/newick.cpp.o" "gcc" "src/io/CMakeFiles/miniphi_io.dir/newick.cpp.o.d"
+  "/root/repo/src/io/phylip.cpp" "src/io/CMakeFiles/miniphi_io.dir/phylip.cpp.o" "gcc" "src/io/CMakeFiles/miniphi_io.dir/phylip.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/miniphi_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miniphi_io.dir/fasta.cpp.o"
+  "CMakeFiles/miniphi_io.dir/fasta.cpp.o.d"
+  "CMakeFiles/miniphi_io.dir/newick.cpp.o"
+  "CMakeFiles/miniphi_io.dir/newick.cpp.o.d"
+  "CMakeFiles/miniphi_io.dir/phylip.cpp.o"
+  "CMakeFiles/miniphi_io.dir/phylip.cpp.o.d"
+  "libminiphi_io.a"
+  "libminiphi_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miniphi_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miniphi_minimpi.dir/minimpi.cpp.o"
+  "CMakeFiles/miniphi_minimpi.dir/minimpi.cpp.o.d"
+  "libminiphi_minimpi.a"
+  "libminiphi_minimpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miniphi_minimpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/eigen.cpp" "src/model/CMakeFiles/miniphi_model.dir/eigen.cpp.o" "gcc" "src/model/CMakeFiles/miniphi_model.dir/eigen.cpp.o.d"
+  "/root/repo/src/model/gamma.cpp" "src/model/CMakeFiles/miniphi_model.dir/gamma.cpp.o" "gcc" "src/model/CMakeFiles/miniphi_model.dir/gamma.cpp.o.d"
+  "/root/repo/src/model/general.cpp" "src/model/CMakeFiles/miniphi_model.dir/general.cpp.o" "gcc" "src/model/CMakeFiles/miniphi_model.dir/general.cpp.o.d"
+  "/root/repo/src/model/gtr.cpp" "src/model/CMakeFiles/miniphi_model.dir/gtr.cpp.o" "gcc" "src/model/CMakeFiles/miniphi_model.dir/gtr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/miniphi_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/bio/CMakeFiles/miniphi_bio.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/miniphi_io.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

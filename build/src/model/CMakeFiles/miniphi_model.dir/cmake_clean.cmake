@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miniphi_model.dir/eigen.cpp.o"
+  "CMakeFiles/miniphi_model.dir/eigen.cpp.o.d"
+  "CMakeFiles/miniphi_model.dir/gamma.cpp.o"
+  "CMakeFiles/miniphi_model.dir/gamma.cpp.o.d"
+  "CMakeFiles/miniphi_model.dir/general.cpp.o"
+  "CMakeFiles/miniphi_model.dir/general.cpp.o.d"
+  "CMakeFiles/miniphi_model.dir/gtr.cpp.o"
+  "CMakeFiles/miniphi_model.dir/gtr.cpp.o.d"
+  "libminiphi_model.a"
+  "libminiphi_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miniphi_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

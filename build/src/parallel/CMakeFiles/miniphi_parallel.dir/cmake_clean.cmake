@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miniphi_parallel.dir/fork_join_evaluator.cpp.o"
+  "CMakeFiles/miniphi_parallel.dir/fork_join_evaluator.cpp.o.d"
+  "CMakeFiles/miniphi_parallel.dir/worker_pool.cpp.o"
+  "CMakeFiles/miniphi_parallel.dir/worker_pool.cpp.o.d"
+  "libminiphi_parallel.a"
+  "libminiphi_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miniphi_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

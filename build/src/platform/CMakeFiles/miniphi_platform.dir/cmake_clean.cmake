@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miniphi_platform.dir/cost_model.cpp.o"
+  "CMakeFiles/miniphi_platform.dir/cost_model.cpp.o.d"
+  "CMakeFiles/miniphi_platform.dir/spec.cpp.o"
+  "CMakeFiles/miniphi_platform.dir/spec.cpp.o.d"
+  "libminiphi_platform.a"
+  "libminiphi_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miniphi_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/search/bootstrap.cpp" "src/search/CMakeFiles/miniphi_search.dir/bootstrap.cpp.o" "gcc" "src/search/CMakeFiles/miniphi_search.dir/bootstrap.cpp.o.d"
+  "/root/repo/src/search/brent.cpp" "src/search/CMakeFiles/miniphi_search.dir/brent.cpp.o" "gcc" "src/search/CMakeFiles/miniphi_search.dir/brent.cpp.o.d"
+  "/root/repo/src/search/checkpoint.cpp" "src/search/CMakeFiles/miniphi_search.dir/checkpoint.cpp.o" "gcc" "src/search/CMakeFiles/miniphi_search.dir/checkpoint.cpp.o.d"
+  "/root/repo/src/search/model_optimizer.cpp" "src/search/CMakeFiles/miniphi_search.dir/model_optimizer.cpp.o" "gcc" "src/search/CMakeFiles/miniphi_search.dir/model_optimizer.cpp.o.d"
+  "/root/repo/src/search/spr_search.cpp" "src/search/CMakeFiles/miniphi_search.dir/spr_search.cpp.o" "gcc" "src/search/CMakeFiles/miniphi_search.dir/spr_search.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/miniphi_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tree/CMakeFiles/miniphi_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/miniphi_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/simd/CMakeFiles/miniphi_simd.dir/DependInfo.cmake"
+  "/root/repo/build/src/bio/CMakeFiles/miniphi_bio.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/miniphi_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/miniphi_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miniphi_search.dir/bootstrap.cpp.o"
+  "CMakeFiles/miniphi_search.dir/bootstrap.cpp.o.d"
+  "CMakeFiles/miniphi_search.dir/brent.cpp.o"
+  "CMakeFiles/miniphi_search.dir/brent.cpp.o.d"
+  "CMakeFiles/miniphi_search.dir/checkpoint.cpp.o"
+  "CMakeFiles/miniphi_search.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/miniphi_search.dir/model_optimizer.cpp.o"
+  "CMakeFiles/miniphi_search.dir/model_optimizer.cpp.o.d"
+  "CMakeFiles/miniphi_search.dir/spr_search.cpp.o"
+  "CMakeFiles/miniphi_search.dir/spr_search.cpp.o.d"
+  "libminiphi_search.a"
+  "libminiphi_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miniphi_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

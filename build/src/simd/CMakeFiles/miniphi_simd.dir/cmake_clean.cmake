@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miniphi_simd.dir/dispatch.cpp.o"
+  "CMakeFiles/miniphi_simd.dir/dispatch.cpp.o.d"
+  "libminiphi_simd.a"
+  "libminiphi_simd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miniphi_simd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

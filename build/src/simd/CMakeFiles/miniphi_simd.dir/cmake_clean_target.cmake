@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libminiphi_simd.a"
+)

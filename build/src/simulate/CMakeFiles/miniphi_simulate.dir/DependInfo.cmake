@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simulate/simulate.cpp" "src/simulate/CMakeFiles/miniphi_simulate.dir/simulate.cpp.o" "gcc" "src/simulate/CMakeFiles/miniphi_simulate.dir/simulate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/miniphi_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/bio/CMakeFiles/miniphi_bio.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/miniphi_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/tree/CMakeFiles/miniphi_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/miniphi_io.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miniphi_simulate.dir/simulate.cpp.o"
+  "CMakeFiles/miniphi_simulate.dir/simulate.cpp.o.d"
+  "libminiphi_simulate.a"
+  "libminiphi_simulate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miniphi_simulate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tree/moves.cpp" "src/tree/CMakeFiles/miniphi_tree.dir/moves.cpp.o" "gcc" "src/tree/CMakeFiles/miniphi_tree.dir/moves.cpp.o.d"
+  "/root/repo/src/tree/parsimony.cpp" "src/tree/CMakeFiles/miniphi_tree.dir/parsimony.cpp.o" "gcc" "src/tree/CMakeFiles/miniphi_tree.dir/parsimony.cpp.o.d"
+  "/root/repo/src/tree/splits.cpp" "src/tree/CMakeFiles/miniphi_tree.dir/splits.cpp.o" "gcc" "src/tree/CMakeFiles/miniphi_tree.dir/splits.cpp.o.d"
+  "/root/repo/src/tree/tree.cpp" "src/tree/CMakeFiles/miniphi_tree.dir/tree.cpp.o" "gcc" "src/tree/CMakeFiles/miniphi_tree.dir/tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/miniphi_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/miniphi_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/bio/CMakeFiles/miniphi_bio.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

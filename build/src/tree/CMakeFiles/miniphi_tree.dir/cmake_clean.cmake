@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miniphi_tree.dir/moves.cpp.o"
+  "CMakeFiles/miniphi_tree.dir/moves.cpp.o.d"
+  "CMakeFiles/miniphi_tree.dir/parsimony.cpp.o"
+  "CMakeFiles/miniphi_tree.dir/parsimony.cpp.o.d"
+  "CMakeFiles/miniphi_tree.dir/splits.cpp.o"
+  "CMakeFiles/miniphi_tree.dir/splits.cpp.o.d"
+  "CMakeFiles/miniphi_tree.dir/tree.cpp.o"
+  "CMakeFiles/miniphi_tree.dir/tree.cpp.o.d"
+  "libminiphi_tree.a"
+  "libminiphi_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miniphi_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miniphi_util.dir/logging.cpp.o"
+  "CMakeFiles/miniphi_util.dir/logging.cpp.o.d"
+  "CMakeFiles/miniphi_util.dir/options.cpp.o"
+  "CMakeFiles/miniphi_util.dir/options.cpp.o.d"
+  "libminiphi_util.a"
+  "libminiphi_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miniphi_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

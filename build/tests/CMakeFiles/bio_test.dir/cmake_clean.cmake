@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bio_test.dir/bio_test.cpp.o"
+  "CMakeFiles/bio_test.dir/bio_test.cpp.o.d"
+  "bio_test"
+  "bio_test.pdb"
+  "bio_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bio_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

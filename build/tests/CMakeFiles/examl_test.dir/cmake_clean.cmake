@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/examl_test.dir/examl_test.cpp.o"
+  "CMakeFiles/examl_test.dir/examl_test.cpp.o.d"
+  "examl_test"
+  "examl_test.pdb"
+  "examl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/examl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miniphi_testutil.dir/testutil.cpp.o"
+  "CMakeFiles/miniphi_testutil.dir/testutil.cpp.o.d"
+  "libminiphi_testutil.a"
+  "libminiphi_testutil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miniphi_testutil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

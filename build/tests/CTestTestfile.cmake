@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/io_test[1]_include.cmake")
+include("/root/repo/build/tests/bio_test[1]_include.cmake")
+include("/root/repo/build/tests/model_test[1]_include.cmake")
+include("/root/repo/build/tests/tree_test[1]_include.cmake")
+include("/root/repo/build/tests/core_kernels_test[1]_include.cmake")
+include("/root/repo/build/tests/core_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/search_test[1]_include.cmake")
+include("/root/repo/build/tests/simulate_test[1]_include.cmake")
+include("/root/repo/build/tests/parallel_test[1]_include.cmake")
+include("/root/repo/build/tests/minimpi_test[1]_include.cmake")
+include("/root/repo/build/tests/platform_test[1]_include.cmake")
+include("/root/repo/build/tests/examl_test[1]_include.cmake")
+include("/root/repo/build/tests/general_test[1]_include.cmake")
+include("/root/repo/build/tests/partitioned_test[1]_include.cmake")
+include("/root/repo/build/tests/cat_test[1]_include.cmake")
+include("/root/repo/build/tests/checkpoint_test[1]_include.cmake")
+include("/root/repo/build/tests/bootstrap_test[1]_include.cmake")
+include("/root/repo/build/tests/simd_test[1]_include.cmake")
