@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Builds and runs the concurrency-heavy test binaries under sanitizers.
+#
+# The fault-tolerance layer (abort-safe collectives, fault injection, the
+# exception-propagating worker pool) is exactly the kind of code where a
+# missed lock or a use-after-unwind hides from plain tests, so this script
+# runs those suites under ThreadSanitizer by default; pass "asan" for
+# AddressSanitizer + UBSan instead.
+#
+# Usage: scripts/run_sanitized_tests.sh [tsan|asan]
+set -euo pipefail
+
+preset="${1:-tsan}"
+case "${preset}" in
+  tsan) sanitize="thread" ;;
+  asan) sanitize="address;undefined" ;;
+  *)
+    echo "usage: $0 [tsan|asan]" >&2
+    exit 2
+    ;;
+esac
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+build="${root}/build-${preset}"
+
+cmake -B "${build}" -S "${root}" \
+  -DMINIPHI_SANITIZE="${sanitize}" \
+  -DMINIPHI_BUILD_BENCH=OFF \
+  -DMINIPHI_BUILD_EXAMPLES=OFF
+
+targets=(minimpi_test parallel_test faults_test checkpoint_test examl_test)
+cmake --build "${build}" -j "$(nproc)" --target "${targets[@]}"
+
+status=0
+for test in "${targets[@]}"; do
+  echo "=== ${test} (${sanitize}) ==="
+  "${build}/tests/${test}" || status=$?
+done
+exit "${status}"

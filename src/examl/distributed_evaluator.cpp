@@ -21,6 +21,7 @@ DistributedEvaluator::DistributedEvaluator(mpi::Communicator& comm,
 }
 
 double DistributedEvaluator::log_likelihood(tree::Slot* edge) {
+  comm_.on_kernel_region();  // fault-injection hook: a plan may kill us here
   return comm_.allreduce_sum(engine_->log_likelihood(edge));
 }
 
@@ -29,6 +30,7 @@ void DistributedEvaluator::prepare_derivatives(tree::Slot* edge) {
 }
 
 std::pair<double, double> DistributedEvaluator::derivatives(double z) {
+  comm_.on_kernel_region();
   const auto [first, second] = engine_->derivatives(z);
   double pair[2] = {first, second};
   comm_.allreduce_sum(std::span<double>(pair, 2));

@@ -1,11 +1,15 @@
 #include "src/examl/driver.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <optional>
 
 #include "src/examl/distributed_evaluator.hpp"
+#include "src/search/checkpoint.hpp"
 #include "src/tree/parsimony.hpp"
 #include "src/tree/splits.hpp"
 #include "src/util/error.hpp"
+#include "src/util/logging.hpp"
 #include "src/util/timer.hpp"
 
 namespace miniphi::examl {
@@ -58,6 +62,8 @@ DistributedRunResult run_distributed_search(const bio::Alignment& alignment, int
                                             const ExperimentOptions& options) {
   const auto patterns = bio::compress_patterns(alignment);
   const model::GtrModel model = initial_model(alignment);
+  const auto names = alignment.taxon_names();
+  const FaultToleranceOptions& ft = options.fault_tolerance;
 
   // The deterministic starting tree is identical in every replica.
   Rng rng(options.seed);
@@ -67,25 +73,88 @@ DistributedRunResult run_distributed_search(const bio::Alignment& alignment, int
   std::vector<std::string> final_trees(static_cast<std::size_t>(ranks));
 
   mpi::World world(ranks);
-  world.run([&](mpi::Communicator& comm) {
-    tree::Tree tree(starting_tree);  // per-rank replica
-    core::LikelihoodEngine::Config config;
-    config.isa = options.isa;
-    DistributedEvaluator evaluator(comm, patterns, model, tree, config);
-    search::SearchOptions search_options = options.search;
-    if (search_options.optimize_model && !search_options.model_hook) {
-      search_options.model_hook = [&evaluator, &search_options](core::Evaluator&,
-                                                                tree::Slot* root) {
-        return search::optimize_model(evaluator, root, search_options.model_options)
-            .log_likelihood;
-      };
-    }
-    const auto result = search::run_tree_search(evaluator, tree, search_options);
-    final_lnl[static_cast<std::size_t>(comm.rank())] = result.log_likelihood;
-    final_trees[static_cast<std::size_t>(comm.rank())] = tree.to_newick(alignment.taxon_names());
-  });
+  world.set_fault_plan(ft.faults);
+  world.set_collective_timeout(ft.collective_timeout);
 
   DistributedRunResult result;
+  // `stable` is the state a recovery restarts from; `staged` is the latest
+  // checkpoint captured by rank 0 during the current attempt.  Only rank 0
+  // writes `staged` (replicas are identical, so its state is everyone's),
+  // and the driver thread reads it only after World::run has joined.
+  std::optional<search::Checkpoint> stable;
+  std::optional<search::Checkpoint> staged;
+
+  for (;;) {
+    staged.reset();
+    try {
+      world.run([&](mpi::Communicator& comm) {
+        // Every replica resumes from the identical checkpointed state (or
+        // the common starting tree on the first attempt).
+        tree::Tree tree = stable ? stable->restore_tree() : tree::Tree(starting_tree);
+        const model::GtrModel rank_model =
+            stable ? model::GtrModel(stable->model_params) : model;
+        const int rounds_done = stable ? stable->rounds_completed : 0;
+
+        core::LikelihoodEngine::Config config;
+        config.isa = options.isa;
+        DistributedEvaluator evaluator(comm, patterns, rank_model, tree, config);
+        search::SearchOptions search_options = options.search;
+        search_options.max_rounds = std::max(0, options.search.max_rounds - rounds_done);
+        // Model optimization runs once, before the first SPR round; a
+        // checkpoint taken at round >= 1 already carries the optimized
+        // parameters, so a resumed run must not optimize again or it would
+        // diverge from the fault-free trajectory.
+        if (rounds_done > 0) search_options.optimize_model = false;
+        if (search_options.optimize_model && !search_options.model_hook) {
+          search_options.model_hook = [&evaluator, &search_options](core::Evaluator&,
+                                                                    tree::Slot* root) {
+            return search::optimize_model(evaluator, root, search_options.model_options)
+                .log_likelihood;
+          };
+        }
+        const auto user_callback = options.search.round_callback;
+        search_options.round_callback = [&, rounds_done](int round, double lnl) {
+          if (user_callback) user_callback(rounds_done + round, lnl);
+          const int absolute = rounds_done + round;
+          if (ft.checkpoint_every_rounds > 0 && comm.rank() == 0 &&
+              absolute % ft.checkpoint_every_rounds == 0) {
+            staged = search::make_checkpoint(tree, names, evaluator.model().params(), absolute,
+                                             lnl, options.seed);
+            if (!ft.checkpoint_path.empty()) {
+              search::write_checkpoint_file(ft.checkpoint_path, *staged);
+            }
+          }
+        };
+        const auto search_result = search::run_tree_search(evaluator, tree, search_options);
+        final_lnl[static_cast<std::size_t>(comm.rank())] = search_result.log_likelihood;
+        final_trees[static_cast<std::size_t>(comm.rank())] = tree.to_newick(names);
+      });
+      break;
+    } catch (const Error& failure) {
+      // Recoverable failure (injected fault, aborted peers, deadlock
+      // diagnosis, I/O error): restart every replica from the last
+      // checkpoint.  Invariant violations (std::logic_error) propagate.
+      result.last_failure = failure.what();
+      ++result.recoveries;
+      if (result.recoveries > ft.max_recoveries) throw;
+      if (!ft.checkpoint_path.empty()) {
+        // The durable path: trust only what survived on disk (validated by
+        // its checksum), exactly as a restarted cluster job would.
+        try {
+          stable = search::read_checkpoint_file(ft.checkpoint_path);
+        } catch (const Error&) {
+          if (staged) stable = staged;
+        }
+      } else if (staged) {
+        stable = staged;
+      }
+      MINIPHI_LOG(Info) << "distributed search: recovery " << result.recoveries << " after '"
+                        << result.last_failure << "', restarting from "
+                        << (stable ? "round " + std::to_string(stable->rounds_completed)
+                                   : "scratch");
+    }
+  }
+
   result.log_likelihood = final_lnl[0];
   result.comm_stats = world.total_stats();
   result.final_tree_newick = final_trees[0];

@@ -9,6 +9,7 @@
 // replica consistency in tests with real minimpi ranks.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <string>
 
@@ -19,10 +20,27 @@
 
 namespace miniphi::examl {
 
+/// Failure handling for run_distributed_search.  The defaults checkpoint
+/// every SPR round and restart a failed run from the last checkpoint, so an
+/// injected (or genuine) rank failure costs at most one round of work.
+struct FaultToleranceOptions {
+  mpi::FaultPlan faults;            ///< failures to inject (empty = none)
+  int checkpoint_every_rounds = 1;  ///< checkpoint cadence in SPR rounds (0 disables)
+  int max_recoveries = 3;           ///< rethrow after this many restarts
+  /// Collective/recv timeout converting genuine deadlocks into
+  /// DeadlockError; zero waits forever (real-MPI behavior).
+  std::chrono::milliseconds collective_timeout{0};
+  /// When non-empty, rank 0 mirrors every checkpoint to this file (atomic
+  /// temp+rename, checksummed) and recovery restores from the file — the
+  /// durable path a real cluster restart would take.
+  std::string checkpoint_path;
+};
+
 struct ExperimentOptions {
   std::uint64_t seed = 42;  ///< starting-tree randomization
   simd::Isa isa = simd::best_supported_isa();
   search::SearchOptions search;
+  FaultToleranceOptions fault_tolerance;
 };
 
 struct TracedRun {
@@ -40,14 +58,24 @@ TracedRun run_traced_search(const bio::Alignment& alignment, const ExperimentOpt
 
 struct DistributedRunResult {
   double log_likelihood = 0.0;
-  mpi::CommStats comm_stats;          ///< aggregated over all ranks
+  mpi::CommStats comm_stats;          ///< aggregated over all ranks (last attempt)
   bool replicas_consistent = false;   ///< all ranks ended on the same tree
   std::string final_tree_newick;      ///< rank 0's final tree
+  int recoveries = 0;                 ///< checkpoint restarts taken after failures
+  std::string last_failure;           ///< root cause of the most recent failure, if any
 };
 
 /// The same search executed by `ranks` replicated minimpi ranks, each owning
 /// a pattern slice — the functional ExaML configuration.  Verifies that all
 /// replicas finish with identical topologies and likelihoods.
+///
+/// Fault tolerance (options.fault_tolerance): every N completed SPR rounds
+/// rank 0 captures a checkpoint; when any rank fails — injected via the
+/// fault plan or genuine — the surviving ranks are woken from their
+/// collectives, the run unwinds, and the driver restarts all replicas from
+/// the last checkpoint, re-running only the lost rounds.  A fault-injected
+/// run therefore converges to the same final tree and likelihood as a
+/// fault-free run.  After max_recoveries restarts the failure is rethrown.
 DistributedRunResult run_distributed_search(const bio::Alignment& alignment, int ranks,
                                             const ExperimentOptions& options);
 

@@ -1,0 +1,72 @@
+#include "src/minimpi/faults.hpp"
+
+#include "src/util/rng.hpp"
+
+namespace miniphi::mpi {
+namespace {
+
+const char* kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kKillAtCollective: return "kill at collective";
+    case FaultKind::kKillInKernel: return "kill in kernel region";
+    case FaultKind::kDropMessage: return "drop message";
+    case FaultKind::kDelayMessage: return "delay message";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+FaultPlan& FaultPlan::kill_at_collective(int rank, std::int64_t call_index) {
+  MINIPHI_CHECK(rank >= 0, "fault plan: kill_at_collective needs a concrete rank");
+  MINIPHI_CHECK(call_index >= 1, "fault plan: collective call index is 1-based");
+  faults_.push_back({FaultKind::kKillAtCollective, rank, call_index, -1, false});
+  return *this;
+}
+
+FaultPlan& FaultPlan::kill_in_kernel(int rank, std::int64_t call_index) {
+  MINIPHI_CHECK(rank >= 0, "fault plan: kill_in_kernel needs a concrete rank");
+  MINIPHI_CHECK(call_index >= 1, "fault plan: kernel call index is 1-based");
+  faults_.push_back({FaultKind::kKillInKernel, rank, call_index, -1, false});
+  return *this;
+}
+
+FaultPlan& FaultPlan::drop_message(int sender, int tag) {
+  faults_.push_back({FaultKind::kDropMessage, sender, 0, tag, false});
+  return *this;
+}
+
+FaultPlan& FaultPlan::delay_message(int sender, int tag) {
+  faults_.push_back({FaultKind::kDelayMessage, sender, 0, tag, false});
+  return *this;
+}
+
+FaultPlan FaultPlan::random_kill(std::uint64_t seed, int ranks, std::int64_t max_collective) {
+  MINIPHI_CHECK(ranks >= 1, "fault plan: world needs at least one rank");
+  MINIPHI_CHECK(max_collective >= 1, "fault plan: need a positive collective range");
+  Rng rng(seed);
+  FaultPlan plan;
+  const int rank = static_cast<int>(rng.below(static_cast<std::uint64_t>(ranks)));
+  const auto call =
+      1 + static_cast<std::int64_t>(rng.below(static_cast<std::uint64_t>(max_collective)));
+  plan.kill_at_collective(rank, call);
+  return plan;
+}
+
+std::string FaultPlan::describe() const {
+  if (faults_.empty()) return "no injected faults";
+  std::string text;
+  for (const auto& fault : faults_) {
+    if (!text.empty()) text += ", ";
+    text += kind_name(fault.kind);
+    text += " rank " + (fault.rank < 0 ? std::string("any") : std::to_string(fault.rank));
+    if (fault.kind == FaultKind::kKillAtCollective || fault.kind == FaultKind::kKillInKernel) {
+      text += " call #" + std::to_string(fault.at_call);
+    } else {
+      text += " tag " + std::to_string(fault.tag);
+    }
+  }
+  return text;
+}
+
+}  // namespace miniphi::mpi

@@ -1,0 +1,109 @@
+// Deterministic fault injection for the minimpi substrate.
+//
+// The paper's distributed configuration (ExaML over MPI) inherits
+// RAxML-Light's reason for existing: week-long cluster searches must survive
+// rank failures and job kills.  This module provides the machinery to
+// *exercise* those failure paths deterministically: a FaultPlan describes,
+// per run, which rank dies at which operation (or which tagged message is
+// dropped or delayed), and mpi::World executes the plan at the matching
+// call sites.  Every fault is one-shot — once fired it stays disarmed for
+// the lifetime of the World — so a recovery run over the same World models a
+// restarted replacement node rather than a permanently broken one.
+//
+// Failure semantics (see DESIGN.md §6 for the full model):
+//  * The faulting rank observes an InjectedFault thrown at the fault site.
+//  * Every other rank blocked in (or later entering) a collective or recv is
+//    woken with an AbortedError naming the failed rank — no deadlock.
+//  * A genuine deadlock (mismatched collective calls, dropped message) is
+//    converted by the optional collective timeout into a DeadlockError that
+//    names each rank's collective call count and whether it is blocked.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/error.hpp"
+
+namespace miniphi::mpi {
+
+/// Thrown at the fault site of the rank selected by the plan (the simulated
+/// "node crash").  Recoverable by design: drivers catch it and restart from
+/// a checkpoint.
+class InjectedFault : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Thrown in every surviving rank that is blocked in (or subsequently
+/// enters) a collective, send, or recv after the world aborted.  The message
+/// carries the root cause (failed rank + its error).
+class AbortedError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Thrown by the rank whose collective/recv wait exceeded the configured
+/// timeout; the message diagnoses the stall (per-rank collective call counts
+/// and blocked/not-blocked state).  Peers are woken with AbortedError.
+class DeadlockError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Where in the substrate a fault triggers.
+enum class FaultKind {
+  kKillAtCollective,  ///< throw InjectedFault when `rank` enters its `at_call`-th collective
+  kKillInKernel,      ///< throw InjectedFault at `rank`'s `at_call`-th kernel-region entry
+  kDropMessage,       ///< silently discard the first matching tagged send
+  kDelayMessage,      ///< hold the first matching tagged send; deliver late (on receiver demand)
+};
+
+struct Fault {
+  FaultKind kind = FaultKind::kKillAtCollective;
+  int rank = -1;             ///< faulting rank (kills) / sending rank (messages); -1 = any
+  std::int64_t at_call = 0;  ///< 1-based per-rank call index (kill faults)
+  int tag = -1;              ///< message tag to match (message faults)
+  bool fired = false;        ///< one-shot latch, set by World when triggered
+};
+
+/// A seeded, deterministic description of the failures to inject into one
+/// World.  Built either explicitly (tests pinning an exact failure point) or
+/// via random_kill() (seeded exploration of failure timing).
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  /// Kill `rank` when it enters its `call_index`-th (1-based) collective
+  /// operation (barrier / allreduce / broadcast).
+  FaultPlan& kill_at_collective(int rank, std::int64_t call_index);
+
+  /// Kill `rank` when it enters its `call_index`-th (1-based) kernel region
+  /// (evaluators announce region entries via Communicator::on_kernel_region).
+  FaultPlan& kill_in_kernel(int rank, std::int64_t call_index);
+
+  /// Silently drop the first message with `tag` sent by `sender`
+  /// (sender == -1 matches any rank).
+  FaultPlan& drop_message(int sender, int tag);
+
+  /// Delay the first message with `tag` sent by `sender`: it is withheld
+  /// from the destination mailbox and only released once the receiver fails
+  /// to find a match — i.e. it arrives late and reordered, never lost.
+  FaultPlan& delay_message(int sender, int tag);
+
+  /// Seeded deterministic plan: kills one uniformly chosen rank at a
+  /// uniformly chosen collective call in [1, max_collective].
+  static FaultPlan random_kill(std::uint64_t seed, int ranks, std::int64_t max_collective);
+
+  [[nodiscard]] bool empty() const { return faults_.empty(); }
+  [[nodiscard]] const std::vector<Fault>& faults() const { return faults_; }
+
+  /// One-line description for logs ("kill rank 2 at collective #15, ...").
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  friend class World;
+  std::vector<Fault> faults_;
+};
+
+}  // namespace miniphi::mpi

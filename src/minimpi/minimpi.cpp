@@ -1,6 +1,8 @@
 #include "src/minimpi/minimpi.hpp"
 
+#include <algorithm>
 #include <exception>
+#include <optional>
 #include <thread>
 #include <utility>
 
@@ -10,46 +12,196 @@ namespace miniphi::mpi {
 
 World::World(int rank_count) : rank_count_(rank_count) {
   MINIPHI_CHECK(rank_count >= 1, "mpi world needs at least one rank");
-  reduce_buffer_.assign(static_cast<std::size_t>(rank_count), 0.0);
-  mailboxes_.resize(static_cast<std::size_t>(rank_count));
-  last_stats_.assign(static_cast<std::size_t>(rank_count), {});
+  const auto n = static_cast<std::size_t>(rank_count);
+  reduce_buffer_.assign(n, 0.0);
+  mailboxes_.resize(n);
+  delayed_.resize(n);
+  last_stats_.assign(n, {});
+  collective_calls_.assign(n, 0);
+  kernel_calls_.assign(n, 0);
+  blocked_.assign(n, 0);
 }
 
-void World::barrier_wait() {
+void World::set_fault_plan(const FaultPlan& plan) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  plan_ = plan;
+}
+
+void World::set_collective_timeout(std::chrono::milliseconds timeout) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  collective_timeout_ = timeout;
+}
+
+bool World::aborted() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return aborted_;
+}
+
+void World::throw_if_aborted_locked() const {
+  if (aborted_) throw AbortedError(abort_reason_);
+}
+
+void World::abort_locked(const std::string& reason) {
+  if (!aborted_) {
+    aborted_ = true;
+    abort_reason_ = reason;
+  }
+  // Wake every rank parked in a collective or recv; their wait predicates
+  // observe aborted_ and convert the wake-up into an AbortedError.
+  barrier_cv_.notify_all();
+  mailbox_cv_.notify_all();
+}
+
+void World::abort_from(int rank, const std::string& what) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  abort_locked("rank " + std::to_string(rank) + " failed: " + what);
+}
+
+std::string World::describe_stall_locked(const std::string& where, int rank) const {
+  std::string text = where + " after " + std::to_string(collective_timeout_.count()) +
+                     " ms (detected by rank " + std::to_string(rank) + "):";
+  for (int r = 0; r < rank_count_; ++r) {
+    const auto index = static_cast<std::size_t>(r);
+    text += " rank " + std::to_string(r) + ": " + std::to_string(collective_calls_[index]) +
+            " collective calls, " + (blocked_[index] ? "blocked" : "not blocked");
+    if (r + 1 < rank_count_) text += ";";
+  }
+  return text;
+}
+
+void World::on_collective_entry(int rank) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  throw_if_aborted_locked();
+  const std::int64_t count = ++collective_calls_[static_cast<std::size_t>(rank)];
+  for (auto& fault : plan_.faults_) {
+    if (fault.fired || fault.kind != FaultKind::kKillAtCollective) continue;
+    if (fault.rank == rank && fault.at_call == count) {
+      fault.fired = true;
+      throw InjectedFault("injected fault: rank " + std::to_string(rank) +
+                          " killed entering collective call #" + std::to_string(count));
+    }
+  }
+}
+
+void World::on_kernel_entry(int rank) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  throw_if_aborted_locked();
+  const std::int64_t count = ++kernel_calls_[static_cast<std::size_t>(rank)];
+  for (auto& fault : plan_.faults_) {
+    if (fault.fired || fault.kind != FaultKind::kKillInKernel) continue;
+    if (fault.rank == rank && fault.at_call == count) {
+      fault.fired = true;
+      throw InjectedFault("injected fault: rank " + std::to_string(rank) +
+                          " killed inside kernel region #" + std::to_string(count));
+    }
+  }
+}
+
+bool World::filter_send_locked(int source, int destination, int tag,
+                               std::vector<double>&& payload) {
+  for (auto& fault : plan_.faults_) {
+    if (fault.fired || fault.tag != tag) continue;
+    if (fault.rank >= 0 && fault.rank != source) continue;
+    if (fault.kind == FaultKind::kDropMessage) {
+      fault.fired = true;
+      return true;  // lost on the wire
+    }
+    if (fault.kind == FaultKind::kDelayMessage) {
+      fault.fired = true;
+      delayed_[static_cast<std::size_t>(destination)].push_back({source, tag, std::move(payload)});
+      return true;
+    }
+  }
+  return false;
+}
+
+bool World::release_delayed_locked(int rank) {
+  auto& held = delayed_[static_cast<std::size_t>(rank)];
+  if (held.empty()) return false;
+  auto& mailbox = mailboxes_[static_cast<std::size_t>(rank)];
+  while (!held.empty()) {
+    mailbox.push_back(std::move(held.front()));
+    held.pop_front();
+  }
+  return true;
+}
+
+void World::barrier_wait(int rank) {
   std::unique_lock<std::mutex> lock(mutex_);
+  throw_if_aborted_locked();
   const std::uint64_t generation = barrier_generation_;
   if (++barrier_arrived_ == rank_count_) {
     barrier_arrived_ = 0;
     ++barrier_generation_;
     barrier_cv_.notify_all();
+    return;
+  }
+  blocked_[static_cast<std::size_t>(rank)] = 1;
+  const auto released = [&] { return barrier_generation_ != generation || aborted_; };
+  bool woke = true;
+  if (collective_timeout_.count() > 0) {
+    woke = barrier_cv_.wait_for(lock, collective_timeout_, released);
   } else {
-    barrier_cv_.wait(lock, [&] { return barrier_generation_ != generation; });
+    barrier_cv_.wait(lock, released);
+  }
+  blocked_[static_cast<std::size_t>(rank)] = 0;
+  if (aborted_) throw AbortedError(abort_reason_);
+  if (!woke) {
+    const std::string diagnosis = describe_stall_locked("collective timeout", rank);
+    abort_locked(diagnosis);
+    throw DeadlockError(diagnosis);
   }
 }
 
 void World::run(const std::function<void(Communicator&)>& rank_main) {
+  const auto n = static_cast<std::size_t>(rank_count_);
   std::vector<std::thread> threads;
-  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(rank_count_));
-  std::vector<Communicator*> communicators(static_cast<std::size_t>(rank_count_), nullptr);
+  std::vector<std::exception_ptr> errors(n);
+  std::vector<char> secondary(n, 0);
 
-  // Clear any state left by a previous (possibly failed) run.
-  barrier_arrived_ = 0;
-  for (auto& mailbox : mailboxes_) mailbox.clear();
+  {
+    // Clear state left by a previous (possibly aborted) run.  Fault
+    // fired-flags persist: a recovery run models a restarted replacement
+    // rank, not a node that crashes again at the same spot.
+    const std::lock_guard<std::mutex> lock(mutex_);
+    aborted_ = false;
+    abort_reason_.clear();
+    barrier_arrived_ = 0;
+    std::fill(collective_calls_.begin(), collective_calls_.end(), 0);
+    std::fill(kernel_calls_.begin(), kernel_calls_.end(), 0);
+    std::fill(blocked_.begin(), blocked_.end(), 0);
+    for (auto& mailbox : mailboxes_) mailbox.clear();
+    for (auto& held : delayed_) held.clear();
+  }
 
-  threads.reserve(static_cast<std::size_t>(rank_count_));
+  threads.reserve(n);
   for (int r = 0; r < rank_count_; ++r) {
     threads.emplace_back([&, r] {
+      const auto index = static_cast<std::size_t>(r);
       Communicator comm(*this, r);
-      communicators[static_cast<std::size_t>(r)] = &comm;
       try {
         rank_main(comm);
+      } catch (const AbortedError&) {
+        // Secondary casualty: this rank was woken by another rank's failure.
+        errors[index] = std::current_exception();
+        secondary[index] = 1;
+      } catch (const std::exception& e) {
+        errors[index] = std::current_exception();
+        abort_from(r, e.what());
       } catch (...) {
-        errors[static_cast<std::size_t>(r)] = std::current_exception();
+        errors[index] = std::current_exception();
+        abort_from(r, "unknown error");
       }
-      last_stats_[static_cast<std::size_t>(r)] = comm.stats();
+      last_stats_[index] = comm.stats();
     });
   }
   for (auto& thread : threads) thread.join();
+
+  // Rethrow the root cause, first by rank order; a secondary AbortedError is
+  // only surfaced when no rank holds a root-cause error.
+  for (std::size_t r = 0; r < n; ++r) {
+    if (errors[r] && !secondary[r]) std::rethrow_exception(errors[r]);
+  }
   for (const auto& error : errors) {
     if (error) std::rethrow_exception(error);
   }
@@ -69,23 +221,28 @@ CommStats World::total_stats() const {
 
 int Communicator::size() const { return world_.size(); }
 
+void Communicator::on_kernel_region() { world_.on_kernel_entry(rank_); }
+
 void Communicator::barrier() {
-  world_.barrier_wait();
+  world_.on_collective_entry(rank_);
+  world_.barrier_wait(rank_);
   ++stats_.barriers;
 }
 
 double Communicator::allreduce_sum(double value) {
+  world_.on_collective_entry(rank_);
   world_.reduce_buffer_[static_cast<std::size_t>(rank_)] = value;
-  world_.barrier_wait();  // all contributions visible
+  world_.barrier_wait(rank_);  // all contributions visible
   double total = 0.0;
   for (const double contribution : world_.reduce_buffer_) total += contribution;
-  world_.barrier_wait();  // all reads done before buffer reuse
+  world_.barrier_wait(rank_);  // all reads done before buffer reuse
   ++stats_.allreduces;
   stats_.bytes += static_cast<std::int64_t>(sizeof(double));
   return total;
 }
 
 void Communicator::allreduce_sum(std::span<double> values) {
+  world_.on_collective_entry(rank_);
   // Rank 0 owns the shared accumulation buffer for vector reductions.
   {
     std::unique_lock<std::mutex> lock(world_.mutex_);
@@ -93,25 +250,26 @@ void Communicator::allreduce_sum(std::span<double> values) {
       world_.vector_buffer_.assign(values.size(), 0.0);
     }
   }
-  world_.barrier_wait();
+  world_.barrier_wait(rank_);
   if (rank_ == 0) {
     for (auto& slot : world_.vector_buffer_) slot = 0.0;
   }
-  world_.barrier_wait();
+  world_.barrier_wait(rank_);
   {
     std::unique_lock<std::mutex> lock(world_.mutex_);
     for (std::size_t i = 0; i < values.size(); ++i) world_.vector_buffer_[i] += values[i];
   }
-  world_.barrier_wait();
+  world_.barrier_wait(rank_);
   for (std::size_t i = 0; i < values.size(); ++i) values[i] = world_.vector_buffer_[i];
-  world_.barrier_wait();
+  world_.barrier_wait(rank_);
   ++stats_.allreduces;
   stats_.bytes += static_cast<std::int64_t>(values.size() * sizeof(double));
 }
 
 std::pair<double, int> Communicator::allreduce_minloc(double value) {
+  world_.on_collective_entry(rank_);
   world_.reduce_buffer_[static_cast<std::size_t>(rank_)] = value;
-  world_.barrier_wait();
+  world_.barrier_wait(rank_);
   double best = world_.reduce_buffer_[0];
   int best_rank = 0;
   for (int r = 1; r < world_.size(); ++r) {
@@ -121,36 +279,38 @@ std::pair<double, int> Communicator::allreduce_minloc(double value) {
       best_rank = r;
     }
   }
-  world_.barrier_wait();
+  world_.barrier_wait(rank_);
   ++stats_.allreduces;
   stats_.bytes += static_cast<std::int64_t>(sizeof(double) + sizeof(int));
   return {best, best_rank};
 }
 
 double Communicator::broadcast(double value, int root) {
+  world_.on_collective_entry(rank_);
   if (rank_ == root) world_.reduce_buffer_[0] = value;
-  world_.barrier_wait();
+  world_.barrier_wait(rank_);
   const double result = world_.reduce_buffer_[0];
-  world_.barrier_wait();
+  world_.barrier_wait(rank_);
   ++stats_.broadcasts;
   stats_.bytes += static_cast<std::int64_t>(sizeof(double));
   return result;
 }
 
 void Communicator::broadcast(std::span<double> values, int root) {
+  world_.on_collective_entry(rank_);
   {
     std::unique_lock<std::mutex> lock(world_.mutex_);
     if (world_.vector_buffer_.size() < values.size()) {
       world_.vector_buffer_.assign(values.size(), 0.0);
     }
   }
-  world_.barrier_wait();
+  world_.barrier_wait(rank_);
   if (rank_ == root) {
     for (std::size_t i = 0; i < values.size(); ++i) world_.vector_buffer_[i] = values[i];
   }
-  world_.barrier_wait();
+  world_.barrier_wait(rank_);
   for (std::size_t i = 0; i < values.size(); ++i) values[i] = world_.vector_buffer_[i];
-  world_.barrier_wait();
+  world_.barrier_wait(rank_);
   ++stats_.broadcasts;
   stats_.bytes += static_cast<std::int64_t>(values.size() * sizeof(double));
 }
@@ -160,8 +320,12 @@ void Communicator::send(int destination, int tag, std::span<const double> payloa
                 "mpi send: invalid destination rank");
   {
     const std::lock_guard<std::mutex> lock(world_.mutex_);
-    world_.mailboxes_[static_cast<std::size_t>(destination)].push_back(
-        {rank_, tag, std::vector<double>(payload.begin(), payload.end())});
+    world_.throw_if_aborted_locked();
+    std::vector<double> data(payload.begin(), payload.end());
+    if (!world_.filter_send_locked(rank_, destination, tag, std::move(data))) {
+      world_.mailboxes_[static_cast<std::size_t>(destination)].push_back(
+          {rank_, tag, std::move(data)});
+    }
   }
   world_.mailbox_cv_.notify_all();
   ++stats_.point_to_point;
@@ -170,17 +334,54 @@ void Communicator::send(int destination, int tag, std::span<const double> payloa
 
 std::vector<double> Communicator::recv(int source, int tag) {
   std::unique_lock<std::mutex> lock(world_.mutex_);
+  world_.throw_if_aborted_locked();
   auto& mailbox = world_.mailboxes_[static_cast<std::size_t>(rank_)];
-  for (;;) {
-    for (auto it = mailbox.begin(); it != mailbox.end(); ++it) {
-      if (it->source == source && it->tag == tag) {
-        std::vector<double> payload = std::move(it->payload);
-        mailbox.erase(it);
-        ++stats_.point_to_point;
-        return payload;
+
+  // Scans the mailbox for a match, releasing delayed (withheld) messages
+  // whenever a scan comes up empty — a delayed message arrives exactly when
+  // the receiver would otherwise have blocked on it.
+  const auto try_take = [&]() -> std::optional<std::vector<double>> {
+    for (;;) {
+      for (auto it = mailbox.begin(); it != mailbox.end(); ++it) {
+        if (it->source == source && it->tag == tag) {
+          std::vector<double> payload = std::move(it->payload);
+          mailbox.erase(it);
+          return payload;
+        }
       }
+      if (!world_.release_delayed_locked(rank_)) return std::nullopt;
     }
-    world_.mailbox_cv_.wait(lock);
+  };
+
+  const bool has_deadline = world_.collective_timeout_.count() > 0;
+  const auto deadline = std::chrono::steady_clock::now() + world_.collective_timeout_;
+  for (;;) {
+    if (auto payload = try_take()) {
+      ++stats_.point_to_point;
+      return *std::move(payload);
+    }
+    world_.blocked_[static_cast<std::size_t>(rank_)] = 1;
+    if (has_deadline) {
+      const auto status = world_.mailbox_cv_.wait_until(lock, deadline);
+      world_.blocked_[static_cast<std::size_t>(rank_)] = 0;
+      world_.throw_if_aborted_locked();
+      if (status == std::cv_status::timeout) {
+        if (auto payload = try_take()) {  // a send may have raced the deadline
+          ++stats_.point_to_point;
+          return *std::move(payload);
+        }
+        const std::string diagnosis = world_.describe_stall_locked(
+            "recv timeout: rank " + std::to_string(rank_) + " waiting for message from rank " +
+                std::to_string(source) + " tag " + std::to_string(tag),
+            rank_);
+        world_.abort_locked(diagnosis);
+        throw DeadlockError(diagnosis);
+      }
+    } else {
+      world_.mailbox_cv_.wait(lock);
+      world_.blocked_[static_cast<std::size_t>(rank_)] = 0;
+      world_.throw_if_aborted_locked();
+    }
   }
 }
 

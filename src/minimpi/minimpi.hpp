@@ -12,15 +12,28 @@
 // over PCIe vs <5 µs over InfiniBand that Section VI-B3 measures.  This
 // keeps functional tests fast while making the performance reproduction use
 // exactly the communication volume the real code generates.
+//
+// Failure semantics (see faults.hpp and DESIGN.md §6): a World can carry a
+// deterministic FaultPlan and a collective timeout.  When any rank throws —
+// injected or genuine — the world aborts: every rank blocked in a collective
+// or recv is woken with AbortedError instead of deadlocking, and World::run
+// rethrows the root cause (first by rank order) rather than a secondary
+// AbortedError.  A configured timeout converts a genuine deadlock
+// (mismatched collective calls, lost message) into a DeadlockError that
+// names each rank's collective call count.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
 #include <span>
+#include <string>
 #include <vector>
+
+#include "src/minimpi/faults.hpp"
 
 namespace miniphi::mpi {
 
@@ -38,7 +51,8 @@ class World;
 
 /// One rank's endpoint.  All collective calls must be made by every rank of
 /// the world (standard MPI contract); violations deadlock, as they would in
-/// real MPI.
+/// real MPI — unless a collective timeout is configured, which converts the
+/// deadlock into a diagnosable DeadlockError.
 class Communicator {
  public:
   [[nodiscard]] int rank() const { return rank_; }
@@ -66,6 +80,12 @@ class Communicator {
   void send(int destination, int tag, std::span<const double> payload);
   std::vector<double> recv(int source, int tag);
 
+  /// Fault-injection hook: evaluators announce entry into a likelihood
+  /// kernel region so a FaultPlan can kill this rank from *inside* kernel
+  /// code (exercising unwinding through engine state).  No-op without a
+  /// matching planned fault.
+  void on_kernel_region();
+
   [[nodiscard]] const CommStats& stats() const { return stats_; }
 
  private:
@@ -86,8 +106,25 @@ class World {
   [[nodiscard]] int size() const { return rank_count_; }
 
   /// Spawns one thread per rank, each receiving its Communicator; joins all.
-  /// Exceptions thrown by any rank are rethrown (first by rank order).
+  /// If any rank throws, the world aborts (ranks blocked in collectives are
+  /// woken with AbortedError) and the root cause is rethrown, first by rank
+  /// order; secondary AbortedErrors are only rethrown when no rank holds a
+  /// root-cause error.
   void run(const std::function<void(Communicator&)>& rank_main);
+
+  /// Installs the failures to inject.  Faults are one-shot over the World's
+  /// lifetime: a fault that fired in one run() stays disarmed in later
+  /// runs, so a recovery run models a restarted replacement rank.
+  void set_fault_plan(const FaultPlan& plan);
+
+  /// Maximum time a rank may block inside one collective or recv; zero
+  /// (default) waits forever, as real MPI does.  On expiry the waiting rank
+  /// aborts the world and throws DeadlockError naming every rank's
+  /// collective call count and blocked state.
+  void set_collective_timeout(std::chrono::milliseconds timeout);
+
+  /// True once any rank of the current/last run() failed.
+  [[nodiscard]] bool aborted() const;
 
   /// Aggregate statistics over all ranks from the last run().
   [[nodiscard]] CommStats total_stats() const;
@@ -95,14 +132,35 @@ class World {
  private:
   friend class Communicator;
 
-  /// Generation barrier; returns true for exactly one designated rank
-  /// (the last to arrive is irrelevant — we return rank 0's arrival flag).
-  void barrier_wait();
+  /// Generation-counted barrier over all ranks; wakes with AbortedError if
+  /// the world aborts while waiting, or throws DeadlockError on timeout.
+  void barrier_wait(int rank);
+
+  /// Counts the logical collective op and fires any matching planned kill.
+  void on_collective_entry(int rank);
+  void on_kernel_entry(int rank);
+
+  /// Marks the world aborted on behalf of `rank` and wakes every waiter.
+  void abort_from(int rank, const std::string& what);
+  void abort_locked(const std::string& reason);
+  void throw_if_aborted_locked() const;
+
+  /// Human-readable stall diagnosis ("rank 2: 14 collective calls, blocked
+  /// in collective; ...") built under the world mutex.
+  [[nodiscard]] std::string describe_stall_locked(const std::string& where, int rank) const;
+
+  /// Message-fault filter for send(); true when the message was consumed
+  /// (dropped or withheld for delayed delivery) and must not be mailboxed.
+  bool filter_send_locked(int source, int destination, int tag, std::vector<double>&& payload);
+
+  /// Releases any withheld (delayed) messages for `rank` into its mailbox;
+  /// returns true when something was released.
+  bool release_delayed_locked(int rank);
 
   int rank_count_;
   std::vector<CommStats> last_stats_;
 
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable barrier_cv_;
   int barrier_arrived_ = 0;
   std::uint64_t barrier_generation_ = 0;
@@ -117,6 +175,16 @@ class World {
   };
   std::vector<std::deque<Message>> mailboxes_;
   std::condition_variable mailbox_cv_;
+
+  // Fault-tolerance state (all guarded by mutex_).
+  FaultPlan plan_;
+  std::chrono::milliseconds collective_timeout_{0};
+  bool aborted_ = false;
+  std::string abort_reason_;
+  std::vector<std::int64_t> collective_calls_;
+  std::vector<std::int64_t> kernel_calls_;
+  std::vector<char> blocked_;  ///< rank currently waiting in a collective/recv
+  std::vector<std::deque<Message>> delayed_;  ///< withheld messages per destination
 };
 
 }  // namespace miniphi::mpi

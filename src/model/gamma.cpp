@@ -11,6 +11,15 @@ namespace {
 constexpr int kMaxIterations = 300;
 constexpr double kEpsilon = 1e-15;
 
+/// Thread-safe ln Γ(a).  glibc's lgamma writes the process-global `signgam`,
+/// which is a data race when minimpi rank threads build GtrModels
+/// concurrently; lgamma_r takes the sign out-parameter instead.  All callers
+/// here have a > 0, so the sign is always +1.
+double log_gamma(double a) {
+  int sign = 0;
+  return ::lgamma_r(a, &sign);
+}
+
 /// Series expansion of P(a,x); converges fast for x < a + 1.
 double gamma_p_series(double a, double x) {
   double term = 1.0 / a;
@@ -22,7 +31,7 @@ double gamma_p_series(double a, double x) {
     sum += term;
     if (std::abs(term) < std::abs(sum) * kEpsilon) break;
   }
-  return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+  return sum * std::exp(-x + a * std::log(x) - log_gamma(a));
 }
 
 /// Continued fraction for Q(a,x) = 1 - P(a,x); converges fast for x ≥ a + 1.
@@ -45,7 +54,7 @@ double gamma_q_continued_fraction(double a, double x) {
     h *= delta;
     if (std::abs(delta - 1.0) < kEpsilon) break;
   }
-  return h * std::exp(-x + a * std::log(x) - std::lgamma(a));
+  return h * std::exp(-x + a * std::log(x) - log_gamma(a));
 }
 
 }  // namespace
@@ -102,7 +111,7 @@ double incomplete_gamma_inv(double a, double p) {
     } else {
       u_lo = u;
     }
-    const double dfdu = std::exp(-x + a * std::log(x) - std::lgamma(a));
+    const double dfdu = std::exp(-x + a * std::log(x) - log_gamma(a));
     double next = (dfdu > 0.0 && std::isfinite(dfdu)) ? u - f / dfdu : u_lo - 1.0;
     if (!(next > u_lo) || !(next < u_hi)) next = 0.5 * (u_lo + u_hi);
     const double step = std::abs(next - u);

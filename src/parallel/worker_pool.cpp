@@ -1,5 +1,7 @@
 #include "src/parallel/worker_pool.hpp"
 
+#include <algorithm>
+
 #include "src/util/error.hpp"
 
 namespace miniphi::parallel {
@@ -7,6 +9,7 @@ namespace miniphi::parallel {
 WorkerPool::WorkerPool(int thread_count) : thread_count_(thread_count) {
   MINIPHI_CHECK(thread_count >= 1, "worker pool needs at least one thread");
   partials_.assign(static_cast<std::size_t>(thread_count), 0.0);
+  errors_.assign(static_cast<std::size_t>(thread_count), nullptr);
   // Threads 1..n-1 are spawned; thread 0 is the master itself.
   threads_.reserve(static_cast<std::size_t>(thread_count - 1));
   for (int t = 1; t < thread_count; ++t) {
@@ -34,9 +37,18 @@ void WorkerPool::worker_loop(int thread_id) {
       seen_generation = generation_;
       task = task_;
     }
-    (*task)(thread_id);
+    std::exception_ptr error;
+    try {
+      (*task)(thread_id);
+    } catch (...) {
+      // A throwing task must not unwind the worker thread (that would
+      // terminate the process); it completes the region and the master
+      // rethrows after the join.
+      error = std::current_exception();
+    }
     {
       const std::lock_guard<std::mutex> lock(mutex_);
+      errors_[static_cast<std::size_t>(thread_id)] = error;
       if (--remaining_ == 0) done_cv_.notify_one();
     }
   }
@@ -44,24 +56,32 @@ void WorkerPool::worker_loop(int thread_id) {
 
 void WorkerPool::run(const std::function<void(int)>& fn) {
   if (thread_count_ == 1) {
-    fn(0);
     ++regions_;
+    fn(0);
     return;
   }
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     task_ = &fn;
     remaining_ = thread_count_ - 1;
+    std::fill(errors_.begin(), errors_.end(), nullptr);
     ++generation_;
   }
   start_cv_.notify_all();
-  fn(0);  // master participates as worker 0
+  try {
+    fn(0);  // master participates as worker 0
+  } catch (...) {
+    errors_[0] = std::current_exception();
+  }
   {
     std::unique_lock<std::mutex> lock(mutex_);
     done_cv_.wait(lock, [&] { return remaining_ == 0; });
     task_ = nullptr;
   }
   ++regions_;
+  for (const auto& error : errors_) {
+    if (error) std::rethrow_exception(error);  // first failure in thread-id order
+  }
 }
 
 double WorkerPool::run_reduce_sum(const std::function<double(int)>& fn) {

@@ -12,6 +12,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -33,6 +34,9 @@ class WorkerPool {
 
   /// Fork-join region: runs fn(thread_id) on every worker, returns when all
   /// are done.  Must be called from the thread that built the pool.
+  /// If fn throws on any worker (including the master), the region still
+  /// joins — every worker finishes or unwinds, the pool stays usable — and
+  /// the first exception in thread-id order is rethrown to the master.
   void run(const std::function<void(int)>& fn);
 
   /// Fork-join region with a sum-reduction over the per-thread results.
@@ -57,6 +61,7 @@ class WorkerPool {
   std::int64_t regions_ = 0;
 
   std::vector<double> partials_;
+  std::vector<std::exception_ptr> errors_;  ///< per-thread failure of the current region
 };
 
 }  // namespace miniphi::parallel

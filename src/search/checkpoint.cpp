@@ -1,8 +1,11 @@
 #include "src/search/checkpoint.hpp"
 
+#include <cstdio>
 #include <fstream>
 #include <iomanip>
+#include <iterator>
 #include <sstream>
+#include <string_view>
 
 #include "src/io/newick.hpp"
 #include "src/util/error.hpp"
@@ -11,29 +14,22 @@ namespace miniphi::search {
 namespace {
 
 constexpr const char* kMagic = "miniphi-checkpoint";
-constexpr int kVersion = 1;
+// Version 2 appended the trailing checksum record; version-1 files (no
+// integrity check) are rejected rather than trusted.
+constexpr int kVersion = 2;
 
-}  // namespace
-
-tree::Tree Checkpoint::restore_tree() const {
-  const auto ast = io::parse_newick(tree_newick);
-  return tree::Tree::from_newick(*ast, taxon_names);
+/// FNV-1a 64-bit over the serialized body; cheap, and any truncation or
+/// bit flip in a text checkpoint changes it.
+std::uint64_t fnv1a(std::string_view data) {
+  std::uint64_t hash = 1469598103934665603ull;
+  for (const unsigned char byte : data) {
+    hash ^= byte;
+    hash *= 1099511628211ull;
+  }
+  return hash;
 }
 
-Checkpoint make_checkpoint(const tree::Tree& tree, const std::vector<std::string>& taxon_names,
-                           const model::GtrParams& params, int rounds_completed,
-                           double log_likelihood, std::uint64_t seed) {
-  Checkpoint checkpoint;
-  checkpoint.taxon_names = taxon_names;
-  checkpoint.tree_newick = tree.to_newick(taxon_names);
-  checkpoint.model_params = params;
-  checkpoint.rounds_completed = rounds_completed;
-  checkpoint.log_likelihood = log_likelihood;
-  checkpoint.seed = seed;
-  return checkpoint;
-}
-
-void write_checkpoint(std::ostream& out, const Checkpoint& checkpoint) {
+void write_body(std::ostream& out, const Checkpoint& checkpoint) {
   out << kMagic << ' ' << kVersion << '\n';
   out << std::setprecision(17);
   out << "taxa " << checkpoint.taxon_names.size() << '\n';
@@ -50,29 +46,9 @@ void write_checkpoint(std::ostream& out, const Checkpoint& checkpoint) {
   out << "seed " << checkpoint.seed << '\n';
 }
 
-void write_checkpoint_file(const std::string& path, const Checkpoint& checkpoint) {
-  // Write-then-rename would need platform code; a temp-suffix + rename via
-  // stdio keeps interrupted writes from clobbering the previous checkpoint.
-  const std::string temp = path + ".tmp";
-  {
-    std::ofstream out(temp);
-    MINIPHI_CHECK(out.good(), "cannot open checkpoint file '" + temp + "' for writing");
-    write_checkpoint(out, checkpoint);
-    MINIPHI_CHECK(out.good(), "failed writing checkpoint to '" + temp + "'");
-  }
-  MINIPHI_CHECK(std::rename(temp.c_str(), path.c_str()) == 0,
-                "failed to move checkpoint into place at '" + path + "'");
-}
-
-Checkpoint read_checkpoint(std::istream& in) {
-  Checkpoint checkpoint;
-  std::string magic;
-  int version = 0;
-  in >> magic >> version;
-  MINIPHI_CHECK(magic == kMagic, "not a miniphi checkpoint file");
-  MINIPHI_CHECK(version == kVersion,
-                "unsupported checkpoint version " + std::to_string(version));
-
+/// Parses the records after the magic/version line (which the caller has
+/// already consumed and validated).
+void parse_body(std::istream& in, Checkpoint& checkpoint) {
   std::string keyword;
   std::size_t ntaxa = 0;
   in >> keyword >> ntaxa;
@@ -105,6 +81,90 @@ Checkpoint read_checkpoint(std::istream& in) {
   MINIPHI_CHECK(keyword == "progress" && !in.fail(), "checkpoint: expected progress record");
   in >> keyword >> checkpoint.seed;
   MINIPHI_CHECK(keyword == "seed" && !in.fail(), "checkpoint: expected seed record");
+}
+
+}  // namespace
+
+tree::Tree Checkpoint::restore_tree() const {
+  const auto ast = io::parse_newick(tree_newick);
+  return tree::Tree::from_newick(*ast, taxon_names);
+}
+
+Checkpoint make_checkpoint(const tree::Tree& tree, const std::vector<std::string>& taxon_names,
+                           const model::GtrParams& params, int rounds_completed,
+                           double log_likelihood, std::uint64_t seed) {
+  Checkpoint checkpoint;
+  checkpoint.taxon_names = taxon_names;
+  checkpoint.tree_newick = tree.to_newick(taxon_names);
+  checkpoint.model_params = params;
+  checkpoint.rounds_completed = rounds_completed;
+  checkpoint.log_likelihood = log_likelihood;
+  checkpoint.seed = seed;
+  return checkpoint;
+}
+
+void write_checkpoint(std::ostream& out, const Checkpoint& checkpoint) {
+  std::ostringstream body;
+  write_body(body, checkpoint);
+  const std::string serialized = body.str();
+  out << serialized << "checksum " << fnv1a(serialized) << '\n';
+}
+
+void write_checkpoint_file(const std::string& path, const Checkpoint& checkpoint) {
+  // Crash-safe: the full content (body + checksum) lands in a temp file
+  // first, is flushed and closed, and only then renamed over the previous
+  // checkpoint — a crash mid-write can never clobber the last good state,
+  // and a crash mid-rename leaves either the old or the new file intact.
+  const std::string temp = path + ".tmp";
+  {
+    std::ofstream out(temp);
+    MINIPHI_CHECK(out.good(), "cannot open checkpoint file '" + temp + "' for writing");
+    write_checkpoint(out, checkpoint);
+    out.flush();
+    MINIPHI_CHECK(out.good(), "failed writing checkpoint to '" + temp + "'");
+  }
+  MINIPHI_CHECK(std::rename(temp.c_str(), path.c_str()) == 0,
+                "failed to move checkpoint into place at '" + path + "'");
+}
+
+Checkpoint read_checkpoint(std::istream& in) {
+  const std::string content{std::istreambuf_iterator<char>(in),
+                            std::istreambuf_iterator<char>()};
+  {
+    std::istringstream header(content);
+    std::string magic;
+    int version = 0;
+    header >> magic >> version;
+    MINIPHI_CHECK(magic == kMagic, "not a miniphi checkpoint file");
+    MINIPHI_CHECK(version == kVersion,
+                  "unsupported checkpoint version " + std::to_string(version));
+  }
+
+  // Verify integrity before trusting any record: the last line must be a
+  // checksum over everything that precedes it.
+  const auto pos = content.rfind("\nchecksum ");
+  MINIPHI_CHECK(pos != std::string::npos,
+                "checkpoint: missing checksum record (truncated file?)");
+  const std::string body = content.substr(0, pos + 1);  // keep the trailing newline
+  std::uint64_t stored = 0;
+  {
+    std::istringstream tail(content.substr(pos + 1));
+    std::string keyword;
+    tail >> keyword >> stored;
+    MINIPHI_CHECK(keyword == "checksum" && !tail.fail(),
+                  "checkpoint: malformed checksum record");
+  }
+  MINIPHI_CHECK(fnv1a(body) == stored,
+                "checkpoint: checksum mismatch — file is corrupted or truncated");
+
+  Checkpoint checkpoint;
+  std::istringstream stream(body);
+  {
+    std::string magic;
+    int version = 0;
+    stream >> magic >> version;  // already validated above
+  }
+  parse_body(stream, checkpoint);
   return checkpoint;
 }
 

@@ -6,6 +6,11 @@
 // serializes the complete search state — taxon set, tree with branch
 // lengths, GTR+Γ model, and progress counters — to a versioned, line-based
 // text file, and restores it for seamless continuation.
+//
+// Durability: file writes go to a temp file that is renamed into place
+// (atomic on POSIX — a crash never clobbers the previous checkpoint), and
+// every checkpoint ends with a checksum line so read_checkpoint rejects
+// truncated or corrupted files with a clear Error instead of garbage state.
 #pragma once
 
 #include <cstdint>
@@ -38,7 +43,8 @@ Checkpoint make_checkpoint(const tree::Tree& tree, const std::vector<std::string
 void write_checkpoint(std::ostream& out, const Checkpoint& checkpoint);
 void write_checkpoint_file(const std::string& path, const Checkpoint& checkpoint);
 
-/// Throws miniphi::Error on version mismatch or malformed content.
+/// Throws miniphi::Error on version mismatch, checksum failure (corrupted
+/// or truncated file), or malformed content.
 Checkpoint read_checkpoint(std::istream& in);
 Checkpoint read_checkpoint_file(const std::string& path);
 

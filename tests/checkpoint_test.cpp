@@ -81,6 +81,69 @@ TEST(Checkpoint, RejectsCorruptedInput) {
   }
 }
 
+TEST(Checkpoint, ChecksumDetectsCorruption) {
+  Rng rng(13);
+  tree::Tree tree = simulate::yule_tree(6, rng, 0.4);
+  const auto checkpoint =
+      make_checkpoint(tree, testutil::taxon_names(6), model::GtrParams::jc69(), 3, -42.0, 1);
+  std::ostringstream out;
+  write_checkpoint(out, checkpoint);
+  const std::string good = out.str();
+
+  // Pristine content reads back fine.
+  {
+    std::istringstream in(good);
+    EXPECT_EQ(read_checkpoint(in).rounds_completed, 3);
+  }
+  // A single flipped byte in the body fails the checksum.
+  {
+    std::string corrupted = good;
+    const auto pos = corrupted.find("-42");
+    ASSERT_NE(pos, std::string::npos);
+    corrupted[pos + 1] = '9';
+    std::istringstream in(corrupted);
+    try {
+      read_checkpoint(in);
+      FAIL() << "corrupted checkpoint must be rejected";
+    } catch (const Error& e) {
+      EXPECT_NE(std::string(e.what()).find("checksum"), std::string::npos) << e.what();
+    }
+  }
+  // A file truncated before the checksum line (interrupted write without the
+  // atomic rename) is rejected as truncated, not parsed as a partial state.
+  {
+    const auto checksum_pos = good.rfind("checksum ");
+    ASSERT_NE(checksum_pos, std::string::npos);
+    std::istringstream in(good.substr(0, checksum_pos));
+    try {
+      read_checkpoint(in);
+      FAIL() << "truncated checkpoint must be rejected";
+    } catch (const Error& e) {
+      EXPECT_NE(std::string(e.what()).find("checksum"), std::string::npos) << e.what();
+    }
+  }
+  // A corrupted checksum value itself is also caught.
+  {
+    std::string bad_sum = good;
+    const auto pos = bad_sum.rfind("checksum ");
+    bad_sum[pos + 9] = bad_sum[pos + 9] == '1' ? '2' : '1';
+    std::istringstream in(bad_sum);
+    EXPECT_THROW(read_checkpoint(in), Error);
+  }
+}
+
+TEST(Checkpoint, RejectsVersionOneFiles) {
+  // Version 1 predates the checksum line; refusing it is deliberate — a
+  // clear re-run beats silently trusting an unverifiable file.
+  std::stringstream stream("miniphi-checkpoint 1\ntaxa 2\na\nb\n");
+  try {
+    read_checkpoint(stream);
+    FAIL() << "version-1 checkpoints must be rejected";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("version"), std::string::npos) << e.what();
+  }
+}
+
 TEST(Checkpoint, ResumedSearchMatchesUninterruptedRun) {
   // Reference run: search to convergence, checkpointing after every round.
   const auto alignment = simulate::paper_dataset(800, 31, 12);

@@ -1,0 +1,389 @@
+// Tests for the fault-tolerance layer: deterministic fault injection in
+// minimpi, abort-safe collectives (no deadlock when a rank dies), timeout
+// diagnosis of genuinely mismatched collectives, message drop/delay faults,
+// and checkpoint-based recovery in the ExaML driver.
+//
+// Several of these tests would have hung forever before the abort machinery
+// existed; they run without any collective timeout precisely to prove the
+// wake-up comes from the abort protocol, not from a timer.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/examl/driver.hpp"
+#include "src/io/newick.hpp"
+#include "src/minimpi/faults.hpp"
+#include "src/minimpi/minimpi.hpp"
+#include "src/search/checkpoint.hpp"
+#include "src/simulate/simulate.hpp"
+#include "src/tree/splits.hpp"
+#include "src/util/error.hpp"
+
+namespace miniphi::mpi {
+namespace {
+
+using namespace std::chrono_literals;
+
+bool contains(const std::string& text, const std::string& needle) {
+  return text.find(needle) != std::string::npos;
+}
+
+TEST(FaultPlan, BuilderValidatesAndDescribes) {
+  FaultPlan plan;
+  plan.kill_at_collective(2, 15).drop_message(0, 7);
+  EXPECT_FALSE(plan.empty());
+  EXPECT_EQ(plan.faults().size(), 2u);
+  EXPECT_TRUE(contains(plan.describe(), "rank 2"));
+  EXPECT_TRUE(contains(plan.describe(), "#15"));
+  EXPECT_TRUE(contains(plan.describe(), "tag 7"));
+
+  EXPECT_THROW(FaultPlan().kill_at_collective(-1, 1), Error);
+  EXPECT_THROW(FaultPlan().kill_at_collective(0, 0), Error);
+  EXPECT_THROW(FaultPlan().kill_in_kernel(1, -3), Error);
+}
+
+TEST(FaultPlan, RandomKillIsDeterministicInSeed) {
+  const auto a = FaultPlan::random_kill(99, 8, 1000);
+  const auto b = FaultPlan::random_kill(99, 8, 1000);
+  const auto c = FaultPlan::random_kill(100, 8, 1000);
+  ASSERT_EQ(a.faults().size(), 1u);
+  EXPECT_EQ(a.faults()[0].rank, b.faults()[0].rank);
+  EXPECT_EQ(a.faults()[0].at_call, b.faults()[0].at_call);
+  EXPECT_GE(a.faults()[0].rank, 0);
+  EXPECT_LT(a.faults()[0].rank, 8);
+  EXPECT_GE(a.faults()[0].at_call, 1);
+  EXPECT_LE(a.faults()[0].at_call, 1000);
+  // Different seeds explore different failure points (true for these seeds).
+  EXPECT_TRUE(a.faults()[0].rank != c.faults()[0].rank ||
+              a.faults()[0].at_call != c.faults()[0].at_call);
+}
+
+TEST(AbortSafety, KilledRankWakesPeersBlockedInBarrier) {
+  // Without the abort protocol this deadlocks: ranks 0 and 2 wait in a
+  // barrier that rank 1 never reaches.  No timeout is configured — the
+  // wake-up must come from the abort, not a timer.
+  World world(3);
+  FaultPlan plan;
+  plan.kill_at_collective(1, 1);
+  world.set_fault_plan(plan);
+
+  std::array<std::string, 3> woken{};
+  EXPECT_THROW(world.run([&](Communicator& comm) {
+                 if (comm.rank() == 1) {
+                   comm.barrier();  // killed at entry
+                   ADD_FAILURE() << "rank 1 must not survive its first collective";
+                   return;
+                 }
+                 try {
+                   comm.barrier();
+                 } catch (const AbortedError& e) {
+                   woken[static_cast<std::size_t>(comm.rank())] = e.what();
+                   throw;
+                 }
+                 ADD_FAILURE() << "barrier must not complete without rank 1";
+               }),
+               InjectedFault);
+  EXPECT_TRUE(world.aborted());
+  // Both survivors were woken with the root cause, not left deadlocked.
+  EXPECT_TRUE(contains(woken[0], "rank 1"));
+  EXPECT_TRUE(contains(woken[2], "rank 1"));
+}
+
+TEST(AbortSafety, KilledRankWakesPeersBlockedInAllreduce) {
+  World world(4);
+  FaultPlan plan;
+  plan.kill_at_collective(3, 5);
+  world.set_fault_plan(plan);
+
+  EXPECT_THROW(world.run([&](Communicator& comm) {
+                 double total = 0.0;
+                 for (int i = 0; i < 10; ++i) {
+                   total += comm.allreduce_sum(static_cast<double>(comm.rank() + i));
+                 }
+                 (void)total;
+               }),
+               InjectedFault);
+  EXPECT_TRUE(world.aborted());
+}
+
+TEST(AbortSafety, RecvFromDeadRankAborts) {
+  World world(2);
+  FaultPlan plan;
+  plan.kill_at_collective(1, 1);
+  world.set_fault_plan(plan);
+
+  std::string woken;
+  EXPECT_THROW(world.run([&](Communicator& comm) {
+                 if (comm.rank() == 1) {
+                   comm.barrier();  // dies before ever sending
+                   return;
+                 }
+                 try {
+                   (void)comm.recv(1, /*tag=*/42);
+                 } catch (const AbortedError& e) {
+                   woken = e.what();
+                   throw;
+                 }
+                 ADD_FAILURE() << "recv from a dead rank must not complete";
+               }),
+               InjectedFault);
+  EXPECT_TRUE(contains(woken, "rank 1"));
+}
+
+TEST(AbortSafety, KernelRegionFaultUnwindsAndWakesPeers) {
+  World world(3);
+  FaultPlan plan;
+  plan.kill_in_kernel(1, 2);
+  world.set_fault_plan(plan);
+
+  std::array<int, 3> regions_entered{};
+  try {
+    world.run([&](Communicator& comm) {
+      for (int i = 0; i < 4; ++i) {
+        comm.on_kernel_region();
+        ++regions_entered[static_cast<std::size_t>(comm.rank())];
+        (void)comm.allreduce_sum(1.0);
+      }
+    });
+    FAIL() << "expected InjectedFault";
+  } catch (const InjectedFault& e) {
+    EXPECT_TRUE(contains(e.what(), "kernel region #2"));
+  }
+  EXPECT_EQ(regions_entered[1], 1);  // killed entering the second region
+}
+
+TEST(AbortSafety, MultipleThrowingRanksRethrowFirstByRankOrder) {
+  World world(4);
+  try {
+    world.run([](Communicator& comm) {
+      if (comm.rank() == 1) throw Error("boom from rank 1");
+      if (comm.rank() == 3) throw Error("boom from rank 3");
+    });
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_STREQ(e.what(), "boom from rank 1");
+  }
+}
+
+TEST(AbortSafety, RootCausePreferredOverSecondaryAbort) {
+  // Rank 0 is woken from its barrier with an AbortedError (a secondary
+  // casualty); run() must still rethrow rank 2's root-cause error.
+  World world(3);
+  try {
+    world.run([](Communicator& comm) {
+      if (comm.rank() == 2) throw Error("root cause in rank 2");
+      comm.barrier();  // never completes; woken by the abort
+    });
+    FAIL() << "expected Error";
+  } catch (const AbortedError&) {
+    FAIL() << "secondary AbortedError must not mask the root cause";
+  } catch (const Error& e) {
+    EXPECT_STREQ(e.what(), "root cause in rank 2");
+  }
+}
+
+TEST(AbortSafety, FaultsFireOnlyOncePerWorld) {
+  // One-shot semantics: the recovery run over the same World models a
+  // restarted replacement rank, so the same fault must not re-trigger.
+  World world(2);
+  FaultPlan plan;
+  plan.kill_at_collective(0, 1);
+  world.set_fault_plan(plan);
+
+  EXPECT_THROW(world.run([](Communicator& comm) { comm.barrier(); }), InjectedFault);
+
+  std::array<double, 2> sums{};
+  world.run([&](Communicator& comm) {
+    comm.barrier();
+    sums[static_cast<std::size_t>(comm.rank())] = comm.allreduce_sum(1.0);
+  });
+  EXPECT_DOUBLE_EQ(sums[0], 2.0);
+  EXPECT_DOUBLE_EQ(sums[1], 2.0);
+  EXPECT_FALSE(world.aborted());
+}
+
+TEST(Timeout, MismatchedCollectivesDiagnosedNotDeadlocked) {
+  // Rank 2 never calls the barrier — with real MPI this hangs forever; with
+  // a collective timeout it becomes a DeadlockError naming the stuck ranks
+  // and their collective call counts.
+  World world(3);
+  world.set_collective_timeout(250ms);
+  try {
+    world.run([](Communicator& comm) {
+      if (comm.rank() != 2) comm.barrier();
+    });
+    FAIL() << "expected DeadlockError";
+  } catch (const DeadlockError& e) {
+    const std::string what = e.what();
+    EXPECT_TRUE(contains(what, "collective timeout")) << what;
+    EXPECT_TRUE(contains(what, "rank 2: 0 collective calls")) << what;
+    EXPECT_TRUE(contains(what, "rank 0: 1 collective calls")) << what;
+  }
+}
+
+TEST(Timeout, DroppedMessageDiagnosedOnRecv) {
+  World world(2);
+  world.set_collective_timeout(250ms);
+  FaultPlan plan;
+  plan.drop_message(/*sender=*/0, /*tag=*/7);
+  world.set_fault_plan(plan);
+
+  try {
+    world.run([](Communicator& comm) {
+      if (comm.rank() == 0) {
+        const double payload[] = {1.0, 2.0};
+        comm.send(1, 7, payload);  // lost on the wire
+      } else {
+        (void)comm.recv(0, 7);
+        ADD_FAILURE() << "dropped message must not arrive";
+      }
+    });
+    FAIL() << "expected DeadlockError";
+  } catch (const DeadlockError& e) {
+    EXPECT_TRUE(contains(e.what(), "recv timeout")) << e.what();
+    EXPECT_TRUE(contains(e.what(), "tag 7")) << e.what();
+  }
+}
+
+TEST(MessageFaults, DelayedMessageArrivesLateButIntact) {
+  World world(2);
+  FaultPlan plan;
+  plan.delay_message(/*sender=*/0, /*tag=*/1);
+  world.set_fault_plan(plan);
+
+  std::vector<double> delayed_payload;
+  std::vector<double> prompt_payload;
+  world.run([&](Communicator& comm) {
+    if (comm.rank() == 0) {
+      const double a[] = {1.5, 2.5};
+      const double b[] = {9.0};
+      comm.send(1, /*tag=*/1, a);  // withheld by the plan
+      comm.send(1, /*tag=*/2, b);  // delivered normally
+    } else {
+      prompt_payload = comm.recv(0, 2);   // arrives although sent second
+      delayed_payload = comm.recv(0, 1);  // released once the receiver waits
+    }
+  });
+  ASSERT_EQ(prompt_payload.size(), 1u);
+  EXPECT_DOUBLE_EQ(prompt_payload[0], 9.0);
+  ASSERT_EQ(delayed_payload.size(), 2u);
+  EXPECT_DOUBLE_EQ(delayed_payload[0], 1.5);
+  EXPECT_DOUBLE_EQ(delayed_payload[1], 2.5);
+}
+
+}  // namespace
+}  // namespace miniphi::mpi
+
+namespace miniphi::examl {
+namespace {
+
+using namespace std::chrono_literals;
+
+bool contains(const std::string& text, const std::string& needle) {
+  return text.find(needle) != std::string::npos;
+}
+
+tree::Tree tree_from_newick(const std::string& newick, const std::vector<std::string>& names) {
+  return tree::Tree::from_newick(*io::parse_newick(newick), names);
+}
+
+/// Per-rank collective count of a fault-free run (replicas make identical
+/// call sequences, so the aggregate divides evenly).
+std::int64_t per_rank_collectives(const DistributedRunResult& result, int ranks) {
+  return (result.comm_stats.allreduces + result.comm_stats.broadcasts +
+          result.comm_stats.barriers) /
+         ranks;
+}
+
+TEST(Recovery, FaultInjectedSearchMatchesFaultFreeRun) {
+  const auto alignment = simulate::paper_dataset(400, 21, 10);
+  const int ranks = 3;
+  ExperimentOptions options;
+  options.search.max_rounds = 3;
+  options.search.model_options.max_passes = 1;
+
+  const auto reference = run_distributed_search(alignment, ranks, options);
+  ASSERT_EQ(reference.recoveries, 0);
+  ASSERT_TRUE(reference.replicas_consistent);
+
+  // Kill rank 1 three quarters of the way through its collective sequence —
+  // well after the first round's checkpoint.
+  ExperimentOptions faulty = options;
+  faulty.fault_tolerance.faults.kill_at_collective(
+      1, (3 * per_rank_collectives(reference, ranks)) / 4);
+  faulty.fault_tolerance.checkpoint_every_rounds = 1;
+  const auto recovered = run_distributed_search(alignment, ranks, faulty);
+
+  EXPECT_GE(recovered.recoveries, 1);
+  EXPECT_TRUE(contains(recovered.last_failure, "injected fault")) << recovered.last_failure;
+  EXPECT_TRUE(recovered.replicas_consistent);
+
+  // The acceptance property: identical final topology and log-likelihood.
+  const auto names = alignment.taxon_names();
+  tree::Tree tree_ref = tree_from_newick(reference.final_tree_newick, names);
+  tree::Tree tree_rec = tree_from_newick(recovered.final_tree_newick, names);
+  EXPECT_EQ(tree::robinson_foulds(tree_ref, tree_rec), 0);
+  EXPECT_NEAR(recovered.log_likelihood, reference.log_likelihood,
+              std::abs(reference.log_likelihood) * 1e-8 + 1e-4);
+}
+
+TEST(Recovery, KernelRegionFaultRecoversThroughDurableCheckpoint) {
+  const auto alignment = simulate::paper_dataset(300, 22, 10);
+  const int ranks = 2;
+  ExperimentOptions options;
+  options.search.max_rounds = 3;
+  options.search.optimize_model = false;
+
+  const auto reference = run_distributed_search(alignment, ranks, options);
+  ASSERT_EQ(reference.recoveries, 0);
+
+  // Every kernel region issues exactly one Allreduce, so the per-rank
+  // Allreduce count locates a kernel call ~75% into the run.
+  const std::int64_t kernel_call = (3 * (reference.comm_stats.allreduces / ranks)) / 4;
+
+  const std::string path = "/tmp/miniphi_faults_recovery.ckp";
+  std::remove(path.c_str());
+
+  ExperimentOptions faulty = options;
+  faulty.fault_tolerance.faults.kill_in_kernel(1, kernel_call);
+  faulty.fault_tolerance.checkpoint_every_rounds = 1;
+  faulty.fault_tolerance.checkpoint_path = path;
+  faulty.fault_tolerance.collective_timeout = 10s;  // belt and braces: never hang the suite
+  const auto recovered = run_distributed_search(alignment, ranks, faulty);
+
+  EXPECT_GE(recovered.recoveries, 1);
+  EXPECT_TRUE(contains(recovered.last_failure, "kernel region")) << recovered.last_failure;
+
+  const auto names = alignment.taxon_names();
+  tree::Tree tree_ref = tree_from_newick(reference.final_tree_newick, names);
+  tree::Tree tree_rec = tree_from_newick(recovered.final_tree_newick, names);
+  EXPECT_EQ(tree::robinson_foulds(tree_ref, tree_rec), 0);
+  EXPECT_NEAR(recovered.log_likelihood, reference.log_likelihood,
+              std::abs(reference.log_likelihood) * 1e-8 + 1e-4);
+
+  // The durable checkpoint survived and is readable (checksum intact).
+  const auto checkpoint = search::read_checkpoint_file(path);
+  EXPECT_GE(checkpoint.rounds_completed, 1);
+  EXPECT_EQ(checkpoint.taxon_names, names);
+  std::remove(path.c_str());
+}
+
+TEST(Recovery, GivesUpAfterMaxRecoveries) {
+  const auto alignment = simulate::paper_dataset(200, 23, 8);
+  ExperimentOptions options;
+  options.search.max_rounds = 1;
+  options.search.optimize_model = false;
+  // Three separate kills with max_recoveries = 1: the second fault fires in
+  // the recovery run and must be rethrown, not silently retried forever.
+  options.fault_tolerance.faults.kill_at_collective(0, 3).kill_at_collective(1, 5);
+  options.fault_tolerance.max_recoveries = 1;
+  EXPECT_THROW(run_distributed_search(alignment, 2, options), mpi::InjectedFault);
+}
+
+}  // namespace
+}  // namespace miniphi::examl

@@ -48,6 +48,56 @@ TEST(WorkerPool, SingleThreadPoolWorks) {
 
 TEST(WorkerPool, RejectsZeroThreads) { EXPECT_THROW(WorkerPool(0), miniphi::Error); }
 
+TEST(WorkerPool, WorkerExceptionPropagatesToMaster) {
+  WorkerPool pool(4);
+  try {
+    pool.run([](int thread_id) {
+      if (thread_id == 2) throw miniphi::Error("worker 2 failed");
+    });
+    FAIL() << "expected the worker's exception from run()";
+  } catch (const miniphi::Error& e) {
+    EXPECT_STREQ(e.what(), "worker 2 failed");
+  }
+  // The region still joined: the pool is fully usable afterwards.
+  std::atomic<int> counter{0};
+  pool.run([&](int) { counter++; });
+  EXPECT_EQ(counter.load(), 4);
+  EXPECT_EQ(pool.region_count(), 2);
+}
+
+TEST(WorkerPool, MasterExceptionPropagates) {
+  WorkerPool pool(3);
+  EXPECT_THROW(pool.run([](int thread_id) {
+                 if (thread_id == 0) throw miniphi::Error("master failed");
+               }),
+               miniphi::Error);
+  EXPECT_EQ(pool.region_count(), 1);
+}
+
+TEST(WorkerPool, LowestThreadIdExceptionWinsWhenSeveralThrow) {
+  WorkerPool pool(4);
+  try {
+    pool.run([](int thread_id) {
+      if (thread_id == 1 || thread_id == 3) {
+        throw miniphi::Error("thread " + std::to_string(thread_id) + " failed");
+      }
+    });
+    FAIL() << "expected an exception";
+  } catch (const miniphi::Error& e) {
+    EXPECT_STREQ(e.what(), "thread 1 failed");
+  }
+}
+
+TEST(WorkerPool, ReduceSumPropagatesWorkerException) {
+  WorkerPool pool(2);
+  EXPECT_THROW((void)pool.run_reduce_sum([](int thread_id) -> double {
+                 if (thread_id == 1) throw miniphi::Error("reduce failed");
+                 return 1.0;
+               }),
+               miniphi::Error);
+  EXPECT_DOUBLE_EQ(pool.run_reduce_sum([](int) { return 1.0; }), 2.0);
+}
+
 class ForkJoinFixture : public ::testing::Test {
  protected:
   void SetUp() override {
