@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #if defined(_OPENMP)
 #include <omp.h>
@@ -10,6 +11,23 @@
 #include "src/util/error.hpp"
 
 namespace miniphi::core {
+namespace {
+
+/// 64-bit finalizer (splitmix64) for repeat-class pair keys.
+inline std::uint64_t mix64(std::uint64_t key) {
+  key += 0x9e3779b97f4a7c15ULL;
+  key = (key ^ (key >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  key = (key ^ (key >> 27)) * 0x94d049bb133111ebULL;
+  return key ^ (key >> 31);
+}
+
+inline std::size_t next_pow2(std::size_t value) {
+  std::size_t result = 1;
+  while (result < value) result <<= 1;
+  return result;
+}
+
+}  // namespace
 
 const char* kernel_name(Kernel k) {
   switch (k) {
@@ -56,6 +74,15 @@ LikelihoodEngine::LikelihoodEngine(const bio::PatternSet& patterns,
   }
   pins_.assign(static_cast<std::size_t>(inner_count), 0);
 
+  site_repeats_ = config.site_repeats;
+  if (site_repeats_) {
+    MINIPHI_CHECK(length_ <= std::numeric_limits<std::uint32_t>::max(),
+                  "engine: site_repeats needs 32-bit class ids; slice too wide");
+    repeats_.resize(static_cast<std::size_t>(inner_count));
+    repeat_table_.resize(
+        std::max<std::size_t>(16, next_pow2(2 * static_cast<std::size_t>(length_))));
+  }
+
   ptable_left_.resize(kPtableSize);
   ptable_right_.resize(kPtableSize);
   ump_left_.resize(kUmpSize);
@@ -72,7 +99,10 @@ void LikelihoodEngine::set_model(const model::GtrModel& model) {
   model_ = model;
   tipvec16_ = build_tipvec16(model_);
   wtable_ = build_wtable(model_);
-  invalidate_all();
+  // Model changes invalidate CLA *values* only: repeat classes are a pure
+  // function of topology and tip states, so α/GTR optimization reuses them.
+  for (auto& node : clas_) node.valid = false;
+  sum_prepared_ = false;
 }
 
 void LikelihoodEngine::set_alpha(double alpha) {
@@ -83,13 +113,27 @@ void LikelihoodEngine::set_alpha(double alpha) {
 
 void LikelihoodEngine::invalidate_node(int node_id) {
   if (node_id < tree_.taxon_count()) return;  // tips have no CLA
-  auto& node = clas_[static_cast<std::size_t>(node_id - tree_.taxon_count())];
-  node.valid = false;
+  const auto inner = static_cast<std::size_t>(node_id - tree_.taxon_count());
+  clas_[inner].valid = false;
+  // Callers announce topology changes through this entry point, so the
+  // node's subtree composition may have changed: drop its repeat classes.
+  // Ancestors rebuild automatically — their next newview sees this node's
+  // bumped version stamp, exactly like the CLA partial-traversal recompute.
+  if (site_repeats_) repeats_[inner].orientation = -1;
   sum_prepared_ = false;
 }
 
+void LikelihoodEngine::invalidate_values(int node_id) {
+  if (node_id < tree_.taxon_count()) return;
+  clas_[static_cast<std::size_t>(node_id - tree_.taxon_count())].valid = false;
+  sum_prepared_ = false;
+}
+
+void LikelihoodEngine::invalidate_branch(int node_id) { invalidate_values(node_id); }
+
 void LikelihoodEngine::invalidate_all() {
   for (auto& node : clas_) node.valid = false;
+  for (auto& rep : repeats_) rep.orientation = -1;
   sum_prepared_ = false;
 }
 
@@ -217,6 +261,117 @@ ChildInput LikelihoodEngine::make_child_input(tree::Slot* child, std::span<doubl
   return input;
 }
 
+std::uint64_t LikelihoodEngine::repeat_signature(const tree::Slot* child) const {
+  if (child->is_tip()) {
+    // Tip data never changes: a constant per-taxon tag (high bit keeps tip
+    // tags disjoint from the monotonically increasing inner versions).
+    return 0x8000000000000000ULL | static_cast<std::uint64_t>(child->node_id);
+  }
+  const auto& rep = repeats_[static_cast<std::size_t>(child->node_id - tree_.taxon_count())];
+  MINIPHI_ASSERT(rep.orientation == child->slot_index);
+  return rep.version;
+}
+
+std::int64_t LikelihoodEngine::ensure_repeat_classes(tree::Slot* slot) {
+  NodeRepeats& rep = repeats_[static_cast<std::size_t>(slot->node_id - tree_.taxon_count())];
+  tree::Slot* left = slot->child1();
+  tree::Slot* right = slot->child2();
+  const std::uint64_t lsig = repeat_signature(left);
+  const std::uint64_t rsig = repeat_signature(right);
+  if (rep.orientation == slot->slot_index && rep.left_seen == lsig && rep.right_seen == rsig) {
+    return rep.unique;  // branch-length and model changes land here: full reuse
+  }
+
+  // A site's class is the deduplicated pair (left class, right class), with
+  // tip codes standing in for tip children — the LvD subtree-pattern
+  // identity.  Children's maps are current: newview runs bottom-up, and a
+  // valid child CLA implies a current child map (invalidate_values keeps
+  // maps, invalidate_node drops CLA and map together).
+  const bio::DnaCode* left_codes = nullptr;
+  const std::uint32_t* left_map = nullptr;
+  if (left->is_tip()) {
+    left_codes = patterns_.tip_rows[static_cast<std::size_t>(left->node_id)].data() + offset_;
+  } else {
+    left_map = repeats_[static_cast<std::size_t>(left->node_id - tree_.taxon_count())]
+                   .class_of_site.data();
+  }
+  const bio::DnaCode* right_codes = nullptr;
+  const std::uint32_t* right_map = nullptr;
+  if (right->is_tip()) {
+    right_codes = patterns_.tip_rows[static_cast<std::size_t>(right->node_id)].data() + offset_;
+  } else {
+    right_map = repeats_[static_cast<std::size_t>(right->node_id - tree_.taxon_count())]
+                    .class_of_site.data();
+  }
+
+  // Open-addressing dedup with epoch stamps: one epoch per build, so the
+  // table is never cleared on the hot path.  On the (astronomically rare)
+  // 32-bit epoch wraparound, sweep the stamps once.
+  if (++repeat_epoch_ == 0) {
+    for (auto& entry : repeat_table_) entry.epoch = 0;
+    repeat_epoch_ = 1;
+  }
+  rep.class_of_site.resize(static_cast<std::size_t>(length_));
+  rep.left_index.clear();
+  rep.right_index.clear();
+  const std::size_t mask = repeat_table_.size() - 1;
+  std::uint32_t unique = 0;
+  for (std::int64_t s = 0; s < length_; ++s) {
+    const std::uint32_t lc = (left_codes != nullptr) ? static_cast<std::uint32_t>(left_codes[s])
+                                                     : left_map[s];
+    const std::uint32_t rc = (right_codes != nullptr)
+                                 ? static_cast<std::uint32_t>(right_codes[s])
+                                 : right_map[s];
+    const std::uint64_t key = (static_cast<std::uint64_t>(lc) << 32) | rc;
+    std::size_t probe = static_cast<std::size_t>(mix64(key)) & mask;
+    for (;;) {
+      RepeatHashEntry& entry = repeat_table_[probe];
+      if (entry.epoch != repeat_epoch_) {
+        entry.key = key;
+        entry.cls = unique;
+        entry.epoch = repeat_epoch_;
+        rep.left_index.push_back(lc);
+        rep.right_index.push_back(rc);
+        rep.class_of_site[static_cast<std::size_t>(s)] = unique;
+        ++unique;  // class ids in first-appearance order: deterministic
+        break;
+      }
+      if (entry.key == key) {
+        rep.class_of_site[static_cast<std::size_t>(s)] = entry.cls;
+        break;
+      }
+      probe = (probe + 1) & mask;
+    }
+  }
+  rep.unique = unique;
+  rep.orientation = slot->slot_index;
+  rep.left_seen = lsig;
+  rep.right_seen = rsig;
+  rep.version = ++repeat_version_counter_;  // parents must rebuild against us
+  return rep.unique;
+}
+
+std::int64_t LikelihoodEngine::node_unique_classes(int node_id) const {
+  if (!site_repeats_) return length_;
+  if (node_id < tree_.taxon_count()) return 0;
+  const auto& rep = repeats_[static_cast<std::size_t>(node_id - tree_.taxon_count())];
+  return (rep.orientation >= 0) ? rep.unique : 0;
+}
+
+double LikelihoodEngine::unique_site_ratio() const {
+  if (!site_repeats_) return 1.0;
+  std::int64_t total = 0;
+  std::int64_t built = 0;
+  for (const auto& rep : repeats_) {
+    if (rep.orientation < 0) continue;
+    total += rep.unique;
+    ++built;
+  }
+  if (built == 0) return 1.0;
+  return static_cast<double>(total) /
+         (static_cast<double>(built) * static_cast<double>(length_));
+}
+
 void LikelihoodEngine::run_newview(tree::Slot* slot) {
   MINIPHI_ASSERT(!slot->is_tip());
   MINIPHI_ASSERT(slot->child1()->is_tip() || slot_valid(slot->child1()));
@@ -231,10 +386,21 @@ void LikelihoodEngine::run_newview(tree::Slot* slot) {
   ctx.right =
       make_child_input(slot->child2(), ptable_right_, ump_right_, slot->next->next->length);
   ctx.wtable = wtable_.data();
+  // On the repeat path newview iterates parent *classes*, not sites: the
+  // children are fetched through the per-class gather maps and the parent
+  // CLA holds one block per unique class.
+  std::int64_t work = length_;
+  if (site_repeats_) {
+    work = ensure_repeat_classes(slot);
+    NodeRepeats& rep = repeats_[static_cast<std::size_t>(slot->node_id - tree_.taxon_count())];
+    ctx.left.gather = rep.left_index.data();
+    ctx.right.gather = rep.right_index.data();
+  }
   ctx.begin = 0;
-  ctx.end = length_;
+  ctx.end = work;
   ctx.tuning = tuning_;
 
+  void (*newview_fn)(NewviewCtx&) = site_repeats_ ? ops_.newview_repeats : ops_.newview;
   auto& stat = stats_[static_cast<std::size_t>(static_cast<int>(Kernel::kNewview))];
   Timer timer;
   if (use_openmp_) {
@@ -243,23 +409,23 @@ void LikelihoodEngine::run_newview(tree::Slot* slot) {
     {
       const int nthreads = omp_get_num_threads();
       const int thread = omp_get_thread_num();
-      const std::int64_t chunk = (length_ + nthreads - 1) / nthreads;
-      ctx.begin = std::min<std::int64_t>(length_, chunk * thread);
-      ctx.end = std::min<std::int64_t>(length_, ctx.begin + chunk);
-      if (ctx.begin < ctx.end) ops_.newview(ctx);
+      const std::int64_t chunk = (work + nthreads - 1) / nthreads;
+      ctx.begin = std::min<std::int64_t>(work, chunk * thread);
+      ctx.end = std::min<std::int64_t>(work, ctx.begin + chunk);
+      if (ctx.begin < ctx.end) newview_fn(ctx);
     }
 #else
-    ops_.newview(ctx);
+    newview_fn(ctx);
 #endif
   } else {
-    ops_.newview(ctx);
+    newview_fn(ctx);
   }
   stat.seconds += timer.seconds();
   ++stat.calls;
-  stat.sites += length_;
+  stat.sites += work;  // cost-model honesty: only the classes actually computed
   if (trace_ != nullptr) {
     trace_->record(TraceKernel::kNewview, slot->child1()->is_tip(), slot->child2()->is_tip(),
-                   length_);
+                   work, length_);
   }
 
   parent.orientation = slot->slot_index;
@@ -296,6 +462,22 @@ double LikelihoodEngine::run_evaluate(tree::Slot* edge) {
   ctx.weights = patterns_.weights.data() + offset_;
   ctx.begin = 0;
   ctx.end = length_;
+  // Repeat path: the endpoint CLAs are class-compressed, so the per-site
+  // loop fetches each block through the node's site → class map.
+  if (site_repeats_) {
+    const NodeRepeats& prep =
+        repeats_[static_cast<std::size_t>(p->node_id - tree_.taxon_count())];
+    MINIPHI_ASSERT(prep.orientation == p->slot_index);
+    ctx.left_gather = prep.class_of_site.data();
+    if (!q->is_tip()) {
+      const NodeRepeats& qrep =
+          repeats_[static_cast<std::size_t>(q->node_id - tree_.taxon_count())];
+      MINIPHI_ASSERT(qrep.orientation == q->slot_index);
+      ctx.right_gather = qrep.class_of_site.data();
+    }
+  }
+  double (*evaluate_fn)(const EvaluateCtx&) =
+      site_repeats_ ? ops_.evaluate_gather : ops_.evaluate;
 
   auto& stat = stats_[static_cast<std::size_t>(static_cast<int>(Kernel::kEvaluate))];
   Timer timer;
@@ -309,13 +491,13 @@ double LikelihoodEngine::run_evaluate(tree::Slot* edge) {
       const std::int64_t chunk = (length_ + nthreads - 1) / nthreads;
       ctx.begin = std::min<std::int64_t>(length_, chunk * thread);
       ctx.end = std::min<std::int64_t>(length_, ctx.begin + chunk);
-      if (ctx.begin < ctx.end) result += ops_.evaluate(ctx);
+      if (ctx.begin < ctx.end) result += evaluate_fn(ctx);
     }
 #else
-    result = ops_.evaluate(ctx);
+    result = evaluate_fn(ctx);
 #endif
   } else {
-    result = ops_.evaluate(ctx);
+    result = evaluate_fn(ctx);
   }
   stat.seconds += timer.seconds();
   ++stat.calls;
@@ -358,6 +540,21 @@ void LikelihoodEngine::prepare_derivatives(tree::Slot* edge) {
   ctx.begin = 0;
   ctx.end = length_;
   ctx.tuning = tuning_;
+  // Repeat path: gather the class-compressed CLA blocks per site.  The sum
+  // buffer itself stays site-indexed so derivativeCore is unchanged.
+  if (site_repeats_) {
+    const NodeRepeats& prep =
+        repeats_[static_cast<std::size_t>(p->node_id - tree_.taxon_count())];
+    MINIPHI_ASSERT(prep.orientation == p->slot_index);
+    ctx.left_gather = prep.class_of_site.data();
+    if (!q->is_tip()) {
+      const NodeRepeats& qrep =
+          repeats_[static_cast<std::size_t>(q->node_id - tree_.taxon_count())];
+      MINIPHI_ASSERT(qrep.orientation == q->slot_index);
+      ctx.right_gather = qrep.class_of_site.data();
+    }
+  }
+  void (*sum_fn)(SumCtx&) = site_repeats_ ? ops_.derivative_sum_gather : ops_.derivative_sum;
 
   auto& stat = stats_[static_cast<std::size_t>(static_cast<int>(Kernel::kDerivSum))];
   Timer timer;
@@ -370,13 +567,13 @@ void LikelihoodEngine::prepare_derivatives(tree::Slot* edge) {
       const std::int64_t chunk = (length_ + nthreads - 1) / nthreads;
       ctx.begin = std::min<std::int64_t>(length_, chunk * thread);
       ctx.end = std::min<std::int64_t>(length_, ctx.begin + chunk);
-      if (ctx.begin < ctx.end) ops_.derivative_sum(ctx);
+      if (ctx.begin < ctx.end) sum_fn(ctx);
     }
 #else
-    ops_.derivative_sum(ctx);
+    sum_fn(ctx);
 #endif
   } else {
-    ops_.derivative_sum(ctx);
+    sum_fn(ctx);
   }
   stat.seconds += timer.seconds();
   ++stat.calls;
@@ -462,8 +659,9 @@ double LikelihoodEngine::optimize_branch(tree::Slot* edge, int max_iterations) {
     if (converged) break;
   }
   tree::Tree::set_length(edge, z);
-  invalidate_node(edge->node_id);
-  invalidate_node(edge->back->node_id);
+  // Branch-length-only change: CLA values are stale, repeat classes are not.
+  invalidate_branch(edge->node_id);
+  invalidate_branch(edge->back->node_id);
   return z;
 }
 

@@ -66,6 +66,17 @@ class LikelihoodEngine final : public Evaluator {
     /// Izquierdo-Carrasco et al. that the paper lists as unsupported
     /// (Section V-A).  A traversal that cannot fit its working set throws.
     int cla_buffers = -1;
+    /// Site-repeats mode (LvD algorithm of Bryant/Scornavacca/Swofford;
+    /// BEAGLE 4.1's parallel back-ends do the same): each inner node keeps a
+    /// site → repeat-class map — two sites share a class iff they induce the
+    /// same tip-state pattern in the node's subtree — and newview computes
+    /// one CLA block per *unique class* instead of per site.  evaluate and
+    /// derivativeSum gather per-site values through the class maps.  Class
+    /// maps depend only on the topology and tip data, never on branch
+    /// lengths or the model, so branch-length optimization reuses them;
+    /// topology changes rebuild them through the same partial-traversal
+    /// machinery that recomputes CLAs.
+    bool site_repeats = false;
   };
 
   /// The engine keeps references to patterns and tree; both must outlive it.
@@ -92,6 +103,9 @@ class LikelihoodEngine final : public Evaluator {
   /// Marks one inner node's CLA stale.  Call for every node whose incident
   /// branches or subtree composition changed.
   void invalidate_node(int node_id) override;
+  /// Branch-length-only invalidation: drops the CLA values but keeps the
+  /// node's site-repeat classes (they depend only on topology + tip data).
+  void invalidate_branch(int node_id) override;
   void invalidate_all();
 
   /// Log-likelihood of this engine's slice with the virtual root on the
@@ -130,6 +144,17 @@ class LikelihoodEngine final : public Evaluator {
   /// Number of CLA buffers this engine allocated (== inner node count
   /// unless a smaller Config::cla_buffers budget is in force).
   [[nodiscard]] int cla_buffer_count() const { return static_cast<int>(cla_pool_.size()); }
+
+  /// Whether the site-repeats path is active.
+  [[nodiscard]] bool site_repeats() const { return site_repeats_; }
+
+  /// Unique repeat classes of one inner node's current CLA (slice size on
+  /// the dense path; 0 when the node's repeat map has not been built yet).
+  [[nodiscard]] std::int64_t node_unique_classes(int node_id) const;
+
+  /// Mean unique-class fraction over all inner nodes with built repeat maps
+  /// (1.0 on the dense path) — the tentpole's headline instrumentation.
+  [[nodiscard]] double unique_site_ratio() const;
 
  private:
   struct NodeCla {
@@ -175,6 +200,46 @@ class LikelihoodEngine final : public Evaluator {
 
   double run_evaluate(tree::Slot* edge);
 
+  // --- Site-repeats machinery -------------------------------------------
+  //
+  // Per inner node: a site → class map (two sites share a class iff their
+  // tip-state pattern inside the node's subtree is identical, the LvD
+  // subtree-pattern identity), the per-class child indices the repeat
+  // kernel consumes, and a version stamp.  A node's classes are the
+  // deduplicated pairs of its children's classes (tip codes for tips), so
+  // maps are built bottom-up exactly where newview runs.  They depend only
+  // on topology + tip data: invalidate_values() (branch lengths, model)
+  // keeps them, invalidate_node() (possible topology change) drops them,
+  // and parents notice rebuilt children through the version stamps.
+  struct NodeRepeats {
+    std::vector<std::uint32_t> class_of_site;  ///< [length_] site → class
+    std::vector<std::uint32_t> left_index;     ///< [unique] class → left block/code
+    std::vector<std::uint32_t> right_index;    ///< [unique] class → right block/code
+    std::int64_t unique = 0;
+    int orientation = -1;  ///< slot_index the classes point toward, -1 = invalid
+    std::uint64_t version = 0;     ///< identity of this build (for parents)
+    std::uint64_t left_seen = 0;   ///< child signatures at build time
+    std::uint64_t right_seen = 0;
+  };
+
+  struct RepeatHashEntry {
+    std::uint64_t key = 0;
+    std::uint32_t cls = 0;
+    std::uint32_t epoch = 0;
+  };
+
+  /// Signature identifying a child's current class structure: stable for
+  /// tips, the map's build version for inner nodes.
+  [[nodiscard]] std::uint64_t repeat_signature(const tree::Slot* child) const;
+
+  /// (Re)builds the repeat classes for `slot` if its children's class
+  /// structure changed since the last build; returns the unique count.
+  std::int64_t ensure_repeat_classes(tree::Slot* slot);
+
+  /// Marks one node's CLA values stale but keeps its repeat classes (used
+  /// for branch-length changes, which cannot alter subtree tip patterns).
+  void invalidate_values(int node_id);
+
   const bio::PatternSet& patterns_;
   model::GtrModel model_;
   tree::Tree& tree_;
@@ -185,6 +250,13 @@ class LikelihoodEngine final : public Evaluator {
   std::int64_t length_ = 0;
 
   std::vector<NodeCla> clas_;  ///< indexed by inner index (node_id - ntaxa)
+
+  // Site-repeats state (empty unless Config::site_repeats).
+  bool site_repeats_ = false;
+  std::vector<NodeRepeats> repeats_;        ///< indexed like clas_
+  std::vector<RepeatHashEntry> repeat_table_;  ///< open-addressing dedup table
+  std::uint32_t repeat_epoch_ = 0;
+  std::uint64_t repeat_version_counter_ = 0;
 
   // CLA buffer pool (recomputation mode allocates fewer buffers than nodes).
   std::vector<AlignedDoubles> cla_pool_;

@@ -39,6 +39,12 @@ class Evaluator {
   /// Invalidate the CLA of one inner node (after topology/branch changes).
   virtual void invalidate_node(int node_id) = 0;
 
+  /// Invalidate one inner node's CLA after a *branch-length-only* change.
+  /// Weaker than invalidate_node(): topology-derived caches (e.g. the
+  /// site-repeat class maps) may survive because the subtree's tip patterns
+  /// are unchanged.  Defaults to the conservative full invalidation.
+  virtual void invalidate_branch(int node_id) { invalidate_node(node_id); }
+
   /// Replace the Γ shape parameter everywhere (invalidates all CLAs).
   /// α is the one rate-heterogeneity parameter shared by every model family
   /// (DNA GTR and general/protein models), so it lives on the interface;

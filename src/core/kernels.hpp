@@ -68,6 +68,10 @@ struct ChildInput {
   const double* ptable = nullptr;
   /// Per-code lookup (tips only): ump[code*16 + (c*4+i)] = (U e^{Λz} tip)[c,i].
   const double* ump = nullptr;
+  /// Site-repeats path only (KernelOps::newview_repeats): per *parent class*
+  /// child index — a CLA/scale block index for inner children, a tip code
+  /// for tips.  Null on the dense path.
+  const std::uint32_t* gather = nullptr;
 
   [[nodiscard]] bool is_tip() const { return codes != nullptr; }
 };
@@ -97,6 +101,11 @@ struct EvaluateCtx {
   const double* diag = nullptr;
   const double* evtab = nullptr;
   const std::uint32_t* weights = nullptr;  ///< pattern weights
+  /// Site-repeats path only (KernelOps::evaluate_gather): per-site CLA block
+  /// index maps — block of site s is left_gather[s] instead of s.  Tip codes
+  /// stay per-site, so right_gather is only set for an inner right child.
+  const std::uint32_t* left_gather = nullptr;
+  const std::uint32_t* right_gather = nullptr;
   std::int64_t begin = 0;
   std::int64_t end = 0;
 };
@@ -109,6 +118,10 @@ struct SumCtx {
   const bio::DnaCode* right_codes = nullptr;   ///< tip codes if right is a tip
   /// tipvec16[code*16 + (c*4+k)] = eigenspace tip vector replicated per rate.
   const double* tipvec16 = nullptr;
+  /// Site-repeats path only (KernelOps::derivative_sum_gather): per-site CLA
+  /// block index maps, as in EvaluateCtx.  The sum buffer stays site-indexed.
+  const std::uint32_t* left_gather = nullptr;
+  const std::uint32_t* right_gather = nullptr;
   std::int64_t begin = 0;
   std::int64_t end = 0;
   KernelTuning tuning;
@@ -135,6 +148,15 @@ struct KernelOps {
   double (*evaluate)(const EvaluateCtx&) = nullptr;  ///< returns weighted log-likelihood
   void (*derivative_sum)(SumCtx&) = nullptr;
   void (*derivative_core)(DerivCtx&) = nullptr;
+  // Site-repeats variants (LvD / BEAGLE 4.1 style).  newview_repeats
+  // iterates [begin, end) over *parent repeat classes* and indexes each
+  // child through ChildInput::gather; the gather evaluate/derivativeSum
+  // variants iterate sites but fetch CLA blocks through the per-site class
+  // maps.  The dense entry points above ignore the gather fields entirely so
+  // their hot loops carry no extra indirection.
+  void (*newview_repeats)(NewviewCtx&) = nullptr;
+  double (*evaluate_gather)(const EvaluateCtx&) = nullptr;
+  void (*derivative_sum_gather)(SumCtx&) = nullptr;
   simd::Isa isa = simd::Isa::kScalar;
 };
 

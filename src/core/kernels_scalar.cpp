@@ -4,6 +4,12 @@
 // with it to tight numerical tolerance (enforced by parameterized tests).
 // Loops are written in the same structure the paper vectorizes so that the
 // correspondence is auditable side by side.
+//
+// Each kernel with a site-repeats variant is a template on a compile-time
+// flag: <false> is the dense per-site loop (no indirection), <true> indexes
+// CLA blocks through the repeat-class maps (newview additionally iterates
+// over parent classes instead of sites).  Both instantiations share one
+// body so dense and repeat semantics cannot drift apart.
 #include <algorithm>
 #include <cmath>
 
@@ -16,6 +22,10 @@ namespace {
 /// and pathological round-off; scaling keeps real values far above this).
 constexpr double kLikelihoodFloor = 1e-300;
 
+/// kRepeats = false: s is a site, children are indexed by s.
+/// kRepeats = true:  s is a parent repeat class, children are indexed by
+///                   ChildInput::gather[s] (a block index or a tip code).
+template <bool kRepeats>
 void newview_scalar(NewviewCtx& ctx) {
   const double* wtable = ctx.wtable;
   for (std::int64_t s = ctx.begin; s < ctx.end; ++s) {
@@ -25,10 +35,12 @@ void newview_scalar(NewviewCtx& ctx) {
     const double* a;
     const double* b;
 
+    const std::int64_t ls = kRepeats ? ctx.left.gather[s] : s;
     if (ctx.left.is_tip()) {
-      a = ctx.left.ump + ctx.left.codes[s] * kSiteBlock;
+      const std::int64_t code = kRepeats ? ls : ctx.left.codes[s];
+      a = ctx.left.ump + code * kSiteBlock;
     } else {
-      const double* y1 = ctx.left.cla + s * kSiteBlock;
+      const double* y1 = ctx.left.cla + ls * kSiteBlock;
       for (int l = 0; l < kSiteBlock; ++l) {
         const int c4 = (l / kStates) * kStates;
         double acc = 0.0;
@@ -40,10 +52,12 @@ void newview_scalar(NewviewCtx& ctx) {
       a = a_buf;
     }
 
+    const std::int64_t rs = kRepeats ? ctx.right.gather[s] : s;
     if (ctx.right.is_tip()) {
-      b = ctx.right.ump + ctx.right.codes[s] * kSiteBlock;
+      const std::int64_t code = kRepeats ? rs : ctx.right.codes[s];
+      b = ctx.right.ump + code * kSiteBlock;
     } else {
-      const double* y2 = ctx.right.cla + s * kSiteBlock;
+      const double* y2 = ctx.right.cla + rs * kSiteBlock;
       for (int l = 0; l < kSiteBlock; ++l) {
         const int c4 = (l / kStates) * kStates;
         double acc = 0.0;
@@ -77,41 +91,49 @@ void newview_scalar(NewviewCtx& ctx) {
       for (int l = 0; l < kSiteBlock; ++l) y3[l] *= kScaleFactor;
       increment = 1;
     }
-    const std::int32_t left_scale = ctx.left.is_tip() ? 0 : ctx.left.scale[s];
-    const std::int32_t right_scale = ctx.right.is_tip() ? 0 : ctx.right.scale[s];
+    const std::int32_t left_scale = ctx.left.is_tip() ? 0 : ctx.left.scale[ls];
+    const std::int32_t right_scale = ctx.right.is_tip() ? 0 : ctx.right.scale[rs];
     ctx.parent_scale[s] = left_scale + right_scale + increment;
   }
 }
 
+/// kGather = true: CLA blocks are fetched through the per-site class maps
+/// (left_gather always set; right_gather set iff the right side is inner).
+template <bool kGather>
 double evaluate_scalar(const EvaluateCtx& ctx) {
   double total = 0.0;
   for (std::int64_t s = ctx.begin; s < ctx.end; ++s) {
-    const double* yp = ctx.left_cla + s * kSiteBlock;
+    const std::int64_t ls = kGather ? ctx.left_gather[s] : s;
+    const double* yp = ctx.left_cla + ls * kSiteBlock;
     double site = 0.0;
+    std::int32_t scales = ctx.left_scale ? ctx.left_scale[ls] : 0;
     if (ctx.right_codes != nullptr) {
       const double* tab = ctx.evtab + ctx.right_codes[s] * kSiteBlock;
       for (int l = 0; l < kSiteBlock; ++l) site += yp[l] * tab[l];
     } else {
-      const double* yq = ctx.right_cla + s * kSiteBlock;
+      const std::int64_t rs = kGather ? ctx.right_gather[s] : s;
+      const double* yq = ctx.right_cla + rs * kSiteBlock;
       for (int l = 0; l < kSiteBlock; ++l) site += yp[l] * yq[l] * ctx.diag[l];
+      scales += ctx.right_scale ? ctx.right_scale[rs] : 0;
     }
-    const std::int32_t scales = (ctx.left_scale ? ctx.left_scale[s] : 0) +
-                                (ctx.right_scale ? ctx.right_scale[s] : 0);
     site = std::max(site, kLikelihoodFloor);
     total += ctx.weights[s] * (std::log(site) + scales * kLogScaleThreshold);
   }
   return total;
 }
 
+template <bool kGather>
 void derivative_sum_scalar(SumCtx& ctx) {
   for (std::int64_t s = ctx.begin; s < ctx.end; ++s) {
-    const double* yp = ctx.left_cla + s * kSiteBlock;
+    const std::int64_t ls = kGather ? ctx.left_gather[s] : s;
+    const double* yp = ctx.left_cla + ls * kSiteBlock;
     double* out = ctx.sum + s * kSiteBlock;
     if (ctx.right_codes != nullptr) {
       const double* tv = ctx.tipvec16 + ctx.right_codes[s] * kSiteBlock;
       for (int l = 0; l < kSiteBlock; ++l) out[l] = yp[l] * tv[l];
     } else {
-      const double* yq = ctx.right_cla + s * kSiteBlock;
+      const std::int64_t rs = kGather ? ctx.right_gather[s] : s;
+      const double* yq = ctx.right_cla + rs * kSiteBlock;
       for (int l = 0; l < kSiteBlock; ++l) out[l] = yp[l] * yq[l];
     }
   }
@@ -147,10 +169,13 @@ void derivative_core_scalar(DerivCtx& ctx) {
 
 KernelOps scalar_kernel_ops() {
   KernelOps ops;
-  ops.newview = &newview_scalar;
-  ops.evaluate = &evaluate_scalar;
-  ops.derivative_sum = &derivative_sum_scalar;
+  ops.newview = &newview_scalar<false>;
+  ops.evaluate = &evaluate_scalar<false>;
+  ops.derivative_sum = &derivative_sum_scalar<false>;
   ops.derivative_core = &derivative_core_scalar;
+  ops.newview_repeats = &newview_scalar<true>;
+  ops.evaluate_gather = &evaluate_scalar<true>;
+  ops.derivative_sum_gather = &derivative_sum_scalar<true>;
   ops.isa = simd::Isa::kScalar;
   return ops;
 }

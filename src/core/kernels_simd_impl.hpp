@@ -40,6 +40,10 @@ struct SimdKernels {
     }
   }
 
+  /// kRepeats = false: s is a site, children indexed by s.
+  /// kRepeats = true:  s is a parent repeat class, children indexed through
+  ///                   ChildInput::gather (block index / tip code).
+  template <bool kRepeats>
   static void newview(NewviewCtx& ctx) {
     const double* wtable = ctx.wtable;
     const bool stream = ctx.tuning.streaming_stores;
@@ -48,26 +52,32 @@ struct SimdKernels {
     for (std::int64_t s = ctx.begin; s < ctx.end; ++s) {
       if (dist > 0 && s + dist < ctx.end) {
         if (!ctx.left.is_tip()) {
-          simd::prefetch_read(ctx.left.cla + (s + dist) * kSiteBlock);
+          const std::int64_t ahead = kRepeats ? ctx.left.gather[s + dist] : s + dist;
+          simd::prefetch_read(ctx.left.cla + ahead * kSiteBlock);
         }
         if (!ctx.right.is_tip()) {
-          simd::prefetch_read(ctx.right.cla + (s + dist) * kSiteBlock);
+          const std::int64_t ahead = kRepeats ? ctx.right.gather[s + dist] : s + dist;
+          simd::prefetch_read(ctx.right.cla + ahead * kSiteBlock);
         }
       }
 
+      const std::int64_t ls = kRepeats ? ctx.left.gather[s] : s;
+      const std::int64_t rs = kRepeats ? ctx.right.gather[s] : s;
       P a[kBlocks];
       P b[kBlocks];
       if (ctx.left.is_tip()) {
-        const double* tab = ctx.left.ump + ctx.left.codes[s] * kSiteBlock;
+        const std::int64_t code = kRepeats ? ls : ctx.left.codes[s];
+        const double* tab = ctx.left.ump + code * kSiteBlock;
         for (int blk = 0; blk < kBlocks; ++blk) a[blk] = P::load(tab + blk * W);
       } else {
-        transform(ctx.left.ptable, ctx.left.cla + s * kSiteBlock, a);
+        transform(ctx.left.ptable, ctx.left.cla + ls * kSiteBlock, a);
       }
       if (ctx.right.is_tip()) {
-        const double* tab = ctx.right.ump + ctx.right.codes[s] * kSiteBlock;
+        const std::int64_t code = kRepeats ? rs : ctx.right.codes[s];
+        const double* tab = ctx.right.ump + code * kSiteBlock;
         for (int blk = 0; blk < kBlocks; ++blk) b[blk] = P::load(tab + blk * W);
       } else {
-        transform(ctx.right.ptable, ctx.right.cla + s * kSiteBlock, b);
+        transform(ctx.right.ptable, ctx.right.cla + rs * kSiteBlock, b);
       }
 
       // x₃ = a ∘ b, then y₃ = W x₃ with the same quad-broadcast scheme.
@@ -94,46 +104,53 @@ struct SimdKernels {
         for (int blk = 0; blk < kBlocks; ++blk) y3[blk].store(out + blk * W);
       }
 
-      const std::int32_t left_scale = ctx.left.is_tip() ? 0 : ctx.left.scale[s];
-      const std::int32_t right_scale = ctx.right.is_tip() ? 0 : ctx.right.scale[s];
+      const std::int32_t left_scale = ctx.left.is_tip() ? 0 : ctx.left.scale[ls];
+      const std::int32_t right_scale = ctx.right.is_tip() ? 0 : ctx.right.scale[rs];
       ctx.parent_scale[s] = left_scale + right_scale + increment;
     }
     if (stream) simd::stream_fence();
   }
 
+  /// kGather = true: CLA blocks fetched through the per-site class maps
+  /// (left_gather always set; right_gather set iff the right side is inner).
+  template <bool kGather>
   static double evaluate(const EvaluateCtx& ctx) {
     constexpr double kLikelihoodFloor = 1e-300;
     double total = 0.0;
     if (ctx.right_codes != nullptr) {
       for (std::int64_t s = ctx.begin; s < ctx.end; ++s) {
-        const double* yp = ctx.left_cla + s * kSiteBlock;
+        const std::int64_t lb = kGather ? ctx.left_gather[s] : s;
+        const double* yp = ctx.left_cla + lb * kSiteBlock;
         const double* tab = ctx.evtab + ctx.right_codes[s] * kSiteBlock;
         P acc = P::load(yp) * P::load(tab);
         for (int blk = 1; blk < kBlocks; ++blk) {
           acc = P::fma(P::load(yp + blk * W), P::load(tab + blk * W), acc);
         }
         double site = std::max(acc.horizontal_sum(), kLikelihoodFloor);
-        const std::int32_t scales = ctx.left_scale ? ctx.left_scale[s] : 0;
+        const std::int32_t scales = ctx.left_scale ? ctx.left_scale[lb] : 0;
         total += ctx.weights[s] * (std::log(site) + scales * kLogScaleThreshold);
       }
     } else {
       for (std::int64_t s = ctx.begin; s < ctx.end; ++s) {
-        const double* yp = ctx.left_cla + s * kSiteBlock;
-        const double* yq = ctx.right_cla + s * kSiteBlock;
+        const std::int64_t lb = kGather ? ctx.left_gather[s] : s;
+        const std::int64_t rb = kGather ? ctx.right_gather[s] : s;
+        const double* yp = ctx.left_cla + lb * kSiteBlock;
+        const double* yq = ctx.right_cla + rb * kSiteBlock;
         P acc = P::zero();
         for (int blk = 0; blk < kBlocks; ++blk) {
           const P prod = P::load(yp + blk * W) * P::load(yq + blk * W);
           acc = P::fma(prod, P::load(ctx.diag + blk * W), acc);
         }
         double site = std::max(acc.horizontal_sum(), kLikelihoodFloor);
-        const std::int32_t scales = (ctx.left_scale ? ctx.left_scale[s] : 0) +
-                                    (ctx.right_scale ? ctx.right_scale[s] : 0);
+        const std::int32_t scales = (ctx.left_scale ? ctx.left_scale[lb] : 0) +
+                                    (ctx.right_scale ? ctx.right_scale[rb] : 0);
         total += ctx.weights[s] * (std::log(site) + scales * kLogScaleThreshold);
       }
     }
     return total;
   }
 
+  template <bool kGather>
   static void derivative_sum(SumCtx& ctx) {
     // The paper's Figure 2 loop: a pure element-wise product over 16 lanes,
     // written with streaming stores (Section V-B5).
@@ -141,15 +158,20 @@ struct SimdKernels {
     const std::int64_t dist = ctx.tuning.prefetch_distance;
     for (std::int64_t s = ctx.begin; s < ctx.end; ++s) {
       if (dist > 0 && s + dist < ctx.end) {
-        simd::prefetch_read(ctx.left_cla + (s + dist) * kSiteBlock);
+        const std::int64_t la = kGather ? ctx.left_gather[s + dist] : s + dist;
+        simd::prefetch_read(ctx.left_cla + la * kSiteBlock);
         if (ctx.right_cla != nullptr) {
-          simd::prefetch_read(ctx.right_cla + (s + dist) * kSiteBlock);
+          const std::int64_t ra =
+              (kGather && ctx.right_gather != nullptr) ? ctx.right_gather[s + dist] : s + dist;
+          simd::prefetch_read(ctx.right_cla + ra * kSiteBlock);
         }
       }
-      const double* yp = ctx.left_cla + s * kSiteBlock;
-      const double* yq = (ctx.right_codes != nullptr)
-                             ? ctx.tipvec16 + ctx.right_codes[s] * kSiteBlock
-                             : ctx.right_cla + s * kSiteBlock;
+      const std::int64_t lb = kGather ? ctx.left_gather[s] : s;
+      const double* yp = ctx.left_cla + lb * kSiteBlock;
+      const double* yq =
+          (ctx.right_codes != nullptr)
+              ? ctx.tipvec16 + ctx.right_codes[s] * kSiteBlock
+              : ctx.right_cla + (kGather ? ctx.right_gather[s] : s) * kSiteBlock;
       double* out = ctx.sum + s * kSiteBlock;
       for (int blk = 0; blk < kBlocks; ++blk) {
         const P prod = P::load(yp + blk * W) * P::load(yq + blk * W);
@@ -232,10 +254,13 @@ struct SimdKernels {
 
   static KernelOps ops(simd::Isa isa) {
     KernelOps out;
-    out.newview = &newview;
-    out.evaluate = &evaluate;
-    out.derivative_sum = &derivative_sum;
+    out.newview = &newview<false>;
+    out.evaluate = &evaluate<false>;
+    out.derivative_sum = &derivative_sum<false>;
     out.derivative_core = &derivative_core;
+    out.newview_repeats = &newview<true>;
+    out.evaluate_gather = &evaluate<true>;
+    out.derivative_sum_gather = &derivative_sum<true>;
     out.isa = isa;
     return out;
   }

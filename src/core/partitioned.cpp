@@ -107,8 +107,9 @@ double PartitionedEvaluator::optimize_branch(tree::Slot* edge, int max_iteration
     if (converged) break;
   }
   tree::Tree::set_length(edge, z);
-  invalidate_node(edge->node_id);
-  invalidate_node(edge->back->node_id);
+  // Branch-length-only change: per-partition site-repeat class maps survive.
+  invalidate_branch(edge->node_id);
+  invalidate_branch(edge->back->node_id);
   return z;
 }
 
@@ -123,6 +124,10 @@ double PartitionedEvaluator::optimize_all_branches(tree::Slot* root_edge, int pa
 
 void PartitionedEvaluator::invalidate_node(int node_id) {
   for (auto& engine : engines_) engine->invalidate_node(node_id);
+}
+
+void PartitionedEvaluator::invalidate_branch(int node_id) {
+  for (auto& engine : engines_) engine->invalidate_branch(node_id);
 }
 
 void PartitionedEvaluator::set_alpha(double alpha) {

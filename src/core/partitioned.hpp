@@ -59,6 +59,7 @@ class PartitionedEvaluator final : public Evaluator {
   using Evaluator::optimize_branch;
   double optimize_all_branches(tree::Slot* root_edge, int passes) override;
   void invalidate_node(int node_id) override;
+  void invalidate_branch(int node_id) override;
   /// Sets the Γ shape of every partition (per-partition α is optimized via
   /// partition_engine(p) instead).
   void set_alpha(double alpha) override;

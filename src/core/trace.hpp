@@ -6,10 +6,20 @@
 // children were tips) into a KernelTrace while executing the genuine search
 // algorithm.  Section VI-B1 of the paper instruments RAxML the same way to
 // obtain per-kernel totals.
+//
+// Site-repeats accounting: with the repeat-aware kernels a newview call
+// *computes* only the unique repeat classes while still *representing* the
+// full pattern slice.  Each call therefore records both numbers — `sites`
+// (computed, what the cost model must price) and `sites_represented` (the
+// alignment work the call stands for).  On the dense path the two are equal.
 #pragma once
 
+#include <array>
+#include <cmath>
 #include <cstdint>
 #include <vector>
+
+#include "src/util/error.hpp"
 
 namespace miniphi::core {
 
@@ -24,34 +34,60 @@ struct TraceCall {
   TraceKernel kernel;
   bool left_tip = false;   ///< newview/evaluate/derivSum: left child is a tip
   bool right_tip = false;  ///< right child is a tip
-  std::int64_t sites = 0;  ///< patterns processed by this call
+  std::int64_t sites = 0;  ///< pattern-sites *computed* by this call
+  /// Pattern-sites the call stands for (== sites on the dense path; the full
+  /// slice width when the repeat path computed only unique classes).
+  std::int64_t sites_represented = 0;
 };
 
 struct KernelTrace {
   std::vector<TraceCall> calls;
 
-  void record(TraceKernel kernel, bool left_tip, bool right_tip, std::int64_t sites) {
-    calls.push_back({kernel, left_tip, right_tip, sites});
+  void record(TraceKernel kernel, bool left_tip, bool right_tip, std::int64_t sites,
+              std::int64_t sites_represented = -1) {
+    calls.push_back(
+        {kernel, left_tip, right_tip, sites, sites_represented < 0 ? sites : sites_represented});
   }
 
   /// Returns a copy with every call's site count scaled by
   /// `target_sites / source_sites` — used to extrapolate a trace measured on
   /// a tractable alignment to the paper's multi-million-site widths (the
   /// call *sequence* of the search is essentially width-independent).
+  /// Rounding error is carried across calls (per kernel) so the scaled
+  /// per-kernel totals equal `total_sites × factor` up to a single rounding,
+  /// instead of drifting by up to one site per call on long traces.
   [[nodiscard]] KernelTrace scaled_to(std::int64_t source_sites, std::int64_t target_sites) const;
 
   [[nodiscard]] std::int64_t call_count(TraceKernel kernel) const;
   [[nodiscard]] std::int64_t total_sites(TraceKernel kernel) const;
+  [[nodiscard]] std::int64_t total_sites_represented(TraceKernel kernel) const;
 };
 
 inline KernelTrace KernelTrace::scaled_to(std::int64_t source_sites,
                                           std::int64_t target_sites) const {
+  MINIPHI_CHECK(source_sites > 0, "KernelTrace::scaled_to: source_sites must be positive");
+  MINIPHI_CHECK(target_sites >= 0, "KernelTrace::scaled_to: negative target_sites");
   KernelTrace out;
   out.calls.reserve(calls.size());
   const double factor = static_cast<double>(target_sites) / static_cast<double>(source_sites);
+  // Error-carry accumulators, one pair per kernel: each call emits
+  // round(exact + carry) sites and the residual feeds the next call of the
+  // same kernel, so per-kernel totals cannot drift.
+  std::array<double, 4> carry{};
+  std::array<double, 4> carry_represented{};
   for (const auto& call : calls) {
+    const auto k = static_cast<std::size_t>(call.kernel);
     TraceCall scaled = call;
-    scaled.sites = static_cast<std::int64_t>(static_cast<double>(call.sites) * factor + 0.5);
+
+    const double exact = static_cast<double>(call.sites) * factor + carry[k];
+    scaled.sites = std::llround(exact);
+    carry[k] = exact - static_cast<double>(scaled.sites);
+
+    const double exact_represented =
+        static_cast<double>(call.sites_represented) * factor + carry_represented[k];
+    scaled.sites_represented = std::llround(exact_represented);
+    carry_represented[k] = exact_represented - static_cast<double>(scaled.sites_represented);
+
     out.calls.push_back(scaled);
   }
   return out;
@@ -69,6 +105,14 @@ inline std::int64_t KernelTrace::total_sites(TraceKernel kernel) const {
   std::int64_t total = 0;
   for (const auto& call : calls) {
     if (call.kernel == kernel) total += call.sites;
+  }
+  return total;
+}
+
+inline std::int64_t KernelTrace::total_sites_represented(TraceKernel kernel) const {
+  std::int64_t total = 0;
+  for (const auto& call : calls) {
+    if (call.kernel == kernel) total += call.sites_represented;
   }
   return total;
 }

@@ -87,6 +87,23 @@ BrentResult brent_minimize(const std::function<double(double)>& f, double lower,
     }
   }
 
+  // The golden-section start point and all probe points are strictly
+  // interior, so a monotone objective (minimum at a boundary) would
+  // otherwise return an interior point ~tolerance away from the optimum.
+  // Compare against the actual endpoints and keep the best of the three;
+  // strict < keeps the interior point on ties.
+  const double f_lower = f(lower);
+  const double f_upper = f(upper);
+  result.evaluations += 2;
+  if (f_lower < fx) {
+    x = lower;
+    fx = f_lower;
+  }
+  if (f_upper < fx) {
+    x = upper;
+    fx = f_upper;
+  }
+
   result.x = x;
   result.value = fx;
   return result;

@@ -1,6 +1,7 @@
 #include "src/search/spr_search.hpp"
 
 #include <algorithm>
+#include <iterator>
 
 #include "src/util/error.hpp"
 #include "src/util/logging.hpp"
@@ -9,8 +10,21 @@ namespace miniphi::search {
 namespace {
 
 /// Invalidates the CLAs of every node incident to a topology change.
-void invalidate_around(core::Evaluator& engine, std::initializer_list<int> node_ids) {
-  for (const int node_id : node_ids) engine.invalidate_node(node_id);
+/// The incident-node lists routinely repeat ids (e.g. a pruned slot adjacent
+/// to its own reinsertion edge), so deduplicate before invalidating —
+/// engines may do non-idempotent bookkeeping per invalidation (the
+/// site-repeats path drops and rebuilds class maps).
+void invalidate_around(core::Evaluator& engine, const tree::Tree& tree,
+                       std::initializer_list<int> node_ids) {
+  int seen[8];
+  int count = 0;
+  MINIPHI_ASSERT(node_ids.size() <= std::size(seen));
+  for (const int node_id : node_ids) {
+    MINIPHI_ASSERT(node_id >= 0 && node_id < tree.node_count());
+    if (std::find(seen, seen + count, node_id) != seen + count) continue;
+    seen[count++] = node_id;
+    engine.invalidate_node(node_id);
+  }
 }
 
 }  // namespace
@@ -25,7 +39,7 @@ double spr_round(core::Evaluator& engine, tree::Tree& tree, int radius,
       tree::Slot* p = tree.inner_slot(inner, k);
 
       const auto record = tree::prune(tree, p);
-      invalidate_around(engine, {record.left->node_id, record.right->node_id, p->node_id});
+      invalidate_around(engine, tree, {record.left->node_id, record.right->node_id, p->node_id});
 
       tree::Slot* best_edge = nullptr;
       double best_lnl = current_lnl;
@@ -33,7 +47,7 @@ double spr_round(core::Evaluator& engine, tree::Tree& tree, int radius,
       for (tree::Slot* e : candidates) {
         tree::Slot* other = e->back;
         tree::regraft(tree, record, e);
-        invalidate_around(engine, {e->node_id, other->node_id, p->node_id});
+        invalidate_around(engine, tree, {e->node_id, other->node_id, p->node_id});
 
         const double lnl = engine.log_likelihood(p->next);
         ++result.evaluated_insertions;
@@ -43,13 +57,13 @@ double spr_round(core::Evaluator& engine, tree::Tree& tree, int radius,
         }
 
         tree::ungraft(tree, record);
-        invalidate_around(engine, {e->node_id, other->node_id, p->node_id});
+        invalidate_around(engine, tree, {e->node_id, other->node_id, p->node_id});
       }
 
       if (best_edge != nullptr && best_lnl > current_lnl + 1e-9) {
         tree::Slot* other_end = best_edge->back;  // joined partner before regraft
         tree::regraft(tree, record, best_edge);
-        invalidate_around(engine,
+        invalidate_around(engine, tree,
                           {best_edge->node_id, other_end->node_id, p->node_id});
         // Locally refine the three branches created by the insertion.
         engine.optimize_branch(p->next);
@@ -59,7 +73,7 @@ double spr_round(core::Evaluator& engine, tree::Tree& tree, int radius,
         ++result.accepted_moves;
       } else {
         tree::undo_prune(tree, record);
-        invalidate_around(engine, {record.left->node_id, record.right->node_id, p->node_id});
+        invalidate_around(engine, tree, {record.left->node_id, record.right->node_id, p->node_id});
       }
     }
   }

@@ -72,6 +72,39 @@ TEST_F(PartitionedFixture, ManyPartitionsWithSharedModelEqualUnpartitioned) {
   }
 }
 
+TEST_F(PartitionedFixture, SiteRepeatsFlowThroughToEveryPartitionEngine) {
+  // The engine config (including site_repeats) is forwarded verbatim to each
+  // partition engine, every partition keeps its own repeat maps, and the
+  // summed likelihood matches the dense partitioned evaluator exactly.
+  const auto specs = even_partitions(static_cast<std::int64_t>(alignment_->site_count()), 3);
+  PartitionedEvaluator dense(*alignment_, specs, *model_, *tree_);
+
+  LikelihoodEngine::Config config;
+  config.site_repeats = true;
+  PartitionedEvaluator repeats(*alignment_, specs, *model_, *tree_, config);
+
+  const double want = dense.log_likelihood(tree_->tip(0));
+  const double got = repeats.log_likelihood(tree_->tip(0));
+  EXPECT_NEAR(got, want, std::abs(want) * 1e-10 + 1e-10);
+
+  for (int p = 0; p < repeats.partition_count(); ++p) {
+    auto& engine = repeats.partition_engine(p);
+    EXPECT_TRUE(engine.site_repeats());
+    EXPECT_LE(engine.unique_site_ratio(), 1.0);
+    EXPECT_FALSE(dense.partition_engine(p).site_repeats());
+  }
+
+  // Linked-branch optimization goes through invalidate_branch on every
+  // partition engine; repeat maps must survive it and agree with dense.
+  tree::Tree tree_a(*tree_);
+  tree::Tree tree_b(*tree_);
+  PartitionedEvaluator dense_opt(*alignment_, specs, *model_, tree_a);
+  PartitionedEvaluator repeats_opt(*alignment_, specs, *model_, tree_b, config);
+  const double lnl_a = dense_opt.optimize_all_branches(tree_a.tip(0), 2);
+  const double lnl_b = repeats_opt.optimize_all_branches(tree_b.tip(0), 2);
+  EXPECT_NEAR(lnl_a, lnl_b, std::abs(lnl_a) * 1e-9 + 1e-6);
+}
+
 TEST_F(PartitionedFixture, BranchOptimizationMatchesUnpartitioned) {
   const auto patterns = bio::compress_patterns(*alignment_);
   tree::Tree tree_a(*tree_);

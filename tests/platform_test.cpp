@@ -178,6 +178,42 @@ TEST(CostModel, TraceScalingPreservesCallStructure) {
   EXPECT_EQ(scaled.total_sites(TraceKernel::kEvaluate), 250'000);
 }
 
+TEST(CostModel, TraceScalingCarriesRoundingAcrossCalls) {
+  // Regression: per-call rounding used to drift by up to one site per call,
+  // so scaling 3000 one-site calls by 10000/3000 summed to 3000 (every call
+  // rounded down) instead of 10000.  The error-carry makes totals exact.
+  core::KernelTrace trace;
+  for (int i = 0; i < 3000; ++i) trace.record(TraceKernel::kNewview, false, false, 1);
+  const auto scaled = trace.scaled_to(3000, 10'000);
+  EXPECT_EQ(scaled.total_sites(TraceKernel::kNewview), 10'000);
+  EXPECT_EQ(scaled.total_sites_represented(TraceKernel::kNewview), 10'000);
+  // Carries are per kernel: interleaving other kernels must not disturb it.
+  core::KernelTrace mixed;
+  for (int i = 0; i < 700; ++i) {
+    mixed.record(TraceKernel::kNewview, false, false, 3);
+    mixed.record(TraceKernel::kEvaluate, false, false, 1);
+  }
+  const auto mixed_scaled = mixed.scaled_to(1000, 777);
+  EXPECT_EQ(mixed_scaled.total_sites(TraceKernel::kNewview), std::llround(700 * 3 * 0.777));
+  EXPECT_EQ(mixed_scaled.total_sites(TraceKernel::kEvaluate), std::llround(700 * 0.777));
+}
+
+TEST(CostModel, TraceScalingRejectsEmptySource) {
+  core::KernelTrace trace;
+  trace.record(TraceKernel::kNewview, false, false, 100);
+  EXPECT_THROW((void)trace.scaled_to(0, 1000), miniphi::Error);
+  EXPECT_THROW((void)trace.scaled_to(-5, 1000), miniphi::Error);
+  EXPECT_THROW((void)trace.scaled_to(100, -1), miniphi::Error);
+}
+
+TEST(CostModel, TraceRecordsRepresentedSitesSeparately) {
+  core::KernelTrace trace;
+  trace.record(TraceKernel::kNewview, true, false, 250, 1000);  // repeat path
+  trace.record(TraceKernel::kNewview, true, false, 500);        // dense path
+  EXPECT_EQ(trace.total_sites(TraceKernel::kNewview), 750);
+  EXPECT_EQ(trace.total_sites_represented(TraceKernel::kNewview), 1500);
+}
+
 TEST(CostModel, SyncAccountingSeparatesComputeAndSync) {
   const auto mic = config_phi_single();
   core::KernelTrace trace;

@@ -41,6 +41,25 @@ TEST(Brent, HandlesNonSmoothFunction) {
   EXPECT_NEAR(result.x, 0.3, 1e-4);
 }
 
+TEST(Brent, MonotoneObjectivesReturnExactEndpoints) {
+  // Regression: the golden-section probes are strictly interior, so without
+  // the final endpoint comparison a monotone objective converged to a point
+  // ~tolerance inside the interval instead of the boundary optimum.
+  const auto decreasing = brent_minimize([](double x) { return -x; }, 0.0, 5.0, 1e-8);
+  EXPECT_DOUBLE_EQ(decreasing.x, 5.0);
+  EXPECT_DOUBLE_EQ(decreasing.value, -5.0);
+
+  const auto increasing = brent_minimize([](double x) { return 3.0 * x + 1.0; }, -2.0, 7.0, 1e-8);
+  EXPECT_DOUBLE_EQ(increasing.x, -2.0);
+  EXPECT_DOUBLE_EQ(increasing.value, -5.0);
+
+  // An interior minimum must win against both endpoints (strict comparison
+  // keeps the interior point when values tie).
+  const auto interior = brent_minimize([](double x) { return (x - 1.0) * (x - 1.0); }, 0.0, 5.0);
+  EXPECT_NEAR(interior.x, 1.0, 1e-3);
+  EXPECT_LT(interior.value, 1.0);  // beats f(0) = f(2) = 1
+}
+
 TEST(Brent, EvaluationCountIsBounded) {
   int calls = 0;
   const auto f = [&calls](double x) {

@@ -1,0 +1,280 @@
+// Cross-backend equivalence of the site-repeats likelihood path.
+//
+// The repeat-aware kernels must be numerically indistinguishable (≤1e-10
+// relative) from the dense path on every compiled ISA, across random
+// topologies, duplicated-column alignments, scaling-heavy long-branch
+// instances, and long incremental topology-move sequences — the repeat
+// class maps ride the same invalidation machinery as the CLAs, so the
+// stress tests double as invalidation-correctness tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "src/core/engine.hpp"
+#include "src/tree/moves.hpp"
+#include "src/util/error.hpp"
+#include "tests/testutil.hpp"
+
+namespace miniphi::core {
+namespace {
+
+using testutil::random_alignment;
+using testutil::random_gtr_params;
+
+/// Duplicates every column of `base` `copies` times (column-level repeats the
+/// compressed pattern set would fold away, but subtree-level repeats remain
+/// under uncompressed_patterns — the bench scenario).
+bio::Alignment duplicate_columns(const bio::Alignment& base, int copies) {
+  std::vector<std::string> names;
+  std::vector<std::vector<bio::DnaCode>> rows;
+  for (std::size_t t = 0; t < base.taxon_count(); ++t) {
+    names.push_back(base.taxon_name(t));
+    const auto row = base.row(t);
+    std::vector<bio::DnaCode> out;
+    out.reserve(row.size() * static_cast<std::size_t>(copies));
+    for (int c = 0; c < copies; ++c) out.insert(out.end(), row.begin(), row.end());
+    rows.push_back(std::move(out));
+  }
+  return bio::Alignment(std::move(names), std::move(rows));
+}
+
+class SiteRepeats : public ::testing::TestWithParam<simd::Isa> {
+ protected:
+  void SetUp() override {
+    if (!simd::isa_supported(GetParam())) GTEST_SKIP() << "ISA not supported on this host";
+  }
+
+  static LikelihoodEngine::Config config_for(simd::Isa isa, bool repeats) {
+    LikelihoodEngine::Config config;
+    config.isa = isa;
+    config.site_repeats = repeats;
+    return config;
+  }
+};
+
+TEST_P(SiteRepeats, MatchesDenseOnRandomInstances) {
+  for (int instance = 0; instance < 4; ++instance) {
+    Rng rng(static_cast<std::uint64_t>(instance) * 7901 + 3);
+    const int ntaxa = 5 + instance * 6;
+    const auto alignment = random_alignment(ntaxa, 150, rng, /*ambiguity=*/0.05);
+    const auto patterns = bio::compress_patterns(alignment);
+    const model::GtrModel model(random_gtr_params(rng));
+    tree::Tree tree = tree::Tree::random(ntaxa, rng);
+
+    LikelihoodEngine dense(patterns, model, tree, config_for(GetParam(), false));
+    LikelihoodEngine repeats(patterns, model, tree, config_for(GetParam(), true));
+    ASSERT_TRUE(repeats.site_repeats());
+    for (tree::Slot* edge : tree.edges()) {
+      const double want = dense.log_likelihood(edge);
+      const double got = repeats.log_likelihood(edge);
+      EXPECT_NEAR(got, want, std::abs(want) * 1e-10 + 1e-10)
+          << "instance=" << instance << " isa=" << simd::to_string(GetParam());
+    }
+    // Compressed random alignments still expose subtree-level repeats.
+    EXPECT_LE(repeats.unique_site_ratio(), 1.0);
+  }
+}
+
+TEST_P(SiteRepeats, DuplicatedColumnsShrinkUniqueClasses) {
+  Rng rng(99);
+  const int ntaxa = 12;
+  const auto base = random_alignment(ntaxa, 80, rng);
+  const auto wide = duplicate_columns(base, 4);
+  // Uncompressed: column duplicates survive, so every inner node sees at
+  // most 1/4 of its sites as unique classes.
+  const auto patterns = bio::uncompressed_patterns(wide);
+  const model::GtrModel model(random_gtr_params(rng));
+  tree::Tree tree = tree::Tree::random(ntaxa, rng);
+
+  LikelihoodEngine dense(patterns, model, tree, config_for(GetParam(), false));
+  LikelihoodEngine repeats(patterns, model, tree, config_for(GetParam(), true));
+  const double want = dense.log_likelihood(tree.tip(0));
+  const double got = repeats.log_likelihood(tree.tip(0));
+  EXPECT_NEAR(got, want, std::abs(want) * 1e-10 + 1e-10);
+
+  EXPECT_LE(repeats.unique_site_ratio(), 0.25 + 1e-12);
+  for (int inner = 0; inner < tree.inner_count(); ++inner) {
+    const int node_id = tree.taxon_count() + inner;
+    const std::int64_t unique = repeats.node_unique_classes(node_id);
+    if (unique == 0) continue;  // node not on the evaluated traversal
+    EXPECT_LE(unique, repeats.slice_size() / 4);
+  }
+
+  // The dense engine reports the full width for every node.
+  EXPECT_DOUBLE_EQ(dense.unique_site_ratio(), 1.0);
+  EXPECT_EQ(dense.node_unique_classes(tree.taxon_count()), dense.slice_size());
+}
+
+TEST_P(SiteRepeats, NewviewStatsAndTraceCountOnlyUniqueClasses) {
+  Rng rng(17);
+  const int ntaxa = 10;
+  const auto wide = duplicate_columns(random_alignment(ntaxa, 60, rng), 4);
+  const auto patterns = bio::uncompressed_patterns(wide);
+  const model::GtrModel model(random_gtr_params(rng));
+  tree::Tree tree = tree::Tree::random(ntaxa, rng);
+
+  KernelTrace trace;
+  auto config = config_for(GetParam(), true);
+  config.trace = &trace;
+  LikelihoodEngine engine(patterns, model, tree, config);
+  (void)engine.log_likelihood(tree.tip(0));
+
+  // Computed sites must undercut represented sites by at least the 4×
+  // duplication factor; stats and trace must agree on the computed total.
+  const std::int64_t computed = trace.total_sites(TraceKernel::kNewview);
+  const std::int64_t represented = trace.total_sites_represented(TraceKernel::kNewview);
+  ASSERT_GT(computed, 0);
+  EXPECT_LE(computed * 4, represented);
+  EXPECT_EQ(computed, engine.stats(Kernel::kNewview).sites);
+  EXPECT_EQ(represented,
+            trace.call_count(TraceKernel::kNewview) * engine.slice_size());
+}
+
+TEST_P(SiteRepeats, ScalingHeavyLongBranchesMatchDense) {
+  // Long branches on a deep tree force scale-counter increments; on the
+  // repeat path a class's scale count must be shared by all its sites.
+  Rng rng(4242);
+  const int ntaxa = 28;
+  const auto alignment = random_alignment(ntaxa, 90, rng);
+  const auto patterns = bio::compress_patterns(alignment);
+  const model::GtrModel model(random_gtr_params(rng));
+  tree::Tree tree = tree::Tree::random(ntaxa, rng);
+  for (tree::Slot* edge : tree.edges()) tree::Tree::set_length(edge, 4.0);
+
+  LikelihoodEngine dense(patterns, model, tree, config_for(GetParam(), false));
+  LikelihoodEngine repeats(patterns, model, tree, config_for(GetParam(), true));
+  const double want = dense.log_likelihood(tree.tip(0));
+  const double got = repeats.log_likelihood(tree.tip(0));
+  ASSERT_TRUE(std::isfinite(want));
+  EXPECT_NEAR(got, want, std::abs(want) * 1e-10 + 1e-10);
+}
+
+TEST_P(SiteRepeats, DerivativesMatchDense) {
+  Rng rng(31);
+  const int ntaxa = 9;
+  const auto alignment = random_alignment(ntaxa, 100, rng);
+  const auto patterns = bio::compress_patterns(alignment);
+  const model::GtrModel model(random_gtr_params(rng));
+  tree::Tree tree = tree::Tree::random(ntaxa, rng);
+
+  LikelihoodEngine dense(patterns, model, tree, config_for(GetParam(), false));
+  LikelihoodEngine repeats(patterns, model, tree, config_for(GetParam(), true));
+  for (tree::Slot* edge : tree.edges()) {
+    dense.prepare_derivatives(edge);
+    repeats.prepare_derivatives(edge);
+    for (const double z : {0.05, 0.3, 1.5}) {
+      const auto [df, ds] = dense.derivatives(z);
+      const auto [rf, rs] = repeats.derivatives(z);
+      EXPECT_NEAR(rf, df, std::abs(df) * 1e-10 + 1e-8);
+      EXPECT_NEAR(rs, ds, std::abs(ds) * 1e-10 + 1e-8);
+    }
+  }
+}
+
+TEST_P(SiteRepeats, BranchOptimizationReusesClassMapsAndMatchesDense) {
+  Rng rng(55);
+  const int ntaxa = 11;
+  const auto alignment = random_alignment(ntaxa, 120, rng);
+  const auto patterns = bio::compress_patterns(alignment);
+  const model::GtrModel model(random_gtr_params(rng));
+  tree::Tree dense_tree = tree::Tree::random(ntaxa, rng);
+  tree::Tree repeat_tree(dense_tree);
+
+  LikelihoodEngine dense(patterns, model, dense_tree, config_for(GetParam(), false));
+  LikelihoodEngine repeats(patterns, model, repeat_tree, config_for(GetParam(), true));
+  const double dense_lnl = dense.optimize_all_branches(dense_tree.tip(0), 2);
+  const double repeat_lnl = repeats.optimize_all_branches(repeat_tree.tip(0), 2);
+  EXPECT_NEAR(repeat_lnl, dense_lnl, std::abs(dense_lnl) * 1e-9 + 1e-7);
+
+  // Branch-length optimization only calls invalidate_branch, so the class
+  // maps built by the first traversal must have been reused verbatim: the
+  // second smoothing pass may not have bumped any build version.  Probe via
+  // a model change (values-only too) followed by one more evaluation.
+  repeats.set_alpha(repeats.alpha() * 1.1);
+  dense.set_alpha(dense.alpha() * 1.1);
+  const double want = dense.log_likelihood(dense_tree.tip(0));
+  const double got = repeats.log_likelihood(repeat_tree.tip(0));
+  EXPECT_NEAR(got, want, std::abs(want) * 1e-10 + 1e-8);
+}
+
+TEST_P(SiteRepeats, TopologyMoveStressAgainstDenseEngine) {
+  // The repeats analogue of the engine's RandomMoveStressAgainstFreshEngine:
+  // incremental NNI/SPR moves with invalidate_node, branch perturbations
+  // with invalidate_branch, always comparing against a dense engine driven
+  // through the same sequence.
+  Rng rng(86420);
+  const int ntaxa = 13;
+  const auto alignment = random_alignment(ntaxa, 110, rng);
+  const auto patterns = bio::compress_patterns(alignment);
+  const model::GtrModel model(random_gtr_params(rng));
+  tree::Tree tree = tree::Tree::random(ntaxa, rng);
+
+  LikelihoodEngine dense(patterns, model, tree, config_for(GetParam(), false));
+  LikelihoodEngine repeats(patterns, model, tree, config_for(GetParam(), true));
+  (void)dense.log_likelihood(tree.tip(0));
+  (void)repeats.log_likelihood(tree.tip(0));
+
+  const auto invalidate_both = [&](int node_id) {
+    dense.invalidate_node(node_id);
+    repeats.invalidate_node(node_id);
+  };
+
+  for (int step = 0; step < 50; ++step) {
+    if (rng.below(2) == 0) {
+      std::vector<tree::Slot*> internal;
+      for (tree::Slot* e : tree.edges()) {
+        if (!e->is_tip() && !e->back->is_tip()) internal.push_back(e);
+      }
+      tree::Slot* edge = internal[rng.below(internal.size())];
+      ASSERT_TRUE(tree::nni(tree, edge, static_cast<int>(rng.below(2))));
+      invalidate_both(edge->node_id);
+      invalidate_both(edge->back->node_id);
+    } else {
+      const int inner =
+          static_cast<int>(rng.below(static_cast<std::uint64_t>(tree.inner_count())));
+      tree::Slot* p = tree.inner_slot(inner, static_cast<int>(rng.below(3)));
+      const auto record = tree::prune(tree, p);
+      invalidate_both(record.left->node_id);
+      invalidate_both(record.right->node_id);
+      invalidate_both(p->node_id);
+      const auto candidates = tree::insertion_candidates(record, 4);
+      if (candidates.empty()) {
+        tree::undo_prune(tree, record);
+        invalidate_both(record.left->node_id);
+        invalidate_both(record.right->node_id);
+        continue;
+      }
+      tree::Slot* e = candidates[rng.below(candidates.size())];
+      tree::Slot* other = e->back;
+      tree::regraft(tree, record, e, rng.uniform(0.2, 0.8));
+      invalidate_both(e->node_id);
+      invalidate_both(other->node_id);
+      invalidate_both(p->node_id);
+    }
+    if (step % 3 == 0) {
+      // Pure branch-length change: the weaker invalidation must suffice.
+      tree::Slot* edge = tree.edges()[rng.below(static_cast<std::uint64_t>(tree.edge_count()))];
+      tree::Tree::set_length(edge, rng.uniform(0.01, 1.0));
+      dense.invalidate_branch(edge->node_id);
+      dense.invalidate_branch(edge->back->node_id);
+      repeats.invalidate_branch(edge->node_id);
+      repeats.invalidate_branch(edge->back->node_id);
+    }
+    tree.validate();
+
+    tree::Slot* root = tree.edges()[rng.below(static_cast<std::uint64_t>(tree.edge_count()))];
+    const double want = dense.log_likelihood(root);
+    const double got = repeats.log_likelihood(root);
+    ASSERT_NEAR(got, want, std::abs(want) * 1e-10 + 1e-10) << "step=" << step;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Isas, SiteRepeats,
+                         ::testing::Values(simd::Isa::kScalar, simd::Isa::kAvx2,
+                                           simd::Isa::kAvx512),
+                         [](const auto& param_info) { return simd::to_string(param_info.param); });
+
+}  // namespace
+}  // namespace miniphi::core
