@@ -49,8 +49,9 @@ RunResult run(const miniphi::bio::PatternSet& patterns, const miniphi::tree::Tre
   // smoothing pass reuses them).
   RunResult result;
   result.lnl = engine.optimize_all_branches(tree.tip(0), 3);
-  result.newview_seconds = engine.stats(core::Kernel::kNewview).seconds;
-  result.newview_sites = engine.stats(core::Kernel::kNewview).sites;
+  const core::EvalStats& stats = engine.stats();
+  result.newview_seconds = stats.kernel(core::Kernel::kNewview).seconds;
+  result.newview_sites = stats.kernel(core::Kernel::kNewview).sites;
   result.unique_ratio = engine.unique_site_ratio();
   return result;
 }

@@ -8,12 +8,19 @@
 // Part 2 measures the real kernels on THIS host (scalar vs AVX2 vs AVX-512)
 // as a hardware validation of the vector-width mechanism: the 8-wide
 // back-end is the same code shape the paper hand-wrote for the MIC.
+#include <algorithm>
 #include <cstdio>
 
 #include "bench/common.hpp"
+#include "src/bio/patterns.hpp"
+#include "src/core/engine.hpp"
 #include "src/core/kernels.hpp"
 #include "src/core/ptable.hpp"
 #include "src/model/gtr.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/report.hpp"
+#include "src/simulate/simulate.hpp"
+#include "src/tree/parsimony.hpp"
 #include "src/util/aligned.hpp"
 #include "src/util/rng.hpp"
 #include "src/util/timer.hpp"
@@ -153,5 +160,54 @@ int main() {
   std::printf("\n(The host ratios validate the 8-wide vs 4-wide mechanism; the platform\n");
   std::printf("comparison above additionally includes the bandwidth/TDP differences of\n");
   std::printf("the Table I hardware, which this machine cannot measure directly.)\n");
+
+  // Part 3: the same per-kernel breakdown produced by the engine itself via
+  // the EvalStats API, plus the overhead of turning the metrics registry on
+  // (the acceptance budget is <1% with metrics off, <=2% with metrics on).
+  print_header("Engine-attributed breakdown (stats() API) and metrics overhead");
+  {
+    using namespace miniphi;
+    const auto alignment = simulate::paper_dataset(20'000, 7, 15);
+    const auto patterns = bio::compress_patterns(alignment);
+    Rng tree_rng(3);
+    const tree::Tree base_tree = tree::parsimony_starting_tree(patterns, tree_rng);
+
+    const auto timed_run = [&](obs::MetricsMode mode) {
+      tree::Tree tree(base_tree);
+      core::LikelihoodEngine::Config config;
+      config.metrics = mode;
+      core::LikelihoodEngine engine(patterns, model::GtrModel(model::GtrParams::jc69(0.8)),
+                                    tree, config);
+      const Timer timer;
+      engine.optimize_all_branches(tree.tip(0), 3);
+      return std::pair<double, core::EvalStats>{timer.seconds(), engine.stats()};
+    };
+
+    // Interleaved best-of-5 per mode: the workload is ~0.15 s, small enough
+    // that a single run is at the mercy of scheduler noise on a shared
+    // host; alternating modes exposes both to the same machine state and
+    // the min discards the noisy outliers.
+    (void)timed_run(obs::MetricsMode::kOff);  // warm up caches / frequency
+    obs::Registry::instance().reset();
+    double off_seconds = 1e30;
+    double on_seconds = 1e30;
+    core::EvalStats on_stats;
+    for (int r = 0; r < 5; ++r) {
+      off_seconds = std::min(off_seconds, timed_run(obs::MetricsMode::kOff).first);
+      // Reset between runs so the printed registry report covers one run,
+      // matching the stats() table next to it.
+      obs::Registry::instance().reset();
+      const auto [seconds, stats] = timed_run(obs::MetricsMode::kOn);
+      if (seconds < on_seconds) {
+        on_seconds = seconds;
+        on_stats = stats;
+      }
+    }
+
+    std::printf("%s", core::format_eval_stats(on_stats).c_str());
+    std::printf("\n%s", obs::render_kernel_report().c_str());
+    std::printf("\nbranch-length optimization wall: metrics off %.3fs, on %.3fs (%+.2f%%)\n",
+                off_seconds, on_seconds, (on_seconds / off_seconds - 1.0) * 100.0);
+  }
   return 0;
 }

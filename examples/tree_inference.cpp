@@ -7,6 +7,8 @@
 //
 // Run:  ./tree_inference data.phy --threads 2 --seed 7 --out best.nwk
 //       ./tree_inference --demo          (simulates its own 12-taxon dataset)
+//       ./tree_inference --demo --metrics --trace-out trace.json
+//                                        (per-kernel report + chrome://tracing file)
 #include <cstdio>
 #include <fstream>
 #include <memory>
@@ -44,7 +46,11 @@ int main(int argc, char** argv) {
     const std::string isa_name = options.get_string("isa", "");
     const int radius = static_cast<int>(options.get_int("radius", 5));
     const int bootstrap_replicates = static_cast<int>(options.get_int("bootstrap", 0));
+    const bool metrics = options.get_bool("metrics", false);
+    const std::string trace_path = options.get_string("trace-out", "");
     (void)options.get_bool("demo", false);
+
+    if (!trace_path.empty()) obs::Tracer::instance().set_enabled(true);
 
     const auto alignment = load_or_simulate(options);
     const auto patterns = bio::compress_patterns(alignment);
@@ -61,6 +67,7 @@ int main(int argc, char** argv) {
 
     core::LikelihoodEngine::Config config;
     if (!isa_name.empty()) config.isa = simd::isa_from_string(isa_name);
+    if (metrics) config.metrics = obs::MetricsMode::kOn;
     std::printf("kernels: %s, %d worker thread(s)\n", simd::to_string(config.isa).c_str(),
                 threads);
 
@@ -89,6 +96,18 @@ int main(int argc, char** argv) {
     std::ofstream out(out_path);
     out << tree.to_newick(alignment.taxon_names()) << "\n";
     std::printf("best tree written to %s\n", out_path.c_str());
+
+    if (metrics) {
+      std::printf("\n%s", core::format_eval_stats(evaluator->stats()).c_str());
+      std::printf("\n%s", obs::render_kernel_report().c_str());
+    }
+    if (!trace_path.empty()) {
+      std::ofstream trace_out(trace_path);
+      trace_out << obs::Tracer::instance().chrome_trace_json();
+      std::printf("chrome trace (%lld events) written to %s — load via chrome://tracing\n",
+                  static_cast<long long>(obs::Tracer::instance().event_count()),
+                  trace_path.c_str());
+    }
 
     if (bootstrap_replicates > 0) {
       std::printf("running %d bootstrap replicates (%d thread(s))...\n", bootstrap_replicates,

@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Observability smoke test: runs a small fork-join search and a small
+# distributed search with metrics + span tracing on, then asserts
+#  * the per-kernel report prints with non-zero newview calls,
+#  * the exported chrome traces are valid JSON containing span events.
+#
+# Produces obs-smoke/ with both traces; CI uploads it as an artifact so a
+# failing perf investigation always has a loadable chrome://tracing file.
+#
+# Usage: scripts/obs_smoke.sh [build-dir]  (default: ./build)
+set -euo pipefail
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+# Absolutize: the binaries run from inside ${out}, so a relative build dir
+# (e.g. `scripts/obs_smoke.sh build` from the repo root) would not resolve.
+build="$(cd "${1:-${root}/build}" && pwd)"
+out="${root}/obs-smoke"
+mkdir -p "${out}"
+
+fail() {
+  echo "obs_smoke: $1" >&2
+  exit 1
+}
+
+check_report() {
+  local log="$1"
+  grep -q "miniphi kernel report" "${log}" || fail "kernel report missing in ${log}"
+  # The newview row must be present with a non-zero call count.
+  grep -E "\.newview +[1-9]" "${log}" >/dev/null || fail "no newview calls reported in ${log}"
+}
+
+check_trace() {
+  local trace="$1"
+  python3 - "${trace}" <<'EOF'
+import json, sys
+events = json.load(open(sys.argv[1]))
+assert isinstance(events, list) and events, "empty trace"
+complete = [e for e in events if e.get("ph") == "X"]
+assert complete, "no complete ('X') span events"
+for e in complete:
+    assert {"name", "ts", "dur", "pid", "tid"} <= e.keys(), f"malformed event {e}"
+print(f"  {sys.argv[1]}: {len(events)} events OK")
+EOF
+}
+
+echo "=== fork-join search (2 workers) ==="
+(cd "${out}" && "${build}/examples/tree_inference" --demo --threads 2 \
+  --metrics --trace-out "${out}/forkjoin_trace.json" | tee forkjoin.log)
+check_report "${out}/forkjoin.log"
+check_trace "${out}/forkjoin_trace.json"
+grep -q "fork-join pool" "${out}/forkjoin.log" || fail "pool attribution missing"
+
+echo "=== distributed search (3 ranks) ==="
+(cd "${out}" && "${build}/examples/examl_mpi" --ranks 3 --sites 1000 \
+  --metrics --trace-out "${out}/distributed_trace.json" | tee distributed.log)
+check_report "${out}/distributed.log"
+check_trace "${out}/distributed_trace.json"
+grep -q "minimpi collectives" "${out}/distributed.log" || fail "collective attribution missing"
+# Per-rank rows: ranks 0..2 export under pids 1..3.
+python3 - "${out}/distributed_trace.json" <<'EOF'
+import json, sys
+pids = {e["pid"] for e in json.load(open(sys.argv[1])) if e.get("ph") == "X"}
+assert {1, 2, 3} <= pids, f"expected one timeline row per rank, got pids {sorted(pids)}"
+print(f"  per-rank rows present: pids {sorted(pids)}")
+EOF
+
+echo "obs_smoke: OK (traces in ${out}/)"

@@ -30,8 +30,10 @@ cmake -B "${build}" -S "${root}" \
 
 # site_repeats_test rides along: the repeat path's gather indirections and
 # class-map reuse are exactly where an off-by-one read hides from plain
-# tests, and ASan sees straight through them.
-targets=(minimpi_test parallel_test faults_test checkpoint_test examl_test site_repeats_test)
+# tests, and ASan sees straight through them.  obs_test rides along too: the
+# metrics registry's sharded counters and the tracer's lock-free appends are
+# precisely the code TSan exists to audit.
+targets=(minimpi_test parallel_test faults_test checkpoint_test examl_test site_repeats_test obs_test)
 cmake --build "${build}" -j "$(nproc)" --target "${targets[@]}"
 
 status=0

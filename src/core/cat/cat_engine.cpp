@@ -47,6 +47,10 @@ CatEngine::CatEngine(const bio::PatternSet& patterns, const model::GtrModel& mod
   length_ = (config.end < 0 ? npat : config.end) - offset_;
   MINIPHI_CHECK(offset_ >= 0 && length_ > 0 && offset_ + length_ <= npat,
                 "cat engine: invalid pattern slice");
+  if (obs::kMetricsCompiled && config.metrics == obs::MetricsMode::kOn) {
+    metrics_ = true;
+    metric_ids_ = register_engine_metrics(ops_.isa, "cat");
+  }
 
   clas_.resize(static_cast<std::size_t>(tree.inner_count()));
   for (auto& node : clas_) {
@@ -232,16 +236,30 @@ void CatEngine::run_newview(tree::Slot* slot) {
   ctx.end = length_;
   ctx.tuning = tuning_;
 
-  auto& stat = stats_[static_cast<std::size_t>(static_cast<int>(Kernel::kNewview))];
   Timer timer;
   ops_.newview(ctx);
-  stat.seconds += timer.seconds();
-  ++stat.calls;
-  stat.sites += length_;
+  record_kernel(Kernel::kNewview,
+                length_ * (1 + (ctx.left.is_tip() ? 0 : 1) + (ctx.right.is_tip() ? 0 : 1)),
+                timer.seconds());
 
   parent.orientation = slot->slot_index;
   parent.valid = true;
   sum_prepared_ = false;
+}
+
+void CatEngine::record_kernel(Kernel k, std::int64_t cla_blocks, double seconds) {
+  auto& stat = stats_.kernel(k);
+  const std::int64_t cla_bytes =
+      cla_blocks * kCatSiteBlock * static_cast<std::int64_t>(sizeof(double));
+  stat.seconds += seconds;
+  ++stat.calls;
+  stat.sites += length_;
+  stat.sites_represented += length_;
+  stat.bytes += cla_bytes;
+  if (metrics_) {
+    publish_kernel(metric_ids_.kernels[static_cast<std::size_t>(static_cast<int>(k))], length_,
+                   length_, cla_bytes, seconds);
+  }
 }
 
 double CatEngine::run_evaluate(tree::Slot* edge) {
@@ -280,12 +298,9 @@ double CatEngine::run_evaluate(tree::Slot* edge) {
   ctx.begin = 0;
   ctx.end = length_;
 
-  auto& stat = stats_[static_cast<std::size_t>(static_cast<int>(Kernel::kEvaluate))];
   Timer timer;
   const double result = ops_.evaluate(ctx);
-  stat.seconds += timer.seconds();
-  ++stat.calls;
-  stat.sites += length_;
+  record_kernel(Kernel::kEvaluate, length_ * (q->is_tip() ? 1 : 2), timer.seconds());
   return result;
 }
 
@@ -321,12 +336,9 @@ void CatEngine::prepare_derivatives(tree::Slot* edge) {
   ctx.end = length_;
   ctx.tuning = tuning_;
 
-  auto& stat = stats_[static_cast<std::size_t>(static_cast<int>(Kernel::kDerivSum))];
   Timer timer;
   ops_.derivative_sum(ctx);
-  stat.seconds += timer.seconds();
-  ++stat.calls;
-  stat.sites += length_;
+  record_kernel(Kernel::kDerivSum, length_ * (q->is_tip() ? 2 : 3), timer.seconds());
   sum_prepared_ = true;
 }
 
@@ -341,12 +353,9 @@ std::pair<double, double> CatEngine::derivatives(double z) {
   ctx.begin = 0;
   ctx.end = length_;
 
-  auto& stat = stats_[static_cast<std::size_t>(static_cast<int>(Kernel::kDerivCore))];
   Timer timer;
   ops_.derivative_core(ctx);
-  stat.seconds += timer.seconds();
-  ++stat.calls;
-  stat.sites += length_;
+  record_kernel(Kernel::kDerivCore, length_, timer.seconds());
   return {ctx.out_first, ctx.out_second};
 }
 

@@ -28,12 +28,9 @@ namespace miniphi::core {
 
 class CatEngine final : public Evaluator {
  public:
-  struct Config {
-    simd::Isa isa = simd::best_supported_isa();
-    KernelTuning tuning;
-    std::int64_t begin = 0;
-    std::int64_t end = -1;
-  };
+  /// Common knobs come from core::EngineConfig.  The CAT kernels have no
+  /// OpenMP path, so EngineConfig::use_openmp is accepted and ignored.
+  struct Config : EngineConfig {};
 
   /// `model` supplies the GTR part (eigensystem); its Γ settings are
   /// ignored.  Starts with `categories` rate categories spread over a
@@ -81,9 +78,9 @@ class CatEngine final : public Evaluator {
   [[nodiscard]] double alpha() const override;
 
   void invalidate_all();
-  [[nodiscard]] const KernelStat& stats(Kernel k) const {
-    return stats_[static_cast<std::size_t>(static_cast<int>(k))];
-  }
+  [[nodiscard]] const KernelStat& stats(Kernel k) const { return stats_.kernel(k); }
+  [[nodiscard]] const EvalStats& stats() const override { return stats_; }
+  void reset_stats() override { stats_ = EvalStats{}; }
   [[nodiscard]] simd::Isa isa() const { return ops_.isa; }
 
  private:
@@ -131,7 +128,13 @@ class CatEngine final : public Evaluator {
   AlignedDoubles dtab_;
   AlignedDoubles sum_buffer_;
 
-  std::array<KernelStat, kKernelCount> stats_{};
+  /// Stat bookkeeping for one kernel call (`cla_blocks` = CLA site blocks
+  /// touched); publishes to the obs registry when metrics are on.
+  void record_kernel(Kernel k, std::int64_t cla_blocks, double seconds);
+
+  EvalStats stats_;
+  bool metrics_ = false;
+  EngineMetricIds metric_ids_;
   bool sum_prepared_ = false;
 };
 

@@ -29,16 +29,6 @@ inline std::size_t next_pow2(std::size_t value) {
 
 }  // namespace
 
-const char* kernel_name(Kernel k) {
-  switch (k) {
-    case Kernel::kNewview: return "newview";
-    case Kernel::kEvaluate: return "evaluate";
-    case Kernel::kDerivSum: return "derivativeSum";
-    case Kernel::kDerivCore: return "derivativeCore";
-  }
-  return "?";
-}
-
 LikelihoodEngine::LikelihoodEngine(const bio::PatternSet& patterns,
                                    const model::GtrModel& model, tree::Tree& tree,
                                    const Config& config)
@@ -91,6 +81,11 @@ LikelihoodEngine::LikelihoodEngine(const bio::PatternSet& patterns,
   evtab_.resize(kEvtabSize);
   dtab_.resize(kDtabSize);
   sum_buffer_.resize(static_cast<std::size_t>(length_) * kSiteBlock);
+
+  if (obs::kMetricsCompiled && config.metrics == obs::MetricsMode::kOn) {
+    metrics_ = true;
+    metric_ids_ = register_engine_metrics(ops_.isa, site_repeats_ ? "repeats" : "dense");
+  }
 
   set_model(model);
 }
@@ -401,7 +396,7 @@ void LikelihoodEngine::run_newview(tree::Slot* slot) {
   ctx.tuning = tuning_;
 
   void (*newview_fn)(NewviewCtx&) = site_repeats_ ? ops_.newview_repeats : ops_.newview;
-  auto& stat = stats_[static_cast<std::size_t>(static_cast<int>(Kernel::kNewview))];
+  auto& stat = stats_.kernel(Kernel::kNewview);
   Timer timer;
   if (use_openmp_) {
 #if defined(_OPENMP)
@@ -420,9 +415,48 @@ void LikelihoodEngine::run_newview(tree::Slot* slot) {
   } else {
     newview_fn(ctx);
   }
-  stat.seconds += timer.seconds();
+  const double elapsed = timer.seconds();
+  // CLA traffic: one parent block written per computed site/class plus one
+  // block read per non-tip child (tips read the tiny per-code tables).
+  const std::int64_t cla_blocks =
+      work * (1 + (ctx.left.is_tip() ? 0 : 1) + (ctx.right.is_tip() ? 0 : 1));
+  const std::int64_t cla_bytes = cla_blocks * kSiteBlock * static_cast<std::int64_t>(sizeof(double));
+  stat.seconds += elapsed;
   ++stat.calls;
   stat.sites += work;  // cost-model honesty: only the classes actually computed
+  stat.sites_represented += length_;
+  stat.bytes += cla_bytes;
+  if (metrics_) {
+    publish_kernel(metric_ids_.kernels[static_cast<std::size_t>(
+                       static_cast<int>(Kernel::kNewview))],
+                   work, length_, cla_bytes, elapsed);
+    // Scaling events of *this* call: the kernel writes each parent scale as
+    // the children's propagated counts plus 1 for a fresh underflow, so the
+    // fresh count is the parent sum minus the gathered child sums.  Only
+    // worth the O(work) sweep when metrics are on; the kernels themselves
+    // report nothing.
+    const std::int32_t* parent_scale = ctx.parent_scale;
+    std::int64_t parent_sum = 0;
+    for (std::int64_t i = 0; i < work; ++i) parent_sum += parent_scale[i];
+    std::int64_t fresh = parent_sum;
+    // Scale counts are non-negative, so a zero parent sum means nothing was
+    // inherited either — the gather pass (the expensive part on the repeat
+    // path) only runs when scaling actually happened somewhere below.
+    if (parent_sum != 0 && !(ctx.left.is_tip() && ctx.right.is_tip())) {
+      std::int64_t inherited = 0;
+      for (std::int64_t i = 0; i < work; ++i) {
+        if (!ctx.left.is_tip()) {
+          inherited += ctx.left.scale[ctx.left.gather != nullptr ? ctx.left.gather[i] : i];
+        }
+        if (!ctx.right.is_tip()) {
+          inherited += ctx.right.scale[ctx.right.gather != nullptr ? ctx.right.gather[i] : i];
+        }
+      }
+      fresh = parent_sum - inherited;
+    }
+    stats_.scaling_events += fresh;
+    obs::Registry::instance().add(metric_ids_.scaling_events, fresh);
+  }
   if (trace_ != nullptr) {
     trace_->record(TraceKernel::kNewview, slot->child1()->is_tip(), slot->child2()->is_tip(),
                    work, length_);
@@ -479,7 +513,7 @@ double LikelihoodEngine::run_evaluate(tree::Slot* edge) {
   double (*evaluate_fn)(const EvaluateCtx&) =
       site_repeats_ ? ops_.evaluate_gather : ops_.evaluate;
 
-  auto& stat = stats_[static_cast<std::size_t>(static_cast<int>(Kernel::kEvaluate))];
+  auto& stat = stats_.kernel(Kernel::kEvaluate);
   Timer timer;
   double result = 0.0;
   if (use_openmp_) {
@@ -499,9 +533,19 @@ double LikelihoodEngine::run_evaluate(tree::Slot* edge) {
   } else {
     result = evaluate_fn(ctx);
   }
-  stat.seconds += timer.seconds();
+  const double elapsed = timer.seconds();
+  const std::int64_t cla_bytes = length_ * (q->is_tip() ? 1 : 2) * kSiteBlock *
+                                 static_cast<std::int64_t>(sizeof(double));
+  stat.seconds += elapsed;
   ++stat.calls;
   stat.sites += length_;
+  stat.sites_represented += length_;
+  stat.bytes += cla_bytes;
+  if (metrics_) {
+    publish_kernel(
+        metric_ids_.kernels[static_cast<std::size_t>(static_cast<int>(Kernel::kEvaluate))],
+        length_, length_, cla_bytes, elapsed);
+  }
   if (trace_ != nullptr) {
     trace_->record(TraceKernel::kEvaluate, false, q->is_tip(), length_);
   }
@@ -556,7 +600,7 @@ void LikelihoodEngine::prepare_derivatives(tree::Slot* edge) {
   }
   void (*sum_fn)(SumCtx&) = site_repeats_ ? ops_.derivative_sum_gather : ops_.derivative_sum;
 
-  auto& stat = stats_[static_cast<std::size_t>(static_cast<int>(Kernel::kDerivSum))];
+  auto& stat = stats_.kernel(Kernel::kDerivSum);
   Timer timer;
   if (use_openmp_) {
 #if defined(_OPENMP)
@@ -575,9 +619,22 @@ void LikelihoodEngine::prepare_derivatives(tree::Slot* edge) {
   } else {
     sum_fn(ctx);
   }
-  stat.seconds += timer.seconds();
-  ++stat.calls;
-  stat.sites += length_;
+  {
+    const double elapsed = timer.seconds();
+    // Reads one block per non-tip endpoint, writes the site-indexed sum.
+    const std::int64_t cla_bytes = length_ * (q->is_tip() ? 2 : 3) * kSiteBlock *
+                                   static_cast<std::int64_t>(sizeof(double));
+    stat.seconds += elapsed;
+    ++stat.calls;
+    stat.sites += length_;
+    stat.sites_represented += length_;
+    stat.bytes += cla_bytes;
+    if (metrics_) {
+      publish_kernel(
+          metric_ids_.kernels[static_cast<std::size_t>(static_cast<int>(Kernel::kDerivSum))],
+          length_, length_, cla_bytes, elapsed);
+    }
+  }
   unpin(p->node_id);
   unpin(q->node_id);
   sum_left_tip_ = false;
@@ -599,7 +656,7 @@ std::pair<double, double> LikelihoodEngine::derivatives(double z) {
   ctx.begin = 0;
   ctx.end = length_;
 
-  auto& stat = stats_[static_cast<std::size_t>(static_cast<int>(Kernel::kDerivCore))];
+  auto& stat = stats_.kernel(Kernel::kDerivCore);
   Timer timer;
   double first = 0.0;
   double second = 0.0;
@@ -628,9 +685,19 @@ std::pair<double, double> LikelihoodEngine::derivatives(double z) {
     first = ctx.out_first;
     second = ctx.out_second;
   }
-  stat.seconds += timer.seconds();
+  const double elapsed = timer.seconds();
+  const std::int64_t cla_bytes =
+      length_ * kSiteBlock * static_cast<std::int64_t>(sizeof(double));  // sum-buffer reads
+  stat.seconds += elapsed;
   ++stat.calls;
   stat.sites += length_;
+  stat.sites_represented += length_;
+  stat.bytes += cla_bytes;
+  if (metrics_) {
+    publish_kernel(
+        metric_ids_.kernels[static_cast<std::size_t>(static_cast<int>(Kernel::kDerivCore))],
+        length_, length_, cla_bytes, elapsed);
+  }
   if (trace_ != nullptr) {
     trace_->record(TraceKernel::kDerivCore, sum_left_tip_, sum_right_tip_, length_);
   }
@@ -674,6 +741,6 @@ double LikelihoodEngine::optimize_all_branches(tree::Slot* root_edge, int passes
   return log_likelihood(root_edge);
 }
 
-void LikelihoodEngine::reset_stats() { stats_.fill(KernelStat{}); }
+void LikelihoodEngine::reset_stats() { stats_ = EvalStats{}; }
 
 }  // namespace miniphi::core

@@ -22,6 +22,8 @@
 #include <vector>
 
 #include "src/bio/patterns.hpp"
+#include "src/core/engine_config.hpp"
+#include "src/core/engine_metrics.hpp"
 #include "src/core/evaluator.hpp"
 #include "src/core/kernels.hpp"
 #include "src/core/ptable.hpp"
@@ -37,28 +39,11 @@ namespace miniphi::core {
 inline constexpr double kMinBranchLength = 1e-8;
 inline constexpr double kMaxBranchLength = 50.0;
 
-/// Kernel identifiers for instrumentation (paper Figure 3 reports per-kernel
-/// times gathered exactly this way: total time per kernel over a full run).
-enum class Kernel : int { kNewview = 0, kEvaluate = 1, kDerivSum = 2, kDerivCore = 3 };
-inline constexpr int kKernelCount = 4;
-
-const char* kernel_name(Kernel k);
-
-/// Accumulated per-kernel counters.
-struct KernelStat {
-  std::int64_t calls = 0;  ///< kernel invocations
-  std::int64_t sites = 0;  ///< pattern-sites processed across all calls
-  double seconds = 0.0;    ///< wall time inside the kernel
-};
-
 class LikelihoodEngine final : public Evaluator {
  public:
-  struct Config {
-    simd::Isa isa = simd::best_supported_isa();
-    KernelTuning tuning;
-    bool use_openmp = false;   ///< parallelize kernel site loops with OpenMP
-    std::int64_t begin = 0;    ///< first pattern of this engine's slice
-    std::int64_t end = -1;     ///< one past the last pattern (-1 = all)
+  /// Common knobs (isa, tuning, slice, use_openmp, metrics) come from
+  /// core::EngineConfig; these are the DNA fast-path extras.
+  struct Config : EngineConfig {
     KernelTrace* trace = nullptr;  ///< optional kernel-invocation recorder
     /// CLA memory budget: number of CLA buffers to allocate (-1 = one per
     /// inner node, the default).  Smaller budgets trade running time for
@@ -132,10 +117,9 @@ class LikelihoodEngine final : public Evaluator {
   double optimize_all_branches(tree::Slot* root_edge, int passes) override;
   double optimize_all_branches(tree::Slot* root_edge) { return optimize_all_branches(root_edge, 1); }
 
-  [[nodiscard]] const KernelStat& stats(Kernel k) const {
-    return stats_[static_cast<std::size_t>(static_cast<int>(k))];
-  }
-  void reset_stats();
+  [[nodiscard]] const KernelStat& stats(Kernel k) const { return stats_.kernel(k); }
+  [[nodiscard]] const EvalStats& stats() const override { return stats_; }
+  void reset_stats() override;
 
   /// Applies a Newton step with the standard safeguards (used by both the
   /// local and the distributed Newton loops so they behave identically).
@@ -279,7 +263,12 @@ class LikelihoodEngine final : public Evaluator {
   AlignedDoubles dtab_;
   AlignedDoubles sum_buffer_;
 
-  std::array<KernelStat, kKernelCount> stats_{};
+  EvalStats stats_;
+
+  // Metrics publication (Config::metrics == kOn): ids cached once at
+  // construction so the kernel path pays one branch + a few sharded adds.
+  bool metrics_ = false;
+  EngineMetricIds metric_ids_;
 
   // State of the prepared derivative buffer.
   bool sum_prepared_ = false;

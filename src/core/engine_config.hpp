@@ -1,0 +1,31 @@
+// Shared engine configuration: the knobs common to every likelihood engine
+// (DNA fast path, CAT, general/protein), defined once.
+//
+// Engine-specific extras (CLA budgets, site repeats, kernel traces) layer on
+// top via inheritance — `LikelihoodEngine::Config : EngineConfig` — so code
+// that configures "any engine" (drivers, pools, benches) sets the common
+// fields once and copies them with `static_cast<EngineConfig&>`.
+#pragma once
+
+#include <cstdint>
+
+#include "src/core/kernels.hpp"
+#include "src/obs/metrics.hpp"
+
+namespace miniphi::core {
+
+struct EngineConfig {
+  simd::Isa isa = simd::best_supported_isa();
+  KernelTuning tuning;
+  bool use_openmp = false;  ///< parallelize kernel site loops (hybrid mode);
+                            ///< ignored by engines without an OpenMP path
+  std::int64_t begin = 0;   ///< first pattern of this engine's slice
+  std::int64_t end = -1;    ///< one past the last pattern (-1 = all)
+  /// Metrics publication knob, defined once for every engine: with kOn the
+  /// engine registers its per-kernel counters/histograms with the process
+  /// obs::Registry and publishes on every kernel call; with kOff (default)
+  /// the kernel path never touches the registry.
+  obs::MetricsMode metrics = obs::MetricsMode::kOff;
+};
+
+}  // namespace miniphi::core

@@ -1,0 +1,59 @@
+#include "src/core/eval_stats.hpp"
+
+#include <cstdio>
+
+namespace miniphi::core {
+
+const char* kernel_name(Kernel k) {
+  switch (k) {
+    case Kernel::kNewview: return "newview";
+    case Kernel::kEvaluate: return "evaluate";
+    case Kernel::kDerivSum: return "derivativeSum";
+    case Kernel::kDerivCore: return "derivativeCore";
+  }
+  return "?";
+}
+
+std::string format_eval_stats(const EvalStats& stats) {
+  std::string out;
+  char buffer[192];
+  std::snprintf(buffer, sizeof(buffer), "%-16s %10s %14s %14s %10s %9s\n", "kernel", "calls",
+                "sites", "sites-rep", "time[s]", "Msites/s");
+  out += buffer;
+  double total = 0.0;
+  for (int k = 0; k < kKernelCount; ++k) {
+    const KernelStat& stat = stats.kernels[static_cast<std::size_t>(k)];
+    const double msites =
+        stat.seconds > 0.0 ? static_cast<double>(stat.sites) / stat.seconds * 1e-6 : 0.0;
+    std::snprintf(buffer, sizeof(buffer), "%-16s %10lld %14lld %14lld %10.3f %9.1f\n",
+                  kernel_name(static_cast<Kernel>(k)), static_cast<long long>(stat.calls),
+                  static_cast<long long>(stat.sites),
+                  static_cast<long long>(stat.sites_represented), stat.seconds, msites);
+    out += buffer;
+    total += stat.seconds;
+  }
+  std::snprintf(buffer, sizeof(buffer), "%-16s %10s %14s %14s %10.3f\n", "total", "", "", "",
+                total);
+  out += buffer;
+  if (stats.scaling_events > 0) {
+    std::snprintf(buffer, sizeof(buffer), "scaling events: %lld\n",
+                  static_cast<long long>(stats.scaling_events));
+    out += buffer;
+  }
+  if (stats.compute_seconds > 0.0 || stats.wait_seconds > 0.0) {
+    const double sum = stats.compute_seconds + stats.wait_seconds;
+    std::snprintf(buffer, sizeof(buffer),
+                  "workers: compute %.3f s, barrier-wait %.3f s (%.1f%% wait)\n",
+                  stats.compute_seconds, stats.wait_seconds,
+                  sum > 0.0 ? stats.wait_seconds / sum * 100.0 : 0.0);
+    out += buffer;
+  }
+  if (stats.comm_calls > 0) {
+    std::snprintf(buffer, sizeof(buffer), "collectives: %lld calls, %.3f s wait\n",
+                  static_cast<long long>(stats.comm_calls), stats.comm_seconds);
+    out += buffer;
+  }
+  return out;
+}
+
+}  // namespace miniphi::core

@@ -1,0 +1,91 @@
+// Shared per-kernel statistics types for every Evaluator implementation.
+//
+// The paper's Fig. 3 reports total time per PLF kernel over a full tree
+// search; EvalStats is that breakdown as data, uniform across the three
+// execution configurations (single engine, fork-join pool, distributed
+// ranks).  Aggregation is `operator+=` — the ONE way partial stats combine,
+// used by the partitioned evaluator, the fork-join pool, and the
+// distributed evaluator alike.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace miniphi::core {
+
+/// Kernel identifiers for instrumentation (paper Figure 3 reports per-kernel
+/// times gathered exactly this way: total time per kernel over a full run).
+enum class Kernel : int { kNewview = 0, kEvaluate = 1, kDerivSum = 2, kDerivCore = 3 };
+inline constexpr int kKernelCount = 4;
+
+const char* kernel_name(Kernel k);
+
+/// Accumulated per-kernel counters.
+struct KernelStat {
+  std::int64_t calls = 0;  ///< kernel invocations
+  std::int64_t sites = 0;  ///< pattern-sites actually computed across all calls
+  /// Pattern-sites *represented*: equals `sites` on the dense path; on the
+  /// site-repeats path it is the full slice width while `sites` counts only
+  /// the unique repeat classes computed (sites/sites_represented == the
+  /// paper-relevant work reduction).
+  std::int64_t sites_represented = 0;
+  std::int64_t bytes = 0;  ///< CLA bytes touched (written + non-tip reads)
+  double seconds = 0.0;    ///< wall time inside the kernel
+
+  KernelStat& operator+=(const KernelStat& other) {
+    calls += other.calls;
+    sites += other.sites;
+    sites_represented += other.sites_represented;
+    bytes += other.bytes;
+    seconds += other.seconds;
+    return *this;
+  }
+};
+
+/// One evaluator's complete statistics: the four kernels plus the
+/// runtime-attribution counters the parallel layers fill in.
+struct EvalStats {
+  std::array<KernelStat, kKernelCount> kernels{};
+
+  /// Numerical rescaling events (sites whose CLA block underflowed and was
+  /// multiplied up).  Only counted when metrics are on — the kernels do not
+  /// report it, so engines derive it from the scale arrays after newview.
+  std::int64_t scaling_events = 0;
+
+  // Filled by parallel::ForkJoinEvaluator: worker time attributed to task
+  // execution vs. waiting at the fork-join barrier.
+  double compute_seconds = 0.0;
+  double wait_seconds = 0.0;
+
+  // Filled by examl::DistributedEvaluator: time inside and number of
+  // minimpi collectives across all ranks.
+  double comm_seconds = 0.0;
+  std::int64_t comm_calls = 0;
+
+  [[nodiscard]] KernelStat& kernel(Kernel k) {
+    return kernels[static_cast<std::size_t>(static_cast<int>(k))];
+  }
+  [[nodiscard]] const KernelStat& kernel(Kernel k) const {
+    return kernels[static_cast<std::size_t>(static_cast<int>(k))];
+  }
+
+  /// The single aggregation path: merge another evaluator's stats in.
+  EvalStats& operator+=(const EvalStats& other) {
+    for (int k = 0; k < kKernelCount; ++k) {
+      kernels[static_cast<std::size_t>(k)] += other.kernels[static_cast<std::size_t>(k)];
+    }
+    scaling_events += other.scaling_events;
+    compute_seconds += other.compute_seconds;
+    wait_seconds += other.wait_seconds;
+    comm_seconds += other.comm_seconds;
+    comm_calls += other.comm_calls;
+    return *this;
+  }
+};
+
+/// Fixed-width text rendering (one line per kernel plus attribution lines),
+/// shared by examples and benches.
+[[nodiscard]] std::string format_eval_stats(const EvalStats& stats);
+
+}  // namespace miniphi::core

@@ -12,6 +12,7 @@
 
 #include <utility>
 
+#include "src/core/eval_stats.hpp"
 #include "src/model/gtr.hpp"
 #include "src/tree/tree.hpp"
 
@@ -52,6 +53,15 @@ class Evaluator {
   /// header template over the concrete engine types (model_optimizer.hpp).
   virtual void set_alpha(double alpha) = 0;
   [[nodiscard]] virtual double alpha() const = 0;
+
+  /// Accumulated per-kernel statistics since construction or the last
+  /// reset_stats().  Aggregating evaluators (fork-join, distributed,
+  /// partitioned) merge their children's stats through
+  /// EvalStats::operator+= — the single aggregation path — and fill in the
+  /// runtime-attribution fields (compute/wait/comm).  The reference stays
+  /// valid until the next stats() or reset_stats() call on the same object.
+  [[nodiscard]] virtual const EvalStats& stats() const = 0;
+  virtual void reset_stats() = 0;
 };
 
 }  // namespace miniphi::core

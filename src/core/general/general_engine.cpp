@@ -44,6 +44,10 @@ GeneralEngine::GeneralEngine(const bio::PatternSet& patterns, const model::Gener
   length_ = (config.end < 0 ? npat : config.end) - offset_;
   MINIPHI_CHECK(offset_ >= 0 && length_ > 0 && offset_ + length_ <= npat,
                 "general engine: invalid pattern slice");
+  if (obs::kMetricsCompiled && config.metrics == obs::MetricsMode::kOn) {
+    metrics_ = true;
+    metric_ids_ = register_engine_metrics(ops_.isa, "general");
+  }
 
   const auto block = static_cast<std::size_t>(dims_.block());
   clas_.resize(static_cast<std::size_t>(tree.inner_count()));
@@ -136,7 +140,6 @@ void GeneralEngine::run_newview(tree::Slot* slot) {
   ctx.end = length_;
   ctx.tuning = tuning_;
 
-  auto& stat = stats_[static_cast<std::size_t>(static_cast<int>(Kernel::kNewview))];
   Timer timer;
   if (use_openmp_) {
 #if defined(_OPENMP)
@@ -155,13 +158,28 @@ void GeneralEngine::run_newview(tree::Slot* slot) {
   } else {
     ops_.newview(ctx);
   }
-  stat.seconds += timer.seconds();
-  ++stat.calls;
-  stat.sites += length_;
+  record_kernel(Kernel::kNewview,
+                length_ * (1 + (ctx.left.is_tip() ? 0 : 1) + (ctx.right.is_tip() ? 0 : 1)),
+                timer.seconds());
 
   parent.orientation = slot->slot_index;
   parent.valid = true;
   sum_prepared_ = false;
+}
+
+void GeneralEngine::record_kernel(Kernel k, std::int64_t cla_blocks, double seconds) {
+  auto& stat = stats_.kernel(k);
+  const std::int64_t cla_bytes =
+      cla_blocks * dims_.block() * static_cast<std::int64_t>(sizeof(double));
+  stat.seconds += seconds;
+  ++stat.calls;
+  stat.sites += length_;
+  stat.sites_represented += length_;
+  stat.bytes += cla_bytes;
+  if (metrics_) {
+    publish_kernel(metric_ids_.kernels[static_cast<std::size_t>(static_cast<int>(k))], length_,
+                   length_, cla_bytes, seconds);
+  }
 }
 
 double GeneralEngine::run_evaluate(tree::Slot* edge) {
@@ -193,7 +211,6 @@ double GeneralEngine::run_evaluate(tree::Slot* edge) {
   ctx.begin = 0;
   ctx.end = length_;
 
-  auto& stat = stats_[static_cast<std::size_t>(static_cast<int>(Kernel::kEvaluate))];
   Timer timer;
   double result = 0.0;
   if (use_openmp_) {
@@ -213,9 +230,7 @@ double GeneralEngine::run_evaluate(tree::Slot* edge) {
   } else {
     result = ops_.evaluate(ctx);
   }
-  stat.seconds += timer.seconds();
-  ++stat.calls;
-  stat.sites += length_;
+  record_kernel(Kernel::kEvaluate, length_ * (q->is_tip() ? 1 : 2), timer.seconds());
   return result;
 }
 
@@ -253,7 +268,6 @@ void GeneralEngine::prepare_derivatives(tree::Slot* edge) {
   ctx.end = length_;
   ctx.tuning = tuning_;
 
-  auto& stat = stats_[static_cast<std::size_t>(static_cast<int>(Kernel::kDerivSum))];
   Timer timer;
   if (use_openmp_) {
 #if defined(_OPENMP)
@@ -272,9 +286,7 @@ void GeneralEngine::prepare_derivatives(tree::Slot* edge) {
   } else {
     ops_.derivative_sum(ctx);
   }
-  stat.seconds += timer.seconds();
-  ++stat.calls;
-  stat.sites += length_;
+  record_kernel(Kernel::kDerivSum, length_ * (q->is_tip() ? 2 : 3), timer.seconds());
   sum_prepared_ = true;
 }
 
@@ -290,7 +302,6 @@ std::pair<double, double> GeneralEngine::derivatives(double z) {
   ctx.begin = 0;
   ctx.end = length_;
 
-  auto& stat = stats_[static_cast<std::size_t>(static_cast<int>(Kernel::kDerivCore))];
   Timer timer;
   double first = 0.0;
   double second = 0.0;
@@ -319,9 +330,7 @@ std::pair<double, double> GeneralEngine::derivatives(double z) {
     first = ctx.out_first;
     second = ctx.out_second;
   }
-  stat.seconds += timer.seconds();
-  ++stat.calls;
-  stat.sites += length_;
+  record_kernel(Kernel::kDerivCore, length_, timer.seconds());
   return {first, second};
 }
 

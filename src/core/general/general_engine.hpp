@@ -25,13 +25,8 @@ namespace miniphi::core {
 
 class GeneralEngine final : public Evaluator {
  public:
-  struct Config {
-    simd::Isa isa = simd::best_supported_isa();
-    KernelTuning tuning;
-    bool use_openmp = false;  ///< parallelize kernel site loops (hybrid mode)
-    std::int64_t begin = 0;
-    std::int64_t end = -1;
-  };
+  /// All knobs are the shared core::EngineConfig set; no extras.
+  struct Config : EngineConfig {};
 
   /// `code_masks[code]` gives the state set of tip code `code`; every code
   /// appearing in `patterns` must be within range.
@@ -62,9 +57,9 @@ class GeneralEngine final : public Evaluator {
 
   void invalidate_all();
 
-  [[nodiscard]] const KernelStat& stats(Kernel k) const {
-    return stats_[static_cast<std::size_t>(static_cast<int>(k))];
-  }
+  [[nodiscard]] const KernelStat& stats(Kernel k) const { return stats_.kernel(k); }
+  [[nodiscard]] const EvalStats& stats() const override { return stats_; }
+  void reset_stats() override { stats_ = EvalStats{}; }
 
  private:
   struct NodeCla {
@@ -106,7 +101,13 @@ class GeneralEngine final : public Evaluator {
   AlignedDoubles dtab_;
   AlignedDoubles sum_buffer_;
 
-  std::array<KernelStat, kKernelCount> stats_{};
+  /// Stat bookkeeping for one kernel call (`cla_blocks` = CLA site blocks
+  /// touched, each dims_.block() doubles); publishes when metrics are on.
+  void record_kernel(Kernel k, std::int64_t cla_blocks, double seconds);
+
+  EvalStats stats_;
+  bool metrics_ = false;
+  EngineMetricIds metric_ids_;
   bool sum_prepared_ = false;
 };
 

@@ -136,4 +136,14 @@ void PartitionedEvaluator::set_alpha(double alpha) {
 
 double PartitionedEvaluator::alpha() const { return engines_.front()->model().params().alpha; }
 
+const EvalStats& PartitionedEvaluator::stats() const {
+  aggregated_stats_ = EvalStats{};
+  for (const auto& engine : engines_) aggregated_stats_ += engine->stats();
+  return aggregated_stats_;
+}
+
+void PartitionedEvaluator::reset_stats() {
+  for (auto& engine : engines_) engine->reset_stats();
+}
+
 }  // namespace miniphi::core

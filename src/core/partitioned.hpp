@@ -65,11 +65,16 @@ class PartitionedEvaluator final : public Evaluator {
   void set_alpha(double alpha) override;
   [[nodiscard]] double alpha() const override;
 
+  /// Sum of the per-partition engine stats (EvalStats::operator+=).
+  [[nodiscard]] const EvalStats& stats() const override;
+  void reset_stats() override;
+
  private:
   tree::Tree& tree_;
   std::vector<std::string> names_;
   std::vector<std::unique_ptr<bio::PatternSet>> patterns_;
   std::vector<std::unique_ptr<LikelihoodEngine>> engines_;
+  mutable EvalStats aggregated_stats_;  ///< cache filled by stats()
 };
 
 }  // namespace miniphi::core

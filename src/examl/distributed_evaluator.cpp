@@ -18,6 +18,10 @@ DistributedEvaluator::DistributedEvaluator(mpi::Communicator& comm,
   config.begin = npat * comm.rank() / ranks;
   config.end = npat * (comm.rank() + 1) / ranks;
   engine_ = std::make_unique<core::LikelihoodEngine>(patterns, model, tree, config);
+  if (obs::kMetricsCompiled && engine_config.metrics == obs::MetricsMode::kOn) {
+    comm_.enable_metrics();
+  }
+  comm_baseline_ = comm_.stats();
 }
 
 double DistributedEvaluator::log_likelihood(tree::Slot* edge) {
@@ -69,5 +73,21 @@ void DistributedEvaluator::set_model(const model::GtrModel& model) { engine_->se
 void DistributedEvaluator::set_alpha(double alpha) { engine_->set_alpha(alpha); }
 
 const model::GtrModel& DistributedEvaluator::model() const { return engine_->model(); }
+
+const core::EvalStats& DistributedEvaluator::stats() const {
+  aggregated_stats_ = engine_->stats();
+  const mpi::CommStats& comm = comm_.stats();
+  aggregated_stats_.comm_seconds = comm.wait_seconds - comm_baseline_.wait_seconds;
+  aggregated_stats_.comm_calls = (comm.barriers - comm_baseline_.barriers) +
+                                 (comm.allreduces - comm_baseline_.allreduces) +
+                                 (comm.broadcasts - comm_baseline_.broadcasts) +
+                                 (comm.point_to_point - comm_baseline_.point_to_point);
+  return aggregated_stats_;
+}
+
+void DistributedEvaluator::reset_stats() {
+  engine_->reset_stats();
+  comm_baseline_ = comm_.stats();
+}
 
 }  // namespace miniphi::examl

@@ -39,10 +39,20 @@ class DistributedEvaluator final : public core::Evaluator {
 
   [[nodiscard]] core::LikelihoodEngine& local_engine() { return *engine_; }
 
+  /// This rank's engine stats with communication attribution folded in:
+  /// comm_seconds is the wall time this rank spent blocked in collectives,
+  /// comm_calls the number of collective operations it issued.
+  [[nodiscard]] const core::EvalStats& stats() const override;
+  void reset_stats() override;
+
  private:
   mpi::Communicator& comm_;
   tree::Tree& tree_;
   std::unique_ptr<core::LikelihoodEngine> engine_;
+  /// Comm counters at construction / last reset_stats(); subtracted so the
+  /// evaluator reports only its own communication, not the whole rank's.
+  mpi::CommStats comm_baseline_;
+  mutable core::EvalStats aggregated_stats_;  ///< cache filled by stats()
 };
 
 }  // namespace miniphi::examl

@@ -41,6 +41,7 @@ TracedRun run_traced_search(const bio::Alignment& alignment, const ExperimentOpt
   core::LikelihoodEngine::Config config;
   config.isa = options.isa;
   config.trace = &run.trace;
+  config.metrics = options.metrics;
   core::LikelihoodEngine engine(patterns, model, tree, config);
 
   // Full GTR model optimization (α + exchangeabilities), as in ExaML.
@@ -97,6 +98,7 @@ DistributedRunResult run_distributed_search(const bio::Alignment& alignment, int
 
         core::LikelihoodEngine::Config config;
         config.isa = options.isa;
+        config.metrics = options.metrics;
         DistributedEvaluator evaluator(comm, patterns, rank_model, tree, config);
         search::SearchOptions search_options = options.search;
         search_options.max_rounds = std::max(0, options.search.max_rounds - rounds_done);

@@ -41,6 +41,10 @@ struct ExperimentOptions {
   simd::Isa isa = simd::best_supported_isa();
   search::SearchOptions search;
   FaultToleranceOptions fault_tolerance;
+  /// kOn publishes per-kernel counters/histograms to the obs registry and
+  /// comm wait metrics per rank (see src/obs/); off by default — the kernel
+  /// fast path then compiles to plain unguarded code.
+  obs::MetricsMode metrics = obs::MetricsMode::kOff;
 };
 
 struct TracedRun {

@@ -6,7 +6,9 @@
 #include <thread>
 #include <utility>
 
+#include "src/obs/span_trace.hpp"
 #include "src/util/error.hpp"
+#include "src/util/timer.hpp"
 
 namespace miniphi::mpi {
 
@@ -178,6 +180,10 @@ void World::run(const std::function<void(Communicator&)>& rank_main) {
   for (int r = 0; r < rank_count_; ++r) {
     threads.emplace_back([&, r] {
       const auto index = static_cast<std::size_t>(r);
+      // Label the rank thread for the span trace so per-rank rows group
+      // together in chrome://tracing (no-ops when tracing is disabled).
+      obs::Tracer::instance().set_thread_rank(r);
+      obs::Tracer::instance().set_thread_label("rank " + std::to_string(r));
       Communicator comm(*this, r);
       try {
         rank_main(comm);
@@ -215,33 +221,68 @@ CommStats World::total_stats() const {
     total.broadcasts += stats.broadcasts;
     total.point_to_point += stats.point_to_point;
     total.bytes += stats.bytes;
+    total.wait_seconds += stats.wait_seconds;
   }
   return total;
 }
 
 int Communicator::size() const { return world_.size(); }
 
+void Communicator::enable_metrics() {
+  if constexpr (!obs::kMetricsCompiled) return;
+  obs::Registry& registry = obs::Registry::instance();
+  metric_ids_.barrier_calls = registry.counter("mpi.barrier.calls");
+  metric_ids_.barrier_wait_us = registry.counter("mpi.barrier.wait_us");
+  metric_ids_.allreduce_calls = registry.counter("mpi.allreduce.calls");
+  metric_ids_.allreduce_wait_us = registry.counter("mpi.allreduce.wait_us");
+  metric_ids_.broadcast_calls = registry.counter("mpi.broadcast.calls");
+  metric_ids_.broadcast_wait_us = registry.counter("mpi.broadcast.wait_us");
+  metric_ids_.p2p_calls = registry.counter("mpi.p2p.calls");
+  metric_ids_.p2p_wait_us = registry.counter("mpi.p2p.wait_us");
+  metrics_ = true;
+}
+
+void Communicator::record_collective(std::int64_t CommStats::* counter,
+                                     std::int64_t payload_bytes, obs::MetricId calls_id,
+                                     obs::MetricId wait_id, double seconds) {
+  ++(stats_.*counter);
+  stats_.bytes += payload_bytes;
+  stats_.wait_seconds += seconds;
+  if (metrics_) {
+    obs::Registry& registry = obs::Registry::instance();
+    registry.add(calls_id, 1);
+    registry.add(wait_id, static_cast<std::int64_t>(seconds * 1e6));
+  }
+}
+
 void Communicator::on_kernel_region() { world_.on_kernel_entry(rank_); }
 
 void Communicator::barrier() {
+  const obs::ScopedSpan span("mpi:barrier");
+  const Timer timer;
   world_.on_collective_entry(rank_);
   world_.barrier_wait(rank_);
-  ++stats_.barriers;
+  record_collective(&CommStats::barriers, 0, metric_ids_.barrier_calls,
+                    metric_ids_.barrier_wait_us, timer.seconds());
 }
 
 double Communicator::allreduce_sum(double value) {
+  const obs::ScopedSpan span("mpi:allreduce");
+  const Timer timer;
   world_.on_collective_entry(rank_);
   world_.reduce_buffer_[static_cast<std::size_t>(rank_)] = value;
   world_.barrier_wait(rank_);  // all contributions visible
   double total = 0.0;
   for (const double contribution : world_.reduce_buffer_) total += contribution;
   world_.barrier_wait(rank_);  // all reads done before buffer reuse
-  ++stats_.allreduces;
-  stats_.bytes += static_cast<std::int64_t>(sizeof(double));
+  record_collective(&CommStats::allreduces, static_cast<std::int64_t>(sizeof(double)),
+                    metric_ids_.allreduce_calls, metric_ids_.allreduce_wait_us, timer.seconds());
   return total;
 }
 
 void Communicator::allreduce_sum(std::span<double> values) {
+  const obs::ScopedSpan span("mpi:allreduce");
+  const Timer timer;
   world_.on_collective_entry(rank_);
   // Rank 0 owns the shared accumulation buffer for vector reductions.
   {
@@ -262,11 +303,14 @@ void Communicator::allreduce_sum(std::span<double> values) {
   world_.barrier_wait(rank_);
   for (std::size_t i = 0; i < values.size(); ++i) values[i] = world_.vector_buffer_[i];
   world_.barrier_wait(rank_);
-  ++stats_.allreduces;
-  stats_.bytes += static_cast<std::int64_t>(values.size() * sizeof(double));
+  record_collective(&CommStats::allreduces,
+                    static_cast<std::int64_t>(values.size() * sizeof(double)),
+                    metric_ids_.allreduce_calls, metric_ids_.allreduce_wait_us, timer.seconds());
 }
 
 std::pair<double, int> Communicator::allreduce_minloc(double value) {
+  const obs::ScopedSpan span("mpi:allreduce");
+  const Timer timer;
   world_.on_collective_entry(rank_);
   world_.reduce_buffer_[static_cast<std::size_t>(rank_)] = value;
   world_.barrier_wait(rank_);
@@ -280,23 +324,28 @@ std::pair<double, int> Communicator::allreduce_minloc(double value) {
     }
   }
   world_.barrier_wait(rank_);
-  ++stats_.allreduces;
-  stats_.bytes += static_cast<std::int64_t>(sizeof(double) + sizeof(int));
+  record_collective(&CommStats::allreduces,
+                    static_cast<std::int64_t>(sizeof(double) + sizeof(int)),
+                    metric_ids_.allreduce_calls, metric_ids_.allreduce_wait_us, timer.seconds());
   return {best, best_rank};
 }
 
 double Communicator::broadcast(double value, int root) {
+  const obs::ScopedSpan span("mpi:broadcast");
+  const Timer timer;
   world_.on_collective_entry(rank_);
   if (rank_ == root) world_.reduce_buffer_[0] = value;
   world_.barrier_wait(rank_);
   const double result = world_.reduce_buffer_[0];
   world_.barrier_wait(rank_);
-  ++stats_.broadcasts;
-  stats_.bytes += static_cast<std::int64_t>(sizeof(double));
+  record_collective(&CommStats::broadcasts, static_cast<std::int64_t>(sizeof(double)),
+                    metric_ids_.broadcast_calls, metric_ids_.broadcast_wait_us, timer.seconds());
   return result;
 }
 
 void Communicator::broadcast(std::span<double> values, int root) {
+  const obs::ScopedSpan span("mpi:broadcast");
+  const Timer timer;
   world_.on_collective_entry(rank_);
   {
     std::unique_lock<std::mutex> lock(world_.mutex_);
@@ -311,11 +360,14 @@ void Communicator::broadcast(std::span<double> values, int root) {
   world_.barrier_wait(rank_);
   for (std::size_t i = 0; i < values.size(); ++i) values[i] = world_.vector_buffer_[i];
   world_.barrier_wait(rank_);
-  ++stats_.broadcasts;
-  stats_.bytes += static_cast<std::int64_t>(values.size() * sizeof(double));
+  record_collective(&CommStats::broadcasts,
+                    static_cast<std::int64_t>(values.size() * sizeof(double)),
+                    metric_ids_.broadcast_calls, metric_ids_.broadcast_wait_us, timer.seconds());
 }
 
 void Communicator::send(int destination, int tag, std::span<const double> payload) {
+  const obs::ScopedSpan span("mpi:p2p");
+  const Timer timer;
   MINIPHI_CHECK(destination >= 0 && destination < world_.size() && destination != rank_,
                 "mpi send: invalid destination rank");
   {
@@ -328,11 +380,14 @@ void Communicator::send(int destination, int tag, std::span<const double> payloa
     }
   }
   world_.mailbox_cv_.notify_all();
-  ++stats_.point_to_point;
-  stats_.bytes += static_cast<std::int64_t>(payload.size() * sizeof(double));
+  record_collective(&CommStats::point_to_point,
+                    static_cast<std::int64_t>(payload.size() * sizeof(double)),
+                    metric_ids_.p2p_calls, metric_ids_.p2p_wait_us, timer.seconds());
 }
 
 std::vector<double> Communicator::recv(int source, int tag) {
+  const obs::ScopedSpan span("mpi:p2p");
+  const Timer timer;
   std::unique_lock<std::mutex> lock(world_.mutex_);
   world_.throw_if_aborted_locked();
   auto& mailbox = world_.mailboxes_[static_cast<std::size_t>(rank_)];
@@ -357,7 +412,9 @@ std::vector<double> Communicator::recv(int source, int tag) {
   const auto deadline = std::chrono::steady_clock::now() + world_.collective_timeout_;
   for (;;) {
     if (auto payload = try_take()) {
-      ++stats_.point_to_point;
+      // Payload bytes are counted on the send side only.
+      record_collective(&CommStats::point_to_point, 0, metric_ids_.p2p_calls,
+                        metric_ids_.p2p_wait_us, timer.seconds());
       return *std::move(payload);
     }
     world_.blocked_[static_cast<std::size_t>(rank_)] = 1;
@@ -367,7 +424,8 @@ std::vector<double> Communicator::recv(int source, int tag) {
       world_.throw_if_aborted_locked();
       if (status == std::cv_status::timeout) {
         if (auto payload = try_take()) {  // a send may have raced the deadline
-          ++stats_.point_to_point;
+          record_collective(&CommStats::point_to_point, 0, metric_ids_.p2p_calls,
+                            metric_ids_.p2p_wait_us, timer.seconds());
           return *std::move(payload);
         }
         const std::string diagnosis = world_.describe_stall_locked(

@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "src/minimpi/faults.hpp"
+#include "src/obs/metrics.hpp"
 
 namespace miniphi::mpi {
 
@@ -45,6 +46,10 @@ struct CommStats {
   std::int64_t broadcasts = 0;
   std::int64_t point_to_point = 0;
   std::int64_t bytes = 0;
+  /// Wall time this rank spent inside collectives and blocking receives —
+  /// the per-rank communication/wait attribution of the paper's hybrid-run
+  /// analysis (Section V-D).
+  double wait_seconds = 0.0;
 };
 
 class World;
@@ -88,13 +93,32 @@ class Communicator {
 
   [[nodiscard]] const CommStats& stats() const { return stats_; }
 
+  /// Turns on obs-registry publication for this rank's collectives
+  /// ("mpi.<collective>.{calls,wait_us}" counters, shared across ranks).
+  /// Call once at rank start when the run has metrics enabled; registration
+  /// takes the registry lock, publication is per-thread sharded.
+  void enable_metrics();
+
  private:
   friend class World;
   Communicator(World& world, int rank) : world_(world), rank_(rank) {}
 
+  /// Per-collective stat/metric update shared by every collective body.
+  void record_collective(std::int64_t CommStats::* counter, std::int64_t payload_bytes,
+                         obs::MetricId calls_id, obs::MetricId wait_id, double seconds);
+
   World& world_;
   int rank_;
   CommStats stats_;
+
+  struct MetricIds {
+    obs::MetricId barrier_calls = 0, barrier_wait_us = 0;
+    obs::MetricId allreduce_calls = 0, allreduce_wait_us = 0;
+    obs::MetricId broadcast_calls = 0, broadcast_wait_us = 0;
+    obs::MetricId p2p_calls = 0, p2p_wait_us = 0;
+  };
+  bool metrics_ = false;
+  MetricIds metric_ids_;
 };
 
 /// Owns the shared state of one rank group and runs rank main functions on

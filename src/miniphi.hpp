@@ -7,6 +7,7 @@
 //   bio       — alignments, DNA encoding, site-pattern compression
 //   model     — GTR+Γ substitution model
 //   tree      — unrooted trees, moves, parsimony
+//   obs       — metrics registry, span tracer, kernel report
 //   core      — the PLF kernels and the likelihood engine (paper's core)
 //   parallel  — fork-join evaluator (RAxML-Light PThreads scheme)
 //   minimpi   — in-process message passing
@@ -23,6 +24,8 @@
 #include "src/bio/protein_alignment.hpp"
 #include "src/core/cat/cat_engine.hpp"
 #include "src/core/engine.hpp"
+#include "src/core/engine_config.hpp"
+#include "src/core/eval_stats.hpp"
 #include "src/core/evaluator.hpp"
 #include "src/core/general/general_engine.hpp"
 #include "src/core/partitioned.hpp"
@@ -35,6 +38,9 @@
 #include "src/io/phylip.hpp"
 #include "src/minimpi/minimpi.hpp"
 #include "src/model/gamma.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/report.hpp"
+#include "src/obs/span_trace.hpp"
 #include "src/model/general.hpp"
 #include "src/model/gtr.hpp"
 #include "src/parallel/fork_join_evaluator.hpp"

@@ -1,0 +1,236 @@
+#include "src/obs/metrics.hpp"
+
+#include <atomic>
+#include <bit>
+#include <mutex>
+#include <unordered_map>
+
+#include "src/util/error.hpp"
+
+namespace miniphi::obs {
+
+std::int64_t histogram_bucket_floor(int b) {
+  if (b <= 0) return 0;
+  return std::int64_t{1} << (b - 1);
+}
+
+int histogram_bucket(std::int64_t value) {
+  if (value <= 0) return 0;
+  const int width = static_cast<int>(std::bit_width(static_cast<std::uint64_t>(value)));
+  return width < kHistogramBuckets ? width : kHistogramBuckets - 1;
+}
+
+/// One thread's slot array.  Only the owning thread writes; every access is
+/// a relaxed atomic so concurrent readers (merge) and the reset sweep are
+/// race-free.  A shard survives its thread and is recycled (counts intact)
+/// by the next thread that needs one.
+struct Registry::Shard {
+  std::vector<std::atomic<std::int64_t>> slots;
+  Shard() : slots(kMaxSlots) {}  // value-initialized to 0
+};
+
+struct Registry::StateImpl {
+  mutable std::mutex mutex;
+  std::vector<Shard*> shards;       ///< every shard ever allocated (leaked)
+  std::vector<Shard*> free_shards;  ///< retired, available for reuse
+  std::vector<Descriptor> metrics;  ///< by registration order
+  std::unordered_map<std::string, std::size_t> by_name;  ///< name -> metrics index
+  std::vector<std::atomic<std::int64_t>> gauges;
+  MetricId next_slot = 0;
+  StateImpl() : gauges(kMaxSlots) {}
+};
+
+/// Ties a thread to its shard; the destructor retires the shard on thread
+/// exit so a later thread can reuse it (bounding the shard population by
+/// the peak concurrent thread count).
+struct ShardHandle {
+  Registry::Shard* shard = nullptr;
+  ~ShardHandle();
+};
+
+Registry& Registry::instance() {
+  // Leaked on purpose: engines and pools may publish during teardown.
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+Registry::StateImpl& Registry::state() const {
+  // Thread-safe lazy init (magic static); leaked with the registry.
+  static StateImpl* impl = new StateImpl();
+  return *impl;
+}
+
+namespace {
+thread_local ShardHandle t_shard;
+}
+
+ShardHandle::~ShardHandle() {
+  if (shard != nullptr) Registry::instance().release_shard(shard);
+}
+
+Registry::Shard& Registry::local_shard() {
+  if (t_shard.shard == nullptr) t_shard.shard = acquire_shard();
+  return *t_shard.shard;
+}
+
+Registry::Shard* Registry::acquire_shard() {
+  StateImpl& s = state();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  if (!s.free_shards.empty()) {
+    Shard* shard = s.free_shards.back();
+    s.free_shards.pop_back();
+    return shard;
+  }
+  auto* shard = new Shard();  // leaked with the registry
+  s.shards.push_back(shard);
+  return shard;
+}
+
+void Registry::release_shard(Shard* shard) {
+  StateImpl& s = state();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  s.free_shards.push_back(shard);  // counts stay merged; slots are NOT zeroed
+}
+
+MetricId Registry::intern(const std::string& name, MetricKind kind, std::uint32_t slots) {
+  StateImpl& s = state();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  const auto it = s.by_name.find(name);
+  if (it != s.by_name.end()) {
+    const Descriptor& existing = s.metrics[it->second];
+    MINIPHI_CHECK(existing.kind == kind,
+                  "metrics: '" + name + "' re-registered with a different kind");
+    return existing.base;
+  }
+  MINIPHI_CHECK(s.next_slot + slots <= kMaxSlots,
+                "metrics: slot capacity exhausted registering '" + name + "'");
+  Descriptor descriptor;
+  descriptor.name = name;
+  descriptor.kind = kind;
+  descriptor.base = s.next_slot;
+  descriptor.slots = slots;
+  s.next_slot += slots;
+  s.by_name.emplace(name, s.metrics.size());
+  s.metrics.push_back(std::move(descriptor));
+  return s.metrics.back().base;
+}
+
+MetricId Registry::counter(const std::string& name) {
+  return intern(name, MetricKind::kCounter, 1);
+}
+
+MetricId Registry::gauge(const std::string& name) { return intern(name, MetricKind::kGauge, 1); }
+
+MetricId Registry::histogram(const std::string& name) {
+  // buckets + running sum
+  return intern(name, MetricKind::kHistogram, kHistogramBuckets + 1);
+}
+
+void Registry::add(MetricId id, std::int64_t delta) {
+  auto& slot = local_shard().slots[id];
+  slot.store(slot.load(std::memory_order_relaxed) + delta, std::memory_order_relaxed);
+}
+
+void Registry::set(MetricId id, std::int64_t value) {
+  state().gauges[id].store(value, std::memory_order_relaxed);
+}
+
+void Registry::observe(MetricId id, std::int64_t value) {
+  Shard& shard = local_shard();
+  auto& bucket = shard.slots[id + static_cast<MetricId>(histogram_bucket(value))];
+  bucket.store(bucket.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
+  auto& sum = shard.slots[id + kHistogramBuckets];
+  sum.store(sum.load(std::memory_order_relaxed) + value, std::memory_order_relaxed);
+}
+
+std::int64_t Registry::merged_slot_locked(MetricId slot) const {
+  std::int64_t total = 0;
+  for (const Shard* shard : state().shards) {
+    total += shard->slots[slot].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+const Registry::Descriptor* Registry::find_locked(MetricId id) const {
+  for (const Descriptor& descriptor : state().metrics) {
+    if (descriptor.base == id) return &descriptor;
+  }
+  return nullptr;
+}
+
+std::int64_t Registry::value(MetricId id) const {
+  StateImpl& s = state();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  const Descriptor* descriptor = find_locked(id);
+  MINIPHI_CHECK(descriptor != nullptr, "metrics: unknown metric id");
+  if (descriptor->kind == MetricKind::kGauge) {
+    return s.gauges[id].load(std::memory_order_relaxed);
+  }
+  return merged_slot_locked(id);
+}
+
+HistogramSnapshot Registry::histogram_snapshot(MetricId id) const {
+  StateImpl& s = state();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  const Descriptor* descriptor = find_locked(id);
+  MINIPHI_CHECK(descriptor != nullptr && descriptor->kind == MetricKind::kHistogram,
+                "metrics: not a histogram id");
+  HistogramSnapshot snapshot;
+  snapshot.buckets.resize(kHistogramBuckets);
+  for (int b = 0; b < kHistogramBuckets; ++b) {
+    snapshot.buckets[static_cast<std::size_t>(b)] =
+        merged_slot_locked(id + static_cast<MetricId>(b));
+    snapshot.count += snapshot.buckets[static_cast<std::size_t>(b)];
+  }
+  snapshot.sum = merged_slot_locked(id + kHistogramBuckets);
+  return snapshot;
+}
+
+std::vector<MetricSnapshot> Registry::snapshot() const {
+  StateImpl& s = state();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  std::vector<MetricSnapshot> result;
+  result.reserve(s.metrics.size());
+  for (const Descriptor& descriptor : s.metrics) {
+    MetricSnapshot snap;
+    snap.name = descriptor.name;
+    snap.kind = descriptor.kind;
+    switch (descriptor.kind) {
+      case MetricKind::kCounter:
+        snap.value = merged_slot_locked(descriptor.base);
+        break;
+      case MetricKind::kGauge:
+        snap.value = s.gauges[descriptor.base].load(std::memory_order_relaxed);
+        break;
+      case MetricKind::kHistogram: {
+        snap.histogram.buckets.resize(kHistogramBuckets);
+        for (int b = 0; b < kHistogramBuckets; ++b) {
+          snap.histogram.buckets[static_cast<std::size_t>(b)] =
+              merged_slot_locked(descriptor.base + static_cast<MetricId>(b));
+          snap.histogram.count += snap.histogram.buckets[static_cast<std::size_t>(b)];
+        }
+        snap.histogram.sum = merged_slot_locked(descriptor.base + kHistogramBuckets);
+        break;
+      }
+    }
+    result.push_back(std::move(snap));
+  }
+  return result;
+}
+
+void Registry::reset() {
+  StateImpl& s = state();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  for (Shard* shard : s.shards) {
+    for (auto& slot : shard->slots) slot.store(0, std::memory_order_relaxed);
+  }
+  for (auto& gauge : s.gauges) gauge.store(0, std::memory_order_relaxed);
+}
+
+std::size_t Registry::shard_count() const {
+  StateImpl& s = state();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  return s.shards.size();
+}
+
+}  // namespace miniphi::obs

@@ -1,0 +1,146 @@
+// Process-wide metrics registry: monotonic counters, gauges, and
+// fixed-bucket latency histograms.
+//
+// The paper's entire evaluation hinges on attributing run time to the four
+// PLF kernels over *full tree searches* (Section VI-B1, Fig. 3); BEAGLE
+// ships the same capability as library API (per-operation counters).  This
+// registry is the production-run counterpart of the benches' ad-hoc timers:
+// engines publish per-kernel invocation counts, sites computed vs
+// represented, CLA bytes touched, scaling events, and per-call latency
+// histograms under stable dotted names ("plf.<isa>.<path>.<kernel>.calls").
+//
+// Design constraints, in order:
+//  * Kernel-path increments must be nearly free: every counter lives in a
+//    per-thread shard, so an increment is one relaxed load + one relaxed
+//    store on a cache line no other thread writes — no locks, no contended
+//    atomics.  Readers merge across shards (slow path, report time only).
+//  * Metrics are a *runtime* knob (core::EngineConfig::metrics): engines
+//    that run with metrics off never touch the registry at all (a single
+//    predictable branch per kernel call).  Defining MINIPHI_METRICS_DISABLED
+//    additionally compiles every publication site out to nothing.
+//  * Thread churn is normal here (minimpi ranks are short-lived threads):
+//    a shard outlives its thread — counts are never lost — and retired
+//    shards are recycled by later threads, so the shard population is
+//    bounded by the peak concurrent thread count.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace miniphi::obs {
+
+#if defined(MINIPHI_METRICS_DISABLED)
+inline constexpr bool kMetricsCompiled = false;
+#else
+/// Compile-time master switch: `if constexpr (kMetricsCompiled)` around a
+/// publication site removes it entirely when MINIPHI_METRICS_DISABLED is
+/// defined.
+inline constexpr bool kMetricsCompiled = true;
+#endif
+
+/// Runtime metrics knob carried by core::EngineConfig.
+enum class MetricsMode { kOff, kOn };
+
+/// Index of a metric's first slot inside every shard; stable for the
+/// process lifetime, cheap to copy, cached by publishers at setup time.
+using MetricId = std::uint32_t;
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+/// Histogram geometry: bucket b >= 1 counts values v with
+/// 2^(b-1) <= v < 2^b; bucket 0 holds v < 1 (including non-positive
+/// values); the last bucket absorbs everything above its floor.  With the
+/// publisher convention of nanosecond latencies, 40 power-of-two buckets
+/// cover 1 ns .. ~9 minutes, enough for any kernel or collective.
+inline constexpr int kHistogramBuckets = 40;
+
+/// Lower edge (inclusive) of bucket `b`; bucket 0 starts at 0.
+[[nodiscard]] std::int64_t histogram_bucket_floor(int b);
+
+/// Bucket index for a value (values <= 0 land in bucket 0).
+[[nodiscard]] int histogram_bucket(std::int64_t value);
+
+struct HistogramSnapshot {
+  std::int64_t count = 0;  ///< total observations
+  std::int64_t sum = 0;    ///< sum of observed values
+  std::vector<std::int64_t> buckets;  ///< [kHistogramBuckets] per-bucket counts
+};
+
+/// One metric's merged state, for reports and tests.
+struct MetricSnapshot {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  std::int64_t value = 0;        ///< counters and gauges
+  HistogramSnapshot histogram;   ///< histograms only
+};
+
+class Registry {
+ public:
+  /// The process-wide registry (intentionally leaked: publishers may run
+  /// during static destruction of other objects).
+  static Registry& instance();
+
+  /// Interns a metric by name; returns the existing id when the name is
+  /// already registered (the kind must match).  Registration takes a lock —
+  /// do it at setup time, never on the kernel path.
+  MetricId counter(const std::string& name);
+  MetricId gauge(const std::string& name);
+  MetricId histogram(const std::string& name);
+
+  /// Counter increment: one relaxed load + store in this thread's shard.
+  void add(MetricId id, std::int64_t delta);
+
+  /// Gauge write: last write wins process-wide (gauges are not sharded).
+  void set(MetricId id, std::int64_t value);
+
+  /// Histogram observation: two relaxed read-modify-writes in this thread's
+  /// shard (the bucket count and the running sum).
+  void observe(MetricId id, std::int64_t value);
+
+  /// Merged counter/gauge value across every shard (including shards whose
+  /// thread has exited).  Safe to call concurrently with writers: writers
+  /// are atomic, the reader sees each shard's value at-or-before "now".
+  [[nodiscard]] std::int64_t value(MetricId id) const;
+
+  [[nodiscard]] HistogramSnapshot histogram_snapshot(MetricId id) const;
+
+  /// Everything, merged — the report generator's input.
+  [[nodiscard]] std::vector<MetricSnapshot> snapshot() const;
+
+  /// Zeroes every slot of every shard (and the gauge table).  Meant for
+  /// test isolation and between-run resets; concurrent writers may land
+  /// increments on either side of the sweep.
+  void reset();
+
+  /// Number of shards ever allocated (== peak concurrent publisher threads;
+  /// exposed so tests can assert shard recycling works).
+  [[nodiscard]] std::size_t shard_count() const;
+
+  /// Slots available per shard; registration beyond this throws.
+  static constexpr std::size_t kMaxSlots = 8192;
+
+ private:
+  Registry() = default;
+  struct Shard;
+  friend struct ShardHandle;
+
+  struct Descriptor {
+    std::string name;
+    MetricKind kind = MetricKind::kCounter;
+    MetricId base = 0;        ///< first slot inside each shard
+    std::uint32_t slots = 1;  ///< 1 for counters/gauges, buckets+1 for histograms
+  };
+
+  MetricId intern(const std::string& name, MetricKind kind, std::uint32_t slots);
+  [[nodiscard]] Shard& local_shard();
+  Shard* acquire_shard();
+  void release_shard(Shard* shard);
+  [[nodiscard]] std::int64_t merged_slot_locked(MetricId slot) const;
+  [[nodiscard]] const Descriptor* find_locked(MetricId id) const;
+
+  struct StateImpl;          // holds the mutex, shard list, and descriptors
+  StateImpl& state() const;  // lazily built, leaked with the registry
+};
+
+}  // namespace miniphi::obs

@@ -1,0 +1,35 @@
+// End-of-run observability report: renders the metrics registry into a
+// human-readable per-kernel breakdown mirroring the paper's Fig. 3
+// (newview / evaluate / derivativeSum / coreDerivative, dense vs
+// site-repeat variants, per ISA backend), plus parallel-runtime and
+// communication sections when those metrics are present.
+//
+// Publishers follow a dotted naming convention the report understands:
+//   plf.<isa>.<path>.<kernel>.calls      counter: kernel invocations
+//   plf.<isa>.<path>.<kernel>.sites      counter: sites actually computed
+//   plf.<isa>.<path>.<kernel>.sites_rep  counter: sites represented
+//   plf.<isa>.<path>.<kernel>.bytes      counter: CLA bytes touched
+//   plf.<isa>.<path>.<kernel>.ns         histogram: per-call latency (ns)
+//   plf.scaling_events                   counter: numerical rescalings
+//   pool.compute_seconds_us / pool.wait_seconds_us   counters (µs)
+//   mpi.<collective>.calls / mpi.<collective>.wait_us
+// where <path> is "dense" or "repeats" and <kernel> one of newview,
+// evaluate, derivative_sum, derivative_core.  Unknown names are listed
+// verbatim in a trailing "other metrics" section so nothing is hidden.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/obs/metrics.hpp"
+
+namespace miniphi::obs {
+
+/// Renders the snapshot as a fixed-width text report.  Deterministic
+/// (rows sorted by name) so tests and the CI smoke job can parse it.
+[[nodiscard]] std::string render_kernel_report(const std::vector<MetricSnapshot>& snapshot);
+
+/// Convenience: snapshot the process-wide registry and render it.
+[[nodiscard]] std::string render_kernel_report();
+
+}  // namespace miniphi::obs

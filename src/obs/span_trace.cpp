@@ -1,0 +1,223 @@
+#include "src/obs/span_trace.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace miniphi::obs {
+
+/// One thread's event log: fixed-size chunks appended without locking.
+/// Only the owning thread writes events and the count; the count's release
+/// store / acquire load pair makes every published event visible to
+/// exporters.  Like registry shards, logs outlive their thread and are
+/// recycled (a recycled log keeps its events — they belong to the trace).
+struct Tracer::ThreadLog {
+  std::vector<std::unique_ptr<SpanEvent[]>> chunks;
+  std::atomic<std::size_t> count{0};
+  std::size_t dropped = 0;  ///< owner-written; read under the tracer mutex
+  std::string label;
+  int rank = -1;
+  int tid = 0;
+};
+
+struct Tracer::StateImpl {
+  mutable std::mutex mutex;
+  std::vector<ThreadLog*> logs;       ///< every log ever allocated (leaked)
+  std::vector<ThreadLog*> free_logs;  ///< retired, available for reuse
+  std::chrono::steady_clock::time_point epoch = std::chrono::steady_clock::now();
+  int next_tid = 0;
+};
+
+struct TracerThreadHandle {
+  Tracer::ThreadLog* log = nullptr;
+  ~TracerThreadHandle();
+};
+
+Tracer& Tracer::instance() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+Tracer::StateImpl& Tracer::state() const {
+  static StateImpl* impl = new StateImpl();
+  return *impl;
+}
+
+namespace {
+thread_local TracerThreadHandle t_log;
+}
+
+TracerThreadHandle::~TracerThreadHandle() {
+  if (log != nullptr) Tracer::instance().release_log(log);
+}
+
+Tracer::ThreadLog& Tracer::local_log() {
+  if (t_log.log == nullptr) t_log.log = acquire_log();
+  return *t_log.log;
+}
+
+Tracer::ThreadLog* Tracer::acquire_log() {
+  StateImpl& s = state();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  if (!s.free_logs.empty()) {
+    ThreadLog* log = s.free_logs.back();
+    s.free_logs.pop_back();
+    // The new owner gets a fresh identity; recorded events stay.
+    log->label.clear();
+    log->rank = -1;
+    return log;
+  }
+  auto* log = new ThreadLog();
+  log->tid = s.next_tid++;
+  s.logs.push_back(log);
+  return log;
+}
+
+void Tracer::release_log(ThreadLog* log) {
+  StateImpl& s = state();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  s.free_logs.push_back(log);
+}
+
+void Tracer::set_enabled(bool enabled) {
+  enabled_.store(enabled, std::memory_order_relaxed);
+}
+
+void Tracer::set_thread_label(const std::string& label) {
+  if (!enabled()) return;
+  StateImpl& s = state();
+  ThreadLog& log = local_log();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  log.label = label;
+}
+
+void Tracer::set_thread_rank(int rank) {
+  if (!enabled()) return;
+  StateImpl& s = state();
+  ThreadLog& log = local_log();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  log.rank = rank;
+}
+
+std::int64_t Tracer::now_ns() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - state().epoch)
+      .count();
+}
+
+void Tracer::record(const char* name, std::int64_t start_ns, std::int64_t duration_ns) {
+  ThreadLog& log = local_log();
+  const std::size_t index = log.count.load(std::memory_order_relaxed);
+  if (index >= kMaxEventsPerThread) {
+    ++log.dropped;
+    return;
+  }
+  const std::size_t chunk = index / kChunkEvents;
+  if (chunk >= log.chunks.size()) {
+    // Amortized slow path: allocate the next chunk under the tracer mutex
+    // (the chunk vector may be concurrently iterated by an exporter).
+    auto storage = std::make_unique<SpanEvent[]>(kChunkEvents);
+    const std::lock_guard<std::mutex> lock(state().mutex);
+    log.chunks.push_back(std::move(storage));
+  }
+  log.chunks[chunk][index % kChunkEvents] = {name, start_ns, duration_ns};
+  log.count.store(index + 1, std::memory_order_release);
+}
+
+std::int64_t Tracer::event_count() const {
+  StateImpl& s = state();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  std::int64_t total = 0;
+  for (const ThreadLog* log : s.logs) {
+    total += static_cast<std::int64_t>(log->count.load(std::memory_order_acquire));
+  }
+  return total;
+}
+
+std::int64_t Tracer::dropped_count() const {
+  StateImpl& s = state();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  std::int64_t total = 0;
+  for (const ThreadLog* log : s.logs) total += static_cast<std::int64_t>(log->dropped);
+  return total;
+}
+
+namespace {
+
+/// Minimal JSON string escaping for span names and thread labels.
+void append_json_string(std::string& out, const std::string& text) {
+  out += '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+std::string Tracer::chrome_trace_json() const {
+  StateImpl& s = state();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  std::string out = "[";
+  bool first = true;
+  char buffer[160];
+  for (const ThreadLog* log : s.logs) {
+    const int pid = log->rank >= 0 ? log->rank + 1 : 0;
+    if (!log->label.empty()) {
+      if (!first) out += ",\n";
+      first = false;
+      std::snprintf(buffer, sizeof(buffer),
+                    "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"args\":{"
+                    "\"name\":",
+                    pid, log->tid);
+      out += buffer;
+      append_json_string(out, log->label);
+      out += "}}";
+    }
+    const std::size_t count = log->count.load(std::memory_order_acquire);
+    for (std::size_t i = 0; i < count; ++i) {
+      const SpanEvent& event = log->chunks[i / kChunkEvents][i % kChunkEvents];
+      if (!first) out += ",\n";
+      first = false;
+      out += "{\"name\":";
+      append_json_string(out, event.name);
+      // Chrome trace timestamps/durations are microseconds (doubles).
+      std::snprintf(buffer, sizeof(buffer),
+                    ",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":%d,\"tid\":%d}",
+                    static_cast<double>(event.start_ns) / 1e3,
+                    static_cast<double>(event.duration_ns) / 1e3, pid, log->tid);
+      out += buffer;
+    }
+  }
+  out += "]\n";
+  return out;
+}
+
+void Tracer::clear() {
+  StateImpl& s = state();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  for (ThreadLog* log : s.logs) {
+    log->count.store(0, std::memory_order_relaxed);
+    log->dropped = 0;
+    log->label.clear();
+    log->rank = -1;
+  }
+  s.epoch = std::chrono::steady_clock::now();
+}
+
+}  // namespace miniphi::obs

@@ -22,6 +22,7 @@ ForkJoinEvaluator::ForkJoinEvaluator(WorkerPool& pool, const bio::PatternSet& pa
     config.use_openmp = false;  // one engine per thread; no nested parallelism
     engines_.push_back(std::make_unique<core::LikelihoodEngine>(patterns, model, tree, config));
   }
+  metrics_ = obs::kMetricsCompiled && engine_config.metrics == obs::MetricsMode::kOn;
 }
 
 double ForkJoinEvaluator::log_likelihood(tree::Slot* edge) {
@@ -102,6 +103,28 @@ core::KernelStat ForkJoinEvaluator::total_stats(core::Kernel kernel) const {
     total.seconds += stat.seconds;
   }
   return total;
+}
+
+const core::EvalStats& ForkJoinEvaluator::stats() const {
+  aggregated_stats_ = core::EvalStats{};
+  for (const auto& engine : engines_) aggregated_stats_ += engine->stats();
+  // Pool attribution replaces (not adds to) whatever the engines report:
+  // the pool's view covers exactly the regions these engines ran in.
+  aggregated_stats_.compute_seconds = pool_.compute_seconds();
+  aggregated_stats_.wait_seconds = pool_.wait_seconds();
+  if (metrics_ && obs::kMetricsCompiled) {
+    obs::Registry& registry = obs::Registry::instance();
+    registry.set(registry.gauge("pool.compute_seconds_us"),
+                 static_cast<std::int64_t>(aggregated_stats_.compute_seconds * 1e6));
+    registry.set(registry.gauge("pool.wait_seconds_us"),
+                 static_cast<std::int64_t>(aggregated_stats_.wait_seconds * 1e6));
+  }
+  return aggregated_stats_;
+}
+
+void ForkJoinEvaluator::reset_stats() {
+  for (auto& engine : engines_) engine->reset_stats();
+  pool_.reset_times();
 }
 
 }  // namespace miniphi::parallel

@@ -36,12 +36,19 @@ class ForkJoinEvaluator final : public core::Evaluator {
   /// Aggregated kernel statistics across all workers.
   [[nodiscard]] core::KernelStat total_stats(core::Kernel kernel) const;
 
+  /// Sum of per-worker engine stats, with compute/wait attribution taken
+  /// from the pool (every region since construction or reset_stats()).
+  [[nodiscard]] const core::EvalStats& stats() const override;
+  void reset_stats() override;
+
   [[nodiscard]] int worker_count() const { return static_cast<int>(engines_.size()); }
 
  private:
   WorkerPool& pool_;
   tree::Tree& tree_;
   std::vector<std::unique_ptr<core::LikelihoodEngine>> engines_;
+  bool metrics_ = false;  ///< publish pool attribution gauges in stats()
+  mutable core::EvalStats aggregated_stats_;  ///< cache filled by stats()
 };
 
 }  // namespace miniphi::parallel

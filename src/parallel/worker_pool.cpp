@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "src/obs/span_trace.hpp"
 #include "src/util/error.hpp"
+#include "src/util/timer.hpp"
 
 namespace miniphi::parallel {
 
@@ -10,6 +12,7 @@ WorkerPool::WorkerPool(int thread_count) : thread_count_(thread_count) {
   MINIPHI_CHECK(thread_count >= 1, "worker pool needs at least one thread");
   partials_.assign(static_cast<std::size_t>(thread_count), 0.0);
   errors_.assign(static_cast<std::size_t>(thread_count), nullptr);
+  task_seconds_.assign(static_cast<std::size_t>(thread_count), 0.0);
   // Threads 1..n-1 are spawned; thread 0 is the master itself.
   threads_.reserve(static_cast<std::size_t>(thread_count - 1));
   for (int t = 1; t < thread_count; ++t) {
@@ -27,6 +30,7 @@ WorkerPool::~WorkerPool() {
 }
 
 void WorkerPool::worker_loop(int thread_id) {
+  obs::Tracer::instance().set_thread_label("worker " + std::to_string(thread_id));
   std::uint64_t seen_generation = 0;
   for (;;) {
     const std::function<void(int)>* task = nullptr;
@@ -57,19 +61,35 @@ void WorkerPool::worker_loop(int thread_id) {
 void WorkerPool::run(const std::function<void(int)>& fn) {
   if (thread_count_ == 1) {
     ++regions_;
+    const Timer timer;
     fn(0);
+    compute_seconds_ += timer.seconds();  // no barrier, no wait
     return;
   }
+  // Each worker times its own task (and shows up as a "pool:task" span when
+  // tracing); wait time falls out after the join as wall − task per worker.
+  const std::function<void(int)> timed = [&fn, this](int thread_id) {
+    const obs::ScopedSpan span("pool:task");
+    const Timer timer;
+    try {
+      fn(thread_id);
+    } catch (...) {
+      task_seconds_[static_cast<std::size_t>(thread_id)] = timer.seconds();
+      throw;
+    }
+    task_seconds_[static_cast<std::size_t>(thread_id)] = timer.seconds();
+  };
+  const Timer region_timer;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
-    task_ = &fn;
+    task_ = &timed;
     remaining_ = thread_count_ - 1;
     std::fill(errors_.begin(), errors_.end(), nullptr);
     ++generation_;
   }
   start_cv_.notify_all();
   try {
-    fn(0);  // master participates as worker 0
+    timed(0);  // master participates as worker 0
   } catch (...) {
     errors_[0] = std::current_exception();
   }
@@ -77,6 +97,11 @@ void WorkerPool::run(const std::function<void(int)>& fn) {
     std::unique_lock<std::mutex> lock(mutex_);
     done_cv_.wait(lock, [&] { return remaining_ == 0; });
     task_ = nullptr;
+  }
+  const double region_wall = region_timer.seconds();
+  for (const double task_seconds : task_seconds_) {
+    compute_seconds_ += task_seconds;
+    wait_seconds_ += std::max(0.0, region_wall - task_seconds);
   }
   ++regions_;
   for (const auto& error : errors_) {

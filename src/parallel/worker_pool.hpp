@@ -45,6 +45,16 @@ class WorkerPool {
   /// Number of fork-join regions executed so far (2 syncs each).
   [[nodiscard]] std::int64_t region_count() const { return regions_; }
 
+  /// Runtime attribution across all regions so far: `compute_seconds` is the
+  /// summed in-task time of every worker; `wait_seconds` is the summed time
+  /// workers spent idle inside a region (region wall time minus their own
+  /// task time — the fork-join barrier imbalance the paper's Section V-C/D
+  /// synchronization-overhead discussion is about).  Read between regions
+  /// from the master thread.
+  [[nodiscard]] double compute_seconds() const { return compute_seconds_; }
+  [[nodiscard]] double wait_seconds() const { return wait_seconds_; }
+  void reset_times() { compute_seconds_ = 0.0; wait_seconds_ = 0.0; }
+
  private:
   void worker_loop(int thread_id);
 
@@ -62,6 +72,13 @@ class WorkerPool {
 
   std::vector<double> partials_;
   std::vector<std::exception_ptr> errors_;  ///< per-thread failure of the current region
+
+  // Region attribution.  Workers write task_seconds_[tid] before the
+  // mutex-guarded remaining_ decrement, the master reads after the join —
+  // the mutex handshake orders the accesses.
+  std::vector<double> task_seconds_;
+  double compute_seconds_ = 0.0;
+  double wait_seconds_ = 0.0;
 };
 
 }  // namespace miniphi::parallel

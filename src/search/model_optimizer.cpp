@@ -4,6 +4,7 @@ namespace miniphi::search {
 
 ModelOptimizerResult optimize_alpha(core::Evaluator& evaluator, tree::Slot* root_edge,
                                     double tolerance) {
+  const obs::ScopedSpan span("search:model");
   ModelOptimizerResult result;
   const auto f = [&](double log_alpha) {
     evaluator.set_alpha(std::exp(log_alpha));

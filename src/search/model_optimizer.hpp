@@ -15,6 +15,7 @@
 
 #include "src/core/evaluator.hpp"
 #include "src/model/gtr.hpp"
+#include "src/obs/span_trace.hpp"
 #include "src/search/brent.hpp"
 
 namespace miniphi::search {
@@ -48,6 +49,7 @@ ModelOptimizerResult optimize_alpha(core::Evaluator& evaluator, tree::Slot* root
 template <typename EngineT>
 ModelOptimizerResult optimize_model(EngineT& engine, tree::Slot* root_edge,
                                     const ModelOptimizerOptions& options = {}) {
+  const obs::ScopedSpan span("search:model");
   ModelOptimizerResult result;
   model::GtrParams params = engine.model().params();
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <iterator>
 
+#include "src/obs/span_trace.hpp"
 #include "src/util/error.hpp"
 #include "src/util/logging.hpp"
 
@@ -31,6 +32,7 @@ void invalidate_around(core::Evaluator& engine, const tree::Tree& tree,
 
 double spr_round(core::Evaluator& engine, tree::Tree& tree, int radius,
                  double current_lnl, SearchResult& result) {
+  const obs::ScopedSpan round_span("search:spr_round");
   const int ntaxa = tree.taxon_count();
 
   // Consider pruning the subtree behind every inner slot.
@@ -87,10 +89,15 @@ SearchResult run_tree_search(core::Evaluator& engine, tree::Tree& tree,
   SearchResult result;
   tree::Slot* root = tree.tip(0);
 
-  double current = engine.optimize_all_branches(root, options.smoothing_passes);
+  double current;
+  {
+    const obs::ScopedSpan span("search:smooth");
+    current = engine.optimize_all_branches(root, options.smoothing_passes);
+  }
   MINIPHI_LOG(Debug) << "search: after initial smoothing lnL = " << current;
 
   if (options.optimize_model) {
+    const obs::ScopedSpan span("search:model");
     current = options.model_hook ? options.model_hook(engine, root)
                                  : optimize_alpha(engine, root, options.model_options.tolerance)
                                        .log_likelihood;
@@ -101,7 +108,10 @@ SearchResult run_tree_search(core::Evaluator& engine, tree::Tree& tree,
   for (int round = 0; round < options.max_rounds; ++round) {
     const double before = current;
     current = spr_round(engine, tree, options.spr_radius, current, result);
-    current = engine.optimize_all_branches(root, options.smoothing_passes);
+    {
+      const obs::ScopedSpan span("search:smooth");
+      current = engine.optimize_all_branches(root, options.smoothing_passes);
+    }
     ++result.rounds;
     result.trajectory.push_back(current);
     MINIPHI_LOG(Debug) << "search: round " << round << " lnL = " << current;

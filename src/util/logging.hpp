@@ -21,23 +21,29 @@ void log_line(LogLevel level, const std::string& message);
 }
 
 /// Stream-style log statement: MINIPHI_LOG(Info) << "round " << r;
+///
+/// The level check is latched once at construction: re-reading the global
+/// level per << (and again in the destructor) could see the level change
+/// mid-statement and emit a half-built message (or pay the streaming cost
+/// only to drop it).
 class LogMessage {
  public:
-  explicit LogMessage(LogLevel level) : level_(level) {}
+  explicit LogMessage(LogLevel level) : level_(level), enabled_(level >= log_level()) {}
   ~LogMessage() {
-    if (level_ >= log_level()) detail::log_line(level_, stream_.str());
+    if (enabled_) detail::log_line(level_, stream_.str());
   }
   LogMessage(const LogMessage&) = delete;
   LogMessage& operator=(const LogMessage&) = delete;
 
   template <typename T>
   LogMessage& operator<<(const T& value) {
-    if (level_ >= log_level()) stream_ << value;
+    if (enabled_) stream_ << value;
     return *this;
   }
 
  private:
   LogLevel level_;
+  bool enabled_;
   std::ostringstream stream_;
 };
 
