@@ -1,0 +1,131 @@
+// Traversal-plan smoke benchmark: (a) planning must be noise next to kernel
+// execution — the flat-plan refactor is only free if building a plan costs
+// well under 2% of running it; (b) the wavefront ablation — dispatching the
+// merged 16-partition queue as one parallel region per dependency *level*
+// versus the classical fork-join shape of one region per tree *node*.  The
+// paper's Section V-C/D argument is that fork-join synchronization (two
+// master/worker handshakes per region) dominates once per-region compute
+// shrinks; wavefront scheduling removes most of the regions outright.
+//
+// Exit status: nonzero when the plan-build overhead exceeds 2%, or — with
+// MINIPHI_BENCH_REQUIRE_SPEEDUP set — when the wavefront speedup over the
+// per-node schedule falls below 1.3x (the refactor's acceptance bar).
+#include <cstdio>
+#include <cstdlib>
+#include <span>
+
+#include "src/core/engine.hpp"
+#include "src/core/partitioned.hpp"
+#include "src/parallel/pool_parallel_for.hpp"
+#include "src/parallel/worker_pool.hpp"
+#include "src/simulate/simulate.hpp"
+#include "src/util/timer.hpp"
+
+namespace {
+
+using namespace miniphi;
+
+constexpr int kTaxa = 48;
+constexpr int kPartitions = 16;
+constexpr int kThreads = 8;
+constexpr std::int64_t kSitesPerPartition = 48;
+
+/// Invalidates every inner CLA so the next evaluation is a full traversal.
+void invalidate_everything(core::Evaluator& evaluator, const tree::Tree& tree) {
+  for (int node = tree.taxon_count(); node < tree.node_count(); ++node) {
+    evaluator.invalidate_node(node);
+  }
+}
+
+/// Wall seconds for `rounds` full traversals under the evaluator's current
+/// schedule (plan build + newview queue + evaluate, re-invalidated each
+/// round).
+double time_traversals(core::Evaluator& evaluator, tree::Tree& tree, int rounds) {
+  invalidate_everything(evaluator, tree);
+  (void)evaluator.log_likelihood(tree.tip(0));  // warm-up: buffers + plans
+  Timer timer;
+  for (int round = 0; round < rounds; ++round) {
+    invalidate_everything(evaluator, tree);
+    (void)evaluator.log_likelihood(tree.tip(0));
+  }
+  return timer.seconds();
+}
+
+}  // namespace
+
+int main() {
+  Rng rng(2014);
+  tree::Tree tree = simulate::yule_tree(kTaxa, rng, 0.6);
+  simulate::SimulationOptions sim;
+  sim.sites = kPartitions * kSitesPerPartition;
+  const model::GtrModel model(model::GtrParams::jc69(0.8));
+  const auto data = simulate::simulate_alignment(tree, model, sim, rng);
+
+  std::printf("traversal-plan smoke: %d taxa, %lld sites, %d partitions\n\n", kTaxa,
+              static_cast<long long>(sim.sites), kPartitions);
+  bool ok = true;
+
+  // --- (a) plan-build overhead vs traversal execution -----------------------
+  {
+    const auto patterns = bio::compress_patterns(data.alignment);
+    core::LikelihoodEngine engine(patterns, model, tree);
+    constexpr int kRounds = 50;
+    const double traversal_seconds = time_traversals(engine, tree, kRounds) / kRounds;
+
+    core::TraversalPlanner planner;
+    core::TraversalPlan plan;
+    tree::Slot* const goals[2] = {tree.tip(0), tree.tip(0)->back};
+    const auto never_valid = [](const tree::Slot*) { return false; };
+    planner.build(std::span<tree::Slot* const>(goals), never_valid, plan);  // warm-up
+    constexpr int kBuilds = 2000;
+    Timer timer;
+    for (int build = 0; build < kBuilds; ++build) {
+      planner.build(std::span<tree::Slot* const>(goals), never_valid, plan);
+    }
+    const double build_seconds = timer.seconds() / kBuilds;
+
+    const double overhead = build_seconds / traversal_seconds;
+    std::printf("full traversal  %10.1f us   (%lld newview ops)\n", traversal_seconds * 1e6,
+                static_cast<long long>(plan.op_count()));
+    std::printf("plan build      %10.2f us   -> overhead %.3f%% (budget 2%%)\n\n",
+                build_seconds * 1e6, overhead * 100.0);
+    if (overhead >= 0.02) {
+      std::printf("FAIL: plan building costs %.2f%% of a traversal (>= 2%%)\n", overhead * 100.0);
+      ok = false;
+    }
+  }
+
+  // --- (b) wavefront vs per-node dispatch of the merged queue ---------------
+  {
+    const auto specs = core::even_partitions(sim.sites, kPartitions);
+    parallel::WorkerPool pool(kThreads);
+    parallel::PoolParallelFor parallel_for(pool);
+    constexpr int kRounds = 30;
+
+    double seconds[2] = {0.0, 0.0};
+    const core::PlanSchedule schedules[2] = {core::PlanSchedule::kPerNode,
+                                             core::PlanSchedule::kWavefront};
+    const char* names[2] = {"per-node", "wavefront"};
+    std::int64_t regions[2] = {0, 0};
+    for (int s = 0; s < 2; ++s) {
+      core::PartitionedEvaluator evaluator(data.alignment, specs, model, tree);
+      evaluator.set_parallel_for(&parallel_for, schedules[s]);
+      seconds[s] = time_traversals(evaluator, tree, kRounds) / kRounds;
+      regions[s] = evaluator.merged_plan_counters().regions;
+    }
+
+    const double speedup = seconds[0] / seconds[1];
+    for (int s = 0; s < 2; ++s) {
+      std::printf("%-10s  %10.1f us/traversal   %6lld regions total (%d threads)\n", names[s],
+                  seconds[s] * 1e6, static_cast<long long>(regions[s]), kThreads);
+    }
+    std::printf("wavefront speedup vs per-node: %.2fx\n", speedup);
+
+    if (std::getenv("MINIPHI_BENCH_REQUIRE_SPEEDUP") != nullptr && speedup < 1.3) {
+      std::printf("FAIL: wavefront speedup %.2fx below the 1.3x acceptance bar\n", speedup);
+      ok = false;
+    }
+  }
+
+  return ok ? 0 : 1;
+}

@@ -32,8 +32,11 @@ cmake -B "${build}" -S "${root}" \
 # class-map reuse are exactly where an off-by-one read hides from plain
 # tests, and ASan sees straight through them.  obs_test rides along too: the
 # metrics registry's sharded counters and the tracer's lock-free appends are
-# precisely the code TSan exists to audit.
-targets=(minimpi_test parallel_test faults_test checkpoint_test examl_test site_repeats_test obs_test)
+# precisely the code TSan exists to audit.  partitioned_test covers the
+# merged traversal queue's wavefront/per-node dispatch — concurrent
+# execute_plan_level calls on sibling engines through the worker pool's
+# atomic task claiming.
+targets=(minimpi_test parallel_test faults_test checkpoint_test examl_test site_repeats_test obs_test partitioned_test)
 cmake --build "${build}" -j "$(nproc)" --target "${targets[@]}"
 
 status=0

@@ -50,6 +50,7 @@ CatEngine::CatEngine(const bio::PatternSet& patterns, const model::GtrModel& mod
   if (obs::kMetricsCompiled && config.metrics == obs::MetricsMode::kOn) {
     metrics_ = true;
     metric_ids_ = register_engine_metrics(ops_.isa, "cat");
+    plan_cache_.enable_metrics();
   }
 
   clas_.resize(static_cast<std::size_t>(tree.inner_count()));
@@ -168,11 +169,13 @@ void CatEngine::invalidate_node(int node_id) {
   if (node_id < tree_.taxon_count()) return;
   clas_[static_cast<std::size_t>(node_id - tree_.taxon_count())].valid = false;
   sum_prepared_ = false;
+  plan_cache_.note_cla_state_changed();
 }
 
 void CatEngine::invalidate_all() {
   for (auto& node : clas_) node.valid = false;
   sum_prepared_ = false;
+  plan_cache_.note_cla_state_changed();
 }
 
 void CatEngine::set_alpha(double) {
@@ -195,13 +198,10 @@ bool CatEngine::slot_valid(const tree::Slot* s) const {
   return node.valid && node.orientation == s->slot_index;
 }
 
-bool CatEngine::collect_traversal(tree::Slot* goal, std::vector<tree::Slot*>& order) {
-  if (goal->is_tip()) return false;
-  const bool child1 = collect_traversal(goal->child1(), order);
-  const bool child2 = collect_traversal(goal->child2(), order);
-  const bool need = child1 || child2 || !slot_valid(goal);
-  if (need) order.push_back(goal);
-  return need;
+void CatEngine::validate_edge(tree::Slot* edge) {
+  plan_cache_.validate(
+      edge, [this](const tree::Slot* slot) { return slot_valid(slot); },
+      [this](const PlfOp& op) { run_newview(op.slot); });
 }
 
 CatChildInput CatEngine::make_child_input(tree::Slot* child, std::span<double> ptable,
@@ -245,6 +245,9 @@ void CatEngine::run_newview(tree::Slot* slot) {
   parent.orientation = slot->slot_index;
   parent.valid = true;
   sum_prepared_ = false;
+  // Reorientation silently invalidates the opposite direction: stale plans
+  // must not count this CLA as a resident input.
+  plan_cache_.note_cla_state_changed();
 }
 
 void CatEngine::record_kernel(Kernel k, std::int64_t cla_blocks, double seconds) {
@@ -305,10 +308,7 @@ double CatEngine::run_evaluate(tree::Slot* edge) {
 }
 
 double CatEngine::log_likelihood(tree::Slot* edge) {
-  std::vector<tree::Slot*> order;
-  collect_traversal(edge, order);
-  collect_traversal(edge->back, order);
-  for (tree::Slot* slot : order) run_newview(slot);
+  validate_edge(edge);
   return run_evaluate(edge);
 }
 
@@ -318,10 +318,7 @@ void CatEngine::prepare_derivatives(tree::Slot* edge) {
   if (p->is_tip()) std::swap(p, q);
   MINIPHI_CHECK(!p->is_tip(), "derivatives: both ends of the branch are tips");
 
-  std::vector<tree::Slot*> order;
-  collect_traversal(p, order);
-  collect_traversal(q, order);
-  for (tree::Slot* slot : order) run_newview(slot);
+  validate_edge(edge);
 
   CatSumCtx ctx;
   ctx.sum = sum_buffer_.data();

@@ -78,6 +78,9 @@ class CatEngine final : public Evaluator {
   [[nodiscard]] double alpha() const override;
 
   void invalidate_all();
+  /// Traversal-plan cache statistics (builds / satisfied hits / reuses /
+  /// executed ops+plans) — see core::PlanCache.
+  [[nodiscard]] const PlanCounters& plan_counters() const { return plan_cache_.counters(); }
   [[nodiscard]] const KernelStat& stats(Kernel k) const { return stats_.kernel(k); }
   [[nodiscard]] const EvalStats& stats() const override { return stats_; }
   void reset_stats() override { stats_ = EvalStats{}; }
@@ -93,7 +96,9 @@ class CatEngine final : public Evaluator {
 
   [[nodiscard]] NodeCla& node_cla(int node_id);
   [[nodiscard]] bool slot_valid(const tree::Slot* s) const;
-  bool collect_traversal(tree::Slot* goal, std::vector<tree::Slot*>& order);
+  /// Plans + runs the traversal toward (edge, edge->back) through the
+  /// shared plan cache (level-order execution; see core::PlanCache).
+  void validate_edge(tree::Slot* edge);
   void run_newview(tree::Slot* slot);
   CatChildInput make_child_input(tree::Slot* child, std::span<double> ptable,
                                  std::span<double> ump, double branch_length);
@@ -135,6 +140,7 @@ class CatEngine final : public Evaluator {
   EvalStats stats_;
   bool metrics_ = false;
   EngineMetricIds metric_ids_;
+  PlanCache plan_cache_;
   bool sum_prepared_ = false;
 };
 

@@ -8,6 +8,7 @@
 #include <omp.h>
 #endif
 
+#include "src/obs/span_trace.hpp"
 #include "src/util/error.hpp"
 
 namespace miniphi::core {
@@ -85,7 +86,9 @@ LikelihoodEngine::LikelihoodEngine(const bio::PatternSet& patterns,
   if (obs::kMetricsCompiled && config.metrics == obs::MetricsMode::kOn) {
     metrics_ = true;
     metric_ids_ = register_engine_metrics(ops_.isa, site_repeats_ ? "repeats" : "dense");
+    plan_ids_ = register_plan_metrics();
   }
+  plan_cache_.reserve(kPlanCacheSize);
 
   set_model(model);
 }
@@ -98,6 +101,7 @@ void LikelihoodEngine::set_model(const model::GtrModel& model) {
   // function of topology and tip states, so α/GTR optimization reuses them.
   for (auto& node : clas_) node.valid = false;
   sum_prepared_ = false;
+  note_cla_state_changed();
 }
 
 void LikelihoodEngine::set_alpha(double alpha) {
@@ -116,12 +120,14 @@ void LikelihoodEngine::invalidate_node(int node_id) {
   // bumped version stamp, exactly like the CLA partial-traversal recompute.
   if (site_repeats_) repeats_[inner].orientation = -1;
   sum_prepared_ = false;
+  note_cla_state_changed();
 }
 
 void LikelihoodEngine::invalidate_values(int node_id) {
   if (node_id < tree_.taxon_count()) return;
   clas_[static_cast<std::size_t>(node_id - tree_.taxon_count())].valid = false;
   sum_prepared_ = false;
+  note_cla_state_changed();
 }
 
 void LikelihoodEngine::invalidate_branch(int node_id) { invalidate_values(node_id); }
@@ -130,6 +136,7 @@ void LikelihoodEngine::invalidate_all() {
   for (auto& node : clas_) node.valid = false;
   for (auto& rep : repeats_) rep.orientation = -1;
   sum_prepared_ = false;
+  note_cla_state_changed();
 }
 
 LikelihoodEngine::NodeCla& LikelihoodEngine::node_cla(int node_id) {
@@ -183,20 +190,9 @@ void LikelihoodEngine::ensure_buffer(NodeCla& node) {
   evicted.valid = false;
   node.buffer = evicted.buffer;
   evicted.buffer = -1;
-}
-
-LikelihoodEngine::TraversalNeed LikelihoodEngine::traversal_need(const tree::Slot* goal) const {
-  if (goal->is_tip()) return {false, 0};
-  const TraversalNeed need1 = traversal_need(goal->child1());
-  const TraversalNeed need2 = traversal_need(goal->child2());
-  if (!need1.recompute && !need2.recompute && slot_valid(goal)) {
-    return {false, 1};  // whole subtree valid: a resident input, one buffer
-  }
-  int registers = (need1.registers == need2.registers)
-                      ? need1.registers + 1
-                      : std::max(need1.registers, need2.registers);
-  registers = std::max(registers, 1);
-  return {true, registers};
+  // An eviction silently invalidates a CLA without an invalidate call, so
+  // cached plans that counted it as a resident input are now stale.
+  note_cla_state_changed();
 }
 
 void LikelihoodEngine::pin(int node_id) {
@@ -213,29 +209,201 @@ void LikelihoodEngine::unpin(int node_id) {
   }
 }
 
-void LikelihoodEngine::make_valid(tree::Slot* goal) {
-  if (goal->is_tip()) return;
-  // Descend through valid nodes: a deep invalidation (topology or branch
-  // change announced below this node) forces recomputation on the whole
-  // path even when this node still claims validity.
-  if (!traversal_need(goal).recompute) {
-    pin(goal->node_id);
-    node_cla(goal->node_id).last_touch = ++touch_counter_;
+LikelihoodEngine::PlanCacheEntry& LikelihoodEngine::plan_entry(tree::Slot* edge) {
+  // Both directions of an edge describe the same traversal; key on the
+  // smaller slot index so log_likelihood(e) and log_likelihood(e->back)
+  // share one cache entry.
+  tree::Slot* key = (edge->back->slot_index < edge->slot_index) ? edge->back : edge;
+  PlanCacheEntry* found = nullptr;
+  PlanCacheEntry* lru = nullptr;
+  for (auto& entry : plan_cache_) {
+    if (entry.key == key) {
+      found = &entry;
+      break;
+    }
+    if (lru == nullptr || entry.last_use < lru->last_use) lru = &entry;
+  }
+  if (found == nullptr) {
+    if (plan_cache_.size() < static_cast<std::size_t>(kPlanCacheSize)) {
+      found = &plan_cache_.emplace_back();
+    } else {
+      found = lru;
+    }
+    found->key = key;
+    found->built_epoch = 0;
+    found->satisfied_epoch = 0;
+  }
+  found->last_use = ++plan_use_counter_;
+  return *found;
+}
+
+const TraversalPlan& LikelihoodEngine::prepare_entry(PlanCacheEntry& entry) {
+  if (entry.built_epoch == cla_epoch_) {
+    // The tree and CLA validity have not changed since this plan was built:
+    // the op list is still exact.
+    ++plan_counters_.reuses;
+    if (metrics_) obs::Registry::instance().add(plan_ids_.reuses, 1);
+    return entry.plan;
+  }
+  Timer timer;
+  tree::Slot* const goals[2] = {entry.key, entry.key->back};
+  planner_.build(
+      std::span<tree::Slot* const>(goals),
+      [this](const tree::Slot* slot) { return slot_valid(slot); }, entry.plan);
+  entry.built_epoch = cla_epoch_;
+  entry.satisfied_epoch = 0;
+  ++plan_counters_.builds;
+  if (metrics_) {
+    obs::Registry& registry = obs::Registry::instance();
+    registry.add(plan_ids_.builds, 1);
+    registry.observe(plan_ids_.build_ns, static_cast<std::int64_t>(timer.seconds() * 1e9));
+  }
+  return entry.plan;
+}
+
+void LikelihoodEngine::validate_edge(tree::Slot* edge) {
+  PlanCacheEntry& entry = plan_entry(edge);
+  if (entry.satisfied_epoch != 0 && entry.satisfied_epoch == cla_epoch_) {
+    // Nothing has invalidated, evicted or recomputed a CLA since this plan
+    // last ran: the whole traversal is a no-op.  Pin the roots so the
+    // caller's evaluate/derivative kernels can rely on them staying
+    // resident, exactly as after a real execution.
+    ++plan_counters_.cache_hits;
+    if (metrics_) obs::Registry::instance().add(plan_ids_.cache_hits, 1);
+    for (const PlanRoot& root : entry.plan.roots()) {
+      if (root.slot->is_tip()) continue;
+      MINIPHI_ASSERT(slot_valid(root.slot));
+      pin(root.slot->node_id);
+      node_cla(root.slot->node_id).last_touch = ++touch_counter_;
+    }
     return;
   }
-  // Evaluate the child with the larger buffer need first (Sethi-Ullman),
-  // which bounds the pinned working set by ~log2(n).
-  tree::Slot* first = goal->child1();
-  tree::Slot* second = goal->child2();
-  if (traversal_need(second).registers > traversal_need(first).registers) {
-    std::swap(first, second);
+  const TraversalPlan& plan = prepare_entry(entry);
+  execute_plan(plan);
+  // run_newview bumps the epoch per op, so record satisfaction *after*
+  // execution: the plan is satisfied at the epoch it produced.
+  entry.built_epoch = cla_epoch_;
+  entry.satisfied_epoch = cla_epoch_;
+}
+
+void LikelihoodEngine::execute_plan(const TraversalPlan& plan) {
+  // Roots that were already valid at planning time are plan inputs too:
+  // pin them before running any op so the execution cannot evict them.
+  for (const PlanRoot& root : plan.roots()) {
+    if (root.slot->is_tip() || root.op >= 0) continue;
+    ready_child(root.slot, false);
   }
-  make_valid(first);   // returns pinned (or tip no-op)
-  make_valid(second);  // cannot evict `first`: it is pinned
-  run_newview(goal);   // acquires the output buffer, may evict unpinned CLAs
-  unpin(first->node_id);
-  unpin(second->node_id);
-  pin(goal->node_id);
+  if (plan.empty()) return;
+  obs::ScopedSpan span("plan:execute");
+  const bool full_budget = cla_pool_.size() == clas_.size();
+  if (!full_budget) {
+    // Tight budget: run in Sethi-Ullman DFS order with pin/unpin discipline
+    // so the live working set stays ~log2(n) buffers.
+    for (const PlfOp& op : plan.ops()) run_plan_op(op, /*pinning=*/true);
+  } else {
+    // Full budget: level order.  Nothing can be evicted, so no pinning —
+    // this is the order the batched/wavefront executors use.
+    for (int level = 1; level <= plan.levels(); ++level) {
+      obs::ScopedSpan level_span("plan:level");
+      const auto level_ops = plan.level_ops(level);
+      if (metrics_) {
+        obs::Registry::instance().observe(plan_ids_.level_width,
+                                          static_cast<std::int64_t>(level_ops.size()));
+      }
+      for (const std::int32_t op : level_ops) {
+        run_plan_op(plan.ops()[static_cast<std::size_t>(op)], /*pinning=*/false);
+      }
+    }
+    // Level order leaves the roots unpinned; pin them like the DFS path does.
+    for (const PlanRoot& root : plan.roots()) {
+      if (root.op >= 0) pin(root.slot->node_id);
+    }
+  }
+  ++plan_counters_.executed_plans;
+  if (metrics_) {
+    obs::Registry& registry = obs::Registry::instance();
+    registry.add(plan_ids_.executed_plans, 1);
+    registry.observe(plan_ids_.levels, plan.levels());
+  }
+}
+
+void LikelihoodEngine::run_plan_op(const PlfOp& op, bool pinning) {
+  if (pinning) {
+    ready_child(op.slot->child1(), op.left_op >= 0);
+    ready_child(op.slot->child2(), op.right_op >= 0);
+  }
+  run_newview(op.slot);
+  ++plan_counters_.executed_ops;
+  if (metrics_) obs::Registry::instance().add(plan_ids_.executed_ops, 1);
+  if (pinning) {
+    unpin(op.slot->child1()->node_id);
+    unpin(op.slot->child2()->node_id);
+    // The output stays pinned until its consumer (a later op, or the caller
+    // for a root) releases it.
+    pin(op.slot->node_id);
+  }
+}
+
+void LikelihoodEngine::ready_child(tree::Slot* child, bool computed_in_plan) {
+  if (child->is_tip()) return;
+  if (computed_in_plan) {
+    // An earlier op produced (and pinned) this CLA; it cannot have been
+    // evicted since.
+    MINIPHI_ASSERT(slot_valid(child));
+    return;
+  }
+  if (slot_valid(child)) {
+    pin(child->node_id);
+    node_cla(child->node_id).last_touch = ++touch_counter_;
+    return;
+  }
+  // A plan input was evicted between planning and consumption (possible
+  // under tight budgets when a sibling subtree recycled its buffer).
+  // Recompute it with a nested sub-plan; the child comes back pinned.
+  tree::Slot* const goals[1] = {child};
+  TraversalPlan subplan;
+  planner_.build(
+      std::span<tree::Slot* const>(goals),
+      [this](const tree::Slot* slot) { return slot_valid(slot); }, subplan);
+  ++plan_counters_.builds;
+  if (metrics_) obs::Registry::instance().add(plan_ids_.builds, 1);
+  for (const PlfOp& sub : subplan.ops()) run_plan_op(sub, /*pinning=*/true);
+}
+
+const TraversalPlan* LikelihoodEngine::plan_traversal(tree::Slot* edge) {
+  PlanCacheEntry& entry = plan_entry(edge);
+  if (entry.satisfied_epoch != 0 && entry.satisfied_epoch == cla_epoch_) return nullptr;
+  return &prepare_entry(entry);
+}
+
+void LikelihoodEngine::execute_plan_level(const TraversalPlan& plan, int level) {
+  MINIPHI_CHECK(cla_pool_.size() == clas_.size(),
+                "engine: external plan execution requires the full CLA budget "
+                "(Config::cla_buffers must cover every inner node)");
+  for (const std::int32_t op : plan.level_ops(level)) {
+    run_plan_op(plan.ops()[static_cast<std::size_t>(op)], /*pinning=*/false);
+  }
+}
+
+void LikelihoodEngine::execute_plan_op(const TraversalPlan& plan, std::int32_t op) {
+  MINIPHI_CHECK(cla_pool_.size() == clas_.size(),
+                "engine: external plan execution requires the full CLA budget "
+                "(Config::cla_buffers must cover every inner node)");
+  run_plan_op(plan.ops()[static_cast<std::size_t>(op)], /*pinning=*/false);
+}
+
+void LikelihoodEngine::commit_planned_traversal(tree::Slot* edge) {
+  PlanCacheEntry& entry = plan_entry(edge);
+  entry.built_epoch = cla_epoch_;
+  entry.satisfied_epoch = cla_epoch_;
+  if (!entry.plan.empty()) {
+    ++plan_counters_.executed_plans;
+    if (metrics_) {
+      obs::Registry& registry = obs::Registry::instance();
+      registry.add(plan_ids_.executed_plans, 1);
+      registry.observe(plan_ids_.levels, entry.plan.levels());
+    }
+  }
 }
 
 ChildInput LikelihoodEngine::make_child_input(tree::Slot* child, std::span<double> ptable,
@@ -465,6 +633,10 @@ void LikelihoodEngine::run_newview(tree::Slot* slot) {
   parent.orientation = slot->slot_index;
   parent.valid = true;
   sum_prepared_ = false;
+  // A newview can flip an inner CLA's orientation, silently invalidating it
+  // for the opposite direction — cached plans keyed on other edges must not
+  // treat this node as a resident input anymore.
+  note_cla_state_changed();
 }
 
 
@@ -554,8 +726,7 @@ double LikelihoodEngine::run_evaluate(tree::Slot* edge) {
 
 double LikelihoodEngine::log_likelihood(tree::Slot* edge) {
   MINIPHI_ASSERT(edge != nullptr && edge->back != nullptr);
-  make_valid(edge);
-  make_valid(edge->back);
+  validate_edge(edge);
   const double result = run_evaluate(edge);
   unpin(edge->node_id);
   unpin(edge->back->node_id);
@@ -568,8 +739,7 @@ void LikelihoodEngine::prepare_derivatives(tree::Slot* edge) {
   if (p->is_tip()) std::swap(p, q);
   MINIPHI_CHECK(!p->is_tip(), "derivatives: both ends of the branch are tips");
 
-  make_valid(p);
-  make_valid(q);
+  validate_edge(edge);
 
   SumCtx ctx;
   auto& left = node_cla(p->node_id);

@@ -14,6 +14,17 @@
 // tree.  Topology or branch-length changes must be announced via
 // invalidate_node(); traversals descend through valid nodes, so a deep
 // invalidation correctly propagates to all ancestors on the next traversal.
+//
+// Traversals are *planned*, not recursed: every virtual-root placement is
+// compiled (by core::TraversalPlanner) into a flat, dependency-leveled
+// PlfOp list which a small executor runs against the kernels.  Plans are
+// cached per branch and revalidated with an epoch counter that every CLA
+// state change (newview, invalidation, model change, eviction) bumps — a
+// repeated evaluation at an untouched branch skips the tree walk entirely.
+// The flat form is also what the batching layers consume: partitioned and
+// wavefront evaluators fetch per-engine plans via plan_traversal(), run the
+// interleaved ops level by level through execute_plan_level(), and mark
+// them done with commit_planned_traversal().
 #pragma once
 
 #include <array>
@@ -28,6 +39,7 @@
 #include "src/core/kernels.hpp"
 #include "src/core/ptable.hpp"
 #include "src/core/trace.hpp"
+#include "src/core/traversal_plan.hpp"
 #include "src/model/gtr.hpp"
 #include "src/tree/tree.hpp"
 #include "src/util/aligned.hpp"
@@ -132,6 +144,37 @@ class LikelihoodEngine final : public Evaluator {
   /// Whether the site-repeats path is active.
   [[nodiscard]] bool site_repeats() const { return site_repeats_; }
 
+  // --- Flat traversal plans ---------------------------------------------
+
+  /// Plan for validating the CLAs at (edge, edge->back): the cached plan if
+  /// it still matches the engine's CLA state, a freshly built one otherwise.
+  /// Returns nullptr when the cached plan is already *satisfied* — nothing
+  /// to run.  Used by batching executors (partitioned / wavefront /
+  /// distributed); log_likelihood() and prepare_derivatives() consult the
+  /// same cache internally.  The pointer stays valid until the next plan or
+  /// invalidation call on this engine.
+  const TraversalPlan* plan_traversal(tree::Slot* edge);
+
+  /// Runs one dependency level of `plan` (all its ops are independent).
+  /// External execution requires the full CLA budget: the caller, not the
+  /// engine, owns op ordering, so the eviction pin discipline of the
+  /// internal executor does not apply.  Thread-safety: one thread per
+  /// engine at a time; different engines may run their levels concurrently.
+  void execute_plan_level(const TraversalPlan& plan, int level);
+
+  /// Runs a single op of `plan` (same contract and budget requirement as
+  /// execute_plan_level; the caller must respect level order across calls).
+  void execute_plan_op(const TraversalPlan& plan, std::int32_t op);
+
+  /// Marks the traversal planned at `edge` as executed (all levels ran via
+  /// execute_plan_level).  The next log_likelihood()/prepare_derivatives()
+  /// at this edge then skips straight to the root kernel.
+  void commit_planned_traversal(tree::Slot* edge);
+
+  /// Monotonic plan-cache statistics (builds, satisfied-plan cache hits,
+  /// prebuilt-plan reuses, executed ops/plans).
+  [[nodiscard]] const PlanCounters& plan_counters() const { return plan_counters_; }
+
   /// Unique repeat classes of one inner node's current CLA (slice size on
   /// the dense path; 0 when the node's repeat map has not been built yet).
   [[nodiscard]] std::int64_t node_unique_classes(int node_id) const;
@@ -157,26 +200,54 @@ class LikelihoodEngine final : public Evaluator {
   /// exhausted (uses_[] guards residents the current pass still needs).
   void ensure_buffer(NodeCla& node);
 
-  struct TraversalNeed {
-    bool recompute = false;  ///< subtree contributes newview work
-    int registers = 0;       ///< Sethi-Ullman buffer need of the subtree
+  /// One cached plan: the canonical branch slot it was built for, the CLA
+  /// epoch it was built against, and the epoch right after it last executed
+  /// (satisfied_epoch == cla_epoch_ means every goal CLA is still exactly
+  /// as the plan left it, so the traversal can be skipped outright).
+  struct PlanCacheEntry {
+    tree::Slot* key = nullptr;
+    std::uint64_t built_epoch = 0;      ///< 0 = never built
+    std::uint64_t satisfied_epoch = 0;  ///< 0 = never executed
+    std::int64_t last_use = 0;
+    TraversalPlan plan;
   };
 
-  /// Buffer ("register") need of the subtree behind `goal`, with valid
-  /// resident CLAs counting as inputs of cost 1; drives the
-  /// larger-need-first evaluation order that keeps the peak number of live
-  /// buffers ~log2(n) (required by small cla_buffers budgets).
-  TraversalNeed traversal_need(const tree::Slot* goal) const;
+  /// Cache slot for the branch (LRU over a small fixed set; SPR candidate
+  /// scans cycle through nearby branches, deeper history does not pay).
+  PlanCacheEntry& plan_entry(tree::Slot* edge);
 
-  /// Ensures the CLA toward `goal` is valid and resident, recomputing
-  /// whatever is missing (including inputs evicted under a tight budget —
-  /// the time-for-memory trade of the recomputation technique).  Returns
-  /// with the goal's node pinned (+1); tips are a no-op.  Callers must
-  /// unpin after the consuming kernel ran.
-  void make_valid(tree::Slot* goal);
+  /// Builds the entry's plan unless it already matches cla_epoch_.
+  const TraversalPlan& prepare_entry(PlanCacheEntry& entry);
+
+  /// Makes the CLAs at (edge, edge->back) valid via the plan cache and
+  /// leaves both end nodes pinned (+1); callers unpin after the consuming
+  /// root kernel ran.
+  void validate_edge(tree::Slot* edge);
+
+  /// Runs a prepared plan: pins its pre-valid roots, then executes the ops
+  /// — level order on a full budget (per-level spans/metrics), Sethi-Ullman
+  /// DFS order under a tight budget (the order the pin discipline needs).
+  void execute_plan(const TraversalPlan& plan);
+
+  /// One op: readies the children (pin inputs, recompute evicted ones),
+  /// runs newview, unpins the children and pins the output until its
+  /// consumer — or, for root ops, until the caller unpins.  `pinning` is
+  /// false on the external full-budget path, where level order alone
+  /// guarantees readiness and eviction cannot happen.
+  void run_plan_op(const PlfOp& op, bool pinning);
+
+  /// Readies one child CLA for a pinning-mode op: in-plan children are
+  /// already valid and pinned; pre-valid inputs get pinned and touched; an
+  /// input evicted since planning (tight budget) is recomputed through a
+  /// nested sub-plan — Izquierdo-Carrasco recomputation, time for memory.
+  void ready_child(tree::Slot* child, bool computed_in_plan);
 
   void pin(int node_id);
   void unpin(int node_id);
+
+  /// Every CLA state change bumps the epoch that plan-cache entries are
+  /// validated against.
+  void note_cla_state_changed() { ++cla_epoch_; }
 
   void run_newview(tree::Slot* slot);
   ChildInput make_child_input(tree::Slot* child, std::span<double> ptable,
@@ -269,6 +340,15 @@ class LikelihoodEngine final : public Evaluator {
   // construction so the kernel path pays one branch + a few sharded adds.
   bool metrics_ = false;
   EngineMetricIds metric_ids_;
+
+  // Plan cache + planner (see the class comment).
+  static constexpr int kPlanCacheSize = 8;
+  TraversalPlanner planner_;
+  std::vector<PlanCacheEntry> plan_cache_;
+  std::uint64_t cla_epoch_ = 1;
+  std::int64_t plan_use_counter_ = 0;
+  PlanCounters plan_counters_;
+  PlanMetricIds plan_ids_;
 
   // State of the prepared derivative buffer.
   bool sum_prepared_ = false;

@@ -47,6 +47,7 @@ GeneralEngine::GeneralEngine(const bio::PatternSet& patterns, const model::Gener
   if (obs::kMetricsCompiled && config.metrics == obs::MetricsMode::kOn) {
     metrics_ = true;
     metric_ids_ = register_engine_metrics(ops_.isa, "general");
+    plan_cache_.enable_metrics();
   }
 
   const auto block = static_cast<std::size_t>(dims_.block());
@@ -80,11 +81,13 @@ void GeneralEngine::invalidate_node(int node_id) {
   if (node_id < tree_.taxon_count()) return;
   clas_[static_cast<std::size_t>(node_id - tree_.taxon_count())].valid = false;
   sum_prepared_ = false;
+  plan_cache_.note_cla_state_changed();
 }
 
 void GeneralEngine::invalidate_all() {
   for (auto& node : clas_) node.valid = false;
   sum_prepared_ = false;
+  plan_cache_.note_cla_state_changed();
 }
 
 GeneralEngine::NodeCla& GeneralEngine::node_cla(int node_id) {
@@ -97,13 +100,10 @@ bool GeneralEngine::slot_valid(const tree::Slot* s) const {
   return node.valid && node.orientation == s->slot_index;
 }
 
-bool GeneralEngine::collect_traversal(tree::Slot* goal, std::vector<tree::Slot*>& order) {
-  if (goal->is_tip()) return false;
-  const bool child1 = collect_traversal(goal->child1(), order);
-  const bool child2 = collect_traversal(goal->child2(), order);
-  const bool need = child1 || child2 || !slot_valid(goal);
-  if (need) order.push_back(goal);
-  return need;
+void GeneralEngine::validate_edge(tree::Slot* edge) {
+  plan_cache_.validate(
+      edge, [this](const tree::Slot* slot) { return slot_valid(slot); },
+      [this](const PlfOp& op) { run_newview(op.slot); });
 }
 
 GChildInput GeneralEngine::make_child_input(tree::Slot* child, std::span<double> ptable,
@@ -165,6 +165,9 @@ void GeneralEngine::run_newview(tree::Slot* slot) {
   parent.orientation = slot->slot_index;
   parent.valid = true;
   sum_prepared_ = false;
+  // Reorientation silently invalidates the opposite direction: stale plans
+  // must not count this CLA as a resident input.
+  plan_cache_.note_cla_state_changed();
 }
 
 void GeneralEngine::record_kernel(Kernel k, std::int64_t cla_blocks, double seconds) {
@@ -236,10 +239,7 @@ double GeneralEngine::run_evaluate(tree::Slot* edge) {
 
 double GeneralEngine::log_likelihood(tree::Slot* edge) {
   MINIPHI_ASSERT(edge != nullptr && edge->back != nullptr);
-  std::vector<tree::Slot*> order;
-  collect_traversal(edge, order);
-  collect_traversal(edge->back, order);
-  for (tree::Slot* slot : order) run_newview(slot);
+  validate_edge(edge);
   return run_evaluate(edge);
 }
 
@@ -249,10 +249,7 @@ void GeneralEngine::prepare_derivatives(tree::Slot* edge) {
   if (p->is_tip()) std::swap(p, q);
   MINIPHI_CHECK(!p->is_tip(), "derivatives: both ends of the branch are tips");
 
-  std::vector<tree::Slot*> order;
-  collect_traversal(p, order);
-  collect_traversal(q, order);
-  for (tree::Slot* slot : order) run_newview(slot);
+  validate_edge(edge);
 
   GSumCtx ctx;
   ctx.sum = sum_buffer_.data();

@@ -1,30 +1,21 @@
 #include "src/core/general/general_kernels.hpp"
-#include "src/util/error.hpp"
+#include "src/simd/kernel_dispatch.hpp"
 
 namespace miniphi::core {
 
 GeneralKernelOps get_general_kernel_ops(simd::Isa isa) {
-  switch (isa) {
-    case simd::Isa::kScalar:
-      return general_scalar_kernel_ops();
-    case simd::Isa::kAvx2:
+  return simd::dispatch_kernel_ops<GeneralKernelOps>(isa, &general_scalar_kernel_ops,
 #if MINIPHI_KERNELS_AVX2
-      MINIPHI_CHECK(simd::isa_supported(simd::Isa::kAvx2),
-                    "AVX2 kernels requested but this CPU lacks AVX2/FMA");
-      return general_avx2_kernel_ops();
+                                                     &general_avx2_kernel_ops,
 #else
-      throw Error("AVX2 kernels were not compiled into this binary");
+                                                     nullptr,
 #endif
-    case simd::Isa::kAvx512:
 #if MINIPHI_KERNELS_AVX512
-      MINIPHI_CHECK(simd::isa_supported(simd::Isa::kAvx512),
-                    "AVX-512 kernels requested but this CPU lacks AVX-512F");
-      return general_avx512_kernel_ops();
+                                                     &general_avx512_kernel_ops
 #else
-      throw Error("AVX-512 kernels were not compiled into this binary");
+                                                     nullptr
 #endif
-  }
-  throw Error("unknown ISA");
+  );
 }
 
 }  // namespace miniphi::core

@@ -1,30 +1,21 @@
 #include "src/core/kernels.hpp"
-#include "src/util/error.hpp"
+#include "src/simd/kernel_dispatch.hpp"
 
 namespace miniphi::core {
 
 KernelOps get_kernel_ops(simd::Isa isa) {
-  switch (isa) {
-    case simd::Isa::kScalar:
-      return scalar_kernel_ops();
-    case simd::Isa::kAvx2:
+  return simd::dispatch_kernel_ops<KernelOps>(isa, &scalar_kernel_ops,
 #if MINIPHI_KERNELS_AVX2
-      MINIPHI_CHECK(simd::isa_supported(simd::Isa::kAvx2),
-                    "AVX2 kernels requested but this CPU lacks AVX2/FMA");
-      return avx2_kernel_ops();
+                                              &avx2_kernel_ops,
 #else
-      throw Error("AVX2 kernels were not compiled into this binary");
+                                              nullptr,
 #endif
-    case simd::Isa::kAvx512:
 #if MINIPHI_KERNELS_AVX512
-      MINIPHI_CHECK(simd::isa_supported(simd::Isa::kAvx512),
-                    "AVX-512 kernels requested but this CPU lacks AVX-512F");
-      return avx512_kernel_ops();
+                                              &avx512_kernel_ops
 #else
-      throw Error("AVX-512 kernels were not compiled into this binary");
+                                              nullptr
 #endif
-  }
-  throw Error("unknown ISA");
+  );
 }
 
 }  // namespace miniphi::core

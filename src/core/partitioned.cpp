@@ -1,7 +1,9 @@
 #include "src/core/partitioned.hpp"
 
+#include <algorithm>
 #include <cmath>
 
+#include "src/obs/span_trace.hpp"
 #include "src/util/error.hpp"
 
 namespace miniphi::core {
@@ -58,6 +60,127 @@ PartitionedEvaluator::PartitionedEvaluator(const bio::Alignment& alignment,
     engines_.push_back(
         std::make_unique<LikelihoodEngine>(*patterns_.back(), initial_model, tree, config));
   }
+  trace_attached_ = engine_config.trace != nullptr;
+  // External plan execution needs the full CLA budget (no eviction); under
+  // a tight budget the engines keep traversing internally with their pin
+  // discipline and the merged queue stands down.
+  merged_supported_ = engine_config.cla_buffers < 0;
+  if (obs::kMetricsCompiled && engine_config.metrics == obs::MetricsMode::kOn) {
+    metrics_ = true;
+    obs::Registry& registry = obs::Registry::instance();
+    merged_traversals_id_ = registry.counter("plan.merged.traversals");
+    merged_levels_id_ = registry.histogram("plan.merged.levels");
+    merged_regions_id_ = registry.counter("plan.merged.regions");
+  }
+  plans_.resize(engines_.size());
+  partials_.resize(engines_.size());
+  derivative_partials_.resize(engines_.size());
+}
+
+void PartitionedEvaluator::set_parallel_for(ParallelFor* parallel_for, PlanSchedule schedule) {
+  MINIPHI_CHECK(parallel_for == nullptr || !trace_attached_,
+                "partitioned evaluator: the engines share a KernelTrace, which is not "
+                "thread-safe; build without Config::trace to attach a ParallelFor");
+  parallel_for_ = parallel_for;
+  schedule_ = schedule;
+}
+
+void PartitionedEvaluator::run_region(int count, const std::function<void(int)>& fn) {
+  if (count <= 0) return;
+  if (parallel_for_ != nullptr) {
+    ++merged_counters_.regions;
+    if (metrics_) obs::Registry::instance().add(merged_regions_id_, 1);
+    parallel_for_->run(count, fn);
+    return;
+  }
+  for (int i = 0; i < count; ++i) fn(i);
+}
+
+void PartitionedEvaluator::validate_edge(tree::Slot* edge) {
+  if (!merged_supported_) return;  // engines traverse internally (tight budget)
+  const int count = partition_count();
+  int max_levels = 0;
+  for (int p = 0; p < count; ++p) {
+    // nullptr = this partition's cached plan is already satisfied.
+    plans_[static_cast<std::size_t>(p)] = engines_[static_cast<std::size_t>(p)]->plan_traversal(edge);
+    if (plans_[static_cast<std::size_t>(p)] != nullptr) {
+      max_levels = std::max(max_levels, plans_[static_cast<std::size_t>(p)]->levels());
+    }
+  }
+  if (max_levels > 0) {
+    obs::ScopedSpan span("plan:merged");
+    // Scratch shared by the per-level dispatch below.  `active` holds the
+    // partitions with ops at the current level; `node_tasks` is the
+    // kPerNode regrouping of one level's ops by tree node.
+    std::vector<int> active;
+    struct NodeTask {
+      int node_id = 0;
+      int partition = 0;
+      std::int32_t op = 0;
+    };
+    std::vector<NodeTask> node_tasks;
+    for (int level = 1; level <= max_levels; ++level) {
+      ++merged_counters_.levels;
+      active.clear();
+      for (int p = 0; p < count; ++p) {
+        const TraversalPlan* plan = plans_[static_cast<std::size_t>(p)];
+        if (plan == nullptr || level > plan->levels()) continue;
+        active.push_back(p);
+        merged_counters_.ops += static_cast<std::int64_t>(plan->level_ops(level).size());
+      }
+      if (active.empty()) continue;
+      if (schedule_ == PlanSchedule::kPerNode) {
+        // Classical fork-join shape: regroup the level's ops by tree node
+        // and issue one region per node (all partitions recompute the same
+        // node together, then barrier — the per-node baseline the wavefront
+        // ablation measures against).
+        node_tasks.clear();
+        for (const int p : active) {
+          const TraversalPlan* plan = plans_[static_cast<std::size_t>(p)];
+          for (const std::int32_t op : plan->level_ops(level)) {
+            node_tasks.push_back(
+                {plan->ops()[static_cast<std::size_t>(op)].node_id, p, op});
+          }
+        }
+        std::stable_sort(node_tasks.begin(), node_tasks.end(),
+                         [](const NodeTask& a, const NodeTask& b) { return a.node_id < b.node_id; });
+        std::size_t begin = 0;
+        while (begin < node_tasks.size()) {
+          std::size_t end = begin + 1;
+          while (end < node_tasks.size() && node_tasks[end].node_id == node_tasks[begin].node_id) {
+            ++end;
+          }
+          run_region(static_cast<int>(end - begin), [&](int i) {
+            const NodeTask& task = node_tasks[begin + static_cast<std::size_t>(i)];
+            engines_[static_cast<std::size_t>(task.partition)]->execute_plan_op(
+                *plans_[static_cast<std::size_t>(task.partition)], task.op);
+          });
+          begin = end;
+        }
+      } else {
+        // Wavefront / batched: the whole level is one dispatch — one region
+        // (one barrier) with a ParallelFor, one loop without.  Task
+        // granularity is a partition's level slice, so each engine is
+        // touched by exactly one thread per region.
+        run_region(static_cast<int>(active.size()), [&](int i) {
+          const int p = active[static_cast<std::size_t>(i)];
+          engines_[static_cast<std::size_t>(p)]->execute_plan_level(
+              *plans_[static_cast<std::size_t>(p)], level);
+        });
+      }
+    }
+    ++merged_counters_.traversals;
+    if (metrics_) {
+      obs::Registry& registry = obs::Registry::instance();
+      registry.add(merged_traversals_id_, 1);
+      registry.observe(merged_levels_id_, max_levels);
+    }
+  }
+  for (int p = 0; p < count; ++p) {
+    if (plans_[static_cast<std::size_t>(p)] != nullptr) {
+      engines_[static_cast<std::size_t>(p)]->commit_planned_traversal(edge);
+    }
+  }
 }
 
 const std::string& PartitionedEvaluator::partition_name(int p) const {
@@ -76,20 +199,35 @@ LikelihoodEngine& PartitionedEvaluator::partition_engine(int p) {
 }
 
 double PartitionedEvaluator::log_likelihood(tree::Slot* edge) {
+  validate_edge(edge);
+  // All traversal work is done (each engine's plan is satisfied): the
+  // per-engine calls below go straight to the evaluate root kernel.
+  run_region(partition_count(), [&](int p) {
+    partials_[static_cast<std::size_t>(p)] =
+        engines_[static_cast<std::size_t>(p)]->log_likelihood(edge);
+  });
+  // Fixed partition order: bit-identical across schedules and thread counts.
   double total = 0.0;
-  for (auto& engine : engines_) total += engine->log_likelihood(edge);
+  for (int p = 0; p < partition_count(); ++p) total += partials_[static_cast<std::size_t>(p)];
   return total;
 }
 
 void PartitionedEvaluator::prepare_derivatives(tree::Slot* edge) {
-  for (auto& engine : engines_) engine->prepare_derivatives(edge);
+  validate_edge(edge);
+  run_region(partition_count(), [&](int p) {
+    engines_[static_cast<std::size_t>(p)]->prepare_derivatives(edge);
+  });
 }
 
 std::pair<double, double> PartitionedEvaluator::derivatives(double z) {
+  run_region(partition_count(), [&](int p) {
+    derivative_partials_[static_cast<std::size_t>(p)] =
+        engines_[static_cast<std::size_t>(p)]->derivatives(z);
+  });
   double first = 0.0;
   double second = 0.0;
-  for (auto& engine : engines_) {
-    const auto [f, s] = engine->derivatives(z);
+  for (int p = 0; p < partition_count(); ++p) {
+    const auto [f, s] = derivative_partials_[static_cast<std::size_t>(p)];
     first += f;
     second += s;
   }

@@ -11,15 +11,30 @@
 // log-likelihoods and Newton derivatives.  The performance-degradation
 // claim itself is reproduced by bench_ablation_partitions via the platform
 // cost model.
+//
+// Traversals are *batched* across partitions: every evaluator call first
+// fetches each engine's flat traversal plan (core::TraversalPlan) and runs
+// the merged queue level by level, interleaving ops from different
+// partitions within a level.  With a ParallelFor attached, scheduling is
+// selectable — kWavefront issues one parallel region (one barrier) per
+// dependency level; kPerNode reproduces the classical fork-join shape of
+// one region per tree node for the ablation; kBatched walks the merged
+// queue on the calling thread.  Per-partition root kernels (evaluate,
+// derivativeSum, derivativeCore) also run inside one region each, and every
+// reduction sums in fixed partition order, so results are bit-identical
+// across schedules and thread counts.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/bio/patterns.hpp"
 #include "src/core/engine.hpp"
+#include "src/obs/metrics.hpp"
 
 namespace miniphi::core {
 
@@ -32,6 +47,23 @@ struct PartitionSpec {
 
 /// Splits [0, total_sites) into `count` near-equal partitions named gene0…
 std::vector<PartitionSpec> even_partitions(std::int64_t total_sites, int count);
+
+/// How the merged cross-partition traversal queue is dispatched.
+enum class PlanSchedule {
+  kBatched,    ///< one serial walk over the merged level queue (default)
+  kPerNode,    ///< one parallel region per tree node (classical fork-join)
+  kWavefront,  ///< one parallel region per dependency level
+};
+
+/// Monotonic counters for the merged cross-partition executor.
+struct MergedPlanCounters {
+  std::int64_t traversals = 0;  ///< merged traversals executed (≥1 op total)
+  std::int64_t levels = 0;      ///< dependency levels walked
+  /// Parallel regions issued (newview levels or node groups, plus one per
+  /// root-kernel phase); the schedules differ only in the newview share.
+  std::int64_t regions = 0;
+  std::int64_t ops = 0;  ///< newview ops dispatched through the queue
+};
 
 class PartitionedEvaluator final : public Evaluator {
  public:
@@ -49,6 +81,19 @@ class PartitionedEvaluator final : public Evaluator {
   /// Direct access for per-partition model optimization
   /// (search::optimize_model works on the returned engine unchanged).
   [[nodiscard]] LikelihoodEngine& partition_engine(int p);
+
+  /// Attaches (or detaches, with nullptr) a parallel-for executor and picks
+  /// the dispatch schedule for merged traversals.  Requires engines built
+  /// without a KernelTrace (the trace recorder is not thread-safe) and with
+  /// the full CLA budget.  With no executor attached every schedule runs on
+  /// the calling thread (regions degrade to loops), which keeps the merged
+  /// queue — and its counters — testable single-threaded.
+  void set_parallel_for(ParallelFor* parallel_for, PlanSchedule schedule);
+  [[nodiscard]] PlanSchedule plan_schedule() const { return schedule_; }
+
+  /// Counters of the merged cross-partition executor (never reset; callers
+  /// take deltas).  regions stays 0 until a ParallelFor is attached.
+  [[nodiscard]] const MergedPlanCounters& merged_plan_counters() const { return merged_counters_; }
 
   // Evaluator interface: branch lengths are linked across partitions, so
   // likelihoods and derivatives are sums over partitions.
@@ -70,11 +115,34 @@ class PartitionedEvaluator final : public Evaluator {
   void reset_stats() override;
 
  private:
+  /// Plans every partition's traversal toward (edge, edge->back) and runs
+  /// the merged queue level by level under the active schedule.
+  void validate_edge(tree::Slot* edge);
+
+  /// Dispatches `count` independent tasks: one region through the attached
+  /// ParallelFor, or a plain loop when none is attached.
+  void run_region(int count, const std::function<void(int)>& fn);
+
   tree::Tree& tree_;
   std::vector<std::string> names_;
   std::vector<std::unique_ptr<bio::PatternSet>> patterns_;
   std::vector<std::unique_ptr<LikelihoodEngine>> engines_;
   mutable EvalStats aggregated_stats_;  ///< cache filled by stats()
+
+  // Merged-traversal machinery.
+  ParallelFor* parallel_for_ = nullptr;
+  PlanSchedule schedule_ = PlanSchedule::kBatched;
+  bool trace_attached_ = false;  ///< engines share a KernelTrace (not thread-safe)
+  bool merged_supported_ = true;  ///< false under a tight CLA budget
+  MergedPlanCounters merged_counters_;
+  bool metrics_ = false;
+  obs::MetricId merged_traversals_id_ = 0;
+  obs::MetricId merged_levels_id_ = 0;    ///< histogram: levels per merged traversal
+  obs::MetricId merged_regions_id_ = 0;
+  // Per-traversal scratch (reused; sized to partition_count()).
+  std::vector<const TraversalPlan*> plans_;
+  std::vector<double> partials_;
+  std::vector<std::pair<double, double>> derivative_partials_;
 };
 
 }  // namespace miniphi::core

@@ -1,0 +1,95 @@
+#include "src/core/traversal_plan.hpp"
+
+#include <algorithm>
+
+namespace miniphi::core {
+
+std::int64_t TraversalPlan::max_level_width() const {
+  std::int64_t widest = 0;
+  for (std::size_t level = 1; level < level_begin_.size(); ++level) {
+    widest = std::max<std::int64_t>(widest, level_begin_[level] - level_begin_[level - 1]);
+  }
+  return widest;
+}
+
+void TraversalPlan::finalize_levels() {
+  int levels = 0;
+  for (const PlfOp& op : ops_) levels = std::max(levels, static_cast<int>(op.level));
+  level_begin_.assign(static_cast<std::size_t>(levels) + 1, 0);
+  for (const PlfOp& op : ops_) ++level_begin_[static_cast<std::size_t>(op.level - 1)];
+  // Exclusive prefix sum, then a stable counting pass keeps each level's ops
+  // in DFS emission order.
+  std::int32_t running = 0;
+  for (auto& count : level_begin_) {
+    const std::int32_t here = count;
+    count = running;
+    running += here;
+  }
+  level_order_.resize(ops_.size());
+  std::vector<std::int32_t> cursor(level_begin_.begin(), level_begin_.end() - 1);
+  for (std::size_t i = 0; i < ops_.size(); ++i) {
+    auto& slot = cursor[static_cast<std::size_t>(ops_[i].level - 1)];
+    level_order_[static_cast<std::size_t>(slot++)] = static_cast<std::int32_t>(i);
+  }
+}
+
+void TraversalPlanner::emit(tree::Slot* goal, TraversalPlan& out) {
+  MINIPHI_ASSERT(!goal->is_tip() && scratch(goal).recompute);
+  stack_.clear();
+  stack_.push_back({goal, false});
+  while (!stack_.empty()) {
+    Frame& frame = stack_.back();
+    tree::Slot* slot = frame.slot;
+    if (!frame.expanded) {
+      frame.expanded = true;
+      // Push the smaller-need child first so the larger one pops — and thus
+      // emits — first (Sethi-Ullman ordering).
+      tree::Slot* first = slot->child1();
+      tree::Slot* second = slot->child2();
+      const auto registers = [this](const tree::Slot* child) -> std::int32_t {
+        return child->is_tip() ? 0 : scratch_[static_cast<std::size_t>(child->slot_index)].registers;
+      };
+      if (registers(second) > registers(first)) std::swap(first, second);
+      for (tree::Slot* child : {second, first}) {
+        if (!child->is_tip() && scratch(child).recompute &&
+            scratch(child).op < 0) {
+          stack_.push_back({child, false});
+        }
+      }
+      continue;
+    }
+    stack_.pop_back();
+    const auto child_op = [this](const tree::Slot* child) -> std::int32_t {
+      if (child->is_tip()) return -1;
+      const SlotScratch& c = scratch_[static_cast<std::size_t>(child->slot_index)];
+      return c.recompute ? c.op : -1;
+    };
+    PlfOp op;
+    op.slot = slot;
+    op.node_id = slot->node_id;
+    op.left_op = child_op(slot->child1());
+    op.right_op = child_op(slot->child2());
+    const auto level_of = [&out](std::int32_t index) -> std::int32_t {
+      return index < 0 ? 0 : out.ops_[static_cast<std::size_t>(index)].level;
+    };
+    op.level = 1 + std::max(level_of(op.left_op), level_of(op.right_op));
+    scratch(slot).op = static_cast<std::int32_t>(out.ops_.size());
+    out.ops_.push_back(op);
+  }
+}
+
+PlanMetricIds register_plan_metrics() {
+  PlanMetricIds ids;
+  obs::Registry& registry = obs::Registry::instance();
+  ids.builds = registry.counter("plan.builds");
+  ids.cache_hits = registry.counter("plan.cache_hits");
+  ids.reuses = registry.counter("plan.reuses");
+  ids.executed_ops = registry.counter("plan.executed_ops");
+  ids.executed_plans = registry.counter("plan.executed_plans");
+  ids.build_ns = registry.histogram("plan.build_ns");
+  ids.levels = registry.histogram("plan.levels");
+  ids.level_width = registry.histogram("plan.level_width");
+  return ids;
+}
+
+}  // namespace miniphi::core

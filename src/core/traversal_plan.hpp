@@ -1,0 +1,386 @@
+// Flat traversal plans: the intermediate representation between "which CLAs
+// does this virtual root need?" and "run the newview kernel n times".
+//
+// The engines used to answer that question with recursive per-node descent
+// (RAxML's makenewz/newviewIterative pattern), which forces every layer
+// above the kernels — partitioned evaluation, fork-join scheduling,
+// distributed reduction planning — to re-derive ordering information node by
+// node.  BEAGLE 4.1 instead hands its back-ends a flat operation list per
+// traversal; that one change is what enables cross-partition batching,
+// wavefront parallelism and single-shot communication planning.  This file
+// is miniphi's version of that list:
+//
+//  * PlfOp — one pending newview: the inner slot whose CLA must be
+//    (re)computed, its dependency level, and the op indices of any children
+//    that are computed by the same plan (-1 for tips and for CLAs that are
+//    already valid, i.e. plan *inputs*).
+//  * TraversalPlan — the ops in Sethi-Ullman DFS post-order (the order that
+//    keeps the live-buffer working set ~log2(n), required by tight
+//    Config::cla_buffers budgets), plus a by-level grouping (every op of
+//    level L depends only on levels < L, so same-level ops are independent
+//    and may run concurrently), plus the goal slots ("roots").
+//  * TraversalPlanner — the iterative planner.  Explicit stacks, no
+//    recursion: pathological caterpillar trees from the simulator are deep
+//    enough to overflow the thread stack otherwise.
+//
+// Plans are pure descriptions: building one never touches CLA state, so
+// engines cache them per virtual root and revalidate with a cheap epoch
+// check (see LikelihoodEngine) instead of re-walking the tree.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "src/obs/metrics.hpp"
+#include "src/obs/span_trace.hpp"
+#include "src/tree/tree.hpp"
+#include "src/util/error.hpp"
+#include "src/util/timer.hpp"
+
+namespace miniphi::core {
+
+/// One pending PLF operation: compute the CLA of `slot` (a newview call).
+/// Children that the same plan computes are referenced by op index; -1 means
+/// the child is a tip or an already-valid CLA (a plan input).
+struct PlfOp {
+  tree::Slot* slot = nullptr;
+  int node_id = -1;
+  std::int32_t level = 0;      ///< 1-based dependency level within the plan
+  std::int32_t left_op = -1;   ///< op computing child1's CLA, -1 = plan input
+  std::int32_t right_op = -1;  ///< op computing child2's CLA, -1 = plan input
+  std::int32_t partition = 0;  ///< tag used by multi-partition executors
+};
+
+/// One traversal goal: the slot whose CLA the caller wants valid, and the
+/// op that computes it (-1 when it is a tip or already valid — plans for
+/// fully cached traversals are empty but still carry their roots).
+struct PlanRoot {
+  tree::Slot* slot = nullptr;
+  std::int32_t op = -1;
+};
+
+class TraversalPlan {
+ public:
+  [[nodiscard]] std::span<const PlfOp> ops() const { return ops_; }
+  [[nodiscard]] std::span<const PlanRoot> roots() const { return roots_; }
+  [[nodiscard]] bool empty() const { return ops_.empty(); }
+  [[nodiscard]] std::int64_t op_count() const { return static_cast<std::int64_t>(ops_.size()); }
+
+  /// Number of dependency levels (0 for an empty plan).
+  [[nodiscard]] int levels() const { return static_cast<int>(level_begin_.size()) - 1; }
+
+  /// Op indices of one 1-based level, in DFS emission order.  All ops of a
+  /// level are mutually independent.
+  [[nodiscard]] std::span<const std::int32_t> level_ops(int level) const {
+    MINIPHI_ASSERT(level >= 1 && level <= levels());
+    const auto begin = static_cast<std::size_t>(level_begin_[static_cast<std::size_t>(level - 1)]);
+    const auto end = static_cast<std::size_t>(level_begin_[static_cast<std::size_t>(level)]);
+    return std::span<const std::int32_t>(level_order_).subspan(begin, end - begin);
+  }
+
+  /// Widest level (0 for an empty plan) — the plan's available parallelism.
+  [[nodiscard]] std::int64_t max_level_width() const;
+
+  void clear() {
+    ops_.clear();
+    roots_.clear();
+    level_order_.clear();
+    level_begin_.clear();
+  }
+
+ private:
+  friend class TraversalPlanner;
+
+  /// Builds the by-level index from the ops' level fields (called once by
+  /// the planner after emission).
+  void finalize_levels();
+
+  std::vector<PlfOp> ops_;  ///< Sethi-Ullman DFS post-order
+  std::vector<PlanRoot> roots_;
+  std::vector<std::int32_t> level_order_;  ///< op indices grouped by level
+  std::vector<std::int32_t> level_begin_;  ///< [levels + 1] offsets into level_order_
+};
+
+/// Iterative traversal planner.  One instance per engine; the per-slot
+/// scratch arrays are reused across builds (grown on demand), so a build is
+/// one allocation-free O(subtree) sweep after warm-up.
+class TraversalPlanner {
+ public:
+  /// Plans the minimal set of newview ops that makes the CLA toward every
+  /// goal valid.  `valid(slot)` reports whether an inner slot's CLA is
+  /// currently valid *toward that slot*; the planner still descends through
+  /// valid nodes, because a deep invalidation must propagate to every
+  /// ancestor (the RAxML partial-traversal rule).  Children are emitted
+  /// larger-register-need-first (Sethi-Ullman), which bounds the live
+  /// working set of a DFS-order execution by ~log2(n).
+  template <typename ValidFn>
+  void build(std::span<tree::Slot* const> goals, ValidFn&& valid, TraversalPlan& out) {
+    out.clear();
+    ++stamp_;
+    for (tree::Slot* goal : goals) {
+      measure(goal, valid);
+      PlanRoot root;
+      root.slot = goal;
+      if (!goal->is_tip() && scratch(goal).recompute) {
+        emit(goal, out);
+        root.op = scratch(goal).op;
+      }
+      out.roots_.push_back(root);
+    }
+    out.finalize_levels();
+  }
+
+ private:
+  struct SlotScratch {
+    std::uint32_t stamp = 0;      ///< build id this entry belongs to
+    std::int32_t registers = 0;   ///< Sethi-Ullman buffer need of the subtree
+    std::int32_t op = -1;         ///< emitted op index (emission pass)
+    bool recompute = false;
+  };
+
+  struct Frame {
+    tree::Slot* slot = nullptr;
+    bool expanded = false;
+  };
+
+  [[nodiscard]] SlotScratch& scratch(const tree::Slot* slot) {
+    const auto index = static_cast<std::size_t>(slot->slot_index);
+    if (index >= scratch_.size()) scratch_.resize(index + 1);
+    return scratch_[index];
+  }
+
+  /// Pass 1: bottom-up {recompute, registers} for every inner slot of the
+  /// goal's subtree (explicit-stack post-order; skips slots already measured
+  /// in this build).
+  template <typename ValidFn>
+  void measure(tree::Slot* goal, ValidFn&& valid) {
+    if (goal->is_tip() || scratch(goal).stamp == stamp_) return;
+    stack_.clear();
+    stack_.push_back({goal, false});
+    while (!stack_.empty()) {
+      Frame& frame = stack_.back();
+      tree::Slot* slot = frame.slot;
+      if (!frame.expanded) {
+        frame.expanded = true;
+        for (tree::Slot* child : {slot->child1(), slot->child2()}) {
+          if (!child->is_tip() && scratch(child).stamp != stamp_) {
+            stack_.push_back({child, false});
+          }
+        }
+        continue;
+      }
+      stack_.pop_back();
+      SlotScratch& entry = scratch(slot);
+      entry.stamp = stamp_;
+      entry.op = -1;
+      const auto need = [this](const tree::Slot* child) -> std::pair<bool, std::int32_t> {
+        if (child->is_tip()) return {false, 0};
+        const SlotScratch& c = scratch_[static_cast<std::size_t>(child->slot_index)];
+        return {c.recompute, c.registers};
+      };
+      const auto [r1, reg1] = need(slot->child1());
+      const auto [r2, reg2] = need(slot->child2());
+      if (!r1 && !r2 && valid(slot)) {
+        // Whole subtree valid: a resident plan input, costing one buffer.
+        entry.recompute = false;
+        entry.registers = 1;
+        continue;
+      }
+      entry.recompute = true;
+      entry.registers =
+          std::max<std::int32_t>(1, (reg1 == reg2) ? reg1 + 1 : std::max(reg1, reg2));
+    }
+  }
+
+  /// Pass 2: emits the goal's recompute set in Sethi-Ullman DFS post-order,
+  /// assigning levels and child-op links as it goes.
+  void emit(tree::Slot* goal, TraversalPlan& out);
+
+  std::vector<SlotScratch> scratch_;  ///< indexed by slot_index
+  std::vector<Frame> stack_;
+  std::uint32_t stamp_ = 0;
+};
+
+/// Execution counters an engine keeps next to its plan cache (also published
+/// as obs metrics when the engine has metrics on).
+struct PlanCounters {
+  std::int64_t builds = 0;        ///< plans built (or rebuilt) from the tree
+  std::int64_t cache_hits = 0;    ///< traversals skipped: cached plan still satisfied
+  std::int64_t reuses = 0;        ///< prebuilt plans executed without a rebuild
+  std::int64_t executed_ops = 0;  ///< newview ops run through plan execution
+  std::int64_t executed_plans = 0;
+};
+
+/// Registry ids for the shared plan metric family ("plan.*").
+struct PlanMetricIds {
+  obs::MetricId builds = 0;
+  obs::MetricId cache_hits = 0;
+  obs::MetricId reuses = 0;
+  obs::MetricId executed_ops = 0;
+  obs::MetricId executed_plans = 0;
+  obs::MetricId build_ns = 0;     ///< histogram: per-build planning latency
+  obs::MetricId levels = 0;       ///< histogram: levels per executed plan
+  obs::MetricId level_width = 0;  ///< histogram: ops per executed level
+};
+
+/// Interns the plan metric family (idempotent; engines share the counters,
+/// like the plf.* kernel family).
+[[nodiscard]] PlanMetricIds register_plan_metrics();
+
+/// Shared plan cache + level-order executor for engines with one resident
+/// CLA per inner node (cat, general): no eviction can happen, so execution
+/// is a straight level sweep with per-level spans and metrics.  The dense
+/// engine implements the same protocol inline because its executor adds the
+/// tight-budget pin/recompute discipline on top.
+///
+/// Epoch protocol: every CLA state change (newview, invalidation, model or
+/// rate change) must call note_cla_state_changed().  A cached plan whose
+/// built_epoch matches the current epoch is re-executable as-is; one whose
+/// satisfied_epoch matches means the goal CLAs are still exactly as the last
+/// execution left them and the traversal is skipped outright.
+class PlanCache {
+ public:
+  explicit PlanCache(int capacity = 8) : capacity_(capacity) {
+    entries_.reserve(static_cast<std::size_t>(capacity));
+  }
+
+  /// Interns the plan.* metric family; call once when the owner has metrics
+  /// enabled.
+  void enable_metrics() {
+    metrics_ = true;
+    ids_ = register_plan_metrics();
+  }
+
+  void note_cla_state_changed() { ++epoch_; }
+
+  [[nodiscard]] const PlanCounters& counters() const { return counters_; }
+
+  /// Makes the CLAs at (edge, edge->back) valid: satisfied-plan fast path,
+  /// else build-or-reuse the cached plan and run every op level by level
+  /// through `run_op(const PlfOp&)`.  Returns true when any op ran.
+  template <typename ValidFn, typename OpFn>
+  bool validate(tree::Slot* edge, ValidFn&& valid, OpFn&& run_op) {
+    Entry& entry = entry_for(edge);
+    if (entry.satisfied_epoch != 0 && entry.satisfied_epoch == epoch_) {
+      ++counters_.cache_hits;
+      if (metrics_) obs::Registry::instance().add(ids_.cache_hits, 1);
+      return false;
+    }
+    const TraversalPlan& plan = prepare(entry, valid);
+    if (!plan.empty()) {
+      obs::ScopedSpan span("plan:execute");
+      for (int level = 1; level <= plan.levels(); ++level) {
+        run_level(plan, level, run_op);
+      }
+      ++counters_.executed_plans;
+      if (metrics_) {
+        obs::Registry& registry = obs::Registry::instance();
+        registry.add(ids_.executed_plans, 1);
+        registry.observe(ids_.levels, plan.levels());
+      }
+    }
+    // Ops bump the epoch (they reorient CLAs), so satisfaction is recorded
+    // against the post-execution state.
+    entry.built_epoch = epoch_;
+    entry.satisfied_epoch = epoch_;
+    return !plan.empty();
+  }
+
+  /// Runs one dependency level of `plan` through `run_op` (with the
+  /// per-level span and width/op metrics).
+  template <typename OpFn>
+  void run_level(const TraversalPlan& plan, int level, OpFn&& run_op) {
+    obs::ScopedSpan span("plan:level");
+    const auto level_ops = plan.level_ops(level);
+    if (metrics_) {
+      obs::Registry& registry = obs::Registry::instance();
+      registry.observe(ids_.level_width, static_cast<std::int64_t>(level_ops.size()));
+      registry.add(ids_.executed_ops, static_cast<std::int64_t>(level_ops.size()));
+    }
+    counters_.executed_ops += static_cast<std::int64_t>(level_ops.size());
+    for (const std::int32_t op : level_ops) {
+      run_op(plan.ops()[static_cast<std::size_t>(op)]);
+    }
+  }
+
+ private:
+  struct Entry {
+    tree::Slot* key = nullptr;
+    std::uint64_t built_epoch = 0;      ///< 0 = never built
+    std::uint64_t satisfied_epoch = 0;  ///< 0 = never executed
+    std::int64_t last_use = 0;
+    TraversalPlan plan;
+  };
+
+  /// Cache slot for the branch (both directions share one entry; small LRU).
+  Entry& entry_for(tree::Slot* edge) {
+    tree::Slot* key = (edge->back->slot_index < edge->slot_index) ? edge->back : edge;
+    Entry* found = nullptr;
+    Entry* lru = nullptr;
+    for (auto& entry : entries_) {
+      if (entry.key == key) {
+        found = &entry;
+        break;
+      }
+      if (lru == nullptr || entry.last_use < lru->last_use) lru = &entry;
+    }
+    if (found == nullptr) {
+      if (entries_.size() < static_cast<std::size_t>(capacity_)) {
+        found = &entries_.emplace_back();
+      } else {
+        found = lru;
+      }
+      found->key = key;
+      found->built_epoch = 0;
+      found->satisfied_epoch = 0;
+    }
+    found->last_use = ++use_counter_;
+    return *found;
+  }
+
+  /// Builds the entry's plan unless it already matches the current epoch.
+  template <typename ValidFn>
+  const TraversalPlan& prepare(Entry& entry, ValidFn&& valid) {
+    if (entry.built_epoch == epoch_) {
+      ++counters_.reuses;
+      if (metrics_) obs::Registry::instance().add(ids_.reuses, 1);
+      return entry.plan;
+    }
+    Timer timer;
+    tree::Slot* const goals[2] = {entry.key, entry.key->back};
+    planner_.build(std::span<tree::Slot* const>(goals), valid, entry.plan);
+    entry.built_epoch = epoch_;
+    entry.satisfied_epoch = 0;
+    ++counters_.builds;
+    if (metrics_) {
+      obs::Registry& registry = obs::Registry::instance();
+      registry.add(ids_.builds, 1);
+      registry.observe(ids_.build_ns, static_cast<std::int64_t>(timer.seconds() * 1e9));
+    }
+    return entry.plan;
+  }
+
+  int capacity_;
+  TraversalPlanner planner_;
+  std::vector<Entry> entries_;
+  std::uint64_t epoch_ = 1;
+  std::int64_t use_counter_ = 0;
+  PlanCounters counters_;
+  PlanMetricIds ids_;
+  bool metrics_ = false;
+};
+
+/// Minimal parallel-for seam so core-layer plan executors can run
+/// independent same-level ops concurrently without a dependency on
+/// src/parallel (which links against core, not the other way around).
+/// run() must execute fn(0..count-1) to completion before returning; fn
+/// must be safe to call from multiple threads.
+class ParallelFor {
+ public:
+  virtual ~ParallelFor() = default;
+  virtual void run(int count, const std::function<void(int)>& fn) = 0;
+};
+
+}  // namespace miniphi::core

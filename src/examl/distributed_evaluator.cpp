@@ -20,16 +20,41 @@ DistributedEvaluator::DistributedEvaluator(mpi::Communicator& comm,
   engine_ = std::make_unique<core::LikelihoodEngine>(patterns, model, tree, config);
   if (obs::kMetricsCompiled && engine_config.metrics == obs::MetricsMode::kOn) {
     comm_.enable_metrics();
+    metrics_ = true;
+    obs::Registry& registry = obs::Registry::instance();
+    plan_posted_id_ = registry.counter("dist.plan.posted");
+    plan_local_ops_id_ = registry.histogram("dist.plan.local_ops");
+    plan_levels_id_ = registry.histogram("dist.plan.levels");
   }
   comm_baseline_ = comm_.stats();
 }
 
+void DistributedEvaluator::derive_comm_plan(tree::Slot* edge, int posts) {
+  // nullptr = the cached plan is satisfied: zero local ops before the post.
+  const core::TraversalPlan* plan = engine_->plan_traversal(edge);
+  last_comm_plan_.newview_ops = plan != nullptr ? plan->op_count() : 0;
+  last_comm_plan_.levels = plan != nullptr ? plan->levels() : 0;
+  last_comm_plan_.posts = posts;
+  if (metrics_) {
+    obs::Registry& registry = obs::Registry::instance();
+    registry.add(plan_posted_id_, 1);
+    registry.observe(plan_local_ops_id_, last_comm_plan_.newview_ops);
+    registry.observe(plan_levels_id_, last_comm_plan_.levels);
+  }
+}
+
 double DistributedEvaluator::log_likelihood(tree::Slot* edge) {
+  // One comm plan per traversal: all local plan ops run first (the engine
+  // reuses the plan just fetched), then exactly one allreduce.
+  derive_comm_plan(edge, /*posts=*/1);
   comm_.on_kernel_region();  // fault-injection hook: a plan may kill us here
   return comm_.allreduce_sum(engine_->log_likelihood(edge));
 }
 
 void DistributedEvaluator::prepare_derivatives(tree::Slot* edge) {
+  // The traversal itself posts nothing; each Newton derivatives() call that
+  // follows is its own single-collective plan.
+  derive_comm_plan(edge, /*posts=*/0);
   engine_->prepare_derivatives(edge);
 }
 
@@ -52,8 +77,9 @@ double DistributedEvaluator::optimize_branch(tree::Slot* edge, int max_iteration
     if (converged) break;
   }
   tree::Tree::set_length(edge, z);
-  invalidate_node(edge->node_id);
-  invalidate_node(edge->back->node_id);
+  // Branch-length-only change: the engine's site-repeat class maps survive.
+  invalidate_branch(edge->node_id);
+  invalidate_branch(edge->back->node_id);
   return z;
 }
 
@@ -67,6 +93,10 @@ double DistributedEvaluator::optimize_all_branches(tree::Slot* root_edge, int pa
 }
 
 void DistributedEvaluator::invalidate_node(int node_id) { engine_->invalidate_node(node_id); }
+
+void DistributedEvaluator::invalidate_branch(int node_id) {
+  engine_->invalidate_branch(node_id);
+}
 
 void DistributedEvaluator::set_model(const model::GtrModel& model) { engine_->set_model(model); }
 

@@ -7,14 +7,31 @@
 // order is fixed, all replicas see bit-identical values and make identical
 // decisions — ExaML's "consistent copies" design (paper Section V-D), which
 // avoids communication between consecutive newview() calls entirely.
+//
+// The communication schedule is *derived from the traversal plan*: before
+// any kernel runs, the rank fetches its engine's flat core::TraversalPlan
+// for the virtual root and records how many newview ops and dependency
+// levels of purely local compute precede the reduction.  Since every
+// replica plans the identical traversal, the derived schedule is globally
+// consistent without exchanging it — a full traversal posts exactly one
+// collective (the lnL allreduce), never one per node.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 
 #include "src/core/engine.hpp"
 #include "src/minimpi/minimpi.hpp"
 
 namespace miniphi::examl {
+
+/// Reduction schedule of one distributed traversal, derived from the local
+/// engine's traversal plan before any kernel runs.
+struct CommPlan {
+  std::int64_t newview_ops = 0;  ///< local plan ops the traversal executes first
+  int levels = 0;                ///< dependency levels of those ops
+  int posts = 0;                 ///< collectives the schedule posts (1 per traversal)
+};
 
 class DistributedEvaluator final : public core::Evaluator {
  public:
@@ -32,12 +49,17 @@ class DistributedEvaluator final : public core::Evaluator {
   using Evaluator::optimize_branch;
   double optimize_all_branches(tree::Slot* root_edge, int passes) override;
   void invalidate_node(int node_id) override;
+  void invalidate_branch(int node_id) override;
   void set_model(const model::GtrModel& model);
   void set_alpha(double alpha) override;
   [[nodiscard]] double alpha() const override { return model().params().alpha; }
   [[nodiscard]] const model::GtrModel& model() const;
 
   [[nodiscard]] core::LikelihoodEngine& local_engine() { return *engine_; }
+
+  /// Schedule the most recent planned traversal derived (log_likelihood or
+  /// prepare_derivatives); all-zero before the first one.
+  [[nodiscard]] const CommPlan& last_comm_plan() const { return last_comm_plan_; }
 
   /// This rank's engine stats with communication attribution folded in:
   /// comm_seconds is the wall time this rank spent blocked in collectives,
@@ -53,6 +75,16 @@ class DistributedEvaluator final : public core::Evaluator {
   /// evaluator reports only its own communication, not the whole rank's.
   mpi::CommStats comm_baseline_;
   mutable core::EvalStats aggregated_stats_;  ///< cache filled by stats()
+
+  /// Derives (and records) the traversal's comm schedule from the engine's
+  /// plan at `edge`; `posts` collectives will follow the local compute.
+  void derive_comm_plan(tree::Slot* edge, int posts);
+
+  CommPlan last_comm_plan_;
+  bool metrics_ = false;
+  obs::MetricId plan_posted_id_ = 0;       ///< counter: comm plans posted
+  obs::MetricId plan_local_ops_id_ = 0;    ///< histogram: local ops per comm plan
+  obs::MetricId plan_levels_id_ = 0;       ///< histogram: levels per comm plan
 };
 
 }  // namespace miniphi::examl

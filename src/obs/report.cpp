@@ -61,6 +61,7 @@ std::string render_kernel_report(const std::vector<MetricSnapshot>& snapshot) {
   double pool_compute = 0.0;
   double pool_wait = 0.0;
   std::int64_t scaling_events = 0;
+  std::vector<const MetricSnapshot*> plans;
   std::vector<const MetricSnapshot*> other;
 
   for (const MetricSnapshot& metric : snapshot) {
@@ -91,6 +92,8 @@ std::string render_kernel_report(const std::vector<MetricSnapshot>& snapshot) {
       pool_compute = static_cast<double>(metric.value) * 1e-6;
     } else if (metric.name == "pool.wait_seconds_us") {
       pool_wait = static_cast<double>(metric.value) * 1e-6;
+    } else if (parts[0] == "plan" || (parts.size() >= 2 && parts[0] == "dist" && parts[1] == "plan")) {
+      plans.push_back(&metric);
     } else if (parts.size() == 3 && parts[0] == "mpi") {
       auto& entry = collectives[std::string(parts[1])];
       if (parts[2] == "calls") {
@@ -134,6 +137,25 @@ std::string render_kernel_report(const std::vector<MetricSnapshot>& snapshot) {
     const double total = pool_compute + pool_wait;
     append_line(out, "compute: %.3f s  barrier-wait: %.3f s  (%.1f%% wait)", pool_compute,
                 pool_wait, total > 0.0 ? pool_wait / total * 100.0 : 0.0);
+  }
+
+  if (!plans.empty()) {
+    out += "--- traversal plans ---\n";
+    std::sort(plans.begin(), plans.end(),
+              [](const MetricSnapshot* a, const MetricSnapshot* b) { return a->name < b->name; });
+    for (const MetricSnapshot* metric : plans) {
+      if (metric->kind == MetricKind::kHistogram) {
+        const double mean = metric->histogram.count > 0
+                                ? static_cast<double>(metric->histogram.sum) /
+                                      static_cast<double>(metric->histogram.count)
+                                : 0.0;
+        append_line(out, "%-40s count=%-10lld mean=%.1f", metric->name.c_str(),
+                    static_cast<long long>(metric->histogram.count), mean);
+      } else {
+        append_line(out, "%-40s %lld", metric->name.c_str(),
+                    static_cast<long long>(metric->value));
+      }
+    }
   }
 
   if (!collectives.empty()) {

@@ -63,8 +63,9 @@ double ForkJoinEvaluator::optimize_branch(tree::Slot* edge, int max_iterations) 
     if (converged) break;
   }
   tree::Tree::set_length(edge, z);
-  invalidate_node(edge->node_id);
-  invalidate_node(edge->back->node_id);
+  // Branch-length-only change: per-worker site-repeat class maps survive.
+  invalidate_branch(edge->node_id);
+  invalidate_branch(edge->back->node_id);
   return z;
 }
 
@@ -80,6 +81,10 @@ double ForkJoinEvaluator::optimize_all_branches(tree::Slot* root_edge, int passe
 void ForkJoinEvaluator::invalidate_node(int node_id) {
   // Cheap metadata update; no need to fork a region for it.
   for (auto& engine : engines_) engine->invalidate_node(node_id);
+}
+
+void ForkJoinEvaluator::invalidate_branch(int node_id) {
+  for (auto& engine : engines_) engine->invalidate_branch(node_id);
 }
 
 void ForkJoinEvaluator::set_model(const model::GtrModel& model) {

@@ -28,6 +28,7 @@ class ForkJoinEvaluator final : public core::Evaluator {
   using Evaluator::optimize_branch;
   double optimize_all_branches(tree::Slot* root_edge, int passes) override;
   void invalidate_node(int node_id) override;
+  void invalidate_branch(int node_id) override;
   void set_model(const model::GtrModel& model);
   void set_alpha(double alpha) override;
   [[nodiscard]] double alpha() const override { return model().params().alpha; }

@@ -109,6 +109,17 @@ void WorkerPool::run(const std::function<void(int)>& fn) {
   }
 }
 
+void WorkerPool::run_tasks(int count, const std::function<void(int)>& fn) {
+  if (count <= 0) return;
+  next_task_.store(0, std::memory_order_relaxed);
+  run([this, count, &fn](int) {
+    for (int task = next_task_.fetch_add(1, std::memory_order_relaxed); task < count;
+         task = next_task_.fetch_add(1, std::memory_order_relaxed)) {
+      fn(task);
+    }
+  });
+}
+
 double WorkerPool::run_reduce_sum(const std::function<double(int)>& fn) {
   run([&](int thread_id) { partials_[static_cast<std::size_t>(thread_id)] = fn(thread_id); });
   // Fixed-order reduction keeps results deterministic across runs.

@@ -42,6 +42,13 @@ class WorkerPool {
   /// Fork-join region with a sum-reduction over the per-thread results.
   double run_reduce_sum(const std::function<double(int)>& fn);
 
+  /// One fork-join region that executes fn(0..count-1): workers claim task
+  /// indices from a shared atomic counter, so `count` may exceed (or
+  /// undershoot) the thread count and imbalanced tasks self-balance.  This
+  /// is the dispatch primitive of wavefront scheduling — all of a
+  /// dependency level's independent ops in a single region/barrier.
+  void run_tasks(int count, const std::function<void(int)>& fn);
+
   /// Number of fork-join regions executed so far (2 syncs each).
   [[nodiscard]] std::int64_t region_count() const { return regions_; }
 
@@ -72,6 +79,7 @@ class WorkerPool {
 
   std::vector<double> partials_;
   std::vector<std::exception_ptr> errors_;  ///< per-thread failure of the current region
+  std::atomic<int> next_task_{0};           ///< run_tasks claim counter
 
   // Region attribution.  Workers write task_seconds_[tid] before the
   // mutex-guarded remaining_ decrement, the master reads after the join —

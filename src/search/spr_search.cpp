@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <iterator>
 
+#include "src/obs/metrics.hpp"
 #include "src/obs/span_trace.hpp"
 #include "src/util/error.hpp"
 #include "src/util/logging.hpp"
@@ -115,6 +116,14 @@ SearchResult run_tree_search(core::Evaluator& engine, tree::Tree& tree,
     ++result.rounds;
     result.trajectory.push_back(current);
     MINIPHI_LOG(Debug) << "search: round " << round << " lnL = " << current;
+    if (obs::kMetricsCompiled) {
+      // Plan-cache effectiveness per round: builds should level off once the
+      // SPR candidate set stabilizes, while hits/reuses keep growing.
+      obs::Registry& registry = obs::Registry::instance();
+      MINIPHI_LOG(Debug) << "search: plan cache builds=" << registry.value(registry.counter("plan.builds"))
+                         << " hits=" << registry.value(registry.counter("plan.cache_hits"))
+                         << " reuses=" << registry.value(registry.counter("plan.reuses"));
+    }
     if (options.round_callback) options.round_callback(result.rounds, current);
     MINIPHI_ASSERT(current >= before - 1e-6);
     if (current - before < options.epsilon) break;

@@ -1,0 +1,39 @@
+// Shared ISA → kernel-table dispatch.
+//
+// The dense, CAT and general engines each carry an ops table (function
+// pointers per kernel) with scalar/AVX2/AVX-512 constructors compiled in
+// behind MINIPHI_KERNELS_* gates.  The selection logic — check the gate,
+// check the CPU, fall back with a precise error — is identical across the
+// three, so it lives here once.  Call sites pass nullptr for constructors
+// their translation unit was built without (the gates are per-target
+// compile definitions, so the #if belongs at the call site, not here).
+#pragma once
+
+#include "src/simd/dispatch.hpp"
+#include "src/util/error.hpp"
+
+namespace miniphi::simd {
+
+/// Returns the kernel-ops table for `isa`.  `scalar` is mandatory; `avx2` /
+/// `avx512` may be nullptr when the binary was built without that backend.
+/// Throws Error when the backend is missing or the CPU lacks the ISA.
+template <typename Ops>
+Ops dispatch_kernel_ops(Isa isa, Ops (*scalar)(), Ops (*avx2)(), Ops (*avx512)()) {
+  switch (isa) {
+    case Isa::kScalar:
+      return scalar();
+    case Isa::kAvx2:
+      if (avx2 == nullptr) throw Error("AVX2 kernels were not compiled into this binary");
+      MINIPHI_CHECK(isa_supported(Isa::kAvx2),
+                    "AVX2 kernels requested but this CPU lacks AVX2/FMA");
+      return avx2();
+    case Isa::kAvx512:
+      if (avx512 == nullptr) throw Error("AVX-512 kernels were not compiled into this binary");
+      MINIPHI_CHECK(isa_supported(Isa::kAvx512),
+                    "AVX-512 kernels requested but this CPU lacks AVX-512F");
+      return avx512();
+  }
+  throw Error("unknown ISA");
+}
+
+}  // namespace miniphi::simd

@@ -5,6 +5,8 @@
 #include <cmath>
 
 #include "src/core/partitioned.hpp"
+#include "src/parallel/pool_parallel_for.hpp"
+#include "src/parallel/worker_pool.hpp"
 #include "src/search/model_optimizer.hpp"
 #include "src/search/spr_search.hpp"
 #include "src/simulate/simulate.hpp"
@@ -194,6 +196,63 @@ TEST_F(PartitionedFixture, SearchRunsOnPartitionedEvaluator) {
   // Monotone trajectory as always.
   for (std::size_t i = 1; i < result.trajectory.size(); ++i) {
     EXPECT_GE(result.trajectory[i], result.trajectory[i - 1] - 1e-6);
+  }
+}
+
+TEST_F(PartitionedFixture, MergedScheduleVariantsAreBitIdentical) {
+  // The merged cross-partition queue must produce bit-identical likelihoods
+  // under every dispatch schedule: the kernels run on the same inputs and
+  // every reduction sums in fixed partition order, so no tolerance applies.
+  const auto specs =
+      even_partitions(static_cast<std::int64_t>(alignment_->site_count()), 8);
+  PartitionedEvaluator reference(*alignment_, specs, *model_, *tree_);
+  const double expected = reference.log_likelihood(tree_->tip(0));
+  // The serial reference already went through the merged queue.
+  EXPECT_EQ(reference.merged_plan_counters().traversals, 1);
+  EXPECT_EQ(reference.merged_plan_counters().ops, 8 * tree_->inner_count());
+  EXPECT_EQ(reference.merged_plan_counters().regions, 0);  // no ParallelFor
+
+  parallel::WorkerPool pool(4);
+  parallel::PoolParallelFor parallel_for(pool);
+  for (const auto schedule : {PlanSchedule::kWavefront, PlanSchedule::kPerNode}) {
+    PartitionedEvaluator evaluator(*alignment_, specs, *model_, *tree_);
+    evaluator.set_parallel_for(&parallel_for, schedule);
+    EXPECT_EQ(evaluator.log_likelihood(tree_->tip(0)), expected);
+
+    const MergedPlanCounters& counters = evaluator.merged_plan_counters();
+    EXPECT_EQ(counters.traversals, 1);
+    EXPECT_EQ(counters.ops, 8 * tree_->inner_count());
+    if (schedule == PlanSchedule::kWavefront) {
+      // One region per dependency level plus one for the evaluate kernels.
+      EXPECT_EQ(counters.regions, counters.levels + 1);
+    } else {
+      // Classical fork-join: one region per tree node plus the root phase.
+      EXPECT_EQ(counters.regions, tree_->inner_count() + 1);
+      EXPECT_GE(counters.regions, counters.levels + 1);
+    }
+  }
+}
+
+TEST_F(PartitionedFixture, BranchOptimizationIsScheduleInvariant) {
+  // Newton branch optimization drives prepare_derivatives/derivatives through
+  // the same merged machinery; optimized lengths and the final likelihood
+  // must be bit-identical across schedules and thread counts.
+  const auto specs =
+      even_partitions(static_cast<std::int64_t>(alignment_->site_count()), 4);
+  tree::Tree tree_serial(*tree_);
+  PartitionedEvaluator serial(*alignment_, specs, *model_, tree_serial);
+  const double expected = serial.optimize_all_branches(tree_serial.tip(0), 2);
+
+  parallel::WorkerPool pool(3);
+  parallel::PoolParallelFor parallel_for(pool);
+  for (const auto schedule : {PlanSchedule::kWavefront, PlanSchedule::kPerNode}) {
+    tree::Tree tree(*tree_);
+    PartitionedEvaluator evaluator(*alignment_, specs, *model_, tree);
+    evaluator.set_parallel_for(&parallel_for, schedule);
+    EXPECT_EQ(evaluator.optimize_all_branches(tree.tip(0), 2), expected);
+    for (int i = 0; i < tree.slot_count(); ++i) {
+      EXPECT_EQ(tree.slot(i)->length, tree_serial.slot(i)->length);
+    }
   }
 }
 
