@@ -10,6 +10,7 @@
 // back-end is the same code shape the paper hand-wrote for the MIC.
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 
 #include "bench/common.hpp"
 #include "src/bio/patterns.hpp"
@@ -208,6 +209,52 @@ int main() {
     std::printf("\n%s", obs::render_kernel_report().c_str());
     std::printf("\nbranch-length optimization wall: metrics off %.3fs, on %.3fs (%+.2f%%)\n",
                 off_seconds, on_seconds, (on_seconds / off_seconds - 1.0) * 100.0);
+  }
+
+  // Part 4: overhead of the silent-data-corruption defense (DESIGN.md §10) —
+  // CLA checksums at newview commit plus lazy verify before input reuse —
+  // on the same branch-optimization workload.  Acceptance budget: <=2%.
+  print_header("SDC defense overhead (checksummed CLAs, same workload)");
+  {
+    using namespace miniphi;
+    const auto alignment = simulate::paper_dataset(20'000, 7, 15);
+    const auto patterns = bio::compress_patterns(alignment);
+    Rng tree_rng(3);
+    const tree::Tree base_tree = tree::parsimony_starting_tree(patterns, tree_rng);
+
+    const auto timed_run = [&](bool sdc_checks) {
+      tree::Tree tree(base_tree);
+      core::LikelihoodEngine::Config config;
+      config.sdc_checks = sdc_checks;
+      core::LikelihoodEngine engine(patterns, model::GtrModel(model::GtrParams::jc69(0.8)),
+                                    tree, config);
+      const Timer timer;
+      engine.optimize_all_branches(tree.tip(0), 3);
+      return std::pair<double, core::sdc::Counters>{timer.seconds(), engine.sdc_counters()};
+    };
+
+    (void)timed_run(false);  // warm up caches / frequency
+    double off_seconds = 1e30;
+    double on_seconds = 1e30;
+    core::sdc::Counters counters;
+    for (int r = 0; r < 5; ++r) {
+      off_seconds = std::min(off_seconds, timed_run(false).first);
+      const auto [seconds, sdc] = timed_run(true);
+      if (seconds < on_seconds) {
+        on_seconds = seconds;
+        counters = sdc;
+      }
+    }
+
+    const double overhead = (on_seconds / off_seconds - 1.0) * 100.0;
+    std::printf("checksum verifies per run: %lld (hits: %lld — a clean run must detect 0)\n",
+                static_cast<long long>(counters.checks), static_cast<long long>(counters.hits));
+    std::printf("branch-length optimization wall: checks off %.3fs, on %.3fs (%+.2f%%)\n",
+                off_seconds, on_seconds, overhead);
+    if (std::getenv("MINIPHI_BENCH_REQUIRE_SDC_OVERHEAD") != nullptr && overhead > 2.0) {
+      std::printf("FAIL: sdc verify overhead %.2f%% exceeds the 2%% budget\n", overhead);
+      return 1;
+    }
   }
   return 0;
 }

@@ -35,8 +35,11 @@ cmake -B "${build}" -S "${root}" \
 # precisely the code TSan exists to audit.  partitioned_test covers the
 # merged traversal queue's wavefront/per-node dispatch — concurrent
 # execute_plan_level calls on sibling engines through the worker pool's
-# atomic task claiming.
-targets=(minimpi_test parallel_test faults_test checkpoint_test examl_test site_repeats_test obs_test partitioned_test)
+# atomic task claiming.  sdc_test rides along: the heal path unwinds
+# CorruptionDetected through kernel regions, worker-pool threads, and the
+# rank threads of the agreement collective — stale pointers after a healed
+# unwind and racy counter publication are exactly what ASan/TSan catch.
+targets=(minimpi_test parallel_test faults_test checkpoint_test examl_test site_repeats_test obs_test partitioned_test sdc_test)
 cmake --build "${build}" -j "$(nproc)" --target "${targets[@]}"
 
 status=0

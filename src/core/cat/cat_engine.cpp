@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
+#include <cstring>
 #include <functional>
 #include <numeric>
 
@@ -47,10 +48,12 @@ CatEngine::CatEngine(const bio::PatternSet& patterns, const model::GtrModel& mod
   length_ = (config.end < 0 ? npat : config.end) - offset_;
   MINIPHI_CHECK(offset_ >= 0 && length_ > 0 && offset_ + length_ <= npat,
                 "cat engine: invalid pattern slice");
+  sdc_checks_ = config.sdc_checks;
   if (obs::kMetricsCompiled && config.metrics == obs::MetricsMode::kOn) {
     metrics_ = true;
     metric_ids_ = register_engine_metrics(ops_.isa, "cat");
     plan_cache_.enable_metrics();
+    sdc_ids_ = sdc::register_metrics();
   }
 
   clas_.resize(static_cast<std::size_t>(tree.inner_count()));
@@ -215,11 +218,73 @@ CatChildInput CatEngine::make_child_input(tree::Slot* child, std::span<double> p
     input.ump = ump.data();
   } else {
     MINIPHI_ASSERT(slot_valid(child));
+    verify_cla(child);
     auto& node = node_cla(child->node_id);
     input.cla = node.cla.data();
     input.scale = node.scale.data();
   }
   return input;
+}
+
+void CatEngine::store_cla_checksum(NodeCla& node) {
+  node.checksum = sdc::checksum_cla(node.cla.data(), static_cast<std::int64_t>(node.cla.size()),
+                                    node.scale.data(), length_);
+  node.checksummed = true;
+  node.verified_pass = sdc_pass_;
+}
+
+void CatEngine::verify_cla(const tree::Slot* slot) {
+  if (!sdc_checks_) return;
+  NodeCla& node = node_cla(slot->node_id);
+  if (node.verified_pass == sdc_pass_ || !node.checksummed) return;
+  Timer timer;
+  const std::uint64_t actual = sdc::checksum_cla(
+      node.cla.data(), static_cast<std::int64_t>(node.cla.size()), node.scale.data(), length_);
+  ++sdc_counters_.checks;
+  if (metrics_) {
+    obs::Registry& registry = obs::Registry::instance();
+    registry.add(sdc_ids_.checks, 1);
+    registry.observe(sdc_ids_.verify_ns, static_cast<std::int64_t>(timer.seconds() * 1e9));
+  }
+  if (actual != node.checksum) {
+    report_corruption(slot->node_id, "sdc: CAT CLA checksum mismatch at node " +
+                                         std::to_string(slot->node_id));
+  }
+  node.verified_pass = sdc_pass_;
+}
+
+void CatEngine::report_corruption(int node_id, const std::string& what) {
+  ++sdc_counters_.hits;
+  if (metrics_) obs::Registry::instance().add(sdc_ids_.hits, 1);
+  throw sdc::CorruptionDetected(node_id, what);
+}
+
+void CatEngine::heal_or_rethrow(const sdc::CorruptionDetected& fault, int attempt) {
+  if (attempt + 1 >= sdc::kHealRetryBudget) {
+    ++sdc_counters_.escalations;
+    if (metrics_) obs::Registry::instance().add(sdc_ids_.escalations, 1);
+    throw;
+  }
+  if (fault.node_id() >= 0) {
+    invalidate_node(fault.node_id());
+  } else {
+    invalidate_all();
+  }
+  ++sdc_counters_.heals;
+  if (metrics_) obs::Registry::instance().add(sdc_ids_.heals, 1);
+}
+
+bool CatEngine::corrupt_cla_for_testing(int node_id, std::int64_t word, int bit) {
+  if (node_id < tree_.taxon_count()) return false;
+  NodeCla& node = node_cla(node_id);
+  if (!node.valid) return false;
+  const auto index = static_cast<std::size_t>(word) % node.cla.size();
+  std::uint64_t bits;
+  std::memcpy(&bits, &node.cla[index], sizeof(bits));
+  bits ^= 1ULL << (bit & 63);
+  std::memcpy(&node.cla[index], &bits, sizeof(bits));
+  node.verified_pass = 0;
+  return true;
 }
 
 void CatEngine::run_newview(tree::Slot* slot) {
@@ -244,6 +309,7 @@ void CatEngine::run_newview(tree::Slot* slot) {
 
   parent.orientation = slot->slot_index;
   parent.valid = true;
+  if (sdc_checks_) store_cla_checksum(parent);
   sum_prepared_ = false;
   // Reorientation silently invalidates the opposite direction: stale plans
   // must not count this CLA as a resident input.
@@ -274,6 +340,7 @@ double CatEngine::run_evaluate(tree::Slot* edge) {
   CatEvaluateCtx ctx;
   auto& left = node_cla(p->node_id);
   MINIPHI_ASSERT(slot_valid(p));
+  verify_cla(p);
   ctx.left_cla = left.cla.data();
   ctx.left_scale = left.scale.data();
   build_diag(edge->length, diag_);
@@ -291,6 +358,7 @@ double CatEngine::run_evaluate(tree::Slot* edge) {
     ctx.evtab = evtab_.data();
   } else {
     MINIPHI_ASSERT(slot_valid(q));
+    verify_cla(q);
     auto& right = node_cla(q->node_id);
     ctx.right_cla = right.cla.data();
     ctx.right_scale = right.scale.data();
@@ -308,11 +376,42 @@ double CatEngine::run_evaluate(tree::Slot* edge) {
 }
 
 double CatEngine::log_likelihood(tree::Slot* edge) {
-  validate_edge(edge);
-  return run_evaluate(edge);
+  if (!sdc_checks_) {
+    validate_edge(edge);
+    return run_evaluate(edge);
+  }
+  for (int attempt = 0;; ++attempt) {
+    try {
+      begin_sdc_pass();
+      validate_edge(edge);
+      const double result = run_evaluate(edge);
+      if (!std::isfinite(result)) {
+        report_corruption(-1, "sdc: non-finite log-likelihood from CAT evaluate");
+      }
+      return result;
+    } catch (const sdc::CorruptionDetected& fault) {
+      heal_or_rethrow(fault, attempt);
+    }
+  }
 }
 
 void CatEngine::prepare_derivatives(tree::Slot* edge) {
+  if (!sdc_checks_) {
+    run_prepare_derivatives(edge);
+    return;
+  }
+  for (int attempt = 0;; ++attempt) {
+    try {
+      begin_sdc_pass();
+      run_prepare_derivatives(edge);
+      return;
+    } catch (const sdc::CorruptionDetected& fault) {
+      heal_or_rethrow(fault, attempt);
+    }
+  }
+}
+
+void CatEngine::run_prepare_derivatives(tree::Slot* edge) {
   tree::Slot* p = edge;
   tree::Slot* q = edge->back;
   if (p->is_tip()) std::swap(p, q);
@@ -322,11 +421,13 @@ void CatEngine::prepare_derivatives(tree::Slot* edge) {
 
   CatSumCtx ctx;
   ctx.sum = sum_buffer_.data();
+  verify_cla(p);
   ctx.left_cla = node_cla(p->node_id).cla.data();
   if (q->is_tip()) {
     ctx.right_codes = patterns_.tip_rows[static_cast<std::size_t>(q->node_id)].data() + offset_;
     ctx.tipvec = tipvec_.data();
   } else {
+    verify_cla(q);
     ctx.right_cla = node_cla(q->node_id).cla.data();
   }
   ctx.begin = 0;
@@ -353,23 +454,32 @@ std::pair<double, double> CatEngine::derivatives(double z) {
   Timer timer;
   ops_.derivative_core(ctx);
   record_kernel(Kernel::kDerivCore, length_, timer.seconds());
+  if (sdc_checks_ && (!std::isfinite(ctx.out_first) || !std::isfinite(ctx.out_second))) {
+    report_corruption(-1, "sdc: non-finite derivative from CAT derivativeCore");
+  }
   return {ctx.out_first, ctx.out_second};
 }
 
 double CatEngine::optimize_branch(tree::Slot* edge, int max_iterations) {
-  prepare_derivatives(edge);
-  double z = edge->length;
-  for (int iteration = 0; iteration < max_iterations; ++iteration) {
-    const auto [first, second] = derivatives(z);
-    const double next = LikelihoodEngine::newton_step(z, first, second);
-    const bool converged = std::abs(next - z) < 1e-10;
-    z = next;
-    if (converged) break;
+  for (int attempt = 0;; ++attempt) {
+    prepare_derivatives(edge);  // own heal loop; escalations propagate
+    try {
+      double z = edge->length;
+      for (int iteration = 0; iteration < max_iterations; ++iteration) {
+        const auto [first, second] = derivatives(z);
+        const double next = LikelihoodEngine::newton_step(z, first, second);
+        const bool converged = std::abs(next - z) < 1e-10;
+        z = next;
+        if (converged) break;
+      }
+      tree::Tree::set_length(edge, z);
+      invalidate_node(edge->node_id);
+      invalidate_node(edge->back->node_id);
+      return z;
+    } catch (const sdc::CorruptionDetected& fault) {
+      heal_or_rethrow(fault, attempt);
+    }
   }
-  tree::Tree::set_length(edge, z);
-  invalidate_node(edge->node_id);
-  invalidate_node(edge->back->node_id);
-  return z;
 }
 
 double CatEngine::optimize_all_branches(tree::Slot* root_edge, int passes) {

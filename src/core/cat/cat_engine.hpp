@@ -81,6 +81,13 @@ class CatEngine final : public Evaluator {
   /// Traversal-plan cache statistics (builds / satisfied hits / reuses /
   /// executed ops+plans) — see core::PlanCache.
   [[nodiscard]] const PlanCounters& plan_counters() const { return plan_cache_.counters(); }
+
+  /// SDC verification/heal counters (Config::sdc_checks; see DESIGN.md §10).
+  [[nodiscard]] const sdc::Counters& sdc_counters() const { return sdc_counters_; }
+
+  /// Test-only fault injection: flips one bit of a committed CLA and clears
+  /// the verification memo; false when the node's CLA is invalid.
+  bool corrupt_cla_for_testing(int node_id, std::int64_t word, int bit);
   [[nodiscard]] const KernelStat& stats(Kernel k) const { return stats_.kernel(k); }
   [[nodiscard]] const EvalStats& stats() const override { return stats_; }
   void reset_stats() override { stats_ = EvalStats{}; }
@@ -92,6 +99,10 @@ class CatEngine final : public Evaluator {
     std::vector<std::int32_t> scale;
     int orientation = -1;
     bool valid = false;
+    // SDC defense (Config::sdc_checks): see LikelihoodEngine::NodeCla.
+    std::uint64_t checksum = 0;
+    bool checksummed = false;
+    std::uint64_t verified_pass = 0;
   };
 
   [[nodiscard]] NodeCla& node_cla(int node_id);
@@ -137,11 +148,24 @@ class CatEngine final : public Evaluator {
   /// touched); publishes to the obs registry when metrics are on.
   void record_kernel(Kernel k, std::int64_t cla_blocks, double seconds);
 
+  // SDC defense internals (mirrors LikelihoodEngine; no pin table to reset
+  // here — the CAT engine owns one buffer per node).
+  void begin_sdc_pass() { ++sdc_pass_; }
+  void store_cla_checksum(NodeCla& node);
+  void verify_cla(const tree::Slot* slot);
+  [[noreturn]] void report_corruption(int node_id, const std::string& what);
+  void heal_or_rethrow(const sdc::CorruptionDetected& fault, int attempt);
+  void run_prepare_derivatives(tree::Slot* edge);
+
   EvalStats stats_;
   bool metrics_ = false;
   EngineMetricIds metric_ids_;
   PlanCache plan_cache_;
   bool sum_prepared_ = false;
+  bool sdc_checks_ = false;
+  std::uint64_t sdc_pass_ = 1;
+  sdc::Counters sdc_counters_;
+  sdc::MetricIds sdc_ids_;
 };
 
 }  // namespace miniphi::core

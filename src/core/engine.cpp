@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
 
 #if defined(_OPENMP)
@@ -83,10 +84,12 @@ LikelihoodEngine::LikelihoodEngine(const bio::PatternSet& patterns,
   dtab_.resize(kDtabSize);
   sum_buffer_.resize(static_cast<std::size_t>(length_) * kSiteBlock);
 
+  sdc_checks_ = config.sdc_checks;
   if (obs::kMetricsCompiled && config.metrics == obs::MetricsMode::kOn) {
     metrics_ = true;
     metric_ids_ = register_engine_metrics(ops_.isa, site_repeats_ ? "repeats" : "dense");
     plan_ids_ = register_plan_metrics();
+    sdc_ids_ = sdc::register_metrics();
   }
   plan_cache_.reserve(kPlanCacheSize);
 
@@ -371,6 +374,10 @@ void LikelihoodEngine::ready_child(tree::Slot* child, bool computed_in_plan) {
 }
 
 const TraversalPlan* LikelihoodEngine::plan_traversal(tree::Slot* edge) {
+  // External executors (partitioned / wavefront / distributed) start their
+  // traversal here: open a fresh trust pass so the plan's frontier inputs
+  // re-verify once during execution.
+  if (sdc_checks_) begin_sdc_pass();
   PlanCacheEntry& entry = plan_entry(edge);
   if (entry.satisfied_epoch != 0 && entry.satisfied_epoch == cla_epoch_) return nullptr;
   return &prepare_entry(entry);
@@ -407,7 +414,8 @@ void LikelihoodEngine::commit_planned_traversal(tree::Slot* edge) {
 }
 
 ChildInput LikelihoodEngine::make_child_input(tree::Slot* child, std::span<double> ptable,
-                                              std::span<double> ump, double branch_length) {
+                                              std::span<double> ump, double branch_length,
+                                              bool verify) {
   build_ptable(model_, branch_length, ptable);
   ChildInput input;
   input.ptable = ptable.data();
@@ -417,11 +425,107 @@ ChildInput LikelihoodEngine::make_child_input(tree::Slot* child, std::span<doubl
     input.ump = ump.data();
   } else {
     MINIPHI_ASSERT(slot_valid(child));
+    if (verify) verify_cla(child);
     auto& node = node_cla(child->node_id);
     input.cla = cla_data(node);
     input.scale = scale_data(node);
   }
   return input;
+}
+
+std::uint64_t LikelihoodEngine::compute_cla_checksum(NodeCla& node, std::int64_t blocks) {
+  sdc::ClaChecksum sum;
+  ops_.cla_checksum(sum, cla_data(node), scale_data(node), 0, blocks);
+  return sum.finish();
+}
+
+void LikelihoodEngine::store_cla_checksum(NodeCla& node, std::int64_t blocks) {
+  node.checksum = compute_cla_checksum(node, blocks);
+  node.checked_blocks = blocks;
+  // Freshly computed ⇒ trusted for the rest of this pass.
+  node.verified_pass = sdc_pass_;
+}
+
+void LikelihoodEngine::verify_cla(const tree::Slot* slot) {
+  if (!sdc_checks_) return;
+  NodeCla& node = node_cla(slot->node_id);
+  if (node.verified_pass == sdc_pass_ || node.checked_blocks <= 0) return;
+  Timer timer;
+  const std::uint64_t actual = compute_cla_checksum(node, node.checked_blocks);
+  ++sdc_counters_.checks;
+  if (metrics_) {
+    obs::Registry& registry = obs::Registry::instance();
+    registry.add(sdc_ids_.checks, 1);
+    registry.observe(sdc_ids_.verify_ns, static_cast<std::int64_t>(timer.seconds() * 1e9));
+  }
+  if (actual != node.checksum) {
+    report_corruption(slot->node_id, "sdc: CLA checksum mismatch at node " +
+                                         std::to_string(slot->node_id));
+  }
+  node.verified_pass = sdc_pass_;
+}
+
+bool LikelihoodEngine::wants_deferred_verify(const tree::Slot* child) {
+  if (child->is_tip()) return false;
+  NodeCla& node = node_cla(child->node_id);
+  return node.checked_blocks > 0 && node.verified_pass != sdc_pass_;
+}
+
+void LikelihoodEngine::finish_deferred_verify(const tree::Slot* child,
+                                              const sdc::ClaChecksum& sum) {
+  NodeCla& node = node_cla(child->node_id);
+  ++sdc_counters_.checks;
+  if (metrics_) obs::Registry::instance().add(sdc_ids_.checks, 1);
+  if (sum.finish() != node.checksum) {
+    report_corruption(child->node_id, "sdc: CLA checksum mismatch at node " +
+                                          std::to_string(child->node_id));
+  }
+  node.verified_pass = sdc_pass_;
+}
+
+void LikelihoodEngine::report_corruption(int node_id, const std::string& what) {
+  ++sdc_counters_.hits;
+  if (metrics_) obs::Registry::instance().add(sdc_ids_.hits, 1);
+  throw sdc::CorruptionDetected(node_id, what);
+}
+
+void LikelihoodEngine::heal_or_rethrow(const sdc::CorruptionDetected& fault, int attempt) {
+  // The throw unwound mid-traversal: pins taken by execute_plan are still
+  // elevated.  Pins are zero between top-level calls, so a flat reset is the
+  // correct recovery point before re-planning.
+  std::fill(pins_.begin(), pins_.end(), 0);
+  if (attempt + 1 >= sdc::kHealRetryBudget) {
+    ++sdc_counters_.escalations;
+    if (metrics_) obs::Registry::instance().add(sdc_ids_.escalations, 1);
+    throw;  // to the caller's ladder (checkpoint restore in the driver)
+  }
+  if (fault.node_id() >= 0) {
+    // Targeted heal: drop exactly the corrupt CLA; the next traversal plans
+    // from the dirty frontier and recomputes only the path to the root.
+    invalidate_node(fault.node_id());
+  } else {
+    // Unlocalized (non-finite sentinel): full sweep, which also forces a
+    // fresh rescaling pass over every CLA.
+    invalidate_all();
+  }
+  ++sdc_counters_.heals;
+  if (metrics_) obs::Registry::instance().add(sdc_ids_.heals, 1);
+}
+
+bool LikelihoodEngine::corrupt_cla_for_testing(int node_id, std::int64_t word, int bit) {
+  if (node_id < tree_.taxon_count()) return false;
+  NodeCla& node = node_cla(node_id);
+  if (!node.valid || node.buffer < 0) return false;
+  const std::int64_t blocks = node.checked_blocks > 0 ? node.checked_blocks : length_;
+  auto& buffer = cla_pool_[static_cast<std::size_t>(node.buffer)];
+  const auto index =
+      static_cast<std::size_t>(word % (blocks * kSiteBlock));
+  std::uint64_t bits;
+  std::memcpy(&bits, &buffer[index], sizeof(bits));
+  bits ^= 1ULL << (bit & 63);
+  std::memcpy(&buffer[index], &bits, sizeof(bits));
+  node.verified_pass = 0;
+  return true;
 }
 
 std::uint64_t LikelihoodEngine::repeat_signature(const tree::Slot* child) const {
@@ -545,9 +649,14 @@ void LikelihoodEngine::run_newview(tree::Slot* slot) {
   ensure_buffer(parent);
   ctx.parent_cla = cla_data(parent);
   ctx.parent_scale = scale_data(parent);
-  ctx.left = make_child_input(slot->child1(), ptable_left_, ump_left_, slot->next->length);
-  ctx.right =
-      make_child_input(slot->child2(), ptable_right_, ump_right_, slot->next->next->length);
+  // Fused SDC path (dense, serial): input verification and the commit
+  // checksum run chunk by chunk inside the kernel loop below instead of as
+  // separate cold sweeps, so defer the make_child_input verification.
+  const bool fused_sdc = sdc_checks_ && !site_repeats_ && !use_openmp_;
+  ctx.left = make_child_input(slot->child1(), ptable_left_, ump_left_, slot->next->length,
+                              /*verify=*/!fused_sdc);
+  ctx.right = make_child_input(slot->child2(), ptable_right_, ump_right_,
+                               slot->next->next->length, /*verify=*/!fused_sdc);
   ctx.wtable = wtable_.data();
   // On the repeat path newview iterates parent *classes*, not sites: the
   // children are fetched through the per-class gather maps and the parent
@@ -564,9 +673,41 @@ void LikelihoodEngine::run_newview(tree::Slot* slot) {
   ctx.tuning = tuning_;
 
   void (*newview_fn)(NewviewCtx&) = site_repeats_ ? ops_.newview_repeats : ops_.newview;
+  sdc::ClaChecksum parent_ck;
+  sdc::ClaChecksum left_ck;
+  sdc::ClaChecksum right_ck;
+  bool check_left = false;
+  bool check_right = false;
   auto& stat = stats_.kernel(Kernel::kNewview);
   Timer timer;
-  if (use_openmp_) {
+  if (fused_sdc) {
+    // Fused SDC chunk loop (DESIGN.md §10): kernel and checksum sweeps
+    // alternate over kSdcChunkSites-block chunks, so the input verification
+    // reads data an instant before the kernel pulls it through the same
+    // cache lines (the sweep doubles as a prefetch) and the commit checksum
+    // reads the parent chunk while the stores are still cache resident —
+    // which is also why streaming stores are turned off here.  The dense
+    // kernels have no cross-site state, so the chunked execution is
+    // bit-identical to one full-range call.
+    ctx.tuning.streaming_stores = false;
+    check_left = wants_deferred_verify(slot->child1());
+    check_right = wants_deferred_verify(slot->child2());
+    // The buffer is overwritten incrementally: if a deferred verification
+    // unwinds below, the old contents are gone, so the node must not keep
+    // advertising its previous commit as valid.
+    parent.valid = false;
+    for (std::int64_t b = 0; b < work; b += kSdcChunkSites) {
+      const std::int64_t e = std::min(work, b + kSdcChunkSites);
+      if (check_left) ops_.cla_checksum(left_ck, ctx.left.cla, ctx.left.scale, b, e);
+      if (check_right) ops_.cla_checksum(right_ck, ctx.right.cla, ctx.right.scale, b, e);
+      ctx.begin = b;
+      ctx.end = e;
+      newview_fn(ctx);
+      ops_.cla_checksum(parent_ck, ctx.parent_cla, ctx.parent_scale, b, e);
+    }
+    ctx.begin = 0;
+    ctx.end = work;
+  } else if (use_openmp_) {
 #if defined(_OPENMP)
 #pragma omp parallel firstprivate(ctx)
     {
@@ -630,8 +771,21 @@ void LikelihoodEngine::run_newview(tree::Slot* slot) {
                    work, length_);
   }
 
+  // Deferred (fused) input verification: a mismatch must unwind before the
+  // parent is committed, so a heal retry recomputes both nodes.
+  if (check_left) finish_deferred_verify(slot->child1(), left_ck);
+  if (check_right) finish_deferred_verify(slot->child2(), right_ck);
+
   parent.orientation = slot->slot_index;
   parent.valid = true;
+  if (fused_sdc) {
+    // The commit checksum was accumulated chunk by chunk above.
+    parent.checksum = parent_ck.finish();
+    parent.checked_blocks = work;
+    parent.verified_pass = sdc_pass_;
+  } else if (sdc_checks_) {
+    store_cla_checksum(parent, work);
+  }
   sum_prepared_ = false;
   // A newview can flip an inner CLA's orientation, silently invalidating it
   // for the opposite direction — cached plans keyed on other edges must not
@@ -651,6 +805,7 @@ double LikelihoodEngine::run_evaluate(tree::Slot* edge) {
   EvaluateCtx ctx;
   auto& left = node_cla(p->node_id);
   MINIPHI_ASSERT(slot_valid(p));
+  verify_cla(p);
   ctx.left_cla = cla_data(left);
   ctx.left_scale = scale_data(left);
   build_diag(model_, edge->length, diag_);
@@ -660,6 +815,7 @@ double LikelihoodEngine::run_evaluate(tree::Slot* edge) {
     ctx.evtab = evtab_.data();
   } else {
     MINIPHI_ASSERT(slot_valid(q));
+    verify_cla(q);
     auto& right = node_cla(q->node_id);
     ctx.right_cla = cla_data(right);
     ctx.right_scale = scale_data(right);
@@ -726,14 +882,47 @@ double LikelihoodEngine::run_evaluate(tree::Slot* edge) {
 
 double LikelihoodEngine::log_likelihood(tree::Slot* edge) {
   MINIPHI_ASSERT(edge != nullptr && edge->back != nullptr);
-  validate_edge(edge);
-  const double result = run_evaluate(edge);
-  unpin(edge->node_id);
-  unpin(edge->back->node_id);
-  return result;
+  if (!sdc_checks_) {
+    validate_edge(edge);
+    const double result = run_evaluate(edge);
+    unpin(edge->node_id);
+    unpin(edge->back->node_id);
+    return result;
+  }
+  for (int attempt = 0;; ++attempt) {
+    try {
+      begin_sdc_pass();
+      validate_edge(edge);
+      const double result = run_evaluate(edge);
+      unpin(edge->node_id);
+      unpin(edge->back->node_id);
+      if (!std::isfinite(result)) {
+        report_corruption(-1, "sdc: non-finite log-likelihood from evaluate");
+      }
+      return result;
+    } catch (const sdc::CorruptionDetected& fault) {
+      heal_or_rethrow(fault, attempt);
+    }
+  }
 }
 
 void LikelihoodEngine::prepare_derivatives(tree::Slot* edge) {
+  if (!sdc_checks_) {
+    run_prepare_derivatives(edge);
+    return;
+  }
+  for (int attempt = 0;; ++attempt) {
+    try {
+      begin_sdc_pass();
+      run_prepare_derivatives(edge);
+      return;
+    } catch (const sdc::CorruptionDetected& fault) {
+      heal_or_rethrow(fault, attempt);
+    }
+  }
+}
+
+void LikelihoodEngine::run_prepare_derivatives(tree::Slot* edge) {
   tree::Slot* p = edge;
   tree::Slot* q = edge->back;
   if (p->is_tip()) std::swap(p, q);
@@ -742,13 +931,23 @@ void LikelihoodEngine::prepare_derivatives(tree::Slot* edge) {
   validate_edge(edge);
 
   SumCtx ctx;
+  // Same fused-SDC arrangement as run_newview: when untrusted endpoint CLAs
+  // need verification, the checksum sweeps run chunk-interleaved with the
+  // kernel below instead of as up-front cold sweeps.
+  const bool fused_sdc = sdc_checks_ && !site_repeats_ && !use_openmp_;
   auto& left = node_cla(p->node_id);
+  if (!fused_sdc) verify_cla(p);
   ctx.left_cla = cla_data(left);
+  const std::int32_t* p_scale = scale_data(left);
+  const std::int32_t* q_scale = nullptr;
   if (q->is_tip()) {
     ctx.right_codes = patterns_.tip_rows[static_cast<std::size_t>(q->node_id)].data() + offset_;
     ctx.tipvec16 = tipvec16_.data();
   } else {
-    ctx.right_cla = cla_data(node_cla(q->node_id));
+    if (!fused_sdc) verify_cla(q);
+    auto& right = node_cla(q->node_id);
+    ctx.right_cla = cla_data(right);
+    q_scale = scale_data(right);
   }
   ctx.sum = sum_buffer_.data();
   ctx.begin = 0;
@@ -770,9 +969,29 @@ void LikelihoodEngine::prepare_derivatives(tree::Slot* edge) {
   }
   void (*sum_fn)(SumCtx&) = site_repeats_ ? ops_.derivative_sum_gather : ops_.derivative_sum;
 
+  sdc::ClaChecksum p_sum;
+  sdc::ClaChecksum q_sum;
+  const bool check_p = fused_sdc && wants_deferred_verify(p);
+  const bool check_q = fused_sdc && !q->is_tip() && wants_deferred_verify(q);
+
   auto& stat = stats_.kernel(Kernel::kDerivSum);
   Timer timer;
-  if (use_openmp_) {
+  if (check_p || check_q) {
+    // Chunk-interleaved verification: each endpoint chunk is checksummed the
+    // instant before the kernel streams it through the cache.  The sum
+    // buffer itself is transient and not checksummed (derivativeCore's
+    // non-finite sentinel covers it), so its streaming stores stay on.
+    for (std::int64_t b = 0; b < length_; b += kSdcChunkSites) {
+      const std::int64_t e = std::min(length_, b + kSdcChunkSites);
+      if (check_p) ops_.cla_checksum(p_sum, ctx.left_cla, p_scale, b, e);
+      if (check_q) ops_.cla_checksum(q_sum, ctx.right_cla, q_scale, b, e);
+      ctx.begin = b;
+      ctx.end = e;
+      sum_fn(ctx);
+    }
+    ctx.begin = 0;
+    ctx.end = length_;
+  } else if (use_openmp_) {
 #if defined(_OPENMP)
 #pragma omp parallel firstprivate(ctx)
     {
@@ -871,6 +1090,11 @@ std::pair<double, double> LikelihoodEngine::derivatives(double z) {
   if (trace_ != nullptr) {
     trace_->record(TraceKernel::kDerivCore, sum_left_tip_, sum_right_tip_, length_);
   }
+  if (sdc_checks_ && (!std::isfinite(first) || !std::isfinite(second))) {
+    // The sum buffer is not checksummed (it is transient); a non-finite
+    // derivative is the sentinel.  optimize_branch heals by re-preparing.
+    report_corruption(-1, "sdc: non-finite derivative from derivativeCore");
+  }
   return {first, second};
 }
 
@@ -886,20 +1110,28 @@ double LikelihoodEngine::newton_step(double z, double first, double second) {
 }
 
 double LikelihoodEngine::optimize_branch(tree::Slot* edge, int max_iterations) {
-  prepare_derivatives(edge);
-  double z = edge->length;
-  for (int iteration = 0; iteration < max_iterations; ++iteration) {
-    const auto [first, second] = derivatives(z);
-    const double next = newton_step(z, first, second);
-    const bool converged = std::abs(next - z) < 1e-10;
-    z = next;
-    if (converged) break;
+  for (int attempt = 0;; ++attempt) {
+    // prepare_derivatives runs its own checksum heal loop; an escalation
+    // from it propagates past this loop instead of doubling the budget.
+    prepare_derivatives(edge);
+    try {
+      double z = edge->length;
+      for (int iteration = 0; iteration < max_iterations; ++iteration) {
+        const auto [first, second] = derivatives(z);
+        const double next = newton_step(z, first, second);
+        const bool converged = std::abs(next - z) < 1e-10;
+        z = next;
+        if (converged) break;
+      }
+      tree::Tree::set_length(edge, z);
+      // Branch-length-only change: CLA values are stale, repeat classes are not.
+      invalidate_branch(edge->node_id);
+      invalidate_branch(edge->back->node_id);
+      return z;
+    } catch (const sdc::CorruptionDetected& fault) {
+      heal_or_rethrow(fault, attempt);
+    }
   }
-  tree::Tree::set_length(edge, z);
-  // Branch-length-only change: CLA values are stale, repeat classes are not.
-  invalidate_branch(edge->node_id);
-  invalidate_branch(edge->back->node_id);
-  return z;
 }
 
 double LikelihoodEngine::optimize_all_branches(tree::Slot* root_edge, int passes) {

@@ -38,6 +38,7 @@
 #include "src/core/evaluator.hpp"
 #include "src/core/kernels.hpp"
 #include "src/core/ptable.hpp"
+#include "src/core/sdc.hpp"
 #include "src/core/trace.hpp"
 #include "src/core/traversal_plan.hpp"
 #include "src/model/gtr.hpp"
@@ -144,6 +145,18 @@ class LikelihoodEngine final : public Evaluator {
   /// Whether the site-repeats path is active.
   [[nodiscard]] bool site_repeats() const { return site_repeats_; }
 
+  // --- Silent-data-corruption defense (Config::sdc_checks) ---------------
+
+  /// Monotonic SDC verification/heal counters (always maintained when
+  /// sdc_checks is on; mirrored to the `sdc.*` registry family with metrics).
+  [[nodiscard]] const sdc::Counters& sdc_counters() const { return sdc_counters_; }
+
+  /// Test-only fault injection: XORs one bit into a committed CLA buffer
+  /// (word index taken modulo the committed region) and clears the node's
+  /// verification memo, modelling corruption that struck *after* the last
+  /// check.  Returns false when the node has no resident valid CLA.
+  bool corrupt_cla_for_testing(int node_id, std::int64_t word, int bit);
+
   // --- Flat traversal plans ---------------------------------------------
 
   /// Plan for validating the CLAs at (edge, edge->back): the cached plan if
@@ -189,6 +202,13 @@ class LikelihoodEngine final : public Evaluator {
     std::int64_t last_touch = 0;   ///< LRU stamp for eviction
     int orientation = -1;          ///< slot_index the CLA points toward
     bool valid = false;
+    // SDC defense (Config::sdc_checks): checksum of the committed region,
+    // the site blocks it covers (== unique classes on the repeats path), and
+    // the trust-pass stamp of the last successful verification so one buffer
+    // verifies at most once per top-level call.
+    std::uint64_t checksum = 0;
+    std::int64_t checked_blocks = 0;
+    std::uint64_t verified_pass = 0;
   };
 
   [[nodiscard]] NodeCla& node_cla(int node_id);
@@ -250,10 +270,59 @@ class LikelihoodEngine final : public Evaluator {
   void note_cla_state_changed() { ++cla_epoch_; }
 
   void run_newview(tree::Slot* slot);
+  /// `verify` = false defers the input-CLA verification to the caller (the
+  /// fused SDC chunk loop in run_newview verifies interleaved with kernel
+  /// execution instead of paying an up-front cold sweep).
   ChildInput make_child_input(tree::Slot* child, std::span<double> ptable,
-                              std::span<double> ump, double branch_length);
+                              std::span<double> ump, double branch_length, bool verify);
 
   double run_evaluate(tree::Slot* edge);
+
+  // --- SDC defense internals --------------------------------------------
+
+  /// Starts a new trust pass: every buffer consumed afterwards re-verifies
+  /// (at most once).  Called at each top-level entry point.
+  void begin_sdc_pass() { ++sdc_pass_; }
+
+  /// Site blocks per fused-SDC chunk: the dense kernels have no cross-site
+  /// state, so newview/derivativeSum split bit-identically at any boundary;
+  /// 512 blocks (64 KiB of values) keep each chunk cache resident between
+  /// the kernel touching it and the checksum re-reading it, which is what
+  /// turns the checksum sweeps from DRAM traffic into register work.
+  static constexpr std::int64_t kSdcChunkSites = 512;
+
+  /// Whole-range lane-structured checksum of a committed CLA region, via
+  /// the ISA-matched KernelOps::cla_checksum back-end.
+  [[nodiscard]] std::uint64_t compute_cla_checksum(NodeCla& node, std::int64_t blocks);
+
+  /// Checksums the just-committed region of `node` (blocks site blocks).
+  void store_cla_checksum(NodeCla& node, std::int64_t blocks);
+
+  /// Lazily re-verifies a committed CLA before it is consumed as an input;
+  /// throws sdc::CorruptionDetected on mismatch.  No-op when sdc_checks is
+  /// off or the buffer was already verified this pass.
+  void verify_cla(const tree::Slot* slot);
+
+  /// True when the fused chunk loop must accumulate-and-compare `child`'s
+  /// checksum (inner, committed, not yet trusted this pass).
+  [[nodiscard]] bool wants_deferred_verify(const tree::Slot* child);
+
+  /// Compare step of a deferred (fused) verification: counts the check,
+  /// throws on mismatch, marks the buffer trusted for this pass.
+  void finish_deferred_verify(const tree::Slot* child, const sdc::ClaChecksum& sum);
+
+  /// Counts a detection and throws sdc::CorruptionDetected.
+  [[noreturn]] void report_corruption(int node_id, const std::string& what);
+
+  /// Heal step of the bounded retry loop: resets the pin table (the throw
+  /// unwound mid-plan), invalidates the corrupt node (or everything, for
+  /// unlocalized faults), and counts a heal — or counts an escalation and
+  /// rethrows once the retry budget is spent.  Must be called from a catch
+  /// handler for sdc::CorruptionDetected.
+  void heal_or_rethrow(const sdc::CorruptionDetected& fault, int attempt);
+
+  /// The body of prepare_derivatives(), wrapped by the heal loop.
+  void run_prepare_derivatives(tree::Slot* edge);
 
   // --- Site-repeats machinery -------------------------------------------
   //
@@ -349,6 +418,12 @@ class LikelihoodEngine final : public Evaluator {
   std::int64_t plan_use_counter_ = 0;
   PlanCounters plan_counters_;
   PlanMetricIds plan_ids_;
+
+  // SDC defense state (see sdc.hpp and DESIGN.md §10).
+  bool sdc_checks_ = false;
+  std::uint64_t sdc_pass_ = 1;  ///< trust pass for the verify memo
+  sdc::Counters sdc_counters_;
+  sdc::MetricIds sdc_ids_;
 
   // State of the prepared derivative buffer.
   bool sum_prepared_ = false;

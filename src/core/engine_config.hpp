@@ -26,6 +26,12 @@ struct EngineConfig {
   /// obs::Registry and publishes on every kernel call; with kOff (default)
   /// the kernel path never touches the registry.
   obs::MetricsMode metrics = obs::MetricsMode::kOff;
+  /// Silent-data-corruption defense (DESIGN.md §10): checksum every CLA at
+  /// newview commit, lazily re-verify it before reuse as an input, and heal
+  /// detected corruption by re-planning just the affected subtree (bounded
+  /// retries, then escalate).  Off by default; the verify cost is ≤2% of a
+  /// branch-optimization workload (EXPERIMENTS.md).
+  bool sdc_checks = false;
 };
 
 }  // namespace miniphi::core

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #if defined(_OPENMP)
 #include <omp.h>
@@ -44,10 +45,12 @@ GeneralEngine::GeneralEngine(const bio::PatternSet& patterns, const model::Gener
   length_ = (config.end < 0 ? npat : config.end) - offset_;
   MINIPHI_CHECK(offset_ >= 0 && length_ > 0 && offset_ + length_ <= npat,
                 "general engine: invalid pattern slice");
+  sdc_checks_ = config.sdc_checks;
   if (obs::kMetricsCompiled && config.metrics == obs::MetricsMode::kOn) {
     metrics_ = true;
     metric_ids_ = register_engine_metrics(ops_.isa, "general");
     plan_cache_.enable_metrics();
+    sdc_ids_ = sdc::register_metrics();
   }
 
   const auto block = static_cast<std::size_t>(dims_.block());
@@ -117,11 +120,73 @@ GChildInput GeneralEngine::make_child_input(tree::Slot* child, std::span<double>
     input.ump = ump.data();
   } else {
     MINIPHI_ASSERT(slot_valid(child));
+    verify_cla(child);
     auto& node = node_cla(child->node_id);
     input.cla = node.cla.data();
     input.scale = node.scale.data();
   }
   return input;
+}
+
+void GeneralEngine::store_cla_checksum(NodeCla& node) {
+  node.checksum = sdc::checksum_cla(node.cla.data(), static_cast<std::int64_t>(node.cla.size()),
+                                    node.scale.data(), length_);
+  node.checksummed = true;
+  node.verified_pass = sdc_pass_;
+}
+
+void GeneralEngine::verify_cla(const tree::Slot* slot) {
+  if (!sdc_checks_) return;
+  NodeCla& node = node_cla(slot->node_id);
+  if (node.verified_pass == sdc_pass_ || !node.checksummed) return;
+  Timer timer;
+  const std::uint64_t actual = sdc::checksum_cla(
+      node.cla.data(), static_cast<std::int64_t>(node.cla.size()), node.scale.data(), length_);
+  ++sdc_counters_.checks;
+  if (metrics_) {
+    obs::Registry& registry = obs::Registry::instance();
+    registry.add(sdc_ids_.checks, 1);
+    registry.observe(sdc_ids_.verify_ns, static_cast<std::int64_t>(timer.seconds() * 1e9));
+  }
+  if (actual != node.checksum) {
+    report_corruption(slot->node_id, "sdc: general CLA checksum mismatch at node " +
+                                         std::to_string(slot->node_id));
+  }
+  node.verified_pass = sdc_pass_;
+}
+
+void GeneralEngine::report_corruption(int node_id, const std::string& what) {
+  ++sdc_counters_.hits;
+  if (metrics_) obs::Registry::instance().add(sdc_ids_.hits, 1);
+  throw sdc::CorruptionDetected(node_id, what);
+}
+
+void GeneralEngine::heal_or_rethrow(const sdc::CorruptionDetected& fault, int attempt) {
+  if (attempt + 1 >= sdc::kHealRetryBudget) {
+    ++sdc_counters_.escalations;
+    if (metrics_) obs::Registry::instance().add(sdc_ids_.escalations, 1);
+    throw;
+  }
+  if (fault.node_id() >= 0) {
+    invalidate_node(fault.node_id());
+  } else {
+    invalidate_all();
+  }
+  ++sdc_counters_.heals;
+  if (metrics_) obs::Registry::instance().add(sdc_ids_.heals, 1);
+}
+
+bool GeneralEngine::corrupt_cla_for_testing(int node_id, std::int64_t word, int bit) {
+  if (node_id < tree_.taxon_count()) return false;
+  NodeCla& node = node_cla(node_id);
+  if (!node.valid) return false;
+  const auto index = static_cast<std::size_t>(word) % node.cla.size();
+  std::uint64_t bits;
+  std::memcpy(&bits, &node.cla[index], sizeof(bits));
+  bits ^= 1ULL << (bit & 63);
+  std::memcpy(&node.cla[index], &bits, sizeof(bits));
+  node.verified_pass = 0;
+  return true;
 }
 
 void GeneralEngine::run_newview(tree::Slot* slot) {
@@ -164,6 +229,7 @@ void GeneralEngine::run_newview(tree::Slot* slot) {
 
   parent.orientation = slot->slot_index;
   parent.valid = true;
+  if (sdc_checks_) store_cla_checksum(parent);
   sum_prepared_ = false;
   // Reorientation silently invalidates the opposite direction: stale plans
   // must not count this CLA as a resident input.
@@ -195,6 +261,7 @@ double GeneralEngine::run_evaluate(tree::Slot* edge) {
   GEvaluateCtx ctx;
   auto& left = node_cla(p->node_id);
   MINIPHI_ASSERT(slot_valid(p));
+  verify_cla(p);
   ctx.left_cla = left.cla.data();
   ctx.left_scale = left.scale.data();
   build_general_diag(model_, edge->length, diag_);
@@ -204,6 +271,7 @@ double GeneralEngine::run_evaluate(tree::Slot* edge) {
     ctx.evtab = evtab_.data();
   } else {
     MINIPHI_ASSERT(slot_valid(q));
+    verify_cla(q);
     auto& right = node_cla(q->node_id);
     ctx.right_cla = right.cla.data();
     ctx.right_scale = right.scale.data();
@@ -239,11 +307,42 @@ double GeneralEngine::run_evaluate(tree::Slot* edge) {
 
 double GeneralEngine::log_likelihood(tree::Slot* edge) {
   MINIPHI_ASSERT(edge != nullptr && edge->back != nullptr);
-  validate_edge(edge);
-  return run_evaluate(edge);
+  if (!sdc_checks_) {
+    validate_edge(edge);
+    return run_evaluate(edge);
+  }
+  for (int attempt = 0;; ++attempt) {
+    try {
+      begin_sdc_pass();
+      validate_edge(edge);
+      const double result = run_evaluate(edge);
+      if (!std::isfinite(result)) {
+        report_corruption(-1, "sdc: non-finite log-likelihood from general evaluate");
+      }
+      return result;
+    } catch (const sdc::CorruptionDetected& fault) {
+      heal_or_rethrow(fault, attempt);
+    }
+  }
 }
 
 void GeneralEngine::prepare_derivatives(tree::Slot* edge) {
+  if (!sdc_checks_) {
+    run_prepare_derivatives(edge);
+    return;
+  }
+  for (int attempt = 0;; ++attempt) {
+    try {
+      begin_sdc_pass();
+      run_prepare_derivatives(edge);
+      return;
+    } catch (const sdc::CorruptionDetected& fault) {
+      heal_or_rethrow(fault, attempt);
+    }
+  }
+}
+
+void GeneralEngine::run_prepare_derivatives(tree::Slot* edge) {
   tree::Slot* p = edge;
   tree::Slot* q = edge->back;
   if (p->is_tip()) std::swap(p, q);
@@ -253,11 +352,13 @@ void GeneralEngine::prepare_derivatives(tree::Slot* edge) {
 
   GSumCtx ctx;
   ctx.sum = sum_buffer_.data();
+  verify_cla(p);
   ctx.left_cla = node_cla(p->node_id).cla.data();
   if (q->is_tip()) {
     ctx.right_codes = patterns_.tip_rows[static_cast<std::size_t>(q->node_id)].data() + offset_;
     ctx.tipvec = tipvec_.data();
   } else {
+    verify_cla(q);
     ctx.right_cla = node_cla(q->node_id).cla.data();
   }
   ctx.dims = dims_;
@@ -328,23 +429,35 @@ std::pair<double, double> GeneralEngine::derivatives(double z) {
     second = ctx.out_second;
   }
   record_kernel(Kernel::kDerivCore, length_, timer.seconds());
+  if (sdc_checks_ && (!std::isfinite(first) || !std::isfinite(second))) {
+    report_corruption(-1, "sdc: non-finite derivative from general derivativeCore");
+  }
   return {first, second};
 }
 
 double GeneralEngine::optimize_branch(tree::Slot* edge, int max_iterations) {
-  prepare_derivatives(edge);
-  double z = edge->length;
-  for (int iteration = 0; iteration < max_iterations; ++iteration) {
-    const auto [first, second] = derivatives(z);
-    const double next = LikelihoodEngine::newton_step(z, first, second);
-    const bool converged = std::abs(next - z) < 1e-10;
-    z = next;
-    if (converged) break;
+  // prepare_derivatives runs its own heal loop; keeping it outside the try
+  // below means an escalation there propagates instead of doubling the
+  // retry budget.
+  for (int attempt = 0;; ++attempt) {
+    prepare_derivatives(edge);
+    try {
+      double z = edge->length;
+      for (int iteration = 0; iteration < max_iterations; ++iteration) {
+        const auto [first, second] = derivatives(z);
+        const double next = LikelihoodEngine::newton_step(z, first, second);
+        const bool converged = std::abs(next - z) < 1e-10;
+        z = next;
+        if (converged) break;
+      }
+      tree::Tree::set_length(edge, z);
+      invalidate_node(edge->node_id);
+      invalidate_node(edge->back->node_id);
+      return z;
+    } catch (const sdc::CorruptionDetected& fault) {
+      heal_or_rethrow(fault, attempt);
+    }
   }
-  tree::Tree::set_length(edge, z);
-  invalidate_node(edge->node_id);
-  invalidate_node(edge->back->node_id);
-  return z;
 }
 
 double GeneralEngine::optimize_all_branches(tree::Slot* root_edge, int passes) {

@@ -30,6 +30,7 @@
 #include <cstdint>
 
 #include "src/bio/dna.hpp"
+#include "src/core/sdc_checksum.hpp"
 #include "src/simd/dispatch.hpp"
 
 namespace miniphi::core {
@@ -157,6 +158,13 @@ struct KernelOps {
   void (*newview_repeats)(NewviewCtx&) = nullptr;
   double (*evaluate_gather)(const EvaluateCtx&) = nullptr;
   void (*derivative_sum_gather)(SumCtx&) = nullptr;
+  // SDC defense (DESIGN.md §10): accumulate the lane-structured checksum of
+  // dense CLA site blocks [begin, end) plus their scale counts into `sum`.
+  // Bit-identical across back-ends; the vector back-ends run one rol+xor per
+  // register so the engine can fuse it into chunked kernel execution at
+  // cache speed instead of paying a separate DRAM sweep.
+  void (*cla_checksum)(sdc::ClaChecksum& sum, const double* cla, const std::int32_t* scale,
+                       std::int64_t begin, std::int64_t end) = nullptr;
   simd::Isa isa = simd::Isa::kScalar;
 };
 

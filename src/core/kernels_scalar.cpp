@@ -165,6 +165,11 @@ void derivative_core_scalar(DerivCtx& ctx) {
   ctx.out_second = second;
 }
 
+void cla_checksum_scalar(sdc::ClaChecksum& sum, const double* cla, const std::int32_t* scale,
+                         std::int64_t begin, std::int64_t end) {
+  sum.update(cla, scale, begin, end);
+}
+
 }  // namespace
 
 KernelOps scalar_kernel_ops() {
@@ -176,6 +181,7 @@ KernelOps scalar_kernel_ops() {
   ops.newview_repeats = &newview_scalar<true>;
   ops.evaluate_gather = &evaluate_scalar<true>;
   ops.derivative_sum_gather = &derivative_sum_scalar<true>;
+  ops.cla_checksum = &cla_checksum_scalar;
   ops.isa = simd::Isa::kScalar;
   return ops;
 }

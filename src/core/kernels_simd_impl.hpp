@@ -14,6 +14,8 @@
 //   V-B6  software prefetch with a tunable distance on the streaming reads
 #pragma once
 
+#include <immintrin.h>
+
 #include <algorithm>
 #include <cmath>
 
@@ -252,6 +254,73 @@ struct SimdKernels {
     ctx.out_second = second_acc.horizontal_sum() + second_tail;
   }
 
+  /// Vectorized lane-structured CLA checksum (sdc_checksum.hpp): the 16
+  /// value lanes advance one rol+xor per register per site, the 8 scale
+  /// lanes one widen+rol+xor per 8-site group.  Must be bit-identical to
+  /// the scalar ClaChecksum::update reference (cross-ISA test in sdc_test);
+  /// scalar head/tail loops keep arbitrary [begin, end) ranges exact.
+  static void cla_checksum(sdc::ClaChecksum& sum, const double* cla, const std::int32_t* scale,
+                           std::int64_t begin, std::int64_t end) {
+    // Align to an 8-site group so scale-lane ownership (site mod 8) matches
+    // the vector groups below.
+    std::int64_t s = begin;
+    if ((s & 7) != 0) {
+      const std::int64_t head = std::min<std::int64_t>(end, (s + 7) & ~std::int64_t{7});
+      sum.update(cla, scale, s, head);
+      s = head;
+    }
+    if constexpr (W == 8) {
+      __m512i v0 = _mm512_loadu_si512(sum.value);
+      __m512i v1 = _mm512_loadu_si512(sum.value + 8);
+      __m512i sc = _mm512_loadu_si512(sum.scale);
+      for (; s + 8 <= end; s += 8) {
+        for (int j = 0; j < 8; ++j) {
+          const double* block = cla + (s + j) * kSiteBlock;
+          v0 = _mm512_xor_si512(_mm512_rol_epi64(v0, 9),
+                                _mm512_loadu_si512(reinterpret_cast<const void*>(block)));
+          v1 = _mm512_xor_si512(_mm512_rol_epi64(v1, 9),
+                                _mm512_loadu_si512(reinterpret_cast<const void*>(block + 8)));
+        }
+        const __m256i raw = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(scale + s));
+        sc = _mm512_xor_si512(_mm512_rol_epi64(sc, 9), _mm512_cvtepu32_epi64(raw));
+      }
+      _mm512_storeu_si512(sum.value, v0);
+      _mm512_storeu_si512(sum.value + 8, v1);
+      _mm512_storeu_si512(sum.scale, sc);
+    } else {
+      static_assert(W == 4);
+      const auto rol9 = [](__m256i v) {
+        return _mm256_or_si256(_mm256_slli_epi64(v, 9), _mm256_srli_epi64(v, 55));
+      };
+      __m256i v0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(sum.value));
+      __m256i v1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(sum.value + 4));
+      __m256i v2 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(sum.value + 8));
+      __m256i v3 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(sum.value + 12));
+      __m256i s0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(sum.scale));
+      __m256i s1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(sum.scale + 4));
+      for (; s + 8 <= end; s += 8) {
+        for (int j = 0; j < 8; ++j) {
+          const auto* block = reinterpret_cast<const __m256i*>(cla + (s + j) * kSiteBlock);
+          v0 = _mm256_xor_si256(rol9(v0), _mm256_loadu_si256(block + 0));
+          v1 = _mm256_xor_si256(rol9(v1), _mm256_loadu_si256(block + 1));
+          v2 = _mm256_xor_si256(rol9(v2), _mm256_loadu_si256(block + 2));
+          v3 = _mm256_xor_si256(rol9(v3), _mm256_loadu_si256(block + 3));
+        }
+        const __m128i lo = _mm_loadu_si128(reinterpret_cast<const __m128i*>(scale + s));
+        const __m128i hi = _mm_loadu_si128(reinterpret_cast<const __m128i*>(scale + s + 4));
+        s0 = _mm256_xor_si256(rol9(s0), _mm256_cvtepu32_epi64(lo));
+        s1 = _mm256_xor_si256(rol9(s1), _mm256_cvtepu32_epi64(hi));
+      }
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(sum.value), v0);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(sum.value + 4), v1);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(sum.value + 8), v2);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(sum.value + 12), v3);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(sum.scale), s0);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(sum.scale + 4), s1);
+    }
+    if (s < end) sum.update(cla, scale, s, end);
+  }
+
   static KernelOps ops(simd::Isa isa) {
     KernelOps out;
     out.newview = &newview<false>;
@@ -261,6 +330,7 @@ struct SimdKernels {
     out.newview_repeats = &newview<true>;
     out.evaluate_gather = &evaluate<true>;
     out.derivative_sum_gather = &derivative_sum<true>;
+    out.cla_checksum = &cla_checksum;
     out.isa = isa;
     return out;
   }

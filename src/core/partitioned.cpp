@@ -61,6 +61,7 @@ PartitionedEvaluator::PartitionedEvaluator(const bio::Alignment& alignment,
         std::make_unique<LikelihoodEngine>(*patterns_.back(), initial_model, tree, config));
   }
   trace_attached_ = engine_config.trace != nullptr;
+  sdc_checks_ = engine_config.sdc_checks;
   // External plan execution needs the full CLA budget (no eviction); under
   // a tight budget the engines keep traversing internally with their pin
   // discipline and the merged queue stands down.
@@ -71,6 +72,7 @@ PartitionedEvaluator::PartitionedEvaluator(const bio::Alignment& alignment,
     merged_traversals_id_ = registry.counter("plan.merged.traversals");
     merged_levels_id_ = registry.histogram("plan.merged.levels");
     merged_regions_id_ = registry.counter("plan.merged.regions");
+    sdc_ids_ = sdc::register_metrics();
   }
   plans_.resize(engines_.size());
   partials_.resize(engines_.size());
@@ -83,6 +85,19 @@ void PartitionedEvaluator::set_parallel_for(ParallelFor* parallel_for, PlanSched
                 "thread-safe; build without Config::trace to attach a ParallelFor");
   parallel_for_ = parallel_for;
   schedule_ = schedule;
+}
+
+void PartitionedEvaluator::heal_or_rethrow(const sdc::CorruptionDetected& fault, int attempt) {
+  if (attempt + 1 >= sdc::kHealRetryBudget) {
+    if (metrics_) obs::Registry::instance().add(sdc_ids_.escalations, 1);
+    throw;
+  }
+  if (fault.node_id() >= 0) {
+    for (auto& engine : engines_) engine->invalidate_node(fault.node_id());
+  } else {
+    for (auto& engine : engines_) engine->invalidate_all();
+  }
+  if (metrics_) obs::Registry::instance().add(sdc_ids_.heals, 1);
 }
 
 void PartitionedEvaluator::run_region(int count, const std::function<void(int)>& fn) {
@@ -199,24 +214,38 @@ LikelihoodEngine& PartitionedEvaluator::partition_engine(int p) {
 }
 
 double PartitionedEvaluator::log_likelihood(tree::Slot* edge) {
-  validate_edge(edge);
-  // All traversal work is done (each engine's plan is satisfied): the
-  // per-engine calls below go straight to the evaluate root kernel.
-  run_region(partition_count(), [&](int p) {
-    partials_[static_cast<std::size_t>(p)] =
-        engines_[static_cast<std::size_t>(p)]->log_likelihood(edge);
-  });
-  // Fixed partition order: bit-identical across schedules and thread counts.
-  double total = 0.0;
-  for (int p = 0; p < partition_count(); ++p) total += partials_[static_cast<std::size_t>(p)];
-  return total;
+  for (int attempt = 0;; ++attempt) {
+    try {
+      validate_edge(edge);
+      // All traversal work is done (each engine's plan is satisfied): the
+      // per-engine calls below go straight to the evaluate root kernel.
+      run_region(partition_count(), [&](int p) {
+        partials_[static_cast<std::size_t>(p)] =
+            engines_[static_cast<std::size_t>(p)]->log_likelihood(edge);
+      });
+      // Fixed partition order: bit-identical across schedules and thread
+      // counts.
+      double total = 0.0;
+      for (int p = 0; p < partition_count(); ++p) total += partials_[static_cast<std::size_t>(p)];
+      return total;
+    } catch (const sdc::CorruptionDetected& fault) {
+      heal_or_rethrow(fault, attempt);
+    }
+  }
 }
 
 void PartitionedEvaluator::prepare_derivatives(tree::Slot* edge) {
-  validate_edge(edge);
-  run_region(partition_count(), [&](int p) {
-    engines_[static_cast<std::size_t>(p)]->prepare_derivatives(edge);
-  });
+  for (int attempt = 0;; ++attempt) {
+    try {
+      validate_edge(edge);
+      run_region(partition_count(), [&](int p) {
+        engines_[static_cast<std::size_t>(p)]->prepare_derivatives(edge);
+      });
+      return;
+    } catch (const sdc::CorruptionDetected& fault) {
+      heal_or_rethrow(fault, attempt);
+    }
+  }
 }
 
 std::pair<double, double> PartitionedEvaluator::derivatives(double z) {
@@ -235,20 +264,30 @@ std::pair<double, double> PartitionedEvaluator::derivatives(double z) {
 }
 
 double PartitionedEvaluator::optimize_branch(tree::Slot* edge, int max_iterations) {
-  prepare_derivatives(edge);
-  double z = edge->length;
-  for (int iteration = 0; iteration < max_iterations; ++iteration) {
-    const auto [first, second] = derivatives(z);
-    const double next = LikelihoodEngine::newton_step(z, first, second);
-    const bool converged = std::abs(next - z) < 1e-10;
-    z = next;
-    if (converged) break;
+  // prepare_derivatives runs its own heal loop; keeping it outside the try
+  // below means an escalation there propagates instead of doubling the
+  // retry budget.
+  for (int attempt = 0;; ++attempt) {
+    prepare_derivatives(edge);
+    try {
+      double z = edge->length;
+      for (int iteration = 0; iteration < max_iterations; ++iteration) {
+        const auto [first, second] = derivatives(z);
+        const double next = LikelihoodEngine::newton_step(z, first, second);
+        const bool converged = std::abs(next - z) < 1e-10;
+        z = next;
+        if (converged) break;
+      }
+      tree::Tree::set_length(edge, z);
+      // Branch-length-only change: per-partition site-repeat class maps
+      // survive.
+      invalidate_branch(edge->node_id);
+      invalidate_branch(edge->back->node_id);
+      return z;
+    } catch (const sdc::CorruptionDetected& fault) {
+      heal_or_rethrow(fault, attempt);
+    }
   }
-  tree::Tree::set_length(edge, z);
-  // Branch-length-only change: per-partition site-repeat class maps survive.
-  invalidate_branch(edge->node_id);
-  invalidate_branch(edge->back->node_id);
-  return z;
 }
 
 double PartitionedEvaluator::optimize_all_branches(tree::Slot* root_edge, int passes) {

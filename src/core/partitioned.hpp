@@ -123,6 +123,13 @@ class PartitionedEvaluator final : public Evaluator {
   /// ParallelFor, or a plain loop when none is attached.
   void run_region(int count, const std::function<void(int)>& fn);
 
+  /// Partition-level heal step (Config::sdc_checks; see DESIGN.md §10): a
+  /// CorruptionDetected escaping the merged external executor — where no
+  /// engine-internal heal loop is active — or an engine escalation is
+  /// healed by invalidating the named node on every partition and retrying;
+  /// after sdc::kHealRetryBudget attempts the fault propagates.
+  void heal_or_rethrow(const sdc::CorruptionDetected& fault, int attempt);
+
   tree::Tree& tree_;
   std::vector<std::string> names_;
   std::vector<std::unique_ptr<bio::PatternSet>> patterns_;
@@ -136,6 +143,8 @@ class PartitionedEvaluator final : public Evaluator {
   bool merged_supported_ = true;  ///< false under a tight CLA budget
   MergedPlanCounters merged_counters_;
   bool metrics_ = false;
+  bool sdc_checks_ = false;
+  sdc::MetricIds sdc_ids_;
   obs::MetricId merged_traversals_id_ = 0;
   obs::MetricId merged_levels_id_ = 0;    ///< histogram: levels per merged traversal
   obs::MetricId merged_regions_id_ = 0;

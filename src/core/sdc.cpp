@@ -1,0 +1,16 @@
+#include "src/core/sdc.hpp"
+
+namespace miniphi::core::sdc {
+
+MetricIds register_metrics() {
+  obs::Registry& registry = obs::Registry::instance();
+  MetricIds ids;
+  ids.checks = registry.counter("sdc.checks");
+  ids.hits = registry.counter("sdc.hits");
+  ids.heals = registry.counter("sdc.heals");
+  ids.escalations = registry.counter("sdc.escalations");
+  ids.verify_ns = registry.histogram("sdc.verify_ns");
+  return ids;
+}
+
+}  // namespace miniphi::core::sdc

@@ -1,6 +1,7 @@
 #include "src/examl/distributed_evaluator.hpp"
 
 #include <cmath>
+#include <cstring>
 
 #include "src/util/error.hpp"
 
@@ -18,6 +19,7 @@ DistributedEvaluator::DistributedEvaluator(mpi::Communicator& comm,
   config.begin = npat * comm.rank() / ranks;
   config.end = npat * (comm.rank() + 1) / ranks;
   engine_ = std::make_unique<core::LikelihoodEngine>(patterns, model, tree, config);
+  sdc_checks_ = engine_config.sdc_checks;
   if (obs::kMetricsCompiled && engine_config.metrics == obs::MetricsMode::kOn) {
     comm_.enable_metrics();
     metrics_ = true;
@@ -25,6 +27,7 @@ DistributedEvaluator::DistributedEvaluator(mpi::Communicator& comm,
     plan_posted_id_ = registry.counter("dist.plan.posted");
     plan_local_ops_id_ = registry.histogram("dist.plan.local_ops");
     plan_levels_id_ = registry.histogram("dist.plan.levels");
+    sdc_ids_ = core::sdc::register_metrics();
   }
   comm_baseline_ = comm_.stats();
 }
@@ -43,18 +46,84 @@ void DistributedEvaluator::derive_comm_plan(tree::Slot* edge, int posts) {
   }
 }
 
+void DistributedEvaluator::maybe_inject_cla_fault() {
+  if (!comm_.take_pending_cla_corruption()) return;
+  // kFlipClaBits latched at our kernel-region entry: flip one bit in the
+  // first committed inner CLA (word/bit chosen mid-buffer so the flip lands
+  // in live likelihood data).  A rank with nothing committed yet drops the
+  // injection — there is no silent state to corrupt.
+  for (int node = tree_.taxon_count(); node < tree_.node_count(); ++node) {
+    if (engine_->corrupt_cla_for_testing(node, /*word=*/97, /*bit=*/21)) return;
+  }
+}
+
+double DistributedEvaluator::agree_and_sum(double local) {
+  const int ranks = comm_.size();
+  agreement_.assign(static_cast<std::size_t>(3 * ranks), 0.0);
+  for (int copy = 0; copy < 3; ++copy) {
+    agreement_[static_cast<std::size_t>(3 * comm_.rank() + copy)] = local;
+  }
+  // Disjoint slots: every other rank contributes exact 0.0 to ours, so the
+  // delivered triple is bit-for-bit our contribution regardless of the
+  // reduction's arrival order.
+  comm_.allreduce_agreement(agreement_);
+  ++agreement_counters_.checks;
+  if (metrics_) obs::Registry::instance().add(sdc_ids_.checks, 1);
+  const auto bits_of = [](double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    return bits;
+  };
+  double total = 0.0;
+  for (int r = 0; r < ranks; ++r) {
+    const double a = agreement_[static_cast<std::size_t>(3 * r)];
+    const double b = agreement_[static_cast<std::size_t>(3 * r + 1)];
+    const double c = agreement_[static_cast<std::size_t>(3 * r + 2)];
+    const bool ab = bits_of(a) == bits_of(b);
+    const bool ac = bits_of(a) == bits_of(c);
+    const bool bc = bits_of(b) == bits_of(c);
+    double voted = a;
+    if (!(ab && ac)) {
+      last_disagreeing_rank_ = r;
+      ++agreement_counters_.hits;
+      if (metrics_) obs::Registry::instance().add(sdc_ids_.hits, 1);
+      if (ab || ac) {
+        voted = a;
+      } else if (bc) {
+        voted = b;
+      } else {
+        ++agreement_counters_.escalations;
+        if (metrics_) obs::Registry::instance().add(sdc_ids_.escalations, 1);
+        throw core::sdc::CorruptionDetected(
+            -1, "sdc: agreement vote for rank " + std::to_string(r) +
+                    " has no majority (all three redundant copies differ)");
+      }
+      ++agreement_counters_.heals;
+      if (metrics_) obs::Registry::instance().add(sdc_ids_.heals, 1);
+    }
+    // Fixed rank-order fold: bit-identical to the scalar allreduce.
+    total += voted;
+  }
+  return total;
+}
+
 double DistributedEvaluator::log_likelihood(tree::Slot* edge) {
   // One comm plan per traversal: all local plan ops run first (the engine
   // reuses the plan just fetched), then exactly one allreduce.
   derive_comm_plan(edge, /*posts=*/1);
   comm_.on_kernel_region();  // fault-injection hook: a plan may kill us here
-  return comm_.allreduce_sum(engine_->log_likelihood(edge));
+  if (!sdc_checks_) return comm_.allreduce_sum(engine_->log_likelihood(edge));
+  maybe_inject_cla_fault();
+  // The agreement check rides the traversal's one collective (3 slots per
+  // rank instead of 1) — no extra reduction is posted.
+  return agree_and_sum(engine_->log_likelihood(edge));
 }
 
 void DistributedEvaluator::prepare_derivatives(tree::Slot* edge) {
   // The traversal itself posts nothing; each Newton derivatives() call that
   // follows is its own single-collective plan.
   derive_comm_plan(edge, /*posts=*/0);
+  if (sdc_checks_) maybe_inject_cla_fault();
   engine_->prepare_derivatives(edge);
 }
 

@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "src/core/engine.hpp"
 #include "src/minimpi/minimpi.hpp"
@@ -57,6 +58,18 @@ class DistributedEvaluator final : public core::Evaluator {
 
   [[nodiscard]] core::LikelihoodEngine& local_engine() { return *engine_; }
 
+  /// Cross-rank agreement statistics (Config::sdc_checks; DESIGN.md §10):
+  /// checks = agreement reductions voted on, hits = corrupted slots
+  /// detected, heals = slots recovered by majority vote, escalations =
+  /// votes with no majority (rethrown as CorruptionDetected).
+  [[nodiscard]] const core::sdc::Counters& agreement_counters() const {
+    return agreement_counters_;
+  }
+
+  /// Rank whose partial was corrupted in the last disagreeing vote
+  /// (slot-named by the agreement layout); -1 when every vote so far agreed.
+  [[nodiscard]] int last_disagreeing_rank() const { return last_disagreeing_rank_; }
+
   /// Schedule the most recent planned traversal derived (log_likelihood or
   /// prepare_derivatives); all-zero before the first one.
   [[nodiscard]] const CommPlan& last_comm_plan() const { return last_comm_plan_; }
@@ -80,7 +93,26 @@ class DistributedEvaluator final : public core::Evaluator {
   /// plan at `edge`; `posts` collectives will follow the local compute.
   void derive_comm_plan(tree::Slot* edge, int posts);
 
+  /// Consumes a pending kFlipClaBits latch (set at this rank's kernel-region
+  /// entry) by flipping one bit of the first committed inner CLA; no-op when
+  /// nothing is latched or no CLA is committed yet.
+  void maybe_inject_cla_fault();
+
+  /// Cross-rank agreement reduction (DESIGN.md §10): each rank contributes
+  /// three redundant copies of `local` in its own slot triple of one vector
+  /// allreduce (others contribute exact 0.0), votes a per-rank majority, and
+  /// folds the voted partials in rank order — bit-identical to the scalar
+  /// allreduce while healing any single corrupted slot in this rank's
+  /// delivered copy.  Throws CorruptionDetected when a triple has no
+  /// majority.
+  double agree_and_sum(double local);
+
   CommPlan last_comm_plan_;
+  bool sdc_checks_ = false;
+  std::vector<double> agreement_;  ///< TMR scratch: 3 slots per rank
+  core::sdc::Counters agreement_counters_;
+  int last_disagreeing_rank_ = -1;
+  core::sdc::MetricIds sdc_ids_;
   bool metrics_ = false;
   obs::MetricId plan_posted_id_ = 0;       ///< counter: comm plans posted
   obs::MetricId plan_local_ops_id_ = 0;    ///< histogram: local ops per comm plan

@@ -42,6 +42,7 @@ TracedRun run_traced_search(const bio::Alignment& alignment, const ExperimentOpt
   config.isa = options.isa;
   config.trace = &run.trace;
   config.metrics = options.metrics;
+  config.sdc_checks = options.sdc_checks;
   core::LikelihoodEngine engine(patterns, model, tree, config);
 
   // Full GTR model optimization (α + exchangeabilities), as in ExaML.
@@ -72,6 +73,7 @@ DistributedRunResult run_distributed_search(const bio::Alignment& alignment, int
 
   std::vector<double> final_lnl(static_cast<std::size_t>(ranks), 0.0);
   std::vector<std::string> final_trees(static_cast<std::size_t>(ranks));
+  std::vector<core::sdc::Counters> rank_sdc(static_cast<std::size_t>(ranks));
 
   mpi::World world(ranks);
   world.set_fault_plan(ft.faults);
@@ -99,6 +101,7 @@ DistributedRunResult run_distributed_search(const bio::Alignment& alignment, int
         core::LikelihoodEngine::Config config;
         config.isa = options.isa;
         config.metrics = options.metrics;
+        config.sdc_checks = options.sdc_checks;
         DistributedEvaluator evaluator(comm, patterns, rank_model, tree, config);
         search::SearchOptions search_options = options.search;
         search_options.max_rounds = std::max(0, options.search.max_rounds - rounds_done);
@@ -130,6 +133,16 @@ DistributedRunResult run_distributed_search(const bio::Alignment& alignment, int
         const auto search_result = search::run_tree_search(evaluator, tree, search_options);
         final_lnl[static_cast<std::size_t>(comm.rank())] = search_result.log_likelihood;
         final_trees[static_cast<std::size_t>(comm.rank())] = tree.to_newick(names);
+        // Sum this rank's checksum-verify counters and agreement votes for
+        // the run result (a failed attempt unwinds before reaching here; its
+        // counts restart with the replica).
+        core::sdc::Counters totals = evaluator.local_engine().sdc_counters();
+        const core::sdc::Counters& agreement = evaluator.agreement_counters();
+        totals.checks += agreement.checks;
+        totals.hits += agreement.hits;
+        totals.heals += agreement.heals;
+        totals.escalations += agreement.escalations;
+        rank_sdc[static_cast<std::size_t>(comm.rank())] = totals;
       });
       break;
     } catch (const Error& failure) {
@@ -138,6 +151,12 @@ DistributedRunResult run_distributed_search(const bio::Alignment& alignment, int
       // checkpoint.  Invariant violations (std::logic_error) propagate.
       result.last_failure = failure.what();
       ++result.recoveries;
+      // An unhealable corruption escalation is a distinct retry policy
+      // decision from a crash: the in-place heal budget is exhausted, so the
+      // run falls back to the same checkpoint restart, tagged for the log.
+      const bool sdc_escalation =
+          dynamic_cast<const core::sdc::CorruptionDetected*>(&failure) != nullptr;
+      if (sdc_escalation) ++result.sdc_escalation_recoveries;
       if (result.recoveries > ft.max_recoveries) throw;
       if (!ft.checkpoint_path.empty()) {
         // The durable path: trust only what survived on disk (validated by
@@ -150,7 +169,8 @@ DistributedRunResult run_distributed_search(const bio::Alignment& alignment, int
       } else if (staged) {
         stable = staged;
       }
-      MINIPHI_LOG(Info) << "distributed search: recovery " << result.recoveries << " after '"
+      MINIPHI_LOG(Info) << "distributed search: recovery " << result.recoveries
+                        << (sdc_escalation ? " (sdc escalation)" : "") << " after '"
                         << result.last_failure << "', restarting from "
                         << (stable ? "round " + std::to_string(stable->rounds_completed)
                                    : "scratch");
@@ -159,6 +179,12 @@ DistributedRunResult run_distributed_search(const bio::Alignment& alignment, int
 
   result.log_likelihood = final_lnl[0];
   result.comm_stats = world.total_stats();
+  for (const auto& counters : rank_sdc) {
+    result.sdc.checks += counters.checks;
+    result.sdc.hits += counters.hits;
+    result.sdc.heals += counters.heals;
+    result.sdc.escalations += counters.escalations;
+  }
   result.final_tree_newick = final_trees[0];
   result.replicas_consistent = true;
   for (int r = 1; r < ranks; ++r) {

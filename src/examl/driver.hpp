@@ -41,6 +41,12 @@ struct ExperimentOptions {
   simd::Isa isa = simd::best_supported_isa();
   search::SearchOptions search;
   FaultToleranceOptions fault_tolerance;
+  /// Silent-data-corruption defense (DESIGN.md §10): checksummed CLAs with
+  /// plan-driven self-healing recompute in every engine, plus the
+  /// cross-rank agreement check in the distributed evaluator.  Detected
+  /// corruption is healed in place; only an unhealable fault escalates into
+  /// the checkpoint-restart path above.
+  bool sdc_checks = false;
   /// kOn publishes per-kernel counters/histograms to the obs registry and
   /// comm wait metrics per rank (see src/obs/); off by default — the kernel
   /// fast path then compiles to plain unguarded code.
@@ -66,6 +72,13 @@ struct DistributedRunResult {
   bool replicas_consistent = false;   ///< all ranks ended on the same tree
   std::string final_tree_newick;      ///< rank 0's final tree
   int recoveries = 0;                 ///< checkpoint restarts taken after failures
+  /// Checkpoint restarts caused by an *unhealable* corruption escalation
+  /// (core::sdc::CorruptionDetected exhausting its retry budget); a subset
+  /// of `recoveries`.  Healed corruption never restarts — see `sdc`.
+  int sdc_escalation_recoveries = 0;
+  /// SDC defense counters summed over all ranks (engine checksum verifies +
+  /// cross-rank agreement votes); all zero unless options.sdc_checks.
+  core::sdc::Counters sdc;
   std::string last_failure;           ///< root cause of the most recent failure, if any
 };
 

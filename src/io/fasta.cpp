@@ -1,11 +1,13 @@
 #include "src/io/fasta.hpp"
 
+#include <array>
 #include <cctype>
 #include <fstream>
 #include <istream>
 #include <ostream>
 #include <unordered_set>
 
+#include "src/io/parse_error.hpp"
 #include "src/util/error.hpp"
 
 namespace miniphi::io {
@@ -23,6 +25,20 @@ void strip_trailing_cr(std::string& line) {
   if (!line.empty() && line.back() == '\r') line.pop_back();
 }
 
+/// Accepted sequence characters: the IUPAC nucleotide alphabet plus the
+/// gap/unknown symbols the bio layer encodes (mirrors bio/dna.cpp, which io
+/// cannot include — the dependency points the other way).
+constexpr std::array<bool, 256> build_iupac_table() {
+  std::array<bool, 256> table{};
+  const char* accepted = "acgturyswkmbdhvnxoACGTURYSWKMBDHVNXO-?.*";
+  for (const char* c = accepted; *c != '\0'; ++c) {
+    table[static_cast<unsigned char>(*c)] = true;
+  }
+  return table;
+}
+
+constexpr std::array<bool, 256> kIupacTable = build_iupac_table();
+
 }  // namespace
 
 SequenceSet read_fasta(std::istream& in) {
@@ -31,30 +47,44 @@ SequenceSet read_fasta(std::istream& in) {
   std::string line;
   bool have_record = false;
   std::size_t line_no = 0;
+  std::size_t record_line = 0;  ///< line of the current record's '>' header
 
   while (std::getline(in, line)) {
     ++line_no;
     strip_trailing_cr(line);
     if (line.empty()) continue;
     if (line[0] == '>') {
+      if (have_record && records.back().sequence.empty()) {
+        throw ParseError("FASTA", record_line, 1,
+                         "truncated record: '" + records.back().name + "' has no sequence data");
+      }
       const std::string name = first_token(line, 1);
-      MINIPHI_CHECK(!name.empty(),
-                    "FASTA line " + std::to_string(line_no) + ": empty sequence name");
-      MINIPHI_CHECK(seen.insert(name).second,
-                    "FASTA: duplicate sequence name '" + name + "'");
+      if (name.empty()) throw ParseError("FASTA", line_no, 1, "empty sequence name");
+      if (!seen.insert(name).second) {
+        throw ParseError("FASTA", line_no, 1, "duplicate sequence name '" + name + "'");
+      }
       records.push_back({name, {}});
       have_record = true;
+      record_line = line_no;
     } else {
-      MINIPHI_CHECK(have_record, "FASTA line " + std::to_string(line_no) +
-                                     ": sequence data before the first '>' header");
-      for (const char c : line) {
-        if (!std::isspace(static_cast<unsigned char>(c))) records.back().sequence.push_back(c);
+      if (!have_record) {
+        throw ParseError("FASTA", line_no, 1, "sequence data before the first '>' header");
+      }
+      for (std::size_t i = 0; i < line.size(); ++i) {
+        const char c = line[i];
+        if (std::isspace(static_cast<unsigned char>(c))) continue;
+        if (!kIupacTable[static_cast<unsigned char>(c)]) {
+          throw ParseError("FASTA", line_no, i + 1,
+                           std::string("non-IUPAC character '") + c + "' in record '" +
+                               records.back().name + "'");
+        }
+        records.back().sequence.push_back(c);
       }
     }
   }
-  for (const auto& record : records) {
-    MINIPHI_CHECK(!record.sequence.empty(),
-                  "FASTA: record '" + record.name + "' has no sequence data");
+  if (have_record && records.back().sequence.empty()) {
+    throw ParseError("FASTA", record_line, 1,
+                     "truncated record: '" + records.back().name + "' has no sequence data");
   }
   return records;
 }

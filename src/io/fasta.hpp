@@ -10,9 +10,10 @@ namespace miniphi::io {
 
 /// Parses FASTA from a stream.  Headers start with '>'; the first
 /// whitespace-delimited token is the sequence name.  Blank lines are
-/// ignored; sequence lines are concatenated.  Throws miniphi::Error on
-/// structural problems (data before the first header, empty names,
-/// duplicate names, records with no sequence).
+/// ignored; sequence lines are concatenated.  Throws io::ParseError (a
+/// miniphi::Error carrying 1-based line/column) on structural problems:
+/// data before the first header, empty or duplicate names, truncated
+/// records with no sequence, and non-IUPAC sequence characters.
 SequenceSet read_fasta(std::istream& in);
 
 /// Convenience overload reading from a file path.

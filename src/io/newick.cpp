@@ -5,6 +5,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "src/io/parse_error.hpp"
 #include "src/util/error.hpp"
 
 namespace miniphi::io {
@@ -24,7 +25,14 @@ std::size_t NewickNode::leaf_count() const {
 
 namespace {
 
-/// Recursive-descent Newick parser over a string with one cursor.
+/// Labels longer than this are rejected: RAxML-family tools cap taxon names
+/// (nmlngth), and an unbounded label usually means a missing delimiter
+/// swallowed half the file.
+constexpr std::size_t kMaxLabelLength = 512;
+
+/// Recursive-descent Newick parser over a string with one cursor.  All
+/// failures throw ParseError carrying the 1-based line/column of the
+/// offending character.
 class Parser {
  public:
   explicit Parser(const std::string& text) : text_(text) {}
@@ -33,10 +41,10 @@ class Parser {
     skip_space();
     auto root = parse_subtree();
     skip_space();
-    expect(';');
+    if (peek() != ';') fail("truncated tree: expected ';'");
+    advance();
     skip_space();
-    MINIPHI_CHECK(pos_ == text_.size(),
-                  error_at("trailing characters after ';'"));
+    if (pos_ != text_.size()) fail("trailing characters after ';'");
     return root;
   }
 
@@ -45,6 +53,7 @@ class Parser {
     auto node = std::make_unique<NewickNode>();
     skip_space();
     if (peek() == '(') {
+      const std::size_t open_pos = pos_;
       advance();
       for (;;) {
         node->children.push_back(parse_subtree());
@@ -55,8 +64,11 @@ class Parser {
         }
         break;
       }
-      expect(')');
-      MINIPHI_CHECK(!node->children.empty(), error_at("empty '()' group"));
+      if (peek() != ')') {
+        fail_at(open_pos, "unbalanced parentheses: '(' is never closed");
+      }
+      advance();
+      if (node->children.empty()) fail("empty '()' group");
     }
     skip_space();
     node->name = parse_label();
@@ -65,17 +77,17 @@ class Parser {
       advance();
       node->length = parse_number();
     }
-    MINIPHI_CHECK(!node->is_leaf() || !node->name.empty(),
-                  error_at("leaf without a name"));
+    if (node->is_leaf() && node->name.empty()) fail("leaf without a name");
     return node;
   }
 
   std::string parse_label() {
+    const std::size_t start = pos_;
     if (peek() == '\'') {
       advance();
       std::string label;
       for (;;) {
-        MINIPHI_CHECK(pos_ < text_.size(), error_at("unterminated quoted label"));
+        if (pos_ >= text_.size()) fail_at(start, "unterminated quoted label");
         const char c = text_[pos_++];
         if (c == '\'') {
           if (peek() == '\'') {  // doubled quote = literal quote
@@ -83,6 +95,7 @@ class Parser {
             advance();
             continue;
           }
+          check_label_length(start, label);
           return label;
         }
         label.push_back(c);
@@ -98,7 +111,15 @@ class Parser {
       label.push_back(c);
       ++pos_;
     }
+    check_label_length(start, label);
     return label;
+  }
+
+  void check_label_length(std::size_t start, const std::string& label) {
+    if (label.size() > kMaxLabelLength) {
+      fail_at(start, "label of " + std::to_string(label.size()) + " characters exceeds the " +
+                         std::to_string(kMaxLabelLength) + "-character limit");
+    }
   }
 
   double parse_number() {
@@ -106,7 +127,7 @@ class Parser {
     const char* begin = text_.c_str() + pos_;
     char* end = nullptr;
     const double value = std::strtod(begin, &end);
-    MINIPHI_CHECK(end != begin, error_at("expected a branch length"));
+    if (end == begin) fail("expected a branch length");
     pos_ += static_cast<std::size_t>(end - begin);
     return value;
   }
@@ -114,19 +135,15 @@ class Parser {
   char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
   void advance() { ++pos_; }
 
-  void expect(char c) {
-    MINIPHI_CHECK(peek() == c, error_at(std::string("expected '") + c + "'"));
-    advance();
-  }
-
   void skip_space() {
     for (;;) {
       while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
         ++pos_;
       }
       if (peek() == '[') {  // Newick comment
+        const std::size_t open_pos = pos_;
         while (pos_ < text_.size() && text_[pos_] != ']') ++pos_;
-        MINIPHI_CHECK(pos_ < text_.size(), error_at("unterminated [comment]"));
+        if (pos_ >= text_.size()) fail_at(open_pos, "unterminated [comment]");
         ++pos_;
         continue;
       }
@@ -134,8 +151,21 @@ class Parser {
     }
   }
 
-  std::string error_at(const std::string& what) const {
-    return "Newick parse error at position " + std::to_string(pos_) + ": " + what;
+  [[noreturn]] void fail(const std::string& what) const { fail_at(pos_, what); }
+
+  [[noreturn]] void fail_at(std::size_t pos, const std::string& what) const {
+    // 1-based line/column, computed only on the error path.
+    std::size_t line = 1;
+    std::size_t column = 1;
+    for (std::size_t i = 0; i < pos && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+    }
+    throw ParseError("Newick", line, column, what);
   }
 
   const std::string& text_;
@@ -169,12 +199,13 @@ std::unique_ptr<NewickNode> parse_newick(const std::string& text) {
 std::unique_ptr<NewickNode> read_newick_file(const std::string& path) {
   std::ifstream in(path);
   MINIPHI_CHECK(in.good(), "cannot open Newick file '" + path + "'");
-  std::string text;
-  std::string line;
-  while (std::getline(in, line)) {
-    text += line;
-    if (text.find(';') != std::string::npos) break;
-  }
+  // Read the whole file preserving newlines (so ParseError line/column
+  // numbers point into the actual file), then keep only the first tree.
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string text = buffer.str();
+  const std::size_t semicolon = text.find(';');
+  if (semicolon != std::string::npos) text.resize(semicolon + 1);
   return parse_newick(text);
 }
 

@@ -30,7 +30,9 @@ struct NewickNode {
 
 /// Parses one Newick string (must end with ';').  Supports quoted labels,
 /// comments in [brackets], and branch lengths after ':'.  Throws
-/// miniphi::Error with position information on malformed input.
+/// io::ParseError (a miniphi::Error carrying 1-based line/column) on
+/// malformed input: unbalanced parentheses, truncated trees, unterminated
+/// quotes/comments, unnamed leaves, and labels over 512 characters.
 std::unique_ptr<NewickNode> parse_newick(const std::string& text);
 
 /// Reads the first tree from a file.

@@ -11,6 +11,8 @@ const char* kind_name(FaultKind kind) {
     case FaultKind::kKillInKernel: return "kill in kernel region";
     case FaultKind::kDropMessage: return "drop message";
     case FaultKind::kDelayMessage: return "delay message";
+    case FaultKind::kFlipClaBits: return "flip CLA bits in kernel region";
+    case FaultKind::kCorruptReduction: return "corrupt agreement reduction";
   }
   return "unknown";
 }
@@ -41,6 +43,21 @@ FaultPlan& FaultPlan::delay_message(int sender, int tag) {
   return *this;
 }
 
+FaultPlan& FaultPlan::flip_cla_bits(int rank, std::int64_t call_index) {
+  MINIPHI_CHECK(rank >= 0, "fault plan: flip_cla_bits needs a concrete rank");
+  MINIPHI_CHECK(call_index >= 1, "fault plan: kernel call index is 1-based");
+  faults_.push_back({FaultKind::kFlipClaBits, rank, call_index, -1, false});
+  return *this;
+}
+
+FaultPlan& FaultPlan::corrupt_reduction(int rank, std::int64_t call_index, int element) {
+  MINIPHI_CHECK(rank >= 0, "fault plan: corrupt_reduction needs a concrete rank");
+  MINIPHI_CHECK(call_index >= 1, "fault plan: agreement call index is 1-based");
+  MINIPHI_CHECK(element >= 0, "fault plan: agreement vector element must be non-negative");
+  faults_.push_back({FaultKind::kCorruptReduction, rank, call_index, element, false});
+  return *this;
+}
+
 FaultPlan FaultPlan::random_kill(std::uint64_t seed, int ranks, std::int64_t max_collective) {
   MINIPHI_CHECK(ranks >= 1, "fault plan: world needs at least one rank");
   MINIPHI_CHECK(max_collective >= 1, "fault plan: need a positive collective range");
@@ -60,10 +77,14 @@ std::string FaultPlan::describe() const {
     if (!text.empty()) text += ", ";
     text += kind_name(fault.kind);
     text += " rank " + (fault.rank < 0 ? std::string("any") : std::to_string(fault.rank));
-    if (fault.kind == FaultKind::kKillAtCollective || fault.kind == FaultKind::kKillInKernel) {
-      text += " call #" + std::to_string(fault.at_call);
-    } else {
-      text += " tag " + std::to_string(fault.tag);
+    switch (fault.kind) {
+      case FaultKind::kDropMessage:
+      case FaultKind::kDelayMessage: text += " tag " + std::to_string(fault.tag); break;
+      case FaultKind::kCorruptReduction:
+        text += " call #" + std::to_string(fault.at_call) + " element " +
+                std::to_string(fault.tag);
+        break;
+      default: text += " call #" + std::to_string(fault.at_call); break;
     }
   }
   return text;

@@ -57,13 +57,25 @@ enum class FaultKind {
   kKillInKernel,      ///< throw InjectedFault at `rank`'s `at_call`-th kernel-region entry
   kDropMessage,       ///< silently discard the first matching tagged send
   kDelayMessage,      ///< hold the first matching tagged send; deliver late (on receiver demand)
+  /// Silent data corruption in memory: latch a pending CLA bit-flip at
+  /// `rank`'s `at_call`-th kernel-region entry.  Nothing is thrown — the
+  /// evaluator polls Communicator::take_pending_cla_corruption() and flips a
+  /// bit in one of its committed CLAs, which the engine's checksum defense
+  /// (DESIGN.md §10) must then detect and heal.
+  kFlipClaBits,
+  /// Silent data corruption on the wire: flip one mantissa bit of element
+  /// `tag` in the agreement-reduction vector *as delivered to `rank`* at its
+  /// `at_call`-th agreement reduction (Communicator::allreduce_agreement).
+  /// Other ranks see the uncorrupted result, modeling a link/NIC fault that
+  /// the cross-rank agreement check must vote down.
+  kCorruptReduction,
 };
 
 struct Fault {
   FaultKind kind = FaultKind::kKillAtCollective;
-  int rank = -1;             ///< faulting rank (kills) / sending rank (messages); -1 = any
-  std::int64_t at_call = 0;  ///< 1-based per-rank call index (kill faults)
-  int tag = -1;              ///< message tag to match (message faults)
+  int rank = -1;             ///< faulting rank (kills/SDC) / sending rank (messages); -1 = any
+  std::int64_t at_call = 0;  ///< 1-based per-rank call index (kill + SDC faults)
+  int tag = -1;              ///< message tag (message faults) / vector element (kCorruptReduction)
   bool fired = false;        ///< one-shot latch, set by World when triggered
 };
 
@@ -90,6 +102,15 @@ class FaultPlan {
   /// from the destination mailbox and only released once the receiver fails
   /// to find a match — i.e. it arrives late and reordered, never lost.
   FaultPlan& delay_message(int sender, int tag);
+
+  /// Latch a pending CLA bit-flip at `rank`'s `call_index`-th (1-based)
+  /// kernel-region entry (see FaultKind::kFlipClaBits).
+  FaultPlan& flip_cla_bits(int rank, std::int64_t call_index);
+
+  /// Corrupt element `element` of the agreement-reduction vector delivered
+  /// to `rank` at its `call_index`-th (1-based) agreement reduction (see
+  /// FaultKind::kCorruptReduction).
+  FaultPlan& corrupt_reduction(int rank, std::int64_t call_index, int element = 0);
 
   /// Seeded deterministic plan: kills one uniformly chosen rank at a
   /// uniformly chosen collective call in [1, max_collective].

@@ -1,6 +1,7 @@
 #include "src/minimpi/minimpi.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <exception>
 #include <optional>
 #include <thread>
@@ -21,6 +22,8 @@ World::World(int rank_count) : rank_count_(rank_count) {
   last_stats_.assign(n, {});
   collective_calls_.assign(n, 0);
   kernel_calls_.assign(n, 0);
+  agreement_calls_.assign(n, 0);
+  pending_cla_corruption_.assign(n, 0);
   blocked_.assign(n, 0);
 }
 
@@ -90,12 +93,35 @@ void World::on_kernel_entry(int rank) {
   throw_if_aborted_locked();
   const std::int64_t count = ++kernel_calls_[static_cast<std::size_t>(rank)];
   for (auto& fault : plan_.faults_) {
-    if (fault.fired || fault.kind != FaultKind::kKillInKernel) continue;
-    if (fault.rank == rank && fault.at_call == count) {
+    if (fault.fired || fault.rank != rank || fault.at_call != count) continue;
+    if (fault.kind == FaultKind::kKillInKernel) {
       fault.fired = true;
       throw InjectedFault("injected fault: rank " + std::to_string(rank) +
                           " killed inside kernel region #" + std::to_string(count));
     }
+    if (fault.kind == FaultKind::kFlipClaBits) {
+      // Nothing thrown: silent corruption is latched here and consumed by
+      // the evaluator via take_pending_cla_corruption().
+      fault.fired = true;
+      pending_cla_corruption_[static_cast<std::size_t>(rank)] = 1;
+    }
+  }
+}
+
+void World::maybe_corrupt_agreement(int rank, std::span<double> values) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::int64_t count = ++agreement_calls_[static_cast<std::size_t>(rank)];
+  for (auto& fault : plan_.faults_) {
+    if (fault.fired || fault.kind != FaultKind::kCorruptReduction) continue;
+    if (fault.rank != rank || fault.at_call != count || values.empty()) continue;
+    fault.fired = true;
+    // Flip one mantissa bit of this rank's delivered copy only; the shared
+    // buffer (and every other rank's result) stays correct.
+    const auto index = static_cast<std::size_t>(fault.tag) % values.size();
+    std::uint64_t bits;
+    std::memcpy(&bits, &values[index], sizeof(bits));
+    bits ^= 1ULL << 40;
+    std::memcpy(&values[index], &bits, sizeof(bits));
   }
 }
 
@@ -146,13 +172,19 @@ void World::barrier_wait(int rank) {
   } else {
     barrier_cv_.wait(lock, released);
   }
-  blocked_[static_cast<std::size_t>(rank)] = 0;
-  if (aborted_) throw AbortedError(abort_reason_);
+  if (aborted_) {
+    blocked_[static_cast<std::size_t>(rank)] = 0;
+    throw AbortedError(abort_reason_);
+  }
   if (!woke) {
+    // Diagnose BEFORE clearing our own blocked flag: the detecting rank is
+    // just as stuck in this barrier as the peers it names.
     const std::string diagnosis = describe_stall_locked("collective timeout", rank);
+    blocked_[static_cast<std::size_t>(rank)] = 0;
     abort_locked(diagnosis);
     throw DeadlockError(diagnosis);
   }
+  blocked_[static_cast<std::size_t>(rank)] = 0;
 }
 
 void World::run(const std::function<void(Communicator&)>& rank_main) {
@@ -171,6 +203,8 @@ void World::run(const std::function<void(Communicator&)>& rank_main) {
     barrier_arrived_ = 0;
     std::fill(collective_calls_.begin(), collective_calls_.end(), 0);
     std::fill(kernel_calls_.begin(), kernel_calls_.end(), 0);
+    std::fill(agreement_calls_.begin(), agreement_calls_.end(), 0);
+    std::fill(pending_cla_corruption_.begin(), pending_cla_corruption_.end(), 0);
     std::fill(blocked_.begin(), blocked_.end(), 0);
     for (auto& mailbox : mailboxes_) mailbox.clear();
     for (auto& held : delayed_) held.clear();
@@ -257,6 +291,19 @@ void Communicator::record_collective(std::int64_t CommStats::* counter,
 
 void Communicator::on_kernel_region() { world_.on_kernel_entry(rank_); }
 
+bool Communicator::take_pending_cla_corruption() {
+  const std::lock_guard<std::mutex> lock(world_.mutex_);
+  auto& pending = world_.pending_cla_corruption_[static_cast<std::size_t>(rank_)];
+  const bool taken = pending != 0;
+  pending = 0;
+  return taken;
+}
+
+void Communicator::allreduce_agreement(std::span<double> values) {
+  allreduce_sum(values);
+  world_.maybe_corrupt_agreement(rank_, values);
+}
+
 void Communicator::barrier() {
   const obs::ScopedSpan span("mpi:barrier");
   const Timer timer;
@@ -284,25 +331,31 @@ void Communicator::allreduce_sum(std::span<double> values) {
   const obs::ScopedSpan span("mpi:allreduce");
   const Timer timer;
   world_.on_collective_entry(rank_);
-  // Rank 0 owns the shared accumulation buffer for vector reductions.
+  const std::size_t width = values.size();
+  const auto ranks = static_cast<std::size_t>(world_.rank_count_);
   {
     std::unique_lock<std::mutex> lock(world_.mutex_);
-    if (world_.vector_buffer_.size() < values.size()) {
-      world_.vector_buffer_.assign(values.size(), 0.0);
+    if (world_.vector_buffer_.size() < ranks * width) {
+      world_.vector_buffer_.assign(ranks * width, 0.0);
     }
   }
   world_.barrier_wait(rank_);
-  if (rank_ == 0) {
-    for (auto& slot : world_.vector_buffer_) slot = 0.0;
+  // Each rank writes its contribution into its own disjoint region, then
+  // every rank folds the regions in fixed rank order.  Accumulating into
+  // shared slots in arrival order instead would make the sums depend on
+  // thread scheduling — run-to-run nondeterminism at the ulp level that the
+  // SDC agreement check (and checkpoint-recovery bit-identity) cannot
+  // tolerate.  This fold matches the scalar overload exactly.
+  std::copy(values.begin(), values.end(),
+            world_.vector_buffer_.begin() +
+                static_cast<std::ptrdiff_t>(static_cast<std::size_t>(rank_) * width));
+  world_.barrier_wait(rank_);
+  for (std::size_t i = 0; i < width; ++i) {
+    double total = 0.0;
+    for (std::size_t r = 0; r < ranks; ++r) total += world_.vector_buffer_[r * width + i];
+    values[i] = total;
   }
-  world_.barrier_wait(rank_);
-  {
-    std::unique_lock<std::mutex> lock(world_.mutex_);
-    for (std::size_t i = 0; i < values.size(); ++i) world_.vector_buffer_[i] += values[i];
-  }
-  world_.barrier_wait(rank_);
-  for (std::size_t i = 0; i < values.size(); ++i) values[i] = world_.vector_buffer_[i];
-  world_.barrier_wait(rank_);
+  world_.barrier_wait(rank_);  // all reads done before buffer reuse
   record_collective(&CommStats::allreduces,
                     static_cast<std::int64_t>(values.size() * sizeof(double)),
                     metric_ids_.allreduce_calls, metric_ids_.allreduce_wait_us, timer.seconds());
@@ -420,21 +473,24 @@ std::vector<double> Communicator::recv(int source, int tag) {
     world_.blocked_[static_cast<std::size_t>(rank_)] = 1;
     if (has_deadline) {
       const auto status = world_.mailbox_cv_.wait_until(lock, deadline);
-      world_.blocked_[static_cast<std::size_t>(rank_)] = 0;
       world_.throw_if_aborted_locked();
       if (status == std::cv_status::timeout) {
         if (auto payload = try_take()) {  // a send may have raced the deadline
+          world_.blocked_[static_cast<std::size_t>(rank_)] = 0;
           record_collective(&CommStats::point_to_point, 0, metric_ids_.p2p_calls,
                             metric_ids_.p2p_wait_us, timer.seconds());
           return *std::move(payload);
         }
+        // Diagnose while still marked blocked — this rank IS the stuck one.
         const std::string diagnosis = world_.describe_stall_locked(
             "recv timeout: rank " + std::to_string(rank_) + " waiting for message from rank " +
                 std::to_string(source) + " tag " + std::to_string(tag),
             rank_);
+        world_.blocked_[static_cast<std::size_t>(rank_)] = 0;
         world_.abort_locked(diagnosis);
         throw DeadlockError(diagnosis);
       }
+      world_.blocked_[static_cast<std::size_t>(rank_)] = 0;
     } else {
       world_.mailbox_cv_.wait(lock);
       world_.blocked_[static_cast<std::size_t>(rank_)] = 0;

@@ -73,6 +73,13 @@ class Communicator {
   /// Element-wise vector Allreduce (in place).
   void allreduce_sum(std::span<double> values);
 
+  /// Vector Allreduce for cross-rank agreement payloads (DESIGN.md §10):
+  /// identical to allreduce_sum(span) except that it is the injection point
+  /// of FaultKind::kCorruptReduction — the World may flip one mantissa bit
+  /// of this rank's *delivered* copy, modeling a link/NIC fault.  Counted as
+  /// one regular allreduce in CommStats.
+  void allreduce_agreement(std::span<double> values);
+
   /// Global minimum and the rank holding it (MPI_MINLOC); ties go to the
   /// smaller rank.  Used for consistent tie-breaking across replicas.
   std::pair<double, int> allreduce_minloc(double value);
@@ -90,6 +97,12 @@ class Communicator {
   /// code (exercising unwinding through engine state).  No-op without a
   /// matching planned fault.
   void on_kernel_region();
+
+  /// Consumes a FaultKind::kFlipClaBits latch set at this rank's kernel-region
+  /// entry: true exactly once per fired fault, after which the evaluator is
+  /// expected to flip a bit in a committed CLA (engine corrupt_cla_for_testing)
+  /// so the checksum defense can be exercised end to end.
+  [[nodiscard]] bool take_pending_cla_corruption();
 
   [[nodiscard]] const CommStats& stats() const { return stats_; }
 
@@ -164,6 +177,10 @@ class World {
   void on_collective_entry(int rank);
   void on_kernel_entry(int rank);
 
+  /// Counts `rank`'s agreement reductions and applies any matching
+  /// kCorruptReduction fault to its delivered copy (one bit flipped).
+  void maybe_corrupt_agreement(int rank, std::span<double> values);
+
   /// Marks the world aborted on behalf of `rank` and wakes every waiter.
   void abort_from(int rank, const std::string& what);
   void abort_locked(const std::string& reason);
@@ -207,6 +224,8 @@ class World {
   std::string abort_reason_;
   std::vector<std::int64_t> collective_calls_;
   std::vector<std::int64_t> kernel_calls_;
+  std::vector<std::int64_t> agreement_calls_;   ///< allreduce_agreement per rank
+  std::vector<char> pending_cla_corruption_;    ///< kFlipClaBits latches per rank
   std::vector<char> blocked_;  ///< rank currently waiting in a collective/recv
   std::vector<std::deque<Message>> delayed_;  ///< withheld messages per destination
 };

@@ -62,6 +62,7 @@ std::string render_kernel_report(const std::vector<MetricSnapshot>& snapshot) {
   double pool_wait = 0.0;
   std::int64_t scaling_events = 0;
   std::vector<const MetricSnapshot*> plans;
+  std::vector<const MetricSnapshot*> sdc;
   std::vector<const MetricSnapshot*> other;
 
   for (const MetricSnapshot& metric : snapshot) {
@@ -94,6 +95,8 @@ std::string render_kernel_report(const std::vector<MetricSnapshot>& snapshot) {
       pool_wait = static_cast<double>(metric.value) * 1e-6;
     } else if (parts[0] == "plan" || (parts.size() >= 2 && parts[0] == "dist" && parts[1] == "plan")) {
       plans.push_back(&metric);
+    } else if (parts[0] == "sdc") {
+      sdc.push_back(&metric);
     } else if (parts.size() == 3 && parts[0] == "mpi") {
       auto& entry = collectives[std::string(parts[1])];
       if (parts[2] == "calls") {
@@ -151,6 +154,25 @@ std::string render_kernel_report(const std::vector<MetricSnapshot>& snapshot) {
                                 : 0.0;
         append_line(out, "%-40s count=%-10lld mean=%.1f", metric->name.c_str(),
                     static_cast<long long>(metric->histogram.count), mean);
+      } else {
+        append_line(out, "%-40s %lld", metric->name.c_str(),
+                    static_cast<long long>(metric->value));
+      }
+    }
+  }
+
+  if (!sdc.empty()) {
+    out += "--- sdc defense ---\n";
+    std::sort(sdc.begin(), sdc.end(),
+              [](const MetricSnapshot* a, const MetricSnapshot* b) { return a->name < b->name; });
+    for (const MetricSnapshot* metric : sdc) {
+      if (metric->kind == MetricKind::kHistogram) {
+        const double mean_us = metric->histogram.count > 0
+                                   ? static_cast<double>(metric->histogram.sum) /
+                                         static_cast<double>(metric->histogram.count) * 1e-3
+                                   : 0.0;
+        append_line(out, "%-40s count=%-10lld mean=%.1f us", metric->name.c_str(),
+                    static_cast<long long>(metric->histogram.count), mean_us);
       } else {
         append_line(out, "%-40s %lld", metric->name.c_str(),
                     static_cast<long long>(metric->value));

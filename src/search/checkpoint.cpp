@@ -14,9 +14,6 @@ namespace miniphi::search {
 namespace {
 
 constexpr const char* kMagic = "miniphi-checkpoint";
-// Version 2 appended the trailing checksum record; version-1 files (no
-// integrity check) are rejected rather than trusted.
-constexpr int kVersion = 2;
 
 /// FNV-1a 64-bit over the serialized body; cheap, and any truncation or
 /// bit flip in a text checkpoint changes it.
@@ -30,7 +27,7 @@ std::uint64_t fnv1a(std::string_view data) {
 }
 
 void write_body(std::ostream& out, const Checkpoint& checkpoint) {
-  out << kMagic << ' ' << kVersion << '\n';
+  out << kMagic << ' ' << kCheckpointFormatVersion << '\n';
   out << std::setprecision(17);
   out << "taxa " << checkpoint.taxon_names.size() << '\n';
   for (const auto& name : checkpoint.taxon_names) out << name << '\n';
@@ -130,18 +127,28 @@ void write_checkpoint_file(const std::string& path, const Checkpoint& checkpoint
 Checkpoint read_checkpoint(std::istream& in) {
   const std::string content{std::istreambuf_iterator<char>(in),
                             std::istreambuf_iterator<char>()};
+  int version = 0;
   {
     std::istringstream header(content);
     std::string magic;
-    int version = 0;
     header >> magic >> version;
     MINIPHI_CHECK(magic == kMagic, "not a miniphi checkpoint file");
-    MINIPHI_CHECK(version == kVersion,
-                  "unsupported checkpoint version " + std::to_string(version));
+    MINIPHI_CHECK(version <= kCheckpointFormatVersion,
+                  "checkpoint version " + std::to_string(version) +
+                      " is newer than this build supports (" +
+                      std::to_string(kCheckpointFormatVersion) + "); upgrade miniphi to read it");
+    MINIPHI_CHECK(version == kCheckpointFormatVersion,
+                  "unsupported checkpoint version " + std::to_string(version) +
+                      " (version " + std::to_string(kCheckpointFormatVersion) +
+                      " added the integrity checksum; older files are not trusted)");
   }
 
-  // Verify integrity before trusting any record: the last line must be a
-  // checksum over everything that precedes it.
+  // Verify integrity before trusting any record: the file must end with a
+  // complete (newline-terminated) checksum line covering everything that
+  // precedes it.  Requiring the final newline means NO proper prefix of a
+  // valid checkpoint is accepted — a cut at any byte reads as truncated.
+  MINIPHI_CHECK(!content.empty() && content.back() == '\n',
+                "checkpoint: missing trailing newline (truncated file?)");
   const auto pos = content.rfind("\nchecksum ");
   MINIPHI_CHECK(pos != std::string::npos,
                 "checkpoint: missing checksum record (truncated file?)");
@@ -158,11 +165,12 @@ Checkpoint read_checkpoint(std::istream& in) {
                 "checkpoint: checksum mismatch — file is corrupted or truncated");
 
   Checkpoint checkpoint;
+  checkpoint.format_version = version;
   std::istringstream stream(body);
   {
     std::string magic;
-    int version = 0;
-    stream >> magic >> version;  // already validated above
+    int header_version = 0;
+    stream >> magic >> header_version;  // already validated above
   }
   parse_body(stream, checkpoint);
   return checkpoint;

@@ -23,7 +23,15 @@
 
 namespace miniphi::search {
 
+/// On-disk format version written into (and required from) the header line.
+/// Version 2 appended the trailing checksum record; version-1 files (no
+/// integrity check) are rejected rather than trusted.
+inline constexpr int kCheckpointFormatVersion = 2;
+
 struct Checkpoint {
+  /// Format version the file was read with (kCheckpointFormatVersion for
+  /// freshly captured checkpoints) — provenance for logs and tooling.
+  int format_version = kCheckpointFormatVersion;
   std::vector<std::string> taxon_names;
   std::string tree_newick;  ///< topology + branch lengths
   model::GtrParams model_params;

@@ -226,6 +226,27 @@ TEST(Timeout, MismatchedCollectivesDiagnosedNotDeadlocked) {
   }
 }
 
+TEST(Timeout, StallDiagnosisNamesCallCountsAndBlockedState) {
+  // The diagnosis must separate the two ways a rank can be implicated in a
+  // mismatched-collective stall: stuck INSIDE a collective (blocked) versus
+  // having exited early and never arriving (not blocked).  Rank 2 completes
+  // one allreduce and returns; ranks 0 and 1 then block in their second.
+  World world(3);
+  world.set_collective_timeout(250ms);
+  try {
+    world.run([](Communicator& comm) {
+      (void)comm.allreduce_sum(1.0);
+      if (comm.rank() != 2) (void)comm.allreduce_sum(2.0);
+    });
+    FAIL() << "expected DeadlockError";
+  } catch (const DeadlockError& e) {
+    const std::string what = e.what();
+    EXPECT_TRUE(contains(what, "rank 0: 2 collective calls, blocked")) << what;
+    EXPECT_TRUE(contains(what, "rank 1: 2 collective calls, blocked")) << what;
+    EXPECT_TRUE(contains(what, "rank 2: 1 collective calls, not blocked")) << what;
+  }
+}
+
 TEST(Timeout, DroppedMessageDiagnosedOnRecv) {
   World world(2);
   world.set_collective_timeout(250ms);

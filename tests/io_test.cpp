@@ -5,6 +5,7 @@
 
 #include "src/io/fasta.hpp"
 #include "src/io/newick.hpp"
+#include "src/io/parse_error.hpp"
 #include "src/io/phylip.hpp"
 #include "src/util/error.hpp"
 
@@ -43,6 +44,65 @@ TEST(Fasta, RejectsDuplicateNames) {
 TEST(Fasta, RejectsEmptyRecord) {
   std::istringstream in(">a\nACGT\n>b\n");
   EXPECT_THROW(read_fasta(in), Error);
+}
+
+// Malformed corpus: every structural failure must surface as a ParseError
+// whose line/column point at the offending character (not a generic Error
+// naming no position).
+TEST(FastaMalformed, NamesLineAndColumnOfNonIupacCharacter) {
+  std::istringstream in(">a\nACGT\nAC1T\n");
+  try {
+    read_fasta(in);
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 3u);
+    EXPECT_EQ(e.column(), 3u);
+    EXPECT_NE(std::string(e.what()).find("non-IUPAC"), std::string::npos);
+  }
+}
+
+TEST(FastaMalformed, AcceptsFullIupacAlphabetAndGaps) {
+  std::istringstream in(">a\nACGTURYSWKMBDHVNXO-?.acgtu\n");
+  const auto records = read_fasta(in);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].sequence.size(), 26u);
+}
+
+TEST(FastaMalformed, TruncatedRecordNamesItsHeaderLine) {
+  std::istringstream in(">a\nACGT\n>empty\n>b\nTTTT\n");
+  try {
+    read_fasta(in);
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 3u);
+    EXPECT_NE(std::string(e.what()).find("truncated record"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("empty"), std::string::npos);
+  }
+}
+
+TEST(FastaMalformed, TruncatedFinalRecordIsAlsoAParseError) {
+  std::istringstream in(">a\nACGT\n>b\n");
+  EXPECT_THROW(read_fasta(in), ParseError);
+}
+
+TEST(FastaMalformed, DataBeforeHeaderCarriesLineOne) {
+  std::istringstream in("ACGT\n>a\nACGT\n");
+  try {
+    read_fasta(in);
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 1u);
+  }
+}
+
+TEST(FastaMalformed, DuplicateNameNamesTheSecondHeader) {
+  std::istringstream in(">a\nAC\n>a\nGT\n");
+  try {
+    read_fasta(in);
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 3u);
+  }
 }
 
 TEST(Fasta, RoundTripsWithWrapping) {
@@ -171,6 +231,45 @@ TEST(Newick, RejectsMalformedInput) {
   EXPECT_THROW(parse_newick("(a,:0.5);"), Error);  // unnamed leaf
   EXPECT_THROW(parse_newick("(a,b[);"), Error);    // unterminated comment
   EXPECT_THROW(parse_newick("(a,'b);"), Error);    // unterminated quote
+}
+
+TEST(NewickMalformed, UnbalancedParensPointAtTheOpeningParen) {
+  // The '(' at line 2, column 3 is never closed.
+  try {
+    parse_newick("(a:1,\n  (b:1,c:1;\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 2u);
+    EXPECT_EQ(e.column(), 3u);
+    EXPECT_NE(std::string(e.what()).find("unbalanced parentheses"), std::string::npos);
+  }
+}
+
+TEST(NewickMalformed, TruncatedTreeReportsMissingSemicolon) {
+  try {
+    parse_newick("(a:1,b:2)");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("truncated tree"), std::string::npos);
+  }
+}
+
+TEST(NewickMalformed, OverlongLabelIsRejected) {
+  const std::string big(600, 'x');
+  EXPECT_THROW(parse_newick("(" + big + ":1,b:1);"), ParseError);
+  // At the limit it still parses.
+  const std::string ok(512, 'x');
+  EXPECT_EQ(parse_newick("(" + ok + ":1,b:1);")->leaf_count(), 2u);
+}
+
+TEST(NewickMalformed, LineAndColumnTrackNewlines) {
+  // Error (unnamed leaf) on line 3 of a multi-line tree.
+  try {
+    parse_newick("(a:1,\nb:2,\n:3);");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 3u);
+  }
 }
 
 TEST(Newick, SerializationRoundTrip) {
