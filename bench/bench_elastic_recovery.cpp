@@ -1,0 +1,165 @@
+// Elastic recovery latency: how expensive is losing a rank mid-search?
+//
+// Three runs of the same distributed ML search (DESIGN.md §11):
+//   (a) fault-free baseline,
+//   (b) a rank killed mid-search with elastic recovery ON — survivors
+//       shrink(), re-shard, restore the last completed round from the
+//       rank-local in-memory snapshot, and continue in place,
+//   (c) the same kill with elastic recovery OFF — the classic full
+//       checkpoint restart (every replica torn down and rebuilt).
+//
+// All three converge to the identical final topology and log-likelihood
+// (asserted, not assumed).  Two numbers matter and EXPERIMENTS.md records
+// both: the total wall-clock overhead of each failure mode over the
+// baseline, and the *recovery latency* itself — shrink rendezvous +
+// re-shard for (b), checkpoint restore for (c) — read from the elastic.*
+// and ckpt.* metric families.  Note the wall-clock comparison is
+// conservative for (b): after a restart the in-process world gets its dead
+// rank back, while the elastic run finishes on fewer ranks.
+//
+// Exit status: nonzero if any run diverges from the baseline outcome or if
+// the in-place path fell back to a checkpoint restart.
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "src/examl/driver.hpp"
+#include "src/io/newick.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/simulate/simulate.hpp"
+#include "src/tree/splits.hpp"
+#include "src/util/timer.hpp"
+
+namespace {
+
+using namespace miniphi;
+
+constexpr int kRanks = 4;
+constexpr int kSites = 2000;
+constexpr int kTaxa = 24;
+constexpr int kRounds = 4;
+
+struct TimedRun {
+  examl::DistributedRunResult result;
+  double wall_seconds = 0.0;
+};
+
+TimedRun timed_search(const bio::Alignment& alignment, const examl::ExperimentOptions& options) {
+  TimedRun run;
+  Timer timer;
+  run.result = examl::run_distributed_search(alignment, kRanks, options);
+  run.wall_seconds = timer.seconds();
+  return run;
+}
+
+std::vector<std::string> g_taxon_names;
+
+/// Same topology (checkpointing round-trips the tree through Newick text, so
+/// branch-length digits may differ in the last place) and same likelihood.
+bool same_outcome(const examl::DistributedRunResult& got,
+                  const examl::DistributedRunResult& want) {
+  tree::Tree tree_got = tree::Tree::from_newick(*io::parse_newick(got.final_tree_newick),
+                                                g_taxon_names);
+  tree::Tree tree_want = tree::Tree::from_newick(*io::parse_newick(want.final_tree_newick),
+                                                 g_taxon_names);
+  return tree::robinson_foulds(tree_got, tree_want) == 0 &&
+         std::abs(got.log_likelihood - want.log_likelihood) <=
+             std::abs(want.log_likelihood) * 1e-8 + 1e-4;
+}
+
+/// Sum of a histogram metric in microseconds, or -1 when absent.
+double metric_us(const std::string& name) {
+  if constexpr (!obs::kMetricsCompiled) return -1.0;
+  for (const auto& metric : obs::Registry::instance().snapshot()) {
+    if (metric.name == name && metric.kind == obs::MetricKind::kHistogram) {
+      return static_cast<double>(metric.histogram.sum);
+    }
+  }
+  return -1.0;
+}
+
+}  // namespace
+
+int main() {
+  const auto alignment = simulate::paper_dataset(kSites, /*seed=*/71, kTaxa);
+  g_taxon_names = alignment.taxon_names();
+  examl::ExperimentOptions options;
+  options.search.max_rounds = kRounds;
+  options.search.model_options.max_passes = 1;
+  if constexpr (obs::kMetricsCompiled) options.metrics = obs::MetricsMode::kOn;
+
+  std::printf("=== elastic recovery latency (%d ranks, %d sites, %d taxa, %d rounds) ===\n",
+              kRanks, kSites, kTaxa, kRounds);
+
+  const TimedRun baseline = timed_search(alignment, options);
+  std::printf("%-34s %8.3f s   lnL %.6f\n", "fault-free baseline", baseline.wall_seconds,
+              baseline.result.log_likelihood);
+
+  // The kill lands ~60% into the collective sequence: past the first
+  // checkpointed round, well before convergence — the worst realistic spot.
+  const std::int64_t per_rank = (baseline.result.comm_stats.allreduces +
+                                 baseline.result.comm_stats.broadcasts +
+                                 baseline.result.comm_stats.barriers) /
+                                kRanks;
+  const std::int64_t kill_at = (3 * per_rank) / 5;
+
+  if constexpr (obs::kMetricsCompiled) obs::Registry::instance().reset();
+  examl::ExperimentOptions elastic = options;
+  elastic.fault_tolerance.elastic.enabled = true;
+  elastic.fault_tolerance.elastic.metrics = obs::kMetricsCompiled;
+  elastic.fault_tolerance.faults.kill_rank_mid_search(1, kill_at);
+  const TimedRun in_place = timed_search(alignment, elastic);
+  const double shrink_us = metric_us("elastic.shrink.duration_us");
+  const double reshard_us = metric_us("elastic.reshard.duration_us");
+  std::printf("%-34s %8.3f s   lnL %.6f   (+%5.1f%% over baseline)\n",
+              "rank loss, continue-in-place", in_place.wall_seconds,
+              in_place.result.log_likelihood,
+              (in_place.wall_seconds / baseline.wall_seconds - 1.0) * 100.0);
+  if (shrink_us >= 0.0) {
+    std::printf("    recovery latency: shrink %.0f us + re-shard %.0f us = %.3f ms\n",
+                shrink_us, reshard_us, (shrink_us + reshard_us) * 1e-3);
+  }
+
+  if constexpr (obs::kMetricsCompiled) obs::Registry::instance().reset();
+  examl::ExperimentOptions restart = options;
+  restart.fault_tolerance.faults.kill_rank_mid_search(1, kill_at);
+  restart.fault_tolerance.checkpoint_every_rounds = 1;
+  const TimedRun full_restart = timed_search(alignment, restart);
+  const double restore_us = metric_us("ckpt.restore.duration_us");
+  std::printf("%-34s %8.3f s   lnL %.6f   (+%5.1f%% over baseline)\n",
+              "rank loss, checkpoint restart", full_restart.wall_seconds,
+              full_restart.result.log_likelihood,
+              (full_restart.wall_seconds / baseline.wall_seconds - 1.0) * 100.0);
+  if (restore_us >= 0.0) {
+    std::printf("    restore latency: %.3f ms + full replica teardown/rebuild + re-run of "
+                "the interrupted round on all ranks\n",
+                restore_us * 1e-3);
+  }
+
+  std::printf("in-place: %d shrink(s), %d checkpoint restore(s); restart: %d restore(s)\n",
+              in_place.result.in_place_recoveries, in_place.result.recoveries,
+              full_restart.result.recoveries);
+
+  int status = 0;
+  if (!same_outcome(in_place.result, baseline.result)) {
+    std::fprintf(stderr, "FAIL: in-place recovery diverged from the fault-free outcome\n");
+    status = 1;
+  }
+  if (!same_outcome(full_restart.result, baseline.result)) {
+    std::fprintf(stderr, "FAIL: checkpoint restart diverged from the fault-free outcome\n");
+    status = 1;
+  }
+  if (in_place.result.recoveries != 0 || in_place.result.in_place_recoveries != 1) {
+    std::fprintf(stderr, "FAIL: elastic run expected exactly one in-place recovery and no "
+                         "checkpoint restarts (got %d in-place, %d restarts)\n",
+                 in_place.result.in_place_recoveries, in_place.result.recoveries);
+    status = 1;
+  }
+  if (full_restart.result.recoveries < 1) {
+    std::fprintf(stderr, "FAIL: restart run expected at least one checkpoint restart\n");
+    status = 1;
+  }
+  return status;
+}

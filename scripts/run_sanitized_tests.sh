@@ -39,7 +39,12 @@ cmake -B "${build}" -S "${root}" \
 # CorruptionDetected through kernel regions, worker-pool threads, and the
 # rank threads of the agreement collective — stale pointers after a healed
 # unwind and racy counter publication are exactly what ASan/TSan catch.
-targets=(minimpi_test parallel_test faults_test checkpoint_test examl_test site_repeats_test obs_test partitioned_test sdc_test)
+# elastic_test rides along: the shrink()/agree() rendezvous, the heartbeat
+# detector scanning peers from blocked waiters, and the mid-collective
+# membership transitions are the most interleaving-sensitive code in the
+# repo — a missed notify or a fold over torn membership only surfaces under
+# TSan's scheduler.
+targets=(minimpi_test parallel_test faults_test elastic_test checkpoint_test examl_test site_repeats_test obs_test partitioned_test sdc_test)
 cmake --build "${build}" -j "$(nproc)" --target "${targets[@]}"
 
 status=0

@@ -15,6 +15,7 @@
 
 #include "src/bio/alignment.hpp"
 #include "src/core/engine.hpp"
+#include "src/examl/distributed_evaluator.hpp"
 #include "src/minimpi/minimpi.hpp"
 #include "src/search/spr_search.hpp"
 
@@ -30,10 +31,21 @@ struct FaultToleranceOptions {
   /// Collective/recv timeout converting genuine deadlocks into
   /// DeadlockError; zero waits forever (real-MPI behavior).
   std::chrono::milliseconds collective_timeout{0};
-  /// When non-empty, rank 0 mirrors every checkpoint to this file (atomic
-  /// temp+rename, checksummed) and recovery restores from the file — the
-  /// durable path a real cluster restart would take.
+  /// When non-empty, the lead rank mirrors every checkpoint to this file
+  /// (atomic temp+rename, checksummed) and recovery restores from the file —
+  /// the durable path a real cluster restart would take.
   std::string checkpoint_path;
+  /// Elastic failure model (DESIGN.md §11): with elastic.enabled the world
+  /// survives rank deaths — survivors shrink(), re-shard, restore the last
+  /// completed round from an in-memory rank-local snapshot, and continue in
+  /// place.  Checkpoint restart remains the escalation path (quorum loss,
+  /// shrink deadlock, or a failed agree vote).
+  mpi::ElasticOptions elastic;
+  /// Shard geometry + straggler defense for the distributed evaluator.
+  ShardingPolicy sharding;
+  /// In-place recoveries allowed within one attempt before escalating to
+  /// the checkpoint-restart ladder above.
+  int max_inplace_recoveries = 3;
 };
 
 struct ExperimentOptions {
@@ -80,6 +92,12 @@ struct DistributedRunResult {
   /// cross-rank agreement votes); all zero unless options.sdc_checks.
   core::sdc::Counters sdc;
   std::string last_failure;           ///< root cause of the most recent failure, if any
+  // --- Elastic recovery (FaultToleranceOptions::elastic) -----------------
+  int in_place_recoveries = 0;   ///< shrinks survived without checkpoint restore
+  int rebalance_moves = 0;       ///< shard migrations by the straggler defense
+  std::uint64_t final_epoch = 0; ///< membership epoch at completion (0 = never shrunk)
+  int final_world_size = 0;      ///< active ranks at completion
+  std::vector<int> failed_ranks; ///< ranks lost (and survived) during the run
 };
 
 /// The same search executed by `ranks` replicated minimpi ranks, each owning

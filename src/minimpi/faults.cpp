@@ -13,6 +13,8 @@ const char* kind_name(FaultKind kind) {
     case FaultKind::kDelayMessage: return "delay message";
     case FaultKind::kFlipClaBits: return "flip CLA bits in kernel region";
     case FaultKind::kCorruptReduction: return "corrupt agreement reduction";
+    case FaultKind::kKillRankMidSearch: return "kill rank mid-search";
+    case FaultKind::kSlowRank: return "slow rank";
   }
   return "unknown";
 }
@@ -22,31 +24,31 @@ const char* kind_name(FaultKind kind) {
 FaultPlan& FaultPlan::kill_at_collective(int rank, std::int64_t call_index) {
   MINIPHI_CHECK(rank >= 0, "fault plan: kill_at_collective needs a concrete rank");
   MINIPHI_CHECK(call_index >= 1, "fault plan: collective call index is 1-based");
-  faults_.push_back({FaultKind::kKillAtCollective, rank, call_index, -1, false});
+  faults_.push_back({FaultKind::kKillAtCollective, rank, call_index, -1, 0, 0, false});
   return *this;
 }
 
 FaultPlan& FaultPlan::kill_in_kernel(int rank, std::int64_t call_index) {
   MINIPHI_CHECK(rank >= 0, "fault plan: kill_in_kernel needs a concrete rank");
   MINIPHI_CHECK(call_index >= 1, "fault plan: kernel call index is 1-based");
-  faults_.push_back({FaultKind::kKillInKernel, rank, call_index, -1, false});
+  faults_.push_back({FaultKind::kKillInKernel, rank, call_index, -1, 0, 0, false});
   return *this;
 }
 
 FaultPlan& FaultPlan::drop_message(int sender, int tag) {
-  faults_.push_back({FaultKind::kDropMessage, sender, 0, tag, false});
+  faults_.push_back({FaultKind::kDropMessage, sender, 0, tag, 0, 0, false});
   return *this;
 }
 
 FaultPlan& FaultPlan::delay_message(int sender, int tag) {
-  faults_.push_back({FaultKind::kDelayMessage, sender, 0, tag, false});
+  faults_.push_back({FaultKind::kDelayMessage, sender, 0, tag, 0, 0, false});
   return *this;
 }
 
 FaultPlan& FaultPlan::flip_cla_bits(int rank, std::int64_t call_index) {
   MINIPHI_CHECK(rank >= 0, "fault plan: flip_cla_bits needs a concrete rank");
   MINIPHI_CHECK(call_index >= 1, "fault plan: kernel call index is 1-based");
-  faults_.push_back({FaultKind::kFlipClaBits, rank, call_index, -1, false});
+  faults_.push_back({FaultKind::kFlipClaBits, rank, call_index, -1, 0, 0, false});
   return *this;
 }
 
@@ -54,8 +56,38 @@ FaultPlan& FaultPlan::corrupt_reduction(int rank, std::int64_t call_index, int e
   MINIPHI_CHECK(rank >= 0, "fault plan: corrupt_reduction needs a concrete rank");
   MINIPHI_CHECK(call_index >= 1, "fault plan: agreement call index is 1-based");
   MINIPHI_CHECK(element >= 0, "fault plan: agreement vector element must be non-negative");
-  faults_.push_back({FaultKind::kCorruptReduction, rank, call_index, element, false});
+  faults_.push_back({FaultKind::kCorruptReduction, rank, call_index, element, 0, 0, false});
   return *this;
+}
+
+FaultPlan& FaultPlan::kill_rank_mid_search(int rank, std::int64_t call_index) {
+  MINIPHI_CHECK(rank >= 0, "fault plan: kill_rank_mid_search needs a concrete rank");
+  MINIPHI_CHECK(call_index >= 1, "fault plan: collective call index is 1-based");
+  faults_.push_back({FaultKind::kKillRankMidSearch, rank, call_index, -1, 0, 0, false});
+  return *this;
+}
+
+FaultPlan& FaultPlan::slow_rank(int rank, std::int64_t from_call, std::int64_t calls,
+                                std::int64_t delay_us) {
+  MINIPHI_CHECK(rank >= 0, "fault plan: slow_rank needs a concrete rank");
+  MINIPHI_CHECK(from_call >= 1, "fault plan: kernel call index is 1-based");
+  MINIPHI_CHECK(calls >= 1, "fault plan: slow_rank needs a positive call window");
+  MINIPHI_CHECK(delay_us >= 1, "fault plan: slow_rank needs a positive delay");
+  faults_.push_back({FaultKind::kSlowRank, rank, from_call, -1, calls, delay_us, false});
+  return *this;
+}
+
+void FaultPlan::validate_for_world(int ranks) const {
+  for (const auto& fault : faults_) {
+    const bool message_fault =
+        fault.kind == FaultKind::kDropMessage || fault.kind == FaultKind::kDelayMessage;
+    const int lower = message_fault ? -1 : 0;  // -1 = "any sender" for message faults
+    if (fault.rank < lower || fault.rank >= ranks) {
+      throw Error("fault plan: " + std::string(kind_name(fault.kind)) + " targets rank " +
+                  std::to_string(fault.rank) + ", out of range for a world of " +
+                  std::to_string(ranks) + " ranks — the fault would silently never fire");
+    }
+  }
 }
 
 FaultPlan FaultPlan::random_kill(std::uint64_t seed, int ranks, std::int64_t max_collective) {
@@ -83,6 +115,11 @@ std::string FaultPlan::describe() const {
       case FaultKind::kCorruptReduction:
         text += " call #" + std::to_string(fault.at_call) + " element " +
                 std::to_string(fault.tag);
+        break;
+      case FaultKind::kSlowRank:
+        text += " calls #" + std::to_string(fault.at_call) + "-#" +
+                std::to_string(fault.at_call + fault.calls - 1) + " delay " +
+                std::to_string(fault.delay_us) + " us";
         break;
       default: text += " call #" + std::to_string(fault.at_call); break;
     }

@@ -51,6 +51,31 @@ class DeadlockError : public Error {
   using Error::Error;
 };
 
+/// Elastic mode only (World::set_elastic; DESIGN.md §11): thrown in every
+/// *surviving* rank when a peer dies — instead of AbortedError, because the
+/// world is NOT aborted.  The survivors are expected to unwind to a safe
+/// point and call Communicator::shrink() to agree on the new, smaller
+/// world, then continue.  Carries the first failed rank for diagnostics.
+class RankFailureDetected : public Error {
+ public:
+  RankFailureDetected(int failed_rank, const std::string& what)
+      : Error(what), failed_rank_(failed_rank) {}
+  [[nodiscard]] int failed_rank() const { return failed_rank_; }
+
+ private:
+  int failed_rank_;
+};
+
+/// Elastic mode only: thrown in a rank that was declared dead by the
+/// heartbeat detector (it stopped beating for longer than the configured
+/// timeout) when it later tries to communicate.  The excluded rank must
+/// terminate — it is no longer part of any membership epoch and must not
+/// join the survivors' shrink.
+class RankExcludedError : public Error {
+ public:
+  using Error::Error;
+};
+
 /// Where in the substrate a fault triggers.
 enum class FaultKind {
   kKillAtCollective,  ///< throw InjectedFault when `rank` enters its `at_call`-th collective
@@ -69,6 +94,17 @@ enum class FaultKind {
   /// Other ranks see the uncorrupted result, modeling a link/NIC fault that
   /// the cross-rank agreement check must vote down.
   kCorruptReduction,
+  /// Node loss during an elastic search: throw InjectedFault when `rank`
+  /// enters its `at_call`-th collective, exactly like kKillAtCollective.
+  /// The distinct kind names the intent — in an elastic world
+  /// (World::set_elastic) the death is *survivable*: peers observe
+  /// RankFailureDetected, shrink, and continue in place.
+  kKillRankMidSearch,
+  /// Straggler injection: `rank` sleeps for `delay_us` microseconds at each
+  /// of its kernel-region entries in [at_call, at_call + calls), modeling a
+  /// thermally throttled / oversubscribed node.  Nothing is thrown; the
+  /// evaluator's straggler tracker is expected to detect and rebalance.
+  kSlowRank,
 };
 
 struct Fault {
@@ -76,6 +112,8 @@ struct Fault {
   int rank = -1;             ///< faulting rank (kills/SDC) / sending rank (messages); -1 = any
   std::int64_t at_call = 0;  ///< 1-based per-rank call index (kill + SDC faults)
   int tag = -1;              ///< message tag (message faults) / vector element (kCorruptReduction)
+  std::int64_t calls = 0;     ///< kSlowRank: kernel-region entries affected
+  std::int64_t delay_us = 0;  ///< kSlowRank: injected delay per entry (µs)
   bool fired = false;        ///< one-shot latch, set by World when triggered
 };
 
@@ -111,6 +149,22 @@ class FaultPlan {
   /// to `rank` at its `call_index`-th (1-based) agreement reduction (see
   /// FaultKind::kCorruptReduction).
   FaultPlan& corrupt_reduction(int rank, std::int64_t call_index, int element = 0);
+
+  /// Kill `rank` at its `call_index`-th (1-based) collective entry in a way
+  /// an elastic world survives (see FaultKind::kKillRankMidSearch).
+  FaultPlan& kill_rank_mid_search(int rank, std::int64_t call_index);
+
+  /// Make `rank` sleep `delay_us` microseconds at each of its kernel-region
+  /// entries in [from_call, from_call + calls) — a deterministic straggler
+  /// (see FaultKind::kSlowRank).
+  FaultPlan& slow_rank(int rank, std::int64_t from_call, std::int64_t calls,
+                       std::int64_t delay_us);
+
+  /// Validates every fault against a concrete world size: a rank target
+  /// outside [0, ranks) (or [-1, ranks) for message faults, where -1 means
+  /// "any sender") would silently never fire, so it throws instead.  Called
+  /// by World::set_fault_plan.
+  void validate_for_world(int ranks) const;
 
   /// Seeded deterministic plan: kills one uniformly chosen rank at a
   /// uniformly chosen collective call in [1, max_collective].

@@ -25,11 +25,54 @@ World::World(int rank_count) : rank_count_(rank_count) {
   agreement_calls_.assign(n, 0);
   pending_cla_corruption_.assign(n, 0);
   blocked_.assign(n, 0);
+  alive_.assign(n, 1);
+  active_count_ = rank_count;
+  last_beat_.assign(n, std::chrono::steady_clock::now());
 }
 
 void World::set_fault_plan(const FaultPlan& plan) {
+  plan.validate_for_world(rank_count_);
   const std::lock_guard<std::mutex> lock(mutex_);
   plan_ = plan;
+}
+
+void World::set_elastic(const ElasticOptions& options) {
+  MINIPHI_CHECK(options.min_ranks >= 1, "elastic: min_ranks must be at least 1");
+  MINIPHI_CHECK(!options.enabled || options.heartbeat_interval.count() > 0,
+                "elastic: heartbeat interval must be positive");
+  MINIPHI_CHECK(!options.enabled || options.heartbeat_timeout >= options.heartbeat_interval,
+                "elastic: heartbeat timeout must cover at least one interval");
+  const std::lock_guard<std::mutex> lock(mutex_);
+  elastic_ = options;
+  elastic_metrics_ = false;
+  if constexpr (obs::kMetricsCompiled) {
+    if (options.enabled && options.metrics) {
+      obs::Registry& registry = obs::Registry::instance();
+      elastic_detections_id_ = registry.counter("elastic.detections");
+      elastic_shrink_count_id_ = registry.counter("elastic.shrink.count");
+      elastic_shrink_duration_id_ = registry.histogram("elastic.shrink.duration_us");
+      elastic_metrics_ = true;
+    }
+  }
+}
+
+std::vector<int> World::failed_ranks() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return failed_ranks_;
+}
+
+std::uint64_t World::epoch() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return epoch_;
+}
+
+std::vector<int> World::active_ranks_locked() const {
+  std::vector<int> active;
+  active.reserve(static_cast<std::size_t>(active_count_));
+  for (int r = 0; r < rank_count_; ++r) {
+    if (alive_[static_cast<std::size_t>(r)]) active.push_back(r);
+  }
+  return active;
 }
 
 void World::set_collective_timeout(std::chrono::milliseconds timeout) {
@@ -51,10 +94,156 @@ void World::abort_locked(const std::string& reason) {
     aborted_ = true;
     abort_reason_ = reason;
   }
-  // Wake every rank parked in a collective or recv; their wait predicates
-  // observe aborted_ and convert the wake-up into an AbortedError.
+  // Wake every rank parked in a collective, recv, or shrink rendezvous;
+  // their wait predicates observe aborted_ and convert the wake-up into an
+  // AbortedError.
   barrier_cv_.notify_all();
   mailbox_cv_.notify_all();
+  shrink_cv_.notify_all();
+}
+
+// --- Elastic membership (DESIGN.md §11) ------------------------------------
+
+void World::mark_failed_locked(int rank, const std::string& what) {
+  const auto index = static_cast<std::size_t>(rank);
+  if (!alive_[index]) return;
+  alive_[index] = 0;
+  --active_count_;
+  failed_ranks_.push_back(rank);
+  epoch_newly_failed_.push_back(rank);
+  if (!failure_pending_) {
+    failure_pending_ = true;
+    first_failed_rank_ = rank;
+    failure_message_ = "rank " + std::to_string(rank) + " failed: " + what +
+                       " — survivors must shrink() to continue";
+  }
+  if (elastic_metrics_) obs::Registry::instance().add(elastic_detections_id_, 1);
+  // Wake every parked rank: collective/recv waiters unwind with
+  // RankFailureDetected, shrink waiters re-evaluate the rendezvous.
+  barrier_cv_.notify_all();
+  mailbox_cv_.notify_all();
+  shrink_cv_.notify_all();
+  // A death during the rendezvous itself shrinks the rendezvous: when every
+  // remaining survivor already arrived, complete the shrink on their behalf.
+  if (shrink_arrived_ > 0 && shrink_arrived_ >= active_count_) install_epoch_locked();
+}
+
+void World::throw_if_failure_pending_locked(int rank) const {
+  if (!elastic_.enabled) return;
+  if (!alive_[static_cast<std::size_t>(rank)]) {
+    throw RankExcludedError("rank " + std::to_string(rank) +
+                            " was declared failed by the heartbeat detector and is excluded "
+                            "from the world — it must terminate");
+  }
+  if (failure_pending_) throw RankFailureDetected(first_failed_rank_, failure_message_);
+}
+
+bool World::scan_heartbeats_locked(std::chrono::steady_clock::time_point now) {
+  if (!elastic_alive_locked()) return false;
+  bool marked = false;
+  for (int r = 0; r < rank_count_; ++r) {
+    const auto index = static_cast<std::size_t>(r);
+    // A rank blocked inside the substrate is waiting, not dead; only a rank
+    // that is out computing and stopped beating is declared failed.
+    if (!alive_[index] || blocked_[index]) continue;
+    if (now - last_beat_[index] < elastic_.heartbeat_timeout) continue;
+    const auto stale =
+        std::chrono::duration_cast<std::chrono::milliseconds>(now - last_beat_[index]);
+    mark_failed_locked(r, "missed heartbeats for " + std::to_string(stale.count()) +
+                              " ms (timeout " + std::to_string(elastic_.heartbeat_timeout.count()) +
+                              " ms)");
+    marked = true;
+  }
+  return marked;
+}
+
+void World::install_epoch_locked() {
+  if (active_count_ < elastic_.min_ranks) {
+    // Escalation: too few survivors to continue in place.  Abort wakes the
+    // shrink waiters, which rethrow AbortedError to the driver's
+    // checkpoint-restart path.
+    abort_locked("elastic shrink: " + std::to_string(active_count_) +
+                 " survivors below quorum (min_ranks " + std::to_string(elastic_.min_ranks) +
+                 ")");
+    return;
+  }
+  ++epoch_;
+  failure_pending_ = false;
+  first_failed_rank_ = -1;
+  failure_message_.clear();
+  last_shrink_failed_ = epoch_newly_failed_;
+  epoch_newly_failed_.clear();
+  shrink_arrived_ = 0;
+  ++shrink_generation_;
+  // Survivors that unwound out of a half-complete collective never undid
+  // their barrier arrival; the new epoch starts with clean bookkeeping (no
+  // waiter can exist here — every survivor is parked in the rendezvous).
+  barrier_arrived_ = 0;
+  // Fresh heartbeat grace period: the survivors spent the rendezvous
+  // blocked, not beating.
+  const auto now = std::chrono::steady_clock::now();
+  for (int r = 0; r < rank_count_; ++r) {
+    if (alive_[static_cast<std::size_t>(r)]) last_beat_[static_cast<std::size_t>(r)] = now;
+  }
+  if (elastic_metrics_) {
+    obs::Registry& registry = obs::Registry::instance();
+    registry.add(elastic_shrink_count_id_, 1);
+    registry.observe(elastic_shrink_duration_id_,
+                     std::chrono::duration_cast<std::chrono::microseconds>(now - shrink_started_)
+                         .count());
+  }
+  shrink_cv_.notify_all();
+}
+
+ShrinkResult World::shrink_wait(int rank) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  MINIPHI_CHECK(elastic_.enabled, "mpi shrink: world is not elastic (World::set_elastic)");
+  throw_if_aborted_locked();
+  const auto index = static_cast<std::size_t>(rank);
+  if (!alive_[index]) {
+    throw RankExcludedError("rank " + std::to_string(rank) +
+                            " was declared failed by the heartbeat detector and must not join "
+                            "the survivors' shrink");
+  }
+  if (active_count_ < elastic_.min_ranks) {
+    const std::string reason = "elastic shrink: " + std::to_string(active_count_) +
+                               " survivors below quorum (min_ranks " +
+                               std::to_string(elastic_.min_ranks) + ")";
+    abort_locked(reason);
+    throw AbortedError(reason);
+  }
+  const std::uint64_t generation = shrink_generation_;
+  if (shrink_arrived_ == 0) shrink_started_ = std::chrono::steady_clock::now();
+  if (++shrink_arrived_ >= active_count_) {
+    install_epoch_locked();
+    throw_if_aborted_locked();  // quorum loss aborts instead of installing
+    return ShrinkResult{epoch_, active_ranks_locked(), last_shrink_failed_};
+  }
+  blocked_[index] = 1;
+  const auto released = [&] { return shrink_generation_ != generation || aborted_; };
+  const bool has_deadline = collective_timeout_.count() > 0;
+  const auto deadline = std::chrono::steady_clock::now() + collective_timeout_;
+  while (!released()) {
+    auto slice = std::chrono::steady_clock::now() + elastic_.heartbeat_interval;
+    if (has_deadline && deadline < slice) slice = deadline;
+    shrink_cv_.wait_until(lock, slice, released);
+    if (released()) break;
+    // A survivor that never arrives is itself a failure: scan for stalled
+    // heartbeats (mark_failed_locked completes the rendezvous without it),
+    // and convert a survivor that beats but never shrinks into a deadlock.
+    const auto now = std::chrono::steady_clock::now();
+    last_beat_[index] = now;
+    if (scan_heartbeats_locked(now)) continue;
+    if (has_deadline && now >= deadline) {
+      const std::string diagnosis = describe_stall_locked("elastic shrink timeout", rank);
+      blocked_[index] = 0;
+      abort_locked(diagnosis);
+      throw DeadlockError(diagnosis);
+    }
+  }
+  blocked_[index] = 0;
+  if (aborted_) throw AbortedError(abort_reason_);
+  return ShrinkResult{epoch_, active_ranks_locked(), last_shrink_failed_};
 }
 
 void World::abort_from(int rank, const std::string& what) {
@@ -74,26 +263,46 @@ std::string World::describe_stall_locked(const std::string& where, int rank) con
   return text;
 }
 
-void World::on_collective_entry(int rank) {
+void World::on_collective_entry(int rank, std::vector<char>* active_mask) {
   const std::lock_guard<std::mutex> lock(mutex_);
   throw_if_aborted_locked();
-  const std::int64_t count = ++collective_calls_[static_cast<std::size_t>(rank)];
+  const auto index = static_cast<std::size_t>(rank);
+  if (elastic_.enabled) last_beat_[index] = std::chrono::steady_clock::now();
+  throw_if_failure_pending_locked(rank);
+  const std::int64_t count = ++collective_calls_[index];
   for (auto& fault : plan_.faults_) {
-    if (fault.fired || fault.kind != FaultKind::kKillAtCollective) continue;
+    if (fault.fired) continue;
+    if (fault.kind != FaultKind::kKillAtCollective &&
+        fault.kind != FaultKind::kKillRankMidSearch) {
+      continue;
+    }
     if (fault.rank == rank && fault.at_call == count) {
       fault.fired = true;
       throw InjectedFault("injected fault: rank " + std::to_string(rank) +
                           " killed entering collective call #" + std::to_string(count));
     }
   }
+  if (active_mask != nullptr) active_mask->assign(alive_.begin(), alive_.end());
 }
 
-void World::on_kernel_entry(int rank) {
+std::int64_t World::on_kernel_entry(int rank) {
   const std::lock_guard<std::mutex> lock(mutex_);
   throw_if_aborted_locked();
-  const std::int64_t count = ++kernel_calls_[static_cast<std::size_t>(rank)];
+  const auto index = static_cast<std::size_t>(rank);
+  if (elastic_.enabled) last_beat_[index] = std::chrono::steady_clock::now();
+  throw_if_failure_pending_locked(rank);
+  const std::int64_t count = ++kernel_calls_[index];
+  std::int64_t delay_us = 0;
   for (auto& fault : plan_.faults_) {
-    if (fault.fired || fault.rank != rank || fault.at_call != count) continue;
+    if (fault.fired || fault.rank != rank) continue;
+    if (fault.kind == FaultKind::kSlowRank) {
+      if (count >= fault.at_call && count < fault.at_call + fault.calls) {
+        delay_us += fault.delay_us;
+        if (count + 1 == fault.at_call + fault.calls) fault.fired = true;
+      }
+      continue;
+    }
+    if (fault.at_call != count) continue;
     if (fault.kind == FaultKind::kKillInKernel) {
       fault.fired = true;
       throw InjectedFault("injected fault: rank " + std::to_string(rank) +
@@ -103,9 +312,10 @@ void World::on_kernel_entry(int rank) {
       // Nothing thrown: silent corruption is latched here and consumed by
       // the evaluator via take_pending_cla_corruption().
       fault.fired = true;
-      pending_cla_corruption_[static_cast<std::size_t>(rank)] = 1;
+      pending_cla_corruption_[index] = 1;
     }
   }
+  return delay_us;
 }
 
 void World::maybe_corrupt_agreement(int rank, std::span<double> values) {
@@ -157,34 +367,72 @@ bool World::release_delayed_locked(int rank) {
 void World::barrier_wait(int rank) {
   std::unique_lock<std::mutex> lock(mutex_);
   throw_if_aborted_locked();
+  throw_if_failure_pending_locked(rank);
+  const auto index = static_cast<std::size_t>(rank);
   const std::uint64_t generation = barrier_generation_;
-  if (++barrier_arrived_ == rank_count_) {
+  // Completion spans the *active* membership: a barrier of the current
+  // epoch releases once every surviving rank arrived.  A death mid-barrier
+  // never completes it — failure_pending_ wakes the waiters with
+  // RankFailureDetected instead, and the next shrink resets the count.
+  // The entry checks above run under this same lock, so failure_pending_ is
+  // false here: a completion decided now is over a consistent membership.
+  // A death landing after this point leaves the count frozen below
+  // active_count_ (the victim never arrives), so the waiters unwind with
+  // RankFailureDetected rather than observing a short-counted completion.
+  if (++barrier_arrived_ >= active_count_) {
     barrier_arrived_ = 0;
     ++barrier_generation_;
     barrier_cv_.notify_all();
     return;
   }
-  blocked_[static_cast<std::size_t>(rank)] = 1;
-  const auto released = [&] { return barrier_generation_ != generation || aborted_; };
-  bool woke = true;
-  if (collective_timeout_.count() > 0) {
-    woke = barrier_cv_.wait_for(lock, collective_timeout_, released);
-  } else {
-    barrier_cv_.wait(lock, released);
+  blocked_[index] = 1;
+  const auto released = [&] {
+    return barrier_generation_ != generation || aborted_ || failure_pending_;
+  };
+  const bool has_deadline = collective_timeout_.count() > 0;
+  const auto deadline = std::chrono::steady_clock::now() + collective_timeout_;
+  for (;;) {
+    if (elastic_.enabled) {
+      // Slice the wait so blocked ranks double as the failure detector:
+      // every heartbeat_interval they re-scan peer heartbeats.
+      auto slice = std::chrono::steady_clock::now() + elastic_.heartbeat_interval;
+      if (has_deadline && deadline < slice) slice = deadline;
+      barrier_cv_.wait_until(lock, slice, released);
+    } else if (has_deadline) {
+      barrier_cv_.wait_until(lock, deadline, released);
+    } else {
+      barrier_cv_.wait(lock, released);
+    }
+    if (aborted_) {
+      blocked_[index] = 0;
+      throw AbortedError(abort_reason_);
+    }
+    // Generation before failure_pending: if the barrier completed, every
+    // participant arrived (its fold slot is written), so the result is valid
+    // even when a death landed concurrently — the failure surfaces at the
+    // next collective entry instead of discarding a finished one.
+    if (barrier_generation_ != generation) {
+      blocked_[index] = 0;
+      return;
+    }
+    if (failure_pending_ || (elastic_.enabled && !alive_[index])) {
+      blocked_[index] = 0;
+      throw_if_failure_pending_locked(rank);
+    }
+    const auto now = std::chrono::steady_clock::now();
+    if (elastic_.enabled) {
+      last_beat_[index] = now;
+      if (scan_heartbeats_locked(now)) continue;  // next iteration observes the failure
+    }
+    if (has_deadline && now >= deadline) {
+      // Diagnose BEFORE clearing our own blocked flag: the detecting rank is
+      // just as stuck in this barrier as the peers it names.
+      const std::string diagnosis = describe_stall_locked("collective timeout", rank);
+      blocked_[index] = 0;
+      abort_locked(diagnosis);
+      throw DeadlockError(diagnosis);
+    }
   }
-  if (aborted_) {
-    blocked_[static_cast<std::size_t>(rank)] = 0;
-    throw AbortedError(abort_reason_);
-  }
-  if (!woke) {
-    // Diagnose BEFORE clearing our own blocked flag: the detecting rank is
-    // just as stuck in this barrier as the peers it names.
-    const std::string diagnosis = describe_stall_locked("collective timeout", rank);
-    blocked_[static_cast<std::size_t>(rank)] = 0;
-    abort_locked(diagnosis);
-    throw DeadlockError(diagnosis);
-  }
-  blocked_[static_cast<std::size_t>(rank)] = 0;
 }
 
 void World::run(const std::function<void(Communicator&)>& rank_main) {
@@ -208,6 +456,19 @@ void World::run(const std::function<void(Communicator&)>& rank_main) {
     std::fill(blocked_.begin(), blocked_.end(), 0);
     for (auto& mailbox : mailboxes_) mailbox.clear();
     for (auto& held : delayed_) held.clear();
+    // Elastic membership starts each run at full strength: a new run models
+    // a fresh job allocation, not the shrunken remnant of the previous one.
+    std::fill(alive_.begin(), alive_.end(), 1);
+    active_count_ = rank_count_;
+    epoch_ = 0;
+    failure_pending_ = false;
+    first_failed_rank_ = -1;
+    failure_message_.clear();
+    failed_ranks_.clear();
+    epoch_newly_failed_.clear();
+    last_shrink_failed_.clear();
+    shrink_arrived_ = 0;
+    std::fill(last_beat_.begin(), last_beat_.end(), std::chrono::steady_clock::now());
   }
 
   threads.reserve(n);
@@ -225,7 +486,36 @@ void World::run(const std::function<void(Communicator&)>& rank_main) {
         // Secondary casualty: this rank was woken by another rank's failure.
         errors[index] = std::current_exception();
         secondary[index] = 1;
+      } catch (const RankFailureDetected& e) {
+        // A survivor that unwound past rank_main instead of shrinking: from
+        // the world's perspective this thread is gone too.  Secondary — the
+        // root cause is the rank whose death it observed.
+        errors[index] = std::current_exception();
+        secondary[index] = 1;
+        const std::lock_guard<std::mutex> lock(mutex_);
+        if (elastic_alive_locked()) {
+          mark_failed_locked(r, std::string("unwound without shrinking: ") + e.what());
+        }
+      } catch (const RankExcludedError&) {
+        // Already marked failed by the heartbeat detector when it was
+        // excluded; it merely learned its fate late.
+        errors[index] = std::current_exception();
+        secondary[index] = 1;
+      } catch (const Error& e) {
+        errors[index] = std::current_exception();
+        bool survivable = false;
+        {
+          const std::lock_guard<std::mutex> lock(mutex_);
+          if (elastic_alive_locked() && alive_[index]) {
+            // Elastic mode: a recoverable-class error kills only this rank.
+            mark_failed_locked(r, e.what());
+            survivable = true;
+          }
+        }
+        if (!survivable) abort_from(r, e.what());
       } catch (const std::exception& e) {
+        // Non-Error exceptions (logic errors, bad_alloc) signal a broken
+        // invariant, not a node loss — they abort even an elastic world.
         errors[index] = std::current_exception();
         abort_from(r, e.what());
       } catch (...) {
@@ -237,13 +527,25 @@ void World::run(const std::function<void(Communicator&)>& rank_main) {
   }
   for (auto& thread : threads) thread.join();
 
+  // An elastic world that was never aborted and still has active ranks
+  // *survived*: every surviving rank completed rank_main normally, so the
+  // tolerated deaths (and the RankFailureDetected unwinds they caused) are
+  // not surfaced as errors.
+  std::vector<char> tolerated(n, 0);
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (elastic_.enabled && !aborted_ && active_count_ > 0) {
+      for (const int r : failed_ranks_) tolerated[static_cast<std::size_t>(r)] = 1;
+    }
+  }
+
   // Rethrow the root cause, first by rank order; a secondary AbortedError is
   // only surfaced when no rank holds a root-cause error.
   for (std::size_t r = 0; r < n; ++r) {
-    if (errors[r] && !secondary[r]) std::rethrow_exception(errors[r]);
+    if (errors[r] && !secondary[r] && !tolerated[r]) std::rethrow_exception(errors[r]);
   }
-  for (const auto& error : errors) {
-    if (error) std::rethrow_exception(error);
+  for (std::size_t r = 0; r < n; ++r) {
+    if (errors[r] && !tolerated[r]) std::rethrow_exception(errors[r]);
   }
 }
 
@@ -261,6 +563,36 @@ CommStats World::total_stats() const {
 }
 
 int Communicator::size() const { return world_.size(); }
+
+std::vector<int> Communicator::active_ranks() const {
+  const std::lock_guard<std::mutex> lock(world_.mutex_);
+  return world_.active_ranks_locked();
+}
+
+int Communicator::active_size() const {
+  const std::lock_guard<std::mutex> lock(world_.mutex_);
+  return world_.active_count_;
+}
+
+std::uint64_t Communicator::epoch() const {
+  const std::lock_guard<std::mutex> lock(world_.mutex_);
+  return world_.epoch_;
+}
+
+ShrinkResult Communicator::shrink() {
+  const obs::ScopedSpan span("mpi:shrink");
+  const Timer timer;
+  ShrinkResult result = world_.shrink_wait(rank_);
+  record_collective(&CommStats::barriers, 0, metric_ids_.barrier_calls,
+                    metric_ids_.barrier_wait_us, timer.seconds());
+  return result;
+}
+
+bool Communicator::agree(bool vote) {
+  // Logical AND over the survivors, expressed as a sum of dissents: the
+  // deterministic rank-ordered fold makes every rank see the same verdict.
+  return allreduce_sum(vote ? 0.0 : 1.0) == 0.0;
+}
 
 void Communicator::enable_metrics() {
   if constexpr (!obs::kMetricsCompiled) return;
@@ -289,7 +621,12 @@ void Communicator::record_collective(std::int64_t CommStats::* counter,
   }
 }
 
-void Communicator::on_kernel_region() { world_.on_kernel_entry(rank_); }
+void Communicator::on_kernel_region() {
+  const std::int64_t delay_us = world_.on_kernel_entry(rank_);
+  // Straggler injection (kSlowRank) sleeps outside the world mutex so a
+  // slow rank delays only itself, exactly like a throttled node would.
+  if (delay_us > 0) std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
+}
 
 bool Communicator::take_pending_cla_corruption() {
   const std::lock_guard<std::mutex> lock(world_.mutex_);
@@ -316,11 +653,15 @@ void Communicator::barrier() {
 double Communicator::allreduce_sum(double value) {
   const obs::ScopedSpan span("mpi:allreduce");
   const Timer timer;
-  world_.on_collective_entry(rank_);
+  world_.on_collective_entry(rank_, &active_mask_);
   world_.reduce_buffer_[static_cast<std::size_t>(rank_)] = value;
   world_.barrier_wait(rank_);  // all contributions visible
   double total = 0.0;
-  for (const double contribution : world_.reduce_buffer_) total += contribution;
+  // Fold over the active membership only: a failed rank's buffer slot holds
+  // a stale value from before its death.
+  for (std::size_t r = 0; r < active_mask_.size(); ++r) {
+    if (active_mask_[r]) total += world_.reduce_buffer_[r];
+  }
   world_.barrier_wait(rank_);  // all reads done before buffer reuse
   record_collective(&CommStats::allreduces, static_cast<std::int64_t>(sizeof(double)),
                     metric_ids_.allreduce_calls, metric_ids_.allreduce_wait_us, timer.seconds());
@@ -330,7 +671,7 @@ double Communicator::allreduce_sum(double value) {
 void Communicator::allreduce_sum(std::span<double> values) {
   const obs::ScopedSpan span("mpi:allreduce");
   const Timer timer;
-  world_.on_collective_entry(rank_);
+  world_.on_collective_entry(rank_, &active_mask_);
   const std::size_t width = values.size();
   const auto ranks = static_cast<std::size_t>(world_.rank_count_);
   {
@@ -352,7 +693,10 @@ void Communicator::allreduce_sum(std::span<double> values) {
   world_.barrier_wait(rank_);
   for (std::size_t i = 0; i < width; ++i) {
     double total = 0.0;
-    for (std::size_t r = 0; r < ranks; ++r) total += world_.vector_buffer_[r * width + i];
+    for (std::size_t r = 0; r < ranks; ++r) {
+      if (!active_mask_[r]) continue;  // stale region of a failed rank
+      total += world_.vector_buffer_[r * width + i];
+    }
     values[i] = total;
   }
   world_.barrier_wait(rank_);  // all reads done before buffer reuse
@@ -364,14 +708,15 @@ void Communicator::allreduce_sum(std::span<double> values) {
 std::pair<double, int> Communicator::allreduce_minloc(double value) {
   const obs::ScopedSpan span("mpi:allreduce");
   const Timer timer;
-  world_.on_collective_entry(rank_);
+  world_.on_collective_entry(rank_, &active_mask_);
   world_.reduce_buffer_[static_cast<std::size_t>(rank_)] = value;
   world_.barrier_wait(rank_);
-  double best = world_.reduce_buffer_[0];
-  int best_rank = 0;
-  for (int r = 1; r < world_.size(); ++r) {
+  double best = 0.0;
+  int best_rank = -1;
+  for (int r = 0; r < world_.size(); ++r) {
+    if (!active_mask_[static_cast<std::size_t>(r)]) continue;
     const double candidate = world_.reduce_buffer_[static_cast<std::size_t>(r)];
-    if (candidate < best) {
+    if (best_rank < 0 || candidate < best) {
       best = candidate;
       best_rank = r;
     }
@@ -386,7 +731,9 @@ std::pair<double, int> Communicator::allreduce_minloc(double value) {
 double Communicator::broadcast(double value, int root) {
   const obs::ScopedSpan span("mpi:broadcast");
   const Timer timer;
-  world_.on_collective_entry(rank_);
+  world_.on_collective_entry(rank_, &active_mask_);
+  MINIPHI_CHECK(active_mask_[static_cast<std::size_t>(root)],
+                "mpi broadcast: root rank has failed");
   if (rank_ == root) world_.reduce_buffer_[0] = value;
   world_.barrier_wait(rank_);
   const double result = world_.reduce_buffer_[0];
@@ -399,7 +746,9 @@ double Communicator::broadcast(double value, int root) {
 void Communicator::broadcast(std::span<double> values, int root) {
   const obs::ScopedSpan span("mpi:broadcast");
   const Timer timer;
-  world_.on_collective_entry(rank_);
+  world_.on_collective_entry(rank_, &active_mask_);
+  MINIPHI_CHECK(active_mask_[static_cast<std::size_t>(root)],
+                "mpi broadcast: root rank has failed");
   {
     std::unique_lock<std::mutex> lock(world_.mutex_);
     if (world_.vector_buffer_.size() < values.size()) {
@@ -426,6 +775,14 @@ void Communicator::send(int destination, int tag, std::span<const double> payloa
   {
     const std::lock_guard<std::mutex> lock(world_.mutex_);
     world_.throw_if_aborted_locked();
+    if (world_.elastic_.enabled) {
+      world_.last_beat_[static_cast<std::size_t>(rank_)] = std::chrono::steady_clock::now();
+      world_.throw_if_failure_pending_locked(rank_);
+      if (!world_.alive_[static_cast<std::size_t>(destination)]) {
+        throw RankFailureDetected(destination, "mpi send: destination rank " +
+                                                   std::to_string(destination) + " has failed");
+      }
+    }
     std::vector<double> data(payload.begin(), payload.end());
     if (!world_.filter_send_locked(rank_, destination, tag, std::move(data))) {
       world_.mailboxes_[static_cast<std::size_t>(destination)].push_back(
@@ -443,6 +800,14 @@ std::vector<double> Communicator::recv(int source, int tag) {
   const Timer timer;
   std::unique_lock<std::mutex> lock(world_.mutex_);
   world_.throw_if_aborted_locked();
+  if (world_.elastic_.enabled) {
+    world_.last_beat_[static_cast<std::size_t>(rank_)] = std::chrono::steady_clock::now();
+    world_.throw_if_failure_pending_locked(rank_);
+    if (!world_.alive_[static_cast<std::size_t>(source)]) {
+      throw RankFailureDetected(source, "mpi recv: source rank " + std::to_string(source) +
+                                            " has failed");
+    }
+  }
   auto& mailbox = world_.mailboxes_[static_cast<std::size_t>(rank_)];
 
   // Scans the mailbox for a match, releasing delayed (withheld) messages
@@ -461,6 +826,8 @@ std::vector<double> Communicator::recv(int source, int tag) {
     }
   };
 
+  const auto index = static_cast<std::size_t>(rank_);
+  const bool elastic = world_.elastic_.enabled;
   const bool has_deadline = world_.collective_timeout_.count() > 0;
   const auto deadline = std::chrono::steady_clock::now() + world_.collective_timeout_;
   for (;;) {
@@ -470,32 +837,48 @@ std::vector<double> Communicator::recv(int source, int tag) {
                         metric_ids_.p2p_wait_us, timer.seconds());
       return *std::move(payload);
     }
-    world_.blocked_[static_cast<std::size_t>(rank_)] = 1;
-    if (has_deadline) {
-      const auto status = world_.mailbox_cv_.wait_until(lock, deadline);
-      world_.throw_if_aborted_locked();
-      if (status == std::cv_status::timeout) {
-        if (auto payload = try_take()) {  // a send may have raced the deadline
-          world_.blocked_[static_cast<std::size_t>(rank_)] = 0;
-          record_collective(&CommStats::point_to_point, 0, metric_ids_.p2p_calls,
-                            metric_ids_.p2p_wait_us, timer.seconds());
-          return *std::move(payload);
-        }
-        // Diagnose while still marked blocked — this rank IS the stuck one.
-        const std::string diagnosis = world_.describe_stall_locked(
-            "recv timeout: rank " + std::to_string(rank_) + " waiting for message from rank " +
-                std::to_string(source) + " tag " + std::to_string(tag),
-            rank_);
-        world_.blocked_[static_cast<std::size_t>(rank_)] = 0;
-        world_.abort_locked(diagnosis);
-        throw DeadlockError(diagnosis);
-      }
-      world_.blocked_[static_cast<std::size_t>(rank_)] = 0;
+    world_.blocked_[index] = 1;
+    if (elastic) {
+      // Slice the wait so this rank doubles as the failure detector while it
+      // is parked (same discipline as barrier_wait).
+      auto slice = std::chrono::steady_clock::now() + world_.elastic_.heartbeat_interval;
+      if (has_deadline && deadline < slice) slice = deadline;
+      world_.mailbox_cv_.wait_until(lock, slice);
+    } else if (has_deadline) {
+      world_.mailbox_cv_.wait_until(lock, deadline);
     } else {
       world_.mailbox_cv_.wait(lock);
-      world_.blocked_[static_cast<std::size_t>(rank_)] = 0;
-      world_.throw_if_aborted_locked();
     }
+    if (world_.aborted_) {
+      world_.blocked_[index] = 0;
+      throw AbortedError(world_.abort_reason_);
+    }
+    const auto now = std::chrono::steady_clock::now();
+    if (elastic) {
+      world_.last_beat_[index] = now;
+      world_.scan_heartbeats_locked(now);  // still marked blocked: scan skips us
+      if (world_.failure_pending_ || !world_.alive_[index]) {
+        world_.blocked_[index] = 0;
+        world_.throw_if_failure_pending_locked(rank_);
+      }
+    }
+    if (has_deadline && now >= deadline) {
+      if (auto payload = try_take()) {  // a send may have raced the deadline
+        world_.blocked_[index] = 0;
+        record_collective(&CommStats::point_to_point, 0, metric_ids_.p2p_calls,
+                          metric_ids_.p2p_wait_us, timer.seconds());
+        return *std::move(payload);
+      }
+      // Diagnose while still marked blocked — this rank IS the stuck one.
+      const std::string diagnosis = world_.describe_stall_locked(
+          "recv timeout: rank " + std::to_string(rank_) + " waiting for message from rank " +
+              std::to_string(source) + " tag " + std::to_string(tag),
+          rank_);
+      world_.blocked_[index] = 0;
+      world_.abort_locked(diagnosis);
+      throw DeadlockError(diagnosis);
+    }
+    world_.blocked_[index] = 0;
   }
 }
 

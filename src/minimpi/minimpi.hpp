@@ -54,14 +54,68 @@ struct CommStats {
 
 class World;
 
+/// Elastic failure model (DESIGN.md §11): instead of aborting the world on
+/// a rank death, surviving ranks are woken with RankFailureDetected, unwind
+/// to a safe point, and unanimously agree on a new smaller world via
+/// Communicator::shrink() — the ULFM revoke/shrink/agree sequence collapsed
+/// onto this substrate's shared-memory membership.
+struct ElasticOptions {
+  bool enabled = false;
+  /// Survivor quorum: a shrink that would leave fewer active ranks than
+  /// this aborts the world instead (escalation to checkpoint restart).
+  int min_ranks = 1;
+  /// Wait-slice used by blocked ranks to re-scan peer heartbeats.
+  std::chrono::milliseconds heartbeat_interval{100};
+  /// Staleness bound of the failure detector: a rank that is neither
+  /// blocked in the substrate nor has beaten (collective or kernel-region
+  /// entry) for this long is declared failed.  Must exceed the longest
+  /// legitimate inter-beat gap (one kernel traversal); generous default.
+  std::chrono::milliseconds heartbeat_timeout{10000};
+  /// Publish the `elastic.*` metric family (detections, shrinks) to the
+  /// process obs registry.
+  bool metrics = false;
+};
+
+/// Outcome of one successful shrink: the new membership epoch, the ranks
+/// that remain (ascending), and the ranks lost since the previous epoch.
+struct ShrinkResult {
+  std::uint64_t epoch = 0;
+  std::vector<int> active;
+  std::vector<int> failed;  ///< newly failed in this epoch
+};
+
 /// One rank's endpoint.  All collective calls must be made by every rank of
 /// the world (standard MPI contract); violations deadlock, as they would in
 /// real MPI — unless a collective timeout is configured, which converts the
-/// deadlock into a diagnosable DeadlockError.
+/// deadlock into a diagnosable DeadlockError.  In an elastic world the
+/// contract is "every *active* rank": collectives span the current
+/// membership epoch only.
 class Communicator {
  public:
   [[nodiscard]] int rank() const { return rank_; }
   [[nodiscard]] int size() const;
+
+  /// Active ranks of the current membership epoch (== size() until a
+  /// shrink).  Snapshot — a concurrent failure may outdate it, in which
+  /// case the next collective throws RankFailureDetected.
+  [[nodiscard]] std::vector<int> active_ranks() const;
+  [[nodiscard]] int active_size() const;
+  [[nodiscard]] std::uint64_t epoch() const;
+
+  /// Elastic mode: collectively installs a new membership epoch over the
+  /// survivors.  Every active rank must call shrink() (they are all woken
+  /// with RankFailureDetected precisely so they can); the call blocks until
+  /// the survivors rendezvous, then returns the agreed new membership.
+  /// Aborts the world (throwing AbortedError) when the survivors fall
+  /// below ElasticOptions::min_ranks, and diagnoses a survivor that never
+  /// arrives via the collective timeout (DeadlockError).
+  ShrinkResult shrink();
+
+  /// ULFM-style agreement over the active ranks: returns the logical AND
+  /// of every active rank's vote — all survivors learn the same verdict.
+  /// Used after recovery work to confirm unanimously that the world may
+  /// continue (any dissent escalates to checkpoint restart).
+  [[nodiscard]] bool agree(bool vote);
 
   /// Blocks until all ranks arrive.
   void barrier();
@@ -132,6 +186,13 @@ class Communicator {
   };
   bool metrics_ = false;
   MetricIds metric_ids_;
+
+  /// Membership snapshot taken under the world mutex at collective entry;
+  /// reduction folds iterate this copy instead of World::alive_ so a
+  /// concurrent failure cannot race the (lock-free) fold loops.  Any death
+  /// after the snapshot makes a later barrier of the same collective throw,
+  /// so results folded over a stale mask are always discarded.
+  std::vector<char> active_mask_;
 };
 
 /// Owns the shared state of one rank group and runs rank main functions on
@@ -151,8 +212,21 @@ class World {
 
   /// Installs the failures to inject.  Faults are one-shot over the World's
   /// lifetime: a fault that fired in one run() stays disarmed in later
-  /// runs, so a recovery run models a restarted replacement rank.
+  /// runs, so a recovery run models a restarted replacement rank.  Throws
+  /// when any fault targets a rank outside this world (it would silently
+  /// never fire).
   void set_fault_plan(const FaultPlan& plan);
+
+  /// Turns on the elastic failure model for subsequent run() calls: rank
+  /// deaths no longer abort the world — survivors observe
+  /// RankFailureDetected and are expected to shrink() and continue.
+  void set_elastic(const ElasticOptions& options);
+
+  /// Ranks that died (all epochs) during the current/last run().
+  [[nodiscard]] std::vector<int> failed_ranks() const;
+
+  /// Membership epoch installed by the last shrink (0 = never shrunk).
+  [[nodiscard]] std::uint64_t epoch() const;
 
   /// Maximum time a rank may block inside one collective or recv; zero
   /// (default) waits forever, as real MPI does.  On expiry the waiting rank
@@ -169,13 +243,49 @@ class World {
  private:
   friend class Communicator;
 
-  /// Generation-counted barrier over all ranks; wakes with AbortedError if
-  /// the world aborts while waiting, or throws DeadlockError on timeout.
+  /// Generation-counted barrier over the active ranks; wakes with
+  /// AbortedError if the world aborts while waiting, RankFailureDetected if
+  /// a peer dies (elastic mode), or throws DeadlockError on timeout.
   void barrier_wait(int rank);
 
-  /// Counts the logical collective op and fires any matching planned kill.
-  void on_collective_entry(int rank);
-  void on_kernel_entry(int rank);
+  /// Counts the logical collective op, fires any matching planned kill, and
+  /// (when `active_mask` is non-null) snapshots the current membership for
+  /// the caller's reduction fold.
+  void on_collective_entry(int rank, std::vector<char>* active_mask = nullptr);
+  /// Returns the injected straggler delay (µs) to sleep outside the lock.
+  std::int64_t on_kernel_entry(int rank);
+
+  // --- Elastic membership (DESIGN.md §11) --------------------------------
+
+  /// Marks `rank` dead without aborting the world: drops it from the
+  /// active set, latches failure_pending_, and wakes every waiter so the
+  /// survivors can unwind to shrink().  Caller must hold mutex_.
+  void mark_failed_locked(int rank, const std::string& what);
+
+  /// True when rank deaths are survivable (elastic mode on, world alive).
+  [[nodiscard]] bool elastic_alive_locked() const {
+    return elastic_.enabled && !aborted_;
+  }
+
+  /// Throws RankFailureDetected when a peer death is pending, and
+  /// RankExcludedError when `rank` itself was declared dead (heartbeat
+  /// exclusion).  Caller must hold mutex_.
+  void throw_if_failure_pending_locked(int rank) const;
+
+  /// Heartbeat scan (elastic mode): declares failed any active rank that is
+  /// neither blocked in the substrate nor has beaten within
+  /// heartbeat_timeout.  Returns true when it marked at least one rank.
+  bool scan_heartbeats_locked(std::chrono::steady_clock::time_point now);
+
+  /// Installs the next membership epoch once every survivor arrived at
+  /// shrink(): publishes the shrink outcome, resets collective bookkeeping
+  /// abandoned by the unwound survivors, and wakes the rendezvous.
+  void install_epoch_locked();
+
+  /// Rendezvous body of Communicator::shrink().
+  ShrinkResult shrink_wait(int rank);
+
+  [[nodiscard]] std::vector<int> active_ranks_locked() const;
 
   /// Counts `rank`'s agreement reductions and applies any matching
   /// kCorruptReduction fault to its delivered copy (one bit flipped).
@@ -228,6 +338,28 @@ class World {
   std::vector<char> pending_cla_corruption_;    ///< kFlipClaBits latches per rank
   std::vector<char> blocked_;  ///< rank currently waiting in a collective/recv
   std::vector<std::deque<Message>> delayed_;  ///< withheld messages per destination
+
+  // Elastic membership state (all guarded by mutex_).
+  ElasticOptions elastic_;
+  std::vector<char> alive_;      ///< membership of the current epoch
+  int active_count_ = 0;         ///< population count of alive_
+  std::uint64_t epoch_ = 0;      ///< bumped by every installed shrink
+  bool failure_pending_ = false; ///< a death not yet resolved by shrink()
+  int first_failed_rank_ = -1;   ///< of the pending failure(s), for messages
+  std::string failure_message_;  ///< carried by RankFailureDetected
+  std::vector<int> failed_ranks_;        ///< all-time, in detection order
+  std::vector<int> epoch_newly_failed_;  ///< deaths the next shrink resolves
+  std::vector<int> last_shrink_failed_;  ///< deaths the last shrink resolved
+  std::vector<std::chrono::steady_clock::time_point> last_beat_;  ///< heartbeats
+  std::condition_variable shrink_cv_;
+  int shrink_arrived_ = 0;
+  std::uint64_t shrink_generation_ = 0;
+  std::chrono::steady_clock::time_point shrink_started_{};  ///< first arrival
+  // elastic.* metric ids, registered by set_elastic when metrics are on.
+  bool elastic_metrics_ = false;
+  obs::MetricId elastic_detections_id_ = 0;
+  obs::MetricId elastic_shrink_count_id_ = 0;
+  obs::MetricId elastic_shrink_duration_id_ = 0;  ///< histogram, µs per shrink
 };
 
 }  // namespace miniphi::mpi

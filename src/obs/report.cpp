@@ -63,6 +63,7 @@ std::string render_kernel_report(const std::vector<MetricSnapshot>& snapshot) {
   std::int64_t scaling_events = 0;
   std::vector<const MetricSnapshot*> plans;
   std::vector<const MetricSnapshot*> sdc;
+  std::vector<const MetricSnapshot*> elastic;
   std::vector<const MetricSnapshot*> other;
 
   for (const MetricSnapshot& metric : snapshot) {
@@ -97,6 +98,8 @@ std::string render_kernel_report(const std::vector<MetricSnapshot>& snapshot) {
       plans.push_back(&metric);
     } else if (parts[0] == "sdc") {
       sdc.push_back(&metric);
+    } else if (parts[0] == "elastic" || parts[0] == "ckpt") {
+      elastic.push_back(&metric);
     } else if (parts.size() == 3 && parts[0] == "mpi") {
       auto& entry = collectives[std::string(parts[1])];
       if (parts[2] == "calls") {
@@ -170,6 +173,25 @@ std::string render_kernel_report(const std::vector<MetricSnapshot>& snapshot) {
         const double mean_us = metric->histogram.count > 0
                                    ? static_cast<double>(metric->histogram.sum) /
                                          static_cast<double>(metric->histogram.count) * 1e-3
+                                   : 0.0;
+        append_line(out, "%-40s count=%-10lld mean=%.1f us", metric->name.c_str(),
+                    static_cast<long long>(metric->histogram.count), mean_us);
+      } else {
+        append_line(out, "%-40s %lld", metric->name.c_str(),
+                    static_cast<long long>(metric->value));
+      }
+    }
+  }
+
+  if (!elastic.empty()) {
+    out += "--- elastic recovery ---\n";
+    std::sort(elastic.begin(), elastic.end(),
+              [](const MetricSnapshot* a, const MetricSnapshot* b) { return a->name < b->name; });
+    for (const MetricSnapshot* metric : elastic) {
+      if (metric->kind == MetricKind::kHistogram) {
+        const double mean_us = metric->histogram.count > 0
+                                   ? static_cast<double>(metric->histogram.sum) /
+                                         static_cast<double>(metric->histogram.count)
                                    : 0.0;
         append_line(out, "%-40s count=%-10lld mean=%.1f us", metric->name.c_str(),
                     static_cast<long long>(metric->histogram.count), mean_us);

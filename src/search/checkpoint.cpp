@@ -107,6 +107,12 @@ void write_checkpoint(std::ostream& out, const Checkpoint& checkpoint) {
   out << serialized << "checksum " << fnv1a(serialized) << '\n';
 }
 
+std::size_t checkpoint_byte_size(const Checkpoint& checkpoint) {
+  std::ostringstream out;
+  write_checkpoint(out, checkpoint);
+  return out.str().size();
+}
+
 void write_checkpoint_file(const std::string& path, const Checkpoint& checkpoint) {
   // Crash-safe: the full content (body + checksum) lands in a temp file
   // first, is flushed and closed, and only then renamed over the previous

@@ -51,6 +51,11 @@ Checkpoint make_checkpoint(const tree::Tree& tree, const std::vector<std::string
 void write_checkpoint(std::ostream& out, const Checkpoint& checkpoint);
 void write_checkpoint_file(const std::string& path, const Checkpoint& checkpoint);
 
+/// Serialized size in bytes (body + checksum record), exactly as
+/// write_checkpoint would produce — restore-cost attribution for the
+/// ckpt.restore.bytes metric.
+[[nodiscard]] std::size_t checkpoint_byte_size(const Checkpoint& checkpoint);
+
 /// Throws miniphi::Error on version mismatch, checksum failure (corrupted
 /// or truncated file), or malformed content.
 Checkpoint read_checkpoint(std::istream& in);

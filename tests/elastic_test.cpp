@@ -1,0 +1,483 @@
+// Tests for the elastic failure model (DESIGN.md §11): heartbeat-based
+// failure detection, the ULFM-style shrink()/agree() membership protocol in
+// minimpi, shard-based re-sharding in the distributed evaluator, the
+// continue-in-place recovery loop in the ExaML driver, and the straggler
+// defense.
+//
+// The acceptance property throughout: a search that loses a rank mid-flight
+// continues on the shrunken world WITHOUT a checkpoint restart and converges
+// to the bit-identical final tree and log-likelihood of a fault-free run.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/examl/driver.hpp"
+#include "src/io/newick.hpp"
+#include "src/minimpi/faults.hpp"
+#include "src/minimpi/minimpi.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/report.hpp"
+#include "src/simulate/simulate.hpp"
+#include "src/tree/splits.hpp"
+#include "src/util/error.hpp"
+
+namespace miniphi::mpi {
+namespace {
+
+using namespace std::chrono_literals;
+
+bool contains(const std::string& text, const std::string& needle) {
+  return text.find(needle) != std::string::npos;
+}
+
+std::int64_t metric_value(const std::string& name) {
+  for (const auto& metric : obs::Registry::instance().snapshot()) {
+    if (metric.name == name) {
+      return metric.kind == obs::MetricKind::kHistogram ? metric.histogram.count : metric.value;
+    }
+  }
+  return -1;  // not registered
+}
+
+// --- Membership protocol ----------------------------------------------------
+
+TEST(Elastic, KilledRankBecomesFailureDetectedAndSurvivorsShrink) {
+  // In a non-elastic world a mid-search kill aborts everyone; in an elastic
+  // world the survivors get RankFailureDetected (the world stays alive),
+  // shrink to a two-rank epoch, and keep computing collectives.
+  World world(3);
+  ElasticOptions elastic;
+  elastic.enabled = true;
+  world.set_elastic(elastic);
+  FaultPlan plan;
+  plan.kill_rank_mid_search(1, 2);
+  world.set_fault_plan(plan);
+
+  std::array<double, 3> after_shrink{};
+  std::array<std::uint64_t, 3> epochs{};
+  world.run([&](Communicator& comm) {
+    const auto index = static_cast<std::size_t>(comm.rank());
+    (void)comm.allreduce_sum(1.0);  // collective #1: full world
+    try {
+      (void)comm.allreduce_sum(1.0);  // collective #2: rank 1 dies at entry
+      if (comm.rank() != 1) ADD_FAILURE() << "survivors must be woken by the failure";
+    } catch (const RankFailureDetected& failure) {
+      EXPECT_EQ(failure.failed_rank(), 1);
+      EXPECT_TRUE(contains(failure.what(), "rank 1")) << failure.what();
+      const ShrinkResult shrunk = comm.shrink();
+      EXPECT_EQ(shrunk.epoch, 1u);
+      EXPECT_EQ(shrunk.active, (std::vector<int>{0, 2}));
+      EXPECT_EQ(shrunk.failed, std::vector<int>{1});
+      EXPECT_TRUE(comm.agree(true));
+      after_shrink[index] = comm.allreduce_sum(1.0);  // survivors-only collective
+      epochs[index] = comm.epoch();
+      EXPECT_EQ(comm.active_size(), 2);
+    }
+  });
+  EXPECT_FALSE(world.aborted());
+  EXPECT_EQ(world.epoch(), 1u);
+  EXPECT_EQ(world.failed_ranks(), std::vector<int>{1});
+  EXPECT_DOUBLE_EQ(after_shrink[0], 2.0);  // two survivors, not three ranks
+  EXPECT_DOUBLE_EQ(after_shrink[2], 2.0);
+  EXPECT_EQ(epochs[0], 1u);
+  EXPECT_EQ(epochs[2], 1u);
+}
+
+TEST(Elastic, AgreeIsUnanimousAndAnyDissentWins) {
+  World world(3);
+  ElasticOptions elastic;
+  elastic.enabled = true;
+  world.set_elastic(elastic);
+  std::array<bool, 3> verdicts{true, true, true};
+  world.run([&](Communicator& comm) {
+    verdicts[static_cast<std::size_t>(comm.rank())] = comm.agree(comm.rank() != 2);
+  });
+  // Rank 2 voted false — every rank must see the collective 'no'.
+  EXPECT_FALSE(verdicts[0]);
+  EXPECT_FALSE(verdicts[1]);
+  EXPECT_FALSE(verdicts[2]);
+}
+
+TEST(Elastic, QuorumLossAbortsInsteadOfShrinking) {
+  // min_ranks = 2 with a 2-rank world: losing one rank leaves the survivor
+  // below quorum, so shrink() must escalate to AbortedError (the driver's
+  // checkpoint-restart path), not install a 1-rank epoch.
+  World world(2);
+  ElasticOptions elastic;
+  elastic.enabled = true;
+  elastic.min_ranks = 2;
+  world.set_elastic(elastic);
+  FaultPlan plan;
+  plan.kill_rank_mid_search(1, 1);
+  world.set_fault_plan(plan);
+
+  std::string escalation;
+  EXPECT_THROW(world.run([&](Communicator& comm) {
+                 try {
+                   (void)comm.allreduce_sum(1.0);
+                 } catch (const RankFailureDetected&) {
+                   try {
+                     (void)comm.shrink();
+                     ADD_FAILURE() << "shrink below quorum must abort";
+                   } catch (const AbortedError& aborted) {
+                     escalation = aborted.what();
+                     throw;
+                   }
+                 }
+               }),
+               InjectedFault);
+  EXPECT_TRUE(world.aborted());
+  EXPECT_TRUE(contains(escalation, "below quorum")) << escalation;
+  EXPECT_EQ(world.epoch(), 0u);  // no epoch was installed
+}
+
+TEST(Elastic, HeartbeatDetectorDeclaresSilentRankFailedAndExcludesIt) {
+  // Rank 1 goes silent (computes without touching the substrate) for far
+  // longer than the heartbeat timeout.  The peers blocked in a barrier must
+  // detect the stale heartbeat, declare rank 1 failed, shrink, and continue;
+  // when rank 1 finally returns it must be refused with RankExcludedError.
+  World world(3);
+  ElasticOptions elastic;
+  elastic.enabled = true;
+  elastic.heartbeat_interval = 25ms;
+  elastic.heartbeat_timeout = 300ms;
+  world.set_elastic(elastic);
+
+  std::atomic<bool> excluded{false};
+  std::array<std::uint64_t, 3> epochs{};
+  world.run([&](Communicator& comm) {
+    (void)comm.allreduce_sum(1.0);  // everyone beats once
+    if (comm.rank() == 1) {
+      std::this_thread::sleep_for(2000ms);  // silent: no beats, not blocked
+      try {
+        (void)comm.allreduce_sum(1.0);
+        ADD_FAILURE() << "an excluded rank must not rejoin collectives";
+      } catch (const RankExcludedError& e) {
+        EXPECT_TRUE(contains(e.what(), "rank 1")) << e.what();
+        excluded = true;
+      }
+      return;
+    }
+    try {
+      (void)comm.allreduce_sum(1.0);  // blocks until the detector fires
+      ADD_FAILURE() << "survivors must be woken by the heartbeat detector";
+    } catch (const RankFailureDetected& failure) {
+      EXPECT_EQ(failure.failed_rank(), 1);
+      EXPECT_TRUE(contains(failure.what(), "missed heartbeats")) << failure.what();
+      const ShrinkResult shrunk = comm.shrink();
+      EXPECT_EQ(shrunk.active, (std::vector<int>{0, 2}));
+      epochs[static_cast<std::size_t>(comm.rank())] = shrunk.epoch;
+      EXPECT_DOUBLE_EQ(comm.allreduce_sum(1.0), 2.0);
+    }
+  });
+  EXPECT_FALSE(world.aborted());
+  EXPECT_TRUE(excluded.load());
+  EXPECT_EQ(epochs[0], 1u);
+  EXPECT_EQ(epochs[2], 1u);
+  EXPECT_EQ(world.failed_ranks(), std::vector<int>{1});
+}
+
+TEST(Elastic, ShrinkMetricsCountDetectionsAndEpochs) {
+  if constexpr (!obs::kMetricsCompiled) GTEST_SKIP() << "metrics compiled out";
+  auto& registry = obs::Registry::instance();
+  registry.reset();
+
+  World world(3);
+  ElasticOptions elastic;
+  elastic.enabled = true;
+  elastic.metrics = true;
+  world.set_elastic(elastic);
+  FaultPlan plan;
+  plan.kill_rank_mid_search(2, 1);
+  world.set_fault_plan(plan);
+
+  world.run([&](Communicator& comm) {
+    try {
+      (void)comm.allreduce_sum(1.0);
+    } catch (const RankFailureDetected&) {
+      (void)comm.shrink();
+    }
+  });
+  EXPECT_EQ(metric_value("elastic.detections"), 1);
+  EXPECT_EQ(metric_value("elastic.shrink.count"), 1);
+  EXPECT_EQ(metric_value("elastic.shrink.duration_us"), 1);  // one observation
+  registry.reset();
+}
+
+// --- Fault plan: kSlowRank and validation ----------------------------------
+
+TEST(SlowRank, InjectedDelaySlowsKernelRegionsOnce) {
+  // 5 kernel regions delayed 40 ms each on rank 1: the first run must take
+  // at least 200 ms; the fault is one-shot, so a second run is fast again.
+  World world(2);
+  FaultPlan plan;
+  plan.slow_rank(1, /*from_call=*/1, /*calls=*/5, /*delay_us=*/40000);
+  world.set_fault_plan(plan);
+  EXPECT_TRUE(contains(plan.describe(), "slow"));
+
+  const auto run_once = [&world] {
+    const auto start = std::chrono::steady_clock::now();
+    world.run([](Communicator& comm) {
+      for (int i = 0; i < 6; ++i) {
+        comm.on_kernel_region();
+        (void)comm.allreduce_sum(1.0);
+      }
+    });
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+        std::chrono::steady_clock::now() - start);
+  };
+  EXPECT_GE(run_once().count(), 200);
+  EXPECT_LT(run_once().count(), 200);  // already fired: no residual slowdown
+}
+
+TEST(FaultPlanValidation, RejectsTargetsOutsideTheWorld) {
+  FaultPlan plan;
+  plan.kill_rank_mid_search(5, 3);
+  try {
+    plan.validate_for_world(4);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_TRUE(contains(e.what(), "targets rank 5")) << e.what();
+    EXPECT_TRUE(contains(e.what(), "4 ranks")) << e.what();
+    EXPECT_TRUE(contains(e.what(), "never fire")) << e.what();
+  }
+  // The same check guards World::set_fault_plan, so a mis-targeted plan
+  // fails loudly at configuration time instead of silently never firing.
+  World world(4);
+  EXPECT_THROW(world.set_fault_plan(plan), Error);
+  plan = FaultPlan{};
+  plan.slow_rank(3, 1, 2, 1000);
+  EXPECT_NO_THROW(plan.validate_for_world(4));
+  EXPECT_THROW(plan.validate_for_world(3), Error);
+  // Builders still reject nonsense eagerly.
+  EXPECT_THROW(FaultPlan().kill_rank_mid_search(-1, 1), Error);
+  EXPECT_THROW(FaultPlan().slow_rank(0, 1, 0, 1000), Error);
+  EXPECT_THROW(FaultPlan().slow_rank(0, 1, 2, -5), Error);
+}
+
+}  // namespace
+}  // namespace miniphi::mpi
+
+// --- ExaML driver: continue-in-place recovery -------------------------------
+
+namespace miniphi::examl {
+namespace {
+
+using namespace std::chrono_literals;
+
+bool contains(const std::string& text, const std::string& needle) {
+  return text.find(needle) != std::string::npos;
+}
+
+std::int64_t metric_value(const std::string& name) {
+  for (const auto& metric : obs::Registry::instance().snapshot()) {
+    if (metric.name == name) {
+      return metric.kind == obs::MetricKind::kHistogram ? metric.histogram.count : metric.value;
+    }
+  }
+  return -1;
+}
+
+tree::Tree tree_from_newick(const std::string& newick, const std::vector<std::string>& names) {
+  return tree::Tree::from_newick(*io::parse_newick(newick), names);
+}
+
+std::int64_t per_rank_collectives(const DistributedRunResult& result, int ranks) {
+  return (result.comm_stats.allreduces + result.comm_stats.broadcasts +
+          result.comm_stats.barriers) /
+         ranks;
+}
+
+void expect_same_outcome(const DistributedRunResult& got, const DistributedRunResult& want,
+                         const std::vector<std::string>& names) {
+  tree::Tree tree_want = tree_from_newick(want.final_tree_newick, names);
+  tree::Tree tree_got = tree_from_newick(got.final_tree_newick, names);
+  EXPECT_EQ(tree::robinson_foulds(tree_want, tree_got), 0);
+  EXPECT_NEAR(got.log_likelihood, want.log_likelihood,
+              std::abs(want.log_likelihood) * 1e-8 + 1e-4);
+}
+
+TEST(ShardedEvaluator, OverdecompositionPreservesSearchOutcome) {
+  // shards_per_rank > 1 changes the partial-sum partition, not the search:
+  // the final topology and likelihood must match the classic decomposition.
+  const auto alignment = simulate::paper_dataset(300, 31, 10);
+  ExperimentOptions options;
+  options.search.max_rounds = 2;
+  options.search.model_options.max_passes = 1;
+  const auto classic = run_distributed_search(alignment, 2, options);
+  ASSERT_TRUE(classic.replicas_consistent);
+
+  ExperimentOptions sharded = options;
+  sharded.fault_tolerance.sharding.shards_per_rank = 3;
+  const auto fine = run_distributed_search(alignment, 2, sharded);
+  EXPECT_TRUE(fine.replicas_consistent);
+  expect_same_outcome(fine, classic, alignment.taxon_names());
+}
+
+TEST(ElasticRecovery, MidSearchKillContinuesInPlaceWithoutCheckpointRestore) {
+  // The tentpole acceptance test: kill a rank mid-search in an elastic
+  // world.  The run must finish with ZERO checkpoint restores and exactly
+  // one shrink, on the shrunken world, and converge to the identical final
+  // tree and log-likelihood as the fault-free run.
+  if constexpr (obs::kMetricsCompiled) obs::Registry::instance().reset();
+  const auto alignment = simulate::paper_dataset(400, 21, 10);
+  const int ranks = 3;
+  ExperimentOptions options;
+  options.search.max_rounds = 3;
+  options.search.model_options.max_passes = 1;
+
+  const auto reference = run_distributed_search(alignment, ranks, options);
+  ASSERT_EQ(reference.recoveries, 0);
+  ASSERT_TRUE(reference.replicas_consistent);
+
+  ExperimentOptions faulty = options;
+  faulty.fault_tolerance.elastic.enabled = true;
+  faulty.fault_tolerance.faults.kill_rank_mid_search(
+      1, (3 * per_rank_collectives(reference, ranks)) / 4);
+  if constexpr (obs::kMetricsCompiled) faulty.metrics = obs::MetricsMode::kOn;
+  const auto recovered = run_distributed_search(alignment, ranks, faulty);
+
+  EXPECT_EQ(recovered.recoveries, 0);  // no checkpoint restart happened
+  EXPECT_EQ(recovered.in_place_recoveries, 1);
+  EXPECT_EQ(recovered.final_epoch, 1u);
+  EXPECT_EQ(recovered.final_world_size, ranks - 1);
+  EXPECT_EQ(recovered.failed_ranks, std::vector<int>{1});
+  EXPECT_TRUE(recovered.replicas_consistent);
+  expect_same_outcome(recovered, reference, alignment.taxon_names());
+
+  if constexpr (obs::kMetricsCompiled) {
+    EXPECT_EQ(metric_value("ckpt.restore.calls"), 0);
+    EXPECT_EQ(metric_value("elastic.shrink.count"), 1);
+    EXPECT_GE(metric_value("elastic.detections"), 1);
+    EXPECT_EQ(metric_value("elastic.reshard.duration_us"), 1);  // one re-shard observed
+    const std::string report = obs::render_kernel_report();
+    EXPECT_TRUE(contains(report, "--- elastic recovery ---")) << report;
+    EXPECT_TRUE(contains(report, "elastic.shrink.count")) << report;
+    EXPECT_TRUE(contains(report, "ckpt.restore.calls")) << report;
+    obs::Registry::instance().reset();
+  }
+}
+
+TEST(ElasticRecovery, LeadRankDeathStillProducesAResult) {
+  // Rank 0 is the result-carrying rank in the classic driver; elastically
+  // losing it must hand the result to the lowest survivor instead.
+  const auto alignment = simulate::paper_dataset(250, 24, 8);
+  const int ranks = 3;
+  ExperimentOptions options;
+  options.search.max_rounds = 2;
+  options.search.optimize_model = false;
+
+  const auto reference = run_distributed_search(alignment, ranks, options);
+  ExperimentOptions faulty = options;
+  faulty.fault_tolerance.elastic.enabled = true;
+  faulty.fault_tolerance.faults.kill_rank_mid_search(
+      0, per_rank_collectives(reference, ranks) / 2);
+  const auto recovered = run_distributed_search(alignment, ranks, faulty);
+
+  EXPECT_EQ(recovered.recoveries, 0);
+  EXPECT_EQ(recovered.in_place_recoveries, 1);
+  EXPECT_EQ(recovered.failed_ranks, std::vector<int>{0});
+  EXPECT_FALSE(recovered.final_tree_newick.empty());
+  expect_same_outcome(recovered, reference, alignment.taxon_names());
+}
+
+TEST(ElasticRecovery, ExhaustedInPlaceBudgetEscalatesToCheckpointRestart) {
+  // max_inplace_recoveries = 0: the failure must fall through to the classic
+  // checkpoint-restart ladder (recoveries == 1) and still converge.
+  const auto alignment = simulate::paper_dataset(250, 25, 8);
+  const int ranks = 2;
+  ExperimentOptions options;
+  options.search.max_rounds = 2;
+  options.search.optimize_model = false;
+
+  const auto reference = run_distributed_search(alignment, ranks, options);
+  ExperimentOptions faulty = options;
+  faulty.fault_tolerance.elastic.enabled = true;
+  faulty.fault_tolerance.max_inplace_recoveries = 0;
+  faulty.fault_tolerance.checkpoint_every_rounds = 1;
+  faulty.fault_tolerance.faults.kill_rank_mid_search(
+      1, (3 * per_rank_collectives(reference, ranks)) / 4);
+  const auto recovered = run_distributed_search(alignment, ranks, faulty);
+
+  EXPECT_EQ(recovered.in_place_recoveries, 0);
+  EXPECT_GE(recovered.recoveries, 1);
+  EXPECT_TRUE(contains(recovered.last_failure, "rank 1")) << recovered.last_failure;
+  expect_same_outcome(recovered, reference, alignment.taxon_names());
+}
+
+TEST(ElasticRecovery, SlowRankTriggersBoundedRebalance) {
+  // A persistently straggling rank (1 ms injected into every one of its
+  // kernel regions — a throttled node, not a blip) must be flagged by the
+  // timing vector riding the lnL allreduce and lose a shard to the fast
+  // rank — without perturbing the search outcome, and never more than
+  // max_moves times.
+  const auto alignment = simulate::paper_dataset(250, 26, 8);
+  const int ranks = 2;
+  ExperimentOptions options;
+  options.search.max_rounds = 2;
+  options.search.optimize_model = false;
+  options.fault_tolerance.sharding.shards_per_rank = 2;
+
+  const auto reference = run_distributed_search(alignment, ranks, options);
+  ASSERT_EQ(reference.rebalance_moves, 0);  // defense off by default
+
+  ExperimentOptions slowed = options;
+  slowed.fault_tolerance.sharding.straggler_defense = true;
+  slowed.fault_tolerance.sharding.straggler_factor = 3.0;
+  slowed.fault_tolerance.sharding.check_every = 4;
+  slowed.fault_tolerance.sharding.window = 2;
+  slowed.fault_tolerance.sharding.cooldown = 4;
+  slowed.fault_tolerance.sharding.max_moves = 2;
+  slowed.fault_tolerance.faults.slow_rank(1, /*from_call=*/1, /*calls=*/1000000,
+                                          /*delay_us=*/1000);
+  const auto rebalanced = run_distributed_search(alignment, ranks, slowed);
+
+  EXPECT_GE(rebalanced.rebalance_moves, 1);
+  EXPECT_LE(rebalanced.rebalance_moves, 2);  // bounded by max_moves
+  EXPECT_EQ(rebalanced.recoveries, 0);
+  EXPECT_TRUE(rebalanced.replicas_consistent);
+  expect_same_outcome(rebalanced, reference, alignment.taxon_names());
+}
+
+TEST(ElasticRecovery, SeededKillScheduleSoak) {
+  // Satellite soak: a seeded matrix over world size × failure step.  Every
+  // configuration must continue in place (no checkpoint restart) and land on
+  // the bit-identical tree/lnL of its fault-free reference.
+  const auto alignment = simulate::paper_dataset(200, 27, 8);
+  ExperimentOptions options;
+  options.search.max_rounds = 2;
+  options.search.optimize_model = false;
+  const auto names = alignment.taxon_names();
+
+  for (const int ranks : {2, 3}) {
+    const auto reference = run_distributed_search(alignment, ranks, options);
+    ASSERT_TRUE(reference.replicas_consistent);
+    const std::int64_t per_rank = per_rank_collectives(reference, ranks);
+    int case_index = 0;
+    for (const int quarter : {1, 2, 3}) {
+      // Deterministic victim choice that also covers killing rank 0.
+      const int victim = case_index++ % ranks;
+      const std::int64_t step = std::max<std::int64_t>(2, quarter * per_rank / 4);
+      SCOPED_TRACE("ranks=" + std::to_string(ranks) + " victim=" + std::to_string(victim) +
+                   " step=" + std::to_string(step));
+      ExperimentOptions faulty = options;
+      faulty.fault_tolerance.elastic.enabled = true;
+      faulty.fault_tolerance.faults.kill_rank_mid_search(victim, step);
+      const auto recovered = run_distributed_search(alignment, ranks, faulty);
+      EXPECT_EQ(recovered.recoveries, 0);
+      EXPECT_EQ(recovered.in_place_recoveries, 1);
+      EXPECT_EQ(recovered.failed_ranks, std::vector<int>{victim});
+      EXPECT_TRUE(recovered.replicas_consistent);
+      expect_same_outcome(recovered, reference, names);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace miniphi::examl

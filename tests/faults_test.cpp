@@ -267,8 +267,48 @@ TEST(Timeout, DroppedMessageDiagnosedOnRecv) {
     FAIL() << "expected DeadlockError";
   } catch (const DeadlockError& e) {
     EXPECT_TRUE(contains(e.what(), "recv timeout")) << e.what();
+    // The diagnosis names both ends of the missing message — who is stuck
+    // waiting and who never delivered — plus the tag.
+    EXPECT_TRUE(contains(e.what(), "rank 1 waiting for message from rank 0")) << e.what();
     EXPECT_TRUE(contains(e.what(), "tag 7")) << e.what();
   }
+}
+
+TEST(Timeout, RecvHonorsCollectiveTimeoutWithoutFaultPlan) {
+  // Satellite check: p2p recv respects the collective timeout even when no
+  // fault plan is installed — a sender that simply never sends becomes a
+  // diagnosed DeadlockError naming sender and receiver, not a hang.
+  World world(2);
+  world.set_collective_timeout(250ms);
+  try {
+    world.run([](Communicator& comm) {
+      if (comm.rank() == 1) (void)comm.recv(0, /*tag=*/9);  // never sent
+    });
+    FAIL() << "expected DeadlockError";
+  } catch (const DeadlockError& e) {
+    EXPECT_TRUE(contains(e.what(), "recv timeout")) << e.what();
+    EXPECT_TRUE(contains(e.what(), "rank 1 waiting for message from rank 0")) << e.what();
+    EXPECT_TRUE(contains(e.what(), "tag 9")) << e.what();
+  }
+}
+
+TEST(FaultPlan, SetFaultPlanValidatesTargetsAgainstWorldSize) {
+  // A plan aimed at a rank the world does not have is a test-author bug;
+  // it must fail loudly at configuration time, not silently never fire.
+  World world(2);
+  FaultPlan plan;
+  plan.kill_at_collective(2, 1);
+  try {
+    world.set_fault_plan(plan);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_TRUE(contains(e.what(), "targets rank 2")) << e.what();
+    EXPECT_TRUE(contains(e.what(), "2 ranks")) << e.what();
+  }
+  // In-range targets (and 'any sender' message faults) are accepted.
+  FaultPlan good;
+  good.kill_in_kernel(1, 3).drop_message(-1, 7);
+  EXPECT_NO_THROW(world.set_fault_plan(good));
 }
 
 TEST(MessageFaults, DelayedMessageArrivesLateButIntact) {
