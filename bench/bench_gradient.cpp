@@ -1,0 +1,132 @@
+// All-branch gradient smoothing benchmark: one branch-smoothing round via
+// the classic per-branch Newton protocol (prepare_derivatives per edge:
+// O(N) kernel launches per edge, O(N²) kernel work per round) versus the
+// postorder + preorder two-pass gradient (gradient_all_branches: O(N)
+// kernel work per round, one simultaneous Newton update).  Prints per-round
+// wall time and per-round kernel-call counts over a taxa sweep, and the
+// crossover point where the gradient round becomes cheaper.
+//
+// Exit status: with MINIPHI_BENCH_REQUIRE_SPEEDUP set, nonzero when the
+// kernel-work reduction at 64 taxa falls below the 3x acceptance bar (the
+// deterministic gate; wall time is reported but not gated — it is noisy on
+// shared CI hosts).
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "src/core/engine.hpp"
+#include "src/simulate/simulate.hpp"
+#include "src/util/timer.hpp"
+
+namespace {
+
+using namespace miniphi;
+
+constexpr std::int64_t kSites = 300;
+constexpr int kRounds = 5;
+constexpr int kGatedTaxa = 64;
+constexpr double kWorkReductionBar = 3.0;
+
+std::int64_t kernel_calls(const core::EvalStats& stats) {
+  using core::Kernel;
+  std::int64_t calls = 0;
+  for (const core::Kernel k :
+       {Kernel::kNewview, Kernel::kEvaluate, Kernel::kDerivSum, Kernel::kDerivCore}) {
+    calls += stats.kernel(k).calls;
+  }
+  return calls;
+}
+
+struct RoundCost {
+  double newton_seconds = 0.0;
+  double gradient_seconds = 0.0;
+  std::int64_t newton_calls = 0;    // kernel launches per round
+  std::int64_t gradient_calls = 0;
+};
+
+RoundCost measure(int ntaxa, std::uint64_t seed) {
+  Rng rng(seed);
+  tree::Tree tree = simulate::yule_tree(ntaxa, rng, 0.6);
+  simulate::SimulationOptions sim;
+  sim.sites = kSites;
+  const model::GtrModel model(model::GtrParams::jc69(0.8));
+  const auto data = simulate::simulate_alignment(tree, model, sim, rng);
+  const auto patterns = bio::compress_patterns(data.alignment);
+  core::LikelihoodEngine engine(patterns, model, tree);
+  tree::Slot* root = tree.tip(0);
+
+  // Warm-up: buffers, plans, and one full smoothing pass so both paths
+  // measure near-converged rounds (Newton iteration counts stabilize).
+  (void)engine.log_likelihood(root);
+  (void)engine.optimize_all_branches(root, 1);
+
+  RoundCost cost;
+  engine.reset_stats();
+  Timer newton_timer;
+  for (int round = 0; round < kRounds; ++round) {
+    (void)engine.optimize_all_branches(root, 1);
+  }
+  cost.newton_seconds = newton_timer.seconds() / kRounds;
+  cost.newton_calls = kernel_calls(engine.stats()) / kRounds;
+
+  std::vector<core::BranchGradient> gradient;
+  engine.reset_stats();
+  Timer gradient_timer;
+  for (int round = 0; round < kRounds; ++round) {
+    if (!engine.gradient_all_branches(root, gradient)) {
+      std::printf("FAIL: gradient_all_branches declined (full CLA budget expected)\n");
+      std::exit(1);
+    }
+    for (const core::BranchGradient& g : gradient) {
+      tree::Tree::set_length(g.edge,
+                             core::LikelihoodEngine::newton_step(g.length, g.first, g.second));
+    }
+    for (const core::BranchGradient& g : gradient) {
+      engine.invalidate_branch(g.edge->node_id);
+      engine.invalidate_branch(g.edge->back->node_id);
+    }
+    (void)engine.log_likelihood(root);
+  }
+  cost.gradient_seconds = gradient_timer.seconds() / kRounds;
+  cost.gradient_calls = kernel_calls(engine.stats()) / kRounds;
+  return cost;
+}
+
+}  // namespace
+
+int main() {
+  const int taxa_sweep[] = {16, 32, 64, 96};
+  std::printf("all-branch gradient smoothing: %lld sites, %d rounds per point\n\n",
+              static_cast<long long>(kSites), kRounds);
+  std::printf("%6s %14s %14s %9s %14s %14s %9s\n", "taxa", "newton[us]", "gradient[us]",
+              "time-x", "newton-calls", "grad-calls", "work-x");
+
+  bool ok = true;
+  int crossover = -1;
+  for (const int ntaxa : taxa_sweep) {
+    const RoundCost cost = measure(ntaxa, 4400 + static_cast<std::uint64_t>(ntaxa));
+    const double time_speedup =
+        cost.gradient_seconds > 0.0 ? cost.newton_seconds / cost.gradient_seconds : 0.0;
+    const double work_reduction =
+        cost.gradient_calls > 0
+            ? static_cast<double>(cost.newton_calls) / static_cast<double>(cost.gradient_calls)
+            : 0.0;
+    std::printf("%6d %14.1f %14.1f %8.2fx %14lld %14lld %8.2fx\n", ntaxa,
+                cost.newton_seconds * 1e6, cost.gradient_seconds * 1e6, time_speedup,
+                static_cast<long long>(cost.newton_calls),
+                static_cast<long long>(cost.gradient_calls), work_reduction);
+    if (crossover < 0 && cost.gradient_seconds < cost.newton_seconds) crossover = ntaxa;
+    if (ntaxa == kGatedTaxa && std::getenv("MINIPHI_BENCH_REQUIRE_SPEEDUP") != nullptr &&
+        work_reduction < kWorkReductionBar) {
+      std::printf("FAIL: kernel-work reduction %.2fx at %d taxa below the %.1fx bar\n",
+                  work_reduction, kGatedTaxa, kWorkReductionBar);
+      ok = false;
+    }
+  }
+  if (crossover >= 0) {
+    std::printf("\ngradient round faster from %d taxa onward (this sweep)\n", crossover);
+  } else {
+    std::printf("\ngradient round never beat the Newton round on this sweep\n");
+  }
+  return ok ? 0 : 1;
+}

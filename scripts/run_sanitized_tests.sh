@@ -44,7 +44,13 @@ cmake -B "${build}" -S "${root}" \
 # membership transitions are the most interleaving-sensitive code in the
 # repo — a missed notify or a fold over torn membership only surfaces under
 # TSan's scheduler.
-targets=(minimpi_test parallel_test faults_test elastic_test checkpoint_test examl_test site_repeats_test obs_test partitioned_test sdc_test)
+# gradient_test rides along: the preorder pass reads postorder CLAs and tip
+# rows through manually assembled kernel contexts (no make_child_input
+# bounds help on the seed path), and the lazily grown preorder buffers are
+# fresh allocations every first sweep — one-past-the-end reads in the
+# gather/sum kernels and use-after-invalidate on healed buffers are ASan's
+# home turf.
+targets=(minimpi_test parallel_test faults_test elastic_test checkpoint_test examl_test site_repeats_test obs_test partitioned_test sdc_test gradient_test)
 cmake --build "${build}" -j "$(nproc)" --target "${targets[@]}"
 
 status=0

@@ -72,6 +72,11 @@ class CatEngine final : public Evaluator {
   double optimize_branch(tree::Slot* edge, int max_iterations) override;
   using Evaluator::optimize_branch;
   double optimize_all_branches(tree::Slot* root_edge, int passes) override;
+  /// O(N) all-branch gradient via the postorder + preorder two-pass sweep
+  /// (see LikelihoodEngine::gradient_all_branches).  The CAT engine keeps one
+  /// CLA buffer per inner node by construction, so the postorder descent is
+  /// always fully resident and this never declines.
+  bool gradient_all_branches(tree::Slot* root_edge, std::vector<BranchGradient>& out) override;
   void invalidate_node(int node_id) override;
   /// CAT has no Γ shape; throws miniphi::Error (use optimize_site_rates).
   void set_alpha(double alpha) override;
@@ -157,10 +162,31 @@ class CatEngine final : public Evaluator {
   void heal_or_rethrow(const sdc::CorruptionDetected& fault, int attempt);
   void run_prepare_derivatives(tree::Slot* edge);
 
+  /// Preorder (root-to-tips) partial for one node, used only inside
+  /// gradient_all_branches.  Transient between sweeps: recomputed from
+  /// scratch on every call, so there is no `valid` flag — `checksummed`
+  /// only gates the SDC verify.  Verification is deliberately deferred to
+  /// consumption (`verified_pass = 0` after compute): the exposure window is
+  /// compute→consume within one descent.
+  struct PreorderCla {
+    AlignedDoubles cla;
+    std::vector<std::int32_t> scale;
+    std::uint64_t checksum = 0;
+    bool checksummed = false;
+    std::uint64_t verified_pass = 0;
+  };
+
+  void run_gradient_all_branches(tree::Slot* root_edge, std::vector<BranchGradient>& out);
+  void run_preorder_op(const TraversalPlan& plan, const PlfOp& op,
+                       std::vector<BranchGradient>& out);
+  void verify_preorder_cla(int node_id);
+
   EvalStats stats_;
   bool metrics_ = false;
   EngineMetricIds metric_ids_;
   PlanCache plan_cache_;
+  std::vector<PreorderCla> pre_clas_;  ///< [node_count], lazily sized
+  TraversalPlan preorder_plan_;
   bool sum_prepared_ = false;
   bool sdc_checks_ = false;
   std::uint64_t sdc_pass_ = 1;

@@ -88,6 +88,7 @@ LikelihoodEngine::LikelihoodEngine(const bio::PatternSet& patterns,
   if (obs::kMetricsCompiled && config.metrics == obs::MetricsMode::kOn) {
     metrics_ = true;
     metric_ids_ = register_engine_metrics(ops_.isa, site_repeats_ ? "repeats" : "dense");
+    pre_metric_ids_ = register_engine_metrics(ops_.isa, "preorder");
     plan_ids_ = register_plan_metrics();
     sdc_ids_ = sdc::register_metrics();
   }
@@ -1035,6 +1036,12 @@ void LikelihoodEngine::run_prepare_derivatives(tree::Slot* edge) {
 }
 
 std::pair<double, double> LikelihoodEngine::derivatives(double z) {
+  double lnl_unused = 0.0;
+  return run_derivatives(z, /*want_lnl=*/false, lnl_unused);
+}
+
+std::pair<double, double> LikelihoodEngine::run_derivatives(double z, bool want_lnl,
+                                                            double& lnl_out) {
   MINIPHI_CHECK(sum_prepared_, "derivatives() without prepare_derivatives()");
   build_dtab(model_, z, dtab_);
 
@@ -1044,14 +1051,16 @@ std::pair<double, double> LikelihoodEngine::derivatives(double z) {
   ctx.dtab = dtab_.data();
   ctx.begin = 0;
   ctx.end = length_;
+  ctx.want_lnl = want_lnl;
 
   auto& stat = stats_.kernel(Kernel::kDerivCore);
   Timer timer;
   double first = 0.0;
   double second = 0.0;
+  double lnl = 0.0;
   if (use_openmp_) {
 #if defined(_OPENMP)
-#pragma omp parallel firstprivate(ctx) reduction(+ : first, second)
+#pragma omp parallel firstprivate(ctx) reduction(+ : first, second, lnl)
     {
       const int nthreads = omp_get_num_threads();
       const int thread = omp_get_thread_num();
@@ -1062,18 +1071,22 @@ std::pair<double, double> LikelihoodEngine::derivatives(double z) {
         ops_.derivative_core(ctx);
         first += ctx.out_first;
         second += ctx.out_second;
+        lnl += ctx.out_lnl;
       }
     }
 #else
     ops_.derivative_core(ctx);
     first = ctx.out_first;
     second = ctx.out_second;
+    lnl = ctx.out_lnl;
 #endif
   } else {
     ops_.derivative_core(ctx);
     first = ctx.out_first;
     second = ctx.out_second;
+    lnl = ctx.out_lnl;
   }
+  lnl_out = lnl;
   const double elapsed = timer.seconds();
   const std::int64_t cla_bytes =
       length_ * kSiteBlock * static_cast<std::int64_t>(sizeof(double));  // sum-buffer reads
@@ -1115,13 +1128,30 @@ double LikelihoodEngine::optimize_branch(tree::Slot* edge, int max_iterations) {
     // from it propagates past this loop instead of doubling the budget.
     prepare_derivatives(edge);
     try {
-      double z = edge->length;
+      const double z0 = edge->length;
+      double z = z0;
+      double lnl0 = 0.0;
       for (int iteration = 0; iteration < max_iterations; ++iteration) {
-        const auto [first, second] = derivatives(z);
+        // Project the log-likelihood at the starting length on the first
+        // iteration: it is the baseline the final iterate must beat.
+        double lnl = 0.0;
+        const auto [first, second] = run_derivatives(z, /*want_lnl=*/iteration == 0, lnl);
+        if (iteration == 0) lnl0 = lnl;
         const double next = newton_step(z, first, second);
         const bool converged = std::abs(next - z) < 1e-10;
         z = next;
         if (converged) break;
+      }
+      if (z != z0) {
+        // The geometric fallback in newton_step (second ≥ 0) moves along the
+        // gradient's sign but has no step-size control, and a diverging
+        // Newton sequence can end anywhere: committing the final iterate
+        // unguarded could *lower* the likelihood.  The projection shares the
+        // prepared sum buffer, so the guard costs one derivativeCore call —
+        // no traversal.  `!(≥)` also rejects a NaN projection.
+        double lnl_final = 0.0;
+        run_derivatives(z, /*want_lnl=*/true, lnl_final);
+        if (!(lnl_final >= lnl0)) z = z0;
       }
       tree::Tree::set_length(edge, z);
       // Branch-length-only change: CLA values are stale, repeat classes are not.
@@ -1141,6 +1171,289 @@ double LikelihoodEngine::optimize_all_branches(tree::Slot* root_edge, int passes
     }
   }
   return log_likelihood(root_edge);
+}
+
+bool LikelihoodEngine::gradient_all_branches(tree::Slot* root_edge,
+                                             std::vector<BranchGradient>& out) {
+  MINIPHI_ASSERT(root_edge != nullptr && root_edge->back != nullptr);
+  if (cla_pool_.size() != clas_.size()) {
+    // Tight (recomputation) budget: the descent consumes every postorder CLA
+    // after one up-front validation, which the eviction machinery cannot
+    // keep resident.  Callers fall back to per-branch Newton.
+    out.clear();
+    return false;
+  }
+  if (!sdc_checks_) {
+    run_gradient_all_branches(root_edge, out);
+    return true;
+  }
+  for (int attempt = 0;; ++attempt) {
+    try {
+      begin_sdc_pass();
+      run_gradient_all_branches(root_edge, out);
+      return true;
+    } catch (const sdc::CorruptionDetected& fault) {
+      heal_or_rethrow(fault, attempt);
+    }
+  }
+}
+
+void LikelihoodEngine::run_gradient_all_branches(tree::Slot* root_edge,
+                                                 std::vector<BranchGradient>& out) {
+  out.clear();
+  out.reserve(static_cast<std::size_t>(tree_.edge_count()));
+  if (pre_clas_.empty()) pre_clas_.resize(static_cast<std::size_t>(tree_.node_count()));
+  if (site_repeats_ && identity_gather_.empty()) {
+    identity_gather_.resize(static_cast<std::size_t>(length_));
+    for (std::int64_t s = 0; s < length_; ++s) {
+      identity_gather_[static_cast<std::size_t>(s)] = static_cast<std::uint32_t>(s);
+    }
+  }
+
+  // Root edge first: the classic two-endpoint protocol.  Its validate_edge
+  // also orients every postorder CLA toward the root edge — exactly the
+  // orientation the descent's sibling inputs need.
+  run_prepare_derivatives(root_edge);
+  double root_lnl_unused = 0.0;
+  const auto [root_first, root_second] =
+      run_derivatives(root_edge->length, /*want_lnl=*/false, root_lnl_unused);
+  out.push_back({root_edge, root_edge->length, root_first, root_second});
+
+  // Root-to-tips descent.  Ops are emitted parents-first, so emission order
+  // is a valid schedule; it is also the only schedule used — the pass is
+  // deliberately serial so the per-edge results are bit-identical no matter
+  // how the postorder CLAs were produced (per-node, wavefront or distributed
+  // execution all commit the same buffers).
+  TraversalPlanner::build_preorder(root_edge, preorder_plan_);
+  for (const PlfOp& op : preorder_plan_.ops()) {
+    run_preorder_op(preorder_plan_, op, out);
+  }
+  // The descent reused the sum buffer for its per-edge contractions.
+  sum_prepared_ = false;
+}
+
+void LikelihoodEngine::run_preorder_op(const TraversalPlan& plan, const PlfOp& op,
+                                       std::vector<BranchGradient>& out) {
+  MINIPHI_ASSERT(op.kind == PlfOpKind::kPreorder);
+  tree::Slot* toward = op.slot;       // parent's half-edge toward the node
+  tree::Slot* v_slot = toward->back;  // the node's half-edge back up
+  const int v = op.node_id;
+  MINIPHI_ASSERT(v == v_slot->node_id);
+  MINIPHI_ASSERT(v >= 0 && v < tree_.node_count());
+
+  PreorderCla& pre = pre_clas_[static_cast<std::size_t>(v)];
+  if (pre.cla.empty()) {
+    pre.cla.resize(static_cast<std::size_t>(length_) * kSiteBlock);
+    pre.scale.assign(static_cast<std::size_t>(length_), 0);
+  }
+
+  NewviewCtx ctx;
+  ctx.parent_cla = pre.cla.data();
+  ctx.parent_scale = pre.scale.data();
+  ctx.wtable = wtable_.data();
+  ctx.begin = 0;
+  ctx.end = length_;
+  ctx.tuning = tuning_;
+
+  // Left input: the context flowing down from above — the parent's preorder
+  // partial across the parent's own parent edge, or (seed op) the opposite
+  // root-edge endpoint across the root edge.
+  tree::Slot* left_inner_post = nullptr;  // inner postorder slot on the left, if any
+  bool left_dense = false;                // left CLA is site-indexed (a preorder partial)
+  if (op.left_op >= 0) {
+    const PlfOp& above = plan.ops()[static_cast<std::size_t>(op.left_op)];
+    const int u = toward->node_id;
+    verify_preorder_cla(u);
+    PreorderCla& upre = pre_clas_[static_cast<std::size_t>(u)];
+    build_ptable(model_, above.slot->length, ptable_left_);
+    ctx.left.ptable = ptable_left_.data();
+    ctx.left.cla = upre.cla.data();
+    ctx.left.scale = upre.scale.data();
+    left_dense = true;
+  } else {
+    // The root slot at this endpoint is the ring slot that is neither the
+    // op's own slot nor the sibling.
+    tree::Slot* root_slot = (toward->next == op.sibling) ? toward->next->next : toward->next;
+    tree::Slot* opposite = root_slot->back;
+    ctx.left =
+        make_child_input(opposite, ptable_left_, ump_left_, root_slot->length, /*verify=*/true);
+    if (!opposite->is_tip()) left_inner_post = opposite;
+  }
+
+  // Right input: the sibling's postorder side.
+  tree::Slot* sib = op.sibling->back;
+  ctx.right = make_child_input(sib, ptable_right_, ump_right_, op.sibling->length,
+                               /*verify=*/true);
+
+  // Gathers are only needed when a class-compressed postorder CLA
+  // participates; preorder partials and tip code rows stay site-indexed.
+  const bool gather = site_repeats_ && (left_inner_post != nullptr || !sib->is_tip());
+  if (gather) {
+    const auto class_map = [this](const tree::Slot* s) -> const std::uint32_t* {
+      const NodeRepeats& rep =
+          repeats_[static_cast<std::size_t>(s->node_id - tree_.taxon_count())];
+      MINIPHI_ASSERT(rep.orientation == s->slot_index);
+      return rep.class_of_site.data();
+    };
+    // newview_repeats reads tip codes through the gather field, so a
+    // site-indexed tip row must be widened to uint32 when the *other* side
+    // forces the gather path (only seed ops can hit this: cost O(sites),
+    // at most twice per descent).
+    const auto code_map = [this](const ChildInput& side,
+                                 std::vector<std::uint32_t>& scratch) -> const std::uint32_t* {
+      scratch.resize(static_cast<std::size_t>(length_));
+      for (std::int64_t s = 0; s < length_; ++s) {
+        scratch[static_cast<std::size_t>(s)] = static_cast<std::uint32_t>(side.codes[s]);
+      }
+      return scratch.data();
+    };
+    if (left_dense) {
+      ctx.left.gather = identity_gather_.data();
+    } else if (left_inner_post != nullptr) {
+      ctx.left.gather = class_map(left_inner_post);
+    } else {
+      ctx.left.gather = code_map(ctx.left, code_gather_left_);
+    }
+    ctx.right.gather = sib->is_tip() ? code_map(ctx.right, code_gather_right_) : class_map(sib);
+  }
+
+  void (*newview_fn)(NewviewCtx&) = gather ? ops_.newview_repeats : ops_.newview;
+  {
+    auto& stat = stats_.kernel(Kernel::kNewview);
+    Timer timer;
+    newview_fn(ctx);
+    const double elapsed = timer.seconds();
+    const std::int64_t cla_blocks =
+        length_ * (1 + (ctx.left.is_tip() ? 0 : 1) + (ctx.right.is_tip() ? 0 : 1));
+    const std::int64_t cla_bytes =
+        cla_blocks * kSiteBlock * static_cast<std::int64_t>(sizeof(double));
+    stat.seconds += elapsed;
+    ++stat.calls;
+    stat.sites += length_;
+    stat.sites_represented += length_;
+    stat.bytes += cla_bytes;
+    if (metrics_) {
+      publish_kernel(
+          pre_metric_ids_.kernels[static_cast<std::size_t>(static_cast<int>(Kernel::kNewview))],
+          length_, length_, cla_bytes, elapsed);
+    }
+  }
+  if (trace_ != nullptr) {
+    trace_->record(TraceKernel::kNewview, ctx.left.is_tip(), ctx.right.is_tip(), length_,
+                   length_);
+  }
+  if (sdc_checks_) {
+    sdc::ClaChecksum sum;
+    ops_.cla_checksum(sum, pre.cla.data(), pre.scale.data(), 0, length_);
+    pre.checksum = sum.finish();
+    pre.checked_blocks = length_;
+    // Deliberately NOT trusted-for-this-pass: see verify_preorder_cla.
+    pre.verified_pass = 0;
+  }
+
+  // Gradient of the edge above the node: derivativeSum contracts the fresh
+  // preorder partial against the node's own postorder side, derivativeCore
+  // evaluates ℓ'/ℓ'' at the edge's current length.
+  SumCtx sctx;
+  sctx.sum = sum_buffer_.data();
+  sctx.left_cla = pre.cla.data();
+  sctx.begin = 0;
+  sctx.end = length_;
+  sctx.tuning = tuning_;
+  void (*sum_fn)(SumCtx&) = ops_.derivative_sum;
+  bool right_tip = v_slot->is_tip();
+  if (right_tip) {
+    sctx.right_codes = patterns_.tip_rows[static_cast<std::size_t>(v)].data() + offset_;
+    sctx.tipvec16 = tipvec16_.data();
+  } else {
+    MINIPHI_ASSERT(slot_valid(v_slot));
+    verify_cla(v_slot);
+    auto& node = node_cla(v);
+    sctx.right_cla = cla_data(node);
+    if (site_repeats_) {
+      const NodeRepeats& rep = repeats_[static_cast<std::size_t>(v - tree_.taxon_count())];
+      MINIPHI_ASSERT(rep.orientation == v_slot->slot_index);
+      sctx.left_gather = identity_gather_.data();
+      sctx.right_gather = rep.class_of_site.data();
+      sum_fn = ops_.derivative_sum_gather;
+    }
+  }
+  {
+    auto& stat = stats_.kernel(Kernel::kDerivSum);
+    Timer timer;
+    sum_fn(sctx);
+    const double elapsed = timer.seconds();
+    const std::int64_t cla_bytes = length_ * (right_tip ? 2 : 3) * kSiteBlock *
+                                   static_cast<std::int64_t>(sizeof(double));
+    stat.seconds += elapsed;
+    ++stat.calls;
+    stat.sites += length_;
+    stat.sites_represented += length_;
+    stat.bytes += cla_bytes;
+    if (metrics_) {
+      publish_kernel(
+          pre_metric_ids_.kernels[static_cast<std::size_t>(static_cast<int>(Kernel::kDerivSum))],
+          length_, length_, cla_bytes, elapsed);
+    }
+    if (trace_ != nullptr) {
+      trace_->record(TraceKernel::kDerivSum, false, right_tip, length_);
+    }
+  }
+
+  build_dtab(model_, toward->length, dtab_);
+  DerivCtx dctx;
+  dctx.sum = sum_buffer_.data();
+  dctx.weights = patterns_.weights.data() + offset_;
+  dctx.dtab = dtab_.data();
+  dctx.begin = 0;
+  dctx.end = length_;
+  {
+    auto& stat = stats_.kernel(Kernel::kDerivCore);
+    Timer timer;
+    ops_.derivative_core(dctx);
+    const double elapsed = timer.seconds();
+    const std::int64_t cla_bytes =
+        length_ * kSiteBlock * static_cast<std::int64_t>(sizeof(double));
+    stat.seconds += elapsed;
+    ++stat.calls;
+    stat.sites += length_;
+    stat.sites_represented += length_;
+    stat.bytes += cla_bytes;
+    if (metrics_) {
+      publish_kernel(
+          pre_metric_ids_.kernels[static_cast<std::size_t>(static_cast<int>(Kernel::kDerivCore))],
+          length_, length_, cla_bytes, elapsed);
+    }
+    if (trace_ != nullptr) {
+      trace_->record(TraceKernel::kDerivCore, false, right_tip, length_);
+    }
+  }
+  if (sdc_checks_ && (!std::isfinite(dctx.out_first) || !std::isfinite(dctx.out_second))) {
+    report_corruption(-1, "sdc: non-finite all-branch gradient from derivativeCore");
+  }
+  out.push_back({toward, toward->length, dctx.out_first, dctx.out_second});
+}
+
+void LikelihoodEngine::verify_preorder_cla(int node_id) {
+  if (!sdc_checks_) return;
+  PreorderCla& pre = pre_clas_[static_cast<std::size_t>(node_id)];
+  if (pre.verified_pass == sdc_pass_ || pre.checked_blocks <= 0) return;
+  Timer timer;
+  sdc::ClaChecksum sum;
+  ops_.cla_checksum(sum, pre.cla.data(), pre.scale.data(), 0, pre.checked_blocks);
+  ++sdc_counters_.checks;
+  if (metrics_) {
+    obs::Registry& registry = obs::Registry::instance();
+    registry.add(sdc_ids_.checks, 1);
+    registry.observe(sdc_ids_.verify_ns, static_cast<std::int64_t>(timer.seconds() * 1e9));
+  }
+  if (sum.finish() != pre.checksum) {
+    // Preorder partials are transient (rebuilt every descent), so no single
+    // postorder CLA is implicated: heal with the full sweep.
+    report_corruption(-1, "sdc: preorder partial checksum mismatch at node " +
+                              std::to_string(node_id));
+  }
+  pre.verified_pass = sdc_pass_;
 }
 
 void LikelihoodEngine::reset_stats() { stats_ = EvalStats{}; }

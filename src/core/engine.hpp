@@ -130,6 +130,18 @@ class LikelihoodEngine final : public Evaluator {
   double optimize_all_branches(tree::Slot* root_edge, int passes) override;
   double optimize_all_branches(tree::Slot* root_edge) { return optimize_all_branches(root_edge, 1); }
 
+  /// All-branch derivatives in one postorder + preorder sweep: the postorder
+  /// CLAs are validated toward `root_edge` once, then a root-to-tips descent
+  /// computes one *preorder partial* per non-root edge (the conditional
+  /// likelihood of everything outside the edge's subtree) with the ordinary
+  /// newview kernel — reversibility folds the direction reversal into the
+  /// stored eigenspace form — and contracts it against the edge's postorder
+  /// side through derivativeSum/derivativeCore.  O(N) kernel invocations for
+  /// all 2N−3 branches instead of the O(N²) of preparing each branch with its
+  /// own traversal.  Returns false under a tight (recomputation) CLA budget:
+  /// the descent needs every postorder CLA resident at once.
+  bool gradient_all_branches(tree::Slot* root_edge, std::vector<BranchGradient>& out) override;
+
   [[nodiscard]] const KernelStat& stats(Kernel k) const { return stats_.kernel(k); }
   [[nodiscard]] const EvalStats& stats() const override { return stats_; }
   void reset_stats() override;
@@ -324,6 +336,45 @@ class LikelihoodEngine final : public Evaluator {
   /// The body of prepare_derivatives(), wrapped by the heal loop.
   void run_prepare_derivatives(tree::Slot* edge);
 
+  /// The body of derivatives(), optionally also projecting the prepared
+  /// branch's log-likelihood at `z` (DerivCtx::want_lnl) — the guard
+  /// optimize_branch uses to reject an uphill final Newton iterate.
+  std::pair<double, double> run_derivatives(double z, bool want_lnl, double& lnl_out);
+
+  // --- Preorder partials (all-branch gradient) ---------------------------
+  //
+  // One buffer per node (tips included: the branch *above* a tip still needs
+  // its gradient).  A node's preorder partial is the eigenspace conditional
+  // of the whole tree minus the node's subtree, seen across the node's
+  // parent edge — computed top-down by the standard newview kernel from the
+  // parent's preorder partial and the sibling's postorder CLA.  Buffers are
+  // always dense (site-indexed) even on the site-repeats path, because the
+  // outer context of a site is not a function of the subtree pattern the
+  // repeat classes dedup on; the repeat machinery still compresses every
+  // postorder *input* through the per-site class maps.  Allocated lazily on
+  // the first gradient_all_branches() call (~2× the postorder CLA pool).
+  struct PreorderCla {
+    AlignedDoubles cla;                ///< [length_ × kSiteBlock]
+    std::vector<std::int32_t> scale;   ///< [length_]
+    std::uint64_t checksum = 0;        ///< sdc defense, as NodeCla
+    std::int64_t checked_blocks = 0;
+    std::uint64_t verified_pass = 0;
+  };
+
+  /// The body of gradient_all_branches(), wrapped by the heal loop.
+  void run_gradient_all_branches(tree::Slot* root_edge, std::vector<BranchGradient>& out);
+
+  /// One preorder op: computes the preorder partial of op.node_id and
+  /// appends the gradient of the edge above it (op.slot) to `out`.
+  void run_preorder_op(const TraversalPlan& plan, const PlfOp& op,
+                       std::vector<BranchGradient>& out);
+
+  /// Re-verifies a preorder partial before it is consumed as a parent input.
+  /// Unlike postorder CLAs, a preorder buffer is never read on a later pass,
+  /// so storing its checksum does NOT mark it trusted — the exposure window
+  /// is precisely compute → first consumption within one descent.
+  void verify_preorder_cla(int node_id);
+
   // --- Site-repeats machinery -------------------------------------------
   //
   // Per inner node: a site → class map (two sites share a class iff their
@@ -424,6 +475,14 @@ class LikelihoodEngine final : public Evaluator {
   std::uint64_t sdc_pass_ = 1;  ///< trust pass for the verify memo
   sdc::Counters sdc_counters_;
   sdc::MetricIds sdc_ids_;
+
+  // Preorder-partial state (lazily sized by gradient_all_branches).
+  std::vector<PreorderCla> pre_clas_;          ///< indexed by node_id (tips too)
+  std::vector<std::uint32_t> identity_gather_; ///< 0..length_-1 (dense side of a gather op)
+  std::vector<std::uint32_t> code_gather_left_;   ///< tip codes widened for newview_repeats
+  std::vector<std::uint32_t> code_gather_right_;
+  TraversalPlan preorder_plan_;
+  EngineMetricIds pre_metric_ids_;  ///< "plf.<isa>.preorder.*" family
 
   // State of the prepared derivative buffer.
   bool sum_prepared_ = false;

@@ -11,12 +11,23 @@
 #pragma once
 
 #include <utility>
+#include <vector>
 
 #include "src/core/eval_stats.hpp"
 #include "src/model/gtr.hpp"
 #include "src/tree/tree.hpp"
 
 namespace miniphi::core {
+
+/// One entry of the all-branch gradient: the log-likelihood's first and
+/// second derivative with respect to this edge's branch length, evaluated at
+/// `length` (the length at the time of the call).
+struct BranchGradient {
+  tree::Slot* edge = nullptr;
+  double length = 0.0;
+  double first = 0.0;
+  double second = 0.0;
+};
 
 class Evaluator {
  public:
@@ -36,6 +47,20 @@ class Evaluator {
 
   /// Smoothing passes over all branches; returns the final log-likelihood.
   virtual double optimize_all_branches(tree::Slot* root_edge, int passes) = 0;
+
+  /// Derivatives of the log-likelihood w.r.t. *every* branch length in one
+  /// postorder + preorder two-pass sweep (O(N) kernel work instead of the
+  /// O(N²) of preparing each branch separately).  Fills `out` with one entry
+  /// per edge — the root edge first, then the preorder emission order — and
+  /// returns true.  Returns false (out cleared) when the implementation
+  /// cannot run the preorder pass (e.g. a tight CLA budget or an aggregating
+  /// evaluator without the machinery); callers must then fall back to the
+  /// per-branch Newton path.
+  virtual bool gradient_all_branches(tree::Slot* root_edge, std::vector<BranchGradient>& out) {
+    (void)root_edge;
+    out.clear();
+    return false;
+  }
 
   /// Invalidate the CLA of one inner node (after topology/branch changes).
   virtual void invalidate_node(int node_id) = 0;

@@ -469,4 +469,154 @@ double GeneralEngine::optimize_all_branches(tree::Slot* root_edge, int passes) {
   return log_likelihood(root_edge);
 }
 
+bool GeneralEngine::gradient_all_branches(tree::Slot* root_edge,
+                                          std::vector<BranchGradient>& out) {
+  MINIPHI_ASSERT(root_edge != nullptr && root_edge->back != nullptr);
+  if (!sdc_checks_) {
+    run_gradient_all_branches(root_edge, out);
+    return true;
+  }
+  for (int attempt = 0;; ++attempt) {
+    try {
+      begin_sdc_pass();
+      run_gradient_all_branches(root_edge, out);
+      return true;
+    } catch (const sdc::CorruptionDetected& fault) {
+      heal_or_rethrow(fault, attempt);
+    }
+  }
+}
+
+void GeneralEngine::run_gradient_all_branches(tree::Slot* root_edge,
+                                              std::vector<BranchGradient>& out) {
+  out.clear();
+  out.reserve(static_cast<std::size_t>(tree_.edge_count()));
+  if (pre_clas_.empty()) pre_clas_.resize(static_cast<std::size_t>(tree_.node_count()));
+
+  // Postorder pass + root-edge derivative via the classic protocol.
+  run_prepare_derivatives(root_edge);
+  const auto [root_first, root_second] = derivatives(root_edge->length);
+  out.push_back({root_edge, root_edge->length, root_first, root_second});
+
+  // Preorder pass, serial in emission order (parents precede children).
+  TraversalPlanner::build_preorder(root_edge, preorder_plan_);
+  for (const PlfOp& op : preorder_plan_.ops()) run_preorder_op(preorder_plan_, op, out);
+  sum_prepared_ = false;  // sum_buffer_ holds the last preorder edge's sums
+}
+
+void GeneralEngine::run_preorder_op(const TraversalPlan& plan, const PlfOp& op,
+                                    std::vector<BranchGradient>& out) {
+  MINIPHI_ASSERT(op.kind == PlfOpKind::kPreorder);
+  tree::Slot* toward = op.slot;       // u's slot pointing down at v
+  tree::Slot* v_slot = toward->back;  // v, the node this op's partial points at
+  const int v = op.node_id;
+
+  PreorderCla& pre = pre_clas_[static_cast<std::size_t>(v)];
+  if (pre.cla.empty()) {
+    pre.cla.assign(static_cast<std::size_t>(length_ * dims_.block()), 0.0);
+    pre.scale.assign(static_cast<std::size_t>(length_), 0);
+  }
+
+  // Preorder partial of v = newview(parent input across the edge above u,
+  // sibling's postorder side across the sibling edge).
+  GNewviewCtx ctx;
+  ctx.parent_cla = pre.cla.data();
+  ctx.parent_scale = pre.scale.data();
+  if (op.left_op >= 0) {
+    const PlfOp& above = plan.ops()[static_cast<std::size_t>(op.left_op)];
+    const int u = toward->node_id;
+    verify_preorder_cla(u);
+    PreorderCla& parent = pre_clas_[static_cast<std::size_t>(u)];
+    build_general_ptable(model_, above.slot->length, ptable_left_);
+    ctx.left.ptable = ptable_left_.data();
+    ctx.left.cla = parent.cla.data();
+    ctx.left.scale = parent.scale.data();
+  } else {
+    // Seed op at the root edge: the parent input is the *opposite* endpoint
+    // of the root edge across root_edge->length.
+    tree::Slot* root_slot =
+        (toward->next == op.sibling) ? toward->next->next : toward->next;
+    ctx.left = make_child_input(root_slot->back, ptable_left_, ump_left_, root_slot->length);
+  }
+  ctx.right = make_child_input(op.sibling->back, ptable_right_, ump_right_, op.sibling->length);
+  ctx.wtable = wtable_.data();
+  ctx.dims = dims_;
+  ctx.begin = 0;
+  ctx.end = length_;
+  ctx.tuning = tuning_;
+
+  Timer timer;
+  ops_.newview(ctx);
+  record_kernel(Kernel::kNewview,
+                length_ * (1 + (ctx.left.is_tip() ? 0 : 1) + (ctx.right.is_tip() ? 0 : 1)),
+                timer.seconds());
+  if (sdc_checks_) {
+    pre.checksum = sdc::checksum_cla(pre.cla.data(), static_cast<std::int64_t>(pre.cla.size()),
+                                     pre.scale.data(), length_);
+    pre.checksummed = true;
+    pre.verified_pass = 0;  // trust is earned at consumption, not at compute
+  }
+
+  // Gradient of the edge (u, v): derivative sums of the preorder partial
+  // against v's own postorder side, then the derivative core at toward's
+  // length.  Scale factors cancel in the ℓ'/ℓ'' ratios.
+  GSumCtx sctx;
+  sctx.sum = sum_buffer_.data();
+  sctx.left_cla = pre.cla.data();
+  const bool right_tip = v_slot->is_tip();
+  if (right_tip) {
+    sctx.right_codes = patterns_.tip_rows[static_cast<std::size_t>(v)].data() + offset_;
+    sctx.tipvec = tipvec_.data();
+  } else {
+    MINIPHI_ASSERT(slot_valid(v_slot));
+    verify_cla(v_slot);
+    sctx.right_cla = node_cla(v).cla.data();
+  }
+  sctx.dims = dims_;
+  sctx.begin = 0;
+  sctx.end = length_;
+  sctx.tuning = tuning_;
+  Timer sum_timer;
+  ops_.derivative_sum(sctx);
+  record_kernel(Kernel::kDerivSum, length_ * (right_tip ? 2 : 3), sum_timer.seconds());
+
+  build_general_dtab(model_, toward->length, dtab_);
+  GDerivCtx dctx;
+  dctx.sum = sum_buffer_.data();
+  dctx.weights = patterns_.weights.data() + offset_;
+  dctx.dtab = dtab_.data();
+  dctx.dims = dims_;
+  dctx.begin = 0;
+  dctx.end = length_;
+  Timer core_timer;
+  ops_.derivative_core(dctx);
+  record_kernel(Kernel::kDerivCore, length_, core_timer.seconds());
+  if (sdc_checks_ && (!std::isfinite(dctx.out_first) || !std::isfinite(dctx.out_second))) {
+    report_corruption(-1, "sdc: non-finite all-branch gradient from general derivativeCore");
+  }
+  out.push_back({toward, toward->length, dctx.out_first, dctx.out_second});
+}
+
+void GeneralEngine::verify_preorder_cla(int node_id) {
+  if (!sdc_checks_) return;
+  PreorderCla& pre = pre_clas_[static_cast<std::size_t>(node_id)];
+  if (pre.verified_pass == sdc_pass_ || !pre.checksummed) return;
+  Timer timer;
+  const std::uint64_t actual = sdc::checksum_cla(
+      pre.cla.data(), static_cast<std::int64_t>(pre.cla.size()), pre.scale.data(), length_);
+  ++sdc_counters_.checks;
+  if (metrics_) {
+    obs::Registry& registry = obs::Registry::instance();
+    registry.add(sdc_ids_.checks, 1);
+    registry.observe(sdc_ids_.verify_ns, static_cast<std::int64_t>(timer.seconds() * 1e9));
+  }
+  if (actual != pre.checksum) {
+    // Preorder partials are transient (no committed copy to pinpoint), so
+    // heal with the full-sweep path.
+    report_corruption(-1, "sdc: general preorder partial checksum mismatch at node " +
+                              std::to_string(node_id));
+  }
+  pre.verified_pass = sdc_pass_;
+}
+
 }  // namespace miniphi::core

@@ -51,6 +51,13 @@ class GeneralEngine final : public Evaluator {
   double optimize_branch(tree::Slot* edge, int max_iterations) override;
   using Evaluator::optimize_branch;
   double optimize_all_branches(tree::Slot* root_edge, int passes) override;
+  /// O(N) all-branch gradient via the postorder + preorder two-pass sweep
+  /// (see LikelihoodEngine::gradient_all_branches).  One CLA buffer per
+  /// inner node by construction, so this never declines.  The preorder pass
+  /// is serial even when use_openmp is on: its per-edge kernels reuse the
+  /// shared table scratch, and serial emission keeps the result bit-identical
+  /// across dispatch schedules.
+  bool gradient_all_branches(tree::Slot* root_edge, std::vector<BranchGradient>& out) override;
   void invalidate_node(int node_id) override;
   void set_alpha(double alpha) override { set_general_model(model_.with_alpha(alpha)); }
   [[nodiscard]] double alpha() const override { return model_.alpha(); }
@@ -131,10 +138,29 @@ class GeneralEngine final : public Evaluator {
   void heal_or_rethrow(const sdc::CorruptionDetected& fault, int attempt);
   void run_prepare_derivatives(tree::Slot* edge);
 
+  /// Preorder (root-to-tips) partial for one node; transient between
+  /// gradient_all_branches sweeps.  SDC verification is deferred to
+  /// consumption (`verified_pass = 0` after compute) — the exposure window
+  /// is compute→consume within one descent.
+  struct PreorderCla {
+    AlignedDoubles cla;
+    std::vector<std::int32_t> scale;
+    std::uint64_t checksum = 0;
+    bool checksummed = false;
+    std::uint64_t verified_pass = 0;
+  };
+
+  void run_gradient_all_branches(tree::Slot* root_edge, std::vector<BranchGradient>& out);
+  void run_preorder_op(const TraversalPlan& plan, const PlfOp& op,
+                       std::vector<BranchGradient>& out);
+  void verify_preorder_cla(int node_id);
+
   EvalStats stats_;
   bool metrics_ = false;
   EngineMetricIds metric_ids_;
   PlanCache plan_cache_;
+  std::vector<PreorderCla> pre_clas_;  ///< [node_count], lazily sized
+  TraversalPlan preorder_plan_;
   bool sum_prepared_ = false;
   bool sdc_checks_ = false;
   std::uint64_t sdc_pass_ = 1;

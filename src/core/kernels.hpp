@@ -139,6 +139,15 @@ struct DerivCtx {
   std::int64_t end = 0;
   double out_first = 0.0;   ///< Σ_s w_s ℓ'_s/ℓ_s
   double out_second = 0.0;  ///< Σ_s w_s (ℓ''_s/ℓ_s − (ℓ'_s/ℓ_s)²)
+  /// Optional projected log-likelihood at the dtab's branch length:
+  /// out_lnl = Σ_s w_s log(ℓ_s).  Scale counts are constant while the sum
+  /// buffer is prepared, so two projections at different z are comparable
+  /// up to the same additive scaling constant — enough to order candidate
+  /// branch lengths within one prepare_derivatives() window.  Accumulated
+  /// in a separate register chain so first/second stay bit-identical
+  /// whether or not the projection is requested.
+  bool want_lnl = false;
+  double out_lnl = 0.0;
 };
 
 /// One kernel back-end (one ISA).  All functions are thread-safe and operate

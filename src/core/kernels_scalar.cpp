@@ -145,6 +145,7 @@ void derivative_core_scalar(DerivCtx& ctx) {
   const double* d2 = ctx.dtab + 2 * kSiteBlock;
   double first = 0.0;
   double second = 0.0;
+  double lnl = 0.0;
   for (std::int64_t s = ctx.begin; s < ctx.end; ++s) {
     const double* sb = ctx.sum + s * kSiteBlock;
     double l0 = 0.0, l1 = 0.0, l2 = 0.0;
@@ -160,9 +161,11 @@ void derivative_core_scalar(DerivCtx& ctx) {
     const double w = ctx.weights[s];
     first += w * t1;
     second += w * (t2 - t1 * t1);
+    if (ctx.want_lnl) lnl += w * std::log(l0);
   }
   ctx.out_first = first;
   ctx.out_second = second;
+  ctx.out_lnl = lnl;
 }
 
 void cla_checksum_scalar(sdc::ClaChecksum& sum, const double* cla, const std::int32_t* scale,

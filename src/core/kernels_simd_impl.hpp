@@ -198,6 +198,7 @@ struct SimdKernels {
     P second_acc = P::zero();
     double first_tail = 0.0;
     double second_tail = 0.0;
+    double lnl = 0.0;
 
     std::int64_t s = ctx.begin;
     for (; s + kSiteGroup <= ctx.end; s += kSiteGroup) {
@@ -232,6 +233,12 @@ struct SimdKernels {
         first_acc = P::fma(w, t1, first_acc);
         second_acc = P::fma(w, t2 - t1 * t1, second_acc);
       }
+      // The lnL projection accumulates in its own scalar chain: log() has no
+      // pack form here, and keeping it separate leaves first/second
+      // bit-identical whether or not the projection is requested.
+      if (ctx.want_lnl) {
+        for (int j = 0; j < kSiteGroup; ++j) lnl += wd[j] * std::log(l0[j]);
+      }
     }
     // Scalar tail for ranges not divisible by the site group.
     for (; s < ctx.end; ++s) {
@@ -249,9 +256,11 @@ struct SimdKernels {
       const double w = static_cast<double>(ctx.weights[s]);
       first_tail += w * t1;
       second_tail += w * (t2 - t1 * t1);
+      if (ctx.want_lnl) lnl += w * std::log(a0);
     }
     ctx.out_first = first_acc.horizontal_sum() + first_tail;
     ctx.out_second = second_acc.horizontal_sum() + second_tail;
+    ctx.out_lnl = lnl;
   }
 
   /// Vectorized lane-structured CLA checksum (sdc_checksum.hpp): the 16

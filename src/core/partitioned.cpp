@@ -299,6 +299,36 @@ double PartitionedEvaluator::optimize_all_branches(tree::Slot* root_edge, int pa
   return log_likelihood(root_edge);
 }
 
+bool PartitionedEvaluator::gradient_all_branches(tree::Slot* root_edge,
+                                                 std::vector<BranchGradient>& out) {
+  out.clear();
+  std::vector<std::vector<BranchGradient>> partials(static_cast<std::size_t>(partition_count()));
+  std::vector<char> supported(static_cast<std::size_t>(partition_count()), 0);
+  run_region(partition_count(), [&](int p) {
+    supported[static_cast<std::size_t>(p)] =
+        engines_[static_cast<std::size_t>(p)]->gradient_all_branches(
+            root_edge, partials[static_cast<std::size_t>(p)])
+            ? 1
+            : 0;
+  });
+  for (const char ok : supported) {
+    if (!ok) return false;
+  }
+  // Every partition walks the same tree with the same deterministic preorder
+  // plan, so the per-partition entries line up edge for edge; sum in fixed
+  // partition order.
+  out = std::move(partials.front());
+  for (std::size_t p = 1; p < partials.size(); ++p) {
+    MINIPHI_ASSERT(partials[p].size() == out.size());
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      MINIPHI_ASSERT(partials[p][i].edge == out[i].edge);
+      out[i].first += partials[p][i].first;
+      out[i].second += partials[p][i].second;
+    }
+  }
+  return true;
+}
+
 void PartitionedEvaluator::invalidate_node(int node_id) {
   for (auto& engine : engines_) engine->invalidate_node(node_id);
 }

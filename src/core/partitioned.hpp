@@ -103,6 +103,12 @@ class PartitionedEvaluator final : public Evaluator {
   double optimize_branch(tree::Slot* edge, int max_iterations) override;
   using Evaluator::optimize_branch;
   double optimize_all_branches(tree::Slot* root_edge, int passes) override;
+  /// All-branch gradient: each partition runs its own two-pass sweep; the
+  /// per-edge derivatives are summed in fixed partition order (bit-identical
+  /// across schedules and thread counts like every other reduction here).
+  /// Declines (false) as soon as any partition declines, e.g. under a tight
+  /// CLA budget.
+  bool gradient_all_branches(tree::Slot* root_edge, std::vector<BranchGradient>& out) override;
   void invalidate_node(int node_id) override;
   void invalidate_branch(int node_id) override;
   /// Sets the Γ shape of every partition (per-partition α is optimized via

@@ -1,6 +1,7 @@
 #include "src/core/traversal_plan.hpp"
 
 #include <algorithm>
+#include <utility>
 
 namespace miniphi::core {
 
@@ -76,6 +77,52 @@ void TraversalPlanner::emit(tree::Slot* goal, TraversalPlan& out) {
     scratch(slot).op = static_cast<std::int32_t>(out.ops_.size());
     out.ops_.push_back(op);
   }
+}
+
+void TraversalPlanner::build_preorder(tree::Slot* root_edge, TraversalPlan& out) {
+  out.clear();
+  // Seed one op per child edge of each non-tip root-edge endpoint.  A seed
+  // op's parent input is not a preorder partial but the *opposite* endpoint
+  // of the root edge (its postorder CLA or tip row across root_edge->length),
+  // signalled by left_op = -1.
+  const auto seed = [&out](tree::Slot* endpoint) {
+    if (endpoint->is_tip()) return;
+    tree::Slot* first = endpoint->next;
+    tree::Slot* second = endpoint->next->next;
+    for (auto [toward, other] : {std::pair{first, second}, std::pair{second, first}}) {
+      PlfOp op;
+      op.kind = PlfOpKind::kPreorder;
+      op.slot = toward;
+      op.node_id = toward->back->node_id;
+      op.sibling = other;
+      op.left_op = -1;
+      op.level = 1;
+      out.ops_.push_back(op);
+    }
+  };
+  seed(root_edge);
+  seed(root_edge->back);
+
+  // BFS root-to-tips: iterate ops as they are appended.  Copy the parent op
+  // out before push_back — the vector may reallocate under it.
+  for (std::size_t i = 0; i < out.ops_.size(); ++i) {
+    const PlfOp parent = out.ops_[i];
+    tree::Slot* v = parent.slot->back;  // the node this op's partial points at
+    if (v->is_tip()) continue;
+    tree::Slot* first = v->next;
+    tree::Slot* second = v->next->next;
+    for (auto [toward, other] : {std::pair{first, second}, std::pair{second, first}}) {
+      PlfOp op;
+      op.kind = PlfOpKind::kPreorder;
+      op.slot = toward;
+      op.node_id = toward->back->node_id;
+      op.sibling = other;
+      op.left_op = static_cast<std::int32_t>(i);
+      op.level = parent.level + 1;
+      out.ops_.push_back(op);
+    }
+  }
+  out.finalize_levels();
 }
 
 PlanMetricIds register_plan_metrics() {

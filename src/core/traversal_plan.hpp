@@ -41,9 +41,26 @@
 
 namespace miniphi::core {
 
+/// Direction of one PLF operation.  kNewview is the classic postorder CLA
+/// update (the default, so pre-existing plan builders are unaffected);
+/// kPreorder computes an *outer* partial — the conditional likelihood of
+/// everything outside the edge toward a node, built root-to-tips for the
+/// all-branch gradient (Gangavarapu et al. 2023; BEAGLE 4.1's
+/// PRE_ORDER_PARTIAL operations).
+enum class PlfOpKind : std::int8_t { kNewview, kPreorder };
+
 /// One pending PLF operation: compute the CLA of `slot` (a newview call).
 /// Children that the same plan computes are referenced by op index; -1 means
 /// the child is a tip or an already-valid CLA (a plan input).
+///
+/// Preorder ops reuse the same record with different field roles: `slot` is
+/// the parent's half-edge pointing at the target node v (so slot->back is
+/// v's slot and slot->length is the branch whose gradient pairs with v's
+/// postorder CLA), `left_op` is the index of the parent's own preorder op
+/// (-1 = the parent is a root-edge endpoint, seeded from the virtual root),
+/// `sibling` is the parent's half-edge toward v's sibling (whose *postorder*
+/// CLA feeds the update), and `node_id` is v.  By reversibility the update
+/// itself is a plain newview: z_v = W[(U e^{Λ t_u} z_u) ∘ (U e^{Λ t_w} y_w)].
 struct PlfOp {
   tree::Slot* slot = nullptr;
   int node_id = -1;
@@ -51,6 +68,8 @@ struct PlfOp {
   std::int32_t left_op = -1;   ///< op computing child1's CLA, -1 = plan input
   std::int32_t right_op = -1;  ///< op computing child2's CLA, -1 = plan input
   std::int32_t partition = 0;  ///< tag used by multi-partition executors
+  tree::Slot* sibling = nullptr;  ///< preorder only: parent's half-edge to the sibling
+  PlfOpKind kind = PlfOpKind::kNewview;
 };
 
 /// One traversal goal: the slot whose CLA the caller wants valid, and the
@@ -194,6 +213,16 @@ class TraversalPlanner {
     }
   }
 
+ public:
+  /// Builds the root-to-tips preorder plan for the gradient pass: one
+  /// kPreorder op per non-root edge (2n-4 ops — tips included, since the
+  /// branch *above* a tip still needs its gradient), leveled top-down so
+  /// level L depends only on levels < L.  Requires every postorder CLA to be
+  /// valid toward `root_edge` (run validate_edge first); needs no scratch
+  /// state, hence static.
+  static void build_preorder(tree::Slot* root_edge, TraversalPlan& out);
+
+ private:
   /// Pass 2: emits the goal's recompute set in Sethi-Ullman DFS post-order,
   /// assigning levels and child-op links as it goes.
   void emit(tree::Slot* goal, TraversalPlan& out);

@@ -62,6 +62,7 @@ std::string render_kernel_report(const std::vector<MetricSnapshot>& snapshot) {
   double pool_wait = 0.0;
   std::int64_t scaling_events = 0;
   std::vector<const MetricSnapshot*> plans;
+  std::vector<const MetricSnapshot*> grad;
   std::vector<const MetricSnapshot*> sdc;
   std::vector<const MetricSnapshot*> elastic;
   std::vector<const MetricSnapshot*> other;
@@ -96,6 +97,8 @@ std::string render_kernel_report(const std::vector<MetricSnapshot>& snapshot) {
       pool_wait = static_cast<double>(metric.value) * 1e-6;
     } else if (parts[0] == "plan" || (parts.size() >= 2 && parts[0] == "dist" && parts[1] == "plan")) {
       plans.push_back(&metric);
+    } else if (parts[0] == "grad") {
+      grad.push_back(&metric);
     } else if (parts[0] == "sdc") {
       sdc.push_back(&metric);
     } else if (parts[0] == "elastic" || parts[0] == "ckpt") {
@@ -157,6 +160,28 @@ std::string render_kernel_report(const std::vector<MetricSnapshot>& snapshot) {
                                 : 0.0;
         append_line(out, "%-40s count=%-10lld mean=%.1f", metric->name.c_str(),
                     static_cast<long long>(metric->histogram.count), mean);
+      } else {
+        append_line(out, "%-40s %lld", metric->name.c_str(),
+                    static_cast<long long>(metric->value));
+      }
+    }
+  }
+
+  if (!grad.empty()) {
+    // All-branch gradient smoothing (search::smooth_branches): sweeps and
+    // edges count the O(N) two-pass updates; fallbacks count hand-overs to
+    // the per-branch Newton path.
+    out += "--- gradient smoothing ---\n";
+    std::sort(grad.begin(), grad.end(),
+              [](const MetricSnapshot* a, const MetricSnapshot* b) { return a->name < b->name; });
+    for (const MetricSnapshot* metric : grad) {
+      if (metric->kind == MetricKind::kHistogram) {
+        const double mean_ms = metric->histogram.count > 0
+                                   ? static_cast<double>(metric->histogram.sum) /
+                                         static_cast<double>(metric->histogram.count) * 1e-6
+                                   : 0.0;
+        append_line(out, "%-40s count=%-10lld mean=%.2f ms", metric->name.c_str(),
+                    static_cast<long long>(metric->histogram.count), mean_ms);
       } else {
         append_line(out, "%-40s %lld", metric->name.c_str(),
                     static_cast<long long>(metric->value));

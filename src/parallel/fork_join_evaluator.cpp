@@ -78,6 +78,33 @@ double ForkJoinEvaluator::optimize_all_branches(tree::Slot* root_edge, int passe
   return log_likelihood(root_edge);
 }
 
+bool ForkJoinEvaluator::gradient_all_branches(tree::Slot* root_edge,
+                                              std::vector<core::BranchGradient>& out) {
+  out.clear();
+  std::vector<std::vector<core::BranchGradient>> partials(engines_.size());
+  std::vector<char> supported(engines_.size(), 0);
+  pool_.run([&](int w) {
+    const auto i = static_cast<std::size_t>(w);
+    supported[i] = engines_[i]->gradient_all_branches(root_edge, partials[i]) ? 1 : 0;
+  });
+  for (const char ok : supported) {
+    if (!ok) return false;
+  }
+  // Every worker walks the same tree with the same deterministic preorder
+  // plan, so the per-slice entries line up edge for edge; sum in fixed
+  // worker order.
+  out = std::move(partials.front());
+  for (std::size_t w = 1; w < partials.size(); ++w) {
+    MINIPHI_ASSERT(partials[w].size() == out.size());
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      MINIPHI_ASSERT(partials[w][i].edge == out[i].edge);
+      out[i].first += partials[w][i].first;
+      out[i].second += partials[w][i].second;
+    }
+  }
+  return true;
+}
+
 void ForkJoinEvaluator::invalidate_node(int node_id) {
   // Cheap metadata update; no need to fork a region for it.
   for (auto& engine : engines_) engine->invalidate_node(node_id);

@@ -27,6 +27,11 @@ class ForkJoinEvaluator final : public core::Evaluator {
   double optimize_branch(tree::Slot* edge, int max_iterations) override;
   using Evaluator::optimize_branch;
   double optimize_all_branches(tree::Slot* root_edge, int passes) override;
+  /// One fork-join region: every worker runs the two-pass preorder gradient
+  /// on its site slice, then the per-slice (ℓ′, ℓ″) pairs are summed in
+  /// fixed worker order so the result is bit-identical for a given split.
+  /// Declines (false) if any worker's engine declines.
+  bool gradient_all_branches(tree::Slot* root_edge, std::vector<core::BranchGradient>& out) override;
   void invalidate_node(int node_id) override;
   void invalidate_branch(int node_id) override;
   void set_model(const model::GtrModel& model);

@@ -15,10 +15,21 @@ BrentResult brent_minimize(const std::function<double(double)>& f, double lower,
   double a = lower;
   double b = upper;
   double x = a + kGolden * (b - a);
-  double w = x;
-  double v = x;
   double fx = f(x);
   result.evaluations = 1;
+  // The objective may be non-finite on part of the domain (a likelihood
+  // probed at a numerically hostile parameter value returns NaN).  A
+  // non-finite start would poison every comparison below, so scan interior
+  // grid points until a finite value anchors the search.
+  for (int probe = 1; !std::isfinite(fx) && probe < 16; ++probe) {
+    x = a + (b - a) * static_cast<double>(probe) / 16.0;
+    fx = f(x);
+    ++result.evaluations;
+  }
+  MINIPHI_CHECK(std::isfinite(fx),
+                "brent_minimize: objective non-finite at every probed start point");
+  double w = x;
+  double v = x;
   double fw = fx;
   double fv = fx;
   double d = 0.0;
@@ -56,6 +67,18 @@ BrentResult brent_minimize(const std::function<double(double)>& f, double lower,
     const double u = (std::abs(d) >= tol1) ? x + d : x + ((d > 0.0) ? tol1 : -tol1);
     const double fu = f(u);
     ++result.evaluations;
+
+    if (!std::isfinite(fu)) {
+      // Treat the probe as worse than everything: shrink the bracket away
+      // from it and forget it — letting NaN/∞ into the (v, w) parabolic
+      // memory would poison later steps.
+      if (u < x) {
+        a = u;
+      } else {
+        b = u;
+      }
+      continue;
+    }
 
     if (fu <= fx) {
       if (u < x) {
@@ -95,11 +118,11 @@ BrentResult brent_minimize(const std::function<double(double)>& f, double lower,
   const double f_lower = f(lower);
   const double f_upper = f(upper);
   result.evaluations += 2;
-  if (f_lower < fx) {
+  if (std::isfinite(f_lower) && f_lower < fx) {
     x = lower;
     fx = f_lower;
   }
-  if (f_upper < fx) {
+  if (std::isfinite(f_upper) && f_upper < fx) {
     x = upper;
     fx = f_upper;
   }

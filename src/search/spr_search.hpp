@@ -53,4 +53,19 @@ SearchResult run_tree_search(core::Evaluator& engine, tree::Tree& tree,
 double spr_round(core::Evaluator& engine, tree::Tree& tree, int radius,
                  double current_lnl, SearchResult& result);
 
+/// Branch-length smoothing driver.  Prefers the O(N) all-branch gradient
+/// (core::Evaluator::gradient_all_branches): one sweep computes every
+/// branch's (ℓ', ℓ'') in a single two-pass traversal and applies one clamped
+/// Newton update per branch simultaneously.  Runs up to 16×`passes` sweeps,
+/// stopping early once a sweep gains < 1e-7 lnL (tight, so smoothing an
+/// already-smoothed tree is a no-op and resumed searches stay on the
+/// uninterrupted trajectory).  Falls back to the classic
+/// per-branch Newton sweep (optimize_all_branches) when the evaluator
+/// declines the gradient or a simultaneous step fails to improve the
+/// likelihood (the updates are independent, so a collective overshoot is
+/// possible; the per-branch path is the safe slow road).  Returns the final
+/// log-likelihood of the tree it leaves behind.
+double smooth_branches(core::Evaluator& engine, tree::Tree& tree, tree::Slot* root_edge,
+                       int passes);
+
 }  // namespace miniphi::search

@@ -1,0 +1,369 @@
+// Correctness of the O(N) all-branch gradient (postorder + preorder two-pass
+// sweep) and of the branch-optimizer safeguards that ride on it:
+//
+//  * every gradient entry matches the classic per-branch derivative protocol
+//    (prepare_derivatives + derivatives) analytically, per ISA, with the
+//    site-repeats path on and off;
+//  * first derivatives match central finite differences of log_likelihood;
+//  * deep trees exercise the scaling path of the preorder partials;
+//  * optimize_all_branches returns the log-likelihood of the tree it leaves
+//    behind, and optimize_branch never commits an uphill-in-z,
+//    downhill-in-lnL Newton iterate.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/bio/aa.hpp"
+#include "src/core/cat/cat_engine.hpp"
+#include "src/core/engine.hpp"
+#include "src/core/general/general_engine.hpp"
+#include "src/core/partitioned.hpp"
+#include "src/search/spr_search.hpp"
+#include "src/util/error.hpp"
+#include "tests/testutil.hpp"
+
+namespace miniphi::core {
+namespace {
+
+using testutil::random_alignment;
+using testutil::random_gtr_params;
+
+std::vector<simd::Isa> supported_isas() {
+  std::vector<simd::Isa> isas = {simd::Isa::kScalar};
+  if (simd::isa_supported(simd::Isa::kAvx2)) isas.push_back(simd::Isa::kAvx2);
+  if (simd::isa_supported(simd::Isa::kAvx512)) isas.push_back(simd::Isa::kAvx512);
+  return isas;
+}
+
+struct GradientCase {
+  simd::Isa isa = simd::Isa::kScalar;
+  bool site_repeats = false;
+};
+
+std::vector<GradientCase> gradient_cases() {
+  std::vector<GradientCase> cases;
+  for (const auto isa : supported_isas()) {
+    cases.push_back({isa, false});
+    cases.push_back({isa, true});
+  }
+  return cases;
+}
+
+std::string case_name(const ::testing::TestParamInfo<GradientCase>& info) {
+  return simd::to_string(info.param.isa) +
+         std::string(info.param.site_repeats ? "_repeats" : "_dense");
+}
+
+class AllBranchGradient : public ::testing::TestWithParam<GradientCase> {
+ protected:
+  void SetUp() override {
+    if (!simd::isa_supported(GetParam().isa)) GTEST_SKIP() << "ISA unsupported";
+  }
+};
+
+// The strongest check: the sweep's per-edge (ℓ', ℓ'') must agree with the
+// classic two-endpoint derivative protocol on the *same* edge.  Both sides
+// are analytic, so the tolerance is pure round-off.
+TEST_P(AllBranchGradient, MatchesPerBranchDerivativeProtocol) {
+  Rng rng(4101);
+  const int ntaxa = 12;
+  const auto alignment = random_alignment(ntaxa, 300, rng, /*ambiguity=*/0.05);
+  const auto patterns = bio::compress_patterns(alignment);
+  const model::GtrModel model(random_gtr_params(rng));
+  tree::Tree tree = tree::Tree::random(ntaxa, rng);
+
+  LikelihoodEngine::Config config;
+  config.isa = GetParam().isa;
+  config.site_repeats = GetParam().site_repeats;
+  LikelihoodEngine engine(patterns, model, tree, config);
+
+  std::vector<BranchGradient> gradient;
+  ASSERT_TRUE(engine.gradient_all_branches(tree.tip(0), gradient));
+  ASSERT_EQ(gradient.size(), static_cast<std::size_t>(tree.edge_count()));
+
+  for (const BranchGradient& g : gradient) {
+    engine.prepare_derivatives(g.edge);
+    const auto [first, second] = engine.derivatives(g.edge->length);
+    const double ftol = std::abs(first) * 1e-8 + 1e-7;
+    const double stol = std::abs(second) * 1e-8 + 1e-7;
+    EXPECT_NEAR(g.first, first, ftol) << "edge node " << g.edge->node_id;
+    EXPECT_NEAR(g.second, second, stol) << "edge node " << g.edge->node_id;
+  }
+}
+
+// First derivatives against central differences of the actual log-likelihood.
+// h = 1e-4 keeps the FD truncation+cancellation noise near 1e-8 in absolute
+// terms; branches are reset into [0.05, 1.0] so ℓ' stays O(1)-ish and the
+// 1e-6 relative bound is meaningful.
+TEST_P(AllBranchGradient, FirstDerivativeMatchesCentralDifferences) {
+  Rng rng(977);
+  const int ntaxa = 10;
+  const auto alignment = random_alignment(ntaxa, 240, rng);
+  const auto patterns = bio::compress_patterns(alignment);
+  const model::GtrModel model(random_gtr_params(rng));
+  tree::Tree tree = tree::Tree::random(ntaxa, rng);
+  for (tree::Slot* edge : tree.edges()) {
+    tree::Tree::set_length(edge, rng.uniform(0.05, 1.0));
+  }
+
+  LikelihoodEngine::Config config;
+  config.isa = GetParam().isa;
+  config.site_repeats = GetParam().site_repeats;
+  LikelihoodEngine engine(patterns, model, tree, config);
+  tree::Slot* root = tree.tip(0);
+
+  std::vector<BranchGradient> gradient;
+  ASSERT_TRUE(engine.gradient_all_branches(root, gradient));
+
+  const double h = 1e-4;
+  for (const BranchGradient& g : gradient) {
+    const double z = g.length;
+    tree::Tree::set_length(g.edge, z + h);
+    engine.invalidate_branch(g.edge->node_id);
+    engine.invalidate_branch(g.edge->back->node_id);
+    const double up = engine.log_likelihood(root);
+    tree::Tree::set_length(g.edge, z - h);
+    engine.invalidate_branch(g.edge->node_id);
+    engine.invalidate_branch(g.edge->back->node_id);
+    const double down = engine.log_likelihood(root);
+    tree::Tree::set_length(g.edge, z);
+    engine.invalidate_branch(g.edge->node_id);
+    engine.invalidate_branch(g.edge->back->node_id);
+
+    const double fd = (up - down) / (2.0 * h);
+    EXPECT_NEAR(g.first, fd, std::abs(fd) * 1e-6 + 1e-6)
+        << "edge node " << g.edge->node_id << " z=" << z;
+  }
+}
+
+// Tiny branches (Newton's domain boundary) and a deep tree whose preorder
+// partials must go through the 2^256 rescaling path.  FD is useless at both
+// extremes, so compare against the per-branch analytic protocol.
+TEST_P(AllBranchGradient, TinyBranchesAndDeepScaling) {
+  Rng rng(5511);
+  const int ntaxa = 300;  // deep enough that scaling fires in both passes
+  const auto alignment = random_alignment(ntaxa, 40, rng);
+  const auto patterns = bio::compress_patterns(alignment);
+  const model::GtrModel model(random_gtr_params(rng));
+  tree::Tree tree = tree::Tree::random(ntaxa, rng);
+  // A few branches pinned to the domain floor.
+  int pinned = 0;
+  for (tree::Slot* edge : tree.edges()) {
+    if (pinned < 8) {
+      tree::Tree::set_length(edge, 1e-7);
+      ++pinned;
+    }
+  }
+
+  LikelihoodEngine::Config config;
+  config.isa = GetParam().isa;
+  config.site_repeats = GetParam().site_repeats;
+  LikelihoodEngine engine(patterns, model, tree, config);
+
+  std::vector<BranchGradient> gradient;
+  ASSERT_TRUE(engine.gradient_all_branches(tree.tip(0), gradient));
+  ASSERT_EQ(gradient.size(), static_cast<std::size_t>(tree.edge_count()));
+
+  for (const BranchGradient& g : gradient) {
+    ASSERT_TRUE(std::isfinite(g.first) && std::isfinite(g.second))
+        << "edge node " << g.edge->node_id;
+    engine.prepare_derivatives(g.edge);
+    const auto [first, second] = engine.derivatives(g.edge->length);
+    EXPECT_NEAR(g.first, first, std::abs(first) * 1e-7 + 1e-5)
+        << "edge node " << g.edge->node_id;
+    EXPECT_NEAR(g.second, second, std::abs(second) * 1e-7 + 1e-5)
+        << "edge node " << g.edge->node_id;
+  }
+}
+
+// A tight CLA budget cannot keep every postorder CLA resident for the
+// descent: the call must decline rather than fault, so callers can fall back.
+TEST(AllBranchGradientBudget, TightBudgetDeclines) {
+  Rng rng(31);
+  const auto alignment = random_alignment(16, 100, rng);
+  const auto patterns = bio::compress_patterns(alignment);
+  const model::GtrModel model(random_gtr_params(rng));
+  tree::Tree tree = tree::Tree::random(16, rng);
+
+  LikelihoodEngine::Config config;
+  config.isa = simd::Isa::kScalar;
+  config.cla_buffers = 6;
+  LikelihoodEngine engine(patterns, model, tree, config);
+  std::vector<BranchGradient> gradient;
+  EXPECT_FALSE(engine.gradient_all_branches(tree.tip(0), gradient));
+  EXPECT_TRUE(gradient.empty());
+}
+
+// Satellite regression: the lnL returned by optimize_all_branches must be
+// the likelihood of the tree it actually leaves behind — not a stale value
+// from before the last in-place update.
+TEST(BranchOptimizerRegression, OptimizeAllBranchesReturnsFreshLikelihood) {
+  Rng rng(8088);
+  const auto alignment = random_alignment(14, 200, rng);
+  const auto patterns = bio::compress_patterns(alignment);
+  const model::GtrModel model(random_gtr_params(rng));
+  tree::Tree tree = tree::Tree::random(14, rng);
+
+  LikelihoodEngine engine(patterns, model, tree);
+  tree::Slot* root = tree.tip(0);
+  const double returned = engine.optimize_all_branches(root, 3);
+  const double fresh = engine.log_likelihood(root);
+  EXPECT_NEAR(returned, fresh, std::abs(fresh) * 1e-12 + 1e-9);
+}
+
+// Satellite regression: optimize_branch must never *lower* the likelihood.
+// The geometric uphill fallback (second ≥ 0) used to be committed unguarded;
+// extreme starting lengths push Newton through exactly that path.
+TEST(BranchOptimizerRegression, OptimizeBranchIsMonotone) {
+  Rng rng(4242);
+  const auto alignment = random_alignment(12, 150, rng);
+  const auto patterns = bio::compress_patterns(alignment);
+  const model::GtrModel model(random_gtr_params(rng));
+  tree::Tree tree = tree::Tree::random(12, rng);
+
+  LikelihoodEngine engine(patterns, model, tree);
+  tree::Slot* root = tree.tip(0);
+  const double starts[] = {1e-8, 1e-5, 0.3, 5.0, 49.0};
+  int which = 0;
+  for (tree::Slot* edge : tree.edges()) {
+    tree::Tree::set_length(edge, starts[which++ % 5]);
+    engine.invalidate_branch(edge->node_id);
+    engine.invalidate_branch(edge->back->node_id);
+    const double before = engine.log_likelihood(root);
+    engine.optimize_branch(edge);
+    const double after = engine.log_likelihood(root);
+    EXPECT_GE(after, before - std::abs(before) * 1e-10 - 1e-8)
+        << "edge node " << edge->node_id << " start " << starts[(which - 1) % 5];
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, AllBranchGradient, ::testing::ValuesIn(gradient_cases()),
+                         case_name);
+
+// The CAT engine keeps one CLA per inner node, so its sweep never declines;
+// its gradient must match the per-branch protocol like the dense engine's.
+TEST(AllBranchGradientEngines, CatMatchesPerBranchProtocol) {
+  Rng rng(6201);
+  const int ntaxa = 10;
+  const auto alignment = random_alignment(ntaxa, 200, rng, /*ambiguity=*/0.05);
+  const auto patterns = bio::compress_patterns(alignment);
+  const model::GtrModel model(random_gtr_params(rng));
+  tree::Tree tree = tree::Tree::random(ntaxa, rng);
+
+  CatEngine engine(patterns, model, tree, /*categories=*/4);
+  std::vector<BranchGradient> gradient;
+  ASSERT_TRUE(engine.gradient_all_branches(tree.tip(0), gradient));
+  ASSERT_EQ(gradient.size(), static_cast<std::size_t>(tree.edge_count()));
+  for (const BranchGradient& g : gradient) {
+    engine.prepare_derivatives(g.edge);
+    const auto [first, second] = engine.derivatives(g.edge->length);
+    EXPECT_NEAR(g.first, first, std::abs(first) * 1e-8 + 1e-7)
+        << "edge node " << g.edge->node_id;
+    EXPECT_NEAR(g.second, second, std::abs(second) * 1e-8 + 1e-7)
+        << "edge node " << g.edge->node_id;
+  }
+}
+
+// DNA data through the general (arbitrary state count) engine: same
+// contract, runtime geometry instead of the 4-state fast path.
+TEST(AllBranchGradientEngines, GeneralMatchesPerBranchProtocol) {
+  Rng rng(6301);
+  const int ntaxa = 10;
+  const auto alignment = random_alignment(ntaxa, 160, rng, /*ambiguity=*/0.05);
+  const auto patterns = bio::compress_patterns(alignment);
+  const auto params = random_gtr_params(rng);
+  const model::GeneralModel model(
+      4, std::vector<double>(params.exchangeabilities.begin(), params.exchangeabilities.end()),
+      std::vector<double>(params.frequencies.begin(), params.frequencies.end()), params.alpha);
+  tree::Tree tree = tree::Tree::random(ntaxa, rng);
+
+  GeneralEngine engine(patterns, model, tree, bio::dna_code_masks());
+  std::vector<BranchGradient> gradient;
+  ASSERT_TRUE(engine.gradient_all_branches(tree.tip(0), gradient));
+  ASSERT_EQ(gradient.size(), static_cast<std::size_t>(tree.edge_count()));
+  for (const BranchGradient& g : gradient) {
+    engine.prepare_derivatives(g.edge);
+    const auto [first, second] = engine.derivatives(g.edge->length);
+    EXPECT_NEAR(g.first, first, std::abs(first) * 1e-8 + 1e-7)
+        << "edge node " << g.edge->node_id;
+    EXPECT_NEAR(g.second, second, std::abs(second) * 1e-8 + 1e-7)
+        << "edge node " << g.edge->node_id;
+  }
+}
+
+// Partitioned: the summed gradient must equal the evaluator's own derivative
+// protocol, and must be bit-identical across merged-dispatch schedules (the
+// preorder pass is serial per partition, so the schedule only reorders the
+// postorder newviews, which are bitwise schedule-invariant by design).
+TEST(AllBranchGradientEngines, PartitionedSumsAndSchedulesBitIdentical) {
+  Rng rng(6401);
+  const int ntaxa = 12;
+  const auto alignment = random_alignment(ntaxa, 300, rng);
+  const model::GtrModel model(random_gtr_params(rng));
+  tree::Tree tree = tree::Tree::random(ntaxa, rng);
+  const auto specs = even_partitions(static_cast<std::int64_t>(alignment.site_count()), 3);
+
+  PartitionedEvaluator per_node(alignment, specs, model, tree);
+  per_node.set_parallel_for(nullptr, PlanSchedule::kPerNode);
+  PartitionedEvaluator wavefront(alignment, specs, model, tree);
+  wavefront.set_parallel_for(nullptr, PlanSchedule::kWavefront);
+
+  std::vector<BranchGradient> a;
+  std::vector<BranchGradient> b;
+  ASSERT_TRUE(per_node.gradient_all_branches(tree.tip(0), a));
+  ASSERT_TRUE(wavefront.gradient_all_branches(tree.tip(0), b));
+  ASSERT_EQ(a.size(), static_cast<std::size_t>(tree.edge_count()));
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].edge, b[i].edge);
+    EXPECT_EQ(a[i].first, b[i].first) << "edge node " << a[i].edge->node_id;  // bitwise
+    EXPECT_EQ(a[i].second, b[i].second) << "edge node " << a[i].edge->node_id;
+  }
+  for (const BranchGradient& g : a) {
+    per_node.prepare_derivatives(g.edge);
+    const auto [first, second] = per_node.derivatives(g.edge->length);
+    EXPECT_NEAR(g.first, first, std::abs(first) * 1e-8 + 1e-7)
+        << "edge node " << g.edge->node_id;
+    EXPECT_NEAR(g.second, second, std::abs(second) * 1e-8 + 1e-7)
+        << "edge node " << g.edge->node_id;
+  }
+}
+
+// The gradient smoother must land on (at least) the same final likelihood as
+// the classic per-branch Newton sweep from the same starting point.
+TEST(GradientSmoother, MatchesNewtonOnlySmoothing) {
+  const auto make_tree = [](Rng& rng, int ntaxa) {
+    tree::Tree tree = tree::Tree::random(ntaxa, rng);
+    return tree;
+  };
+  Rng data_rng(7707);
+  const int ntaxa = 12;
+  const auto alignment = random_alignment(ntaxa, 250, data_rng);
+  const auto patterns = bio::compress_patterns(alignment);
+  const model::GtrModel model(random_gtr_params(data_rng));
+
+  // Same tree twice (same seed), one engine per path.
+  Rng tree_rng_a(991);
+  tree::Tree tree_a = make_tree(tree_rng_a, ntaxa);
+  Rng tree_rng_b(991);
+  tree::Tree tree_b = make_tree(tree_rng_b, ntaxa);
+
+  LikelihoodEngine newton_engine(patterns, model, tree_a);
+  const double newton_lnl = newton_engine.optimize_all_branches(tree_a.tip(0), 3);
+
+  LikelihoodEngine gradient_engine(patterns, model, tree_b);
+  const double smooth_lnl =
+      search::smooth_branches(gradient_engine, tree_b, tree_b.tip(0), 3);
+
+  EXPECT_TRUE(std::isfinite(smooth_lnl));
+  // The smoother self-reports honestly: its return must be the fresh lnL of
+  // the tree it leaves behind.
+  EXPECT_NEAR(smooth_lnl, gradient_engine.log_likelihood(tree_b.tip(0)),
+              std::abs(smooth_lnl) * 1e-12 + 1e-9);
+  // And it must not lose meaningful likelihood against Newton-only.
+  EXPECT_GE(smooth_lnl, newton_lnl - 0.05);
+}
+
+}  // namespace
+}  // namespace miniphi::core

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "src/core/engine.hpp"
 #include "src/search/brent.hpp"
@@ -58,6 +59,36 @@ TEST(Brent, MonotoneObjectivesReturnExactEndpoints) {
   const auto interior = brent_minimize([](double x) { return (x - 1.0) * (x - 1.0); }, 0.0, 5.0);
   EXPECT_NEAR(interior.x, 1.0, 1e-3);
   EXPECT_LT(interior.value, 1.0);  // beats f(0) = f(2) = 1
+}
+
+TEST(Brent, SurvivesNanOnPartOfTheDomain) {
+  // Likelihood objectives can go NaN on part of the parameter domain (e.g.
+  // numerically hostile α values).  A non-finite probe must shrink the
+  // bracket, not propagate into the parabolic memory or the result.
+  const auto f = [](double x) {
+    if (x < 0.5) return std::numeric_limits<double>::quiet_NaN();
+    return (x - 0.7) * (x - 0.7);
+  };
+  const auto result = brent_minimize(f, 0.0, 2.0, 1e-8);
+  EXPECT_TRUE(std::isfinite(result.value));
+  EXPECT_NEAR(result.x, 0.7, 1e-4);
+
+  // NaN at the golden-section start point: the interior scan must find a
+  // finite anchor (the golden start for [0, 2] is ≈ 0.764, so flip the bad
+  // region to the upper half instead).
+  const auto upper_bad = [](double x) {
+    if (x > 0.6) return std::numeric_limits<double>::quiet_NaN();
+    return (x - 0.2) * (x - 0.2);
+  };
+  const auto anchored = brent_minimize(upper_bad, 0.0, 2.0, 1e-8);
+  EXPECT_TRUE(std::isfinite(anchored.value));
+  EXPECT_NEAR(anchored.x, 0.2, 1e-4);
+
+  // Non-finite everywhere is a caller error and must be loud, not a quiet
+  // NaN result.
+  EXPECT_THROW(
+      brent_minimize([](double) { return std::numeric_limits<double>::quiet_NaN(); }, 0.0, 1.0),
+      miniphi::Error);
 }
 
 TEST(Brent, EvaluationCountIsBounded) {
