@@ -11,6 +11,9 @@
 #include "bench/common.hpp"
 #include "src/miniphi.hpp"
 
+#include "src/core/cat/cat_engine.hpp"  // white-box: CAT-specific rate estimation
+#include "src/core/engine.hpp"           // white-box: internals ablation
+
 int main() {
   using namespace miniphi;
   set_log_level(LogLevel::kWarn);

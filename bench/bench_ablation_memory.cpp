@@ -9,6 +9,8 @@
 #include "bench/common.hpp"
 #include "src/miniphi.hpp"
 
+#include "src/core/engine.hpp"  // white-box: CLA-budget internals ablation
+
 int main() {
   using namespace miniphi;
   set_log_level(LogLevel::kWarn);

@@ -11,6 +11,8 @@
 #include "bench/common.hpp"
 #include "src/miniphi.hpp"
 
+#include "src/core/engine.hpp"  // white-box: site-repeat internals ablation
+
 namespace {
 
 /// Duplicates every column of `base` `copies` times.

@@ -160,15 +160,15 @@ int main(int argc, char** argv) {
       const auto ref_edges = reference.edges();
       for (std::size_t e = 0; e < ref_edges.size(); ++e) {
         tree::Tree candidate = attach_query(reference, ref_edges[e], 0.1);
-        core::LikelihoodEngine engine(patterns, model, candidate, {});
+        const auto engine = core::make_evaluator(patterns, model, candidate);
         // Optimize the three branches created by the insertion.
         tree::Slot* pendant = candidate.tip(ref_taxa);
-        engine.optimize_branch(pendant);
-        engine.optimize_branch(pendant->back->next);
-        engine.optimize_branch(pendant->back->next->next);
+        engine->optimize_branch(pendant);
+        engine->optimize_branch(pendant->back->next);
+        engine->optimize_branch(pendant->back->next->next);
         Placement placement;
         placement.edge_index = static_cast<int>(e);
-        placement.log_likelihood = engine.log_likelihood(pendant);
+        placement.log_likelihood = engine->log_likelihood(pendant);
         placement.split = edge_split(ref_edges[e], ref_taxa);
         placements.push_back(placement);
       }

@@ -47,15 +47,16 @@ int main(int argc, char** argv) {
                 alignment.site_count(), patterns.pattern_count());
 
     tree::Tree tree = tree::parsimony_starting_tree(patterns, rng);
-    core::GeneralEngine engine(patterns, model, tree, bio::aa_code_masks());
-    std::printf("kernels: %s, %d states padded to %d\n", simd::to_string(engine.isa()).c_str(),
-                engine.dims().states, engine.dims().padded);
+    const auto evaluator = core::make_evaluator(patterns, model, tree, bio::aa_code_masks());
+    std::printf("kernels: %s, %d states padded to %d\n",
+                simd::to_string(evaluator->isa()).c_str(), model.states(),
+                model.padded_states());
 
     Timer timer;
     search::SearchOptions search_options;  // α optimized via the generic hook
-    const auto result = search::run_tree_search(engine, tree, search_options);
+    const auto result = search::run_tree_search(*evaluator, tree, search_options);
     std::printf("search: %d round(s), %d accepted move(s); lnL %.4f (alpha %.3f, %.2f s)\n",
-                result.rounds, result.accepted_moves, result.log_likelihood, engine.alpha(),
+                result.rounds, result.accepted_moves, result.log_likelihood, evaluator->alpha(),
                 timer.seconds());
 
     std::ofstream out(out_path);

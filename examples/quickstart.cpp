@@ -39,14 +39,16 @@ int main() {
   Rng rng(42);
   tree::Tree tree = tree::parsimony_starting_tree(patterns, rng);
 
-  // Likelihood engine on the widest SIMD back-end this CPU supports.
-  core::LikelihoodEngine engine(patterns, model, tree);
-  std::printf("kernel back-end: %s\n", simd::to_string(engine.isa()).c_str());
+  // Likelihood evaluator on the widest SIMD back-end this CPU supports.
+  // make_evaluator is the one public construction seam; the concrete engine
+  // behind the core::Evaluator handle is an implementation detail.
+  const auto evaluator = core::make_evaluator(patterns, model, tree);
+  std::printf("kernel back-end: %s\n", simd::to_string(evaluator->isa()).c_str());
 
-  const double initial = engine.log_likelihood(tree.tip(0));
+  const double initial = evaluator->log_likelihood(tree.tip(0));
   std::printf("initial log-likelihood: %.4f\n", initial);
 
-  const double optimized = engine.optimize_all_branches(tree.tip(0), 8);
+  const double optimized = evaluator->optimize_all_branches(tree.tip(0), 8);
   std::printf("after branch optimization: %.4f\n", optimized);
 
   std::printf("tree: %s\n", tree.to_newick(alignment.taxon_names()).c_str());

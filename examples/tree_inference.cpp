@@ -65,7 +65,7 @@ int main(int argc, char** argv) {
     Rng rng(seed);
     tree::Tree tree = tree::parsimony_starting_tree(patterns, rng);
 
-    core::LikelihoodEngine::Config config;
+    core::EngineConfig config;
     if (!isa_name.empty()) config.isa = simd::isa_from_string(isa_name);
     if (metrics) config.metrics = obs::MetricsMode::kOn;
     std::printf("kernels: %s, %d worker thread(s)\n", simd::to_string(config.isa).c_str(),
@@ -79,10 +79,9 @@ int main(int argc, char** argv) {
     std::unique_ptr<core::Evaluator> evaluator;
     if (threads > 1) {
       pool = std::make_unique<parallel::WorkerPool>(threads);
-      evaluator =
-          std::make_unique<parallel::ForkJoinEvaluator>(*pool, patterns, model, tree, config);
+      evaluator = parallel::make_fork_join_evaluator(*pool, patterns, model, tree, config);
     } else {
-      evaluator = std::make_unique<core::LikelihoodEngine>(patterns, model, tree, config);
+      evaluator = core::make_evaluator(patterns, model, tree, config);
     }
 
     Timer timer;

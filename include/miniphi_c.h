@@ -1,0 +1,152 @@
+/* miniphi C API — a versioned, C-compatible shim over the C++ evaluator
+ * factory, in the style of the BEAGLE library interface:
+ *
+ *   - miniphi_version() / MINIPHI_C_API_VERSION_* for compile- and run-time
+ *     version negotiation (the minor number bumps on additions, the major
+ *     number on any breaking change; a client built against major N links
+ *     and runs against any later N.x),
+ *   - opaque handles for alignments, trees and evaluator instances,
+ *   - resource negotiation at instance creation: the caller *requests*
+ *     kernel back-ends and stream counts, the library replies with what it
+ *     actually granted (clamped to the host CPU, the compiled kernels and
+ *     the partition count),
+ *   - every failure is reported as a stable miniphi_error code; C++
+ *     exceptions never cross this boundary.
+ *
+ * All functions are thread-compatible (distinct handles may be used from
+ * distinct threads) but a single handle must not be used concurrently.
+ * Unless noted otherwise, out-parameters are written only on MINIPHI_OK.
+ */
+#ifndef MINIPHI_C_H
+#define MINIPHI_C_H
+
+#include <stdint.h>
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+#define MINIPHI_C_API_VERSION_MAJOR 1
+#define MINIPHI_C_API_VERSION_MINOR 0
+
+/* Stable error codes.  Negative so that count-returning APIs can stay
+ * non-negative on success; new codes may be added in minor versions but
+ * existing values never change. */
+typedef enum miniphi_error {
+  MINIPHI_OK = 0,
+  MINIPHI_ERROR_INVALID_ARGUMENT = -1, /* bad handle, null out-pointer, bad input */
+  MINIPHI_ERROR_PARSE = -2,            /* malformed FASTA/Newick text */
+  MINIPHI_ERROR_UNSUPPORTED = -3,      /* request cannot be granted at all */
+  MINIPHI_ERROR_OUT_OF_MEMORY = -4,
+  MINIPHI_ERROR_INTERNAL = -5 /* invariant violation inside the library */
+} miniphi_error;
+
+/* Kernel back-end bits for resource negotiation. */
+typedef enum miniphi_backend {
+  MINIPHI_BACKEND_SCALAR = 1,
+  MINIPHI_BACKEND_AVX2 = 2,
+  MINIPHI_BACKEND_AVX512 = 4
+} miniphi_backend;
+
+/* What the caller asks for.  Zero-initialize for "let the library decide
+ * everything" (cost-model back-end choice, one partition, one stream). */
+typedef struct miniphi_resource_request {
+  /* OR of miniphi_backend bits the instance may use; 0 = any, the platform
+   * cost model picks per partition. */
+  int backends;
+  /* Number of partitions to split the alignment's sites into (>= 1;
+   * 0 = 1).  Partitions are near-equal contiguous site ranges. */
+  int partitions;
+  /* Stream groups evaluating partitions concurrently; 0 = one per
+   * partition (clamped).  1 = serial evaluation. */
+  int streams;
+  /* Nonzero enables the silent-data-corruption defense (checksummed CLAs
+   * with bounded self-healing recompute). */
+  int sdc_checks;
+} miniphi_resource_request;
+
+/* What the library actually granted. */
+typedef struct miniphi_resource_grant {
+  int backends;   /* OR of miniphi_backend bits in use across partitions */
+  int partitions; /* partitions actually created */
+  int streams;    /* stream groups actually running */
+} miniphi_resource_grant;
+
+typedef struct miniphi_alignment miniphi_alignment;
+typedef struct miniphi_tree miniphi_tree;
+typedef struct miniphi_instance miniphi_instance;
+
+/* --- library ---------------------------------------------------------- */
+
+/* Human-readable version string, e.g. "miniphi C API 1.0". Never NULL. */
+const char* miniphi_version(void);
+/* Numeric version; either pointer may be NULL. */
+void miniphi_version_numbers(int* major, int* minor);
+/* OR of the miniphi_backend bits this host can run (compiled kernels ∩
+ * CPU features). */
+int miniphi_supported_backends(void);
+/* Detail message of the calling thread's most recent failure ("" if none).
+ * Valid until the next failing call on the same thread. */
+const char* miniphi_last_error_message(void);
+
+/* --- alignments ------------------------------------------------------- */
+
+/* Parses FASTA text (DNA; IUPAC ambiguity codes and gaps allowed). */
+miniphi_error miniphi_alignment_from_fasta(const char* fasta_text, miniphi_alignment** out);
+/* Builds an alignment from `taxon_count` parallel arrays of NUL-terminated
+ * names and equal-length sequence strings. */
+miniphi_error miniphi_alignment_create(int taxon_count, const char* const* names,
+                                       const char* const* sequences, miniphi_alignment** out);
+miniphi_error miniphi_alignment_taxon_count(const miniphi_alignment* alignment, int* out);
+miniphi_error miniphi_alignment_site_count(const miniphi_alignment* alignment, int64_t* out);
+/* NULL-safe. */
+void miniphi_alignment_destroy(miniphi_alignment* alignment);
+
+/* --- trees ------------------------------------------------------------ */
+
+/* Parses a Newick string whose leaf labels are taxon names of `alignment`
+ * (all taxa must appear exactly once). */
+miniphi_error miniphi_tree_from_newick(const miniphi_alignment* alignment, const char* newick,
+                                       miniphi_tree** out);
+/* Randomized stepwise-addition parsimony starting tree. */
+miniphi_error miniphi_tree_parsimony(const miniphi_alignment* alignment, uint64_t seed,
+                                     miniphi_tree** out);
+/* Writes the tree as Newick into `buffer` (NUL-terminated, truncated to
+ * `size`).  `required` (optional) receives the full length excluding the
+ * NUL, so callers can resize and retry. */
+miniphi_error miniphi_tree_to_newick(const miniphi_tree* tree, char* buffer, int64_t size,
+                                     int64_t* required);
+/* NULL-safe. */
+void miniphi_tree_destroy(miniphi_tree* tree);
+
+/* --- instances -------------------------------------------------------- */
+
+/* Creates an evaluator instance over a private copy of `tree` under a
+ * GTR+Γ model with empirical base frequencies.  `request` may be NULL
+ * (defaults); `grant` (optional) receives what was negotiated.  The
+ * alignment must outlive the instance; the tree handle may be destroyed
+ * immediately afterwards. */
+miniphi_error miniphi_create_instance(const miniphi_alignment* alignment,
+                                      const miniphi_tree* tree,
+                                      const miniphi_resource_request* request,
+                                      miniphi_resource_grant* grant, miniphi_instance** out);
+/* Log-likelihood of the instance's current tree and model. */
+miniphi_error miniphi_evaluate(miniphi_instance* instance, double* out_log_likelihood);
+/* Newton–Raphson branch-length optimization, `passes` smoothing sweeps;
+ * returns the final log-likelihood. */
+miniphi_error miniphi_optimize_branch_lengths(miniphi_instance* instance, int passes,
+                                              double* out_log_likelihood);
+/* Replaces the Γ shape parameter (alpha > 0). */
+miniphi_error miniphi_set_alpha(miniphi_instance* instance, double alpha);
+/* Current tree (branch lengths reflect optimization); same contract as
+ * miniphi_tree_to_newick. */
+miniphi_error miniphi_instance_to_newick(const miniphi_instance* instance, char* buffer,
+                                         int64_t size, int64_t* required);
+/* Destroys the instance and everything it owns.  NULL-safe. */
+miniphi_error miniphi_finalize_instance(miniphi_instance* instance);
+
+#ifdef __cplusplus
+} /* extern "C" */
+#endif
+
+#endif /* MINIPHI_C_H */

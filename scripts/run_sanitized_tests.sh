@@ -50,7 +50,16 @@ cmake -B "${build}" -S "${root}" \
 # fresh allocations every first sweep — one-past-the-end reads in the
 # gather/sum kernels and use-after-invalidate on healed buffers are ASan's
 # home turf.
-targets=(minimpi_test parallel_test faults_test elastic_test checkpoint_test examl_test site_repeats_test obs_test partitioned_test sdc_test gradient_test)
+# stream_test rides along: stream-group dispatch runs each partition engine
+# end-to-end on a pool thread — cross-thread engine state, the fixed-order
+# reduction after the region join, and the counters published per stream
+# are exactly where a missed happens-before edge hides from plain tests.
+# c_api_test rides along: every handle the C shim allocates is created and
+# freed through the boundary, the thread-local error string is rewritten on
+# each failure, and multi-stream instances drive a worker pool from C —
+# leaks, double frees, and races across the extern "C" seam are what
+# ASan/TSan are for.
+targets=(minimpi_test parallel_test faults_test elastic_test checkpoint_test examl_test site_repeats_test obs_test partitioned_test sdc_test gradient_test stream_test c_api_test)
 cmake --build "${build}" -j "$(nproc)" --target "${targets[@]}"
 
 status=0

@@ -1,0 +1,388 @@
+// Implementation of the versioned C shim (include/miniphi_c.h).
+//
+// Everything here is boundary code: translate C inputs into the C++ seam
+// types (core::EngineConfig, core::PartitionSpec, core::StreamPlan), run
+// the resource negotiation against the host's supported back-ends and the
+// platform cost model, construct evaluators exclusively through the
+// factories (core::make_evaluator / parallel::make_stream_evaluator), and
+// map every exception to a stable miniphi_error before it can cross into C.
+#include "miniphi_c.h"
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/bio/alignment.hpp"
+#include "src/bio/patterns.hpp"
+#include "src/core/make_evaluator.hpp"
+#include "src/io/fasta.hpp"
+#include "src/io/newick.hpp"
+#include "src/model/gtr.hpp"
+#include "src/parallel/evaluator_factory.hpp"
+#include "src/parallel/worker_pool.hpp"
+#include "src/platform/cost_model.hpp"
+#include "src/tree/parsimony.hpp"
+#include "src/tree/tree.hpp"
+#include "src/util/error.hpp"
+#include "src/util/rng.hpp"
+
+namespace {
+
+thread_local std::string g_last_error;  // NOLINT(cert-err58-cpp)
+
+void set_last_error(const char* what) { g_last_error = what == nullptr ? "" : what; }
+
+/// Runs `fn` (returning miniphi_error) with every exception mapped to a
+/// stable code.  `recoverable` is the code for miniphi::Error — the entry
+/// points parsing caller text report MINIPHI_ERROR_PARSE, everything else
+/// MINIPHI_ERROR_INVALID_ARGUMENT.
+template <typename Fn>
+miniphi_error guarded(miniphi_error recoverable, Fn&& fn) noexcept {
+  try {
+    set_last_error("");
+    return fn();
+  } catch (const miniphi::Error& e) {
+    set_last_error(e.what());
+    return recoverable;
+  } catch (const std::bad_alloc&) {
+    set_last_error("out of memory");
+    return MINIPHI_ERROR_OUT_OF_MEMORY;
+  } catch (const std::exception& e) {
+    set_last_error(e.what());
+    return MINIPHI_ERROR_INTERNAL;
+  } catch (...) {
+    set_last_error("unknown error");
+    return MINIPHI_ERROR_INTERNAL;
+  }
+}
+
+int backend_bit(miniphi::simd::Isa isa) {
+  switch (isa) {
+    case miniphi::simd::Isa::kScalar:
+      return MINIPHI_BACKEND_SCALAR;
+    case miniphi::simd::Isa::kAvx2:
+      return MINIPHI_BACKEND_AVX2;
+    case miniphi::simd::Isa::kAvx512:
+      return MINIPHI_BACKEND_AVX512;
+  }
+  return MINIPHI_BACKEND_SCALAR;
+}
+
+miniphi_error fill_newick(const std::string& text, char* buffer, int64_t size,
+                          int64_t* required) {
+  if (required != nullptr) *required = static_cast<int64_t>(text.size());
+  if (buffer == nullptr || size <= 0) {
+    return required != nullptr ? MINIPHI_OK : MINIPHI_ERROR_INVALID_ARGUMENT;
+  }
+  const auto copy = std::min<int64_t>(size - 1, static_cast<int64_t>(text.size()));
+  std::memcpy(buffer, text.data(), static_cast<std::size_t>(copy));
+  buffer[copy] = '\0';
+  return MINIPHI_OK;
+}
+
+}  // namespace
+
+struct miniphi_alignment {
+  miniphi::bio::Alignment alignment;
+};
+
+struct miniphi_tree {
+  miniphi::tree::Tree tree;
+  std::vector<std::string> taxon_names;  ///< tip id -> name (alignment order)
+};
+
+struct miniphi_instance {
+  // Construction (and therefore destruction) order matters: the evaluator
+  // dispatches onto the pool and walks the tree, so both must outlive it.
+  miniphi::model::GtrModel model;
+  miniphi::tree::Tree tree;
+  std::vector<std::string> taxon_names;
+  std::unique_ptr<miniphi::bio::PatternSet> patterns;  // single-partition path
+  std::vector<miniphi::core::PartitionSpec> partitions;
+  std::unique_ptr<miniphi::parallel::WorkerPool> pool;
+  std::unique_ptr<miniphi::core::Evaluator> evaluator;
+  miniphi_resource_grant grant{};
+
+  miniphi_instance(miniphi::model::GtrModel model_in, miniphi::tree::Tree tree_in,
+                   std::vector<std::string> names)
+      : model(std::move(model_in)), tree(std::move(tree_in)), taxon_names(std::move(names)) {}
+};
+
+extern "C" {
+
+const char* miniphi_version(void) { return "miniphi C API 1.0"; }
+
+void miniphi_version_numbers(int* major, int* minor) {
+  if (major != nullptr) *major = MINIPHI_C_API_VERSION_MAJOR;
+  if (minor != nullptr) *minor = MINIPHI_C_API_VERSION_MINOR;
+}
+
+int miniphi_supported_backends(void) {
+  int mask = 0;
+  const auto widest = miniphi::simd::best_supported_isa();
+  for (const auto isa : {miniphi::simd::Isa::kScalar, miniphi::simd::Isa::kAvx2,
+                         miniphi::simd::Isa::kAvx512}) {
+    if (static_cast<int>(isa) <= static_cast<int>(widest)) mask |= backend_bit(isa);
+  }
+  return mask;
+}
+
+const char* miniphi_last_error_message(void) { return g_last_error.c_str(); }
+
+miniphi_error miniphi_alignment_from_fasta(const char* fasta_text, miniphi_alignment** out) {
+  if (fasta_text == nullptr || out == nullptr) {
+    set_last_error("null argument");
+    return MINIPHI_ERROR_INVALID_ARGUMENT;
+  }
+  return guarded(MINIPHI_ERROR_PARSE, [&] {
+    std::istringstream stream{std::string(fasta_text)};
+    auto handle = std::make_unique<miniphi_alignment>(
+        miniphi_alignment{miniphi::bio::Alignment(miniphi::io::read_fasta(stream))});
+    *out = handle.release();
+    return MINIPHI_OK;
+  });
+}
+
+miniphi_error miniphi_alignment_create(int taxon_count, const char* const* names,
+                                       const char* const* sequences, miniphi_alignment** out) {
+  if (taxon_count <= 0 || names == nullptr || sequences == nullptr || out == nullptr) {
+    set_last_error("null argument or non-positive taxon count");
+    return MINIPHI_ERROR_INVALID_ARGUMENT;
+  }
+  return guarded(MINIPHI_ERROR_PARSE, [&] {
+    miniphi::io::SequenceSet records;
+    records.reserve(static_cast<std::size_t>(taxon_count));
+    for (int t = 0; t < taxon_count; ++t) {
+      MINIPHI_CHECK(names[t] != nullptr && sequences[t] != nullptr,
+                    "null taxon name or sequence");
+      records.push_back({names[t], sequences[t]});
+    }
+    auto handle = std::make_unique<miniphi_alignment>(
+        miniphi_alignment{miniphi::bio::Alignment(records)});
+    *out = handle.release();
+    return MINIPHI_OK;
+  });
+}
+
+miniphi_error miniphi_alignment_taxon_count(const miniphi_alignment* alignment, int* out) {
+  if (alignment == nullptr || out == nullptr) {
+    set_last_error("null argument");
+    return MINIPHI_ERROR_INVALID_ARGUMENT;
+  }
+  *out = static_cast<int>(alignment->alignment.taxon_count());
+  return MINIPHI_OK;
+}
+
+miniphi_error miniphi_alignment_site_count(const miniphi_alignment* alignment, int64_t* out) {
+  if (alignment == nullptr || out == nullptr) {
+    set_last_error("null argument");
+    return MINIPHI_ERROR_INVALID_ARGUMENT;
+  }
+  *out = static_cast<int64_t>(alignment->alignment.site_count());
+  return MINIPHI_OK;
+}
+
+void miniphi_alignment_destroy(miniphi_alignment* alignment) {
+  delete alignment;  // NOLINT(cppcoreguidelines-owning-memory)
+}
+
+miniphi_error miniphi_tree_from_newick(const miniphi_alignment* alignment, const char* newick,
+                                       miniphi_tree** out) {
+  if (alignment == nullptr || newick == nullptr || out == nullptr) {
+    set_last_error("null argument");
+    return MINIPHI_ERROR_INVALID_ARGUMENT;
+  }
+  return guarded(MINIPHI_ERROR_PARSE, [&] {
+    const auto root = miniphi::io::parse_newick(newick);
+    auto handle = std::make_unique<miniphi_tree>(miniphi_tree{
+        miniphi::tree::Tree::from_newick(*root, alignment->alignment.taxon_names()),
+        alignment->alignment.taxon_names()});
+    *out = handle.release();
+    return MINIPHI_OK;
+  });
+}
+
+miniphi_error miniphi_tree_parsimony(const miniphi_alignment* alignment, uint64_t seed,
+                                     miniphi_tree** out) {
+  if (alignment == nullptr || out == nullptr) {
+    set_last_error("null argument");
+    return MINIPHI_ERROR_INVALID_ARGUMENT;
+  }
+  return guarded(MINIPHI_ERROR_INVALID_ARGUMENT, [&] {
+    const auto patterns = miniphi::bio::compress_patterns(alignment->alignment);
+    miniphi::Rng rng(seed);
+    auto handle = std::make_unique<miniphi_tree>(
+        miniphi_tree{miniphi::tree::parsimony_starting_tree(patterns, rng),
+                     alignment->alignment.taxon_names()});
+    *out = handle.release();
+    return MINIPHI_OK;
+  });
+}
+
+miniphi_error miniphi_tree_to_newick(const miniphi_tree* tree, char* buffer, int64_t size,
+                                     int64_t* required) {
+  if (tree == nullptr) {
+    set_last_error("null tree");
+    return MINIPHI_ERROR_INVALID_ARGUMENT;
+  }
+  return guarded(MINIPHI_ERROR_INVALID_ARGUMENT, [&] {
+    return fill_newick(tree->tree.to_newick(tree->taxon_names), buffer, size, required);
+  });
+}
+
+void miniphi_tree_destroy(miniphi_tree* tree) {
+  delete tree;  // NOLINT(cppcoreguidelines-owning-memory)
+}
+
+miniphi_error miniphi_create_instance(const miniphi_alignment* alignment,
+                                      const miniphi_tree* tree,
+                                      const miniphi_resource_request* request,
+                                      miniphi_resource_grant* grant, miniphi_instance** out) {
+  if (alignment == nullptr || tree == nullptr || out == nullptr) {
+    set_last_error("null argument");
+    return MINIPHI_ERROR_INVALID_ARGUMENT;
+  }
+  return guarded(MINIPHI_ERROR_INVALID_ARGUMENT, [&]() -> miniphi_error {
+    const miniphi_resource_request defaults{};
+    const miniphi_resource_request& req = request != nullptr ? *request : defaults;
+    MINIPHI_CHECK(req.partitions >= 0 && req.streams >= 0,
+                  "negative partition or stream request");
+
+    // Back-end negotiation: the request is a permission mask; intersect it
+    // with what the host supports, then let the cost model choose per
+    // partition within the granted set.
+    const int supported = miniphi_supported_backends();
+    const int allowed = req.backends == 0 ? supported : (req.backends & supported);
+    if (allowed == 0) {
+      set_last_error("none of the requested kernel back-ends is supported on this host");
+      return MINIPHI_ERROR_UNSUPPORTED;
+    }
+    auto widest = miniphi::simd::Isa::kScalar;
+    if ((allowed & MINIPHI_BACKEND_AVX512) != 0) {
+      widest = miniphi::simd::Isa::kAvx512;
+    } else if ((allowed & MINIPHI_BACKEND_AVX2) != 0) {
+      widest = miniphi::simd::Isa::kAvx2;
+    }
+
+    const auto sites = static_cast<std::int64_t>(alignment->alignment.site_count());
+    const int partitions =
+        static_cast<int>(std::clamp<std::int64_t>(req.partitions == 0 ? 1 : req.partitions,
+                                                  1, sites));
+    const int streams = std::clamp(req.streams == 0 ? partitions : req.streams, 1, partitions);
+
+    // GTR+Γ with empirical base frequencies, α = 1 — the standard RAxML
+    // starting model; α is adjustable via miniphi_set_alpha.
+    miniphi::model::GtrParams params;
+    const auto freqs = alignment->alignment.empirical_base_frequencies();
+    for (std::size_t i = 0; i < 4; ++i) params.frequencies[i] = freqs[i];
+    params.alpha = 1.0;
+    auto instance = std::make_unique<miniphi_instance>(miniphi::model::GtrModel(params),
+                                                       tree->tree,
+                                                       alignment->alignment.taxon_names());
+
+    miniphi::core::EngineConfig config;
+    config.isa = widest;
+    config.sdc_checks = req.sdc_checks != 0;
+
+    if (partitions == 1) {
+      instance->patterns = std::make_unique<miniphi::bio::PatternSet>(
+          miniphi::bio::compress_patterns(alignment->alignment));
+      instance->evaluator = miniphi::core::make_evaluator(*instance->patterns, instance->model,
+                                                          instance->tree, config);
+      instance->grant = {backend_bit(widest), 1, 1};
+    } else {
+      instance->partitions = miniphi::core::even_partitions(sites, partitions);
+      // Cost-model stream plan; per-partition site counts stand in for the
+      // (not yet compressed) pattern counts.
+      std::vector<std::int64_t> partition_sites;
+      partition_sites.reserve(instance->partitions.size());
+      for (const auto& spec : instance->partitions) {
+        partition_sites.push_back(spec.end - spec.begin);
+      }
+      auto plan =
+          miniphi::platform::plan_partition_streams(partition_sites, streams, widest);
+      int granted_mask = 0;
+      for (auto& isa : plan.partition_isa) {
+        // The permission mask may exclude a middle width (e.g. AVX2-only):
+        // clamp excluded choices up to the widest granted back-end.
+        if ((allowed & backend_bit(isa)) == 0) isa = widest;
+        granted_mask |= backend_bit(isa);
+      }
+      const int granted_streams = plan.stream_count;
+      if (granted_streams > 1) {
+        instance->pool = std::make_unique<miniphi::parallel::WorkerPool>(granted_streams);
+        instance->evaluator = miniphi::parallel::make_stream_evaluator(
+            *instance->pool, alignment->alignment, instance->partitions, instance->model,
+            instance->tree, config, plan);
+      } else {
+        instance->evaluator =
+            miniphi::core::make_evaluator(alignment->alignment, instance->partitions,
+                                          instance->model, instance->tree, config, plan);
+      }
+      instance->grant = {granted_mask, partitions, granted_streams};
+    }
+
+    if (grant != nullptr) *grant = instance->grant;
+    *out = instance.release();
+    return MINIPHI_OK;
+  });
+}
+
+miniphi_error miniphi_evaluate(miniphi_instance* instance, double* out_log_likelihood) {
+  if (instance == nullptr || out_log_likelihood == nullptr) {
+    set_last_error("null argument");
+    return MINIPHI_ERROR_INVALID_ARGUMENT;
+  }
+  return guarded(MINIPHI_ERROR_INVALID_ARGUMENT, [&] {
+    *out_log_likelihood = instance->evaluator->log_likelihood(instance->tree.tip(0));
+    return MINIPHI_OK;
+  });
+}
+
+miniphi_error miniphi_optimize_branch_lengths(miniphi_instance* instance, int passes,
+                                              double* out_log_likelihood) {
+  if (instance == nullptr || out_log_likelihood == nullptr || passes < 1) {
+    set_last_error("null argument or non-positive pass count");
+    return MINIPHI_ERROR_INVALID_ARGUMENT;
+  }
+  return guarded(MINIPHI_ERROR_INVALID_ARGUMENT, [&] {
+    *out_log_likelihood =
+        instance->evaluator->optimize_all_branches(instance->tree.tip(0), passes);
+    return MINIPHI_OK;
+  });
+}
+
+miniphi_error miniphi_set_alpha(miniphi_instance* instance, double alpha) {
+  if (instance == nullptr || !(alpha > 0.0)) {
+    set_last_error("null instance or non-positive alpha");
+    return MINIPHI_ERROR_INVALID_ARGUMENT;
+  }
+  return guarded(MINIPHI_ERROR_INVALID_ARGUMENT, [&] {
+    instance->evaluator->set_alpha(alpha);
+    return MINIPHI_OK;
+  });
+}
+
+miniphi_error miniphi_instance_to_newick(const miniphi_instance* instance, char* buffer,
+                                         int64_t size, int64_t* required) {
+  if (instance == nullptr) {
+    set_last_error("null instance");
+    return MINIPHI_ERROR_INVALID_ARGUMENT;
+  }
+  return guarded(MINIPHI_ERROR_INVALID_ARGUMENT, [&] {
+    return fill_newick(instance->tree.to_newick(instance->taxon_names), buffer, size, required);
+  });
+}
+
+miniphi_error miniphi_finalize_instance(miniphi_instance* instance) {
+  return guarded(MINIPHI_ERROR_INVALID_ARGUMENT, [&] {
+    delete instance;  // NOLINT(cppcoreguidelines-owning-memory)
+    return MINIPHI_OK;
+  });
+}
+
+}  // extern "C"

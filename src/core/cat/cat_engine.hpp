@@ -30,7 +30,7 @@ class CatEngine final : public Evaluator {
  public:
   /// Common knobs come from core::EngineConfig.  The CAT kernels have no
   /// OpenMP path, so EngineConfig::use_openmp is accepted and ignored.
-  struct Config : EngineConfig {};
+  using Config = EngineConfig;
 
   /// `model` supplies the GTR part (eigensystem); its Γ settings are
   /// ignored.  Starts with `categories` rate categories spread over a

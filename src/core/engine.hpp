@@ -54,28 +54,10 @@ inline constexpr double kMaxBranchLength = 50.0;
 
 class LikelihoodEngine final : public Evaluator {
  public:
-  /// Common knobs (isa, tuning, slice, use_openmp, metrics) come from
-  /// core::EngineConfig; these are the DNA fast-path extras.
-  struct Config : EngineConfig {
-    KernelTrace* trace = nullptr;  ///< optional kernel-invocation recorder
-    /// CLA memory budget: number of CLA buffers to allocate (-1 = one per
-    /// inner node, the default).  Smaller budgets trade running time for
-    /// memory by evicting and later *recomputing* CLAs, the technique of
-    /// Izquierdo-Carrasco et al. that the paper lists as unsupported
-    /// (Section V-A).  A traversal that cannot fit its working set throws.
-    int cla_buffers = -1;
-    /// Site-repeats mode (LvD algorithm of Bryant/Scornavacca/Swofford;
-    /// BEAGLE 4.1's parallel back-ends do the same): each inner node keeps a
-    /// site → repeat-class map — two sites share a class iff they induce the
-    /// same tip-state pattern in the node's subtree — and newview computes
-    /// one CLA block per *unique class* instead of per site.  evaluate and
-    /// derivativeSum gather per-site values through the class maps.  Class
-    /// maps depend only on the topology and tip data, never on branch
-    /// lengths or the model, so branch-length optimization reuses them;
-    /// topology changes rebuild them through the same partial-traversal
-    /// machinery that recomputes CLAs.
-    bool site_repeats = false;
-  };
+  /// All knobs are the shared core::EngineConfig set (the former DNA
+  /// fast-path extras — trace, cla_buffers, site_repeats — moved up in PR 8
+  /// so the factory seam configures every engine with one type).
+  using Config = EngineConfig;
 
   /// The engine keeps references to patterns and tree; both must outlive it.
   /// The model is copied (it is small) and can be replaced via set_model.
@@ -90,10 +72,18 @@ class LikelihoodEngine final : public Evaluator {
   [[nodiscard]] std::int64_t slice_begin() const { return offset_; }
   [[nodiscard]] std::int64_t slice_size() const { return length_; }
   [[nodiscard]] const model::GtrModel& model() const { return model_; }
-  [[nodiscard]] simd::Isa isa() const { return ops_.isa; }
+  [[nodiscard]] simd::Isa isa() const override { return ops_.isa; }
 
   /// Replaces the model (e.g. new α or GTR rates); invalidates all CLAs.
   void set_model(const model::GtrModel& model);
+
+  // GTR seam of the Evaluator interface (model optimization through the
+  // factory-returned handle).
+  [[nodiscard]] const model::GtrModel* gtr_model() const override { return &model_; }
+  bool set_gtr_model(const model::GtrModel& model) override {
+    set_model(model);
+    return true;
+  }
 
   void set_alpha(double alpha) override;
   [[nodiscard]] double alpha() const override { return model_.params().alpha; }

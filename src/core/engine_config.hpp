@@ -1,10 +1,12 @@
 // Shared engine configuration: the knobs common to every likelihood engine
 // (DNA fast path, CAT, general/protein), defined once.
 //
-// Engine-specific extras (CLA budgets, site repeats, kernel traces) layer on
-// top via inheritance — `LikelihoodEngine::Config : EngineConfig` — so code
-// that configures "any engine" (drivers, pools, benches) sets the common
-// fields once and copies them with `static_cast<EngineConfig&>`.
+// Since PR 8 this is the *complete* public configuration surface: the former
+// per-engine extras (kernel traces, CLA budgets, site repeats) live here too,
+// and the concrete engines' `Config` types are plain aliases.  Code that
+// configures "any engine" — the core::make_evaluator factory, drivers,
+// pools, benches, the C API shim — passes one EngineConfig through a single
+// seam instead of naming concrete engine types.
 #pragma once
 
 #include <cstdint>
@@ -13,6 +15,8 @@
 #include "src/obs/metrics.hpp"
 
 namespace miniphi::core {
+
+class KernelTrace;  // trace.hpp; optional recorder, most callers pass none
 
 struct EngineConfig {
   simd::Isa isa = simd::best_supported_isa();
@@ -32,6 +36,29 @@ struct EngineConfig {
   /// retries, then escalate).  Off by default; the verify cost is ≤2% of a
   /// branch-optimization workload (EXPERIMENTS.md).
   bool sdc_checks = false;
+  /// Optional kernel-invocation recorder (dense DNA engine only; the other
+  /// engines accept and ignore it).  Not thread-safe: evaluators that
+  /// dispatch engines onto worker pools require trace == nullptr.
+  KernelTrace* trace = nullptr;
+  /// CLA memory budget: number of CLA buffers to allocate (-1 = one per
+  /// inner node, the default).  Smaller budgets trade running time for
+  /// memory by evicting and later *recomputing* CLAs, the technique of
+  /// Izquierdo-Carrasco et al. that the paper lists as unsupported
+  /// (Section V-A).  A traversal that cannot fit its working set throws.
+  /// Honored by the dense DNA engine; the CAT and general engines always
+  /// keep one buffer per inner node.
+  int cla_buffers = -1;
+  /// Site-repeats mode (LvD algorithm of Bryant/Scornavacca/Swofford;
+  /// BEAGLE 4.1's parallel back-ends do the same): each inner node keeps a
+  /// site → repeat-class map — two sites share a class iff they induce the
+  /// same tip-state pattern in the node's subtree — and newview computes
+  /// one CLA block per *unique class* instead of per site.  evaluate and
+  /// derivativeSum gather per-site values through the class maps.  Class
+  /// maps depend only on the topology and tip data, never on branch
+  /// lengths or the model, so branch-length optimization reuses them;
+  /// topology changes rebuild them through the same partial-traversal
+  /// machinery that recomputes CLAs.  Dense DNA engine only.
+  bool site_repeats = false;
 };
 
 }  // namespace miniphi::core

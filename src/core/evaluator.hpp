@@ -15,6 +15,7 @@
 
 #include "src/core/eval_stats.hpp"
 #include "src/model/gtr.hpp"
+#include "src/simd/dispatch.hpp"
 #include "src/tree/tree.hpp"
 
 namespace miniphi::core {
@@ -78,6 +79,24 @@ class Evaluator {
   /// header template over the concrete engine types (model_optimizer.hpp).
   virtual void set_alpha(double alpha) = 0;
   [[nodiscard]] virtual double alpha() const = 0;
+
+  /// Kernel back-end in force, for reporting and C-API resource
+  /// negotiation.  Mixed-back-end evaluators (stream groups) report the
+  /// widest ISA any of their engines runs.
+  [[nodiscard]] virtual simd::Isa isa() const { return simd::best_supported_isa(); }
+
+  /// GTR model seam for the DNA family: evaluators whose substitution model
+  /// is one (linked) GtrModel expose it here so full model optimization
+  /// (search::optimize_model) can run through the interface.  Other
+  /// families — general/protein, per-partition divergent models — keep the
+  /// defaults (nullptr/false) and use family-specific paths instead.
+  [[nodiscard]] virtual const model::GtrModel* gtr_model() const { return nullptr; }
+  /// Replaces the linked GTR model everywhere (invalidates all CLAs);
+  /// returns false when unsupported.
+  virtual bool set_gtr_model(const model::GtrModel& model) {
+    (void)model;
+    return false;
+  }
 
   /// Accumulated per-kernel statistics since construction or the last
   /// reset_stats().  Aggregating evaluators (fork-join, distributed,

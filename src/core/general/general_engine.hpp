@@ -26,7 +26,7 @@ namespace miniphi::core {
 class GeneralEngine final : public Evaluator {
  public:
   /// All knobs are the shared core::EngineConfig set; no extras.
-  struct Config : EngineConfig {};
+  using Config = EngineConfig;
 
   /// `code_masks[code]` gives the state set of tip code `code`; every code
   /// appearing in `patterns` must be within range.
@@ -39,7 +39,7 @@ class GeneralEngine final : public Evaluator {
 
   [[nodiscard]] const model::GeneralModel& general_model() const { return model_; }
   [[nodiscard]] const GeneralDims& dims() const { return dims_; }
-  [[nodiscard]] simd::Isa isa() const { return ops_.isa; }
+  [[nodiscard]] simd::Isa isa() const override { return ops_.isa; }
   [[nodiscard]] std::int64_t slice_size() const { return length_; }
 
   /// Replaces the model (same state count required); invalidates all CLAs.

@@ -1,0 +1,39 @@
+#include "src/core/make_evaluator.hpp"
+
+#include <utility>
+
+#include "src/core/cat/cat_engine.hpp"
+#include "src/core/engine.hpp"
+#include "src/core/general/general_engine.hpp"
+#include "src/core/partitioned.hpp"
+
+namespace miniphi::core {
+
+std::unique_ptr<Evaluator> make_evaluator(const bio::PatternSet& patterns,
+                                          const model::GtrModel& model, tree::Tree& tree,
+                                          const EngineConfig& config) {
+  return std::make_unique<LikelihoodEngine>(patterns, model, tree, config);
+}
+
+std::unique_ptr<Evaluator> make_evaluator(const bio::Alignment& alignment,
+                                          std::span<const PartitionSpec> partitions,
+                                          const model::GtrModel& model, tree::Tree& tree,
+                                          const EngineConfig& config, const StreamPlan& streams) {
+  return std::make_unique<PartitionedEvaluator>(alignment, partitions, model, tree, config,
+                                                streams);
+}
+
+std::unique_ptr<Evaluator> make_evaluator(const bio::PatternSet& patterns,
+                                          const model::GtrModel& model, tree::Tree& tree,
+                                          int categories, const EngineConfig& config) {
+  return std::make_unique<CatEngine>(patterns, model, tree, categories, config);
+}
+
+std::unique_ptr<Evaluator> make_evaluator(const bio::PatternSet& patterns,
+                                          const model::GeneralModel& model, tree::Tree& tree,
+                                          std::vector<std::uint32_t> code_masks,
+                                          const EngineConfig& config) {
+  return std::make_unique<GeneralEngine>(patterns, model, tree, std::move(code_masks), config);
+}
+
+}  // namespace miniphi::core

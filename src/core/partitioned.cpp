@@ -26,6 +26,24 @@ bio::Alignment slice_alignment(const bio::Alignment& alignment, const PartitionS
   return bio::Alignment(std::move(names), std::move(rows));
 }
 
+/// Fills the defaulted StreamPlan fields and validates the explicit ones.
+StreamPlan normalize_stream_plan(const StreamPlan& plan, std::size_t partitions,
+                                 simd::Isa default_isa) {
+  StreamPlan out = plan;
+  MINIPHI_CHECK(out.stream_count >= 1, "stream plan: stream_count must be >= 1");
+  if (out.partition_isa.empty()) out.partition_isa.assign(partitions, default_isa);
+  MINIPHI_CHECK(out.partition_isa.size() == partitions,
+                "stream plan: partition_isa size does not match the partition count");
+  if (out.partition_stream.empty()) out.partition_stream.assign(partitions, 0);
+  MINIPHI_CHECK(out.partition_stream.size() == partitions,
+                "stream plan: partition_stream size does not match the partition count");
+  for (const int stream : out.partition_stream) {
+    MINIPHI_CHECK(stream >= 0 && stream < out.stream_count,
+                  "stream plan: partition assigned to a stream id outside [0, stream_count)");
+  }
+  return out;
+}
+
 }  // namespace
 
 std::vector<PartitionSpec> even_partitions(std::int64_t total_sites, int count) {
@@ -47,24 +65,30 @@ PartitionedEvaluator::PartitionedEvaluator(const bio::Alignment& alignment,
                                            std::span<const PartitionSpec> specs,
                                            const model::GtrModel& initial_model,
                                            tree::Tree& tree,
-                                           const LikelihoodEngine::Config& engine_config)
-    : tree_(tree) {
+                                           const EngineConfig& engine_config,
+                                           const StreamPlan& streams)
+    : tree_(tree), streams_(normalize_stream_plan(streams, specs.size(), engine_config.isa)) {
   MINIPHI_CHECK(!specs.empty(), "partitioned evaluator: no partitions given");
-  for (const auto& spec : specs) {
-    names_.push_back(spec.name);
-    const auto sliced = slice_alignment(alignment, spec);
+  stream_partitions_.resize(static_cast<std::size_t>(streams_.stream_count));
+  for (std::size_t p = 0; p < specs.size(); ++p) {
+    names_.push_back(specs[p].name);
+    const auto sliced = slice_alignment(alignment, specs[p]);
     patterns_.push_back(std::make_unique<bio::PatternSet>(bio::compress_patterns(sliced)));
-    LikelihoodEngine::Config config = engine_config;
+    EngineConfig config = engine_config;
     config.begin = 0;
     config.end = -1;
+    config.isa = streams_.partition_isa[p];
     engines_.push_back(
         std::make_unique<LikelihoodEngine>(*patterns_.back(), initial_model, tree, config));
+    stream_partitions_[static_cast<std::size_t>(streams_.partition_stream[p])].push_back(
+        static_cast<int>(p));
   }
   trace_attached_ = engine_config.trace != nullptr;
   sdc_checks_ = engine_config.sdc_checks;
   // External plan execution needs the full CLA budget (no eviction); under
   // a tight budget the engines keep traversing internally with their pin
-  // discipline and the merged queue stands down.
+  // discipline and the merged queue stands down.  (Stream dispatch is
+  // unaffected: streams always run the engines' internal executors.)
   merged_supported_ = engine_config.cla_buffers < 0;
   if (obs::kMetricsCompiled && engine_config.metrics == obs::MetricsMode::kOn) {
     metrics_ = true;
@@ -72,6 +96,9 @@ PartitionedEvaluator::PartitionedEvaluator(const bio::Alignment& alignment,
     merged_traversals_id_ = registry.counter("plan.merged.traversals");
     merged_levels_id_ = registry.histogram("plan.merged.levels");
     merged_regions_id_ = registry.counter("plan.merged.regions");
+    stream_calls_id_ = registry.counter("stream.calls");
+    stream_regions_id_ = registry.counter("stream.regions");
+    stream_width_id_ = registry.histogram("stream.width");
     sdc_ids_ = sdc::register_metrics();
   }
   plans_.resize(engines_.size());
@@ -85,6 +112,11 @@ void PartitionedEvaluator::set_parallel_for(ParallelFor* parallel_for, PlanSched
                 "thread-safe; build without Config::trace to attach a ParallelFor");
   parallel_for_ = parallel_for;
   schedule_ = schedule;
+}
+
+simd::Isa PartitionedEvaluator::partition_isa(int p) const {
+  MINIPHI_ASSERT(p >= 0 && p < partition_count());
+  return engines_[static_cast<std::size_t>(p)]->isa();
 }
 
 void PartitionedEvaluator::heal_or_rethrow(const sdc::CorruptionDetected& fault, int attempt) {
@@ -111,8 +143,43 @@ void PartitionedEvaluator::run_region(int count, const std::function<void(int)>&
   for (int i = 0; i < count; ++i) fn(i);
 }
 
+void PartitionedEvaluator::run_partitions(const std::function<void(int)>& fn) {
+  if (!streams_active()) {
+    run_region(partition_count(), fn);
+    return;
+  }
+  // Stream dispatch: one region, one task per stream group.  Each task walks
+  // its own partitions end-to-end, so every engine is touched by exactly one
+  // thread and the whole call costs a single fork-join barrier.
+  const int streams = streams_.stream_count;
+  ++stream_counters_.calls;
+  stream_counters_.tasks += streams;
+  if (metrics_) {
+    obs::Registry& registry = obs::Registry::instance();
+    registry.add(stream_calls_id_, 1);
+    for (int s = 0; s < streams; ++s) {
+      registry.observe(stream_width_id_,
+                       static_cast<std::int64_t>(stream_partitions_[static_cast<std::size_t>(s)].size()));
+    }
+  }
+  const auto task = [&](int s) {
+    obs::ScopedSpan span("stream:group");
+    for (const int p : stream_partitions_[static_cast<std::size_t>(s)]) fn(p);
+  };
+  if (parallel_for_ != nullptr) {
+    ++stream_counters_.regions;
+    if (metrics_) obs::Registry::instance().add(stream_regions_id_, 1);
+    parallel_for_->run(streams, task);
+    return;
+  }
+  for (int s = 0; s < streams; ++s) task(s);
+}
+
 void PartitionedEvaluator::validate_edge(tree::Slot* edge) {
-  if (!merged_supported_) return;  // engines traverse internally (tight budget)
+  // Stream dispatch skips the merged queue outright: each stream's engines
+  // validate internally (plan cache, level executor, SDC heal loop) as part
+  // of their end-to-end task.  Same holds under a tight CLA budget.
+  if (!merged_supported_ || streams_active()) return;
   const int count = partition_count();
   int max_levels = 0;
   for (int p = 0; p < count; ++p) {
@@ -217,14 +284,16 @@ double PartitionedEvaluator::log_likelihood(tree::Slot* edge) {
   for (int attempt = 0;; ++attempt) {
     try {
       validate_edge(edge);
-      // All traversal work is done (each engine's plan is satisfied): the
-      // per-engine calls below go straight to the evaluate root kernel.
-      run_region(partition_count(), [&](int p) {
+      // Merged schedules: all traversal work is done (each engine's plan is
+      // satisfied) and the per-engine calls below go straight to the
+      // evaluate root kernel.  Stream dispatch: each stream task runs its
+      // partitions end-to-end (traversal + evaluate) right here.
+      run_partitions([&](int p) {
         partials_[static_cast<std::size_t>(p)] =
             engines_[static_cast<std::size_t>(p)]->log_likelihood(edge);
       });
-      // Fixed partition order: bit-identical across schedules and thread
-      // counts.
+      // Fixed partition order: bit-identical across schedules, stream
+      // counts and thread counts.
       double total = 0.0;
       for (int p = 0; p < partition_count(); ++p) total += partials_[static_cast<std::size_t>(p)];
       return total;
@@ -238,7 +307,7 @@ void PartitionedEvaluator::prepare_derivatives(tree::Slot* edge) {
   for (int attempt = 0;; ++attempt) {
     try {
       validate_edge(edge);
-      run_region(partition_count(), [&](int p) {
+      run_partitions([&](int p) {
         engines_[static_cast<std::size_t>(p)]->prepare_derivatives(edge);
       });
       return;
@@ -249,7 +318,7 @@ void PartitionedEvaluator::prepare_derivatives(tree::Slot* edge) {
 }
 
 std::pair<double, double> PartitionedEvaluator::derivatives(double z) {
-  run_region(partition_count(), [&](int p) {
+  run_partitions([&](int p) {
     derivative_partials_[static_cast<std::size_t>(p)] =
         engines_[static_cast<std::size_t>(p)]->derivatives(z);
   });
@@ -304,7 +373,7 @@ bool PartitionedEvaluator::gradient_all_branches(tree::Slot* root_edge,
   out.clear();
   std::vector<std::vector<BranchGradient>> partials(static_cast<std::size_t>(partition_count()));
   std::vector<char> supported(static_cast<std::size_t>(partition_count()), 0);
-  run_region(partition_count(), [&](int p) {
+  run_partitions([&](int p) {
     supported[static_cast<std::size_t>(p)] =
         engines_[static_cast<std::size_t>(p)]->gradient_all_branches(
             root_edge, partials[static_cast<std::size_t>(p)])
@@ -342,6 +411,21 @@ void PartitionedEvaluator::set_alpha(double alpha) {
 }
 
 double PartitionedEvaluator::alpha() const { return engines_.front()->model().params().alpha; }
+
+simd::Isa PartitionedEvaluator::isa() const {
+  simd::Isa widest = simd::Isa::kScalar;
+  for (const auto& engine : engines_) widest = std::max(widest, engine->isa());
+  return widest;
+}
+
+const model::GtrModel* PartitionedEvaluator::gtr_model() const {
+  return &engines_.front()->model();
+}
+
+bool PartitionedEvaluator::set_gtr_model(const model::GtrModel& model) {
+  for (auto& engine : engines_) engine->set_model(model);
+  return true;
+}
 
 const EvalStats& PartitionedEvaluator::stats() const {
   aggregated_stats_ = EvalStats{};

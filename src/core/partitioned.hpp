@@ -12,17 +12,29 @@
 // claim itself is reproduced by bench_ablation_partitions via the platform
 // cost model.
 //
-// Traversals are *batched* across partitions: every evaluator call first
-// fetches each engine's flat traversal plan (core::TraversalPlan) and runs
-// the merged queue level by level, interleaving ops from different
-// partitions within a level.  With a ParallelFor attached, scheduling is
-// selectable — kWavefront issues one parallel region (one barrier) per
-// dependency level; kPerNode reproduces the classical fork-join shape of
-// one region per tree node for the ablation; kBatched walks the merged
-// queue on the calling thread.  Per-partition root kernels (evaluate,
-// derivativeSum, derivativeCore) also run inside one region each, and every
-// reduction sums in fixed partition order, so results are bit-identical
-// across schedules and thread counts.
+// Two execution shapes (DESIGN.md §13):
+//
+//  * Merged queue (kBatched/kPerNode/kWavefront): every evaluator call first
+//    fetches each engine's flat traversal plan (core::TraversalPlan) and
+//    runs the merged queue level by level, interleaving ops from different
+//    partitions within a level.  kWavefront issues one parallel region (one
+//    barrier) per dependency level; kPerNode reproduces the classical
+//    fork-join shape for the ablation; kBatched walks the merged queue on
+//    the calling thread.
+//
+//  * Stream groups (kStreams, PR 8 — the BEAGLE-4.1 concurrent-partition-
+//    streams analogue): partitions are assigned to independent stream
+//    groups, each stream evaluates its partitions *end-to-end* (newview
+//    traversal through the engine's own plan cache, root kernels,
+//    derivatives) as one long task, and the only synchronization is the
+//    region join before the fixed-order reduction.  Each partition's kernel
+//    back-end (ISA) can differ — chosen by platform::plan_partition_streams
+//    from the cost model — so a mixed job runs small partitions on
+//    scalar/AVX2 and large ones on AVX-512 simultaneously.
+//
+// Every reduction sums in fixed partition order, so results are
+// bit-identical across schedules, stream counts and thread counts for a
+// given per-partition back-end assignment.
 #pragma once
 
 #include <functional>
@@ -34,45 +46,25 @@
 
 #include "src/bio/patterns.hpp"
 #include "src/core/engine.hpp"
+#include "src/core/partition_spec.hpp"
 #include "src/obs/metrics.hpp"
 
 namespace miniphi::core {
-
-/// One partition: a named, contiguous site range of the input alignment.
-struct PartitionSpec {
-  std::string name;
-  std::int64_t begin = 0;  ///< first site (inclusive)
-  std::int64_t end = 0;    ///< one past the last site
-};
-
-/// Splits [0, total_sites) into `count` near-equal partitions named gene0…
-std::vector<PartitionSpec> even_partitions(std::int64_t total_sites, int count);
-
-/// How the merged cross-partition traversal queue is dispatched.
-enum class PlanSchedule {
-  kBatched,    ///< one serial walk over the merged level queue (default)
-  kPerNode,    ///< one parallel region per tree node (classical fork-join)
-  kWavefront,  ///< one parallel region per dependency level
-};
-
-/// Monotonic counters for the merged cross-partition executor.
-struct MergedPlanCounters {
-  std::int64_t traversals = 0;  ///< merged traversals executed (≥1 op total)
-  std::int64_t levels = 0;      ///< dependency levels walked
-  /// Parallel regions issued (newview levels or node groups, plus one per
-  /// root-kernel phase); the schedules differ only in the newview share.
-  std::int64_t regions = 0;
-  std::int64_t ops = 0;  ///< newview ops dispatched through the queue
-};
 
 class PartitionedEvaluator final : public Evaluator {
  public:
   /// Compresses each site range into its own pattern set and builds one
   /// engine per partition over the shared tree.  Every partition starts
   /// with `initial_model`; models can then diverge per partition.
+  ///
+  /// `streams` fixes each partition's kernel back-end (StreamPlan::
+  /// partition_isa overrides engine_config.isa per partition) and its
+  /// stream-group assignment; the default plan keeps every partition on the
+  /// config ISA in one stream.  Stream dispatch additionally needs
+  /// set_parallel_for(…, PlanSchedule::kStreams).
   PartitionedEvaluator(const bio::Alignment& alignment, std::span<const PartitionSpec> specs,
                        const model::GtrModel& initial_model, tree::Tree& tree,
-                       const LikelihoodEngine::Config& engine_config = {});
+                       const EngineConfig& engine_config = {}, const StreamPlan& streams = {});
 
   [[nodiscard]] int partition_count() const { return static_cast<int>(engines_.size()); }
   [[nodiscard]] const std::string& partition_name(int p) const;
@@ -83,17 +75,27 @@ class PartitionedEvaluator final : public Evaluator {
   [[nodiscard]] LikelihoodEngine& partition_engine(int p);
 
   /// Attaches (or detaches, with nullptr) a parallel-for executor and picks
-  /// the dispatch schedule for merged traversals.  Requires engines built
-  /// without a KernelTrace (the trace recorder is not thread-safe) and with
-  /// the full CLA budget.  With no executor attached every schedule runs on
-  /// the calling thread (regions degrade to loops), which keeps the merged
-  /// queue — and its counters — testable single-threaded.
+  /// the dispatch schedule.  Requires engines built without a KernelTrace
+  /// (the trace recorder is not thread-safe) and, for the merged-queue
+  /// schedules, the full CLA budget.  With no executor attached every
+  /// schedule runs on the calling thread (regions degrade to loops), which
+  /// keeps both executors — and their counters — testable single-threaded.
   void set_parallel_for(ParallelFor* parallel_for, PlanSchedule schedule);
   [[nodiscard]] PlanSchedule plan_schedule() const { return schedule_; }
+
+  /// The back-end/stream assignment in force (normalized: per-partition
+  /// vectors are always filled).
+  [[nodiscard]] const StreamPlan& stream_plan() const { return streams_; }
+  [[nodiscard]] int stream_count() const { return streams_.stream_count; }
+  /// Kernel ISA partition `p`'s engine actually runs.
+  [[nodiscard]] simd::Isa partition_isa(int p) const;
 
   /// Counters of the merged cross-partition executor (never reset; callers
   /// take deltas).  regions stays 0 until a ParallelFor is attached.
   [[nodiscard]] const MergedPlanCounters& merged_plan_counters() const { return merged_counters_; }
+
+  /// Counters of the stream-group executor (kStreams dispatch only).
+  [[nodiscard]] const StreamCounters& stream_counters() const { return stream_counters_; }
 
   // Evaluator interface: branch lengths are linked across partitions, so
   // likelihoods and derivatives are sums over partitions.
@@ -105,9 +107,9 @@ class PartitionedEvaluator final : public Evaluator {
   double optimize_all_branches(tree::Slot* root_edge, int passes) override;
   /// All-branch gradient: each partition runs its own two-pass sweep; the
   /// per-edge derivatives are summed in fixed partition order (bit-identical
-  /// across schedules and thread counts like every other reduction here).
-  /// Declines (false) as soon as any partition declines, e.g. under a tight
-  /// CLA budget.
+  /// across schedules, stream counts and thread counts like every other
+  /// reduction here).  Declines (false) as soon as any partition declines,
+  /// e.g. under a tight CLA budget.
   bool gradient_all_branches(tree::Slot* root_edge, std::vector<BranchGradient>& out) override;
   void invalidate_node(int node_id) override;
   void invalidate_branch(int node_id) override;
@@ -116,18 +118,39 @@ class PartitionedEvaluator final : public Evaluator {
   void set_alpha(double alpha) override;
   [[nodiscard]] double alpha() const override;
 
+  /// Widest kernel ISA any partition runs (per-partition ISAs via
+  /// partition_isa(p)).
+  [[nodiscard]] simd::Isa isa() const override;
+
+  /// Linked-model seam: gtr_model() reports partition 0's model and
+  /// set_gtr_model() replaces the model of *every* partition.  Meaningful
+  /// while the partitions share one model (the construction state);
+  /// per-partition divergent models are managed via partition_engine(p).
+  [[nodiscard]] const model::GtrModel* gtr_model() const override;
+  bool set_gtr_model(const model::GtrModel& model) override;
+
   /// Sum of the per-partition engine stats (EvalStats::operator+=).
   [[nodiscard]] const EvalStats& stats() const override;
   void reset_stats() override;
 
  private:
   /// Plans every partition's traversal toward (edge, edge->back) and runs
-  /// the merged queue level by level under the active schedule.
+  /// the merged queue level by level under the active schedule.  No-op
+  /// under kStreams (each stream's engines validate internally, end-to-end).
   void validate_edge(tree::Slot* edge);
 
   /// Dispatches `count` independent tasks: one region through the attached
   /// ParallelFor, or a plain loop when none is attached.
   void run_region(int count, const std::function<void(int)>& fn);
+
+  /// Dispatches `fn(p)` over every partition: under kStreams one region of
+  /// stream_count tasks, each walking its own partitions serially (so an
+  /// engine is only ever touched by its stream's thread); otherwise one
+  /// region of partition_count independent tasks.
+  void run_partitions(const std::function<void(int)>& fn);
+
+  /// True when the stream-group executor handles dispatch.
+  [[nodiscard]] bool streams_active() const { return schedule_ == PlanSchedule::kStreams; }
 
   /// Partition-level heal step (Config::sdc_checks; see DESIGN.md §10): a
   /// CorruptionDetected escaping the merged external executor — where no
@@ -154,6 +177,15 @@ class PartitionedEvaluator final : public Evaluator {
   obs::MetricId merged_traversals_id_ = 0;
   obs::MetricId merged_levels_id_ = 0;    ///< histogram: levels per merged traversal
   obs::MetricId merged_regions_id_ = 0;
+
+  // Stream-group machinery (PlanSchedule::kStreams).
+  StreamPlan streams_;                       ///< normalized at construction
+  std::vector<std::vector<int>> stream_partitions_;  ///< stream → its partitions
+  StreamCounters stream_counters_;
+  obs::MetricId stream_calls_id_ = 0;
+  obs::MetricId stream_regions_id_ = 0;
+  obs::MetricId stream_width_id_ = 0;  ///< histogram: partitions per stream task
+
   // Per-traversal scratch (reused; sized to partition_count()).
   std::vector<const TraversalPlan*> plans_;
   std::vector<double> partials_;

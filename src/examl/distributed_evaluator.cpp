@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <span>
 
 #include "src/util/error.hpp"
 #include "src/util/timer.hpp"
@@ -21,12 +22,14 @@ DistributedEvaluator::DistributedEvaluator(mpi::Communicator& comm,
       engine_config_(engine_config),
       policy_(policy) {
   MINIPHI_CHECK(policy.shards_per_rank >= 1, "distributed evaluator: shards_per_rank >= 1");
+  MINIPHI_CHECK(policy.stream_groups >= 1, "distributed evaluator: stream_groups >= 1");
   const auto npat = static_cast<std::int64_t>(patterns.pattern_count());
   // S is sized by the FULL world, not the current membership: shard
   // boundaries must be identical across epochs so per-shard partial sums
   // (and thus the shard-ordered global fold) survive any re-shard bit-for-bit.
   const int shards = policy.shards_per_rank * comm.size();
   MINIPHI_CHECK(npat >= shards, "distributed evaluator: fewer patterns than shards");
+  stream_groups_ = std::min(policy.stream_groups, shards);
   bounds_.resize(static_cast<std::size_t>(shards) + 1);
   for (int s = 0; s <= shards; ++s) {
     bounds_[static_cast<std::size_t>(s)] = npat * s / shards;
@@ -244,13 +247,16 @@ void DistributedEvaluator::maybe_rebalance(const double* times) {
 }
 
 double DistributedEvaluator::log_likelihood(tree::Slot* edge) {
-  // One comm plan per traversal: all local plan ops run first (the engines
-  // reuse the plans just fetched), then exactly one allreduce.
-  derive_comm_plan(edge, /*posts=*/1);
+  // One comm plan per traversal: all of a stream epoch's local plan ops run
+  // first (the engines reuse the plans just fetched), then exactly one
+  // allreduce per epoch — stream_groups_ collectives in total, one under
+  // the default policy.
+  derive_comm_plan(edge, /*posts=*/stream_groups_);
   const int shards = shard_count();
   const int ranks = comm_.size();
+  const int slots_per_shard = sdc_checks_ ? 3 : 1;
   const std::size_t lnl_slots =
-      static_cast<std::size_t>(shards) * (sdc_checks_ ? 3 : 1);
+      static_cast<std::size_t>(shards) * static_cast<std::size_t>(slots_per_shard);
   reduce_scratch_.assign(lnl_slots + static_cast<std::size_t>(ranks), 0.0);
 
   // The timer brackets the injection hook so a kSlowRank sleep is charged
@@ -258,28 +264,46 @@ double DistributedEvaluator::log_likelihood(tree::Slot* edge) {
   const Timer compute_timer;
   comm_.on_kernel_region();  // fault-injection hook: a plan may kill us here
   if (sdc_checks_) maybe_inject_cla_fault();
-  for (int s = 0; s < shards; ++s) {
-    const auto index = static_cast<std::size_t>(s);
-    if (!engines_[index]) continue;
-    const double lnl = engines_[index]->log_likelihood(edge);
-    if (sdc_checks_) {
-      // TMR: three redundant copies per shard; disjoint slots keep the
-      // delivered triple bit-for-bit this rank's contribution.
-      reduce_scratch_[3 * index] = lnl;
-      reduce_scratch_[3 * index + 1] = lnl;
-      reduce_scratch_[3 * index + 2] = lnl;
-    } else {
-      reduce_scratch_[index] = lnl;
+  // Stream epochs: the global shard index range splits into stream_groups_
+  // contiguous groups.  Each epoch computes its owned shards end-to-end and
+  // posts one collective over exactly that group's reduction slots, so the
+  // slots of different epochs never ride the same allreduce and every slot
+  // is summed exactly once.  Per-rank timings ride the last epoch's
+  // collective.  Slot layout and the fixed shard-order fold below are
+  // unchanged, so the total is bit-identical for any stream_groups_.
+  for (int g = 0; g < stream_groups_; ++g) {
+    const int group_begin = shards * g / stream_groups_;
+    const int group_end = shards * (g + 1) / stream_groups_;
+    for (int s = group_begin; s < group_end; ++s) {
+      const auto index = static_cast<std::size_t>(s);
+      if (!engines_[index]) continue;
+      const double lnl = engines_[index]->log_likelihood(edge);
+      if (sdc_checks_) {
+        // TMR: three redundant copies per shard; disjoint slots keep the
+        // delivered triple bit-for-bit this rank's contribution.
+        reduce_scratch_[3 * index] = lnl;
+        reduce_scratch_[3 * index + 1] = lnl;
+        reduce_scratch_[3 * index + 2] = lnl;
+      } else {
+        reduce_scratch_[index] = lnl;
+      }
     }
-  }
-  const std::int64_t sites = owned_sites();
-  reduce_scratch_[lnl_slots + static_cast<std::size_t>(comm_.rank())] =
-      sites > 0 ? compute_timer.seconds() / static_cast<double>(sites) : 0.0;
-
-  if (sdc_checks_) {
-    comm_.allreduce_agreement(reduce_scratch_);
-  } else {
-    comm_.allreduce_sum(reduce_scratch_);
+    const auto slice_begin = static_cast<std::size_t>(group_begin) *
+                             static_cast<std::size_t>(slots_per_shard);
+    auto slice_end =
+        static_cast<std::size_t>(group_end) * static_cast<std::size_t>(slots_per_shard);
+    if (g == stream_groups_ - 1) {
+      const std::int64_t sites = owned_sites();
+      reduce_scratch_[lnl_slots + static_cast<std::size_t>(comm_.rank())] =
+          sites > 0 ? compute_timer.seconds() / static_cast<double>(sites) : 0.0;
+      slice_end = reduce_scratch_.size();
+    }
+    const std::span<double> slice{reduce_scratch_.data() + slice_begin, slice_end - slice_begin};
+    if (sdc_checks_) {
+      comm_.allreduce_agreement(slice);
+    } else {
+      comm_.allreduce_sum(slice);
+    }
   }
 
   double total = 0.0;

@@ -41,7 +41,11 @@ namespace miniphi::examl {
 struct CommPlan {
   std::int64_t newview_ops = 0;  ///< local plan ops the traversal executes first
   int levels = 0;                ///< dependency levels of those ops
-  int posts = 0;                 ///< collectives the schedule posts (1 per traversal)
+  /// Collectives the schedule posts: one per stream epoch of a likelihood
+  /// traversal (stream_group_count(), 1 under the default policy), 0 for
+  /// prepare_derivatives (the Newton derivatives() calls that follow each
+  /// post their own single collective).
+  int posts = 0;
 };
 
 /// How the pattern range is cut into shards and when shards migrate away
@@ -53,6 +57,16 @@ struct ShardingPolicy {
   /// sums) never change across membership epochs or rebalances.  Values
   /// > 1 give the rebalancer migration granularity.
   int shards_per_rank = 1;
+
+  /// Stream epochs per likelihood traversal (PR 8): the global shard index
+  /// range splits into this many contiguous groups, each epoch computes its
+  /// shards end-to-end and posts exactly one collective over that group's
+  /// reduction slots.  Mirrors the stream groups of the shared-memory
+  /// PartitionedEvaluator so a stream-partitioned job keeps one collective
+  /// per stream epoch instead of one bulk collective whose slowest shard
+  /// gates everything.  The global fold stays in fixed shard order, so the
+  /// result is bit-identical for any value; clamped to the shard count.
+  int stream_groups = 1;
 
   /// Straggler defense: per-rank traversal times ride the lnL allreduce
   /// (one extra slot per rank); every check_every traversals each replica
@@ -97,6 +111,12 @@ class DistributedEvaluator final : public core::Evaluator {
   void set_alpha(double alpha) override;
   [[nodiscard]] double alpha() const override { return model_.params().alpha; }
   [[nodiscard]] const model::GtrModel& model() const { return model_; }
+  [[nodiscard]] simd::Isa isa() const override { return engine_config_.isa; }
+  [[nodiscard]] const model::GtrModel* gtr_model() const override { return &model_; }
+  bool set_gtr_model(const model::GtrModel& model) override {
+    set_model(model);
+    return true;
+  }
 
   /// First owned shard's engine (for tests poking engine internals); a rank
   /// that owns no shards has no engine — check owned_shards() first.
@@ -123,6 +143,9 @@ class DistributedEvaluator final : public core::Evaluator {
 
   // --- Shard map introspection -------------------------------------------
   [[nodiscard]] int shard_count() const { return static_cast<int>(shard_owner_.size()); }
+  /// Stream epochs per likelihood traversal (ShardingPolicy::stream_groups
+  /// clamped to the shard count).
+  [[nodiscard]] int stream_group_count() const { return stream_groups_; }
   [[nodiscard]] const std::vector<int>& shard_owners() const { return shard_owner_; }
   [[nodiscard]] std::vector<int> owned_shards() const;
   [[nodiscard]] std::int64_t owned_sites() const;
@@ -175,6 +198,7 @@ class DistributedEvaluator final : public core::Evaluator {
   void maybe_rebalance(const double* times);
 
   CommPlan last_comm_plan_;
+  int stream_groups_ = 1;  ///< policy_.stream_groups clamped to shard_count()
   bool sdc_checks_ = false;
   /// Reduction scratch.  Non-SDC layout: S lnL slots + R timing slots.
   /// SDC layout: 3 TMR slots per shard + R timing slots (the vote loop

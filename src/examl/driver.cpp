@@ -4,6 +4,7 @@
 #include <cmath>
 #include <optional>
 
+#include "src/core/make_evaluator.hpp"
 #include "src/examl/distributed_evaluator.hpp"
 #include "src/search/checkpoint.hpp"
 #include "src/tree/parsimony.hpp"
@@ -38,12 +39,13 @@ TracedRun run_traced_search(const bio::Alignment& alignment, const ExperimentOpt
   tree::Tree tree = tree::parsimony_starting_tree(patterns, rng);
   const model::GtrModel model = initial_model(alignment);
 
-  core::LikelihoodEngine::Config config;
+  core::EngineConfig config;
   config.isa = options.isa;
   config.trace = &run.trace;
   config.metrics = options.metrics;
   config.sdc_checks = options.sdc_checks;
-  core::LikelihoodEngine engine(patterns, model, tree, config);
+  const auto engine_ptr = core::make_evaluator(patterns, model, tree, config);
+  core::Evaluator& engine = *engine_ptr;
 
   // Full GTR model optimization (α + exchangeabilities), as in ExaML.
   search::SearchOptions search_options = options.search;
@@ -126,7 +128,7 @@ DistributedRunResult run_distributed_search(const bio::Alignment& alignment, int
           const model::GtrModel rank_model(snapshot.model_params);
           const int rounds_done = snapshot.rounds_completed;
           try {
-            core::LikelihoodEngine::Config config;
+            core::EngineConfig config;
             config.isa = options.isa;
             config.metrics = options.metrics;
             config.sdc_checks = options.sdc_checks;

@@ -22,14 +22,12 @@
 #include "src/bio/patterns.hpp"
 #include "src/bio/aa.hpp"
 #include "src/bio/protein_alignment.hpp"
-#include "src/core/cat/cat_engine.hpp"
-#include "src/core/engine.hpp"
 #include "src/core/engine_config.hpp"
 #include "src/core/eval_stats.hpp"
 #include "src/core/evaluator.hpp"
-#include "src/core/general/general_engine.hpp"
-#include "src/core/partitioned.hpp"
 #include "src/core/kernels.hpp"
+#include "src/core/make_evaluator.hpp"
+#include "src/core/partition_spec.hpp"
 #include "src/core/trace.hpp"
 #include "src/examl/distributed_evaluator.hpp"
 #include "src/examl/driver.hpp"
@@ -43,7 +41,7 @@
 #include "src/obs/span_trace.hpp"
 #include "src/model/general.hpp"
 #include "src/model/gtr.hpp"
-#include "src/parallel/fork_join_evaluator.hpp"
+#include "src/parallel/evaluator_factory.hpp"
 #include "src/parallel/worker_pool.hpp"
 #include "src/platform/cost_model.hpp"
 #include "src/platform/spec.hpp"

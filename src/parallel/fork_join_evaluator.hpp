@@ -38,6 +38,12 @@ class ForkJoinEvaluator final : public core::Evaluator {
   void set_alpha(double alpha) override;
   [[nodiscard]] double alpha() const override { return model().params().alpha; }
   [[nodiscard]] const model::GtrModel& model() const;
+  [[nodiscard]] simd::Isa isa() const override { return engines_.front()->isa(); }
+  [[nodiscard]] const model::GtrModel* gtr_model() const override { return &model(); }
+  bool set_gtr_model(const model::GtrModel& model) override {
+    set_model(model);
+    return true;
+  }
 
   /// Aggregated kernel statistics across all workers.
   [[nodiscard]] core::KernelStat total_stats(core::Kernel kernel) const;

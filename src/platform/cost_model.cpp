@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
+#include <vector>
 
 #include "src/util/error.hpp"
 
@@ -125,5 +127,89 @@ ExecConfig config_e5_2680() { return ExecConfig{xeon_e5_2680(), 1, 150e-6, false
 ExecConfig config_phi_single() { return ExecConfig{xeon_phi_5110p(), 1, 150e-6, false, 300e-6}; }
 
 ExecConfig config_phi_dual() { return ExecConfig{xeon_phi_5110p(), 2, 150e-6, false, 300e-6}; }
+
+namespace {
+
+/// Double lanes per vector register.
+double isa_lanes(simd::Isa isa) {
+  switch (isa) {
+    case simd::Isa::kScalar:
+      return 1.0;
+    case simd::Isa::kAvx2:
+      return 4.0;
+    case simd::Isa::kAvx512:
+      return 8.0;
+  }
+  return 1.0;
+}
+
+/// Half-saturation pattern count per lane: the stream length at which a
+/// vector unit reaches half its peak speedup (the per-worker
+/// sites_half_saturation ramp of call_seconds, applied per lane).
+constexpr double kLaneHalfSaturation = 64.0;
+
+/// Per-call fixed cost per lane, in site-units: prologue/epilogue, masked
+/// remainder, and the wider spill/fill state of wide kernels.
+constexpr double kLaneCallCost = 24.0;
+
+}  // namespace
+
+double partition_cost(std::int64_t patterns, simd::Isa isa) {
+  MINIPHI_CHECK(patterns >= 0, "partition_cost: negative pattern count");
+  const double width = isa_lanes(isa);
+  const double sites = static_cast<double>(patterns);
+  const double ramp = sites / (sites + width * kLaneHalfSaturation);
+  const double speedup = 1.0 + (width - 1.0) * ramp;
+  return sites / speedup + width * kLaneCallCost;
+}
+
+simd::Isa choose_partition_isa(std::int64_t patterns, simd::Isa widest) {
+  simd::Isa best = simd::Isa::kScalar;
+  double best_cost = partition_cost(patterns, best);
+  for (const simd::Isa isa : {simd::Isa::kAvx2, simd::Isa::kAvx512}) {
+    if (static_cast<int>(isa) > static_cast<int>(widest)) break;
+    const double cost = partition_cost(patterns, isa);
+    // Strict improvement keeps the choice stable at exact crossovers.
+    if (cost < best_cost) {
+      best = isa;
+      best_cost = cost;
+    }
+  }
+  return best;
+}
+
+core::StreamPlan plan_partition_streams(std::span<const std::int64_t> partition_patterns,
+                                        int stream_count, simd::Isa widest) {
+  MINIPHI_CHECK(stream_count >= 1, "plan_partition_streams: stream_count must be >= 1");
+  const auto n = static_cast<int>(partition_patterns.size());
+  core::StreamPlan plan;
+  plan.stream_count = std::clamp(stream_count, 1, std::max(n, 1));
+  plan.partition_stream.assign(static_cast<std::size_t>(n), 0);
+  plan.partition_isa.reserve(static_cast<std::size_t>(n));
+  std::vector<double> costs;
+  costs.reserve(static_cast<std::size_t>(n));
+  for (const std::int64_t patterns : partition_patterns) {
+    const simd::Isa isa = choose_partition_isa(patterns, widest);
+    plan.partition_isa.push_back(isa);
+    costs.push_back(partition_cost(patterns, isa));
+  }
+  // LPT: heaviest partition first onto the least-loaded stream.  stable_sort
+  // + strict less keep the assignment deterministic under cost ties.
+  std::vector<int> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return costs[static_cast<std::size_t>(a)] > costs[static_cast<std::size_t>(b)];
+  });
+  std::vector<double> load(static_cast<std::size_t>(plan.stream_count), 0.0);
+  for (const int p : order) {
+    int lightest = 0;
+    for (int s = 1; s < plan.stream_count; ++s) {
+      if (load[static_cast<std::size_t>(s)] < load[static_cast<std::size_t>(lightest)]) lightest = s;
+    }
+    plan.partition_stream[static_cast<std::size_t>(p)] = lightest;
+    load[static_cast<std::size_t>(lightest)] += costs[static_cast<std::size_t>(p)];
+  }
+  return plan;
+}
 
 }  // namespace miniphi::platform

@@ -18,7 +18,9 @@
 
 #include <array>
 #include <cstdint>
+#include <span>
 
+#include "src/core/partition_spec.hpp"
 #include "src/core/trace.hpp"
 #include "src/platform/spec.hpp"
 
@@ -83,5 +85,42 @@ ExecConfig config_e5_2630();
 ExecConfig config_e5_2680();
 ExecConfig config_phi_single();
 ExecConfig config_phi_dual();
+
+// ---------------------------------------------------------------------------
+// Stream planning (PR 8): per-partition back-end choice + stream grouping.
+//
+// The same latency/concurrency ramp the trace pricer applies per worker
+// applies per *vector unit*: a kernel over few patterns cannot amortize a
+// wide vector's prologue/remainder handling, so the widest ISA is not
+// always the fastest.  choose_partition_isa prices each supported ISA for a
+// partition's pattern count and picks the cheapest; plan_partition_streams
+// then balances the modeled per-partition costs across stream groups
+// (longest-processing-time-first), producing the core::StreamPlan that
+// PartitionedEvaluator's stream executor consumes.
+// ---------------------------------------------------------------------------
+
+/// Modeled evaluation cost of one partition on one kernel back-end, in
+/// site-units (arbitrary but comparable across ISAs).  Saturating ramp: the
+/// speedup of a w-lane ISA over scalar approaches w only once the pattern
+/// count is large against the ISA's half-saturation size; a per-call
+/// overhead growing with the width prices the longer prologue/epilogue and
+/// masked-remainder handling of wide kernels.
+double partition_cost(std::int64_t patterns, simd::Isa isa);
+
+/// Cheapest back-end for a partition of `patterns` compressed sites, never
+/// wider than `widest` (pass simd::best_supported_isa() — the default — to
+/// honor the host).  Tiny partitions pick kScalar, mid-size kAvx2, large
+/// kAvx512; the chosen width is non-decreasing in the pattern count.
+simd::Isa choose_partition_isa(std::int64_t patterns, simd::Isa widest = simd::best_supported_isa());
+
+/// Builds the stream plan for a partitioned job: chooses each partition's
+/// back-end via choose_partition_isa, then assigns partitions to at most
+/// `stream_count` stream groups by LPT over the modeled costs (heaviest
+/// partition first onto the least-loaded stream, ties to the lowest stream
+/// id — deterministic for a given input).  stream_count is clamped to the
+/// partition count; every returned stream owns at least one partition.
+core::StreamPlan plan_partition_streams(std::span<const std::int64_t> partition_patterns,
+                                        int stream_count,
+                                        simd::Isa widest = simd::best_supported_isa());
 
 }  // namespace miniphi::platform

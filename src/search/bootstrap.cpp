@@ -7,7 +7,7 @@
 #include <sstream>
 #include <thread>
 
-#include "src/core/engine.hpp"
+#include "src/core/make_evaluator.hpp"
 #include "src/tree/parsimony.hpp"
 #include "src/util/error.hpp"
 
@@ -124,8 +124,8 @@ BootstrapResult run_bootstrap(const bio::PatternSet& patterns, const model::GtrM
       Rng rng(seeds[static_cast<std::size_t>(replicate)]);
       const auto resampled = bootstrap_resample(patterns, rng);
       tree::Tree tree = tree::parsimony_starting_tree(resampled, rng);
-      core::LikelihoodEngine engine(resampled, model, tree);
-      (void)run_tree_search(engine, tree, options.search);
+      const auto evaluator = core::make_evaluator(resampled, model, tree);
+      (void)run_tree_search(*evaluator, tree, options.search);
       replicate_splits[static_cast<std::size_t>(replicate)] = tree::tree_splits(tree);
     }
   };

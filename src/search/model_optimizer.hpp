@@ -17,6 +17,7 @@
 #include "src/model/gtr.hpp"
 #include "src/obs/span_trace.hpp"
 #include "src/search/brent.hpp"
+#include "src/util/error.hpp"
 
 namespace miniphi::search {
 
@@ -89,6 +90,24 @@ ModelOptimizerResult optimize_model(EngineT& engine, tree::Slot* root_edge,
   result.log_likelihood = engine.log_likelihood(root_edge);
   ++result.evaluations;
   return result;
+}
+
+/// Interface-level overload (the factory-seam path, PR 8): runs the same
+/// coordinate sweeps through the Evaluator's GTR seam, so callers holding a
+/// `std::unique_ptr<core::Evaluator>` from core::make_evaluator never name a
+/// concrete engine type.  Requires an evaluator of the DNA GTR family
+/// (Evaluator::gtr_model() non-null).
+inline ModelOptimizerResult optimize_model(core::Evaluator& evaluator, tree::Slot* root_edge,
+                                           const ModelOptimizerOptions& options = {}) {
+  MINIPHI_CHECK(evaluator.gtr_model() != nullptr,
+                "optimize_model: evaluator does not expose a linked GTR model");
+  struct GtrSeam {
+    core::Evaluator& inner;
+    [[nodiscard]] const model::GtrModel& model() const { return *inner.gtr_model(); }
+    void set_model(const model::GtrModel& model) { inner.set_gtr_model(model); }
+    double log_likelihood(tree::Slot* edge) { return inner.log_likelihood(edge); }
+  } seam{evaluator};
+  return optimize_model(seam, root_edge, options);
 }
 
 }  // namespace miniphi::search

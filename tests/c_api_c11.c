@@ -1,0 +1,50 @@
+/* Compile check + smoke driver for include/miniphi_c.h from actual C11.
+ * This translation unit is compiled with a C compiler (CMAKE_C_STANDARD 11),
+ * so any C++-ism leaking into the public header breaks the build here.
+ * c_api_test.cpp calls miniphi_c11_smoke() to prove the C-side linkage. */
+#include <string.h>
+
+#include "miniphi_c.h"
+
+int miniphi_c11_smoke(void) {
+  int major = 0;
+  int minor = -1;
+  miniphi_version_numbers(&major, &minor);
+  if (major != MINIPHI_C_API_VERSION_MAJOR) return 1;
+  if (minor != MINIPHI_C_API_VERSION_MINOR) return 2;
+  if (miniphi_version() == NULL) return 3;
+  if (strlen(miniphi_version()) == 0) return 4;
+  /* Scalar kernels are always compiled in. */
+  if ((miniphi_supported_backends() & MINIPHI_BACKEND_SCALAR) == 0) return 5;
+
+  /* A full round trip, entirely from C. */
+  const char* fasta =
+      ">a\nACGTACGTACGTACGTACGT\n"
+      ">b\nACGTACGTTGCAACGTACGT\n"
+      ">c\nACGAACGTACGTACGAACGT\n"
+      ">d\nTCGTACGTACCTACGTACGA\n";
+  miniphi_alignment* alignment = NULL;
+  if (miniphi_alignment_from_fasta(fasta, &alignment) != MINIPHI_OK) return 6;
+  miniphi_tree* tree = NULL;
+  if (miniphi_tree_parsimony(alignment, 7, &tree) != MINIPHI_OK) {
+    miniphi_alignment_destroy(alignment);
+    return 7;
+  }
+  miniphi_instance* instance = NULL;
+  miniphi_resource_grant grant;
+  memset(&grant, 0, sizeof(grant));
+  if (miniphi_create_instance(alignment, tree, NULL, &grant, &instance) != MINIPHI_OK) {
+    miniphi_tree_destroy(tree);
+    miniphi_alignment_destroy(alignment);
+    return 8;
+  }
+  double lnl = 0.0;
+  int rc = 0;
+  if (miniphi_evaluate(instance, &lnl) != MINIPHI_OK) rc = 9;
+  if (rc == 0 && !(lnl < 0.0)) rc = 10;
+  if (rc == 0 && grant.partitions != 1) rc = 11;
+  if (miniphi_finalize_instance(instance) != MINIPHI_OK && rc == 0) rc = 12;
+  miniphi_tree_destroy(tree);
+  miniphi_alignment_destroy(alignment);
+  return rc;
+}

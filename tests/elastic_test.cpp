@@ -17,6 +17,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/examl/distributed_evaluator.hpp"
 #include "src/examl/driver.hpp"
 #include "src/io/newick.hpp"
 #include "src/minimpi/faults.hpp"
@@ -26,6 +27,7 @@
 #include "src/simulate/simulate.hpp"
 #include "src/tree/splits.hpp"
 #include "src/util/error.hpp"
+#include "tests/testutil.hpp"
 
 namespace miniphi::mpi {
 namespace {
@@ -318,6 +320,62 @@ TEST(ShardedEvaluator, OverdecompositionPreservesSearchOutcome) {
   const auto fine = run_distributed_search(alignment, 2, sharded);
   EXPECT_TRUE(fine.replicas_consistent);
   expect_same_outcome(fine, classic, alignment.taxon_names());
+}
+
+TEST(ElasticRecovery, StreamGroupCommScheduleSurvivesRankLoss) {
+  // Losing a rank must not disturb the stream-group schedule: the survivors
+  // rebuild with the same policy over the unchanged shard geometry, the
+  // traversal still posts one collective per stream epoch, and the global
+  // sum is bit-identical to the pre-fault full-world value (the same fixed
+  // shard-order fold over the same per-shard partials).
+  const auto alignment = simulate::paper_dataset(400, 33, 10);
+  const auto patterns = bio::compress_patterns(alignment);
+  Rng rng(34);
+  const model::GtrModel model(testutil::random_gtr_params(rng));
+  tree::Tree base_tree = tree::Tree::random(10, rng);
+
+  ShardingPolicy policy;
+  policy.shards_per_rank = 2;  // 6 shards in the full world
+  policy.stream_groups = 3;
+
+  mpi::World world(3);
+  mpi::ElasticOptions elastic;
+  elastic.enabled = true;
+  world.set_elastic(elastic);
+  mpi::FaultPlan plan;
+  // The first traversal posts 3 collectives; rank 1 dies entering the
+  // first collective of the second traversal.
+  plan.kill_rank_mid_search(1, 4);
+  world.set_fault_plan(plan);
+
+  std::array<double, 3> before{};
+  std::array<double, 3> after{};
+  std::array<int, 3> posts{};
+  world.run([&](mpi::Communicator& comm) {
+    const auto index = static_cast<std::size_t>(comm.rank());
+    tree::Tree tree(base_tree);
+    DistributedEvaluator evaluator(comm, patterns, model, tree, {}, policy);
+    before[index] = evaluator.log_likelihood(tree.tip(0));
+    EXPECT_EQ(evaluator.last_comm_plan().posts, 3);
+    try {
+      (void)evaluator.log_likelihood(tree.tip(0));
+      if (comm.rank() != 1) ADD_FAILURE() << "survivors must observe the failure";
+    } catch (const mpi::RankFailureDetected& failure) {
+      EXPECT_EQ(failure.failed_rank(), 1);
+      (void)comm.shrink();
+      EXPECT_TRUE(comm.agree(true));
+      tree::Tree fresh(base_tree);
+      DistributedEvaluator rebuilt(comm, patterns, model, fresh, {}, policy);
+      after[index] = rebuilt.log_likelihood(fresh.tip(0));
+      posts[index] = rebuilt.last_comm_plan().posts;
+    }
+  });
+  EXPECT_FALSE(world.aborted());
+  for (const int rank : {0, 2}) {
+    const auto index = static_cast<std::size_t>(rank);
+    EXPECT_EQ(after[index], before[index]) << "rank " << rank;
+    EXPECT_EQ(posts[index], 3) << "rank " << rank;
+  }
 }
 
 TEST(ElasticRecovery, MidSearchKillContinuesInPlaceWithoutCheckpointRestore) {

@@ -2,7 +2,10 @@
 // replica consistency under real rank parallelism, and trace generation.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <vector>
 
 #include "src/examl/distributed_evaluator.hpp"
 #include "src/examl/driver.hpp"
@@ -63,6 +66,57 @@ TEST(DistributedEvaluator, BranchOptimizationConsistentAcrossRanks) {
     for (std::size_t i = 0; i < lengths[0].size(); ++i) {
       // Bitwise identity: every replica ran the same Newton trajectory.
       EXPECT_EQ(lengths[static_cast<std::size_t>(r)][i], lengths[0][i]);
+    }
+  }
+}
+
+TEST(DistributedEvaluator, StreamGroupsPostOneCollectivePerEpochBitIdentically) {
+  // ShardingPolicy::stream_groups splits a traversal into stream epochs,
+  // each posting one collective over its own shard slots.  The slot layout
+  // and the fixed shard-order fold never change, so the global sum is
+  // bit-identical for every group count — EXPECT_EQ on doubles.
+  const auto alignment = test_alignment(500, 11);
+  const auto patterns = bio::compress_patterns(alignment);
+  Rng rng(12);
+  const model::GtrModel model(testutil::random_gtr_params(rng));
+  tree::Tree base_tree = tree::Tree::random(10, rng);
+
+  const int ranks = 2;
+  ShardingPolicy classic;
+  classic.shards_per_rank = 2;  // 4 shards in the full world
+  std::vector<double> reference(static_cast<std::size_t>(ranks));
+  {
+    mpi::World world(ranks);
+    world.run([&](mpi::Communicator& comm) {
+      tree::Tree tree(base_tree);
+      DistributedEvaluator evaluator(comm, patterns, model, tree, {}, classic);
+      reference[static_cast<std::size_t>(comm.rank())] =
+          evaluator.log_likelihood(tree.tip(0));
+      EXPECT_EQ(evaluator.last_comm_plan().posts, 1);  // classic single post
+    });
+  }
+
+  for (const int groups : {2, 4, 7}) {
+    ShardingPolicy policy = classic;
+    policy.stream_groups = groups;
+    const int expected_posts = std::min(groups, ranks * classic.shards_per_rank);
+    std::vector<double> values(static_cast<std::size_t>(ranks));
+    std::vector<std::int64_t> collectives(static_cast<std::size_t>(ranks));
+    mpi::World world(ranks);
+    world.run([&](mpi::Communicator& comm) {
+      const auto index = static_cast<std::size_t>(comm.rank());
+      tree::Tree tree(base_tree);
+      DistributedEvaluator evaluator(comm, patterns, model, tree, {}, policy);
+      EXPECT_EQ(evaluator.stream_group_count(), expected_posts);
+      const std::int64_t before = comm.stats().allreduces;
+      values[index] = evaluator.log_likelihood(tree.tip(0));
+      collectives[index] = comm.stats().allreduces - before;
+      EXPECT_EQ(evaluator.last_comm_plan().posts, expected_posts);
+    });
+    for (int r = 0; r < ranks; ++r) {
+      const auto index = static_cast<std::size_t>(r);
+      EXPECT_EQ(values[index], reference[index]) << "groups=" << groups << " rank=" << r;
+      EXPECT_EQ(collectives[index], expected_posts) << "groups=" << groups << " rank=" << r;
     }
   }
 }

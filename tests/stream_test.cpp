@@ -1,0 +1,252 @@
+// Mixed-backend stream-executor suite (DESIGN.md §13): the kStreams
+// dispatch of PartitionedEvaluator must be bit-identical across stream
+// counts and thread counts for a fixed per-partition back-end assignment,
+// and the cost-model-mixed assignment must agree with a uniform back-end to
+// floating-point tolerance (different ISAs reorder the within-partition
+// arithmetic, so cross-ISA results are close, not bit-equal).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/core/make_evaluator.hpp"
+#include "src/core/partitioned.hpp"
+#include "src/parallel/evaluator_factory.hpp"
+#include "src/parallel/pool_parallel_for.hpp"
+#include "src/parallel/worker_pool.hpp"
+#include "src/platform/cost_model.hpp"
+#include "src/util/error.hpp"
+#include "tests/testutil.hpp"
+
+namespace miniphi::core {
+namespace {
+
+class StreamFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(2024);
+    alignment_ = std::make_unique<bio::Alignment>(testutil::random_alignment(12, 2000, rng));
+    model_ = std::make_unique<model::GtrModel>(testutil::random_gtr_params(rng));
+    tree_ = std::make_unique<tree::Tree>(tree::Tree::random(12, rng));
+    // Deliberately uneven gene sizes: two tiny partitions the cost model
+    // should keep narrow, two large ones it should vectorize.
+    specs_ = {{"tiny_a", 0, 40}, {"tiny_b", 40, 80}, {"big_a", 80, 1040}, {"big_b", 1040, 2000}};
+  }
+
+  /// Compressed pattern counts per partition — the planner's input.
+  std::vector<std::int64_t> pattern_counts() {
+    PartitionedEvaluator probe(*alignment_, specs_, *model_, *tree_);
+    std::vector<std::int64_t> counts;
+    for (int p = 0; p < probe.partition_count(); ++p) {
+      counts.push_back(static_cast<std::int64_t>(probe.partition_patterns(p).pattern_count()));
+    }
+    return counts;
+  }
+
+  std::unique_ptr<bio::Alignment> alignment_;
+  std::unique_ptr<model::GtrModel> model_;
+  std::unique_ptr<tree::Tree> tree_;
+  std::vector<PartitionSpec> specs_;
+};
+
+TEST_F(StreamFixture, BitIdenticalAcrossStreamCountsAndThreadCounts) {
+  // The per-partition back-end choice depends only on the pattern count,
+  // not the stream count, so every variant below runs identical kernels on
+  // identical inputs and reduces in fixed partition order: EXPECT_EQ on
+  // doubles, no tolerance.
+  const auto counts = pattern_counts();
+  const StreamPlan reference_plan =
+      platform::plan_partition_streams(counts, 1);
+  PartitionedEvaluator reference(*alignment_, specs_, *model_, *tree_, {}, reference_plan);
+  const double expected = reference.log_likelihood(tree_->tip(0));
+  EXPECT_LT(expected, 0.0);
+
+  for (const int streams : {1, 2, 4}) {
+    const StreamPlan plan = platform::plan_partition_streams(counts, streams);
+    ASSERT_EQ(plan.partition_isa, reference_plan.partition_isa);
+    for (const int workers : {1, 3}) {
+      parallel::WorkerPool pool(workers);
+      parallel::PoolParallelFor parallel_for(pool);
+      PartitionedEvaluator evaluator(*alignment_, specs_, *model_, *tree_, {}, plan);
+      evaluator.set_parallel_for(&parallel_for, PlanSchedule::kStreams);
+      EXPECT_EQ(evaluator.log_likelihood(tree_->tip(0)), expected)
+          << streams << " streams, " << workers << " workers";
+    }
+    // Serial stream dispatch (no executor attached) takes the same path.
+    PartitionedEvaluator serial(*alignment_, specs_, *model_, *tree_, {}, plan);
+    serial.set_parallel_for(nullptr, PlanSchedule::kStreams);
+    EXPECT_EQ(serial.log_likelihood(tree_->tip(0)), expected) << streams << " streams, serial";
+  }
+}
+
+TEST_F(StreamFixture, GradientsAreBitIdenticalAcrossStreamCounts) {
+  const auto counts = pattern_counts();
+  const StreamPlan reference_plan = platform::plan_partition_streams(counts, 1);
+  PartitionedEvaluator reference(*alignment_, specs_, *model_, *tree_, {}, reference_plan);
+  std::vector<BranchGradient> expected;
+  ASSERT_TRUE(reference.gradient_all_branches(tree_->tip(0), expected));
+  ASSERT_FALSE(expected.empty());
+
+  parallel::WorkerPool pool(4);
+  parallel::PoolParallelFor parallel_for(pool);
+  for (const int streams : {2, 4}) {
+    const StreamPlan plan = platform::plan_partition_streams(counts, streams);
+    PartitionedEvaluator evaluator(*alignment_, specs_, *model_, *tree_, {}, plan);
+    evaluator.set_parallel_for(&parallel_for, PlanSchedule::kStreams);
+    std::vector<BranchGradient> got;
+    ASSERT_TRUE(evaluator.gradient_all_branches(tree_->tip(0), got));
+    ASSERT_EQ(got.size(), expected.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].edge, expected[i].edge);
+      EXPECT_EQ(got[i].first, expected[i].first) << "edge " << i << ", " << streams << " streams";
+      EXPECT_EQ(got[i].second, expected[i].second) << "edge " << i;
+    }
+  }
+}
+
+TEST_F(StreamFixture, BranchOptimizationIsStreamInvariant) {
+  // Newton branch optimization under streams drives prepare_derivatives /
+  // derivatives through the same end-to-end tasks; optimized lengths and the
+  // final likelihood must be bit-identical to the serial run with the same
+  // back-end assignment.
+  const auto counts = pattern_counts();
+  const StreamPlan plan1 = platform::plan_partition_streams(counts, 1);
+  tree::Tree tree_serial(*tree_);
+  PartitionedEvaluator serial(*alignment_, specs_, *model_, tree_serial, {}, plan1);
+  const double expected = serial.optimize_all_branches(tree_serial.tip(0), 2);
+
+  parallel::WorkerPool pool(4);
+  parallel::PoolParallelFor parallel_for(pool);
+  const StreamPlan plan4 = platform::plan_partition_streams(counts, 4);
+  tree::Tree tree(*tree_);
+  PartitionedEvaluator evaluator(*alignment_, specs_, *model_, tree, {}, plan4);
+  evaluator.set_parallel_for(&parallel_for, PlanSchedule::kStreams);
+  EXPECT_EQ(evaluator.optimize_all_branches(tree.tip(0), 2), expected);
+  for (int i = 0; i < tree.slot_count(); ++i) {
+    EXPECT_EQ(tree.slot(i)->length, tree_serial.slot(i)->length);
+  }
+}
+
+TEST_F(StreamFixture, CostModelMixedBackendsAgreeWithUniformScalar) {
+  // Uniform scalar run: every partition on kScalar, one stream.
+  EngineConfig scalar_config;
+  scalar_config.isa = simd::Isa::kScalar;
+  PartitionedEvaluator uniform(*alignment_, specs_, *model_, *tree_, scalar_config);
+  const double expected = uniform.log_likelihood(tree_->tip(0));
+
+  // Cost-model plan: tiny partitions stay scalar, large ones take the
+  // widest profitable ISA.  Cross-ISA reductions reorder arithmetic, so the
+  // comparison is tolerance-based.
+  const auto counts = pattern_counts();
+  const StreamPlan plan = platform::plan_partition_streams(counts, 2);
+  EXPECT_EQ(plan.partition_isa[0], simd::Isa::kScalar);
+  EXPECT_EQ(plan.partition_isa[1], simd::Isa::kScalar);
+  EXPECT_EQ(plan.partition_isa[2], platform::choose_partition_isa(counts[2]));
+  EXPECT_EQ(plan.partition_isa[3], platform::choose_partition_isa(counts[3]));
+
+  parallel::WorkerPool pool(2);
+  parallel::PoolParallelFor parallel_for(pool);
+  PartitionedEvaluator mixed(*alignment_, specs_, *model_, *tree_, {}, plan);
+  mixed.set_parallel_for(&parallel_for, PlanSchedule::kStreams);
+  EXPECT_NEAR(mixed.log_likelihood(tree_->tip(0)), expected, std::abs(expected) * 1e-10);
+
+  // The evaluator reports the back-ends actually in force.
+  for (int p = 0; p < mixed.partition_count(); ++p) {
+    EXPECT_EQ(mixed.partition_isa(p), plan.partition_isa[static_cast<std::size_t>(p)]);
+  }
+  EXPECT_EQ(mixed.isa(), *std::max_element(plan.partition_isa.begin(), plan.partition_isa.end()));
+}
+
+TEST_F(StreamFixture, StreamCountersCountCallsTasksAndRegions) {
+  const auto counts = pattern_counts();
+  const StreamPlan plan = platform::plan_partition_streams(counts, 2);
+  ASSERT_EQ(plan.stream_count, 2);
+
+  parallel::WorkerPool pool(2);
+  parallel::PoolParallelFor parallel_for(pool);
+  PartitionedEvaluator evaluator(*alignment_, specs_, *model_, *tree_, {}, plan);
+  evaluator.set_parallel_for(&parallel_for, PlanSchedule::kStreams);
+  EXPECT_EQ(evaluator.stream_counters().calls, 0);
+
+  (void)evaluator.log_likelihood(tree_->tip(0));
+  const StreamCounters after_lnl = evaluator.stream_counters();
+  EXPECT_EQ(after_lnl.calls, 1);
+  EXPECT_EQ(after_lnl.regions, 1);  // one barrier for the whole evaluation
+  EXPECT_EQ(after_lnl.tasks, 2);    // one end-to-end task per stream group
+  EXPECT_EQ(evaluator.merged_plan_counters().traversals, 0);  // merged queue stood down
+
+  (void)evaluator.log_likelihood(tree_->tip(0));
+  EXPECT_EQ(evaluator.stream_counters().calls, 2);
+
+  // Serial stream dispatch counts calls and tasks but issues no regions.
+  PartitionedEvaluator serial(*alignment_, specs_, *model_, *tree_, {}, plan);
+  serial.set_parallel_for(nullptr, PlanSchedule::kStreams);
+  (void)serial.log_likelihood(tree_->tip(0));
+  EXPECT_EQ(serial.stream_counters().calls, 1);
+  EXPECT_EQ(serial.stream_counters().tasks, 2);
+  EXPECT_EQ(serial.stream_counters().regions, 0);
+
+  // Every stream group owns at least one partition.
+  std::vector<int> per_stream(2, 0);
+  for (const int s : serial.stream_plan().partition_stream) {
+    ++per_stream[static_cast<std::size_t>(s)];
+  }
+  EXPECT_GT(per_stream[0], 0);
+  EXPECT_GT(per_stream[1], 0);
+}
+
+TEST_F(StreamFixture, FactoriesMatchDirectConstructionBitExactly) {
+  const auto counts = pattern_counts();
+  const StreamPlan plan = platform::plan_partition_streams(counts, 2);
+  PartitionedEvaluator direct(*alignment_, specs_, *model_, *tree_, {}, plan);
+  const double expected = direct.log_likelihood(tree_->tip(0));
+
+  // Core factory (serial).
+  const auto from_core = make_evaluator(*alignment_, specs_, *model_, *tree_, {}, plan);
+  EXPECT_EQ(from_core->log_likelihood(tree_->tip(0)), expected);
+  EXPECT_NE(from_core->gtr_model(), nullptr);
+  EXPECT_TRUE(from_core->set_gtr_model(*model_));
+
+  // Parallel factory (pooled stream dispatch).
+  parallel::WorkerPool pool(2);
+  const auto from_parallel =
+      parallel::make_stream_evaluator(pool, *alignment_, specs_, *model_, *tree_, {}, plan);
+  EXPECT_EQ(from_parallel->log_likelihood(tree_->tip(0)), expected);
+  EXPECT_EQ(from_parallel->isa(), direct.isa());
+}
+
+TEST_F(StreamFixture, StreamsWorkUnderTightClaBudget) {
+  // The merged queue stands down under a CLA budget, but stream dispatch
+  // runs the engines' internal executors (with their pin discipline), so
+  // kStreams stays available — and bit-identical to the full-budget run on
+  // the same back-end assignment.
+  const auto counts = pattern_counts();
+  const StreamPlan plan = platform::plan_partition_streams(counts, 2);
+  PartitionedEvaluator full(*alignment_, specs_, *model_, *tree_, {}, plan);
+  const double expected = full.log_likelihood(tree_->tip(0));
+
+  EngineConfig tight;
+  tight.cla_buffers = 4;
+  parallel::WorkerPool pool(2);
+  parallel::PoolParallelFor parallel_for(pool);
+  PartitionedEvaluator budgeted(*alignment_, specs_, *model_, *tree_, tight, plan);
+  budgeted.set_parallel_for(&parallel_for, PlanSchedule::kStreams);
+  EXPECT_EQ(budgeted.log_likelihood(tree_->tip(0)), expected);
+}
+
+TEST_F(StreamFixture, RejectsMalformedStreamPlans) {
+  StreamPlan bad_stream;
+  bad_stream.stream_count = 2;
+  bad_stream.partition_stream = {0, 1, 2, 0};  // stream id 2 out of range
+  EXPECT_THROW(PartitionedEvaluator(*alignment_, specs_, *model_, *tree_, {}, bad_stream), Error);
+
+  StreamPlan bad_size;
+  bad_size.partition_isa = {simd::Isa::kScalar};  // 1 entry for 4 partitions
+  EXPECT_THROW(PartitionedEvaluator(*alignment_, specs_, *model_, *tree_, {}, bad_size), Error);
+}
+
+}  // namespace
+}  // namespace miniphi::core
