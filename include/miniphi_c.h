@@ -27,7 +27,7 @@ extern "C" {
 #endif
 
 #define MINIPHI_C_API_VERSION_MAJOR 1
-#define MINIPHI_C_API_VERSION_MINOR 0
+#define MINIPHI_C_API_VERSION_MINOR 1
 
 /* Stable error codes.  Negative so that count-returning APIs can stay
  * non-negative on success; new codes may be added in minor versions but
@@ -38,7 +38,10 @@ typedef enum miniphi_error {
   MINIPHI_ERROR_PARSE = -2,            /* malformed FASTA/Newick text */
   MINIPHI_ERROR_UNSUPPORTED = -3,      /* request cannot be granted at all */
   MINIPHI_ERROR_OUT_OF_MEMORY = -4,
-  MINIPHI_ERROR_INTERNAL = -5 /* invariant violation inside the library */
+  MINIPHI_ERROR_INTERNAL = -5, /* invariant violation inside the library */
+  /* A requested CLA memory budget cannot fit the minimum working set of
+   * every partition (since 1.1; see miniphi_resource_request). */
+  MINIPHI_ERROR_INSUFFICIENT_MEMORY = -6
 } miniphi_error;
 
 /* Kernel back-end bits for resource negotiation. */
@@ -63,6 +66,14 @@ typedef struct miniphi_resource_request {
   /* Nonzero enables the silent-data-corruption defense (checksummed CLAs
    * with bounded self-healing recompute). */
   int sdc_checks;
+  /* CLA memory budget in bytes (since 1.1).  0 = unlimited: every inner
+   * node keeps a resident buffer.  Positive values cap the resident CLA
+   * pool; the library carves the budget across partitions, evicted CLAs
+   * are recomputed or spilled to checksummed temp files, and results stay
+   * bit-identical to the unlimited run.  If the budget cannot fit the
+   * minimum working set (3 buffers per partition),
+   * miniphi_create_instance fails with MINIPHI_ERROR_INSUFFICIENT_MEMORY. */
+  int64_t cla_budget_bytes;
 } miniphi_resource_request;
 
 /* What the library actually granted. */
@@ -70,6 +81,11 @@ typedef struct miniphi_resource_grant {
   int backends;   /* OR of miniphi_backend bits in use across partitions */
   int partitions; /* partitions actually created */
   int streams;    /* stream groups actually running */
+  /* CLA budget echo (since 1.1): the bytes the caller asked for (0 =
+   * unlimited) and the bytes of resident CLA storage actually allocated.
+   * granted <= requested whenever a budget was requested. */
+  int64_t cla_bytes_requested;
+  int64_t cla_bytes_granted;
 } miniphi_resource_grant;
 
 typedef struct miniphi_alignment miniphi_alignment;

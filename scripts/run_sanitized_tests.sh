@@ -59,7 +59,11 @@ cmake -B "${build}" -S "${root}" \
 # each failure, and multi-stream instances drive a worker pool from C —
 # leaks, double frees, and races across the extern "C" seam are what
 # ASan/TSan are for.
-targets=(minimpi_test parallel_test faults_test elastic_test checkpoint_test examl_test site_repeats_test obs_test partitioned_test sdc_test gradient_test stream_test c_api_test)
+# memory_test rides along: the tiered ClaStore hands buffers between the
+# caller and the async spill worker (staging swaps, the prefetch ring, the
+# recycled spare) — buffer lifetime bugs and missed happens-before edges
+# on that thread boundary are exactly ASan/TSan territory.
+targets=(minimpi_test parallel_test faults_test elastic_test checkpoint_test examl_test site_repeats_test obs_test partitioned_test sdc_test gradient_test stream_test c_api_test memory_test)
 cmake --build "${build}" -j "$(nproc)" --target "${targets[@]}"
 
 status=0

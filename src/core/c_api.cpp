@@ -13,12 +13,14 @@
 #include <memory>
 #include <new>
 #include <sstream>
+#include <string_view>
 #include <string>
 #include <vector>
 
 #include "src/bio/alignment.hpp"
 #include "src/bio/patterns.hpp"
 #include "src/core/make_evaluator.hpp"
+#include "src/core/partitioned.hpp"
 #include "src/io/fasta.hpp"
 #include "src/io/newick.hpp"
 #include "src/model/gtr.hpp"
@@ -47,6 +49,11 @@ miniphi_error guarded(miniphi_error recoverable, Fn&& fn) noexcept {
     return fn();
   } catch (const miniphi::Error& e) {
     set_last_error(e.what());
+    // The memory tier reports an unsatisfiable CLA budget with a message
+    // naming the "minimum working set"; give it its stable code.
+    if (std::string_view(e.what()).find("minimum working set") != std::string_view::npos) {
+      return MINIPHI_ERROR_INSUFFICIENT_MEMORY;
+    }
     return recoverable;
   } catch (const std::bad_alloc&) {
     set_last_error("out of memory");
@@ -114,7 +121,7 @@ struct miniphi_instance {
 
 extern "C" {
 
-const char* miniphi_version(void) { return "miniphi C API 1.0"; }
+const char* miniphi_version(void) { return "miniphi C API 1.1"; }
 
 void miniphi_version_numbers(int* major, int* minor) {
   if (major != nullptr) *major = MINIPHI_C_API_VERSION_MAJOR;
@@ -251,6 +258,7 @@ miniphi_error miniphi_create_instance(const miniphi_alignment* alignment,
     const miniphi_resource_request& req = request != nullptr ? *request : defaults;
     MINIPHI_CHECK(req.partitions >= 0 && req.streams >= 0,
                   "negative partition or stream request");
+    MINIPHI_CHECK(req.cla_budget_bytes >= 0, "negative CLA budget request");
 
     // Back-end negotiation: the request is a permission mask; intersect it
     // with what the host supports, then let the cost model choose per
@@ -287,13 +295,19 @@ miniphi_error miniphi_create_instance(const miniphi_alignment* alignment,
     miniphi::core::EngineConfig config;
     config.isa = widest;
     config.sdc_checks = req.sdc_checks != 0;
+    // Memory negotiation (since 1.1): a byte budget caps the resident CLA
+    // pool; the spill tier keeps evicted CLAs on disk so tight budgets pay
+    // reloads instead of full recomputes.
+    config.cla_budget_bytes = req.cla_budget_bytes;
+    config.cla_spill = req.cla_budget_bytes > 0;
 
     if (partitions == 1) {
       instance->patterns = std::make_unique<miniphi::bio::PatternSet>(
           miniphi::bio::compress_patterns(alignment->alignment));
       instance->evaluator = miniphi::core::make_evaluator(*instance->patterns, instance->model,
                                                           instance->tree, config);
-      instance->grant = {backend_bit(widest), 1, 1};
+      instance->grant = {backend_bit(widest), 1, 1, req.cla_budget_bytes,
+                         instance->evaluator->cla_bytes_granted()};
     } else {
       instance->partitions = miniphi::core::even_partitions(sites, partitions);
       // Cost-model stream plan; per-partition site counts stand in for the
@@ -303,8 +317,22 @@ miniphi_error miniphi_create_instance(const miniphi_alignment* alignment,
       for (const auto& spec : instance->partitions) {
         partition_sites.push_back(spec.end - spec.begin);
       }
-      auto plan =
-          miniphi::platform::plan_partition_streams(partition_sites, streams, widest);
+      // Budget-aware stream packing: under a carved budget, tight partitions
+      // are modeled slower (they recompute or reload evicted CLAs), so LPT
+      // spreads them across streams.  Site counts stand in for pattern
+      // counts here exactly as they do for the cost model itself.
+      std::vector<double> budget_fraction;
+      if (req.cla_budget_bytes > 0) {
+        const auto counts = miniphi::core::carve_cla_budgets(
+            req.cla_budget_bytes, partition_sites, instance->tree.inner_count());
+        budget_fraction.reserve(counts.size());
+        for (const int count : counts) {
+          budget_fraction.push_back(static_cast<double>(count) /
+                                    static_cast<double>(instance->tree.inner_count()));
+        }
+      }
+      auto plan = miniphi::platform::plan_partition_streams(partition_sites, streams, widest,
+                                                            budget_fraction);
       int granted_mask = 0;
       for (auto& isa : plan.partition_isa) {
         // The permission mask may exclude a middle width (e.g. AVX2-only):
@@ -323,7 +351,8 @@ miniphi_error miniphi_create_instance(const miniphi_alignment* alignment,
             miniphi::core::make_evaluator(alignment->alignment, instance->partitions,
                                           instance->model, instance->tree, config, plan);
       }
-      instance->grant = {granted_mask, partitions, granted_streams};
+      instance->grant = {granted_mask, partitions, granted_streams, req.cla_budget_bytes,
+                         instance->evaluator->cla_bytes_granted()};
     }
 
     if (grant != nullptr) *grant = instance->grant;

@@ -52,19 +52,26 @@ LikelihoodEngine::LikelihoodEngine(const bio::PatternSet& patterns,
 
   const int inner_count = tree.inner_count();
   int budget = (config.cla_buffers < 0) ? inner_count : config.cla_buffers;
+  if (config.cla_buffers < 0 && config.cla_budget_bytes > 0) {
+    // Byte-denominated budget (the C-API resource negotiation speaks bytes):
+    // derive the buffer count from this slice's per-buffer footprint.
+    const std::int64_t bytes_per_buffer =
+        length_ * kSiteBlock * static_cast<std::int64_t>(sizeof(double)) +
+        length_ * static_cast<std::int64_t>(sizeof(std::int32_t));
+    budget = static_cast<int>(
+        std::min<std::int64_t>(inner_count, config.cla_budget_bytes / bytes_per_buffer));
+    MINIPHI_CHECK(budget >= std::min(inner_count, 3),
+                  "engine: cla_budget_bytes cannot fit the minimum working set (" +
+                      std::to_string(std::min(inner_count, 3)) + " CLA buffers of " +
+                      std::to_string(bytes_per_buffer) + " bytes each)");
+  }
   budget = std::min(budget, inner_count);
   MINIPHI_CHECK(budget >= std::min(inner_count, 3),
                 "engine: cla_buffers budget must be at least 3 (got " +
                     std::to_string(budget) + ")");
   clas_.resize(static_cast<std::size_t>(inner_count));
-  cla_pool_.resize(static_cast<std::size_t>(budget));
-  scale_pool_.resize(static_cast<std::size_t>(budget));
-  for (int b = 0; b < budget; ++b) {
-    cla_pool_[static_cast<std::size_t>(b)].resize(static_cast<std::size_t>(length_) * kSiteBlock);
-    scale_pool_[static_cast<std::size_t>(b)].assign(static_cast<std::size_t>(length_), 0);
-    free_buffers_.push_back(b);
-  }
-  pins_.assign(static_cast<std::size_t>(inner_count), 0);
+  for (int i = 0; i < inner_count; ++i) clas_[static_cast<std::size_t>(i)].slot = i;
+  cla_spill_dir_ = config.cla_spill_dir;
 
   site_repeats_ = config.site_repeats;
   if (site_repeats_) {
@@ -94,6 +101,27 @@ LikelihoodEngine::LikelihoodEngine(const bio::PatternSet& patterns,
   }
   plan_cache_.reserve(kPlanCacheSize);
 
+  // Tiered CLA storage (DESIGN.md §14): the store owns the resident pool,
+  // the pin table, the monotonic LRU epoch, and the recompute-vs-spill
+  // policy.  When an eviction drops a CLA (no spill), the callback marks the
+  // node invalid so the next traversal recomputes it — the eviction side of
+  // the Izquierdo-Carrasco trade-off.
+  memory::ClaStoreConfig store_config;
+  store_config.slots = inner_count;
+  store_config.resident = budget;
+  store_config.values = length_ * kSiteBlock;
+  store_config.scales = length_;
+  store_config.spill = config.cla_spill;
+  store_config.spill_dir = config.cla_spill_dir;
+  store_config.spill_min_registers = config.cla_spill_min_registers;
+  store_config.node_id_base = tree.taxon_count();
+  store_config.metrics = metrics_ ? obs::MetricsMode::kOn : obs::MetricsMode::kOff;
+  store_config.on_drop = [this](int slot) {
+    clas_[static_cast<std::size_t>(slot)].valid = false;
+    note_cla_state_changed();
+  };
+  store_.configure(std::move(store_config));
+
   set_model(model);
 }
 
@@ -104,6 +132,7 @@ void LikelihoodEngine::set_model(const model::GtrModel& model) {
   // Model changes invalidate CLA *values* only: repeat classes are a pure
   // function of topology and tip states, so α/GTR optimization reuses them.
   for (auto& node : clas_) node.valid = false;
+  store_.drop_all();  // spilled copies are stale too
   sum_prepared_ = false;
   note_cla_state_changed();
 }
@@ -118,6 +147,7 @@ void LikelihoodEngine::invalidate_node(int node_id) {
   if (node_id < tree_.taxon_count()) return;  // tips have no CLA
   const auto inner = static_cast<std::size_t>(node_id - tree_.taxon_count());
   clas_[inner].valid = false;
+  store_.drop(static_cast<int>(inner));
   // Callers announce topology changes through this entry point, so the
   // node's subtree composition may have changed: drop its repeat classes.
   // Ancestors rebuild automatically — their next newview sees this node's
@@ -129,7 +159,11 @@ void LikelihoodEngine::invalidate_node(int node_id) {
 
 void LikelihoodEngine::invalidate_values(int node_id) {
   if (node_id < tree_.taxon_count()) return;
-  clas_[static_cast<std::size_t>(node_id - tree_.taxon_count())].valid = false;
+  const auto inner = static_cast<std::size_t>(node_id - tree_.taxon_count());
+  clas_[inner].valid = false;
+  // Free the resident buffer and any spill record eagerly: eviction must
+  // never waste a disk write on a CLA that is already dead.
+  store_.drop(static_cast<int>(inner));
   sum_prepared_ = false;
   note_cla_state_changed();
 }
@@ -138,6 +172,7 @@ void LikelihoodEngine::invalidate_branch(int node_id) { invalidate_values(node_i
 
 void LikelihoodEngine::invalidate_all() {
   for (auto& node : clas_) node.valid = false;
+  store_.drop_all();
   for (auto& rep : repeats_) rep.orientation = -1;
   sum_prepared_ = false;
   note_cla_state_changed();
@@ -153,64 +188,33 @@ bool LikelihoodEngine::slot_valid(const tree::Slot* s) const {
   return node.valid && node.orientation == s->slot_index;
 }
 
-double* LikelihoodEngine::cla_data(NodeCla& node) {
-  MINIPHI_ASSERT(node.buffer >= 0);
-  return cla_pool_[static_cast<std::size_t>(node.buffer)].data();
-}
+double* LikelihoodEngine::cla_data(NodeCla& node) { return store_.values(node.slot); }
 
-std::int32_t* LikelihoodEngine::scale_data(NodeCla& node) {
-  MINIPHI_ASSERT(node.buffer >= 0);
-  return scale_pool_[static_cast<std::size_t>(node.buffer)].data();
-}
+std::int32_t* LikelihoodEngine::scale_data(NodeCla& node) { return store_.scales(node.slot); }
 
 void LikelihoodEngine::ensure_buffer(NodeCla& node) {
-  node.last_touch = ++touch_counter_;
-  if (node.buffer >= 0) return;
-  if (!free_buffers_.empty()) {
-    node.buffer = free_buffers_.back();
-    free_buffers_.pop_back();
-    return;
+  // Write acquisition: the store may evict an unpinned victim, spilling it
+  // or (via the on_drop callback) invalidating it — either way cached plans
+  // that counted the victim as a resident input stay correct, because a
+  // spilled CLA is still logically valid and a dropped one bumps the epoch.
+  store_.acquire(node.slot);
+}
+
+void LikelihoodEngine::ensure_resident_cla(NodeCla& node) {
+  MINIPHI_ASSERT(node.valid);
+  if (store_.ensure_resident(node.slot) == memory::Residency::kReloaded) {
+    // The reload verified the spill checksum, but spilled state re-earns
+    // trust exactly like resident state: restart the lazy trust pass.
+    node.verified_pass = 0;
   }
-  // Evict: prefer an invalid resident, otherwise the least recently touched
-  // unpinned resident.
-  std::size_t victim = clas_.size();
-  for (std::size_t i = 0; i < clas_.size(); ++i) {
-    NodeCla& candidate = clas_[i];
-    if (&candidate == &node || candidate.buffer < 0 || pins_[i] > 0) continue;
-    if (victim == clas_.size()) {
-      victim = i;
-      continue;
-    }
-    NodeCla& best = clas_[victim];
-    const bool candidate_better =
-        (!candidate.valid && best.valid) ||
-        (candidate.valid == best.valid && candidate.last_touch < best.last_touch);
-    if (candidate_better) victim = i;
-  }
-  MINIPHI_CHECK(victim != clas_.size(),
-                "engine: cla_buffers budget too small for this traversal's working set; "
-                "increase Config::cla_buffers");
-  NodeCla& evicted = clas_[victim];
-  evicted.valid = false;
-  node.buffer = evicted.buffer;
-  evicted.buffer = -1;
-  // An eviction silently invalidates a CLA without an invalidate call, so
-  // cached plans that counted it as a resident input are now stale.
-  note_cla_state_changed();
 }
 
 void LikelihoodEngine::pin(int node_id) {
-  if (node_id >= tree_.taxon_count()) {
-    ++pins_[static_cast<std::size_t>(node_id - tree_.taxon_count())];
-  }
+  if (node_id >= tree_.taxon_count()) store_.pin(node_id - tree_.taxon_count());
 }
 
 void LikelihoodEngine::unpin(int node_id) {
-  if (node_id >= tree_.taxon_count()) {
-    auto& count = pins_[static_cast<std::size_t>(node_id - tree_.taxon_count())];
-    MINIPHI_ASSERT(count > 0);
-    --count;
-  }
+  if (node_id >= tree_.taxon_count()) store_.unpin(node_id - tree_.taxon_count());
 }
 
 LikelihoodEngine::PlanCacheEntry& LikelihoodEngine::plan_entry(tree::Slot* edge) {
@@ -278,7 +282,9 @@ void LikelihoodEngine::validate_edge(tree::Slot* edge) {
       if (root.slot->is_tip()) continue;
       MINIPHI_ASSERT(slot_valid(root.slot));
       pin(root.slot->node_id);
-      node_cla(root.slot->node_id).last_touch = ++touch_counter_;
+      // A satisfied plan's roots may live in the spill tier: pull them back
+      // before the caller's evaluate/derivative kernels read them.
+      ensure_resident_cla(node_cla(root.slot->node_id));
     }
     return;
   }
@@ -299,11 +305,39 @@ void LikelihoodEngine::execute_plan(const TraversalPlan& plan) {
   }
   if (plan.empty()) return;
   obs::ScopedSpan span("plan:execute");
-  const bool full_budget = cla_pool_.size() == clas_.size();
+  const bool full_budget = store_.full_resident();
   if (!full_budget) {
     // Tight budget: run in Sethi-Ullman DFS order with pin/unpin discipline
-    // so the live working set stays ~log2(n) buffers.
-    for (const PlfOp& op : plan.ops()) run_plan_op(op, /*pinning=*/true);
+    // so the live working set stays ~log2(n) buffers.  Feed the plan's read
+    // positions to the store first: eviction then prefers CLAs with no
+    // remaining use in this plan, and otherwise the farthest next use —
+    // the register-allocation heuristic of DESIGN.md §14.
+    store_.begin_plan();
+    const auto& ops = plan.ops();
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      for (tree::Slot* child : {ops[i].slot->child1(), ops[i].slot->child2()}) {
+        if (!child->is_tip()) {
+          store_.plan_next_use(child->node_id - tree_.taxon_count(),
+                               static_cast<std::int64_t>(i));
+        }
+      }
+    }
+    for (const PlanRoot& root : plan.roots()) {
+      // Roots are read by the kernel that follows the whole plan.
+      if (!root.slot->is_tip()) {
+        store_.plan_next_use(root.slot->node_id - tree_.taxon_count(),
+                             static_cast<std::int64_t>(ops.size()));
+      }
+    }
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      store_.plan_cursor(static_cast<std::int64_t>(i));
+      // Read-ahead: stream this op's and the next op's frontier inputs from
+      // the spill tier while kernels run (two-entry ring; extras dropped,
+      // resident slots are no-ops).
+      prefetch_op_inputs(ops[i]);
+      if (i + 1 < ops.size()) prefetch_op_inputs(ops[i + 1]);
+      run_plan_op(ops[i], /*pinning=*/true);
+    }
   } else {
     // Full budget: level order.  Nothing can be evicted, so no pinning —
     // this is the order the batched/wavefront executors use.
@@ -337,6 +371,12 @@ void LikelihoodEngine::run_plan_op(const PlfOp& op, bool pinning) {
     ready_child(op.slot->child2(), op.right_op >= 0);
   }
   run_newview(op.slot);
+  // The op's Sethi–Ullman `registers` number is exactly the cost of
+  // rebuilding this CLA from scratch — the store's recompute-vs-spill
+  // signal at eviction time.
+  if (op.registers > 0) {
+    store_.set_rebuild_cost(op.slot->node_id - tree_.taxon_count(), op.registers);
+  }
   ++plan_counters_.executed_ops;
   if (metrics_) obs::Registry::instance().add(plan_ids_.executed_ops, 1);
   if (pinning) {
@@ -358,12 +398,16 @@ void LikelihoodEngine::ready_child(tree::Slot* child, bool computed_in_plan) {
   }
   if (slot_valid(child)) {
     pin(child->node_id);
-    node_cla(child->node_id).last_touch = ++touch_counter_;
+    // Pin first so the reload's own eviction cannot pick this slot.
+    ensure_resident_cla(node_cla(child->node_id));
     return;
   }
-  // A plan input was evicted between planning and consumption (possible
-  // under tight budgets when a sibling subtree recycled its buffer).
-  // Recompute it with a nested sub-plan; the child comes back pinned.
+  // A plan input was evicted-and-dropped between planning and consumption
+  // (possible under tight budgets when a sibling subtree recycled its
+  // buffer).  Recompute it with a nested sub-plan; the child comes back
+  // pinned.  With the spill tier on this path is rare: eviction keeps
+  // expensive subtrees on disk and the branch above reloads them instead.
+  store_.note_recompute();
   tree::Slot* const goals[1] = {child};
   TraversalPlan subplan;
   planner_.build(
@@ -372,6 +416,15 @@ void LikelihoodEngine::ready_child(tree::Slot* child, bool computed_in_plan) {
   ++plan_counters_.builds;
   if (metrics_) obs::Registry::instance().add(plan_ids_.builds, 1);
   for (const PlfOp& sub : subplan.ops()) run_plan_op(sub, /*pinning=*/true);
+}
+
+void LikelihoodEngine::prefetch_op_inputs(const PlfOp& op) {
+  if (op.left_op < 0 && !op.slot->child1()->is_tip() && slot_valid(op.slot->child1())) {
+    store_.prefetch(op.slot->child1()->node_id - tree_.taxon_count());
+  }
+  if (op.right_op < 0 && !op.slot->child2()->is_tip() && slot_valid(op.slot->child2())) {
+    store_.prefetch(op.slot->child2()->node_id - tree_.taxon_count());
+  }
 }
 
 const TraversalPlan* LikelihoodEngine::plan_traversal(tree::Slot* edge) {
@@ -385,7 +438,7 @@ const TraversalPlan* LikelihoodEngine::plan_traversal(tree::Slot* edge) {
 }
 
 void LikelihoodEngine::execute_plan_level(const TraversalPlan& plan, int level) {
-  MINIPHI_CHECK(cla_pool_.size() == clas_.size(),
+  MINIPHI_CHECK(store_.full_resident(),
                 "engine: external plan execution requires the full CLA budget "
                 "(Config::cla_buffers must cover every inner node)");
   for (const std::int32_t op : plan.level_ops(level)) {
@@ -394,7 +447,7 @@ void LikelihoodEngine::execute_plan_level(const TraversalPlan& plan, int level) 
 }
 
 void LikelihoodEngine::execute_plan_op(const TraversalPlan& plan, std::int32_t op) {
-  MINIPHI_CHECK(cla_pool_.size() == clas_.size(),
+  MINIPHI_CHECK(store_.full_resident(),
                 "engine: external plan execution requires the full CLA budget "
                 "(Config::cla_buffers must cover every inner node)");
   run_plan_op(plan.ops()[static_cast<std::size_t>(op)], /*pinning=*/false);
@@ -426,8 +479,10 @@ ChildInput LikelihoodEngine::make_child_input(tree::Slot* child, std::span<doubl
     input.ump = ump.data();
   } else {
     MINIPHI_ASSERT(slot_valid(child));
-    if (verify) verify_cla(child);
     auto& node = node_cla(child->node_id);
+    // Residency before verification: the lazy trust pass reads the buffer.
+    ensure_resident_cla(node);
+    if (verify) verify_cla(child);
     input.cla = cla_data(node);
     input.scale = scale_data(node);
   }
@@ -493,8 +548,11 @@ void LikelihoodEngine::report_corruption(int node_id, const std::string& what) {
 void LikelihoodEngine::heal_or_rethrow(const sdc::CorruptionDetected& fault, int attempt) {
   // The throw unwound mid-traversal: pins taken by execute_plan are still
   // elevated.  Pins are zero between top-level calls, so a flat reset is the
-  // correct recovery point before re-planning.
-  std::fill(pins_.begin(), pins_.end(), 0);
+  // correct recovery point before re-planning.  The store's touch epoch is
+  // monotonic and survives the reset, so a heal-retry loop cannot thrash a
+  // hot CLA back to cold.
+  store_.reset_pins();
+  if (pre_store_.is_configured()) pre_store_.reset_pins();
   if (attempt + 1 >= sdc::kHealRetryBudget) {
     ++sdc_counters_.escalations;
     if (metrics_) obs::Registry::instance().add(sdc_ids_.escalations, 1);
@@ -516,15 +574,15 @@ void LikelihoodEngine::heal_or_rethrow(const sdc::CorruptionDetected& fault, int
 bool LikelihoodEngine::corrupt_cla_for_testing(int node_id, std::int64_t word, int bit) {
   if (node_id < tree_.taxon_count()) return false;
   NodeCla& node = node_cla(node_id);
-  if (!node.valid || node.buffer < 0) return false;
+  if (!node.valid || !store_.resident(node.slot)) return false;
   const std::int64_t blocks = node.checked_blocks > 0 ? node.checked_blocks : length_;
-  auto& buffer = cla_pool_[static_cast<std::size_t>(node.buffer)];
+  double* buffer = store_.values(node.slot);
   const auto index =
       static_cast<std::size_t>(word % (blocks * kSiteBlock));
   std::uint64_t bits;
-  std::memcpy(&bits, &buffer[index], sizeof(bits));
+  std::memcpy(&bits, buffer + index, sizeof(bits));
   bits ^= 1ULL << (bit & 63);
-  std::memcpy(&buffer[index], &bits, sizeof(bits));
+  std::memcpy(buffer + index, &bits, sizeof(bits));
   node.verified_pass = 0;
   return true;
 }
@@ -806,6 +864,7 @@ double LikelihoodEngine::run_evaluate(tree::Slot* edge) {
   EvaluateCtx ctx;
   auto& left = node_cla(p->node_id);
   MINIPHI_ASSERT(slot_valid(p));
+  ensure_resident_cla(left);  // both endpoints are pinned by validate_edge
   verify_cla(p);
   ctx.left_cla = cla_data(left);
   ctx.left_scale = scale_data(left);
@@ -816,8 +875,9 @@ double LikelihoodEngine::run_evaluate(tree::Slot* edge) {
     ctx.evtab = evtab_.data();
   } else {
     MINIPHI_ASSERT(slot_valid(q));
-    verify_cla(q);
     auto& right = node_cla(q->node_id);
+    ensure_resident_cla(right);
+    verify_cla(q);
     ctx.right_cla = cla_data(right);
     ctx.right_scale = scale_data(right);
     ctx.diag = diag_.data();
@@ -937,6 +997,7 @@ void LikelihoodEngine::run_prepare_derivatives(tree::Slot* edge) {
   // kernel below instead of as up-front cold sweeps.
   const bool fused_sdc = sdc_checks_ && !site_repeats_ && !use_openmp_;
   auto& left = node_cla(p->node_id);
+  ensure_resident_cla(left);  // both endpoints are pinned by validate_edge
   if (!fused_sdc) verify_cla(p);
   ctx.left_cla = cla_data(left);
   const std::int32_t* p_scale = scale_data(left);
@@ -945,8 +1006,9 @@ void LikelihoodEngine::run_prepare_derivatives(tree::Slot* edge) {
     ctx.right_codes = patterns_.tip_rows[static_cast<std::size_t>(q->node_id)].data() + offset_;
     ctx.tipvec16 = tipvec16_.data();
   } else {
-    if (!fused_sdc) verify_cla(q);
     auto& right = node_cla(q->node_id);
+    ensure_resident_cla(right);
+    if (!fused_sdc) verify_cla(q);
     ctx.right_cla = cla_data(right);
     q_scale = scale_data(right);
   }
@@ -1176,13 +1238,6 @@ double LikelihoodEngine::optimize_all_branches(tree::Slot* root_edge, int passes
 bool LikelihoodEngine::gradient_all_branches(tree::Slot* root_edge,
                                              std::vector<BranchGradient>& out) {
   MINIPHI_ASSERT(root_edge != nullptr && root_edge->back != nullptr);
-  if (cla_pool_.size() != clas_.size()) {
-    // Tight (recomputation) budget: the descent consumes every postorder CLA
-    // after one up-front validation, which the eviction machinery cannot
-    // keep resident.  Callers fall back to per-branch Newton.
-    out.clear();
-    return false;
-  }
   if (!sdc_checks_) {
     run_gradient_all_branches(root_edge, out);
     return true;
@@ -1203,6 +1258,28 @@ void LikelihoodEngine::run_gradient_all_branches(tree::Slot* root_edge,
   out.clear();
   out.reserve(static_cast<std::size_t>(tree_.edge_count()));
   if (pre_clas_.empty()) pre_clas_.resize(static_cast<std::size_t>(tree_.node_count()));
+  if (!pre_store_.is_configured()) {
+    // Preorder tier (lazily sized on the first gradient call): one slot per
+    // node, tips included.  This tier *always* spills on eviction — an outer
+    // partial, unlike a postorder CLA, cannot be recomputed from a subtree —
+    // which is what lets the descent run on any CLA budget instead of
+    // declining under tight ones.  On the full budget every partial stays
+    // resident and the spill file is never created.
+    memory::ClaStoreConfig pre_config;
+    pre_config.slots = tree_.node_count();
+    pre_config.resident =
+        store_.full_resident()
+            ? tree_.node_count()
+            : std::min(tree_.node_count(), std::max(4, store_.resident_count()));
+    pre_config.values = length_ * kSiteBlock;
+    pre_config.scales = length_;
+    pre_config.spill = true;
+    pre_config.spill_min_registers = 0;  // rebuild is impossible: always spill
+    pre_config.spill_dir = cla_spill_dir_;
+    pre_config.node_id_base = 0;  // preorder slots are node ids already
+    pre_config.metrics = metrics_ ? obs::MetricsMode::kOn : obs::MetricsMode::kOff;
+    pre_store_.configure(std::move(pre_config));
+  }
   if (site_repeats_ && identity_gather_.empty()) {
     identity_gather_.resize(static_cast<std::size_t>(length_));
     for (std::int64_t s = 0; s < length_; ++s) {
@@ -1218,6 +1295,11 @@ void LikelihoodEngine::run_gradient_all_branches(tree::Slot* root_edge,
   const auto [root_first, root_second] =
       run_derivatives(root_edge->length, /*want_lnl=*/false, root_lnl_unused);
   out.push_back({root_edge, root_edge->length, root_first, root_second});
+
+  // The descent's reload/rebuild pattern is not the postorder plan the store
+  // last saw; open a fresh (empty) plan window so stale next-use hints do
+  // not skew eviction toward the wrong victims.
+  store_.begin_plan();
 
   // Root-to-tips descent.  Ops are emitted parents-first, so emission order
   // is a valid schedule; it is also the only schedule used — the pass is
@@ -1242,14 +1324,15 @@ void LikelihoodEngine::run_preorder_op(const TraversalPlan& plan, const PlfOp& o
   MINIPHI_ASSERT(v >= 0 && v < tree_.node_count());
 
   PreorderCla& pre = pre_clas_[static_cast<std::size_t>(v)];
-  if (pre.cla.empty()) {
-    pre.cla.resize(static_cast<std::size_t>(length_) * kSiteBlock);
-    pre.scale.assign(static_cast<std::size_t>(length_), 0);
-  }
+  // The node's preorder partial lives in the preorder tier (slot == node
+  // id).  Write-acquire and pin it for the whole op: newview fills it and
+  // the gradient contraction below reads it back.
+  pre_store_.acquire(v);
+  pre_store_.pin(v);
 
   NewviewCtx ctx;
-  ctx.parent_cla = pre.cla.data();
-  ctx.parent_scale = pre.scale.data();
+  ctx.parent_cla = pre_store_.values(v);
+  ctx.parent_scale = pre_store_.scales(v);
   ctx.wtable = wtable_.data();
   ctx.begin = 0;
   ctx.end = length_;
@@ -1260,28 +1343,48 @@ void LikelihoodEngine::run_preorder_op(const TraversalPlan& plan, const PlfOp& o
   // root-edge endpoint across the root edge.
   tree::Slot* left_inner_post = nullptr;  // inner postorder slot on the left, if any
   bool left_dense = false;                // left CLA is site-indexed (a preorder partial)
+  int pinned_pre_parent = -1;             // preorder-tier pin to release after newview
+  tree::Slot* pinned_left_post = nullptr; // postorder pins likewise
+  tree::Slot* root_slot = nullptr;        // seed ops only
+  tree::Slot* opposite = nullptr;
+  tree::Slot* sib = op.sibling->back;  // right input: the sibling's postorder side
+  if (op.left_op < 0) {
+    // The root slot at this endpoint is the ring slot that is neither the
+    // op's own slot nor the sibling.
+    root_slot = (toward->next == op.sibling) ? toward->next->next : toward->next;
+    opposite = root_slot->back;
+  }
+  // Ready (pin + reload or rebuild) every postorder input *before* building
+  // any kernel context: under a tight budget ready_child may recompute a
+  // dropped CLA through run_newview, which rebuilds through the very
+  // ptable/ump workspaces the contexts below point into.
+  if (opposite != nullptr) {
+    ready_child(opposite, /*computed_in_plan=*/false);
+    pinned_left_post = opposite;
+  }
+  ready_child(sib, /*computed_in_plan=*/false);
   if (op.left_op >= 0) {
     const PlfOp& above = plan.ops()[static_cast<std::size_t>(op.left_op)];
     const int u = toward->node_id;
+    // The parent's preorder partial may have been evicted to the spill tier
+    // since it was computed; pin before the reload so the sibling's own
+    // residency work cannot displace it.
+    pre_store_.pin(u);
+    pinned_pre_parent = u;
+    if (pre_store_.ensure_resident(u) == memory::Residency::kReloaded) {
+      pre_clas_[static_cast<std::size_t>(u)].verified_pass = 0;
+    }
     verify_preorder_cla(u);
-    PreorderCla& upre = pre_clas_[static_cast<std::size_t>(u)];
     build_ptable(model_, above.slot->length, ptable_left_);
     ctx.left.ptable = ptable_left_.data();
-    ctx.left.cla = upre.cla.data();
-    ctx.left.scale = upre.scale.data();
+    ctx.left.cla = pre_store_.values(u);
+    ctx.left.scale = pre_store_.scales(u);
     left_dense = true;
   } else {
-    // The root slot at this endpoint is the ring slot that is neither the
-    // op's own slot nor the sibling.
-    tree::Slot* root_slot = (toward->next == op.sibling) ? toward->next->next : toward->next;
-    tree::Slot* opposite = root_slot->back;
     ctx.left =
         make_child_input(opposite, ptable_left_, ump_left_, root_slot->length, /*verify=*/true);
     if (!opposite->is_tip()) left_inner_post = opposite;
   }
-
-  // Right input: the sibling's postorder side.
-  tree::Slot* sib = op.sibling->back;
   ctx.right = make_child_input(sib, ptable_right_, ump_right_, op.sibling->length,
                                /*verify=*/true);
 
@@ -1342,9 +1445,14 @@ void LikelihoodEngine::run_preorder_op(const TraversalPlan& plan, const PlfOp& o
     trace_->record(TraceKernel::kNewview, ctx.left.is_tip(), ctx.right.is_tip(), length_,
                    length_);
   }
+  // The newview inputs are consumed; release their pins before the gradient
+  // contraction pulls in the node's own postorder side.
+  if (pinned_pre_parent >= 0) pre_store_.unpin(pinned_pre_parent);
+  if (pinned_left_post != nullptr) unpin(pinned_left_post->node_id);
+  unpin(sib->node_id);
   if (sdc_checks_) {
     sdc::ClaChecksum sum;
-    ops_.cla_checksum(sum, pre.cla.data(), pre.scale.data(), 0, length_);
+    ops_.cla_checksum(sum, ctx.parent_cla, ctx.parent_scale, 0, length_);
     pre.checksum = sum.finish();
     pre.checked_blocks = length_;
     // Deliberately NOT trusted-for-this-pass: see verify_preorder_cla.
@@ -1356,7 +1464,7 @@ void LikelihoodEngine::run_preorder_op(const TraversalPlan& plan, const PlfOp& o
   // evaluates ℓ'/ℓ'' at the edge's current length.
   SumCtx sctx;
   sctx.sum = sum_buffer_.data();
-  sctx.left_cla = pre.cla.data();
+  sctx.left_cla = ctx.parent_cla;
   sctx.begin = 0;
   sctx.end = length_;
   sctx.tuning = tuning_;
@@ -1366,7 +1474,9 @@ void LikelihoodEngine::run_preorder_op(const TraversalPlan& plan, const PlfOp& o
     sctx.right_codes = patterns_.tip_rows[static_cast<std::size_t>(v)].data() + offset_;
     sctx.tipvec16 = tipvec16_.data();
   } else {
-    MINIPHI_ASSERT(slot_valid(v_slot));
+    // The node's own postorder CLA: reload or rebuild it like any other
+    // tight-budget input (pinned until the contraction is done).
+    ready_child(v_slot, /*computed_in_plan=*/false);
     verify_cla(v_slot);
     auto& node = node_cla(v);
     sctx.right_cla = cla_data(node);
@@ -1399,6 +1509,10 @@ void LikelihoodEngine::run_preorder_op(const TraversalPlan& plan, const PlfOp& o
       trace_->record(TraceKernel::kDerivSum, false, right_tip, length_);
     }
   }
+  // The contraction is done with both CLAs; derivativeCore below reads only
+  // the sum buffer.
+  if (!right_tip) unpin(v);
+  pre_store_.unpin(v);
 
   build_dtab(model_, toward->length, dtab_);
   DerivCtx dctx;
@@ -1440,7 +1554,9 @@ void LikelihoodEngine::verify_preorder_cla(int node_id) {
   if (pre.verified_pass == sdc_pass_ || pre.checked_blocks <= 0) return;
   Timer timer;
   sdc::ClaChecksum sum;
-  ops_.cla_checksum(sum, pre.cla.data(), pre.scale.data(), 0, pre.checked_blocks);
+  // Callers pin the partial resident before verifying it.
+  ops_.cla_checksum(sum, pre_store_.values(node_id), pre_store_.scales(node_id), 0,
+                    pre.checked_blocks);
   ++sdc_counters_.checks;
   if (metrics_) {
     obs::Registry& registry = obs::Registry::instance();

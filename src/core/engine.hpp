@@ -41,6 +41,7 @@
 #include "src/core/sdc.hpp"
 #include "src/core/trace.hpp"
 #include "src/core/traversal_plan.hpp"
+#include "src/memory/cla_store.hpp"
 #include "src/model/gtr.hpp"
 #include "src/tree/tree.hpp"
 #include "src/util/aligned.hpp"
@@ -128,8 +129,9 @@ class LikelihoodEngine final : public Evaluator {
   /// stored eigenspace form — and contracts it against the edge's postorder
   /// side through derivativeSum/derivativeCore.  O(N) kernel invocations for
   /// all 2N−3 branches instead of the O(N²) of preparing each branch with its
-  /// own traversal.  Returns false under a tight (recomputation) CLA budget:
-  /// the descent needs every postorder CLA resident at once.
+  /// own traversal.  Works on every CLA budget: preorder partials live in
+  /// their own store-managed tier (spilled, never recomputed) and postorder
+  /// inputs the descent finds evicted are reloaded or rebuilt in place.
   bool gradient_all_branches(tree::Slot* root_edge, std::vector<BranchGradient>& out) override;
 
   [[nodiscard]] const KernelStat& stats(Kernel k) const { return stats_.kernel(k); }
@@ -142,7 +144,13 @@ class LikelihoodEngine final : public Evaluator {
 
   /// Number of CLA buffers this engine allocated (== inner node count
   /// unless a smaller Config::cla_buffers budget is in force).
-  [[nodiscard]] int cla_buffer_count() const { return static_cast<int>(cla_pool_.size()); }
+  [[nodiscard]] int cla_buffer_count() const { return store_.resident_count(); }
+
+  /// The postorder CLA store (eviction/spill/reload counters and the spill
+  /// test hooks live there).
+  [[nodiscard]] const memory::ClaStore& cla_store() const { return store_; }
+  [[nodiscard]] memory::ClaStore& cla_store_for_testing() { return store_; }
+  [[nodiscard]] std::int64_t cla_bytes_granted() const override { return store_.resident_bytes(); }
 
   /// Whether the site-repeats path is active.
   [[nodiscard]] bool site_repeats() const { return site_repeats_; }
@@ -200,10 +208,9 @@ class LikelihoodEngine final : public Evaluator {
 
  private:
   struct NodeCla {
-    int buffer = -1;               ///< index into the CLA pool, -1 = evicted
-    std::int64_t last_touch = 0;   ///< LRU stamp for eviction
+    int slot = -1;                 ///< ClaStore slot (== inner index)
     int orientation = -1;          ///< slot_index the CLA points toward
-    bool valid = false;
+    bool valid = false;            ///< logical validity; residency is the store's
     // SDC defense (Config::sdc_checks): checksum of the committed region,
     // the site blocks it covers (== unique classes on the repeats path), and
     // the trust-pass stamp of the last successful verification so one buffer
@@ -218,9 +225,14 @@ class LikelihoodEngine final : public Evaluator {
   [[nodiscard]] double* cla_data(NodeCla& node);
   [[nodiscard]] std::int32_t* scale_data(NodeCla& node);
 
-  /// Gives `node` a buffer, evicting an unused node's CLA if the pool is
-  /// exhausted (uses_[] guards residents the current pass still needs).
+  /// Write acquisition: gives `node` a resident buffer (store eviction may
+  /// spill or drop an unpinned victim).
   void ensure_buffer(NodeCla& node);
+
+  /// Read acquisition: makes a *valid* node's contents resident, reloading
+  /// from the spill tier when evicted there.  A reload restarts the node's
+  /// lazy trust pass (spilled state re-earns trust like resident state).
+  void ensure_resident_cla(NodeCla& node);
 
   /// One cached plan: the canonical branch slot it was built for, the CLA
   /// epoch it was built against, and the epoch right after it last executed
@@ -263,6 +275,11 @@ class LikelihoodEngine final : public Evaluator {
   /// input evicted since planning (tight budget) is recomputed through a
   /// nested sub-plan — Izquierdo-Carrasco recomputation, time for memory.
   void ready_child(tree::Slot* child, bool computed_in_plan);
+
+  /// Queues the op's valid frontier inputs (not computed in this plan) into
+  /// the store's prefetch ring so spilled CLAs stream back while earlier
+  /// kernels run.
+  void prefetch_op_inputs(const PlfOp& op);
 
   void pin(int node_id);
   void unpin(int node_id);
@@ -344,8 +361,9 @@ class LikelihoodEngine final : public Evaluator {
   // postorder *input* through the per-site class maps.  Allocated lazily on
   // the first gradient_all_branches() call (~2× the postorder CLA pool).
   struct PreorderCla {
-    AlignedDoubles cla;                ///< [length_ × kSiteBlock]
-    std::vector<std::int32_t> scale;   ///< [length_]
+    // Values/scales live in pre_store_ (slot == node_id); the preorder tier
+    // always spills on eviction because an outer partial, unlike a postorder
+    // CLA, cannot be recomputed from a subtree.
     std::uint64_t checksum = 0;        ///< sdc defense, as NodeCla
     std::int64_t checked_blocks = 0;
     std::uint64_t verified_pass = 0;
@@ -423,12 +441,11 @@ class LikelihoodEngine final : public Evaluator {
   std::uint32_t repeat_epoch_ = 0;
   std::uint64_t repeat_version_counter_ = 0;
 
-  // CLA buffer pool (recomputation mode allocates fewer buffers than nodes).
-  std::vector<AlignedDoubles> cla_pool_;
-  std::vector<std::vector<std::int32_t>> scale_pool_;
-  std::vector<int> free_buffers_;
-  std::vector<int> pins_;  ///< per inner node: active pin count (no eviction)
-  std::int64_t touch_counter_ = 0;
+  // Tiered CLA storage (DESIGN.md §14): the store owns the buffer pool, the
+  // pin table, the monotonic LRU epoch, and the recompute-vs-spill policy;
+  // the engine owns validity, orientation, and checksums.
+  memory::ClaStore store_;
+  std::string cla_spill_dir_;  ///< kept for the lazily configured preorder tier
 
   // Branch-independent tables.
   AlignedDoubles tipvec16_;
@@ -467,6 +484,7 @@ class LikelihoodEngine final : public Evaluator {
   sdc::MetricIds sdc_ids_;
 
   // Preorder-partial state (lazily sized by gradient_all_branches).
+  memory::ClaStore pre_store_;                 ///< slot == node_id (tips too)
   std::vector<PreorderCla> pre_clas_;          ///< indexed by node_id (tips too)
   std::vector<std::uint32_t> identity_gather_; ///< 0..length_-1 (dense side of a gather op)
   std::vector<std::uint32_t> code_gather_left_;   ///< tip codes widened for newview_repeats

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "src/core/kernels.hpp"
 #include "src/obs/metrics.hpp"
@@ -42,12 +43,34 @@ struct EngineConfig {
   KernelTrace* trace = nullptr;
   /// CLA memory budget: number of CLA buffers to allocate (-1 = one per
   /// inner node, the default).  Smaller budgets trade running time for
-  /// memory by evicting and later *recomputing* CLAs, the technique of
-  /// Izquierdo-Carrasco et al. that the paper lists as unsupported
-  /// (Section V-A).  A traversal that cannot fit its working set throws.
-  /// Honored by the dense DNA engine; the CAT and general engines always
-  /// keep one buffer per inner node.
+  /// memory by evicting CLAs through the tiered memory::ClaStore — the
+  /// recompute technique of Izquierdo-Carrasco et al. (Section V-A) plus an
+  /// optional checksummed spill tier (DESIGN.md §14).  A traversal that
+  /// cannot fit its working set throws.  Honored by every engine family
+  /// (dense, CAT, general) since the ClaStore extraction.
   int cla_buffers = -1;
+  /// CLA budget in *bytes* (0 = unlimited).  The C-API resource negotiation
+  /// speaks bytes; when set (and cla_buffers is -1) the engine derives the
+  /// buffer count from its per-buffer footprint.  Throws when the minimum
+  /// working set cannot fit.
+  std::int64_t cla_budget_bytes = 0;
+  /// Enables the ClaStore spill tier: evicted CLAs whose subtree is
+  /// expensive to rebuild are written to disk (asynchronously, checksummed)
+  /// and reloaded instead of recomputed.  Off, eviction always drops and
+  /// recomputes — the pre-store behavior.
+  bool cla_spill = false;
+  /// Recompute-vs-spill threshold: evictees whose Sethi–Ullman registers
+  /// number is at or below this are dropped and recomputed even with the
+  /// spill tier on.  Measured default is 0 (always spill): a drop does not
+  /// cost one newview, it invalidates the CLA — and under a tight budget
+  /// the rebuilds of dropped nodes evict (and drop) further nodes, a
+  /// self-sustaining storm that inflates traversals ~7x.  A reload is a
+  /// checksummed memcpy and leaves validity intact, so it wins even for
+  /// cherries (registers == 1); see bench_ablation_memory for the curve.
+  int cla_spill_min_registers = 0;
+  /// Spill directory; empty honors $TMPDIR, falling back to /tmp.  The
+  /// backing file is unlinked at creation, so it is reclaimed on any exit.
+  std::string cla_spill_dir{};
   /// Site-repeats mode (LvD algorithm of Bryant/Scornavacca/Swofford;
   /// BEAGLE 4.1's parallel back-ends do the same): each inner node keeps a
   /// site → repeat-class map — two sites share a class iff they induce the

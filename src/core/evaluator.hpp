@@ -10,6 +10,7 @@
 // collective reductions, which is exactly ExaML's design.
 #pragma once
 
+#include <cstdint>
 #include <utility>
 #include <vector>
 
@@ -84,6 +85,12 @@ class Evaluator {
   /// negotiation.  Mixed-back-end evaluators (stream groups) report the
   /// widest ISA any of their engines runs.
   [[nodiscard]] virtual simd::Isa isa() const { return simd::best_supported_isa(); }
+
+  /// Bytes of resident CLA storage this evaluator's memory tier holds — the
+  /// granted side of the C-API resource negotiation under a
+  /// EngineConfig::cla_budget_bytes budget (DESIGN.md §14).  Aggregating
+  /// evaluators sum their children; -1 = no local memory tier to report.
+  [[nodiscard]] virtual std::int64_t cla_bytes_granted() const { return -1; }
 
   /// GTR model seam for the DNA family: evaluators whose substitution model
   /// is one (linked) GtrModel expose it here so full model optimization

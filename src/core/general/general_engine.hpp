@@ -18,6 +18,7 @@
 #include "src/core/evaluator.hpp"
 #include "src/core/general/general_kernels.hpp"
 #include "src/core/general/general_tables.hpp"
+#include "src/memory/cla_store.hpp"
 #include "src/model/general.hpp"
 #include "src/util/aligned.hpp"
 
@@ -52,8 +53,10 @@ class GeneralEngine final : public Evaluator {
   using Evaluator::optimize_branch;
   double optimize_all_branches(tree::Slot* root_edge, int passes) override;
   /// O(N) all-branch gradient via the postorder + preorder two-pass sweep
-  /// (see LikelihoodEngine::gradient_all_branches).  One CLA buffer per
-  /// inner node by construction, so this never declines.  The preorder pass
+  /// (see LikelihoodEngine::gradient_all_branches).  Works on every CLA
+  /// budget: the preorder partials live in their own always-spilling
+  /// memory::ClaStore tier, and evicted postorder inputs are reloaded or
+  /// recomputed in place during the descent.  The preorder pass
   /// is serial even when use_openmp is on: its per-edge kernels reuse the
   /// shared table scratch, and serial emission keeps the result bit-identical
   /// across dispatch schedules.
@@ -71,6 +74,16 @@ class GeneralEngine final : public Evaluator {
   /// SDC verification/heal counters (Config::sdc_checks; see DESIGN.md §10).
   [[nodiscard]] const sdc::Counters& sdc_counters() const { return sdc_counters_; }
 
+  /// Number of CLA buffers this engine allocated (== inner node count
+  /// unless a smaller Config::cla_buffers budget is in force).
+  [[nodiscard]] int cla_buffer_count() const { return store_.resident_count(); }
+
+  /// The postorder CLA store (eviction/spill/reload counters and the spill
+  /// test hooks live there).
+  [[nodiscard]] const memory::ClaStore& cla_store() const { return store_; }
+  [[nodiscard]] memory::ClaStore& cla_store_for_testing() { return store_; }
+  [[nodiscard]] std::int64_t cla_bytes_granted() const override { return store_.resident_bytes(); }
+
   /// Test-only fault injection: flips one bit of a committed CLA and clears
   /// the verification memo; false when the node's CLA is invalid.
   bool corrupt_cla_for_testing(int node_id, std::int64_t word, int bit);
@@ -81,8 +94,7 @@ class GeneralEngine final : public Evaluator {
 
  private:
   struct NodeCla {
-    AlignedDoubles cla;
-    std::vector<std::int32_t> scale;
+    int slot = -1;  ///< store slot (node_id - taxon_count); buffers live in store_
     int orientation = -1;
     bool valid = false;
     // SDC defense (Config::sdc_checks): see LikelihoodEngine::NodeCla.
@@ -94,8 +106,26 @@ class GeneralEngine final : public Evaluator {
   [[nodiscard]] NodeCla& node_cla(int node_id);
   [[nodiscard]] bool slot_valid(const tree::Slot* s) const;
   /// Plans + runs the traversal toward (edge, edge->back) through the
-  /// shared plan cache (level-order execution; see core::PlanCache).
+  /// shared plan cache, leaving both non-tip endpoints pinned and resident
+  /// for the kernel that follows (callers unpin when done).  Full budgets
+  /// execute level-order; tight budgets run the Sethi-Ullman DFS order with
+  /// the pin/evict discipline through PlanCache::validate_with.
   void validate_edge(tree::Slot* edge);
+  /// Tight-or-full plan executor (the `exec` seam of validate_with).
+  void execute_plan(const TraversalPlan& plan);
+  void run_plan_op(const PlfOp& op, bool pinning);
+  /// Pin + reload-or-recompute one plan input before a kernel reads it.
+  void ready_child(tree::Slot* child, bool computed_in_plan);
+
+  /// Queues the op's valid frontier inputs (not computed in this plan) into
+  /// the store's prefetch ring so spilled CLAs stream back while earlier
+  /// kernels run.
+  void prefetch_op_inputs(const PlfOp& op);
+  /// Reloads the node's CLA from the spill tier when evicted; resident
+  /// reloads restart the lazy trust pass.
+  void ensure_resident_cla(NodeCla& node);
+  void pin(int node_id);
+  void unpin(int node_id);
   void run_newview(tree::Slot* slot);
   GChildInput make_child_input(tree::Slot* child, std::span<double> ptable,
                                std::span<double> ump, double branch_length);
@@ -113,6 +143,11 @@ class GeneralEngine final : public Evaluator {
   std::int64_t length_ = 0;
 
   std::vector<NodeCla> clas_;
+  // Tiered CLA storage (DESIGN.md §14): the store owns the buffer pool, the
+  // pin table, the monotonic LRU epoch, and the recompute-vs-spill policy;
+  // the engine owns validity, orientation, and checksums.
+  memory::ClaStore store_;
+  std::string cla_spill_dir_;  ///< kept for the lazily configured preorder tier
 
   AlignedDoubles tipvec_;
   AlignedDoubles wtable_;
@@ -129,8 +164,8 @@ class GeneralEngine final : public Evaluator {
   /// touched, each dims_.block() doubles); publishes when metrics are on.
   void record_kernel(Kernel k, std::int64_t cla_blocks, double seconds);
 
-  // SDC defense internals (mirrors LikelihoodEngine; one buffer per node,
-  // so no pin table to reset).
+  // SDC defense internals (mirrors LikelihoodEngine; heal paths unwind
+  // mid-traversal, so heal_or_rethrow drops the stores' pins).
   void begin_sdc_pass() { ++sdc_pass_; }
   void store_cla_checksum(NodeCla& node);
   void verify_cla(const tree::Slot* slot);
@@ -143,8 +178,9 @@ class GeneralEngine final : public Evaluator {
   /// consumption (`verified_pass = 0` after compute) — the exposure window
   /// is compute→consume within one descent.
   struct PreorderCla {
-    AlignedDoubles cla;
-    std::vector<std::int32_t> scale;
+    // Values/scales live in pre_store_ (slot == node_id); the preorder tier
+    // always spills on eviction because an outer partial, unlike a postorder
+    // CLA, cannot be recomputed from a subtree.
     std::uint64_t checksum = 0;
     bool checksummed = false;
     std::uint64_t verified_pass = 0;
@@ -159,6 +195,7 @@ class GeneralEngine final : public Evaluator {
   bool metrics_ = false;
   EngineMetricIds metric_ids_;
   PlanCache plan_cache_;
+  memory::ClaStore pre_store_;         ///< slot == node_id (tips too)
   std::vector<PreorderCla> pre_clas_;  ///< [node_count], lazily sized
   TraversalPlan preorder_plan_;
   bool sum_prepared_ = false;

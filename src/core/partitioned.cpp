@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
 
 #include "src/obs/span_trace.hpp"
 #include "src/util/error.hpp"
@@ -46,6 +47,49 @@ StreamPlan normalize_stream_plan(const StreamPlan& plan, std::size_t partitions,
 
 }  // namespace
 
+std::vector<int> carve_cla_budgets(std::int64_t budget_bytes,
+                                   std::span<const std::int64_t> partition_lengths,
+                                   int inner_count) {
+  MINIPHI_CHECK(budget_bytes > 0, "carve_cla_budgets: budget must be positive");
+  const auto n = partition_lengths.size();
+  const int floor_buffers = std::min(inner_count, 3);
+  std::vector<std::int64_t> bytes_per_buffer(n);
+  std::vector<int> counts(n, floor_buffers);
+  std::int64_t need = 0;
+  for (std::size_t p = 0; p < n; ++p) {
+    bytes_per_buffer[p] =
+        partition_lengths[p] * (kSiteBlock * static_cast<std::int64_t>(sizeof(double)) +
+                                static_cast<std::int64_t>(sizeof(std::int32_t)));
+    need += floor_buffers * bytes_per_buffer[p];
+  }
+  MINIPHI_CHECK(budget_bytes >= need,
+                "partitioned evaluator: cla_budget_bytes cannot fit the minimum working set "
+                "across partitions (need " +
+                    std::to_string(need) + " bytes for " + std::to_string(n) +
+                    " partitions of " + std::to_string(floor_buffers) + " buffers each)");
+  std::int64_t remaining = budget_bytes - need;
+  // Budget-aware slack distribution: one buffer per partition per round, in
+  // descending per-buffer footprint (largest partition first — it pays the
+  // most recompute per evicted buffer), until nothing more fits.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return bytes_per_buffer[a] > bytes_per_buffer[b];
+  });
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (const std::size_t p : order) {
+      if (counts[p] < inner_count && bytes_per_buffer[p] <= remaining) {
+        ++counts[p];
+        remaining -= bytes_per_buffer[p];
+        progress = true;
+      }
+    }
+  }
+  return counts;
+}
+
 std::vector<PartitionSpec> even_partitions(std::int64_t total_sites, int count) {
   MINIPHI_CHECK(count >= 1 && total_sites >= count,
                 "even_partitions: need at least one site per partition");
@@ -70,18 +114,41 @@ PartitionedEvaluator::PartitionedEvaluator(const bio::Alignment& alignment,
     : tree_(tree), streams_(normalize_stream_plan(streams, specs.size(), engine_config.isa)) {
   MINIPHI_CHECK(!specs.empty(), "partitioned evaluator: no partitions given");
   stream_partitions_.resize(static_cast<std::size_t>(streams_.stream_count));
+  // Compress every partition first: a global byte budget is carved over the
+  // *compressed* per-partition footprints, so all pattern sets must exist
+  // before the first engine is built.
   for (std::size_t p = 0; p < specs.size(); ++p) {
     names_.push_back(specs[p].name);
     const auto sliced = slice_alignment(alignment, specs[p]);
     patterns_.push_back(std::make_unique<bio::PatternSet>(bio::compress_patterns(sliced)));
+    stream_partitions_[static_cast<std::size_t>(streams_.partition_stream[p])].push_back(
+        static_cast<int>(p));
+  }
+  // Per-partition budget carve (DESIGN.md §14): a global cla_budget_bytes is
+  // split into per-partition buffer counts so the sum of the partitions'
+  // resident pools honors the one budget the caller negotiated.
+  std::vector<int> carved;
+  if (engine_config.cla_buffers < 0 && engine_config.cla_budget_bytes > 0) {
+    std::vector<std::int64_t> lengths;
+    lengths.reserve(patterns_.size());
+    for (const auto& patterns : patterns_) {
+      lengths.push_back(static_cast<std::int64_t>(patterns->pattern_count()));
+    }
+    carved = carve_cla_budgets(engine_config.cla_budget_bytes, lengths, tree.inner_count());
+  }
+  for (std::size_t p = 0; p < specs.size(); ++p) {
     EngineConfig config = engine_config;
     config.begin = 0;
     config.end = -1;
     config.isa = streams_.partition_isa[p];
+    if (!carved.empty()) {
+      // The engine gets its carved buffer count directly; a full grant maps
+      // back to the unconstrained default so the store runs level-order.
+      config.cla_budget_bytes = 0;
+      config.cla_buffers = (carved[p] >= tree.inner_count()) ? -1 : carved[p];
+    }
     engines_.push_back(
-        std::make_unique<LikelihoodEngine>(*patterns_.back(), initial_model, tree, config));
-    stream_partitions_[static_cast<std::size_t>(streams_.partition_stream[p])].push_back(
-        static_cast<int>(p));
+        std::make_unique<LikelihoodEngine>(*patterns_[p], initial_model, tree, config));
   }
   trace_attached_ = engine_config.trace != nullptr;
   sdc_checks_ = engine_config.sdc_checks;
@@ -90,6 +157,9 @@ PartitionedEvaluator::PartitionedEvaluator(const bio::Alignment& alignment,
   // discipline and the merged queue stands down.  (Stream dispatch is
   // unaffected: streams always run the engines' internal executors.)
   merged_supported_ = engine_config.cla_buffers < 0;
+  for (const int count : carved) {
+    if (count < tree.inner_count()) merged_supported_ = false;
+  }
   if (obs::kMetricsCompiled && engine_config.metrics == obs::MetricsMode::kOn) {
     metrics_ = true;
     obs::Registry& registry = obs::Registry::instance();
@@ -280,6 +350,11 @@ LikelihoodEngine& PartitionedEvaluator::partition_engine(int p) {
   return *engines_[static_cast<std::size_t>(p)];
 }
 
+int PartitionedEvaluator::partition_cla_buffers(int p) const {
+  MINIPHI_ASSERT(p >= 0 && p < partition_count());
+  return engines_[static_cast<std::size_t>(p)]->cla_buffer_count();
+}
+
 double PartitionedEvaluator::log_likelihood(tree::Slot* edge) {
   for (int attempt = 0;; ++attempt) {
     try {
@@ -411,6 +486,12 @@ void PartitionedEvaluator::set_alpha(double alpha) {
 }
 
 double PartitionedEvaluator::alpha() const { return engines_.front()->model().params().alpha; }
+
+std::int64_t PartitionedEvaluator::cla_bytes_granted() const {
+  std::int64_t total = 0;
+  for (const auto& engine : engines_) total += engine->cla_bytes_granted();
+  return total;
+}
 
 simd::Isa PartitionedEvaluator::isa() const {
   simd::Isa widest = simd::Isa::kScalar;

@@ -51,6 +51,20 @@
 
 namespace miniphi::core {
 
+/// Carves a global CLA byte budget (EngineConfig::cla_budget_bytes) into
+/// per-partition buffer counts.  Every partition is floored at its minimum
+/// working set (min(inner_count, 3) buffers — the deepest live set of the
+/// Sethi–Ullman DFS executor); throws miniphi::Error mentioning the
+/// "minimum working set" when the floors alone exceed the budget (the C API
+/// maps that message to MINIPHI_ERROR_INSUFFICIENT_MEMORY).  Slack is dealt
+/// one buffer per round, largest partitions first: a big partition pays the
+/// most recompute per evicted buffer, so it gets the spare residency.
+/// `partition_lengths` are compressed pattern counts (the dense engine's
+/// per-buffer footprint is kSiteBlock doubles + one scale int per pattern).
+std::vector<int> carve_cla_budgets(std::int64_t budget_bytes,
+                                   std::span<const std::int64_t> partition_lengths,
+                                   int inner_count);
+
 class PartitionedEvaluator final : public Evaluator {
  public:
   /// Compresses each site range into its own pattern set and builds one
@@ -73,6 +87,11 @@ class PartitionedEvaluator final : public Evaluator {
   /// Direct access for per-partition model optimization
   /// (search::optimize_model works on the returned engine unchanged).
   [[nodiscard]] LikelihoodEngine& partition_engine(int p);
+
+  /// Resident CLA buffers granted to partition `p` — the carve of a global
+  /// EngineConfig::cla_budget_bytes (see carve_cla_budgets), or the full
+  /// inner-node count when no byte budget is in force.
+  [[nodiscard]] int partition_cla_buffers(int p) const;
 
   /// Attaches (or detaches, with nullptr) a parallel-for executor and picks
   /// the dispatch schedule.  Requires engines built without a KernelTrace
@@ -108,8 +127,10 @@ class PartitionedEvaluator final : public Evaluator {
   /// All-branch gradient: each partition runs its own two-pass sweep; the
   /// per-edge derivatives are summed in fixed partition order (bit-identical
   /// across schedules, stream counts and thread counts like every other
-  /// reduction here).  Declines (false) as soon as any partition declines,
-  /// e.g. under a tight CLA budget.
+  /// reduction here).  Works on every CLA budget — each engine's preorder
+  /// partials live in their own spilling memory::ClaStore tier — and only
+  /// declines (false) if some partition's engine declines for another
+  /// reason.
   bool gradient_all_branches(tree::Slot* root_edge, std::vector<BranchGradient>& out) override;
   void invalidate_node(int node_id) override;
   void invalidate_branch(int node_id) override;
@@ -121,6 +142,10 @@ class PartitionedEvaluator final : public Evaluator {
   /// Widest kernel ISA any partition runs (per-partition ISAs via
   /// partition_isa(p)).
   [[nodiscard]] simd::Isa isa() const override;
+
+  /// Sum of the per-partition resident CLA pools — what a global
+  /// cla_budget_bytes actually bought after the carve.
+  [[nodiscard]] std::int64_t cla_bytes_granted() const override;
 
   /// Linked-model seam: gtr_model() reports partition 0's model and
   /// set_gtr_model() replaces the model of *every* partition.  Meaningful

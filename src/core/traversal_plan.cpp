@@ -68,6 +68,7 @@ void TraversalPlanner::emit(tree::Slot* goal, TraversalPlan& out) {
     PlfOp op;
     op.slot = slot;
     op.node_id = slot->node_id;
+    op.registers = scratch(slot).registers;
     op.left_op = child_op(slot->child1());
     op.right_op = child_op(slot->child2());
     const auto level_of = [&out](std::int32_t index) -> std::int32_t {

@@ -68,6 +68,11 @@ struct PlfOp {
   std::int32_t left_op = -1;   ///< op computing child1's CLA, -1 = plan input
   std::int32_t right_op = -1;  ///< op computing child2's CLA, -1 = plan input
   std::int32_t partition = 0;  ///< tag used by multi-partition executors
+  /// Sethi-Ullman buffer need of the subtree rooted here (>= 1; 0 for
+  /// preorder ops, which have no postorder subtree).  Tight-budget executors
+  /// forward it to memory::ClaStore as the CLA's rebuild cost: it is exactly
+  /// the recompute-vs-spill score of DESIGN.md §14.
+  std::int32_t registers = 0;
   tree::Slot* sibling = nullptr;  ///< preorder only: parent's half-edge to the sibling
   PlfOpKind kind = PlfOpKind::kNewview;
 };
@@ -316,6 +321,40 @@ class PlanCache {
     entry.satisfied_epoch = epoch_;
     return !plan.empty();
   }
+
+  /// Like validate(), but hands the whole prepared plan to `exec` instead of
+  /// sweeping it level by level — the seam for tight-budget executors that
+  /// must run ops in DFS emission order with pin/evict bookkeeping (the
+  /// cache-entry, epoch, and metric protocol is identical).
+  template <typename ValidFn, typename ExecFn>
+  bool validate_with(tree::Slot* edge, ValidFn&& valid, ExecFn&& exec) {
+    Entry& entry = entry_for(edge);
+    if (entry.satisfied_epoch != 0 && entry.satisfied_epoch == epoch_) {
+      ++counters_.cache_hits;
+      if (metrics_) obs::Registry::instance().add(ids_.cache_hits, 1);
+      return false;
+    }
+    const TraversalPlan& plan = prepare(entry, valid);
+    if (!plan.empty()) {
+      obs::ScopedSpan span("plan:execute");
+      exec(plan);
+      ++counters_.executed_plans;
+      counters_.executed_ops += plan.op_count();
+      if (metrics_) {
+        obs::Registry& registry = obs::Registry::instance();
+        registry.add(ids_.executed_plans, 1);
+        registry.add(ids_.executed_ops, plan.op_count());
+        registry.observe(ids_.levels, plan.levels());
+      }
+    }
+    entry.built_epoch = epoch_;
+    entry.satisfied_epoch = epoch_;
+    return !plan.empty();
+  }
+
+  /// The planner, exposed so tight-budget executors can build nested
+  /// subplans (recomputing a dropped input) with the same scratch arrays.
+  [[nodiscard]] TraversalPlanner& planner() { return planner_; }
 
   /// Runs one dependency level of `plan` through `run_op` (with the
   /// per-level span and width/op metrics).

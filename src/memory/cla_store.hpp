@@ -1,0 +1,228 @@
+// Tiered conditional-likelihood storage shared by every engine family.
+//
+// The paper's central memory/compute trade-off (Section V-A, citing
+// Izquierdo-Carrasco et al.) used to live as a private pin/evict DFS path
+// inside the dense engine; CAT and general simply demanded the full CLA
+// budget.  ClaStore extracts buffer ownership, the pin/LRU/eviction
+// discipline, and the recompute-vs-reload policy into one subsystem
+// (DESIGN.md §14) so the engines hold plan caches and kernels, not memory
+// policy:
+//
+//  * Resident tier: a fixed pool of `resident` aligned value/scale buffers
+//    shared by `slots` logical CLAs.  Pins protect in-flight kernel inputs;
+//    touch stamps come from one monotonic epoch that never resets (so a
+//    heal-retry loop cannot thrash a hot CLA back to cold).
+//  * Eviction score: victims not needed later in the current traversal plan
+//    are taken first (LRU among them, cheapest Sethi–Ullman rebuild first
+//    when spilling is off); otherwise the CLA whose next use is farthest in
+//    the plan goes, exactly the register-allocation heuristic the planner's
+//    `registers` numbering was built for.
+//  * Spill tier: evicted CLAs whose subtree is expensive to rebuild
+//    (registers > spill_min_registers) are written to an anonymous temp file
+//    asynchronously — the caller only pays a memcpy into one of two staging
+//    buffers; checksumming and pwrite happen on a background thread,
+//    overlapped with kernel execution.  Reloads verify the stored checksum
+//    and surface mismatches as sdc::CorruptionDetected with the owning node
+//    id, so spilled state goes through the same trust-pass / heal protocol
+//    as resident state.  The backing file is unlinked at creation: the OS
+//    reclaims it even on abnormal exit.
+//
+// Layering: miniphi_memory links only miniphi_util and miniphi_obs.  The
+// implementation includes core/sdc.hpp strictly for its header-only pieces
+// (checksum_words, CorruptionDetected); it never calls into miniphi_core, so
+// core can link memory without a cycle.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/obs/metrics.hpp"
+#include "src/util/aligned.hpp"
+
+namespace miniphi::memory {
+
+/// On-disk spill record format version (DESIGN.md §14).  Bumped whenever the
+/// header or payload layout changes; reloads reject records whose version
+/// does not match the running build.
+inline constexpr std::uint32_t kSpillFormatVersion = 1;
+
+class SpillFile;
+
+struct ClaStoreConfig {
+  int slots = 0;      ///< logical CLAs (one per inner node, typically)
+  int resident = -1;  ///< buffers in the resident pool; -1 = one per slot
+  std::int64_t values = 0;  ///< doubles per value buffer
+  std::int64_t scales = 0;  ///< int32 entries per scale buffer
+  /// Enables the spill tier.  Off, every eviction drops the CLA and the
+  /// owner recomputes it (the PR-4 recompute-only discipline).
+  bool spill = false;
+  /// Spill directory; empty honors $TMPDIR and falls back to /tmp.
+  std::string spill_dir;
+  /// Evictees whose Sethi–Ullman rebuild cost is at or below this are
+  /// dropped (recomputing them is cheaper than disk); above it they spill.
+  /// 0 (the measured default): never drop — a drop invalidates the CLA and
+  /// under tight budgets the rebuild cascade costs far more than a memcpy
+  /// reload (EngineConfig::cla_spill_min_registers documents the curve).
+  int spill_min_registers = 0;
+  /// Added to the slot index to name the owning tree node in
+  /// CorruptionDetected (engines use taxon_count so slot 0 = first inner).
+  int node_id_base = 0;
+  obs::MetricsMode metrics = obs::MetricsMode::kOff;
+  /// Called when an eviction drops a CLA without spilling it; the owner
+  /// must mark the slot invalid so a later read recomputes it.
+  std::function<void(int)> on_drop;
+};
+
+struct ClaStoreCounters {
+  std::int64_t evictions = 0;      ///< buffers reclaimed from a victim
+  std::int64_t spills = 0;         ///< evictions that wrote a spill record
+  std::int64_t reloads = 0;        ///< spilled CLAs read back
+  std::int64_t recomputes = 0;     ///< dropped CLAs the owner rebuilt
+  std::int64_t spill_bytes = 0;    ///< payload bytes written to disk
+  std::int64_t prefetch_hits = 0;  ///< reloads served from the prefetch ring
+};
+
+/// What ensure_resident() had to do to satisfy the read.
+enum class Residency {
+  kResident,  ///< already in the pool
+  kReloaded,  ///< read back from the spill tier (checksum verified; the
+              ///< owner must restart its lazy trust pass)
+};
+
+class ClaStore {
+ public:
+  ClaStore();
+  ~ClaStore();
+  ClaStore(const ClaStore&) = delete;
+  ClaStore& operator=(const ClaStore&) = delete;
+
+  /// One-shot setup (engines configure from their constructor once buffer
+  /// geometry is known).  Allocates the resident pool eagerly.
+  void configure(ClaStoreConfig config);
+  [[nodiscard]] bool is_configured() const { return configured_; }
+
+  [[nodiscard]] int slot_count() const { return static_cast<int>(slots_.size()); }
+  [[nodiscard]] int resident_count() const { return static_cast<int>(value_pool_.size()); }
+  [[nodiscard]] bool full_resident() const { return resident_count() == slot_count(); }
+
+  /// Bytes held by the resident pool (values + scales) — the granted side
+  /// of the C-API resource negotiation (miniphi_resource_grant).
+  [[nodiscard]] std::int64_t resident_bytes() const {
+    return static_cast<std::int64_t>(resident_count()) *
+           (config_.values * static_cast<std::int64_t>(sizeof(double)) +
+            config_.scales * static_cast<std::int64_t>(sizeof(std::int32_t)));
+  }
+
+  [[nodiscard]] bool resident(int slot) const { return slots_[at(slot)].buffer >= 0; }
+  [[nodiscard]] bool spilled(int slot) const { return slots_[at(slot)].on_disk; }
+  /// True when the slot's contents exist somewhere (resident or spilled).
+  [[nodiscard]] bool has_data(int slot) const {
+    const Slot& s = slots_[at(slot)];
+    return s.buffer >= 0 || s.on_disk;
+  }
+
+  /// Resident accessors; the slot must be resident.
+  [[nodiscard]] double* values(int slot);
+  [[nodiscard]] std::int32_t* scales(int slot);
+
+  /// Write acquisition: make the slot resident with undefined contents
+  /// (the caller is about to overwrite them).  Any stale spill copy is
+  /// discarded.  May evict an unpinned victim.
+  void acquire(int slot);
+
+  /// Read acquisition: make the slot's *existing* contents resident,
+  /// reloading from the spill tier when necessary.  Throws
+  /// sdc::CorruptionDetected when the spill record fails verification.
+  Residency ensure_resident(int slot);
+
+  /// Discard the slot's contents everywhere (resident buffer and spill
+  /// record).  Owners call this on invalidation so eviction never wastes a
+  /// disk write on a dead CLA.  Does not fire on_drop.
+  void drop(int slot);
+  void drop_all();
+
+  /// LRU stamp from the store-wide monotonic epoch (never reset).
+  void touch(int slot);
+  [[nodiscard]] std::uint64_t touch_epoch() const { return touch_epoch_; }
+
+  void pin(int slot);
+  void unpin(int slot);
+  [[nodiscard]] int pin_count(int slot) const { return slots_[at(slot)].pins; }
+  /// Drops every pin (heal paths unwind mid-traversal).
+  void reset_pins();
+
+  /// Sethi–Ullman `registers` number of the subtree that rebuilds this CLA;
+  /// drives the recompute-vs-spill decision at eviction time.
+  void set_rebuild_cost(int slot, int registers);
+
+  /// Plan-aware eviction hints: begin_plan() opens a plan window,
+  /// plan_next_use() records that `slot` is read at op index `position`,
+  /// plan_cursor() advances execution past `position`.  Victims with no
+  /// remaining use in the window are evicted first; otherwise the farthest
+  /// next use goes.
+  void begin_plan();
+  void plan_next_use(int slot, std::int64_t position);
+  void plan_cursor(std::int64_t position);
+
+  /// Asynchronous read-ahead of a spilled slot into the prefetch ring; a
+  /// later ensure_resident() completes without blocking on the disk read.
+  void prefetch(int slot);
+
+  /// Owner notification: a dropped CLA was rebuilt by re-running kernels.
+  void note_recompute();
+
+  [[nodiscard]] const ClaStoreCounters& counters() const { return counters_; }
+
+  /// Test hooks: flip one payload bit / truncate the record of a spilled
+  /// slot.  Return false when the slot has no spill record.
+  bool corrupt_spill_for_testing(int slot);
+  bool truncate_spill_for_testing(int slot);
+
+ private:
+  struct Slot {
+    int buffer = -1;                  ///< resident pool index, -1 = not resident
+    int pins = 0;
+    int rebuild_cost = kUnknownCost;  ///< SU registers; unknown = assume expensive
+    bool on_disk = false;             ///< a current spill record exists
+    std::uint64_t last_touch = 0;
+    std::uint64_t plan_stamp = 0;     ///< which plan window `uses` belongs to
+    std::vector<std::int64_t> uses;   ///< op indices reading this slot (ascending)
+  };
+  static constexpr int kUnknownCost = 1 << 30;
+
+  [[nodiscard]] int at(int slot) const;
+  /// Next op index >= cursor that reads the slot, or -1.
+  [[nodiscard]] std::int64_t next_use(const Slot& s) const;
+  void assign_buffer(int slot);
+  [[nodiscard]] int pick_victim(int for_slot) const;
+  void evict(int victim);
+  void bump(obs::MetricId id, std::int64_t delta) const;
+  SpillFile& spill_file();
+
+  ClaStoreConfig config_;
+  bool configured_ = false;
+  std::vector<Slot> slots_;
+  std::vector<AlignedDoubles> value_pool_;
+  std::vector<std::vector<std::int32_t>> scale_pool_;
+  std::vector<int> free_buffers_;
+  std::uint64_t touch_epoch_ = 0;
+  std::uint64_t plan_stamp_ = 0;
+  std::int64_t plan_cursor_ = 0;
+  ClaStoreCounters counters_;
+  std::unique_ptr<SpillFile> spill_;
+
+  struct MetricIds {
+    obs::MetricId evictions = 0;
+    obs::MetricId spills = 0;
+    obs::MetricId reloads = 0;
+    obs::MetricId recomputes = 0;
+    obs::MetricId spill_bytes = 0;
+    obs::MetricId prefetch_hits = 0;
+  } ids_;
+  bool metrics_on_ = false;
+};
+
+}  // namespace miniphi::memory

@@ -63,6 +63,7 @@ std::string render_kernel_report(const std::vector<MetricSnapshot>& snapshot) {
   std::int64_t scaling_events = 0;
   std::vector<const MetricSnapshot*> plans;
   std::vector<const MetricSnapshot*> grad;
+  std::vector<const MetricSnapshot*> mem;
   std::vector<const MetricSnapshot*> sdc;
   std::vector<const MetricSnapshot*> elastic;
   std::vector<const MetricSnapshot*> other;
@@ -99,6 +100,8 @@ std::string render_kernel_report(const std::vector<MetricSnapshot>& snapshot) {
       plans.push_back(&metric);
     } else if (parts[0] == "grad") {
       grad.push_back(&metric);
+    } else if (parts[0] == "mem") {
+      mem.push_back(&metric);
     } else if (parts[0] == "sdc") {
       sdc.push_back(&metric);
     } else if (parts[0] == "elastic" || parts[0] == "ckpt") {
@@ -182,6 +185,24 @@ std::string render_kernel_report(const std::vector<MetricSnapshot>& snapshot) {
                                    : 0.0;
         append_line(out, "%-40s count=%-10lld mean=%.2f ms", metric->name.c_str(),
                     static_cast<long long>(metric->histogram.count), mean_ms);
+      } else {
+        append_line(out, "%-40s %lld", metric->name.c_str(),
+                    static_cast<long long>(metric->value));
+      }
+    }
+  }
+
+  if (!mem.empty()) {
+    // The tiered CLA store (DESIGN.md §14): evictions split into spills
+    // (written to the checksummed spill tier) and drops the engines later
+    // recomputed; reloads/prefetch_hit measure the read-back path.
+    out += "--- memory tier ---\n";
+    std::sort(mem.begin(), mem.end(),
+              [](const MetricSnapshot* a, const MetricSnapshot* b) { return a->name < b->name; });
+    for (const MetricSnapshot* metric : mem) {
+      if (metric->name == "mem.spill_bytes") {
+        append_line(out, "%-40s %s", metric->name.c_str(),
+                    human_bytes(metric->value).c_str());
       } else {
         append_line(out, "%-40s %lld", metric->name.c_str(),
                     static_cast<long long>(metric->value));

@@ -44,6 +44,9 @@ class PooledPartitionedEvaluator final : public core::Evaluator {
   void set_alpha(double alpha) override { inner_.set_alpha(alpha); }
   [[nodiscard]] double alpha() const override { return inner_.alpha(); }
   [[nodiscard]] simd::Isa isa() const override { return inner_.isa(); }
+  [[nodiscard]] std::int64_t cla_bytes_granted() const override {
+    return inner_.cla_bytes_granted();
+  }
   [[nodiscard]] const model::GtrModel* gtr_model() const override { return inner_.gtr_model(); }
   bool set_gtr_model(const model::GtrModel& model) override {
     return inner_.set_gtr_model(model);

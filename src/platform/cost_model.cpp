@@ -179,19 +179,30 @@ simd::Isa choose_partition_isa(std::int64_t patterns, simd::Isa widest) {
 }
 
 core::StreamPlan plan_partition_streams(std::span<const std::int64_t> partition_patterns,
-                                        int stream_count, simd::Isa widest) {
+                                        int stream_count, simd::Isa widest,
+                                        std::span<const double> budget_fraction) {
   MINIPHI_CHECK(stream_count >= 1, "plan_partition_streams: stream_count must be >= 1");
   const auto n = static_cast<int>(partition_patterns.size());
+  MINIPHI_CHECK(budget_fraction.empty() || budget_fraction.size() == partition_patterns.size(),
+                "plan_partition_streams: budget_fraction size does not match the partition count");
   core::StreamPlan plan;
   plan.stream_count = std::clamp(stream_count, 1, std::max(n, 1));
   plan.partition_stream.assign(static_cast<std::size_t>(n), 0);
   plan.partition_isa.reserve(static_cast<std::size_t>(n));
   std::vector<double> costs;
   costs.reserve(static_cast<std::size_t>(n));
-  for (const std::int64_t patterns : partition_patterns) {
+  for (int p = 0; p < n; ++p) {
+    const std::int64_t patterns = partition_patterns[static_cast<std::size_t>(p)];
     const simd::Isa isa = choose_partition_isa(patterns, widest);
     plan.partition_isa.push_back(isa);
-    costs.push_back(partition_cost(patterns, isa));
+    double cost = partition_cost(patterns, isa);
+    if (!budget_fraction.empty()) {
+      // Tight-budget partitions recompute evicted CLAs: model a linear ramp
+      // from 1× (full residency) to 2× (minimum working set).
+      const double fraction = std::clamp(budget_fraction[static_cast<std::size_t>(p)], 0.0, 1.0);
+      cost *= 2.0 - fraction;
+    }
+    costs.push_back(cost);
   }
   // LPT: heaviest partition first onto the least-loaded stream.  stable_sort
   // + strict less keep the assignment deterministic under cost ties.

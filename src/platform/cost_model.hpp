@@ -119,8 +119,17 @@ simd::Isa choose_partition_isa(std::int64_t patterns, simd::Isa widest = simd::b
 /// partition first onto the least-loaded stream, ties to the lowest stream
 /// id — deterministic for a given input).  stream_count is clamped to the
 /// partition count; every returned stream owns at least one partition.
+///
+/// `budget_fraction` (optional, one entry per partition) makes the packing
+/// budget-aware: fraction granted/full of the partition's resident CLA pool
+/// under a carved byte budget (core::carve_cla_budgets).  A partition at
+/// fraction f is modeled at (2 - f)× its full-budget cost — a minimum-budget
+/// partition re-derives roughly one extra traversal's worth of evicted CLAs,
+/// the 2× bound bench_ablation_memory gates — so tight partitions are spread
+/// across streams instead of piling onto one.
 core::StreamPlan plan_partition_streams(std::span<const std::int64_t> partition_patterns,
                                         int stream_count,
-                                        simd::Isa widest = simd::best_supported_isa());
+                                        simd::Isa widest = simd::best_supported_isa(),
+                                        std::span<const double> budget_fraction = {});
 
 }  // namespace miniphi::platform

@@ -110,6 +110,44 @@ TEST(CApi, NegotiationGrantsPartitionsAndStreams) {
   EXPECT_EQ(miniphi_finalize_instance(instance), MINIPHI_OK);
 }
 
+TEST(CApi, ClaBudgetNegotiationGrantsWithinRequest) {
+  Fixture f;
+  double unlimited = 0.0;
+  {
+    miniphi_instance* instance = nullptr;
+    ASSERT_EQ(miniphi_create_instance(f.alignment, f.tree, nullptr, nullptr, &instance),
+              MINIPHI_OK);
+    ASSERT_EQ(miniphi_evaluate(instance, &unlimited), MINIPHI_OK);
+    EXPECT_EQ(miniphi_finalize_instance(instance), MINIPHI_OK);
+  }
+  miniphi_resource_request request{};
+  request.cla_budget_bytes = INT64_C(1) << 20;
+  miniphi_resource_grant grant{};
+  miniphi_instance* instance = nullptr;
+  ASSERT_EQ(miniphi_create_instance(f.alignment, f.tree, &request, &grant, &instance),
+            MINIPHI_OK);
+  EXPECT_EQ(grant.cla_bytes_requested, request.cla_budget_bytes);
+  EXPECT_GT(grant.cla_bytes_granted, 0);
+  EXPECT_LE(grant.cla_bytes_granted, grant.cla_bytes_requested);
+  // Budgeted evaluation is bit-identical to the unlimited run.
+  double lnl = 0.0;
+  ASSERT_EQ(miniphi_evaluate(instance, &lnl), MINIPHI_OK);
+  EXPECT_EQ(lnl, unlimited);
+  EXPECT_EQ(miniphi_finalize_instance(instance), MINIPHI_OK);
+}
+
+TEST(CApi, ClaBudgetBelowWorkingSetIsInsufficientMemory) {
+  Fixture f;
+  miniphi_resource_request request{};
+  request.cla_budget_bytes = 100;  // cannot hold even one CLA buffer
+  miniphi_resource_grant grant{};
+  miniphi_instance* instance = nullptr;
+  EXPECT_EQ(miniphi_create_instance(f.alignment, f.tree, &request, &grant, &instance),
+            MINIPHI_ERROR_INSUFFICIENT_MEMORY);
+  EXPECT_EQ(instance, nullptr);
+  EXPECT_NE(std::strstr(miniphi_last_error_message(), "minimum working set"), nullptr);
+}
+
 TEST(CApi, PartitionedInstanceMatchesSinglePartitionLikelihood) {
   Fixture f;
   double single = 0.0;

@@ -177,22 +177,90 @@ TEST_P(AllBranchGradient, TinyBranchesAndDeepScaling) {
   }
 }
 
-// A tight CLA budget cannot keep every postorder CLA resident for the
-// descent: the call must decline rather than fault, so callers can fall back.
-TEST(AllBranchGradientBudget, TightBudgetDeclines) {
+// A tight CLA budget used to decline the descent (every postorder CLA is
+// consumed after one up-front validation).  With the tiered ClaStore the
+// preorder partials live in their own always-spilling tier and evicted
+// postorder inputs are reloaded or rebuilt in place, so the sweep now
+// *succeeds* on a tight budget and matches the full-budget gradient exactly
+// (recompute reruns identical kernels; spill reloads are byte-exact).
+TEST(AllBranchGradientBudget, TightBudgetMatchesFullBudget) {
   Rng rng(31);
   const auto alignment = random_alignment(16, 100, rng);
   const auto patterns = bio::compress_patterns(alignment);
   const model::GtrModel model(random_gtr_params(rng));
   tree::Tree tree = tree::Tree::random(16, rng);
 
+  LikelihoodEngine::Config full_config;
+  full_config.isa = simd::Isa::kScalar;
+  LikelihoodEngine full(patterns, model, tree, full_config);
+  std::vector<BranchGradient> reference;
+  ASSERT_TRUE(full.gradient_all_branches(tree.tip(0), reference));
+
   LikelihoodEngine::Config config;
   config.isa = simd::Isa::kScalar;
   config.cla_buffers = 6;
   LikelihoodEngine engine(patterns, model, tree, config);
   std::vector<BranchGradient> gradient;
-  EXPECT_FALSE(engine.gradient_all_branches(tree.tip(0), gradient));
-  EXPECT_TRUE(gradient.empty());
+  ASSERT_TRUE(engine.gradient_all_branches(tree.tip(0), gradient));
+  ASSERT_EQ(gradient.size(), reference.size());
+  for (std::size_t i = 0; i < gradient.size(); ++i) {
+    EXPECT_EQ(gradient[i].edge, reference[i].edge);
+    EXPECT_EQ(gradient[i].first, reference[i].first)  // bitwise
+        << "edge node " << gradient[i].edge->node_id;
+    EXPECT_EQ(gradient[i].second, reference[i].second)
+        << "edge node " << gradient[i].edge->node_id;
+  }
+  // The tight path really ran: preorder partials were evicted to the spill
+  // tier and read back.
+  EXPECT_GT(engine.cla_store().counters().evictions, 0);
+}
+
+// FD validation at the *minimum* postorder budget with the spill tier on:
+// the strongest end of the satellite — gradients no longer decline, and they
+// are still first derivatives of the actual log-likelihood.
+TEST(AllBranchGradientBudget, MinimumBudgetFirstDerivativeMatchesFD) {
+  Rng rng(977);
+  const int ntaxa = 10;
+  const auto alignment = random_alignment(ntaxa, 120, rng);
+  const auto patterns = bio::compress_patterns(alignment);
+  const model::GtrModel model(random_gtr_params(rng));
+  tree::Tree tree = tree::Tree::random(ntaxa, rng);
+  for (tree::Slot* edge : tree.edges()) {
+    tree::Tree::set_length(edge, rng.uniform(0.05, 1.0));
+  }
+
+  LikelihoodEngine::Config config;
+  config.isa = simd::Isa::kScalar;
+  config.cla_buffers = 3;  // the floor
+  config.cla_spill = true;
+  LikelihoodEngine engine(patterns, model, tree, config);
+  tree::Slot* root = tree.tip(0);
+
+  std::vector<BranchGradient> gradient;
+  ASSERT_TRUE(engine.gradient_all_branches(root, gradient));
+  ASSERT_EQ(gradient.size(), static_cast<std::size_t>(tree.edge_count()));
+
+  const double h = 1e-4;
+  for (const BranchGradient& g : gradient) {
+    const double z = g.length;
+    tree::Tree::set_length(g.edge, z + h);
+    engine.invalidate_branch(g.edge->node_id);
+    engine.invalidate_branch(g.edge->back->node_id);
+    const double up = engine.log_likelihood(root);
+    tree::Tree::set_length(g.edge, z - h);
+    engine.invalidate_branch(g.edge->node_id);
+    engine.invalidate_branch(g.edge->back->node_id);
+    const double down = engine.log_likelihood(root);
+    tree::Tree::set_length(g.edge, z);
+    engine.invalidate_branch(g.edge->node_id);
+    engine.invalidate_branch(g.edge->back->node_id);
+
+    const double fd = (up - down) / (2.0 * h);
+    EXPECT_NEAR(g.first, fd, std::abs(fd) * 1e-6 + 1e-6)
+        << "edge node " << g.edge->node_id << " z=" << z;
+  }
+  EXPECT_GT(engine.cla_store().counters().spills, 0);
+  EXPECT_GT(engine.cla_store().counters().reloads, 0);
 }
 
 // Satellite regression: the lnL returned by optimize_all_branches must be
