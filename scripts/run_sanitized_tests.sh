@@ -63,7 +63,13 @@ cmake -B "${build}" -S "${root}" \
 # caller and the async spill worker (staging swaps, the prefetch ring, the
 # recycled spare) — buffer lifetime bugs and missed happens-before edges
 # on that thread boundary are exactly ASan/TSan territory.
-targets=(minimpi_test parallel_test faults_test elastic_test checkpoint_test examl_test site_repeats_test obs_test partitioned_test sdc_test gradient_test stream_test c_api_test memory_test)
+# service_test rides along: the multi-tenant service crosses client,
+# executor and pool threads per job (admission under one mutex, budget
+# waits, CancelledError unwinding through worker-pool regions, chaos kills
+# at arbitrary cancellation checks) — the soak's interleavings are the
+# densest TSan workload in the repo, and a leaked grant or a job result
+# published without its lock is invisible to the release run.
+targets=(minimpi_test parallel_test faults_test elastic_test checkpoint_test examl_test site_repeats_test obs_test partitioned_test sdc_test gradient_test stream_test c_api_test memory_test service_test)
 cmake --build "${build}" -j "$(nproc)" --target "${targets[@]}"
 
 status=0

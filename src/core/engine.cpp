@@ -10,6 +10,7 @@
 #endif
 
 #include "src/obs/span_trace.hpp"
+#include "src/util/cancellation.hpp"
 #include "src/util/error.hpp"
 
 namespace miniphi::core {
@@ -40,7 +41,8 @@ LikelihoodEngine::LikelihoodEngine(const bio::PatternSet& patterns,
       ops_(get_kernel_ops(config.isa)),
       tuning_(config.tuning),
       use_openmp_(config.use_openmp),
-      trace_(config.trace) {
+      trace_(config.trace),
+      cancel_(config.cancel) {
   const auto npat = static_cast<std::int64_t>(patterns.pattern_count());
   MINIPHI_CHECK(npat > 0, "engine: empty pattern set");
   MINIPHI_CHECK(static_cast<std::size_t>(tree.taxon_count()) == patterns.taxon_count(),
@@ -330,6 +332,9 @@ void LikelihoodEngine::execute_plan(const TraversalPlan& plan) {
       }
     }
     for (std::size_t i = 0; i < ops.size(); ++i) {
+      // Per-op cancellation boundary: a tight-budget traversal has no level
+      // structure, so this is its plan-level granularity.
+      check_cancel();
       store_.plan_cursor(static_cast<std::int64_t>(i));
       // Read-ahead: stream this op's and the next op's frontier inputs from
       // the spill tier while kernels run (two-entry ring; extras dropped,
@@ -342,6 +347,7 @@ void LikelihoodEngine::execute_plan(const TraversalPlan& plan) {
     // Full budget: level order.  Nothing can be evicted, so no pinning —
     // this is the order the batched/wavefront executors use.
     for (int level = 1; level <= plan.levels(); ++level) {
+      check_cancel();  // plan-level cancellation boundary
       obs::ScopedSpan level_span("plan:level");
       const auto level_ops = plan.level_ops(level);
       if (metrics_) {
@@ -944,11 +950,18 @@ double LikelihoodEngine::run_evaluate(tree::Slot* edge) {
 double LikelihoodEngine::log_likelihood(tree::Slot* edge) {
   MINIPHI_ASSERT(edge != nullptr && edge->back != nullptr);
   if (!sdc_checks_) {
-    validate_edge(edge);
-    const double result = run_evaluate(edge);
-    unpin(edge->node_id);
-    unpin(edge->back->node_id);
-    return result;
+    try {
+      validate_edge(edge);
+      const double result = run_evaluate(edge);
+      unpin(edge->node_id);
+      unpin(edge->back->node_id);
+      return result;
+    } catch (const CancelledError&) {
+      // A cancellation mid-traversal unwinds with pins elevated; drop them
+      // so the engine stays reusable (DESIGN.md §15 containment).
+      release_pins();
+      throw;
+    }
   }
   for (int attempt = 0;; ++attempt) {
     try {
@@ -963,13 +976,21 @@ double LikelihoodEngine::log_likelihood(tree::Slot* edge) {
       return result;
     } catch (const sdc::CorruptionDetected& fault) {
       heal_or_rethrow(fault, attempt);
+    } catch (const CancelledError&) {
+      release_pins();
+      throw;
     }
   }
 }
 
 void LikelihoodEngine::prepare_derivatives(tree::Slot* edge) {
   if (!sdc_checks_) {
-    run_prepare_derivatives(edge);
+    try {
+      run_prepare_derivatives(edge);
+    } catch (const CancelledError&) {
+      release_pins();
+      throw;
+    }
     return;
   }
   for (int attempt = 0;; ++attempt) {
@@ -979,6 +1000,9 @@ void LikelihoodEngine::prepare_derivatives(tree::Slot* edge) {
       return;
     } catch (const sdc::CorruptionDetected& fault) {
       heal_or_rethrow(fault, attempt);
+    } catch (const CancelledError&) {
+      release_pins();
+      throw;
     }
   }
 }
@@ -1229,6 +1253,7 @@ double LikelihoodEngine::optimize_branch(tree::Slot* edge, int max_iterations) {
 double LikelihoodEngine::optimize_all_branches(tree::Slot* root_edge, int passes) {
   for (int pass = 0; pass < passes; ++pass) {
     for (tree::Slot* edge : tree_.edges()) {
+      check_cancel();  // per-branch cancellation boundary
       optimize_branch(edge);
     }
   }
@@ -1239,7 +1264,12 @@ bool LikelihoodEngine::gradient_all_branches(tree::Slot* root_edge,
                                              std::vector<BranchGradient>& out) {
   MINIPHI_ASSERT(root_edge != nullptr && root_edge->back != nullptr);
   if (!sdc_checks_) {
-    run_gradient_all_branches(root_edge, out);
+    try {
+      run_gradient_all_branches(root_edge, out);
+    } catch (const CancelledError&) {
+      release_pins();
+      throw;
+    }
     return true;
   }
   for (int attempt = 0;; ++attempt) {
@@ -1249,6 +1279,9 @@ bool LikelihoodEngine::gradient_all_branches(tree::Slot* root_edge,
       return true;
     } catch (const sdc::CorruptionDetected& fault) {
       heal_or_rethrow(fault, attempt);
+    } catch (const CancelledError&) {
+      release_pins();
+      throw;
     }
   }
 }
@@ -1308,6 +1341,7 @@ void LikelihoodEngine::run_gradient_all_branches(tree::Slot* root_edge,
   // execution all commit the same buffers).
   TraversalPlanner::build_preorder(root_edge, preorder_plan_);
   for (const PlfOp& op : preorder_plan_.ops()) {
+    check_cancel();  // per-op boundary: preorder descent has no levels
     run_preorder_op(preorder_plan_, op, out);
   }
   // The descent reused the sum buffer for its per-edge contractions.

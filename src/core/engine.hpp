@@ -155,6 +155,17 @@ class LikelihoodEngine final : public Evaluator {
   /// Whether the site-repeats path is active.
   [[nodiscard]] bool site_repeats() const { return site_repeats_; }
 
+  /// Drops every pin in both CLA tiers (postorder store and the preorder
+  /// gradient tier).  Top-level entry points call this when a cooperative
+  /// cancellation (Config::cancel) unwinds mid-traversal, so a cancelled
+  /// engine holds zero pins and stays reusable; external executors
+  /// (PartitionedEvaluator) call it for the same reason when the unwind
+  /// starts outside any engine.  Safe when no pins are held.
+  void release_pins() {
+    store_.reset_pins();
+    if (pre_store_.is_configured()) pre_store_.reset_pins();
+  }
+
   // --- Silent-data-corruption defense (Config::sdc_checks) ---------------
 
   /// Monotonic SDC verification/heal counters (always maintained when
@@ -498,6 +509,13 @@ class LikelihoodEngine final : public Evaluator {
   bool sum_left_tip_ = false;
 
   KernelTrace* trace_ = nullptr;
+
+  // Cooperative cancellation (Config::cancel; DESIGN.md §15).  checked at
+  // plan-level boundaries via check_cancel(); nullptr = never cancelled.
+  const CancelToken* cancel_ = nullptr;
+  void check_cancel() const {
+    if (cancel_ != nullptr) cancel_->check();
+  }
 
   friend class EngineTestPeer;
 };

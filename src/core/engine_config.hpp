@@ -14,6 +14,7 @@
 
 #include "src/core/kernels.hpp"
 #include "src/obs/metrics.hpp"
+#include "src/util/cancellation.hpp"
 
 namespace miniphi::core {
 
@@ -71,6 +72,16 @@ struct EngineConfig {
   /// Spill directory; empty honors $TMPDIR, falling back to /tmp.  The
   /// backing file is unlinked at creation, so it is reclaimed on any exit.
   std::string cla_spill_dir{};
+  /// Cooperative cancellation token (DESIGN.md §15).  When set, the engine
+  /// calls cancel->check() at plan-level boundaries — between traversal
+  /// levels (or ops, under a tight budget), between branches in smoothing
+  /// sweeps, and between preorder ops in the gradient descent — and unwinds
+  /// with CancelledError when the owner cancels the job or its deadline
+  /// expires.  The unwind releases every pin the engine holds, so a
+  /// cancelled engine is immediately reusable (or destructible) without
+  /// poisoning shared state.  The token must outlive the engine.  nullptr
+  /// (default) compiles the checks down to one branch per boundary.
+  const CancelToken* cancel = nullptr;
   /// Site-repeats mode (LvD algorithm of Bryant/Scornavacca/Swofford;
   /// BEAGLE 4.1's parallel back-ends do the same): each inner node keeps a
   /// site → repeat-class map — two sites share a class iff they induce the

@@ -152,6 +152,7 @@ PartitionedEvaluator::PartitionedEvaluator(const bio::Alignment& alignment,
   }
   trace_attached_ = engine_config.trace != nullptr;
   sdc_checks_ = engine_config.sdc_checks;
+  cancel_ = engine_config.cancel;  // engines share the same token via config
   // External plan execution needs the full CLA budget (no eviction); under
   // a tight budget the engines keep traversing internally with their pin
   // discipline and the merged queue stands down.  (Stream dispatch is
@@ -272,6 +273,7 @@ void PartitionedEvaluator::validate_edge(tree::Slot* edge) {
     };
     std::vector<NodeTask> node_tasks;
     for (int level = 1; level <= max_levels; ++level) {
+      check_cancel();  // merged-queue plan-level cancellation boundary
       ++merged_counters_.levels;
       active.clear();
       for (int p = 0; p < count; ++p) {
@@ -374,6 +376,9 @@ double PartitionedEvaluator::log_likelihood(tree::Slot* edge) {
       return total;
     } catch (const sdc::CorruptionDetected& fault) {
       heal_or_rethrow(fault, attempt);
+    } catch (const CancelledError&) {
+      release_all_pins();
+      throw;
     }
   }
 }
@@ -388,6 +393,9 @@ void PartitionedEvaluator::prepare_derivatives(tree::Slot* edge) {
       return;
     } catch (const sdc::CorruptionDetected& fault) {
       heal_or_rethrow(fault, attempt);
+    } catch (const CancelledError&) {
+      release_all_pins();
+      throw;
     }
   }
 }
@@ -437,6 +445,7 @@ double PartitionedEvaluator::optimize_branch(tree::Slot* edge, int max_iteration
 double PartitionedEvaluator::optimize_all_branches(tree::Slot* root_edge, int passes) {
   for (int pass = 0; pass < passes; ++pass) {
     for (tree::Slot* edge : tree_.edges()) {
+      check_cancel();  // per-branch cancellation boundary
       optimize_branch(edge, 32);
     }
   }
@@ -448,13 +457,18 @@ bool PartitionedEvaluator::gradient_all_branches(tree::Slot* root_edge,
   out.clear();
   std::vector<std::vector<BranchGradient>> partials(static_cast<std::size_t>(partition_count()));
   std::vector<char> supported(static_cast<std::size_t>(partition_count()), 0);
-  run_partitions([&](int p) {
-    supported[static_cast<std::size_t>(p)] =
-        engines_[static_cast<std::size_t>(p)]->gradient_all_branches(
-            root_edge, partials[static_cast<std::size_t>(p)])
-            ? 1
-            : 0;
-  });
+  try {
+    run_partitions([&](int p) {
+      supported[static_cast<std::size_t>(p)] =
+          engines_[static_cast<std::size_t>(p)]->gradient_all_branches(
+              root_edge, partials[static_cast<std::size_t>(p)])
+              ? 1
+              : 0;
+    });
+  } catch (const CancelledError&) {
+    release_all_pins();
+    throw;
+  }
   for (const char ok : supported) {
     if (!ok) return false;
   }

@@ -184,6 +184,22 @@ class PartitionedEvaluator final : public Evaluator {
   /// after sdc::kHealRetryBudget attempts the fault propagates.
   void heal_or_rethrow(const sdc::CorruptionDetected& fault, int attempt);
 
+  /// Cancellation boundary (Config::cancel; DESIGN.md §15): throws
+  /// CancelledError between merged-queue levels and between branches of a
+  /// smoothing sweep.  No-op without a token.
+  void check_cancel() const {
+    if (cancel_ != nullptr) cancel_->check();
+  }
+
+  /// Drops every pin on every partition engine.  Called when a cooperative
+  /// cancellation unwinds a top-level call: engines that observed the token
+  /// internally already released their own pins, but an unwind that starts
+  /// in the merged external executor (between levels) must not strand pins
+  /// on engines it never re-entered.
+  void release_all_pins() {
+    for (auto& engine : engines_) engine->release_pins();
+  }
+
   tree::Tree& tree_;
   std::vector<std::string> names_;
   std::vector<std::unique_ptr<bio::PatternSet>> patterns_;
@@ -198,6 +214,7 @@ class PartitionedEvaluator final : public Evaluator {
   MergedPlanCounters merged_counters_;
   bool metrics_ = false;
   bool sdc_checks_ = false;
+  const CancelToken* cancel_ = nullptr;
   sdc::MetricIds sdc_ids_;
   obs::MetricId merged_traversals_id_ = 0;
   obs::MetricId merged_levels_id_ = 0;    ///< histogram: levels per merged traversal

@@ -66,6 +66,8 @@ std::string render_kernel_report(const std::vector<MetricSnapshot>& snapshot) {
   std::vector<const MetricSnapshot*> mem;
   std::vector<const MetricSnapshot*> sdc;
   std::vector<const MetricSnapshot*> elastic;
+  std::vector<const MetricSnapshot*> svc;
+  std::map<std::string, std::vector<const MetricSnapshot*>> svc_tenants;
   std::vector<const MetricSnapshot*> other;
 
   for (const MetricSnapshot& metric : snapshot) {
@@ -106,6 +108,15 @@ std::string render_kernel_report(const std::vector<MetricSnapshot>& snapshot) {
       sdc.push_back(&metric);
     } else if (parts[0] == "elastic" || parts[0] == "ckpt") {
       elastic.push_back(&metric);
+    } else if (parts[0] == "svc") {
+      // Tenant counters are svc.tenant.<id>.<counter>; tenant ids cannot
+      // contain '.' (EvaluationService::register_tenant rejects them), so
+      // the split is unambiguous.  Everything else is service-level.
+      if (parts.size() == 4 && parts[1] == "tenant") {
+        svc_tenants[std::string(parts[2])].push_back(&metric);
+      } else {
+        svc.push_back(&metric);
+      }
     } else if (parts.size() == 3 && parts[0] == "mpi") {
       auto& entry = collectives[std::string(parts[1])];
       if (parts[2] == "calls") {
@@ -243,6 +254,40 @@ std::string render_kernel_report(const std::vector<MetricSnapshot>& snapshot) {
                     static_cast<long long>(metric->histogram.count), mean_us);
       } else {
         append_line(out, "%-40s %lld", metric->name.c_str(),
+                    static_cast<long long>(metric->value));
+      }
+    }
+  }
+
+  if (!svc.empty() || !svc_tenants.empty()) {
+    // Evaluation service (DESIGN.md §15).  Tenants render as their own
+    // sub-sections, sorted by tenant id (std::map order) with counters
+    // sorted by name inside each — the report is deterministic no matter
+    // what order tenants registered or jobs finished in.
+    out += "--- service ---\n";
+    std::sort(svc.begin(), svc.end(),
+              [](const MetricSnapshot* a, const MetricSnapshot* b) { return a->name < b->name; });
+    for (const MetricSnapshot* metric : svc) {
+      if (metric->kind == MetricKind::kHistogram) {
+        const double mean_us = metric->histogram.count > 0
+                                   ? static_cast<double>(metric->histogram.sum) /
+                                         static_cast<double>(metric->histogram.count)
+                                   : 0.0;
+        append_line(out, "%-40s count=%-10lld mean=%.1f us", metric->name.c_str(),
+                    static_cast<long long>(metric->histogram.count), mean_us);
+      } else if (metric->name == "svc.budget.in_use_bytes") {
+        append_line(out, "%-40s %s", metric->name.c_str(), human_bytes(metric->value).c_str());
+      } else {
+        append_line(out, "%-40s %lld", metric->name.c_str(),
+                    static_cast<long long>(metric->value));
+      }
+    }
+    for (auto& [tenant, metrics] : svc_tenants) {
+      append_line(out, "tenant %s:", tenant.c_str());
+      std::sort(metrics.begin(), metrics.end(),
+                [](const MetricSnapshot* a, const MetricSnapshot* b) { return a->name < b->name; });
+      for (const MetricSnapshot* metric : metrics) {
+        append_line(out, "  %-38s %lld", metric->name.c_str(),
                     static_cast<long long>(metric->value));
       }
     }

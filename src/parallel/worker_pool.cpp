@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/obs/span_trace.hpp"
+#include "src/util/cancellation.hpp"
 #include "src/util/error.hpp"
 #include "src/util/timer.hpp"
 
@@ -52,7 +53,11 @@ void WorkerPool::worker_loop(int thread_id) {
     }
     {
       const std::lock_guard<std::mutex> lock(mutex_);
-      errors_[static_cast<std::size_t>(thread_id)] = error;
+      // Moved, not copied: the worker must not keep a reference it would
+      // release outside the lock — the last release frees the exception,
+      // and that must happen on the master, which is the thread that reads
+      // it after the join.
+      errors_[static_cast<std::size_t>(thread_id)] = std::move(error);
       if (--remaining_ == 0) done_cv_.notify_one();
     }
   }
@@ -104,9 +109,23 @@ void WorkerPool::run(const std::function<void(int)>& fn) {
     wait_seconds_ += std::max(0.0, region_wall - task_seconds);
   }
   ++regions_;
+  // Rethrow preference: a cooperative cancellation (CancelledError) on one
+  // worker is the *expected* unwind of a cancelled region and must never
+  // mask a sibling's real failure — the service would report "cancelled"
+  // for a job that actually crashed.  Real errors win; among equals the
+  // first in thread-id order wins (deterministic, as before).
+  std::exception_ptr first_cancel;
   for (const auto& error : errors_) {
-    if (error) std::rethrow_exception(error);  // first failure in thread-id order
+    if (!error) continue;
+    try {
+      std::rethrow_exception(error);
+    } catch (const CancelledError&) {
+      if (!first_cancel) first_cancel = error;
+    } catch (...) {
+      std::rethrow_exception(error);  // first non-cancel failure in thread-id order
+    }
   }
+  if (first_cancel) std::rethrow_exception(first_cancel);
 }
 
 void WorkerPool::run_tasks(int count, const std::function<void(int)>& fn) {

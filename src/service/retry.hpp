@@ -1,0 +1,54 @@
+// Client-side retry for shed submissions (DESIGN.md §15).
+//
+// An overloaded submit returns kOverloadedJobId — a *retryable* condition:
+// the queue is full or the tenant is at quota, and both clear as jobs
+// complete.  This helper resubmits with capped exponential backoff and
+// seeded jitter, so a thundering herd of shed clients decorrelates instead
+// of hammering the admission lock in lockstep.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <thread>
+
+#include "src/service/service.hpp"
+#include "src/util/rng.hpp"
+
+namespace miniphi::service {
+
+struct RetryPolicy {
+  int max_attempts = 8;
+  std::chrono::microseconds initial_delay{200};
+  std::chrono::microseconds max_delay{20'000};
+  /// Jitter seed; give each client thread its own so their backoff
+  /// schedules decorrelate deterministically.
+  std::uint64_t seed = 0;
+};
+
+/// Calls `submit` (any callable returning a job id) until it admits, up to
+/// max_attempts.  Returns the admitted job id, or kOverloadedJobId when
+/// every attempt was shed — the caller decides whether that is an error.
+template <typename SubmitFn>
+std::int64_t submit_with_retry(SubmitFn&& submit, const RetryPolicy& policy = {}) {
+  Rng rng(policy.seed);
+  std::chrono::microseconds delay = policy.initial_delay;
+  for (int attempt = 0;; ++attempt) {
+    const std::int64_t id = submit();
+    if (id != kOverloadedJobId || attempt + 1 >= policy.max_attempts) return id;
+    // Full jitter on [delay/2, delay): decorrelates without ever collapsing
+    // the backoff to zero.
+    const double jitter = 0.5 + 0.5 * rng.uniform();
+    std::this_thread::sleep_for(std::chrono::microseconds(
+        static_cast<std::int64_t>(static_cast<double>(delay.count()) * jitter)));
+    delay = std::min(policy.max_delay, delay * 2);
+  }
+}
+
+/// Convenience overload binding a service + request.
+inline std::int64_t submit_with_retry(EvaluationService& service, const JobRequest& request,
+                                      const RetryPolicy& policy = {}) {
+  return submit_with_retry([&] { return service.submit(request); }, policy);
+}
+
+}  // namespace miniphi::service

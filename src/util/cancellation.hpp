@@ -1,0 +1,129 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "src/util/error.hpp"
+
+namespace miniphi {
+
+/// Thrown by CancelToken::check() when a job is cancelled or its deadline
+/// expires.  Subclasses Error so existing catch(const Error&) diagnostics
+/// keep working, but callers that care (the service, the worker pool's
+/// rethrow preference) can catch it specifically.
+class CancelledError : public Error {
+ public:
+  CancelledError(const std::string& what, bool deadline_expired)
+      : Error(what), deadline_expired_(deadline_expired) {}
+
+  /// True when the cancellation was caused by deadline expiry rather than
+  /// an explicit cancel() — the two map to different service statuses
+  /// (MINIPHI_ERROR_DEADLINE_EXCEEDED vs MINIPHI_ERROR_CANCELLED).
+  bool deadline_expired() const { return deadline_expired_; }
+
+ private:
+  bool deadline_expired_;
+};
+
+/// Cooperative cancellation token shared between a job's owner (who calls
+/// cancel() or set_deadline()) and the engine executing it (which calls
+/// check() at plan-level boundaries).  All state is atomic: the owner and
+/// the executing threads never take a lock, so a check() in the newview
+/// hot path costs one relaxed load on the happy path.
+///
+/// The token is level-triggered: once cancelled (explicitly or by
+/// deadline) every subsequent check() throws, so a multi-engine evaluator
+/// (partitioned, fork-join) converges to the unwind no matter which
+/// worker observes the cancellation first.
+class CancelToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Request cancellation.  Idempotent; safe from any thread.
+  void cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  /// Arm an absolute deadline.  A zero time_since_epoch clears it.
+  void set_deadline(Clock::time_point deadline) {
+    deadline_ns_.store(deadline.time_since_epoch().count(), std::memory_order_relaxed);
+  }
+
+  /// Arm a deadline `budget` from now.
+  void set_deadline_after(Clock::duration budget) { set_deadline(Clock::now() + budget); }
+
+  /// Chaos hook (FaultPlan-style, DESIGN.md §9): trip on the Nth check()
+  /// observed by the executing engine — a deterministic mid-kernel kill.
+  /// `as_deadline` selects which structured error the victim reports.
+  void arm_trip_after(std::int64_t checks, bool as_deadline = false) {
+    trip_as_deadline_.store(as_deadline, std::memory_order_relaxed);
+    trip_at_check_.store(checks, std::memory_order_relaxed);
+  }
+
+  /// Reset every axis (flag, deadline, chaos trip, check counter) so a
+  /// token embedded in a reusable job slot starts clean.
+  void reset() {
+    cancelled_.store(false, std::memory_order_relaxed);
+    deadline_ns_.store(0, std::memory_order_relaxed);
+    trip_at_check_.store(0, std::memory_order_relaxed);
+    trip_as_deadline_.store(false, std::memory_order_relaxed);
+    checks_.store(0, std::memory_order_relaxed);
+    expired_.store(false, std::memory_order_relaxed);
+  }
+
+  /// Non-throwing query (used by admission: don't build an evaluator for a
+  /// job that died in the queue).
+  bool cancelled() const {
+    if (cancelled_.load(std::memory_order_relaxed)) return true;
+    return deadline_passed();
+  }
+
+  bool deadline_expired() const { return expired_.load(std::memory_order_relaxed); }
+
+  /// Number of check() calls observed so far (test/chaos introspection).
+  std::int64_t checks() const { return checks_.load(std::memory_order_relaxed); }
+
+  /// Cancellation point.  Throws CancelledError when the token is
+  /// cancelled, tripped by the chaos hook, or past its deadline.
+  void check() const {
+    const std::int64_t seen = checks_.fetch_add(1, std::memory_order_relaxed) + 1;
+    const std::int64_t trip = trip_at_check_.load(std::memory_order_relaxed);
+    if (trip > 0 && seen >= trip) {
+      if (trip_as_deadline_.load(std::memory_order_relaxed)) {
+        expired_.store(true, std::memory_order_relaxed);
+      }
+      cancelled_.store(true, std::memory_order_relaxed);
+    }
+    if (cancelled_.load(std::memory_order_relaxed)) {
+      if (expired_.load(std::memory_order_relaxed)) {
+        throw CancelledError("cancel: deadline exceeded", /*deadline_expired=*/true);
+      }
+      throw CancelledError("cancel: job cancelled", /*deadline_expired=*/false);
+    }
+    if (deadline_passed()) {
+      throw CancelledError("cancel: deadline exceeded", /*deadline_expired=*/true);
+    }
+  }
+
+ private:
+  bool deadline_passed() const {
+    const std::int64_t deadline = deadline_ns_.load(std::memory_order_relaxed);
+    if (deadline == 0) return false;
+    if (Clock::now().time_since_epoch().count() < deadline) return false;
+    expired_.store(true, std::memory_order_relaxed);
+    cancelled_.store(true, std::memory_order_relaxed);
+    return true;
+  }
+
+  // check() is conceptually const (engines hold `const CancelToken*`): the
+  // counter bump and the deadline→flag latch are observations, not
+  // requests, so the mutating atomics are mutable.
+  mutable std::atomic<bool> cancelled_{false};
+  mutable std::atomic<bool> expired_{false};
+  std::atomic<std::int64_t> deadline_ns_{0};
+  std::atomic<std::int64_t> trip_at_check_{0};
+  std::atomic<bool> trip_as_deadline_{false};
+  mutable std::atomic<std::int64_t> checks_{0};
+};
+
+}  // namespace miniphi

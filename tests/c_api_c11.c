@@ -44,6 +44,30 @@ int miniphi_c11_smoke(void) {
   if (rc == 0 && !(lnl < 0.0)) rc = 10;
   if (rc == 0 && grant.partitions != 1) rc = 11;
   if (miniphi_finalize_instance(instance) != MINIPHI_OK && rc == 0) rc = 12;
+
+  /* The multi-tenant service, entirely from C: create, register, run one
+   * job, destroy.  Also proves the structs are C-initializable. */
+  if (rc == 0) {
+    miniphi_service* service = NULL;
+    miniphi_service_options service_options;
+    miniphi_job_options job;
+    miniphi_job_result result;
+    int64_t job_id = -1;
+    memset(&service_options, 0, sizeof(service_options));
+    memset(&job, 0, sizeof(job));
+    memset(&result, 0, sizeof(result));
+    if (miniphi_service_create(&service_options, &service) != MINIPHI_OK) rc = 13;
+    if (rc == 0 && miniphi_service_register_tenant(service, "c11", 2) != MINIPHI_OK) rc = 14;
+    if (rc == 0 &&
+        miniphi_service_submit(service, "c11", alignment, tree, &job, &job_id) != MINIPHI_OK) {
+      rc = 15;
+    }
+    if (rc == 0 && miniphi_service_wait(service, job_id, &result) != MINIPHI_OK) rc = 16;
+    if (rc == 0 && result.status != MINIPHI_OK) rc = 17;
+    if (rc == 0 && !(result.log_likelihood < 0.0)) rc = 18;
+    if (service != NULL && miniphi_service_destroy(service) != MINIPHI_OK && rc == 0) rc = 19;
+  }
+
   miniphi_tree_destroy(tree);
   miniphi_alignment_destroy(alignment);
   return rc;

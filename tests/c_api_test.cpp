@@ -218,6 +218,126 @@ TEST(CApi, ErrorPathsReturnStableCodesAndNeverThrow) {
   EXPECT_EQ(miniphi_finalize_instance(nullptr), MINIPHI_OK);
 }
 
+TEST(CApi, StaleHandlesAreDetectedNotUndefined) {
+  Fixture f;
+
+  // Double-finalize: the generation-stamped table catches the stale handle
+  // instead of dereferencing freed memory.
+  miniphi_instance* instance = nullptr;
+  ASSERT_EQ(miniphi_create_instance(f.alignment, f.tree, nullptr, nullptr, &instance),
+            MINIPHI_OK);
+  EXPECT_EQ(miniphi_finalize_instance(instance), MINIPHI_OK);
+  EXPECT_EQ(miniphi_finalize_instance(instance), MINIPHI_ERROR_INVALID_HANDLE);
+  EXPECT_NE(std::strlen(miniphi_last_error_message()), 0u);
+
+  // Use-after-finalize is a stable error, not UB.
+  double lnl = 0.0;
+  EXPECT_EQ(miniphi_evaluate(instance, &lnl), MINIPHI_ERROR_INVALID_HANDLE);
+
+  // Stale alignment/tree handles after destroy: accessors and consumers
+  // both report INVALID_HANDLE.
+  miniphi_alignment* alignment = nullptr;
+  ASSERT_EQ(miniphi_alignment_from_fasta(kFasta, &alignment), MINIPHI_OK);
+  miniphi_tree* tree = nullptr;
+  ASSERT_EQ(miniphi_tree_parsimony(alignment, 3, &tree), MINIPHI_OK);
+  miniphi_tree_destroy(tree);
+  int64_t required = 0;
+  EXPECT_EQ(miniphi_tree_to_newick(tree, nullptr, 0, &required),
+            MINIPHI_ERROR_INVALID_HANDLE);
+  miniphi_alignment_destroy(alignment);
+  miniphi_tree* reparse = nullptr;
+  EXPECT_EQ(miniphi_tree_parsimony(alignment, 3, &reparse), MINIPHI_ERROR_INVALID_HANDLE);
+  EXPECT_EQ(reparse, nullptr);
+
+  // Double-destroy through the void destroyers is a safe no-op.
+  miniphi_tree_destroy(tree);
+  miniphi_alignment_destroy(alignment);
+
+  // Null stays INVALID_ARGUMENT — a different caller bug than staleness.
+  EXPECT_EQ(miniphi_evaluate(nullptr, &lnl), MINIPHI_ERROR_INVALID_ARGUMENT);
+  EXPECT_EQ(miniphi_finalize_instance(nullptr), MINIPHI_OK);
+}
+
+TEST(CApi, ServiceRoundTripAndErrors) {
+  Fixture f;
+  miniphi_service_options options{};
+  options.executors = 2;
+  miniphi_service* service = nullptr;
+  ASSERT_EQ(miniphi_service_create(&options, &service), MINIPHI_OK);
+  ASSERT_NE(service, nullptr);
+
+  EXPECT_EQ(miniphi_service_register_tenant(service, "acme", 4), MINIPHI_OK);
+  // Tenant names become metric components: dots and duplicates are caller
+  // bugs, not load conditions.
+  EXPECT_EQ(miniphi_service_register_tenant(service, "dotted.name", 4),
+            MINIPHI_ERROR_INVALID_ARGUMENT);
+  EXPECT_EQ(miniphi_service_register_tenant(service, "acme", 4),
+            MINIPHI_ERROR_INVALID_ARGUMENT);
+
+  // Two identical jobs complete with the same likelihood.
+  miniphi_job_options job{};
+  job.kind = MINIPHI_JOB_EVALUATE;
+  int64_t id_a = -1;
+  int64_t id_b = -1;
+  ASSERT_EQ(miniphi_service_submit(service, "acme", f.alignment, f.tree, &job, &id_a),
+            MINIPHI_OK);
+  ASSERT_EQ(miniphi_service_submit(service, "acme", f.alignment, f.tree, &job, &id_b),
+            MINIPHI_OK);
+  EXPECT_EQ(miniphi_service_submit(service, "ghost", f.alignment, f.tree, &job, &id_b),
+            MINIPHI_ERROR_INVALID_ARGUMENT);
+
+  miniphi_job_result result_a{};
+  miniphi_job_result result_b{};
+  ASSERT_EQ(miniphi_service_wait(service, id_a, &result_a), MINIPHI_OK);
+  ASSERT_EQ(miniphi_service_wait(service, id_b, &result_b), MINIPHI_OK);
+  EXPECT_EQ(result_a.status, MINIPHI_OK) << miniphi_last_error_message();
+  EXPECT_EQ(result_b.status, MINIPHI_OK) << miniphi_last_error_message();
+  EXPECT_LT(result_a.log_likelihood, 0.0);
+  EXPECT_EQ(result_a.log_likelihood, result_b.log_likelihood);
+
+  // Cancelling a terminal job reports "nothing to do", and unknown job ids
+  // are caller bugs.
+  int requested = -1;
+  EXPECT_EQ(miniphi_service_cancel(service, id_a, &requested), MINIPHI_OK);
+  EXPECT_EQ(requested, 0);
+  miniphi_job_result unknown{};
+  EXPECT_EQ(miniphi_service_wait(service, 987654, &unknown),
+            MINIPHI_ERROR_INVALID_ARGUMENT);
+
+  EXPECT_EQ(miniphi_service_destroy(service), MINIPHI_OK);
+  EXPECT_EQ(miniphi_service_destroy(service), MINIPHI_ERROR_INVALID_HANDLE);
+  EXPECT_EQ(miniphi_service_destroy(nullptr), MINIPHI_OK);
+}
+
+TEST(CApi, ServiceJobDeadlineSurfacesStructuredStatus) {
+  Fixture f;
+  miniphi_service* service = nullptr;
+  ASSERT_EQ(miniphi_service_create(nullptr, &service), MINIPHI_OK);
+  ASSERT_EQ(miniphi_service_register_tenant(service, "acme", 2), MINIPHI_OK);
+
+  miniphi_job_options job{};
+  job.kind = MINIPHI_JOB_BRANCH_SMOOTH;
+  job.smoothing_passes = 4;
+  job.deadline_ns = 1;  // expires before the job can even dispatch
+  int64_t id = -1;
+  ASSERT_EQ(miniphi_service_submit(service, "acme", f.alignment, f.tree, &job, &id),
+            MINIPHI_OK);
+  miniphi_job_result result{};
+  ASSERT_EQ(miniphi_service_wait(service, id, &result), MINIPHI_OK);
+  EXPECT_EQ(result.status, MINIPHI_ERROR_DEADLINE_EXCEEDED);
+  EXPECT_NE(std::strlen(miniphi_last_error_message()), 0u);
+
+  // The expiry was contained to that job: the service still works.
+  miniphi_job_options healthy{};
+  ASSERT_EQ(miniphi_service_submit(service, "acme", f.alignment, f.tree, &healthy, &id),
+            MINIPHI_OK);
+  miniphi_job_result ok{};
+  ASSERT_EQ(miniphi_service_wait(service, id, &ok), MINIPHI_OK);
+  EXPECT_EQ(ok.status, MINIPHI_OK) << miniphi_last_error_message();
+  EXPECT_LT(ok.log_likelihood, 0.0);
+  EXPECT_EQ(miniphi_service_destroy(service), MINIPHI_OK);
+}
+
 TEST(CApi, NewickRoundTripThroughTreeHandle) {
   Fixture f;
   int64_t required = 0;

@@ -8,6 +8,7 @@
 
 #include <cmath>
 #include <cstring>
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -24,6 +25,7 @@
 #include "src/model/general.hpp"
 #include "src/platform/cost_model.hpp"
 #include "src/simd/dispatch.hpp"
+#include "src/util/cancellation.hpp"
 #include "src/util/error.hpp"
 #include "tests/testutil.hpp"
 
@@ -587,6 +589,56 @@ TEST(StreamPacking, BudgetFractionSizeMismatchThrows) {
   EXPECT_THROW(
       (void)platform::plan_partition_streams(sizes, 2, simd::Isa::kScalar, fractions),
       Error);
+}
+
+// --- Spill-tier resource hygiene under cancellation --------------------------
+
+/// Open descriptors in this process.  The spill backing file is unlinked at
+/// creation, so a leaked fd is the ONLY observable trace of a leaked spill
+/// tier — /proc/self/fd is the leak detector.
+std::size_t open_fd_count() {
+  std::size_t count = 0;
+  for ([[maybe_unused]] const auto& entry :
+       std::filesystem::directory_iterator("/proc/self/fd")) {
+    ++count;
+  }
+  return count;
+}
+
+TEST(SpillLifecycle, CancelledJobsLeakNoSpillFileDescriptors) {
+  Rng rng(38);
+  const auto alignment = testutil::random_alignment(10, 120, rng, 0.05);
+  const auto patterns = bio::compress_patterns(alignment);
+  const model::GtrModel model(testutil::random_gtr_params(rng));
+  const tree::Tree base_tree = tree::Tree::random(10, rng);
+
+  const auto spill_run = [&](const CancelToken* token) {
+    tree::Tree tree(base_tree);
+    core::LikelihoodEngine::Config config;
+    config.cla_buffers = 3;  // minimum working set: every traversal spills
+    config.cla_spill = true;
+    config.cancel = token;
+    core::LikelihoodEngine engine(patterns, model, tree, config);
+    (void)engine.log_likelihood(tree.tip(0));
+  };
+
+  // Warm-up absorbs lazily-opened descriptors (locale, /proc itself, …) so
+  // the baseline measures steady state, not first-use initialisation.
+  spill_run(nullptr);
+  const std::size_t baseline = open_fd_count();
+
+  // Each cancelled run opens its own spill backing file and must close it
+  // while unwinding through CancelledError mid-traversal.
+  for (int round = 0; round < 5; ++round) {
+    CancelToken token;
+    token.arm_trip_after(5);
+    EXPECT_THROW(spill_run(&token), CancelledError) << "round " << round;
+    EXPECT_EQ(open_fd_count(), baseline) << "round " << round;
+  }
+
+  // And a clean run after the cancelled ones still completes and stays flat.
+  spill_run(nullptr);
+  EXPECT_EQ(open_fd_count(), baseline);
 }
 
 }  // namespace

@@ -8,6 +8,7 @@
 
 #include "src/parallel/fork_join_evaluator.hpp"
 #include "src/parallel/worker_pool.hpp"
+#include "src/util/cancellation.hpp"
 #include "src/util/error.hpp"
 #include "src/search/spr_search.hpp"
 #include "src/simulate/simulate.hpp"
@@ -96,6 +97,85 @@ TEST(WorkerPool, ReduceSumPropagatesWorkerException) {
                }),
                miniphi::Error);
   EXPECT_DOUBLE_EQ(pool.run_reduce_sum([](int) { return 1.0; }), 2.0);
+}
+
+// --- Exception / cancellation interleaving ----------------------------------
+//
+// A cancelled job's siblings all throw CancelledError from the same token.
+// The rethrow policy must surface the *informative* exception: a real
+// failure beats a cancellation regardless of which thread id carried it.
+
+TEST(WorkerPool, ThrowingTaskBesideCancelledSiblingPrefersTheRealError) {
+  WorkerPool pool(4);
+  CancelToken token;
+  token.cancel();
+  try {
+    pool.run([&](int thread_id) {
+      // Thread 1 hits a genuine failure; 0, 2 and 3 observe the cancel.
+      // Lowest-id-wins alone would report the cancellation and bury the
+      // real error.
+      if (thread_id == 1) throw miniphi::Error("real failure");
+      token.check();
+    });
+    FAIL() << "expected an exception";
+  } catch (const CancelledError&) {
+    FAIL() << "cancellation masked the real failure";
+  } catch (const miniphi::Error& e) {
+    EXPECT_STREQ(e.what(), "real failure");
+  }
+  // The region joined cleanly: the pool serves the next job.
+  std::atomic<int> counter{0};
+  pool.run([&](int) { counter++; });
+  EXPECT_EQ(counter.load(), 4);
+}
+
+TEST(WorkerPool, AllWorkersCancelledRethrowsTheCancellation) {
+  WorkerPool pool(3);
+  {
+    CancelToken token;
+    token.cancel();
+    EXPECT_THROW(pool.run([&](int) { token.check(); }), CancelledError);
+  }
+  {
+    // An already-expired deadline must surface as a deadline-flavoured
+    // CancelledError so the service maps it to kDeadlineExceeded.
+    CancelToken token;
+    token.set_deadline_after(std::chrono::nanoseconds(-1));
+    try {
+      pool.run([&](int) { token.check(); });
+      FAIL() << "expected CancelledError";
+    } catch (const CancelledError& e) {
+      EXPECT_TRUE(e.deadline_expired());
+    }
+  }
+  EXPECT_DOUBLE_EQ(pool.run_reduce_sum([](int) { return 1.0; }), 3.0);
+}
+
+TEST(WorkerPool, CancelledSiblingsDoNotDeadlockOrDropTheException) {
+  WorkerPool pool(4);
+  // Rotate the failing thread so every (thrower, cancelled-sibling)
+  // interleaving is exercised; any dropped exception or missed join shows
+  // up as a wrong error or a hang.
+  for (int round = 0; round < 50; ++round) {
+    CancelToken token;
+    token.cancel();
+    const int thrower = round % 4;
+    bool caught_real = false;
+    try {
+      pool.run([&](int thread_id) {
+        if (thread_id == thrower) throw miniphi::Error("round failure");
+        token.check();
+      });
+    } catch (const CancelledError&) {
+      // fall through: caught_real stays false and the assert names the round
+    } catch (const miniphi::Error& e) {
+      caught_real = std::string(e.what()) == "round failure";
+    }
+    ASSERT_TRUE(caught_real) << "round " << round << " thrower " << thrower;
+  }
+  std::atomic<int> counter{0};
+  pool.run([&](int) { counter++; });
+  EXPECT_EQ(counter.load(), 4);
 }
 
 class ForkJoinFixture : public ::testing::Test {
